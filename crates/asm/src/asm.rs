@@ -1,0 +1,498 @@
+//! The two-pass label assembler / program builder.
+
+use crate::image::{Image, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE};
+use cfed_isa::{AluOp, Cond, Inst, Reg, INST_SIZE_U64};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was bound twice.
+    DuplicateLabel(String),
+    /// A referenced label was never bound.
+    UndefinedLabel(String),
+    /// The requested entry label does not exist.
+    UndefinedEntry(String),
+    /// A branch displacement or absolute label address does not fit in the
+    /// instruction's 32-bit field.
+    OffsetOverflow { label: String },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::UndefinedEntry(l) => write!(f, "undefined entry label `{l}`"),
+            AsmError::OffsetOverflow { label } => {
+                write!(f, "displacement to label `{label}` overflows 32 bits")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Fixed(Inst),
+    /// A direct branch whose offset is resolved at assembly time.
+    Branch { kind: BranchKind, label: String },
+    /// `mov dst, &label` — materialize a label's absolute address.
+    MovLabel { dst: Reg, label: String },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    Jmp,
+    Jcc(Cond),
+    JRz(Reg),
+    JRnz(Reg),
+    Call,
+}
+
+/// A program under construction: instructions, labels, and a data section.
+///
+/// All convenience emitters append exactly one instruction, so instruction
+/// offsets are `8 × index`.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_asm::Asm;
+/// use cfed_isa::{AluOp, Cond, Reg};
+///
+/// // Count down from 5.
+/// let mut a = Asm::new();
+/// a.label("start");
+/// a.movri(Reg::R0, 5);
+/// a.label("loop");
+/// a.alui(AluOp::Sub, Reg::R0, 1);
+/// a.jcc(Cond::Ne, "loop");
+/// a.halt();
+/// let image = a.assemble("start").unwrap();
+/// assert_eq!(image.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u64,
+    data_base: u64,
+    slots: Vec<Slot>,
+    labels: BTreeMap<String, u64>, // label -> code byte offset
+    duplicate: Option<String>,
+    data: Vec<u8>,
+    fresh: u64,
+}
+
+impl Default for Asm {
+    fn default() -> Asm {
+        Asm::new()
+    }
+}
+
+impl Asm {
+    /// Creates an assembler targeting the default code/data bases.
+    pub fn new() -> Asm {
+        Asm::with_bases(DEFAULT_CODE_BASE, DEFAULT_DATA_BASE)
+    }
+
+    /// Creates an assembler linking for explicit code and data base
+    /// addresses.
+    pub fn with_bases(base: u64, data_base: u64) -> Asm {
+        Asm {
+            base,
+            data_base,
+            slots: Vec::new(),
+            labels: BTreeMap::new(),
+            duplicate: None,
+            data: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// Byte offset of the next emitted instruction.
+    pub fn here(&self) -> u64 {
+        self.slots.len() as u64 * INST_SIZE_U64
+    }
+
+    /// Binds `name` to the current position.
+    ///
+    /// Duplicate bindings are reported by [`Asm::assemble`].
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name);
+        }
+    }
+
+    /// Returns a unique label with the given prefix (for generated code).
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!(".{prefix}_{}", self.fresh)
+    }
+
+    /// Appends a raw instruction.
+    pub fn raw(&mut self, inst: Inst) {
+        self.slots.push(Slot::Fixed(inst));
+    }
+
+    // ---- data section -------------------------------------------------
+
+    /// Appends 64-bit words to the data section, returning the absolute
+    /// address of the first one.
+    pub fn data_u64(&mut self, words: &[u64]) -> u64 {
+        // Keep words aligned.
+        while self.data.len() % 8 != 0 {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u64;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends raw bytes to the data section, returning the absolute address
+    /// of the first one.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = self.data_base + self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Reserves `len` zeroed bytes in the data section, returning their
+    /// absolute address (8-byte aligned).
+    pub fn data_zeroed(&mut self, len: u64) -> u64 {
+        while self.data.len() % 8 != 0 {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u64;
+        self.data.resize(self.data.len() + len as usize, 0);
+        addr
+    }
+
+    // ---- moves and memory ---------------------------------------------
+
+    /// `mov dst, imm`.
+    pub fn movri(&mut self, dst: Reg, imm: i32) {
+        self.raw(Inst::MovRI { dst, imm });
+    }
+
+    /// `mov dst, src`.
+    pub fn movrr(&mut self, dst: Reg, src: Reg) {
+        self.raw(Inst::MovRR { dst, src });
+    }
+
+    /// `mov dst, &label` — loads a label's absolute address.
+    pub fn mov_label(&mut self, dst: Reg, label: impl Into<String>) {
+        self.slots.push(Slot::MovLabel { dst, label: label.into() });
+    }
+
+    /// `mov dst, addr` for an absolute data address returned by the `data_*`
+    /// methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address does not fit in 31 bits (data addresses under
+    /// the default layout always do).
+    pub fn mov_addr(&mut self, dst: Reg, addr: u64) {
+        assert!(addr <= i32::MAX as u64, "data address {addr:#x} exceeds imm32");
+        self.movri(dst, addr as i32);
+    }
+
+    /// `ld dst, [base+disp]`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.raw(Inst::Ld { dst, base, disp });
+    }
+
+    /// `st [base+disp], src`.
+    pub fn st(&mut self, base: Reg, src: Reg, disp: i32) {
+        self.raw(Inst::St { base, src, disp });
+    }
+
+    /// `ld8 dst, [base+disp]`.
+    pub fn ld8(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.raw(Inst::Ld8 { dst, base, disp });
+    }
+
+    /// `st8 [base+disp], src`.
+    pub fn st8(&mut self, base: Reg, src: Reg, disp: i32) {
+        self.raw(Inst::St8 { base, src, disp });
+    }
+
+    /// `push src`.
+    pub fn push(&mut self, src: Reg) {
+        self.raw(Inst::Push { src });
+    }
+
+    /// `pop dst`.
+    pub fn pop(&mut self, dst: Reg) {
+        self.raw(Inst::Pop { dst });
+    }
+
+    /// `cmov<cc> dst, src`.
+    pub fn cmov(&mut self, cc: Cond, dst: Reg, src: Reg) {
+        self.raw(Inst::CMov { cc, dst, src });
+    }
+
+    // ---- ALU -----------------------------------------------------------
+
+    /// `op dst, src` (flags written).
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) {
+        self.raw(Inst::Alu { op, dst, src });
+    }
+
+    /// `op dst, imm` (flags written).
+    pub fn alui(&mut self, op: AluOp, dst: Reg, imm: i32) {
+        self.raw(Inst::AluI { op, dst, imm });
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp(&mut self, a: Reg, b: Reg) {
+        self.alu(AluOp::Cmp, a, b);
+    }
+
+    /// `cmp a, imm`.
+    pub fn cmpi(&mut self, a: Reg, imm: i32) {
+        self.alui(AluOp::Cmp, a, imm);
+    }
+
+    /// `lea dst, [base+disp]` (no flags).
+    pub fn lea(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.raw(Inst::Lea { dst, base, disp });
+    }
+
+    /// `lea dst, [base+index+disp]` (no flags).
+    pub fn lea2(&mut self, dst: Reg, base: Reg, index: Reg, disp: i32) {
+        self.raw(Inst::Lea2 { dst, base, index, disp });
+    }
+
+    /// `lea dst, [base-index+disp]` (no flags).
+    pub fn leasub(&mut self, dst: Reg, base: Reg, index: Reg, disp: i32) {
+        self.raw(Inst::LeaSub { dst, base, index, disp });
+    }
+
+    // ---- control flow ---------------------------------------------------
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, label: impl Into<String>) {
+        self.slots.push(Slot::Branch { kind: BranchKind::Jmp, label: label.into() });
+    }
+
+    /// `j<cc> label`.
+    pub fn jcc(&mut self, cc: Cond, label: impl Into<String>) {
+        self.slots.push(Slot::Branch { kind: BranchKind::Jcc(cc), label: label.into() });
+    }
+
+    /// `jrz src, label` (flag-free).
+    pub fn jrz(&mut self, src: Reg, label: impl Into<String>) {
+        self.slots.push(Slot::Branch { kind: BranchKind::JRz(src), label: label.into() });
+    }
+
+    /// `jrnz src, label` (flag-free).
+    pub fn jrnz(&mut self, src: Reg, label: impl Into<String>) {
+        self.slots.push(Slot::Branch { kind: BranchKind::JRnz(src), label: label.into() });
+    }
+
+    /// `call label`.
+    pub fn call(&mut self, label: impl Into<String>) {
+        self.slots.push(Slot::Branch { kind: BranchKind::Call, label: label.into() });
+    }
+
+    /// `call target` (indirect).
+    pub fn callr(&mut self, target: Reg) {
+        self.raw(Inst::CallR { target });
+    }
+
+    /// `jmp target` (indirect).
+    pub fn jmpr(&mut self, target: Reg) {
+        self.raw(Inst::JmpR { target });
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.raw(Inst::Ret);
+    }
+
+    // ---- misc -----------------------------------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.raw(Inst::Nop);
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) {
+        self.raw(Inst::Halt);
+    }
+
+    /// `out src`.
+    pub fn out(&mut self, src: Reg) {
+        self.raw(Inst::Out { src });
+    }
+
+    /// `trap code`.
+    pub fn trap(&mut self, code: u32) {
+        self.raw(Inst::Trap { code });
+    }
+
+    /// Resolves all labels and produces the linked [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Reports duplicate or undefined labels, an undefined entry label, and
+    /// displacement overflow.
+    pub fn assemble(&self, entry: &str) -> Result<Image, AsmError> {
+        if let Some(dup) = &self.duplicate {
+            return Err(AsmError::DuplicateLabel(dup.clone()));
+        }
+        let entry_offset =
+            *self.labels.get(entry).ok_or_else(|| AsmError::UndefinedEntry(entry.to_string()))?;
+
+        let lookup = |label: &str| -> Result<u64, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+        };
+
+        let mut insts = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let pc = idx as u64 * INST_SIZE_U64;
+            let inst = match slot {
+                Slot::Fixed(i) => *i,
+                Slot::Branch { kind, label } => {
+                    let target = lookup(label)?;
+                    let disp = target as i64 - (pc as i64 + INST_SIZE_U64 as i64);
+                    let offset = i32::try_from(disp)
+                        .map_err(|_| AsmError::OffsetOverflow { label: label.clone() })?;
+                    match kind {
+                        BranchKind::Jmp => Inst::Jmp { offset },
+                        BranchKind::Jcc(cc) => Inst::Jcc { cc: *cc, offset },
+                        BranchKind::JRz(src) => Inst::JRz { src: *src, offset },
+                        BranchKind::JRnz(src) => Inst::JRnz { src: *src, offset },
+                        BranchKind::Call => Inst::Call { offset },
+                    }
+                }
+                Slot::MovLabel { dst, label } => {
+                    let addr = self.base + lookup(label)?;
+                    let imm = i32::try_from(addr)
+                        .map_err(|_| AsmError::OffsetOverflow { label: label.clone() })?;
+                    Inst::MovRI { dst: *dst, imm }
+                }
+            };
+            insts.push(inst);
+        }
+
+        let symbols =
+            self.labels.iter().map(|(name, off)| (name.clone(), self.base + off)).collect();
+        Ok(Image::new(insts, self.base, entry_offset, symbols, self.data.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new();
+        a.label("start");
+        a.jmp("fwd"); // 0 -> 16: offset 8
+        a.nop(); // 8
+        a.label("fwd");
+        a.jcc(Cond::E, "start"); // 16 -> 0: offset -24
+        a.halt();
+        let img = a.assemble("start").unwrap();
+        assert_eq!(img.insts()[0], Inst::Jmp { offset: 8 });
+        assert_eq!(img.insts()[2], Inst::Jcc { cc: Cond::E, offset: -24 });
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble("x").unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut a = Asm::new();
+        a.label("start");
+        a.jmp("nowhere");
+        assert_eq!(a.assemble("start").unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn undefined_entry_reported() {
+        let mut a = Asm::new();
+        a.halt();
+        assert_eq!(a.assemble("main").unwrap_err(), AsmError::UndefinedEntry("main".into()));
+    }
+
+    #[test]
+    fn mov_label_materializes_absolute_address() {
+        let mut a = Asm::new();
+        a.label("start");
+        a.mov_label(Reg::R1, "func");
+        a.halt();
+        a.label("func");
+        a.ret();
+        let img = a.assemble("start").unwrap();
+        assert_eq!(img.insts()[0], Inst::MovRI { dst: Reg::R1, imm: (DEFAULT_CODE_BASE + 16) as i32 });
+        assert_eq!(img.symbol("func"), Some(DEFAULT_CODE_BASE + 16));
+    }
+
+    #[test]
+    fn data_section_layout() {
+        let mut a = Asm::new();
+        let p0 = a.data_u64(&[1, 2, 3]);
+        let p1 = a.data_bytes(b"hi");
+        let p2 = a.data_u64(&[9]); // must be realigned
+        let p3 = a.data_zeroed(64);
+        assert_eq!(p0, DEFAULT_DATA_BASE);
+        assert_eq!(p1, DEFAULT_DATA_BASE + 24);
+        assert_eq!(p2 % 8, 0);
+        assert_eq!(p3 % 8, 0);
+        a.label("start");
+        a.halt();
+        let img = a.assemble("start").unwrap();
+        assert_eq!(&img.data()[0..8], &1u64.to_le_bytes());
+        assert!(img.data().len() as u64 >= p3 - DEFAULT_DATA_BASE + 64);
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut a = Asm::new();
+        let l1 = a.fresh_label("loop");
+        let l2 = a.fresh_label("loop");
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new();
+        assert_eq!(a.here(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 16);
+    }
+
+    #[test]
+    fn jrz_jrnz_resolve() {
+        let mut a = Asm::new();
+        a.label("start");
+        a.jrz(Reg::R8, "out"); // 0 -> 16
+        a.jrnz(Reg::R8, "start"); // 8 -> 0
+        a.label("out");
+        a.halt();
+        let img = a.assemble("start").unwrap();
+        assert_eq!(img.insts()[0], Inst::JRz { src: Reg::R8, offset: 8 });
+        assert_eq!(img.insts()[1], Inst::JRnz { src: Reg::R8, offset: -16 });
+    }
+}

@@ -1,0 +1,219 @@
+//! A simple binary object-file format for linked [`Image`]s, so assembled
+//! programs can be saved to disk and reloaded (e.g. precompiled workloads,
+//! corpus files for fault campaigns).
+//!
+//! Layout (all integers little endian):
+//!
+//! ```text
+//! magic      "CFED"            4 bytes
+//! version    u32               currently 1
+//! base       u64
+//! entry_off  u64
+//! code_len   u64               bytes (multiple of 8)
+//! data_len   u64
+//! nsymbols   u64
+//! code       code_len bytes
+//! data       data_len bytes
+//! symbols    nsymbols × { name_len u32, name bytes, addr u64 }
+//! ```
+
+use crate::image::Image;
+use cfed_isa::decode_all;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"CFED";
+const VERSION: u32 = 1;
+
+/// Error from decoding an object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The file is shorter than its headers claim.
+    Truncated,
+    /// A symbol name is not valid UTF-8.
+    BadSymbolName,
+    /// The code section does not decode as instructions.
+    BadCode(String),
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::BadMagic => write!(f, "not a CFED object file"),
+            ObjectError::BadVersion(v) => write!(f, "unsupported object version {v}"),
+            ObjectError::Truncated => write!(f, "object file truncated"),
+            ObjectError::BadSymbolName => write!(f, "symbol name is not valid UTF-8"),
+            ObjectError::BadCode(m) => write!(f, "code section invalid: {m}"),
+        }
+    }
+}
+
+impl Error for ObjectError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjectError> {
+        let end = self.pos.checked_add(n).ok_or(ObjectError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(ObjectError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, ObjectError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ObjectError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl Image {
+    /// Serializes the image to the CFED object format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_asm::{Asm, Image};
+    ///
+    /// let mut a = Asm::new();
+    /// a.label("start");
+    /// a.halt();
+    /// let image = a.assemble("start").unwrap();
+    /// let bytes = image.to_object_bytes();
+    /// let back = Image::from_object_bytes(&bytes).unwrap();
+    /// assert_eq!(back.code(), image.code());
+    /// assert_eq!(back.entry(), image.entry());
+    /// ```
+    pub fn to_object_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.base().to_le_bytes());
+        out.extend_from_slice(&self.entry_offset().to_le_bytes());
+        out.extend_from_slice(&(self.code().len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.data().len() as u64).to_le_bytes());
+        let symbols: Vec<(&str, u64)> = self.symbols().collect();
+        out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.code());
+        out.extend_from_slice(self.data());
+        for (name, addr) in symbols {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&addr.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes an image from the CFED object format, re-decoding and
+    /// validating the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ObjectError`] variant on malformed input.
+    pub fn from_object_bytes(bytes: &[u8]) -> Result<Image, ObjectError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ObjectError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(ObjectError::BadVersion(version));
+        }
+        let base = r.u64()?;
+        let entry_offset = r.u64()?;
+        let code_len = r.u64()? as usize;
+        let data_len = r.u64()? as usize;
+        let nsymbols = r.u64()? as usize;
+        let code = r.take(code_len)?.to_vec();
+        let data = r.take(data_len)?.to_vec();
+        let mut symbols = BTreeMap::new();
+        for _ in 0..nsymbols {
+            let name_len = r.u32()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| ObjectError::BadSymbolName)?
+                .to_string();
+            let addr = r.u64()?;
+            symbols.insert(name, addr);
+        }
+        let insts = decode_all(&code)
+            .map_err(|(off, e)| ObjectError::BadCode(format!("at offset {off}: {e}")))?;
+        Ok(Image::new(insts, base, entry_offset, symbols, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+    use cfed_isa::{AluOp, Cond, Reg};
+
+    fn sample() -> Image {
+        let mut a = Asm::new();
+        a.data_u64(&[1, 2, 3]);
+        a.label("start");
+        a.movri(Reg::R0, 5);
+        a.label("loop");
+        a.alui(AluOp::Sub, Reg::R0, 1);
+        a.jcc(Cond::Ne, "loop");
+        a.halt();
+        a.assemble("start").unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let img = sample();
+        let bytes = img.to_object_bytes();
+        let back = Image::from_object_bytes(&bytes).unwrap();
+        assert_eq!(back.code(), img.code());
+        assert_eq!(back.data(), img.data());
+        assert_eq!(back.base(), img.base());
+        assert_eq!(back.entry(), img.entry());
+        assert_eq!(back.insts(), img.insts());
+        let a: Vec<_> = img.symbols().collect();
+        let b: Vec<_> = back.symbols().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Image::from_object_bytes(b"ELF!xxxxxxxx").unwrap_err(), ObjectError::BadMagic);
+        assert_eq!(Image::from_object_bytes(b"").unwrap_err(), ObjectError::Truncated);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().to_object_bytes();
+        bytes[4] = 99;
+        assert_eq!(Image::from_object_bytes(&bytes).unwrap_err(), ObjectError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample().to_object_bytes();
+        for cut in [5, 20, 44, bytes.len() - 1] {
+            assert!(
+                Image::from_object_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_code_rejected() {
+        let img = sample();
+        let mut bytes = img.to_object_bytes();
+        // First code byte is at offset 4+4+8+8+8+8+8 = 48.
+        bytes[48] = 0xEE;
+        assert!(matches!(Image::from_object_bytes(&bytes), Err(ObjectError::BadCode(_))));
+    }
+}

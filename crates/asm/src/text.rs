@@ -1,0 +1,495 @@
+//! Textual assembly parser: the file-format front end of [`Asm`].
+//!
+//! The accepted syntax mirrors the disassembler's output, one instruction
+//! per line, with `;` or `//` comments and `label:` definitions:
+//!
+//! ```text
+//! start:
+//!     mov   r0, 10        ; immediate
+//! loop:
+//!     sub   r0, 1
+//!     jne   loop          ; conditional branch to label
+//!     ld    r1, [sp+8]
+//!     st    [r2-8], r1
+//!     lea   r8, [r8+r9+4]
+//!     mov   r3, &loop     ; address of a label
+//!     jrz   r3, done
+//!     call  helper
+//!     ret
+//! done:
+//!     halt
+//! ```
+
+use crate::asm::Asm;
+use cfed_isa::{AluOp, Cond, Inst, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Error from the textual assembler, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err(line: u32, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    if tok.eq_ignore_ascii_case("sp") {
+        return Some(Reg::SP);
+    }
+    let rest = tok.strip_prefix('r').or_else(|| tok.strip_prefix('R'))?;
+    rest.parse::<u8>().ok().and_then(Reg::try_new)
+}
+
+fn parse_imm(tok: &str) -> Option<i64> {
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(t) => (true, t),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_imm32(tok: &str, line: u32) -> Result<i32, ParseAsmError> {
+    parse_imm(tok)
+        .and_then(|v| i32::try_from(v).ok())
+        .ok_or_else(|| err(line, format!("expected 32-bit immediate, found `{tok}`")))
+}
+
+/// A parsed memory operand `[base+disp]` / `[base+index+disp]` /
+/// `[base-index+disp]`.
+struct MemOp {
+    base: Reg,
+    index: Option<(Reg, bool)>, // (reg, negated)
+    disp: i32,
+}
+
+fn parse_mem(tok: &str, line: u32) -> Result<MemOp, ParseAsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [base+disp], found `{tok}`")))?;
+    // Split into signed terms.
+    let mut terms: Vec<(bool, String)> = Vec::new();
+    let mut current = String::new();
+    let mut sign = false;
+    for ch in inner.chars() {
+        match ch {
+            '+' | '-' if !current.is_empty() => {
+                terms.push((sign, std::mem::take(&mut current)));
+                sign = ch == '-';
+            }
+            '+' => sign = false,
+            '-' => sign = true,
+            c if c.is_whitespace() => {}
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        terms.push((sign, current));
+    }
+    let mut base = None;
+    let mut index = None;
+    let mut disp = 0i64;
+    for (neg, t) in terms {
+        if let Some(r) = parse_reg(&t) {
+            if base.is_none() && !neg {
+                base = Some(r);
+            } else if index.is_none() {
+                index = Some((r, neg));
+            } else {
+                return Err(err(line, "too many registers in memory operand"));
+            }
+        } else if let Some(v) = parse_imm(&t) {
+            disp += if neg { -v } else { v };
+        } else {
+            return Err(err(line, format!("bad memory operand term `{t}`")));
+        }
+    }
+    let base = base.ok_or_else(|| err(line, "memory operand needs a base register"))?;
+    let disp = i32::try_from(disp).map_err(|_| err(line, "displacement overflows 32 bits"))?;
+    Ok(MemOp { base, index, disp })
+}
+
+fn cond_from_suffix(s: &str) -> Option<Cond> {
+    Some(match s {
+        "e" | "z" => Cond::E,
+        "ne" | "nz" => Cond::Ne,
+        "l" => Cond::L,
+        "le" => Cond::Le,
+        "g" => Cond::G,
+        "ge" => Cond::Ge,
+        "b" => Cond::B,
+        "be" => Cond::Be,
+        "a" => Cond::A,
+        "ae" => Cond::Ae,
+        "s" => Cond::S,
+        "ns" => Cond::Ns,
+        "o" => Cond::O,
+        "no" => Cond::No,
+        "p" => Cond::P,
+        "np" => Cond::Np,
+        _ => return None,
+    })
+}
+
+fn alu_from_mnemonic(s: &str) -> Option<AluOp> {
+    Some(match s {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "cmp" => AluOp::Cmp,
+        "test" => AluOp::Test,
+        _ => return None,
+    })
+}
+
+/// Parses assembly text into an [`Asm`] builder (call
+/// [`Asm::assemble`] on the result to link it).
+///
+/// # Errors
+///
+/// Reports the first malformed line; label resolution errors surface later
+/// from [`Asm::assemble`].
+///
+/// # Examples
+///
+/// ```
+/// use cfed_asm::parse_asm;
+///
+/// let asm = parse_asm(
+///     "start:\n    mov r0, 5\nloop:\n    sub r0, 1\n    jne loop\n    halt\n",
+/// )?;
+/// let image = asm.assemble("start").unwrap();
+/// assert_eq!(image.len(), 4);
+/// # Ok::<(), cfed_asm::ParseAsmError>(())
+/// ```
+pub fn parse_asm(text: &str) -> Result<Asm, ParseAsmError> {
+    let mut a = Asm::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        // Strip comments.
+        let code = raw.split(';').next().unwrap_or("");
+        let code = code.split("//").next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Label definitions (possibly followed by an instruction).
+        let mut rest = code;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            a.label(label);
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        parse_inst(&mut a, rest, line)?;
+    }
+    Ok(a)
+}
+
+fn parse_inst(a: &mut Asm, code: &str, line: u32) -> Result<(), ParseAsmError> {
+    let (mnemonic, operands) = match code.find(char::is_whitespace) {
+        Some(i) => (&code[..i], code[i..].trim()),
+        None => (code, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let ops: Vec<&str> =
+        operands.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+
+    let need = |n: usize| -> Result<(), ParseAsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mnemonic}` expects {n} operand(s), found {}", ops.len())))
+        }
+    };
+    let reg = |tok: &str| -> Result<Reg, ParseAsmError> {
+        parse_reg(tok).ok_or_else(|| err(line, format!("expected register, found `{tok}`")))
+    };
+
+    match mnemonic.as_str() {
+        "nop" => {
+            need(0)?;
+            a.nop();
+        }
+        "halt" => {
+            need(0)?;
+            a.halt();
+        }
+        "ret" => {
+            need(0)?;
+            a.ret();
+        }
+        "out" => {
+            need(1)?;
+            a.out(reg(ops[0])?);
+        }
+        "trap" => {
+            need(1)?;
+            let code = parse_imm(ops[0])
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| err(line, format!("expected trap code, found `{}`", ops[0])))?;
+            a.trap(code);
+        }
+        "push" => {
+            need(1)?;
+            a.push(reg(ops[0])?);
+        }
+        "pop" => {
+            need(1)?;
+            a.pop(reg(ops[0])?);
+        }
+        "neg" => {
+            need(1)?;
+            a.raw(Inst::Neg { dst: reg(ops[0])? });
+        }
+        "not" => {
+            need(1)?;
+            a.raw(Inst::Not { dst: reg(ops[0])? });
+        }
+        "mov" => {
+            need(2)?;
+            let dst = reg(ops[0])?;
+            if let Some(label) = ops[1].strip_prefix('&') {
+                a.mov_label(dst, label);
+            } else if let Some(src) = parse_reg(ops[1]) {
+                a.movrr(dst, src);
+            } else {
+                a.movri(dst, parse_imm32(ops[1], line)?);
+            }
+        }
+        "ld" | "ld8" => {
+            need(2)?;
+            let dst = reg(ops[0])?;
+            let m = parse_mem(ops[1], line)?;
+            if m.index.is_some() {
+                return Err(err(line, "loads take [base+disp] operands"));
+            }
+            if mnemonic == "ld" {
+                a.ld(dst, m.base, m.disp);
+            } else {
+                a.ld8(dst, m.base, m.disp);
+            }
+        }
+        "st" | "st8" => {
+            need(2)?;
+            let m = parse_mem(ops[0], line)?;
+            if m.index.is_some() {
+                return Err(err(line, "stores take [base+disp] operands"));
+            }
+            let src = reg(ops[1])?;
+            if mnemonic == "st" {
+                a.st(m.base, src, m.disp);
+            } else {
+                a.st8(m.base, src, m.disp);
+            }
+        }
+        "lea" => {
+            need(2)?;
+            let dst = reg(ops[0])?;
+            let m = parse_mem(ops[1], line)?;
+            match m.index {
+                None => a.lea(dst, m.base, m.disp),
+                Some((index, false)) => a.lea2(dst, m.base, index, m.disp),
+                Some((index, true)) => a.leasub(dst, m.base, index, m.disp),
+            }
+        }
+        "jmp" => {
+            need(1)?;
+            match parse_reg(ops[0]) {
+                Some(r) => a.jmpr(r),
+                None => a.jmp(ops[0]),
+            }
+        }
+        "call" => {
+            need(1)?;
+            match parse_reg(ops[0]) {
+                Some(r) => a.callr(r),
+                None => a.call(ops[0]),
+            }
+        }
+        "jrz" => {
+            need(2)?;
+            let r = reg(ops[0])?;
+            a.jrz(r, ops[1]);
+        }
+        "jrnz" => {
+            need(2)?;
+            let r = reg(ops[0])?;
+            a.jrnz(r, ops[1]);
+        }
+        m => {
+            // j<cc> label / cmov<cc> dst, src / ALU ops.
+            if let Some(cc) = m.strip_prefix("cmov").and_then(cond_from_suffix) {
+                need(2)?;
+                let dst = reg(ops[0])?;
+                let src = reg(ops[1])?;
+                a.cmov(cc, dst, src);
+            } else if let Some(cc) = m.strip_prefix('j').and_then(cond_from_suffix) {
+                need(1)?;
+                a.jcc(cc, ops[0]);
+            } else if let Some(op) = alu_from_mnemonic(m) {
+                need(2)?;
+                let dst = reg(ops[0])?;
+                if let Some(src) = parse_reg(ops[1]) {
+                    a.alu(op, dst, src);
+                } else {
+                    a.alui(op, dst, parse_imm32(ops[1], line)?);
+                }
+            } else {
+                return Err(err(line, format!("unknown mnemonic `{m}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_isa::Inst;
+
+    fn parse_one(line: &str) -> Inst {
+        let asm = parse_asm(&format!("start:\n{line}\n")).expect("parses");
+        let image = asm.assemble("start").expect("assembles");
+        image.insts()[0]
+    }
+
+    #[test]
+    fn basic_instructions() {
+        assert_eq!(parse_one("nop"), Inst::Nop);
+        assert_eq!(parse_one("halt"), Inst::Halt);
+        assert_eq!(parse_one("mov r3, -7"), Inst::MovRI { dst: Reg::R3, imm: -7 });
+        assert_eq!(parse_one("mov r3, 0x10"), Inst::MovRI { dst: Reg::R3, imm: 16 });
+        assert_eq!(parse_one("mov r3, r4"), Inst::MovRR { dst: Reg::R3, src: Reg::R4 });
+        assert_eq!(parse_one("add r1, r2"), Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R2 });
+        assert_eq!(parse_one("cmp r1, 0"), Inst::AluI { op: AluOp::Cmp, dst: Reg::R1, imm: 0 });
+        assert_eq!(parse_one("push sp"), Inst::Push { src: Reg::SP });
+        assert_eq!(parse_one("out r0"), Inst::Out { src: Reg::R0 });
+        assert_eq!(parse_one("trap 0xC0DE0001"), Inst::Trap { code: 0xC0DE_0001 });
+    }
+
+    #[test]
+    fn memory_operands() {
+        assert_eq!(parse_one("ld r1, [sp+8]"), Inst::Ld { dst: Reg::R1, base: Reg::SP, disp: 8 });
+        assert_eq!(parse_one("st [r2-16], r3"), Inst::St { base: Reg::R2, src: Reg::R3, disp: -16 });
+        assert_eq!(parse_one("ld8 r1, [r2+0]"), Inst::Ld8 { dst: Reg::R1, base: Reg::R2, disp: 0 });
+        assert_eq!(parse_one("ld r1, [r2]"), Inst::Ld { dst: Reg::R1, base: Reg::R2, disp: 0 });
+    }
+
+    #[test]
+    fn lea_forms() {
+        assert_eq!(parse_one("lea r8, [r8+100]"), Inst::Lea { dst: Reg::R8, base: Reg::R8, disp: 100 });
+        assert_eq!(
+            parse_one("lea r8, [r9+r10+4]"),
+            Inst::Lea2 { dst: Reg::R8, base: Reg::R9, index: Reg::R10, disp: 4 }
+        );
+        assert_eq!(
+            parse_one("lea r8, [r9-r10+4]"),
+            Inst::LeaSub { dst: Reg::R8, base: Reg::R9, index: Reg::R10, disp: 4 }
+        );
+    }
+
+    #[test]
+    fn branches_and_labels() {
+        let asm = parse_asm(
+            "start: mov r0, 3\nloop:\n  sub r0, 1\n  jne loop\n  jrz r0, done\ndone: halt\n",
+        )
+        .unwrap();
+        let image = asm.assemble("start").unwrap();
+        assert_eq!(image.insts()[2], Inst::Jcc { cc: Cond::Ne, offset: -16 });
+        assert!(matches!(image.insts()[3], Inst::JRz { src: Reg::R0, .. }));
+    }
+
+    #[test]
+    fn indirect_and_address_of() {
+        assert_eq!(parse_one("jmp r5"), Inst::JmpR { target: Reg::R5 });
+        assert_eq!(parse_one("call r5"), Inst::CallR { target: Reg::R5 });
+        let asm = parse_asm("start: mov r1, &start\n halt\n").unwrap();
+        let image = asm.assemble("start").unwrap();
+        assert_eq!(image.insts()[0], Inst::MovRI { dst: Reg::R1, imm: image.base() as i32 });
+    }
+
+    #[test]
+    fn cmov_and_cc_aliases() {
+        assert_eq!(
+            parse_one("cmovle r1, r2"),
+            Inst::CMov { cc: Cond::Le, dst: Reg::R1, src: Reg::R2 }
+        );
+        let asm = parse_asm("start: jz start\n jnz start\n jge start\n halt\n").unwrap();
+        let image = asm.assemble("start").unwrap();
+        assert!(matches!(image.insts()[0], Inst::Jcc { cc: Cond::E, .. }));
+        assert!(matches!(image.insts()[1], Inst::Jcc { cc: Cond::Ne, .. }));
+        assert!(matches!(image.insts()[2], Inst::Jcc { cc: Cond::Ge, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let asm = parse_asm(
+            "; full line comment\nstart:  // another\n  nop ; trailing\n\n  halt\n",
+        )
+        .unwrap();
+        assert_eq!(asm.assemble("start").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("start:\n  nop\n  bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+        let e = parse_asm("  mov r1\n").unwrap_err();
+        assert!(e.message.contains("expects 2"));
+        let e = parse_asm("  mov r99, 1\n").unwrap_err();
+        assert!(e.message.contains("register"));
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler_mnemonics() {
+        // Parse a program, disassemble it, re-parse the disassembly of the
+        // register/immediate instructions (branch offsets print as relative
+        // numbers, so only non-branch lines round-trip textually).
+        let src = "start:\n mov r1, 10\n add r1, r2\n lea r8, [r8+r9+1]\n st [sp-8], r1\n halt\n";
+        let image = parse_asm(src).unwrap().assemble("start").unwrap();
+        for inst in image.insts() {
+            if inst.is_branch() {
+                continue;
+            }
+            let text = inst.to_string();
+            let reparsed = parse_one(&text);
+            assert_eq!(reparsed, *inst, "`{text}` did not round-trip");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Fault-injection coverage matrix: the experiment the paper lists as
+//! future work. Injects single-bit faults (offset and flag bits) into
+//! DBT-translated code and tallies outcomes per branch-error category for
+//! the uninstrumented baseline and each technique.
+//!
+//! Usage: `cargo run --release -p cfed-bench --bin coverage_matrix [--trials <n>]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--trials expects a number"))
+        .unwrap_or(150);
+    use cfed_dbt::UpdateStyle;
+    println!("=== CMOVcc update style (safe configurations) ===");
+    let rows = cfed_bench::coverage(trials, UpdateStyle::CMov);
+    println!("{}", cfed_bench::render_coverage(&rows));
+    println!("\n=== Jcc update style (EdgCF/ECF unsafe: inserted selector branches) ===");
+    let rows = cfed_bench::coverage(trials, UpdateStyle::Jcc);
+    println!("{}", cfed_bench::render_coverage(&rows));
+}

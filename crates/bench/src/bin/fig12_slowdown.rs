@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 12: per-benchmark slowdown of the RCF,
+//! EdgCF and ECF techniques over the uninstrumented DBT (Jcc update, ALLBB
+//! policy), with per-suite and overall geometric means, plus the §6
+//! DBT-over-native baseline statistic.
+//!
+//! Usage: `cargo run --release -p cfed-bench --bin fig12_slowdown [--scale test|full|<n>]`
+
+fn main() {
+    let scale = cfed_bench::scale_from_args();
+    let rows = cfed_bench::fig12(scale);
+    println!("{}", cfed_bench::render_fig12(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 14: geomean slowdown when conditional
+//! signature updates use inserted branches (Jcc) versus conditional moves
+//! (CMOVcc), for each technique. The Jcc rows of EdgCF/ECF are the paper's
+//! "unsafe" configurations.
+//!
+//! Usage: `cargo run --release -p cfed-bench --bin fig14_update_style [--scale test|full|<n>]`
+
+fn main() {
+    let scale = cfed_bench::scale_from_args();
+    let m = cfed_bench::fig14(scale);
+    println!("{}", cfed_bench::render_fig14(&m));
+}

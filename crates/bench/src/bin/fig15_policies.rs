@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 15: RCF slowdown under the four signature
+//! checking policies (ALLBB, RET-BE, RET, END) per benchmark.
+//!
+//! Usage: `cargo run --release -p cfed-bench --bin fig15_policies [--scale test|full|<n>]`
+
+fn main() {
+    let scale = cfed_bench::scale_from_args();
+    let rows = cfed_bench::fig15(scale);
+    println!("{}", cfed_bench::render_fig15(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 2 (branch-error probability tables for
+//! the SPEC-Int and SPEC-Fp analog suites) and Figure 3 (probabilities
+//! restricted to the SDC-prone categories A–E).
+//!
+//! Usage: `cargo run --release -p cfed-bench --bin fig2_error_model [--scale test|full|<n>]`
+
+fn main() {
+    let scale = cfed_bench::scale_from_args();
+    let fig = cfed_bench::fig2(scale);
+    println!("{}", fig.int.render("Figure 2 — SPEC-Int 2000 (analog suite)"));
+    println!("{}", fig.fp.render("Figure 2 — SPEC-Fp 2000 (analog suite)"));
+    println!("{}", cfed_bench::render_fig3(&fig));
+}

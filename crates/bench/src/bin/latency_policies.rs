@@ -1,0 +1,18 @@
+//! Extension experiment: mean detection latency (instructions between fault
+//! injection and the signature-check report) under each checking policy —
+//! the quantitative form of §6's delay-to-report discussion. Relaxed
+//! policies trade much longer reporting delays for lower overhead.
+//!
+//! Usage: `cargo run --release -p cfed-bench --bin latency_policies [--trials <n>]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--trials expects a number"))
+        .unwrap_or(150);
+    let rows = cfed_bench::latency_by_policy(trials);
+    println!("{}", cfed_bench::render_latency(&rows));
+}

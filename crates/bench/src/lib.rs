@@ -1,0 +1,465 @@
+//! # cfed-bench — experiment harnesses
+//!
+//! Functions that regenerate every table and figure of the paper's
+//! evaluation, shared by the `fig*` binaries and the integration tests:
+//!
+//! | paper artifact | function | binary |
+//! |---|---|---|
+//! | Figure 2 (error-model table) | [`fig2`] | `fig2_error_model` |
+//! | Figure 3 (SDC-prone categories) | [`fig2`] (derived) | `fig2_error_model` |
+//! | Figure 12 (per-benchmark slowdown) | [`fig12`] | `fig12_slowdown` |
+//! | Figure 14 (Jcc vs CMOVcc) | [`fig14`] | `fig14_update_style` |
+//! | Figure 15 (checking policies) | [`fig15`] | `fig15_policies` |
+//! | §3/§4 coverage claims | [`coverage`] | `coverage_matrix` |
+
+use cfed_core::{geomean, run_dbt, run_native, Category, RunConfig, TechniqueKind};
+use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_fault::{analyze_image, Campaign, CategoryStats, ErrorModelTable};
+use cfed_workloads::{Scale, Suite, Workload, ALL};
+
+/// Parses the `--scale` CLI argument shared by all harness binaries.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("test") => Scale::Test,
+            Some("full") | None => Scale::Full,
+            Some(n) => Scale::Custom(n.parse().expect("--scale expects test|full|<number>")),
+        },
+        None => Scale::Full,
+    }
+}
+
+fn image(w: &Workload, scale: Scale) -> cfed_asm::Image {
+    w.image(scale).unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name))
+}
+
+// ----------------------------------------------------------------------
+// Figure 2 / Figure 3
+// ----------------------------------------------------------------------
+
+/// Error-model results for both suites.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Aggregated SPEC-Int analog table.
+    pub int: ErrorModelTable,
+    /// Aggregated SPEC-Fp analog table.
+    pub fp: ErrorModelTable,
+}
+
+/// Runs the §2 single-bit error model over both suites (Figures 2 and 3).
+pub fn fig2(scale: Scale) -> Fig2 {
+    let mut int = ErrorModelTable::default();
+    let mut fp = ErrorModelTable::default();
+    for w in &ALL {
+        let report = analyze_image(&image(w, scale), 500_000_000);
+        match w.suite {
+            Suite::Int => int.merge(&report.table),
+            Suite::Fp => fp.merge(&report.table),
+        }
+    }
+    Fig2 { int, fp }
+}
+
+/// Renders the Figure 3 view (probabilities over categories A–E only).
+pub fn render_fig3(fig: &Fig2) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3 — branch-error probabilities over categories A–E");
+    let _ = writeln!(out, "{:>9} | {:>9} | {:>9}", "Category", "SPEC-Int", "SPEC-Fp");
+    let _ = writeln!(out, "{}", "-".repeat(35));
+    let ints = fig.int.sdc_restricted();
+    let fps = fig.fp.sdc_restricted();
+    for i in 0..5 {
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>8.2}% | {:>8.2}%",
+            ints[i].0.to_string(),
+            100.0 * ints[i].1,
+            100.0 * fps[i].1
+        );
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Figure 12
+// ----------------------------------------------------------------------
+
+/// One benchmark row of Figure 12.
+#[derive(Debug, Clone)]
+pub struct SlowdownRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Slowdown of RCF / EdgCF / ECF over the uninstrumented DBT.
+    pub rcf: f64,
+    /// EdgCF slowdown.
+    pub edgcf: f64,
+    /// ECF slowdown.
+    pub ecf: f64,
+    /// DBT baseline over native execution (§6's ~12% statistic).
+    pub dbt_over_native: f64,
+}
+
+/// Figure 12 data: per-benchmark technique slowdowns (Jcc update, ALLBB).
+pub fn fig12(scale: Scale) -> Vec<SlowdownRow> {
+    ALL.iter()
+        .map(|w| {
+            let img = image(w, scale);
+            let native = run_native(&img, u64::MAX);
+            let base = run_dbt(&img, &RunConfig::baseline());
+            let cycles = |kind| run_dbt(&img, &RunConfig::technique(kind)).cycles as f64;
+            SlowdownRow {
+                name: w.name,
+                suite: w.suite,
+                rcf: cycles(TechniqueKind::Rcf) / base.cycles as f64,
+                edgcf: cycles(TechniqueKind::EdgCf) / base.cycles as f64,
+                ecf: cycles(TechniqueKind::Ecf) / base.cycles as f64,
+                dbt_over_native: base.cycles as f64 / native.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// Geometric means over a suite filter (`None` = all benchmarks).
+pub fn fig12_geomean(rows: &[SlowdownRow], suite: Option<Suite>) -> (f64, f64, f64) {
+    let sel: Vec<&SlowdownRow> =
+        rows.iter().filter(|r| suite.is_none_or(|s| r.suite == s)).collect();
+    (
+        geomean(&sel.iter().map(|r| r.rcf).collect::<Vec<_>>()),
+        geomean(&sel.iter().map(|r| r.edgcf).collect::<Vec<_>>()),
+        geomean(&sel.iter().map(|r| r.ecf).collect::<Vec<_>>()),
+    )
+}
+
+/// Renders Figure 12 as a table.
+pub fn render_fig12(rows: &[SlowdownRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 12 — slowdown over uninstrumented DBT (Jcc update, ALLBB policy)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>6} | {:>7} {:>7} {:>7} | {:>10}",
+        "benchmark", "suite", "RCF", "EdgCF", "ECF", "DBT/native"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    let print_suite = |suite: Suite, out: &mut String| {
+        for r in rows.iter().filter(|r| r.suite == suite) {
+            let _ = writeln!(
+                out,
+                "{:>14} {:>6} | {:>7.3} {:>7.3} {:>7.3} | {:>10.3}",
+                r.name,
+                if suite == Suite::Int { "int" } else { "fp" },
+                r.rcf,
+                r.edgcf,
+                r.ecf,
+                r.dbt_over_native
+            );
+        }
+        let (rcf, edg, ecf) = fig12_geomean(rows, Some(suite));
+        let label = if suite == Suite::Int { "geomean-int" } else { "geomean-fp" };
+        let _ = writeln!(out, "{label:>21} | {rcf:>7.3} {edg:>7.3} {ecf:>7.3} |");
+    };
+    print_suite(Suite::Fp, &mut out);
+    print_suite(Suite::Int, &mut out);
+    let (rcf, edg, ecf) = fig12_geomean(rows, None);
+    let _ = writeln!(out, "{:>21} | {:>7.3} {:>7.3} {:>7.3} |", "geomean-all", rcf, edg, ecf);
+    let dbt: Vec<f64> = rows.iter().map(|r| r.dbt_over_native).collect();
+    let _ = writeln!(out, "DBT baseline over native (geomean): {:.3}", geomean(&dbt));
+    out
+}
+
+// ----------------------------------------------------------------------
+// Figure 14
+// ----------------------------------------------------------------------
+
+/// Figure 14 data: geomean slowdown for update style × technique.
+pub fn fig14(scale: Scale) -> [[f64; 3]; 2] {
+    let kinds = [TechniqueKind::Rcf, TechniqueKind::EdgCf, TechniqueKind::Ecf];
+    let styles = [UpdateStyle::Jcc, UpdateStyle::CMov];
+    let mut acc = [[Vec::new(), Vec::new(), Vec::new()], [Vec::new(), Vec::new(), Vec::new()]];
+    for w in &ALL {
+        let img = image(w, scale);
+        let base = run_dbt(&img, &RunConfig::baseline()).cycles as f64;
+        for (si, &style) in styles.iter().enumerate() {
+            for (ki, &kind) in kinds.iter().enumerate() {
+                let cfg = RunConfig { technique: Some(kind), style, ..RunConfig::default() };
+                acc[si][ki].push(run_dbt(&img, &cfg).cycles as f64 / base);
+            }
+        }
+    }
+    let mut out = [[0.0; 3]; 2];
+    for s in 0..2 {
+        for k in 0..3 {
+            out[s][k] = geomean(&acc[s][k]);
+        }
+    }
+    out
+}
+
+/// Renders the Figure 14 table.
+pub fn render_fig14(m: &[[f64; 3]; 2]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 14 — geomean slowdown by signature-update instruction");
+    let _ = writeln!(out, "{:>10} | {:>7} {:>7} {:>7}", "update", "RCF", "EdgCF", "ECF");
+    let _ = writeln!(out, "{}", "-".repeat(36));
+    let _ = writeln!(out, "{:>10} | {:>7.3} {:>7.3} {:>7.3}   (EdgCF/ECF unsafe)", "Jcc", m[0][0], m[0][1], m[0][2]);
+    let _ = writeln!(out, "{:>10} | {:>7.3} {:>7.3} {:>7.3}", "CMOVcc", m[1][0], m[1][1], m[1][2]);
+    out
+}
+
+// ----------------------------------------------------------------------
+// Figure 15
+// ----------------------------------------------------------------------
+
+/// One benchmark row of Figure 15 (RCF under the four checking policies).
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Slowdown under ALLBB / RET-BE / RET / END.
+    pub slowdowns: [f64; 4],
+}
+
+/// Figure 15 data: RCF slowdown under each checking policy.
+pub fn fig15(scale: Scale) -> Vec<PolicyRow> {
+    ALL.iter()
+        .map(|w| {
+            let img = image(w, scale);
+            let base = run_dbt(&img, &RunConfig::baseline()).cycles as f64;
+            let mut slowdowns = [0.0; 4];
+            for (i, policy) in CheckPolicy::ALL.into_iter().enumerate() {
+                let cfg = RunConfig {
+                    technique: Some(TechniqueKind::Rcf),
+                    policy,
+                    ..RunConfig::default()
+                };
+                slowdowns[i] = run_dbt(&img, &cfg).cycles as f64 / base;
+            }
+            PolicyRow { name: w.name, suite: w.suite, slowdowns }
+        })
+        .collect()
+}
+
+/// Geomean of a policy column over a suite filter.
+pub fn fig15_geomean(rows: &[PolicyRow], suite: Option<Suite>, policy: usize) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|r| suite.is_none_or(|s| r.suite == s))
+        .map(|r| r.slowdowns[policy])
+        .collect();
+    geomean(&vals)
+}
+
+/// Renders Figure 15 as a table.
+pub fn render_fig15(rows: &[PolicyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 15 — RCF slowdown under the signature checking policies");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>6} | {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "suite", "ALLBB", "RET-BE", "RET", "END"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(58));
+    for suite in [Suite::Fp, Suite::Int] {
+        for r in rows.iter().filter(|r| r.suite == suite) {
+            let _ = writeln!(
+                out,
+                "{:>14} {:>6} | {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                r.name,
+                if suite == Suite::Int { "int" } else { "fp" },
+                r.slowdowns[0],
+                r.slowdowns[1],
+                r.slowdowns[2],
+                r.slowdowns[3]
+            );
+        }
+        let label = if suite == Suite::Int { "geomean-int" } else { "geomean-fp" };
+        let _ = write!(out, "{label:>21} |");
+        for p in 0..4 {
+            let _ = write!(out, " {:>7.3}", fig15_geomean(rows, Some(suite), p));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:>21} |", "geomean-all");
+    for p in 0..4 {
+        let _ = write!(out, " {:>7.3}", fig15_geomean(rows, None, p));
+    }
+    let _ = writeln!(out);
+    out
+}
+
+// ----------------------------------------------------------------------
+// Coverage matrix (fault injection)
+// ----------------------------------------------------------------------
+
+/// Per-technique injection results, per category.
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// `None` is the uninstrumented baseline.
+    pub technique: Option<TechniqueKind>,
+    /// Outcome tallies for categories A–E plus F and NoError.
+    pub per_category: Vec<(Category, CategoryStats)>,
+}
+
+/// Workloads used for injection campaigns (kept small — every injection is
+/// a whole program run).
+pub const COVERAGE_WORKLOADS: [&str; 6] =
+    ["164.gzip", "176.gcc", "181.mcf", "171.swim", "183.equake", "191.fma3d"];
+
+/// Runs fault-injection campaigns for the baseline and each of the five
+/// techniques (the two CFG-dependent prior-work techniques included, via
+/// the hybrid static-CFG path), under the given conditional-update style.
+pub fn coverage(trials_per_workload: u64, style: UpdateStyle) -> Vec<CoverageRow> {
+    let techniques: [Option<TechniqueKind>; 6] = [
+        None,
+        Some(TechniqueKind::Cfcss),
+        Some(TechniqueKind::Ecca),
+        Some(TechniqueKind::Ecf),
+        Some(TechniqueKind::EdgCf),
+        Some(TechniqueKind::Rcf),
+    ];
+    techniques
+        .into_iter()
+        .map(|technique| {
+            let cfg = RunConfig { technique, style, ..RunConfig::default() };
+            let mut totals: Vec<(Category, CategoryStats)> =
+                Category::ALL.iter().map(|&c| (c, CategoryStats::default())).collect();
+            for name in COVERAGE_WORKLOADS {
+                let w = cfed_workloads::by_name(name).expect("known workload");
+                let img = image(w, Scale::Test);
+                let report = Campaign::new(cfg, trials_per_workload).run(&img);
+                for (c, slot) in &mut totals {
+                    let s = report.category(*c);
+                    slot.detected_check += s.detected_check;
+                    slot.detected_hw += s.detected_hw;
+                    slot.other_fault += s.other_fault;
+                    slot.benign += s.benign;
+                    slot.sdc += s.sdc;
+                    slot.timeout += s.timeout;
+                }
+            }
+            CoverageRow { technique, per_category: totals }
+        })
+        .collect()
+}
+
+/// Renders the coverage matrix.
+pub fn render_coverage(rows: &[CoverageRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Coverage matrix — fault injection into translated code ({} trials/workload/technique)",
+        "per config"
+    );
+    for row in rows {
+        let name = row.technique.map_or("baseline".to_string(), |k| k.to_string());
+        let _ = writeln!(out, "\n== {name} ==");
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>8}",
+            "Category", "chk", "hw", "fault", "benign", "SDC", "timeout", "coverage"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(72));
+        for (c, s) in &row.per_category {
+            if s.total() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>7.1}%",
+                c.to_string(),
+                s.detected_check,
+                s.detected_hw,
+                s.other_fault,
+                s.benign,
+                s.sdc,
+                s.timeout,
+                100.0 * s.coverage()
+            );
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Detection latency (extension: quantifies §6's delay-to-report tradeoff)
+// ----------------------------------------------------------------------
+
+/// Mean detection latency per checking policy.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// The checking policy.
+    pub policy: CheckPolicy,
+    /// Mean instructions from injection to the check report.
+    pub mean_latency: f64,
+    /// Fraction of harmful faults detected by checks (vs hardware).
+    pub check_share: f64,
+}
+
+/// Measures mean detection latency of the EdgCF technique under each
+/// checking policy — the quantitative version of §6's qualitative
+/// "the less frequently we check, the more delay it can take to report".
+pub fn latency_by_policy(trials_per_workload: u64) -> Vec<LatencyRow> {
+    CheckPolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            let cfg = RunConfig {
+                technique: Some(TechniqueKind::EdgCf),
+                policy,
+                style: UpdateStyle::CMov,
+                ..RunConfig::default()
+            };
+            let mut lat_sum = 0.0;
+            let mut lat_n = 0u64;
+            let mut chk = 0u64;
+            let mut hw = 0u64;
+            for name in COVERAGE_WORKLOADS {
+                let w = cfed_workloads::by_name(name).expect("known workload");
+                let img = image(w, Scale::Test);
+                let report = Campaign::new(cfg, trials_per_workload).run(&img);
+                if let Some(l) = report.mean_detection_latency() {
+                    lat_sum += l;
+                    lat_n += 1;
+                }
+                let t = report.sdc_prone_total();
+                chk += t.detected_check;
+                hw += t.detected_hw + t.other_fault;
+            }
+            LatencyRow {
+                policy,
+                mean_latency: if lat_n > 0 { lat_sum / lat_n as f64 } else { f64::NAN },
+                check_share: if chk + hw > 0 { chk as f64 / (chk + hw) as f64 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Renders the latency table.
+pub fn render_latency(rows: &[LatencyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Detection latency by checking policy (EdgCF, CMOVcc)");
+    let _ = writeln!(out, "{:>8} | {:>16} | {:>12}", "policy", "mean latency", "check share");
+    let _ = writeln!(out, "{}", "-".repeat(44));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} | {:>11.0} insts | {:>11.1}%",
+            r.policy.to_string(),
+            r.mean_latency,
+            100.0 * r.check_share
+        );
+    }
+    out
+}

@@ -1,0 +1,303 @@
+//! Static control-flow graph recovery from a linked VISA image.
+//!
+//! Used by the error-model analyzer to decide what counts as "the beginning"
+//! versus "the middle" of a basic block (categories B–E), and by the
+//! CFG-dependent techniques (CFCSS, ECCA) that the paper could *not*
+//! implement inside the translate-on-demand DBT (§5).
+//!
+//! Leaders are the classic ones: the entry point, targets of direct
+//! branches, instructions after terminators, and every symbol address (call
+//! targets reached only indirectly still start blocks).
+
+use cfed_asm::Image;
+use cfed_isa::{Inst, INST_SIZE_U64};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Identifies a basic block by index into [`Cfg::blocks`].
+pub type BlockId = usize;
+
+/// A recovered basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Absolute address of the first instruction.
+    pub start: u64,
+    /// One past the last instruction byte.
+    pub end: u64,
+    /// The terminator, when the block ends in one (blocks can also end
+    /// because the next instruction is a leader).
+    pub terminator: Option<Inst>,
+    /// Successor block ids for *direct* edges (taken target, fall-through).
+    /// Indirect targets (returns, register jumps) are not enumerated.
+    pub successors: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// The address range covered by the block.
+    pub fn range(&self) -> Range<u64> {
+        self.start..self.end
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        ((self.end - self.start) / INST_SIZE_U64) as usize
+    }
+
+    /// Whether the block contains no instructions (never true for recovered
+    /// blocks; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A static control-flow graph over an [`Image`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    by_start: BTreeMap<u64, BlockId>,
+    code: Range<u64>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of an image.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_core::cfg::Cfg;
+    /// use cfed_lang::compile;
+    ///
+    /// let image = compile("fn main() { let i = 0; while (i < 3) { i = i + 1; } }")?;
+    /// let cfg = Cfg::recover(&image);
+    /// assert!(cfg.blocks().len() >= 3);
+    /// # Ok::<(), cfed_lang::CompileError>(())
+    /// ```
+    pub fn recover(image: &Image) -> Cfg {
+        let base = image.base();
+        let insts = image.insts();
+        let end = base + insts.len() as u64 * INST_SIZE_U64;
+
+        let mut leaders: BTreeSet<u64> = BTreeSet::new();
+        leaders.insert(image.entry());
+        for (_, addr) in image.symbols() {
+            if (base..end).contains(&addr) {
+                leaders.insert(addr);
+            }
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            let addr = base + i as u64 * INST_SIZE_U64;
+            if let Some(t) = inst.direct_target(addr) {
+                if (base..end).contains(&t) {
+                    leaders.insert(t);
+                }
+            }
+            if inst.is_terminator() {
+                let next = addr + INST_SIZE_U64;
+                if next < end {
+                    leaders.insert(next);
+                }
+            }
+        }
+
+        // Split into blocks at leaders.
+        let leaders: Vec<u64> = leaders.into_iter().collect();
+        let mut blocks = Vec::new();
+        let mut by_start = BTreeMap::new();
+        for (k, &start) in leaders.iter().enumerate() {
+            let limit = leaders.get(k + 1).copied().unwrap_or(end);
+            let mut addr = start;
+            let mut terminator = None;
+            while addr < limit {
+                let inst = insts[((addr - base) / INST_SIZE_U64) as usize];
+                addr += INST_SIZE_U64;
+                if inst.is_terminator() {
+                    terminator = Some(inst);
+                    break;
+                }
+            }
+            let id = blocks.len();
+            by_start.insert(start, id);
+            blocks.push(BasicBlock { start, end: addr, terminator, successors: Vec::new() });
+        }
+
+        // Wire direct successor edges.
+        let mut succ: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
+        for (id, b) in blocks.iter().enumerate() {
+            let term_addr = b.end - INST_SIZE_U64;
+            match b.terminator {
+                Some(t) => {
+                    if let Some(target) = t.direct_target(term_addr) {
+                        if let Some(&tid) = by_start.get(&target) {
+                            succ[id].push(tid);
+                        }
+                    }
+                    if t.falls_through() {
+                        if let Some(&fid) = by_start.get(&b.end) {
+                            succ[id].push(fid);
+                        }
+                    }
+                }
+                None => {
+                    // Split by a leader: unconditional fall-through edge.
+                    if let Some(&fid) = by_start.get(&b.end) {
+                        succ[id].push(fid);
+                    }
+                }
+            }
+        }
+        for (id, s) in succ.into_iter().enumerate() {
+            blocks[id].successors = s;
+        }
+
+        Cfg { blocks, by_start, code: base..end }
+    }
+
+    /// All recovered blocks, ordered by address.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The code region covered by the CFG.
+    pub fn code_range(&self) -> Range<u64> {
+        self.code.clone()
+    }
+
+    /// The block starting exactly at `addr`.
+    pub fn block_at(&self, addr: u64) -> Option<BlockId> {
+        self.by_start.get(&addr).copied()
+    }
+
+    /// The block whose range contains `addr` (byte granularity, like the
+    /// paper's classification).
+    pub fn block_containing(&self, addr: u64) -> Option<BlockId> {
+        let (_, &id) = self.by_start.range(..=addr).next_back()?;
+        (addr < self.blocks[id].end).then_some(id)
+    }
+
+    /// Mean block length in instructions — the structural property that
+    /// separates SPEC-Fp from SPEC-Int behaviour in the paper's results.
+    pub fn mean_block_len(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.blocks.iter().map(BasicBlock::len).sum();
+        total as f64 / self.blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_asm::Asm;
+    use cfed_isa::{Cond, Reg};
+
+    fn diamond() -> Image {
+        // start: cmp; je L1; (then) jmp L2; L1: nop; L2: halt
+        let mut a = Asm::new();
+        a.label("start");
+        a.cmpi(Reg::R0, 0); // b0
+        a.jcc(Cond::E, "L1");
+        a.movri(Reg::R1, 1); // b1 (fall)
+        a.jmp("L2");
+        a.label("L1");
+        a.movri(Reg::R1, 2); // b2
+        a.label("L2");
+        a.halt(); // b3
+        a.assemble("start").unwrap()
+    }
+
+    #[test]
+    fn diamond_blocks_and_edges() {
+        let img = diamond();
+        let cfg = Cfg::recover(&img);
+        assert_eq!(cfg.blocks().len(), 4);
+        let b0 = cfg.block_at(img.base()).unwrap();
+        let succs = &cfg.blocks()[b0].successors;
+        assert_eq!(succs.len(), 2, "conditional branch has two successors");
+        // Both paths converge on the halt block.
+        let l2 = cfg.block_at(img.symbol("L2").unwrap()).unwrap();
+        for &s in succs {
+            let b = &cfg.blocks()[s];
+            assert!(b.successors.contains(&l2) || b.start == cfg.blocks()[l2].start);
+        }
+    }
+
+    #[test]
+    fn block_containing_byte_granularity() {
+        let img = diamond();
+        let cfg = Cfg::recover(&img);
+        let b0 = cfg.block_at(img.base()).unwrap();
+        assert_eq!(cfg.block_containing(img.base() + 3), Some(b0));
+        assert_eq!(cfg.block_containing(img.base() + 8), Some(b0));
+        assert_eq!(cfg.block_containing(img.base().wrapping_sub(1)), None);
+        let end = cfg.code_range().end;
+        assert_eq!(cfg.block_containing(end), None);
+    }
+
+    #[test]
+    fn call_targets_are_leaders() {
+        let mut a = Asm::new();
+        a.label("start");
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let img = a.assemble("start").unwrap();
+        let cfg = Cfg::recover(&img);
+        let f = img.symbol("f").unwrap();
+        assert!(cfg.block_at(f).is_some());
+        // The instruction after the call starts a block too.
+        assert!(cfg.block_at(img.base() + 8).is_some());
+    }
+
+    #[test]
+    fn fallthrough_split_blocks_linked() {
+        // A branch target in the middle of straight-line code splits it.
+        let mut a = Asm::new();
+        a.label("start");
+        a.movri(Reg::R0, 1);
+        a.label("mid"); // leader via the backward branch below
+        a.movri(Reg::R1, 2);
+        a.cmpi(Reg::R0, 5);
+        a.jcc(Cond::Ne, "mid");
+        a.halt();
+        let img = a.assemble("start").unwrap();
+        let cfg = Cfg::recover(&img);
+        let b_start = cfg.block_at(img.base()).unwrap();
+        let b_mid = cfg.block_at(img.symbol("mid").unwrap()).unwrap();
+        assert_eq!(cfg.blocks()[b_start].terminator, None);
+        assert_eq!(cfg.blocks()[b_start].successors, vec![b_mid]);
+        assert!(cfg.blocks()[b_mid].successors.contains(&b_mid), "self loop via back edge");
+    }
+
+    #[test]
+    fn minic_program_block_sizes() {
+        let branchy = cfed_lang::compile(
+            r#"fn main() {
+                let i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { out(i); } else if (i % 3 == 0) { out(i + 1); }
+                    i = i + 1;
+                }
+            }"#,
+        )
+        .unwrap();
+        let straight = cfed_lang::compile(
+            r#"fn main() {
+                let a = 1; let b = 2; let c = 3; let d = 4;
+                a = a * b + c * d + a * c + b * d + a * d + b * c;
+                a = a * b + c * d + a * c + b * d + a * d + b * c;
+                out(a);
+            }"#,
+        )
+        .unwrap();
+        let cfg_b = Cfg::recover(&branchy);
+        let cfg_s = Cfg::recover(&straight);
+        assert!(
+            cfg_s.mean_block_len() > cfg_b.mean_block_len(),
+            "straight-line code has larger blocks ({} vs {})",
+            cfg_s.mean_block_len(),
+            cfg_b.mean_block_len()
+        );
+    }
+}

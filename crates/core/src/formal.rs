@@ -1,0 +1,626 @@
+//! Executable version of the paper's formal framework (§4).
+//!
+//! Section 4 formalizes signature monitoring: blocks are split into head
+//! (`Bh`) and tail (`Bt`) halves so that "jump to the middle of a block" is
+//! representable as a transfer to a tail node; every technique is a pair of
+//! functions `GEN_SIG` (instrumented at node exits / entries) and
+//! `CHECK_SIG`; a technique detects every single control-flow error without
+//! false positives iff it meets the *sufficient* and *necessary* conditions
+//! of §4.4.
+//!
+//! This module makes those definitions executable: a [`SignatureScheme`]
+//! gives a technique's abstract semantics, and
+//! [`find_undetected_single_errors`] exhaustively enumerates bounded single
+//! -error executions over a CFG, returning every error that escapes
+//! checking. The paper's claims become unit tests:
+//!
+//! * EdgCF has **no** undetected single errors (Claim 1: it satisfies the
+//!   sufficient condition) and no false positives (necessary condition);
+//! * ECF's misses are exactly jumps to the middle of the *same* block
+//!   (category C);
+//! * CFCSS misses mistaken branches (A), same-block middles (C), and
+//!   aliased targets (its common-predecessor signature restriction);
+//! * ECCA misses A and C.
+
+use crate::category::Category;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A block index in a [`FormalCfg`].
+pub type BlockId = usize;
+
+/// Head/tail half of a split block (§4.1, Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Part {
+    /// The entry half (`Bh`): no original instructions, may hold
+    /// instrumentation.
+    Head,
+    /// The tail half (`Bt`): all the original instructions.
+    Tail,
+}
+
+/// A node of the split-block graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Node {
+    /// The logical block.
+    pub block: BlockId,
+    /// Which half.
+    pub part: Part,
+}
+
+impl Node {
+    /// Head node of a block.
+    pub fn head(block: BlockId) -> Node {
+        Node { block, part: Part::Head }
+    }
+
+    /// Tail node of a block.
+    pub fn tail(block: BlockId) -> Node {
+        Node { block, part: Part::Tail }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.part {
+            Part::Head => write!(f, "B{}h", self.block),
+            Part::Tail => write!(f, "B{}t", self.block),
+        }
+    }
+}
+
+/// A control-flow graph for the formal model: block 0 is the entry; every
+/// listed successor edge is a legal logical branch target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormalCfg {
+    succs: Vec<Vec<BlockId>>,
+}
+
+impl FormalCfg {
+    /// Builds a CFG from successor lists (`succs[b]` are the blocks `b` may
+    /// branch to; empty means `b` exits the program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a block out of range.
+    pub fn new(succs: Vec<Vec<BlockId>>) -> FormalCfg {
+        let n = succs.len();
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                assert!(s < n, "block {b} has out-of-range successor {s}");
+            }
+        }
+        FormalCfg { succs }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Legal logical successors of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b]
+    }
+
+    /// The abstract signature value of a node: unique per head; tails get
+    /// the head value plus one (distinct from every head because head values
+    /// are spaced).
+    pub fn addr(&self, n: Node) -> u64 {
+        let base = (n.block as u64 + 1) * 0x100;
+        match n.part {
+            Part::Head => base,
+            Part::Tail => base + 1,
+        }
+    }
+}
+
+/// Abstract semantics of one signature-monitoring technique.
+pub trait SignatureScheme {
+    /// The signature state (e.g. `PC'`, or the pair `(PC', RTS)`).
+    type Sig: Clone + PartialEq + fmt::Debug;
+
+    /// Technique name for reports.
+    fn name(&self) -> &'static str;
+
+    /// State on the edge into the entry node.
+    fn initial(&self, cfg: &FormalCfg) -> Self::Sig;
+
+    /// `GEN_SIG` instrumented at the *entry* of `at` (prologue code owned by
+    /// the target block — runs even when control arrives erroneously).
+    fn on_entry(&self, cfg: &FormalCfg, s: &Self::Sig, at: Node) -> Self::Sig {
+        let _ = (cfg, at);
+        s.clone()
+    }
+
+    /// `GEN_SIG` instrumented at the *exit* of `cur`, computed for the
+    /// logical target (the update code is driven by the program's correct
+    /// data; the single fault strikes the branch itself — §2's error model).
+    fn on_exit(&self, cfg: &FormalCfg, s: &Self::Sig, cur: Node, logical: Node) -> Self::Sig;
+
+    /// `CHECK_SIG` at the entry of `at` (evaluated after [`Self::on_entry`]);
+    /// `None` when the technique places no check at this node.
+    fn check(&self, cfg: &FormalCfg, s: &Self::Sig, at: Node) -> Option<bool>;
+}
+
+/// One undetected single control-flow error found by enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndetectedError {
+    /// The node whose exit suffered the error.
+    pub at: Node,
+    /// The logical (correct) target.
+    pub logical: Node,
+    /// The physical (erroneous) target.
+    pub physical: Node,
+    /// Paper §2 category of the error.
+    pub category: Category,
+}
+
+/// Classifies a formal-model error by the paper's taxonomy. `at` is always a
+/// tail node (errors happen at branch instructions, which live in tails).
+pub fn categorize(cfg: &FormalCfg, at: Node, logical: Node, physical: Node) -> Category {
+    debug_assert_eq!(at.part, Part::Tail);
+    if physical.block == at.block {
+        return match physical.part {
+            Part::Head => Category::B,
+            Part::Tail => Category::C,
+        };
+    }
+    if physical.part == Part::Head && cfg.successors(at.block).contains(&physical.block) {
+        // Branch took the wrong — but legal — direction: a mistaken branch.
+        let _ = logical;
+        return Category::A;
+    }
+    match physical.part {
+        Part::Head => Category::D,
+        Part::Tail => Category::E,
+    }
+}
+
+const MAX_PREFIX: usize = 6;
+const MAX_SUFFIX: usize = 6;
+
+/// Exhaustively enumerates bounded single-error executions and returns the
+/// errors no check detects.
+///
+/// An error is *undetected* when some error-free continuation of bounded
+/// length from the physical target passes every check it encounters (with at
+/// least one check encountered — Assumption 2 guarantees a check is
+/// eventually reached).
+pub fn find_undetected_single_errors<S: SignatureScheme>(
+    cfg: &FormalCfg,
+    scheme: &S,
+) -> Vec<UndetectedError> {
+    let mut found = BTreeSet::new();
+    let mut out = Vec::new();
+    // Enumerate error-free prefixes ending at a tail exit.
+    let mut stack: Vec<(BlockId, S::Sig, usize)> = Vec::new();
+    let s0 = scheme.initial(cfg);
+    stack.push((0, s0, 0));
+    while let Some((block, sig_in, depth)) = stack.pop() {
+        // Execute head then tail of `block` error-free.
+        let head = Node::head(block);
+        let tail = Node::tail(block);
+        let s_head = scheme.on_entry(cfg, &sig_in, head);
+        let s_after_head = scheme.on_exit(cfg, &s_head, head, tail);
+        let s_tail = scheme.on_entry(cfg, &s_after_head, tail);
+        // At the tail exit: try every (logical, physical) single error.
+        for &logical_block in cfg.successors(block) {
+            let logical = Node::head(logical_block);
+            let s_exit = scheme.on_exit(cfg, &s_tail, tail, logical);
+            for phys_block in 0..cfg.len() {
+                for part in [Part::Head, Part::Tail] {
+                    let physical = Node { block: phys_block, part };
+                    if physical == logical {
+                        continue;
+                    }
+                    let key = (tail, logical, physical);
+                    if found.contains(&key) {
+                        continue;
+                    }
+                    if escapes_detection(cfg, scheme, &s_exit, physical, MAX_SUFFIX, false) {
+                        found.insert(key);
+                        out.push(UndetectedError {
+                            at: tail,
+                            logical,
+                            physical,
+                            category: categorize(cfg, tail, logical, physical),
+                        });
+                    }
+                }
+            }
+            // Extend the error-free prefix.
+            if depth + 1 < MAX_PREFIX {
+                stack.push((logical_block, s_exit.clone(), depth + 1));
+            }
+        }
+    }
+    out.sort_by_key(|e| (e.at, e.logical, e.physical));
+    out
+}
+
+/// Returns `true` when some bounded error-free continuation from `node`
+/// passes every check it meets and meets at least one (`seen` carries
+/// whether a passing check already happened earlier on this continuation).
+fn escapes_detection<S: SignatureScheme>(
+    cfg: &FormalCfg,
+    scheme: &S,
+    sig: &S::Sig,
+    node: Node,
+    budget: usize,
+    mut seen: bool,
+) -> bool {
+    // Run `node`'s entry instrumentation and check.
+    let s = scheme.on_entry(cfg, sig, node);
+    match scheme.check(cfg, &s, node) {
+        Some(false) => return false, // every continuation through here is detected
+        Some(true) => seen = true,
+        None => {}
+    }
+    if budget == 0 {
+        // Horizon reached: escaped only if some check already passed
+        // (Assumption 2: a check is finally reached; wrongness persists for
+        // every scheme modeled here, so the horizon is safe to truncate).
+        return seen;
+    }
+    let nexts: Vec<Node> = match node.part {
+        Part::Head => vec![Node::tail(node.block)],
+        Part::Tail => {
+            let ss = cfg.successors(node.block);
+            if ss.is_empty() {
+                return seen; // program exit
+            }
+            ss.iter().map(|&b| Node::head(b)).collect()
+        }
+    };
+    nexts.into_iter().any(|next| {
+        let s_exit = scheme.on_exit(cfg, &s, node, next);
+        escapes_detection(cfg, scheme, &s_exit, next, budget - 1, seen)
+    })
+}
+
+/// Verifies the necessary condition (§4.4): error-free executions never fail
+/// a check. Returns the first offending node, if any.
+pub fn find_false_positive<S: SignatureScheme>(cfg: &FormalCfg, scheme: &S) -> Option<Node> {
+    let mut stack = vec![(0usize, scheme.initial(cfg), 0usize)];
+    while let Some((block, sig_in, depth)) = stack.pop() {
+        let mut s = sig_in;
+        for part in [Part::Head, Part::Tail] {
+            let node = Node { block, part };
+            s = scheme.on_entry(cfg, &s, node);
+            if scheme.check(cfg, &s, node) == Some(false) {
+                return Some(node);
+            }
+            let next = match part {
+                Part::Head => Some(Node::tail(block)),
+                Part::Tail => None,
+            };
+            if let Some(n) = next {
+                s = scheme.on_exit(cfg, &s, node, n);
+            }
+        }
+        if depth < MAX_PREFIX {
+            let tail = Node::tail(block);
+            for &succ in cfg.successors(block) {
+                let s_exit = scheme.on_exit(cfg, &s, tail, Node::head(succ));
+                stack.push((succ, s_exit, depth + 1));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Scheme implementations
+// ---------------------------------------------------------------------
+
+/// EdgCF (§4.4, formula 4): `GEN_SIG(x, y, z) = x − y + z`,
+/// `CHECK_SIG(x, y): x == y`; heads are represented by their unique block
+/// address, tails by 0, checks at tail entries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgCfScheme;
+
+impl EdgCfScheme {
+    fn value(cfg: &FormalCfg, n: Node) -> u64 {
+        match n.part {
+            Part::Head => cfg.addr(Node::head(n.block)),
+            Part::Tail => 0,
+        }
+    }
+}
+
+impl SignatureScheme for EdgCfScheme {
+    type Sig = u64;
+
+    fn name(&self) -> &'static str {
+        "EdgCF"
+    }
+
+    fn initial(&self, cfg: &FormalCfg) -> u64 {
+        Self::value(cfg, Node::head(0))
+    }
+
+    fn on_exit(&self, cfg: &FormalCfg, s: &u64, cur: Node, logical: Node) -> u64 {
+        s.wrapping_sub(Self::value(cfg, cur)).wrapping_add(Self::value(cfg, logical))
+    }
+
+    fn check(&self, cfg: &FormalCfg, s: &u64, at: Node) -> Option<bool> {
+        (at.part == Part::Tail).then(|| *s == Self::value(cfg, at))
+    }
+}
+
+/// ECF (Reis et al., as formalized in §4.2): signature pair `(PC', RTS)`;
+/// the head folds `RTS` into `PC'`; the tail *assigns* `RTS` the delta to
+/// the logical successor; checks compare `PC'` at tail entries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EcfScheme;
+
+impl SignatureScheme for EcfScheme {
+    type Sig = (u64, u64); // (PC', RTS)
+
+    fn name(&self) -> &'static str {
+        "ECF"
+    }
+
+    fn initial(&self, cfg: &FormalCfg) -> (u64, u64) {
+        (cfg.addr(Node::head(0)), 0)
+    }
+
+    fn on_exit(&self, cfg: &FormalCfg, s: &(u64, u64), cur: Node, logical: Node) -> (u64, u64) {
+        let (pc, rts) = *s;
+        match cur.part {
+            // Head exit: PC' += RTS.
+            Part::Head => (pc.wrapping_add(rts), rts),
+            // Tail exit: RTS = sig(logical) − sig(cur block).
+            Part::Tail => {
+                let delta = cfg
+                    .addr(Node::head(logical.block))
+                    .wrapping_sub(cfg.addr(Node::head(cur.block)));
+                (pc, delta)
+            }
+        }
+    }
+
+    fn check(&self, cfg: &FormalCfg, s: &(u64, u64), at: Node) -> Option<bool> {
+        (at.part == Part::Tail).then(|| s.0 == cfg.addr(Node::head(at.block)))
+    }
+}
+
+/// CFCSS (Oh et al.): a static signature per block, updated at block *entry*
+/// with a xor difference from the predecessor's signature. Blocks sharing a
+/// successor are forced to share a signature (the technique's
+/// common-predecessor restriction), which is where the aliasing misses come
+/// from.
+#[derive(Debug, Clone)]
+pub struct CfcssScheme {
+    sigs: Vec<u64>,
+}
+
+impl CfcssScheme {
+    /// Assigns signatures for `cfg`, aliasing common predecessors as the
+    /// technique requires.
+    pub fn new(cfg: &FormalCfg) -> CfcssScheme {
+        // Union-find: predecessors of the same block share one signature.
+        let n = cfg.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for &s in cfg.successors(b) {
+                preds[s].push(b);
+            }
+        }
+        for ps in &preds {
+            for w in ps.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let sigs = (0..n).map(|b| (find(&mut parent, b) as u64 + 1) * 0x10).collect();
+        CfcssScheme { sigs }
+    }
+
+    /// The signature assigned to a block.
+    pub fn sig(&self, b: BlockId) -> u64 {
+        self.sigs[b]
+    }
+
+    fn d(&self, cfg: &FormalCfg, b: BlockId) -> u64 {
+        // d(B) = s(B) xor s(pred); any predecessor works because they alias.
+        let pred = (0..cfg.len()).find(|&p| cfg.successors(p).contains(&b));
+        match pred {
+            Some(p) => self.sigs[b] ^ self.sigs[p],
+            None => 0, // entry
+        }
+    }
+}
+
+impl SignatureScheme for CfcssScheme {
+    type Sig = u64;
+
+    fn name(&self) -> &'static str {
+        "CFCSS"
+    }
+
+    fn initial(&self, cfg: &FormalCfg) -> u64 {
+        // Pre-compensate the entry block's own xor so the program start
+        // passes its first check (the entry may also be a loop target).
+        self.sigs[0] ^ self.d(cfg, 0)
+    }
+
+    fn on_entry(&self, cfg: &FormalCfg, s: &u64, at: Node) -> u64 {
+        match at.part {
+            // PC' ^= d(B) at block entry; skipped entirely when control
+            // lands in the middle (the tail).
+            Part::Head => s ^ self.d(cfg, at.block),
+            Part::Tail => *s,
+        }
+    }
+
+    fn on_exit(&self, _cfg: &FormalCfg, s: &u64, _cur: Node, _logical: Node) -> u64 {
+        *s
+    }
+
+    fn check(&self, _cfg: &FormalCfg, s: &u64, at: Node) -> Option<bool> {
+        (at.part == Part::Head).then(|| *s == self.sigs[at.block])
+    }
+}
+
+/// ECCA (Alkhalifa et al.): each block gets a prime id; the end of a block
+/// sets the signature to the product of its legal successors' primes; the
+/// entry assertion divides by the block's own prime (a mismatch divides by
+/// zero in the real encoding). Both legal successors always pass — category
+/// A is undetectable by construction — and tails carry no instrumentation.
+#[derive(Debug, Clone)]
+pub struct EccaScheme {
+    primes: Vec<u64>,
+}
+
+impl EccaScheme {
+    /// Assigns primes to blocks.
+    pub fn new(cfg: &FormalCfg) -> EccaScheme {
+        const PRIMES: [u64; 24] = [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+            83, 89,
+        ];
+        assert!(cfg.len() <= PRIMES.len(), "formal CFG too large for ECCA prime table");
+        EccaScheme { primes: PRIMES[..cfg.len()].to_vec() }
+    }
+}
+
+impl SignatureScheme for EccaScheme {
+    type Sig = u64; // product of the primes of currently-legal targets
+
+    fn name(&self) -> &'static str {
+        "ECCA"
+    }
+
+    fn initial(&self, _cfg: &FormalCfg) -> u64 {
+        self.primes[0]
+    }
+
+    fn on_exit(&self, cfg: &FormalCfg, s: &u64, cur: Node, _logical: Node) -> u64 {
+        match cur.part {
+            Part::Head => *s,
+            Part::Tail => cfg
+                .successors(cur.block)
+                .iter()
+                .map(|&b| self.primes[b])
+                .product::<u64>()
+                .max(1),
+        }
+    }
+
+    fn check(&self, _cfg: &FormalCfg, s: &u64, at: Node) -> Option<bool> {
+        (at.part == Part::Head).then(|| s % self.primes[at.block] == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond with a loop: 0 -> {1, 2}; 1 -> 3; 2 -> 3; 3 -> {0, 4}; 4 exits.
+    fn diamond_loop() -> FormalCfg {
+        FormalCfg::new(vec![vec![1, 2], vec![3], vec![3], vec![0, 4], vec![]])
+    }
+
+    /// A simple chain 0 -> 1 -> 2.
+    fn chain() -> FormalCfg {
+        FormalCfg::new(vec![vec![1], vec![2], vec![]])
+    }
+
+    #[test]
+    fn edgcf_detects_all_single_errors() {
+        for cfg in [diamond_loop(), chain()] {
+            let misses = find_undetected_single_errors(&cfg, &EdgCfScheme);
+            assert!(misses.is_empty(), "EdgCF missed: {misses:?}");
+        }
+    }
+
+    #[test]
+    fn edgcf_has_no_false_positives() {
+        for cfg in [diamond_loop(), chain()] {
+            assert_eq!(find_false_positive(&cfg, &EdgCfScheme), None);
+        }
+    }
+
+    #[test]
+    fn ecf_misses_exactly_category_c() {
+        let cfg = diamond_loop();
+        let misses = find_undetected_single_errors(&cfg, &EcfScheme);
+        assert!(!misses.is_empty(), "ECF must miss something");
+        for m in &misses {
+            assert_eq!(m.category, Category::C, "unexpected ECF miss: {m:?}");
+            assert_eq!(m.physical, Node::tail(m.at.block));
+        }
+        assert_eq!(find_false_positive(&cfg, &EcfScheme), None);
+    }
+
+    #[test]
+    fn cfcss_misses_a_and_c_and_aliases() {
+        let cfg = diamond_loop();
+        let misses = find_undetected_single_errors(&cfg, &CfcssScheme::new(&cfg));
+        let cats: BTreeSet<Category> = misses.iter().map(|m| m.category).collect();
+        assert!(cats.contains(&Category::A), "CFCSS cannot detect mistaken branches: {cats:?}");
+        assert!(cats.contains(&Category::C), "CFCSS cannot detect same-block middles");
+        // Blocks 1 and 2 share a successor, hence a signature: jumps between
+        // them alias (category D or E misses).
+        assert!(
+            cats.contains(&Category::D) || cats.contains(&Category::E),
+            "aliased signatures must leak D/E errors: {cats:?}"
+        );
+        assert_eq!(find_false_positive(&cfg, &CfcssScheme::new(&cfg)), None);
+    }
+
+    #[test]
+    fn ecca_misses_a_and_c() {
+        let cfg = diamond_loop();
+        let misses = find_undetected_single_errors(&cfg, &EccaScheme::new(&cfg));
+        let cats: BTreeSet<Category> = misses.iter().map(|m| m.category).collect();
+        assert!(cats.contains(&Category::A), "{cats:?}");
+        assert!(cats.contains(&Category::C), "{cats:?}");
+        assert_eq!(find_false_positive(&cfg, &EccaScheme::new(&cfg)), None);
+    }
+
+    #[test]
+    fn coverage_strictly_improves_toward_edgcf() {
+        // |misses(EdgCF)| < |misses(ECF)| < |misses(CFCSS)| on the shared CFG.
+        let cfg = diamond_loop();
+        let edg = find_undetected_single_errors(&cfg, &EdgCfScheme).len();
+        let ecf = find_undetected_single_errors(&cfg, &EcfScheme).len();
+        let cfcss = find_undetected_single_errors(&cfg, &CfcssScheme::new(&cfg)).len();
+        assert!(edg < ecf, "EdgCF ({edg}) must beat ECF ({ecf})");
+        assert!(ecf < cfcss, "ECF ({ecf}) must beat CFCSS ({cfcss})");
+    }
+
+    #[test]
+    fn categorize_follows_the_taxonomy() {
+        let cfg = diamond_loop();
+        let at = Node::tail(0);
+        assert_eq!(categorize(&cfg, at, Node::head(1), Node::head(0)), Category::B);
+        assert_eq!(categorize(&cfg, at, Node::head(1), Node::tail(0)), Category::C);
+        assert_eq!(categorize(&cfg, at, Node::head(1), Node::head(2)), Category::A);
+        assert_eq!(categorize(&cfg, at, Node::head(1), Node::head(3)), Category::D);
+        assert_eq!(categorize(&cfg, at, Node::head(1), Node::tail(3)), Category::E);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn bad_edge_rejected() {
+        let _ = FormalCfg::new(vec![vec![7]]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Convenience harness: run an image natively or under the DBT with a
+//! chosen technique, policy and update style, collecting the numbers the
+//! experiments need.
+
+use crate::techniques::TechniqueKind;
+use cfed_asm::Image;
+use cfed_dbt::{CheckPolicy, Dbt, DbtExit, DbtStats, NullInstrumenter, UpdateStyle};
+use cfed_sim::{ExitReason, Machine};
+
+/// Default instruction budget for experiment runs.
+pub const DEFAULT_MAX_INSTS: u64 = 200_000_000;
+
+/// Configuration for one DBT run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// The technique, or `None` for the uninstrumented DBT baseline.
+    pub technique: Option<TechniqueKind>,
+    /// Signature checking policy.
+    pub policy: CheckPolicy,
+    /// Conditional-update style.
+    pub style: UpdateStyle,
+    /// Instruction budget.
+    pub max_insts: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            technique: None,
+            policy: CheckPolicy::AllBb,
+            style: UpdateStyle::Jcc,
+            max_insts: DEFAULT_MAX_INSTS,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Baseline (uninstrumented DBT) configuration.
+    pub fn baseline() -> RunConfig {
+        RunConfig::default()
+    }
+
+    /// A technique under ALLBB/Jcc defaults.
+    pub fn technique(kind: TechniqueKind) -> RunConfig {
+        RunConfig { technique: Some(kind), ..RunConfig::default() }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// How execution ended.
+    pub exit: DbtExit,
+    /// The observable output stream.
+    pub output: Vec<u64>,
+    /// Cycles consumed (cost-model time).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub insts: u64,
+    /// Translator statistics.
+    pub dbt: DbtStats,
+}
+
+/// Runs `image` under the DBT with the given configuration.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_core::{run_dbt, RunConfig, TechniqueKind};
+/// use cfed_dbt::DbtExit;
+/// use cfed_lang::compile;
+///
+/// let image = compile("fn main() { out(6 * 7); }")?;
+/// let out = run_dbt(&image, &RunConfig::technique(TechniqueKind::EdgCf));
+/// assert_eq!(out.exit, DbtExit::Halted { code: 0 });
+/// assert_eq!(out.output, vec![42]);
+/// # Ok::<(), cfed_lang::CompileError>(())
+/// ```
+pub fn run_dbt(image: &Image, cfg: &RunConfig) -> RunOutcome {
+    let instr: Box<dyn cfed_dbt::Instrumenter> = match cfg.technique {
+        Some(kind) => kind.instrumenter_for(image, cfg.policy),
+        None => Box::new(NullInstrumenter),
+    };
+    run_dbt_with(image, instr, cfg.style, cfg.max_insts)
+}
+
+/// Runs `image` under the DBT with an explicit instrumenter (for custom or
+/// CFG-dependent techniques).
+pub fn run_dbt_with(
+    image: &Image,
+    instr: Box<dyn cfed_dbt::Instrumenter>,
+    style: UpdateStyle,
+    max_insts: u64,
+) -> RunOutcome {
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let mut dbt = Dbt::new(instr, style, &mut m);
+    let exit = dbt.run(&mut m, max_insts);
+    RunOutcome {
+        exit,
+        output: m.cpu.take_output(),
+        cycles: m.cpu.stats().cycles,
+        insts: m.cpu.stats().insts,
+        dbt: dbt.stats(),
+    }
+}
+
+/// Runs `image` directly on the interpreter (no DBT).
+pub fn run_native(image: &Image, max_insts: u64) -> RunOutcome {
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let exit = match m.run(max_insts) {
+        ExitReason::Halted { code } => DbtExit::Halted { code },
+        ExitReason::Trapped(t) => DbtExit::Trapped(t),
+        ExitReason::StepLimit => DbtExit::StepLimit,
+    };
+    RunOutcome {
+        exit,
+        output: m.cpu.take_output(),
+        cycles: m.cpu.stats().cycles,
+        insts: m.cpu.stats().insts,
+        dbt: DbtStats::default(),
+    }
+}
+
+/// Slowdown of `cycles` relative to a baseline.
+pub fn slowdown(instrumented_cycles: u64, baseline_cycles: u64) -> f64 {
+    instrumented_cycles as f64 / baseline_cycles as f64
+}
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|v| {
+            assert!(*v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        assert!((slowdown(150, 100) - 1.5).abs() < 1e-12);
+    }
+}

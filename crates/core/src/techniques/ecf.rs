@@ -1,0 +1,171 @@
+//! The ECF technique — enhanced control-flow checking with a run-time
+//! adjusting signature (Reis et al. [13]; paper §3, Figure 4).
+
+use super::simm;
+use cfed_dbt::{regs, BlockView, CacheAsm, CheckPolicy, Instrumenter};
+use cfed_isa::{Cond, Inst, Reg};
+
+/// ECF: the signature is the pair `(PC', RTS)`.
+///
+/// Invariants (with `sig(B)` = guest start address):
+///
+/// * on the edge from `A` into `B`: `PC' == sig(A)` and
+///   `RTS == sig(B) − sig(A)`;
+/// * after `B`'s head: `PC' == sig(B)`.
+///
+/// The head folds the run-time adjusting signature into `PC'`
+/// (`PC' += RTS`, Figure 4 instruction 1 in the flag-free `x − y + z` form
+/// of §4.4) and, per policy, compares `PC'` against the block signature.
+/// Exits **assign** `RTS` the signed delta to the chosen successor
+/// (Figure 4 instructions 4–7). Because the tail update is an assignment,
+/// re-executing it after a jump back into the *same* block is absorbed —
+/// which is precisely why ECF cannot detect category C (paper §3), while
+/// the relative updates of EdgCF can.
+#[derive(Debug, Clone, Copy)]
+pub struct EcfInstrumenter {
+    policy: CheckPolicy,
+}
+
+impl EcfInstrumenter {
+    /// Creates the technique under a signature-checking policy.
+    pub fn new(policy: CheckPolicy) -> EcfInstrumenter {
+        EcfInstrumenter { policy }
+    }
+
+    /// The active checking policy.
+    pub fn policy(&self) -> CheckPolicy {
+        self.policy
+    }
+}
+
+impl Instrumenter for EcfInstrumenter {
+    fn name(&self) -> &'static str {
+        "ECF"
+    }
+
+    fn emit_head(&self, a: &mut CacheAsm<'_>, sig: u64, check: bool, err_stub: u64) {
+        // PC' += RTS  (Figure 4 instruction 1, `xor` replaced by `lea`).
+        a.emit(Inst::Lea2 {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            index: regs::RTS,
+            disp: 0,
+        });
+        if check {
+            // Figure 4 instructions 2–3: `PC' == L0`, flag-free.
+            a.emit(Inst::Lea {
+                dst: regs::CHK,
+                base: regs::PC_PRIME,
+                disp: simm(-(sig as i64)),
+            });
+            a.jrnz_abs(regs::CHK, err_stub);
+        }
+    }
+
+    fn emit_update_direct(&self, a: &mut CacheAsm<'_>, cur: u64, next: u64) {
+        // RTS = sig(next) − sig(cur): an assignment, not an accumulation.
+        a.emit(Inst::MovRI { dst: regs::RTS, imm: simm(next as i64 - cur as i64) });
+    }
+
+    fn emit_update_indirect(&self, a: &mut CacheAsm<'_>, cur: u64, target: Reg) {
+        // RTS = dynamic target − sig(cur).
+        a.emit(Inst::Lea { dst: regs::RTS, base: target, disp: simm(-(cur as i64)) });
+    }
+
+    fn emit_update_cond_cmov(
+        &self,
+        a: &mut CacheAsm<'_>,
+        cur: u64,
+        taken: u64,
+        fall: u64,
+        cc: Cond,
+    ) -> bool {
+        // Figure 4 instructions 4–7: select the delta with cmov. One
+        // instruction cheaper than EdgCF's cmov sequence — the "cheaper
+        // instructions to update the signature" the paper credits ECF with.
+        a.emit(Inst::MovRI { dst: regs::RTS, imm: simm(fall as i64 - cur as i64) });
+        a.emit(Inst::MovRI { dst: regs::AUX, imm: simm(taken as i64 - cur as i64) });
+        a.emit(Inst::CMov { cc, dst: regs::RTS, src: regs::AUX });
+        true
+    }
+
+    fn emit_end_check(&self, a: &mut CacheAsm<'_>, cur: u64, err_stub: u64) {
+        // Fold PC' to zero (it holds sig(cur) in the body) and test PC'
+        // itself — an error landing on the test still sees a non-zero value.
+        a.emit(Inst::Lea { dst: regs::PC_PRIME, base: regs::PC_PRIME, disp: simm(-(cur as i64)) });
+        a.jrnz_abs(regs::PC_PRIME, err_stub);
+    }
+
+    fn wants_check(&self, block: &BlockView) -> bool {
+        self.policy.wants_check(block)
+    }
+
+    fn initial_state(&self, entry_sig: u64) -> Vec<(Reg, u64)> {
+        // Entry edge: PC' already holds the entry signature, no adjustment.
+        vec![(regs::PC_PRIME, entry_sig), (regs::RTS, 0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_sim::{Memory, Perms};
+
+    fn emit_with(f: impl FnOnce(&mut CacheAsm<'_>)) -> Vec<Inst> {
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..0x8000, Perms::RX);
+        let mut a = CacheAsm::new(&mut mem, 0x1000);
+        f(&mut a);
+        let end = a.finish();
+        ((0x1000..end).step_by(8))
+            .map(|addr| {
+                let b: [u8; 8] = mem.peek(addr, 8).try_into().unwrap();
+                Inst::decode(&b).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tail_update_is_assignment() {
+        let t = EcfInstrumenter::new(CheckPolicy::AllBb);
+        let insts = emit_with(|a| t.emit_update_direct(a, 0x2000, 0x2800));
+        assert_eq!(insts, vec![Inst::MovRI { dst: regs::RTS, imm: 0x800 }]);
+        // Negative deltas (back edges) encode too.
+        let insts = emit_with(|a| t.emit_update_direct(a, 0x2800, 0x2000));
+        assert_eq!(insts, vec![Inst::MovRI { dst: regs::RTS, imm: -0x800 }]);
+    }
+
+    #[test]
+    fn head_folds_rts_then_checks() {
+        let t = EcfInstrumenter::new(CheckPolicy::AllBb);
+        let insts = emit_with(|a| t.emit_head(a, 0x2000, true, 0x1000));
+        assert_eq!(insts.len(), 3);
+        assert!(matches!(insts[0], Inst::Lea2 { index, .. } if index == regs::RTS));
+        assert!(matches!(insts[2], Inst::JRnz { src, .. } if src == regs::CHK));
+        for i in &insts {
+            assert!(!i.writes_flags());
+        }
+    }
+
+    #[test]
+    fn cmov_update_is_three_instructions() {
+        let t = EcfInstrumenter::new(CheckPolicy::AllBb);
+        let insts = emit_with(|a| {
+            assert!(t.emit_update_cond_cmov(a, 0x2000, 0x3000, 0x2800, Cond::L));
+        });
+        assert_eq!(insts.len(), 3, "one cheaper than EdgCF's four");
+        for i in &insts {
+            assert!(!i.writes_flags());
+        }
+    }
+
+    #[test]
+    fn indirect_update_uses_target_register() {
+        let t = EcfInstrumenter::new(CheckPolicy::AllBb);
+        let insts = emit_with(|a| t.emit_update_indirect(a, 0x2000, regs::ITARGET));
+        assert_eq!(
+            insts,
+            vec![Inst::Lea { dst: regs::RTS, base: regs::ITARGET, disp: -0x2000 }]
+        );
+    }
+}

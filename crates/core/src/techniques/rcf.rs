@@ -1,0 +1,237 @@
+//! The Region-based Control-Flow checking technique (paper §3.2, Figure 9).
+
+use super::simm;
+use cfed_dbt::{regs, BlockView, CacheAsm, CheckPolicy, Instrumenter};
+use cfed_isa::{Cond, Inst, Reg};
+
+/// Region signature offsets within one block. Guest block addresses are
+/// 8-byte aligned, so `addr + offset` with `offset < 8` is globally unique
+/// across all blocks and all regions.
+const BODY: i64 = 1; // R1 in Figure 9: the original block instructions
+const SELECTOR: i64 = 2; // the inserted conditional-update branch
+
+/// RCF: EdgCF extended with per-block *regions* so that every branch the
+/// instrumentation itself inserts runs under a globally unique signature.
+///
+/// Regions of block `B` (with `sig(B)` = guest start address):
+///
+/// * **entrance** `E(B) = sig(B)` — covers the signature check and its
+///   `report_error` branch (region `R1E` in Figure 9);
+/// * **body** `R(B) = sig(B) + 1` — the original block instructions
+///   (region `R1`);
+/// * **selector** `S(B) = sig(B) + 2` — the inserted branch of a
+///   branch-style conditional update (the `R2E`/`R3E` transition code).
+///
+/// Every transition is a relative `lea`, so — as with EdgCF — a wrong `PC'`
+/// stays wrong. The difference from EdgCF is that EdgCF's in-block value is
+/// the *same* for every block (zero): a fault on an inserted branch that
+/// lands in the middle of some block finds a consistent signature and
+/// escapes. Under RCF all regions carry distinct values, so any single
+/// control-flow error that crosses an instruction with a region transition
+/// (every inserted branch is bracketed by them) is detected at the next
+/// check.
+#[derive(Debug, Clone, Copy)]
+pub struct RcfInstrumenter {
+    policy: CheckPolicy,
+}
+
+impl RcfInstrumenter {
+    /// Creates the technique under a signature-checking policy.
+    pub fn new(policy: CheckPolicy) -> RcfInstrumenter {
+        RcfInstrumenter { policy }
+    }
+
+    /// The active checking policy.
+    pub fn policy(&self) -> CheckPolicy {
+        self.policy
+    }
+}
+
+impl Instrumenter for RcfInstrumenter {
+    fn name(&self) -> &'static str {
+        "RCF"
+    }
+
+    fn emit_head(&self, a: &mut CacheAsm<'_>, sig: u64, check: bool, err_stub: u64) {
+        if check {
+            // Check inside region E(B): the check branch itself executes
+            // under the unique value sig(B), unlike EdgCF's shared zero.
+            a.emit(Inst::Lea { dst: regs::CHK, base: regs::PC_PRIME, disp: simm(-(sig as i64)) });
+            a.jrnz_abs(regs::CHK, err_stub);
+        }
+        // Transition E(B) -> R(B).
+        a.emit(Inst::Lea { dst: regs::PC_PRIME, base: regs::PC_PRIME, disp: simm(BODY) });
+    }
+
+    fn emit_update_direct(&self, a: &mut CacheAsm<'_>, cur: u64, next: u64) {
+        // R(cur) -> E(next).
+        a.emit(Inst::Lea {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            disp: simm(next as i64 - (cur as i64 + BODY)),
+        });
+    }
+
+    fn emit_update_indirect(&self, a: &mut CacheAsm<'_>, cur: u64, target: Reg) {
+        // R(cur) -> E(dynamic target), one flag-free instruction.
+        a.emit(Inst::Lea2 {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            index: target,
+            disp: simm(-(cur as i64 + BODY)),
+        });
+    }
+
+    fn emit_pre_selector(&self, a: &mut CacheAsm<'_>, _cur: u64) {
+        // R(cur) -> S(cur): the inserted selector branch gets its own
+        // region, so its own branch-errors cross a region boundary.
+        a.emit(Inst::Lea { dst: regs::PC_PRIME, base: regs::PC_PRIME, disp: simm(SELECTOR - BODY) });
+    }
+
+    fn emit_selector_update(&self, a: &mut CacheAsm<'_>, cur: u64, next: u64) {
+        // S(cur) -> E(next).
+        a.emit(Inst::Lea {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            disp: simm(next as i64 - (cur as i64 + SELECTOR)),
+        });
+    }
+
+    fn emit_update_cond_cmov(
+        &self,
+        a: &mut CacheAsm<'_>,
+        cur: u64,
+        taken: u64,
+        fall: u64,
+        cc: Cond,
+    ) -> bool {
+        // Figure 9 is the cmov form: no branch is inserted, so no selector
+        // region is needed; both candidate transitions leave R(cur).
+        a.emit(Inst::MovRR { dst: regs::AUX, src: regs::PC_PRIME });
+        a.emit(Inst::Lea {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            disp: simm(fall as i64 - (cur as i64 + BODY)),
+        });
+        a.emit(Inst::Lea {
+            dst: regs::AUX,
+            base: regs::AUX,
+            disp: simm(taken as i64 - (cur as i64 + BODY)),
+        });
+        a.emit(Inst::CMov { cc, dst: regs::PC_PRIME, src: regs::AUX });
+        true
+    }
+
+    fn emit_end_check(&self, a: &mut CacheAsm<'_>, cur: u64, err_stub: u64) {
+        // Fold PC' (== R(cur) in the body) to zero and test it directly.
+        a.emit(Inst::Lea {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            disp: simm(-(cur as i64 + BODY)),
+        });
+        a.jrnz_abs(regs::PC_PRIME, err_stub);
+    }
+
+    fn wants_check(&self, block: &BlockView) -> bool {
+        self.policy.wants_check(block)
+    }
+
+    fn initial_state(&self, entry_sig: u64) -> Vec<(Reg, u64)> {
+        vec![(regs::PC_PRIME, entry_sig)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_sim::{Memory, Perms};
+
+    fn emit_with(f: impl FnOnce(&mut CacheAsm<'_>)) -> Vec<Inst> {
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..0x8000, Perms::RX);
+        let mut a = CacheAsm::new(&mut mem, 0x1000);
+        f(&mut a);
+        let end = a.finish();
+        ((0x1000..end).step_by(8))
+            .map(|addr| {
+                let b: [u8; 8] = mem.peek(addr, 8).try_into().unwrap();
+                Inst::decode(&b).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn regions_compose_to_zero_over_a_correct_path() {
+        // E(B) -> R(B) -> E(next): the net delta must equal next - cur.
+        let t = RcfInstrumenter::new(CheckPolicy::AllBb);
+        let (cur, next) = (0x2000i64, 0x2800i64);
+        let insts = emit_with(|a| {
+            t.emit_head(a, cur as u64, false, 0x1000);
+            t.emit_update_direct(a, cur as u64, next as u64);
+        });
+        let total: i64 = insts
+            .iter()
+            .map(|i| match i {
+                Inst::Lea { disp, .. } => *disp as i64,
+                other => panic!("unexpected {other}"),
+            })
+            .sum();
+        assert_eq!(total, next - cur);
+    }
+
+    #[test]
+    fn selector_path_composes_too() {
+        let t = RcfInstrumenter::new(CheckPolicy::AllBb);
+        let (cur, next) = (0x2000i64, 0x1800i64);
+        let insts = emit_with(|a| {
+            t.emit_head(a, cur as u64, false, 0x1000);
+            t.emit_pre_selector(a, cur as u64);
+            t.emit_selector_update(a, cur as u64, next as u64);
+        });
+        let total: i64 = insts
+            .iter()
+            .map(|i| match i {
+                Inst::Lea { disp, .. } => *disp as i64,
+                other => panic!("unexpected {other}"),
+            })
+            .sum();
+        assert_eq!(total, next - cur);
+    }
+
+    #[test]
+    fn head_is_costlier_than_edgcf() {
+        // RCF inserts more instructions per block than EdgCF (paper §6).
+        let rcf = RcfInstrumenter::new(CheckPolicy::AllBb);
+        let edg = super::super::EdgCfInstrumenter::new(CheckPolicy::AllBb);
+        let r = emit_with(|a| rcf.emit_head(a, 0x2000, true, 0x1000));
+        let e = emit_with(|a| edg.emit_head(a, 0x2000, true, 0x1000));
+        assert!(r.len() > e.len());
+    }
+
+    #[test]
+    fn check_branch_runs_under_unique_signature() {
+        // The check (jrnz) must execute before the region transition, i.e.
+        // while PC' still holds the globally unique entrance signature.
+        let t = RcfInstrumenter::new(CheckPolicy::AllBb);
+        let insts = emit_with(|a| t.emit_head(a, 0x2000, true, 0x1000));
+        assert!(matches!(insts[0], Inst::Lea { dst, .. } if dst == regs::CHK));
+        assert!(matches!(insts[1], Inst::JRnz { .. }));
+        assert!(matches!(insts[2], Inst::Lea { dst, disp: 1, .. } if dst == regs::PC_PRIME));
+    }
+
+    #[test]
+    fn all_updates_flag_free() {
+        let t = RcfInstrumenter::new(CheckPolicy::AllBb);
+        let insts = emit_with(|a| {
+            t.emit_head(a, 0x2000, true, 0x1000);
+            t.emit_update_direct(a, 0x2000, 0x2800);
+            t.emit_update_indirect(a, 0x2000, regs::ITARGET);
+            t.emit_pre_selector(a, 0x2000);
+            t.emit_selector_update(a, 0x2000, 0x2800);
+            assert!(t.emit_update_cond_cmov(a, 0x2000, 0x3000, 0x2800, Cond::G));
+        });
+        for i in &insts {
+            assert!(!i.writes_flags(), "{i}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests over the §4 formal framework: the paper's coverage claims
+//! must hold on *arbitrary* control-flow graphs, not just the hand-picked
+//! examples in the unit tests.
+
+use cfed_core::formal::{
+    find_false_positive, find_undetected_single_errors, CfcssScheme, EccaScheme, EcfScheme,
+    EdgCfScheme, FormalCfg, Part,
+};
+use cfed_core::Category;
+use proptest::prelude::*;
+
+/// Random connected CFGs: block 0 is the entry; every block gets one or two
+/// forward successors (plus optional back edges) and the last block exits.
+fn arb_cfg() -> impl Strategy<Value = FormalCfg> {
+    (2usize..8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), n - 1);
+        edges.prop_map(move |choices| {
+            let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for (b, &(s1, s2, two)) in choices.iter().enumerate() {
+                // Always one forward edge to keep every block reachable and
+                // the exit reachable from everywhere.
+                let fwd = b + 1 + (s1 as usize) % (n - b - 1).max(1);
+                succs[b].push(fwd.min(n - 1));
+                if two {
+                    // Second edge anywhere (may be a back edge or a self loop
+                    // of the CFG — category A/D/E shapes).
+                    succs[b].push((s2 as usize) % n);
+                }
+                succs[b].dedup();
+            }
+            FormalCfg::new(succs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Claim 1: EdgCF detects every bounded single control-flow error and
+    /// raises no false positives, on any CFG.
+    #[test]
+    fn edgcf_comprehensive_on_random_cfgs(cfg in arb_cfg()) {
+        prop_assert_eq!(find_false_positive(&cfg, &EdgCfScheme), None);
+        let misses = find_undetected_single_errors(&cfg, &EdgCfScheme);
+        prop_assert!(misses.is_empty(), "EdgCF missed {:?}", misses);
+    }
+
+    /// ECF's undetected errors are exactly the same-block-middle jumps
+    /// (category C), on any CFG.
+    #[test]
+    fn ecf_misses_only_category_c(cfg in arb_cfg()) {
+        prop_assert_eq!(find_false_positive(&cfg, &EcfScheme), None);
+        for m in find_undetected_single_errors(&cfg, &EcfScheme) {
+            prop_assert_eq!(m.category, Category::C);
+            prop_assert_eq!(m.physical.block, m.at.block);
+            prop_assert_eq!(m.physical.part, Part::Tail);
+        }
+    }
+
+    /// No scheme produces false positives on error-free executions
+    /// (the necessary condition of §4.4).
+    #[test]
+    fn no_scheme_false_positives(cfg in arb_cfg()) {
+        prop_assert_eq!(find_false_positive(&cfg, &EdgCfScheme), None);
+        prop_assert_eq!(find_false_positive(&cfg, &EcfScheme), None);
+        prop_assert_eq!(find_false_positive(&cfg, &CfcssScheme::new(&cfg)), None);
+        if cfg.len() <= 24 {
+            prop_assert_eq!(find_false_positive(&cfg, &EccaScheme::new(&cfg)), None);
+        }
+    }
+
+    /// The coverage hierarchy is monotone on every CFG: EdgCF misses ⊆ ECF
+    /// misses (as sets of (at, logical, physical) errors).
+    #[test]
+    fn edgcf_dominates_ecf(cfg in arb_cfg()) {
+        let edg: std::collections::BTreeSet<_> = find_undetected_single_errors(&cfg, &EdgCfScheme)
+            .into_iter()
+            .map(|m| (m.at, m.logical, m.physical))
+            .collect();
+        let ecf: std::collections::BTreeSet<_> = find_undetected_single_errors(&cfg, &EcfScheme)
+            .into_iter()
+            .map(|m| (m.at, m.logical, m.physical))
+            .collect();
+        prop_assert!(edg.is_subset(&ecf), "EdgCF missed something ECF caught");
+    }
+
+    /// CFCSS never detects a mistaken branch on a (reachable) block with
+    /// two successors — category A is structurally invisible to it.
+    #[test]
+    fn cfcss_blind_to_category_a(cfg in arb_cfg()) {
+        // Reachability from the entry (the enumerator only explores from
+        // block 0, so unreachable branches produce no errors to miss).
+        let mut reachable = vec![false; cfg.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut reachable[b], true) {
+                continue;
+            }
+            stack.extend(cfg.successors(b).iter().copied());
+        }
+        let any_two_way = (0..cfg.len()).any(|b| reachable[b] && cfg.successors(b).len() >= 2);
+        let misses = find_undetected_single_errors(&cfg, &CfcssScheme::new(&cfg));
+        let missed_a = misses.iter().filter(|m| m.category == Category::A).count();
+        if any_two_way {
+            prop_assert!(missed_a > 0, "expected CFCSS to miss A errors");
+        }
+    }
+}

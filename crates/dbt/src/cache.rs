@@ -1,0 +1,247 @@
+//! Code-cache emitter: writes translated instructions directly into the
+//! guest address space, with local forward-reference labels.
+
+use cfed_isa::{Cond, Inst, Reg, INST_SIZE_U64};
+use cfed_sim::Memory;
+
+/// A local label inside one block being emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Emits instructions into the code cache.
+///
+/// Labels are block-local: created with [`CacheAsm::new_label`], referenced
+/// by the `*_to` branch emitters, bound with [`CacheAsm::bind`], and resolved
+/// by [`CacheAsm::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use cfed_dbt::cache::CacheAsm;
+/// use cfed_isa::{Inst, Reg};
+/// use cfed_sim::{Memory, Perms};
+///
+/// let mut mem = Memory::new(1 << 16);
+/// mem.map(0..0x1000, Perms::RX);
+/// let mut a = CacheAsm::new(&mut mem, 0x100);
+/// let skip = a.new_label();
+/// a.jmp_to(skip);
+/// a.emit(Inst::Halt);
+/// a.bind(skip);
+/// a.emit(Inst::Nop);
+/// let end = a.finish();
+/// assert_eq!(end, 0x100 + 24);
+/// ```
+#[derive(Debug)]
+pub struct CacheAsm<'m> {
+    mem: &'m mut Memory,
+    start: u64,
+    cursor: u64,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<(u64, Label)>,
+}
+
+impl<'m> CacheAsm<'m> {
+    /// Starts emitting at `start` (must be instruction aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not 8-byte aligned.
+    pub fn new(mem: &'m mut Memory, start: u64) -> CacheAsm<'m> {
+        assert_eq!(start % INST_SIZE_U64, 0, "cache emission must be aligned");
+        CacheAsm { mem, start, cursor: start, labels: Vec::new(), fixups: Vec::new() }
+    }
+
+    /// Address of the next emitted instruction.
+    pub fn here(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Address where emission started.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Appends an instruction.
+    pub fn emit(&mut self, inst: Inst) -> u64 {
+        let at = self.cursor;
+        self.mem.install(at, &inst.encode());
+        self.cursor += INST_SIZE_U64;
+        at
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.cursor);
+    }
+
+    fn emit_branch_to(&mut self, l: Label, make: impl Fn(i32) -> Inst) -> u64 {
+        let at = self.emit(make(0));
+        self.fixups.push((at, l));
+        // Re-encode with a placeholder; real offset patched in finish().
+        at
+    }
+
+    /// Emits `jmp` to a local label.
+    pub fn jmp_to(&mut self, l: Label) -> u64 {
+        self.emit_branch_to(l, |offset| Inst::Jmp { offset })
+    }
+
+    /// Emits `j<cc>` to a local label.
+    pub fn jcc_to(&mut self, cc: Cond, l: Label) -> u64 {
+        self.emit_branch_to(l, move |offset| Inst::Jcc { cc, offset })
+    }
+
+    /// Emits `jrz` to a local label.
+    pub fn jrz_to(&mut self, src: Reg, l: Label) -> u64 {
+        self.emit_branch_to(l, move |offset| Inst::JRz { src, offset })
+    }
+
+    /// Emits `jrnz` to a local label.
+    pub fn jrnz_to(&mut self, src: Reg, l: Label) -> u64 {
+        self.emit_branch_to(l, move |offset| Inst::JRnz { src, offset })
+    }
+
+    /// Emits `jrnz` to an absolute cache address (e.g. the shared
+    /// report-error stub).
+    pub fn jrnz_abs(&mut self, src: Reg, target: u64) -> u64 {
+        let at = self.here();
+        let offset = Self::rel(at, target);
+        self.emit(Inst::JRnz { src, offset })
+    }
+
+    /// Emits `jmp` to an absolute cache address.
+    pub fn jmp_abs(&mut self, target: u64) -> u64 {
+        let at = self.here();
+        let offset = Self::rel(at, target);
+        self.emit(Inst::Jmp { offset })
+    }
+
+    /// The `rel32` offset for a branch at `site` targeting `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the displacement overflows 32 bits (the cache region is far
+    /// smaller than that).
+    pub fn rel(site: u64, target: u64) -> i32 {
+        let disp = target as i64 - (site as i64 + INST_SIZE_U64 as i64);
+        i32::try_from(disp).expect("cache displacement fits rel32")
+    }
+
+    /// Resolves all label fixups and returns the end address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(self) -> u64 {
+        for (site, label) in &self.fixups {
+            let target = self.labels[label.0].expect("unbound label at finish");
+            let bytes: [u8; 8] =
+                self.mem.peek(*site, 8).try_into().expect("instruction slot");
+            let inst = Inst::decode(&bytes).expect("emitted instruction decodes");
+            let patched = inst.with_branch_offset(Self::rel(*site, target));
+            self.mem.install(*site, &patched.encode());
+        }
+        self.cursor
+    }
+}
+
+/// Overwrites the instruction at `site` (used for chaining patches).
+pub fn patch_inst(mem: &mut Memory, site: u64, inst: Inst) {
+    mem.install(site, &inst.encode());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_sim::Perms;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new(1 << 16);
+        m.map(0..0x4000, Perms::RX);
+        m
+    }
+
+    fn decode_at(mem: &Memory, addr: u64) -> Inst {
+        let bytes: [u8; 8] = mem.peek(addr, 8).try_into().unwrap();
+        Inst::decode(&bytes).unwrap()
+    }
+
+    #[test]
+    fn emit_sequence() {
+        let mut m = mem();
+        let mut a = CacheAsm::new(&mut m, 0x100);
+        a.emit(Inst::Nop);
+        a.emit(Inst::Halt);
+        assert_eq!(a.finish(), 0x110);
+        assert_eq!(decode_at(&m, 0x100), Inst::Nop);
+        assert_eq!(decode_at(&m, 0x108), Inst::Halt);
+    }
+
+    #[test]
+    fn forward_label_resolved() {
+        let mut m = mem();
+        let mut a = CacheAsm::new(&mut m, 0);
+        let l = a.new_label();
+        a.jmp_to(l); // 0
+        a.emit(Inst::Halt); // 8
+        a.bind(l); // 16
+        a.emit(Inst::Nop);
+        a.finish();
+        assert_eq!(decode_at(&m, 0), Inst::Jmp { offset: 8 });
+    }
+
+    #[test]
+    fn backward_label_resolved() {
+        let mut m = mem();
+        let mut a = CacheAsm::new(&mut m, 0);
+        let l = a.new_label();
+        a.bind(l); // 0
+        a.emit(Inst::Nop); // 0
+        a.jcc_to(Cond::Ne, l); // 8 -> 0 : offset -16
+        a.finish();
+        assert_eq!(decode_at(&m, 8), Inst::Jcc { cc: Cond::Ne, offset: -16 });
+    }
+
+    #[test]
+    fn absolute_branches() {
+        let mut m = mem();
+        let mut a = CacheAsm::new(&mut m, 0x200);
+        a.jrnz_abs(Reg::R8, 0x100); // site 0x200 -> 0x100: offset -0x108
+        a.jmp_abs(0x300);
+        a.finish();
+        assert_eq!(decode_at(&m, 0x200), Inst::JRnz { src: Reg::R8, offset: -0x108 });
+        assert_eq!(decode_at(&m, 0x208), Inst::Jmp { offset: 0xF0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut m = mem();
+        let mut a = CacheAsm::new(&mut m, 0);
+        let l = a.new_label();
+        a.jmp_to(l);
+        a.finish();
+    }
+
+    #[test]
+    fn patch_inst_overwrites() {
+        let mut m = mem();
+        let mut a = CacheAsm::new(&mut m, 0);
+        let site = a.emit(Inst::Trap { code: 5 });
+        a.finish();
+        patch_inst(&mut m, site, Inst::Jmp { offset: 64 });
+        assert_eq!(decode_at(&m, 0), Inst::Jmp { offset: 64 });
+    }
+}

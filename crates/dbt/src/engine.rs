@@ -1,0 +1,628 @@
+//! The dynamic binary translator engine.
+//!
+//! Mirrors the architecture of the paper's DBT (§5): translation happens on
+//! demand, one basic block at a time, into a code cache mapped with execute
+//! permission; translated blocks chain to each other directly once both
+//! sides exist; indirect branches (`ret`, register jumps/calls) exit to a
+//! dispatcher; guest pages are write-protected after translation so
+//! self-modifying code raises a fault that invalidates stale translations.
+//!
+//! Control transfers out of not-yet-chained blocks are implemented as
+//! software-trap *exit stubs*: the trap suspends simulated execution with
+//! all state intact, the runtime translates the target and patches the stub
+//! into a direct jump, and execution resumes at the patched site.
+
+use crate::cache::{patch_inst, CacheAsm};
+use crate::instrument::{regs, BlockView, Instrumenter, UpdateStyle};
+use cfed_isa::{Inst, INST_SIZE_U64};
+use cfed_sim::{trap_codes, Machine, Memory, Perms, Trap, PAGE_SIZE};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// Cycles charged per indirect-branch dispatch, modeling the inline hash
+/// lookup a production DBT performs (our runtime does the lookup natively).
+pub const DEFAULT_DISPATCH_CYCLES: u64 = 12;
+
+/// Maximum guest instructions per translated block.
+const MAX_BLOCK_INSTS: usize = 512;
+
+/// Result of one supervised execution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbtStep {
+    /// Execution continues (possibly after the runtime serviced an exit).
+    Continue,
+    /// The guest executed `halt`.
+    Halted,
+    /// A program-level trap surfaced (guest fault, hardware control-flow
+    /// error detection, or an instrumentation error report).
+    Exit(Trap),
+}
+
+/// Result of [`Dbt::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbtExit {
+    /// Guest halted; exit code from `r0`.
+    Halted { code: u64 },
+    /// A program-level trap surfaced.
+    Trapped(Trap),
+    /// The instruction budget ran out.
+    StepLimit,
+}
+
+/// Execution statistics for a DBT session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbtStats {
+    /// Blocks translated.
+    pub blocks: u64,
+    /// Guest instructions consumed by translation.
+    pub guest_insts: u64,
+    /// Cache instructions emitted (instrumentation expansion shows here).
+    pub cache_insts: u64,
+    /// Exit stubs patched into direct chains.
+    pub chains: u64,
+    /// Indirect-branch dispatches serviced.
+    pub dispatches: u64,
+    /// Self-modifying-code flushes.
+    pub smc_flushes: u64,
+    /// Unconditional jumps elided by trace formation (jump inlining).
+    pub inlined_jumps: u64,
+}
+
+/// A translated block's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransBlock {
+    /// Guest address of the first instruction (the block's signature).
+    pub guest_start: u64,
+    /// Guest bytes covered.
+    pub guest_len: u64,
+    /// First cache address of the translation.
+    pub cache_start: u64,
+    /// One past the last cache address.
+    pub cache_end: u64,
+}
+
+impl TransBlock {
+    /// The cache address range occupied by the translation.
+    pub fn cache_range(&self) -> Range<u64> {
+        self.cache_start..self.cache_end
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ExitKind {
+    /// Patchable direct transfer to a guest target.
+    Direct { guest_target: u64, site: u64 },
+    /// Indirect transfer; dynamic guest target in `regs::ITARGET`.
+    Indirect,
+    /// Translation-time fault to surface when reached.
+    Abort { trap: Trap },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ExitDesc {
+    kind: ExitKind,
+    patched: bool,
+}
+
+/// The dynamic binary translator.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_dbt::{Dbt, DbtExit, NullInstrumenter, UpdateStyle};
+/// use cfed_isa::{encode_all, Inst, Reg};
+/// use cfed_sim::Machine;
+///
+/// let code = encode_all(&[Inst::MovRI { dst: Reg::R0, imm: 9 }, Inst::Halt]);
+/// let mut m = Machine::load(&code, &[], 0);
+/// let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+/// assert_eq!(dbt.run(&mut m, 1_000), DbtExit::Halted { code: 9 });
+/// ```
+pub struct Dbt {
+    instr: Box<dyn Instrumenter>,
+    style: UpdateStyle,
+    cache: Range<u64>,
+    cursor: u64,
+    err_stub: u64,
+    guest_code: Range<u64>,
+    blocks: HashMap<u64, TransBlock>,
+    exits: Vec<ExitDesc>,
+    patched_by_target: HashMap<u64, Vec<usize>>,
+    blocks_by_page: HashMap<u64, Vec<u64>>,
+    protected_pages: HashSet<u64>,
+    dispatch_cycles: u64,
+    inline_jumps: bool,
+    stats: DbtStats,
+    attached: bool,
+}
+
+impl std::fmt::Debug for Dbt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dbt")
+            .field("technique", &self.instr.name())
+            .field("style", &self.style)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl Dbt {
+    /// Creates a DBT for the loaded machine, maps the code-cache region, and
+    /// emits the shared report-error stub.
+    pub fn new(instr: Box<dyn Instrumenter>, style: UpdateStyle, m: &mut Machine) -> Dbt {
+        let cache = m.layout().cache_region.clone();
+        m.mem.map(cache.clone(), Perms::R | Perms::X);
+        let mut a = CacheAsm::new(&mut m.mem, cache.start);
+        // The `.report_error` target of every signature check.
+        let err_stub = a.emit(Inst::Trap { code: trap_codes::CFE_DETECTED });
+        let cursor = a.finish();
+        Dbt {
+            instr,
+            style,
+            cache,
+            cursor,
+            err_stub,
+            guest_code: m.code_range(),
+            blocks: HashMap::new(),
+            exits: Vec::new(),
+            patched_by_target: HashMap::new(),
+            blocks_by_page: HashMap::new(),
+            protected_pages: HashSet::new(),
+            dispatch_cycles: DEFAULT_DISPATCH_CYCLES,
+            inline_jumps: false,
+            stats: DbtStats::default(),
+            attached: false,
+        }
+    }
+
+    /// Enables backend trace formation: unconditional direct jumps are
+    /// elided and their targets fused into the current translation (blocks
+    /// become superblock-style traces). Off by default — the paper's
+    /// headline figures are measured block-at-a-time.
+    pub fn set_inline_jumps(&mut self, enable: bool) {
+        self.inline_jumps = enable;
+    }
+
+    /// Overrides the per-dispatch cycle charge (cost-model ablation).
+    pub fn set_dispatch_cycles(&mut self, cycles: u64) {
+        self.dispatch_cycles = cycles;
+    }
+
+    /// The technique driving instrumentation.
+    pub fn technique_name(&self) -> &'static str {
+        self.instr.name()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DbtStats {
+        self.stats
+    }
+
+    /// The cache region.
+    pub fn cache_region(&self) -> Range<u64> {
+        self.cache.clone()
+    }
+
+    /// Cache address of the shared report-error stub.
+    pub fn err_stub(&self) -> u64 {
+        self.err_stub
+    }
+
+    /// Translated blocks, in no particular order.
+    pub fn blocks(&self) -> impl Iterator<Item = &TransBlock> {
+        self.blocks.values()
+    }
+
+    /// Looks up the translation of a guest block start address.
+    pub fn lookup(&self, guest_addr: u64) -> Option<&TransBlock> {
+        self.blocks.get(&guest_addr)
+    }
+
+    /// Finds the translated block whose cache range contains `addr`.
+    pub fn block_containing(&self, addr: u64) -> Option<&TransBlock> {
+        self.blocks.values().find(|b| b.cache_range().contains(&addr))
+    }
+
+    /// Redirects the CPU from the guest entry point into translated code and
+    /// initializes the instrumentation registers.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the hardware trap if the entry address is not translatable.
+    pub fn attach(&mut self, m: &mut Machine) -> Result<(), Trap> {
+        let entry = m.cpu.ip();
+        let cache_entry = self.translate(m, entry)?;
+        for (reg, value) in self.instr.initial_state(entry) {
+            m.cpu.set_reg(reg, value);
+        }
+        m.cpu.set_ip(cache_entry);
+        self.attached = true;
+        Ok(())
+    }
+
+    /// Executes one instruction under DBT supervision, servicing runtime
+    /// exits transparently.
+    pub fn step(&mut self, m: &mut Machine) -> DbtStep {
+        if !self.attached {
+            if let Err(t) = self.attach(m) {
+                return DbtStep::Exit(t);
+            }
+        }
+        match m.cpu.step(&mut m.mem) {
+            Ok(cfed_sim::Step::Continue) => DbtStep::Continue,
+            Ok(cfed_sim::Step::Halt) => DbtStep::Halted,
+            Err(Trap::Software { code, .. })
+                if code >= trap_codes::DBT_EXIT_BASE
+                    && ((code - trap_codes::DBT_EXIT_BASE) as usize) < self.exits.len() =>
+            {
+                let idx = (code - trap_codes::DBT_EXIT_BASE) as usize;
+                self.service_exit(m, idx)
+            }
+            Err(Trap::PermWrite { addr })
+                if self.protected_pages.contains(&Memory::page_base(addr)) =>
+            {
+                self.smc_flush(m, Memory::page_base(addr));
+                DbtStep::Continue
+            }
+            Err(other) => DbtStep::Exit(other),
+        }
+    }
+
+    /// Runs under supervision until halt, surfaced trap, or `max_insts`
+    /// retired guest+instrumentation instructions.
+    pub fn run(&mut self, m: &mut Machine, max_insts: u64) -> DbtExit {
+        let start = m.cpu.stats().insts;
+        loop {
+            if m.cpu.stats().insts - start >= max_insts {
+                return DbtExit::StepLimit;
+            }
+            match self.step(m) {
+                DbtStep::Continue => {}
+                DbtStep::Halted => {
+                    return DbtExit::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) }
+                }
+                DbtStep::Exit(t) => return DbtExit::Trapped(t),
+            }
+        }
+    }
+
+    fn service_exit(&mut self, m: &mut Machine, idx: usize) -> DbtStep {
+        match self.exits[idx].kind {
+            ExitKind::Direct { guest_target, site } => {
+                let cache_target = match self.translate(m, guest_target) {
+                    Ok(c) => c,
+                    Err(t) => return DbtStep::Exit(t),
+                };
+                patch_inst(
+                    &mut m.mem,
+                    site,
+                    Inst::Jmp { offset: CacheAsm::rel(site, cache_target) },
+                );
+                self.exits[idx].patched = true;
+                self.patched_by_target.entry(guest_target).or_default().push(idx);
+                self.stats.chains += 1;
+                // ip still addresses the (now patched) site; resuming
+                // executes the chain jump.
+                DbtStep::Continue
+            }
+            ExitKind::Indirect => {
+                let guest_target = m.cpu.reg(regs::ITARGET);
+                m.cpu.add_cycles(self.dispatch_cycles);
+                self.stats.dispatches += 1;
+                match self.translate(m, guest_target) {
+                    Ok(c) => {
+                        m.cpu.set_ip(c);
+                        DbtStep::Continue
+                    }
+                    Err(t) => DbtStep::Exit(t),
+                }
+            }
+            ExitKind::Abort { trap } => DbtStep::Exit(trap),
+        }
+    }
+
+    /// Translates the guest block starting at `guest_addr` (or returns the
+    /// existing translation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the hardware trap a real machine would raise for the target:
+    /// [`Trap::UnalignedFetch`] for misaligned addresses,
+    /// [`Trap::PermExec`] for targets outside the guest code region.
+    pub fn translate(&mut self, m: &mut Machine, guest_addr: u64) -> Result<u64, Trap> {
+        if let Some(b) = self.blocks.get(&guest_addr) {
+            return Ok(b.cache_start);
+        }
+        if guest_addr % INST_SIZE_U64 != 0 {
+            return Err(Trap::UnalignedFetch { addr: guest_addr });
+        }
+        if !self.guest_code.contains(&guest_addr) {
+            return Err(Trap::PermExec { addr: guest_addr });
+        }
+
+        // ---- decode the guest block (optionally extended into a trace) ----
+        let mut insts = Vec::new();
+        let mut addr = guest_addr;
+        let mut abort: Option<Trap> = None;
+        // Guest ranges covered (more than one when jump inlining stitches a
+        // trace together); used for page protection.
+        let mut ranges: Vec<Range<u64>> = Vec::new();
+        let mut seg_start = guest_addr;
+        let mut visited_segments = vec![guest_addr];
+        let terminator = loop {
+            if !self.guest_code.contains(&addr) {
+                abort = Some(Trap::PermExec { addr });
+                break None;
+            }
+            let bytes: [u8; 8] =
+                m.mem.peek(addr, 8).try_into().expect("guest code in range");
+            match Inst::decode(&bytes) {
+                Ok(inst @ Inst::Jmp { .. })
+                    if self.inline_jumps && insts.len() < MAX_BLOCK_INSTS =>
+                {
+                    // Backend trace formation: elide the unconditional jump
+                    // and keep decoding at its target, fusing the blocks
+                    // into one translation (the paper's Backend module
+                    // optimizes hot code similarly, §5).
+                    let target = inst.direct_target(addr).expect("direct");
+                    let ok = target % INST_SIZE_U64 == 0
+                        && self.guest_code.contains(&target)
+                        && !visited_segments.contains(&target)
+                        && !self.blocks.contains_key(&target);
+                    if !ok {
+                        break Some((inst, addr));
+                    }
+                    ranges.push(seg_start..addr + INST_SIZE_U64);
+                    self.stats.inlined_jumps += 1;
+                    visited_segments.push(target);
+                    seg_start = target;
+                    addr = target;
+                }
+                Ok(inst) if inst.is_terminator() => break Some((inst, addr)),
+                Ok(inst) => {
+                    insts.push(inst);
+                    addr += INST_SIZE_U64;
+                    if insts.len() >= MAX_BLOCK_INSTS {
+                        break None; // split: synthetic fall-through edge
+                    }
+                }
+                Err(cause) => {
+                    abort = Some(Trap::InvalidInst { addr, cause });
+                    break None;
+                }
+            }
+        };
+        let guest_end = terminator.map_or(addr, |(_, taddr)| taddr + INST_SIZE_U64);
+        ranges.push(seg_start..guest_end.max(seg_start + INST_SIZE_U64));
+        self.stats.guest_insts += insts.len() as u64 + terminator.is_some() as u64;
+
+        let view = BlockView {
+            guest_start: guest_addr,
+            ends_with_ret: matches!(terminator, Some((Inst::Ret, _))),
+            ends_with_halt: matches!(terminator, Some((Inst::Halt, _))),
+            has_back_edge: match terminator {
+                Some((t, taddr)) => {
+                    t.direct_target(taddr).is_some_and(|tgt| tgt <= taddr)
+                }
+                None => false,
+            },
+        };
+        let check = self.instr.wants_check(&view);
+
+        // ---- emit the translation ----
+        let cache_start = self.cursor;
+        // Collect exit descriptors created during emission; allocated after
+        // emission because sites are only known then.
+        let mut new_exits: Vec<(u64, ExitKind)> = Vec::new(); // (site, kind)
+
+        let mut a = CacheAsm::new(&mut m.mem, cache_start);
+        self.instr.emit_head(&mut a, guest_addr, check, self.err_stub);
+        for inst in &insts {
+            a.emit(*inst);
+        }
+
+        let cur = guest_addr;
+        match terminator {
+            Some((inst @ Inst::Jmp { .. }, taddr)) => {
+                let target = inst.direct_target(taddr).expect("direct");
+                self.instr.emit_update_direct(&mut a, cur, target);
+                Self::emit_exit_direct(&self.blocks, &mut a, target, &mut new_exits);
+            }
+            Some((inst @ (Inst::Jcc { .. } | Inst::JRz { .. } | Inst::JRnz { .. }), taddr)) => {
+                let taken = inst.direct_target(taddr).expect("direct");
+                let fall = taddr + INST_SIZE_U64;
+                // Conditional signature update, emitted BEFORE the original
+                // branch (the temporal separation that lets the techniques
+                // catch mistaken-branch errors, category A). Two flavors:
+                // cmov-style (Figure 8) or branch-style via an inserted
+                // selector branch mirroring the condition (the paper's
+                // "Jcc" configuration, Figure 14).
+                if self.instr.has_updates() {
+                    let cmov_done = match (self.style, inst) {
+                        (UpdateStyle::CMov, Inst::Jcc { cc, .. }) => self
+                            .instr
+                            .emit_update_cond_cmov(&mut a, cur, taken, fall, cc),
+                        _ => false,
+                    };
+                    if !cmov_done {
+                        self.instr.emit_pre_selector(&mut a, cur);
+                        let lu = a.new_label();
+                        let lj = a.new_label();
+                        match inst {
+                            Inst::Jcc { cc, .. } => a.jcc_to(cc, lu),
+                            Inst::JRz { src, .. } => a.jrz_to(src, lu),
+                            Inst::JRnz { src, .. } => a.jrnz_to(src, lu),
+                            _ => unreachable!(),
+                        };
+                        self.instr.emit_selector_update(&mut a, cur, fall);
+                        a.jmp_to(lj);
+                        a.bind(lu);
+                        self.instr.emit_selector_update(&mut a, cur, taken);
+                        a.bind(lj);
+                    }
+                }
+                // The original branch, translated to target the exit sites.
+                let lt = a.new_label();
+                match inst {
+                    Inst::Jcc { cc, .. } => a.jcc_to(cc, lt),
+                    Inst::JRz { src, .. } => a.jrz_to(src, lt),
+                    Inst::JRnz { src, .. } => a.jrnz_to(src, lt),
+                    _ => unreachable!(),
+                };
+                Self::emit_exit_direct(&self.blocks, &mut a, fall, &mut new_exits);
+                a.bind(lt);
+                Self::emit_exit_direct(&self.blocks, &mut a, taken, &mut new_exits);
+            }
+            Some((inst @ Inst::Call { .. }, taddr)) => {
+                let target = inst.direct_target(taddr).expect("direct");
+                let guest_ret = taddr + INST_SIZE_U64;
+                a.emit(Inst::MovRI { dst: regs::GRET, imm: guest_ret as i32 });
+                a.emit(Inst::Push { src: regs::GRET });
+                self.instr.emit_update_direct(&mut a, cur, target);
+                Self::emit_exit_direct(&self.blocks, &mut a, target, &mut new_exits);
+            }
+            Some((Inst::CallR { target }, taddr)) => {
+                let guest_ret = taddr + INST_SIZE_U64;
+                a.emit(Inst::MovRR { dst: regs::ITARGET, src: target });
+                a.emit(Inst::MovRI { dst: regs::GRET, imm: guest_ret as i32 });
+                a.emit(Inst::Push { src: regs::GRET });
+                self.instr.emit_update_indirect(&mut a, cur, regs::ITARGET);
+                let site = a.here();
+                a.emit(Inst::Nop); // placeholder, rewritten below
+                new_exits.push((site, ExitKind::Indirect));
+            }
+            Some((Inst::JmpR { target }, _)) => {
+                a.emit(Inst::MovRR { dst: regs::ITARGET, src: target });
+                self.instr.emit_update_indirect(&mut a, cur, regs::ITARGET);
+                let site = a.here();
+                a.emit(Inst::Nop);
+                new_exits.push((site, ExitKind::Indirect));
+            }
+            Some((Inst::Ret, _)) => {
+                a.emit(Inst::Pop { dst: regs::ITARGET });
+                self.instr.emit_update_indirect(&mut a, cur, regs::ITARGET);
+                let site = a.here();
+                a.emit(Inst::Nop);
+                new_exits.push((site, ExitKind::Indirect));
+            }
+            Some((Inst::Halt, _)) => {
+                self.instr.emit_end_check(&mut a, cur, self.err_stub);
+                a.emit(Inst::Halt);
+            }
+            Some((Inst::Trap { code }, _)) => {
+                a.emit(Inst::Trap { code });
+            }
+            Some((other, taddr)) => {
+                unreachable!("non-terminator {other:?} at {taddr:#x} ended block")
+            }
+            None => match abort {
+                Some(trap) => {
+                    let site = a.here();
+                    a.emit(Inst::Nop);
+                    new_exits.push((site, ExitKind::Abort { trap }));
+                }
+                None => {
+                    // Block split at MAX_BLOCK_INSTS: synthetic fall-through.
+                    self.instr.emit_update_direct(&mut a, cur, addr);
+                    Self::emit_exit_direct(&self.blocks, &mut a, addr, &mut new_exits);
+                }
+            },
+        }
+        let cache_end = a.finish();
+
+        // Materialize exit descriptors and their trap stubs.
+        for (site, kind) in new_exits {
+            let idx = self.exits.len();
+            let patched = matches!(kind, ExitKind::Direct { .. })
+                && matches!(read_inst(&m.mem, site), Inst::Jmp { .. });
+            if !patched {
+                patch_inst(
+                    &mut m.mem,
+                    site,
+                    Inst::Trap { code: trap_codes::DBT_EXIT_BASE + idx as u32 },
+                );
+            }
+            if patched {
+                if let ExitKind::Direct { guest_target, .. } = kind {
+                    self.patched_by_target.entry(guest_target).or_default().push(idx);
+                    self.stats.chains += 1;
+                }
+            }
+            self.exits.push(ExitDesc { kind, patched });
+        }
+
+        // Record the block and protect its guest pages (SMC detection).
+        let block = TransBlock {
+            guest_start: guest_addr,
+            guest_len: ranges.iter().map(|r| r.end - r.start).sum(),
+            cache_start,
+            cache_end,
+        };
+        self.stats.blocks += 1;
+        self.stats.cache_insts += (cache_end - cache_start) / INST_SIZE_U64;
+        self.blocks.insert(guest_addr, block);
+        for range in &ranges {
+            let mut page = Memory::page_base(range.start);
+            while page < range.end {
+                self.blocks_by_page.entry(page).or_default().push(guest_addr);
+                if self.protected_pages.insert(page) {
+                    m.mem.protect_page(page);
+                }
+                page += PAGE_SIZE;
+            }
+        }
+
+        self.cursor = cache_end;
+        assert!(self.cursor <= self.cache.end, "code cache exhausted");
+        Ok(cache_start)
+    }
+
+    /// Emits the transfer to a guest target: a direct chain jump when the
+    /// target is already translated, otherwise a patchable exit site.
+    fn emit_exit_direct(
+        blocks: &HashMap<u64, TransBlock>,
+        a: &mut CacheAsm<'_>,
+        guest_target: u64,
+        new_exits: &mut Vec<(u64, ExitKind)>,
+    ) {
+        let site = a.here();
+        if let Some(tb) = blocks.get(&guest_target) {
+            a.jmp_abs(tb.cache_start);
+        } else {
+            a.emit(Inst::Nop); // becomes the trap stub once idx is known
+        }
+        new_exits.push((site, ExitKind::Direct { guest_target, site }));
+    }
+
+    /// Invalidates every translation sourced from `page` and unchains jumps
+    /// into them; the guest page becomes writable again.
+    fn smc_flush(&mut self, m: &mut Machine, page: u64) {
+        let Some(guests) = self.blocks_by_page.remove(&page) else {
+            return;
+        };
+        for g in guests {
+            if self.blocks.remove(&g).is_none() {
+                continue;
+            }
+            // Unchain every patched jump into the flushed block.
+            for idx in self.patched_by_target.remove(&g).unwrap_or_default() {
+                if let ExitKind::Direct { site, .. } = self.exits[idx].kind {
+                    patch_inst(
+                        &mut m.mem,
+                        site,
+                        Inst::Trap { code: trap_codes::DBT_EXIT_BASE + idx as u32 },
+                    );
+                    self.exits[idx].patched = false;
+                }
+            }
+        }
+        self.protected_pages.remove(&page);
+        m.mem.unprotect_page(page);
+        self.stats.smc_flushes += 1;
+    }
+}
+
+fn read_inst(mem: &Memory, addr: u64) -> Inst {
+    let bytes: [u8; 8] = mem.peek(addr, 8).try_into().expect("aligned slot");
+    Inst::decode(&bytes).expect("cache instruction decodes")
+}

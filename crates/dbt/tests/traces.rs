@@ -1,0 +1,86 @@
+//! Tests for the backend trace-formation option (jump inlining).
+
+use cfed_dbt::{Dbt, DbtExit, NullInstrumenter, UpdateStyle};
+use cfed_lang::compile;
+use cfed_sim::Machine;
+
+fn run(src: &str, inline: bool) -> (DbtExit, Vec<u64>, u64, cfed_dbt::DbtStats) {
+    let image = compile(src).unwrap();
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+    dbt.set_inline_jumps(inline);
+    let exit = dbt.run(&mut m, 50_000_000);
+    (exit, m.cpu.take_output(), m.cpu.stats().cycles, dbt.stats())
+}
+
+const PROGRAM: &str = r#"
+    fn classify(x) {
+        // if/else chains produce join-point jumps that traces can elide.
+        let r = 0;
+        if (x % 4 == 0) { r = 1; } else { r = 2; }
+        if (x % 3 == 0) { r = r + 10; } else { r = r + 20; }
+        if (x % 5 == 0) { r = r + 100; } else { r = r + 200; }
+        return r;
+    }
+    fn main() {
+        let i = 0;
+        let acc = 0;
+        while (i < 500) { acc = acc + classify(i); i = i + 1; }
+        out(acc);
+    }
+"#;
+
+#[test]
+fn inlining_preserves_behaviour() {
+    let (exit_a, out_a, _, _) = run(PROGRAM, false);
+    let (exit_b, out_b, _, stats) = run(PROGRAM, true);
+    assert_eq!(exit_a, exit_b);
+    assert_eq!(out_a, out_b);
+    assert!(stats.inlined_jumps > 0, "the if/else joins must be inlined");
+}
+
+#[test]
+fn inlining_reduces_cycles() {
+    let (_, _, cycles_off, _) = run(PROGRAM, false);
+    let (_, _, cycles_on, _) = run(PROGRAM, true);
+    assert!(
+        cycles_on < cycles_off,
+        "trace formation should save cycles: {cycles_on} vs {cycles_off}"
+    );
+}
+
+#[test]
+fn inlining_disabled_by_default() {
+    let (_, _, _, stats) = run(PROGRAM, false);
+    assert_eq!(stats.inlined_jumps, 0);
+}
+
+#[test]
+fn self_loop_jumps_are_not_inlined() {
+    // A tight `while(1)`-style loop ends with a jmp back to its own start;
+    // inlining must refuse the cycle and still terminate translation.
+    let src = r#"
+        fn main() {
+            let i = 0;
+            while (i < 100000) { i = i + 3; }
+            out(i);
+        }
+    "#;
+    let (exit, out, _, _) = run(src, true);
+    assert!(matches!(exit, DbtExit::Halted { .. }));
+    assert_eq!(out, vec![100002]);
+}
+
+#[test]
+fn trace_blocks_report_total_guest_coverage() {
+    // A trace's guest_len sums its (possibly discontiguous) segments.
+    let image = compile(PROGRAM).unwrap();
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+    dbt.set_inline_jumps(true);
+    let _ = dbt.run(&mut m, 50_000_000);
+    for b in dbt.blocks() {
+        assert!(b.guest_len >= 8, "block at {:#x} has empty coverage", b.guest_start);
+        assert!(b.cache_end > b.cache_start);
+    }
+}

@@ -1,0 +1,338 @@
+//! Fault-injection campaigns: many randomized single-bit faults, aggregated
+//! into a per-category coverage matrix.
+
+use crate::inject::{golden_run, inject, FaultSpec, Golden, Outcome};
+use cfed_asm::Image;
+use cfed_core::{Category, RunConfig};
+use cfed_isa::{Flags, OFFSET_BITS};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome tallies for one branch-error category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryStats {
+    /// Faults detected by the signature-checking instrumentation.
+    pub detected_check: u64,
+    /// Faults detected by hardware memory protection.
+    pub detected_hw: u64,
+    /// Faults surfacing as other program faults (fail-stop, not CF check).
+    pub other_fault: u64,
+    /// Faults absorbed without observable effect.
+    pub benign: u64,
+    /// Faults producing silent data corruption.
+    pub sdc: u64,
+    /// Faults producing non-terminating runs.
+    pub timeout: u64,
+}
+
+impl CategoryStats {
+    /// Total injections in this category.
+    pub fn total(&self) -> u64 {
+        self.detected_check
+            + self.detected_hw
+            + self.other_fault
+            + self.benign
+            + self.sdc
+            + self.timeout
+    }
+
+    /// Fraction of *harmful* faults (everything but benign) that were
+    /// detected before corrupting output. Timeouts count as undetected:
+    /// a hung program is a failure the relaxed policies explicitly risk
+    /// (paper §6: END "may not report branch-errors that lead the program to
+    /// infinite loops").
+    pub fn coverage(&self) -> f64 {
+        let harmful = self.total() - self.benign;
+        if harmful == 0 {
+            return 1.0;
+        }
+        (self.detected_check + self.detected_hw + self.other_fault) as f64 / harmful as f64
+    }
+
+    fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::DetectedByCheck => self.detected_check += 1,
+            Outcome::DetectedByHw => self.detected_hw += 1,
+            Outcome::OtherFault => self.other_fault += 1,
+            Outcome::Benign => self.benign += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Timeout => self.timeout += 1,
+        }
+    }
+}
+
+/// A randomized injection campaign over one image + DBT configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// DBT configuration under test.
+    pub config: RunConfig,
+    /// Number of faults to inject.
+    pub trials: u64,
+    /// RNG seed (campaigns are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// A campaign with the given trial count and a fixed default seed.
+    pub fn new(config: RunConfig, trials: u64) -> Campaign {
+        Campaign { config, trials, seed: 0xCF_ED_2006 }
+    }
+
+    /// Runs the campaign.
+    ///
+    /// Each trial picks a uniformly random dynamic branch execution and a
+    /// uniformly random bit among the 32 offset bits + 6 flag bits — the
+    /// same fault space as the §2 error model, but executed rather than
+    /// classified hypothetically.
+    pub fn run(&self, image: &Image) -> CampaignReport {
+        let golden = golden_run(image, &self.config);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut report = CampaignReport::new(golden.clone());
+        for _ in 0..self.trials {
+            let nth = rng.gen_range(0..golden.branches.max(1));
+            let bit = rng.gen_range(0..OFFSET_BITS + Flags::BITS) as u8;
+            let spec = if (bit as u32) < OFFSET_BITS {
+                FaultSpec::AddrBit { nth, bit }
+            } else {
+                FaultSpec::FlagBit { nth, bit: bit - OFFSET_BITS as u8 }
+            };
+            if let Some(r) = inject(image, &self.config, spec, &golden) {
+                report.record(r.category, r.outcome, r.latency_insts);
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report
+    }
+}
+
+/// An exhaustive sweep over the fault space of a *prefix* of the execution:
+/// every (branch execution, bit) pair for the first `branches` dynamic
+/// branches — the deterministic complement to [`Campaign`]'s sampling.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSweep {
+    /// DBT configuration under test.
+    pub config: RunConfig,
+    /// How many leading dynamic branch executions to sweep (each costs
+    /// 38 whole-program runs).
+    pub branches: u64,
+}
+
+impl ExhaustiveSweep {
+    /// Creates a sweep over the first `branches` dynamic branches.
+    pub fn new(config: RunConfig, branches: u64) -> ExhaustiveSweep {
+        ExhaustiveSweep { config, branches }
+    }
+
+    /// Runs the sweep: `branches × (32 offset bits + 6 flag bits)`
+    /// injections.
+    pub fn run(&self, image: &Image) -> CampaignReport {
+        let golden = golden_run(image, &self.config);
+        let mut report = CampaignReport::new(golden.clone());
+        for nth in 0..self.branches.min(golden.branches) {
+            for bit in 0..OFFSET_BITS as u8 {
+                match inject(image, &self.config, FaultSpec::AddrBit { nth, bit }, &golden) {
+                    Some(r) => report.record(r.category, r.outcome, r.latency_insts),
+                    None => report.skipped += 1,
+                }
+            }
+            for bit in 0..Flags::BITS as u8 {
+                match inject(image, &self.config, FaultSpec::FlagBit { nth, bit }, &golden) {
+                    Some(r) => report.record(r.category, r.outcome, r.latency_insts),
+                    None => report.skipped += 1,
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Golden reference of the fault-free run.
+    pub golden: Golden,
+    /// Per-category outcome tallies, indexed by [`Category::ALL`] order.
+    stats: [CategoryStats; 7],
+    /// Injections that could not be placed (program ended first).
+    pub skipped: u64,
+    /// Sum/count of detection latencies (instructions from injection to
+    /// check report), over `DetectedByCheck` outcomes.
+    latency_sum: u64,
+    latency_n: u64,
+}
+
+fn cat_idx(c: Category) -> usize {
+    Category::ALL.iter().position(|&x| x == c).expect("category in ALL")
+}
+
+impl CampaignReport {
+    fn new(golden: Golden) -> CampaignReport {
+        CampaignReport {
+            golden,
+            stats: [CategoryStats::default(); 7],
+            skipped: 0,
+            latency_sum: 0,
+            latency_n: 0,
+        }
+    }
+
+    fn record(&mut self, category: Category, outcome: Outcome, latency: u64) {
+        self.stats[cat_idx(category)].record(outcome);
+        if outcome == Outcome::DetectedByCheck {
+            self.latency_sum += latency;
+            self.latency_n += 1;
+        }
+    }
+
+    /// Tallies for one category.
+    pub fn category(&self, c: Category) -> &CategoryStats {
+        &self.stats[cat_idx(c)]
+    }
+
+    /// Tallies summed over the SDC-prone categories A–E.
+    pub fn sdc_prone_total(&self) -> CategoryStats {
+        let mut out = CategoryStats::default();
+        for c in Category::SDC_PRONE {
+            let s = self.category(c);
+            out.detected_check += s.detected_check;
+            out.detected_hw += s.detected_hw;
+            out.other_fault += s.other_fault;
+            out.benign += s.benign;
+            out.sdc += s.sdc;
+            out.timeout += s.timeout;
+        }
+        out
+    }
+
+    /// Mean instructions between injection and a check-based detection.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        (self.latency_n > 0).then(|| self.latency_sum as f64 / self.latency_n as f64)
+    }
+
+    /// Renders a per-category outcome table.
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>8}",
+            "Category", "chk", "hw", "fault", "benign", "SDC", "timeout", "coverage"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(72));
+        for c in Category::ALL {
+            let s = self.category(c);
+            if s.total() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>7.1}%",
+                c.to_string(),
+                s.detected_check,
+                s.detected_hw,
+                s.other_fault,
+                s.benign,
+                s.sdc,
+                s.timeout,
+                100.0 * s.coverage(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_core::TechniqueKind;
+    use cfed_lang::compile;
+
+    fn image() -> Image {
+        compile(
+            r#"
+            fn main() {
+                let i = 0;
+                let acc = 7;
+                while (i < 25) {
+                    if (i % 4 == 1) { acc = acc * 3 + 1; } else { acc = acc + i; }
+                    i = i + 1;
+                }
+                out(acc);
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let img = image();
+        let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 30);
+        let a = c.run(&img);
+        let b = c.run(&img);
+        for cat in Category::ALL {
+            assert_eq!(a.category(cat), b.category(cat));
+        }
+    }
+
+    #[test]
+    fn trials_accounted_for() {
+        let img = image();
+        let c = Campaign::new(RunConfig::technique(TechniqueKind::Rcf), 40);
+        let r = c.run(&img);
+        let total: u64 = Category::ALL.iter().map(|&cat| r.category(cat).total()).sum();
+        assert_eq!(total + r.skipped, 40);
+    }
+
+    #[test]
+    fn rcf_cmov_campaign_produces_no_sdc() {
+        // Under the safe (CMOVcc) configuration RCF prevents every SDC.
+        let img = image();
+        let cfg = RunConfig {
+            technique: Some(TechniqueKind::Rcf),
+            style: cfed_dbt::UpdateStyle::CMov,
+            ..RunConfig::default()
+        };
+        let r = Campaign::new(cfg, 60).run(&img);
+        let s = r.sdc_prone_total();
+        assert_eq!(s.sdc, 0, "RCF/CMOVcc must prevent SDC: {:?}", s);
+    }
+
+    #[test]
+    fn rcf_jcc_campaign_leaks_only_selector_flag_faults() {
+        // Under Jcc updates the one irreducible leak is a flag fault at the
+        // inserted selector branch (equivalent to a data fault in the
+        // flag-producing instruction — outside any signature scheme's
+        // reach). Those classify as category A; B–E stay SDC-free.
+        let img = image();
+        let r = Campaign::new(RunConfig::technique(TechniqueKind::Rcf), 60).run(&img);
+        for c in [Category::B, Category::C, Category::D, Category::E] {
+            assert_eq!(r.category(c).sdc, 0, "RCF/Jcc leaked category {c}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_sweep_covers_the_prefix() {
+        let img = image();
+        let cfg = RunConfig::technique(TechniqueKind::EdgCf);
+        let sweep = ExhaustiveSweep::new(cfg, 3);
+        let r = sweep.run(&img);
+        let total: u64 = Category::ALL.iter().map(|&c| r.category(c).total()).sum();
+        assert_eq!(total + r.skipped, 3 * 38, "3 branches x 38 bits");
+        // Deterministic: same result twice.
+        let r2 = sweep.run(&img);
+        for c in Category::ALL {
+            assert_eq!(r.category(c), r2.category(c));
+        }
+    }
+
+    #[test]
+    fn render_is_nonempty() {
+        let img = image();
+        let r = Campaign::new(RunConfig::baseline(), 20).run(&img);
+        assert!(r.render("x").contains("Category"));
+    }
+}

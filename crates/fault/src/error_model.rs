@@ -1,0 +1,340 @@
+//! The single-bit-flip error model of paper §2 (Figures 2 and 3).
+//!
+//! At every *dynamic* execution of a direct branch, the model considers one
+//! hypothetical single-bit fault in each of the 32 address-offset bits and
+//! each of the 6 condition-flag bits, all equiprobable, and classifies the
+//! control flow that would result. Indirect branches are excluded, as in
+//! the paper ("less than 5% of the total branches execution frequency, we
+//! simplify the analysis by not accounting the errors in these branches").
+//!
+//! Faults in the address offset of a *not-taken* branch do not change the
+//! control flow and are counted as No&nbsp;Error — this is why the paper's
+//! Figure 2 splits every column into taken/not-taken.
+
+use cfed_asm::Image;
+use cfed_core::cfg::Cfg;
+use cfed_core::{classify_addr_fault, classify_flag_fault, BranchFault, Category};
+use cfed_isa::{Flags, INST_SIZE_U64, OFFSET_BITS};
+use cfed_sim::{Cpu, ExitReason, Machine, Step};
+
+/// Which half of the fault surface a bit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSide {
+    /// A bit of the branch's 32-bit address offset.
+    Addr,
+    /// A bit of the 6-bit condition-flags register.
+    Flags,
+}
+
+/// Accumulated branch-error probabilities (the content of Figure 2).
+///
+/// Counts are indexed by (taken, side, category); probabilities divide by
+/// the total number of (dynamic branch, bit) pairs considered, i.e. every
+/// counted bit is equiprobable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorModelTable {
+    counts: [[[u64; 7]; 2]; 2],
+    total_bits: u64,
+}
+
+fn cat_idx(c: Category) -> usize {
+    match c {
+        Category::A => 0,
+        Category::B => 1,
+        Category::C => 2,
+        Category::D => 3,
+        Category::E => 4,
+        Category::F => 5,
+        Category::NoError => 6,
+    }
+}
+
+impl ErrorModelTable {
+    /// Records one hypothetical single-bit fault.
+    pub fn record(&mut self, taken: bool, side: FaultSide, category: Category) {
+        let t = taken as usize;
+        let s = matches!(side, FaultSide::Flags) as usize;
+        self.counts[t][s][cat_idx(category)] += 1;
+        self.total_bits += 1;
+    }
+
+    /// Total number of (branch execution, bit) samples.
+    pub fn samples(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Probability of (taken?, side, category) — one cell of Figure 2.
+    pub fn prob(&self, taken: bool, side: FaultSide, category: Category) -> f64 {
+        if self.total_bits == 0 {
+            return 0.0;
+        }
+        let t = taken as usize;
+        let s = matches!(side, FaultSide::Flags) as usize;
+        self.counts[t][s][cat_idx(category)] as f64 / self.total_bits as f64
+    }
+
+    /// Marginal probability of a category (the Total column of Figure 2).
+    pub fn prob_total(&self, category: Category) -> f64 {
+        [true, false]
+            .into_iter()
+            .flat_map(|t| {
+                [FaultSide::Addr, FaultSide::Flags].into_iter().map(move |s| self.prob(t, s, category))
+            })
+            .sum()
+    }
+
+    /// Figure 3: probabilities renormalized over the SDC-prone categories
+    /// A–E, in category order.
+    pub fn sdc_restricted(&self) -> [(Category, f64); 5] {
+        let total: f64 = Category::SDC_PRONE.iter().map(|&c| self.prob_total(c)).sum();
+        let mut out = [(Category::A, 0.0); 5];
+        for (i, &c) in Category::SDC_PRONE.iter().enumerate() {
+            out[i] = (c, if total > 0.0 { self.prob_total(c) / total } else { 0.0 });
+        }
+        out
+    }
+
+    /// Merges another table into this one (suite aggregation).
+    pub fn merge(&mut self, other: &ErrorModelTable) {
+        for t in 0..2 {
+            for s in 0..2 {
+                for c in 0..7 {
+                    self.counts[t][s][c] += other.counts[t][s][c];
+                }
+            }
+        }
+        self.total_bits += other.total_bits;
+    }
+
+    /// Renders the table in the layout of the paper's Figure 2.
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>8} {:>8} | {:>8} {:>8} | {:>8}",
+            "Category", "T.Addr", "T.Flags", "NT.Addr", "NT.Flags", "Total"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(62));
+        for c in Category::ALL {
+            let _ = writeln!(
+                out,
+                "{:>9} | {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}% | {:>7.2}%",
+                c.to_string(),
+                100.0 * self.prob(true, FaultSide::Addr, c),
+                100.0 * self.prob(true, FaultSide::Flags, c),
+                100.0 * self.prob(false, FaultSide::Addr, c),
+                100.0 * self.prob(false, FaultSide::Flags, c),
+                100.0 * self.prob_total(c),
+            );
+        }
+        out
+    }
+}
+
+/// Result of analyzing one image.
+#[derive(Debug, Clone)]
+pub struct ErrorModelReport {
+    /// The accumulated probability table.
+    pub table: ErrorModelTable,
+    /// How the analyzed run ended.
+    pub exit: ExitReason,
+    /// Dynamic direct-branch executions analyzed.
+    pub branches_analyzed: u64,
+    /// Dynamic indirect-branch executions skipped (paper's simplification).
+    pub indirect_skipped: u64,
+}
+
+/// Runs `image` natively, applying the single-bit error model at every
+/// dynamic direct-branch execution.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_fault::error_model::analyze_image;
+/// use cfed_lang::compile;
+///
+/// let image = compile("fn main() { let i = 0; while (i < 10) { i = i + 1; } }")?;
+/// let report = analyze_image(&image, 1_000_000);
+/// assert!(report.branches_analyzed > 10);
+/// assert!(report.table.samples() > 0);
+/// # Ok::<(), cfed_lang::CompileError>(())
+/// ```
+pub fn analyze_image(image: &Image, max_insts: u64) -> ErrorModelReport {
+    let cfg = Cfg::recover(image);
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let mut table = ErrorModelTable::default();
+    let mut branches = 0u64;
+    let mut indirect = 0u64;
+
+    let exit = loop {
+        if m.cpu.stats().insts >= max_insts {
+            break ExitReason::StepLimit;
+        }
+        if let Ok(inst) = m.cpu.peek_inst(&m.mem) {
+            if inst.is_branch() {
+                if inst.is_indirect_branch() {
+                    indirect += 1;
+                } else {
+                    branches += 1;
+                    analyze_branch(&m.cpu, &inst, &cfg, &mut table);
+                }
+            }
+        }
+        match m.cpu.step(&mut m.mem) {
+            Ok(Step::Continue) => {}
+            Ok(Step::Halt) => break ExitReason::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) },
+            Err(t) => break ExitReason::Trapped(t),
+        }
+    };
+
+    ErrorModelReport { table, exit, branches_analyzed: branches, indirect_skipped: indirect }
+}
+
+fn analyze_branch(cpu: &Cpu, inst: &cfed_isa::Inst, cfg: &Cfg, table: &mut ErrorModelTable) {
+    let addr = cpu.ip();
+    let taken = cpu.would_take(inst);
+    let offset = inst.branch_offset().expect("direct branch");
+    let fall = addr + INST_SIZE_U64;
+    let correct = if taken { inst.direct_target(addr).expect("direct") } else { fall };
+    let block = cfg
+        .block_containing(addr)
+        .map(|id| cfg.blocks()[id].range())
+        .unwrap_or(addr..addr + INST_SIZE_U64);
+
+    // Address-offset bits: only matter when the branch redirects control.
+    for bit in 0..OFFSET_BITS {
+        let category = if !taken {
+            Category::NoError
+        } else {
+            let faulty_off = offset ^ (1i32 << bit);
+            let faulty = addr
+                .wrapping_add(INST_SIZE_U64)
+                .wrapping_add(faulty_off as i64 as u64);
+            classify_addr_fault(
+                &BranchFault {
+                    branch_block: block.clone(),
+                    fall_through: fall,
+                    correct_target: correct,
+                    faulty_target: faulty,
+                },
+                cfg,
+            )
+        };
+        table.record(taken, FaultSide::Addr, category);
+    }
+
+    // Flag bits: only `jcc` reads the flags for its direction.
+    for bit in 0..Flags::BITS as u8 {
+        let category = if inst.reads_flags_for_direction() {
+            let flipped = cpu.flags().with_bit_flipped(bit);
+            classify_flag_fault(cpu.would_take_with_flags(inst, flipped) != taken)
+        } else {
+            Category::NoError
+        };
+        table.record(taken, FaultSide::Flags, category);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_lang::compile;
+
+    fn report(src: &str) -> ErrorModelReport {
+        analyze_image(&compile(src).unwrap(), 5_000_000)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let r = report("fn main() { let i = 0; while (i < 50) { i = i + 1; } out(i); }");
+        let sum: f64 = Category::ALL
+            .iter()
+            .map(|&c| r.table.prob_total(c))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn bits_per_branch_is_38() {
+        let r = report("fn main() { let i = 0; while (i < 7) { i = i + 1; } }");
+        assert_eq!(
+            r.table.samples(),
+            r.branches_analyzed * (OFFSET_BITS as u64 + Flags::BITS as u64)
+        );
+    }
+
+    #[test]
+    fn not_taken_addr_bits_are_no_error() {
+        let r = report(
+            "fn main() { let i = 0; while (i < 20) { if (i == 1000) { out(i); } i = i + 1; } }",
+        );
+        // The never-taken `if` contributes not-taken addr bits, all NoError.
+        assert!(r.table.prob(false, FaultSide::Addr, Category::NoError) > 0.0);
+        for c in Category::SDC_PRONE {
+            assert_eq!(r.table.prob(false, FaultSide::Addr, c), 0.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn flag_faults_only_produce_a_or_noerror() {
+        let r = report("fn main() { let i = 0; while (i < 30) { i = i + 1; } }");
+        for taken in [true, false] {
+            for c in [Category::B, Category::C, Category::D, Category::E, Category::F] {
+                assert_eq!(r.table.prob(taken, FaultSide::Flags, c), 0.0);
+            }
+        }
+        assert!(r.table.prob_total(Category::A) > 0.0);
+    }
+
+    #[test]
+    fn category_e_dominates_sdc_prone_mass() {
+        // Paper Figure 3: E is by far the largest SDC-prone category.
+        let r = report(
+            r#"
+            fn work(x) { if (x % 3 == 0) { return x * 2; } return x + 1; }
+            fn main() {
+                let i = 0;
+                let acc = 0;
+                while (i < 200) { acc = acc + work(i); i = i + 1; }
+                out(acc);
+            }
+            "#,
+        );
+        let sdc = r.table.sdc_restricted();
+        let e = sdc.iter().find(|(c, _)| *c == Category::E).unwrap().1;
+        for (c, p) in sdc {
+            if c != Category::E {
+                assert!(e >= p, "E ({e:.3}) must dominate {c} ({p:.3})");
+            }
+        }
+        assert!(e > 0.4, "E should carry most SDC-prone mass, got {e:.3}");
+    }
+
+    #[test]
+    fn indirect_branches_skipped() {
+        let r = report("fn f() { return 1; } fn main() { out(f()); }");
+        assert!(r.indirect_skipped > 0, "ret must be skipped, not analyzed");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = report("fn main() { let i = 0; while (i < 5) { i = i + 1; } }");
+        let b = report("fn main() { let i = 0; while (i < 9) { i = i + 1; } }");
+        let mut merged = a.table.clone();
+        merged.merge(&b.table);
+        assert_eq!(merged.samples(), a.table.samples() + b.table.samples());
+        let sum: f64 = Category::ALL.iter().map(|&c| merged.prob_total(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let r = report("fn main() { let i = 0; while (i < 5) { i = i + 1; } }");
+        let text = r.table.render("TEST");
+        for c in ["A", "B", "C", "D", "E", "F", "No Error"] {
+            assert!(text.contains(c), "missing row {c}");
+        }
+    }
+}

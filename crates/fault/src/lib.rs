@@ -1,0 +1,34 @@
+//! # cfed-fault — error model and fault injection
+//!
+//! Two experiment engines for the CGO'06 reproduction:
+//!
+//! * [`error_model`] — the single-bit-flip branch-error probability model of
+//!   paper §2, regenerating the Figure 2 table and the Figure 3
+//!   SDC-restricted view;
+//! * [`mod@inject`] / [`campaign`] — actual soft-error injection into
+//!   DBT-translated code (the study the paper names as future work),
+//!   measuring per-category detection coverage of each technique.
+//!
+//! ## Example
+//!
+//! ```
+//! use cfed_fault::error_model::analyze_image;
+//! use cfed_lang::compile;
+//!
+//! let image = compile("fn main() { let i = 0; while (i < 20) { i = i + 1; } }")?;
+//! let report = analyze_image(&image, 1_000_000);
+//! let total: f64 = cfed_core::Category::ALL
+//!     .iter()
+//!     .map(|&c| report.table.prob_total(c))
+//!     .sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! # Ok::<(), cfed_lang::CompileError>(())
+//! ```
+
+pub mod campaign;
+pub mod error_model;
+pub mod inject;
+
+pub use campaign::{Campaign, CampaignReport, CategoryStats, ExhaustiveSweep};
+pub use error_model::{analyze_image, ErrorModelReport, ErrorModelTable, FaultSide};
+pub use inject::{golden_run, inject, FaultSpec, Golden, InjectionResult, Outcome};

@@ -1,0 +1,216 @@
+//! Condition codes for `jcc` and `cmovcc`, with IA-32 evaluation semantics.
+
+use crate::Flags;
+use std::fmt;
+
+/// A branch/cmov condition code, matching the IA-32 `cc` suffixes.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_isa::{Cond, Flags};
+///
+/// let mut f = Flags::empty();
+/// f.set_zf(true);
+/// assert!(Cond::E.eval(f));
+/// assert!(!Cond::Ne.eval(f));
+/// assert_eq!(Cond::Le.to_string(), "le");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`ZF`).
+    E = 0,
+    /// Not equal (`!ZF`).
+    Ne = 1,
+    /// Signed less (`SF != OF`).
+    L = 2,
+    /// Signed less-or-equal (`ZF || SF != OF`).
+    Le = 3,
+    /// Signed greater (`!ZF && SF == OF`).
+    G = 4,
+    /// Signed greater-or-equal (`SF == OF`).
+    Ge = 5,
+    /// Unsigned below (`CF`).
+    B = 6,
+    /// Unsigned below-or-equal (`CF || ZF`).
+    Be = 7,
+    /// Unsigned above (`!CF && !ZF`).
+    A = 8,
+    /// Unsigned above-or-equal (`!CF`).
+    Ae = 9,
+    /// Sign (`SF`).
+    S = 10,
+    /// Not sign (`!SF`).
+    Ns = 11,
+    /// Overflow (`OF`).
+    O = 12,
+    /// Not overflow (`!OF`).
+    No = 13,
+    /// Parity even (`PF`).
+    P = 14,
+    /// Parity odd (`!PF`).
+    Np = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+        Cond::O,
+        Cond::No,
+        Cond::P,
+        Cond::Np,
+    ];
+
+    /// Evaluates the condition against a flags value.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::E => f.zf(),
+            Cond::Ne => !f.zf(),
+            Cond::L => f.sf() != f.of(),
+            Cond::Le => f.zf() || f.sf() != f.of(),
+            Cond::G => !f.zf() && f.sf() == f.of(),
+            Cond::Ge => f.sf() == f.of(),
+            Cond::B => f.cf(),
+            Cond::Be => f.cf() || f.zf(),
+            Cond::A => !f.cf() && !f.zf(),
+            Cond::Ae => !f.cf(),
+            Cond::S => f.sf(),
+            Cond::Ns => !f.sf(),
+            Cond::O => f.of(),
+            Cond::No => !f.of(),
+            Cond::P => f.pf(),
+            Cond::Np => !f.pf(),
+        }
+    }
+
+    /// The condition that evaluates to the logical negation of `self` on
+    /// every flags value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_isa::Cond;
+    /// assert_eq!(Cond::Le.negated(), Cond::G);
+    /// ```
+    pub fn negated(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::Ge => Cond::L,
+            Cond::B => Cond::Ae,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::Ae => Cond::B,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+            Cond::O => Cond::No,
+            Cond::No => Cond::O,
+            Cond::P => Cond::Np,
+            Cond::Np => Cond::P,
+        }
+    }
+
+    /// The 4-bit instruction encoding of the condition.
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 4-bit condition encoding.
+    pub fn from_encoding(bits: u8) -> Option<Cond> {
+        Cond::ALL.get(bits as usize).copied()
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::P => "p",
+            Cond::Np => "np",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::sub_with_flags;
+
+    fn flags_of_cmp(a: i64, b: i64) -> Flags {
+        sub_with_flags(a as u64, b as u64).1
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let cases = [(-5i64, 3i64), (3, -5), (7, 7), (i64::MIN, i64::MAX)];
+        for (a, b) in cases {
+            let f = flags_of_cmp(a, b);
+            assert_eq!(Cond::E.eval(f), a == b, "{a} cmp {b}");
+            assert_eq!(Cond::L.eval(f), a < b, "{a} cmp {b}");
+            assert_eq!(Cond::Le.eval(f), a <= b, "{a} cmp {b}");
+            assert_eq!(Cond::G.eval(f), a > b, "{a} cmp {b}");
+            assert_eq!(Cond::Ge.eval(f), a >= b, "{a} cmp {b}");
+        }
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        let cases = [(0u64, 1u64), (u64::MAX, 1), (9, 9), (1 << 63, 1)];
+        for (a, b) in cases {
+            let f = sub_with_flags(a, b).1;
+            assert_eq!(Cond::B.eval(f), a < b, "{a} cmp {b}");
+            assert_eq!(Cond::Be.eval(f), a <= b, "{a} cmp {b}");
+            assert_eq!(Cond::A.eval(f), a > b, "{a} cmp {b}");
+            assert_eq!(Cond::Ae.eval(f), a >= b, "{a} cmp {b}");
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        for cc in Cond::ALL {
+            assert_eq!(cc.negated().negated(), cc);
+            for bits in 0..=Flags::MASK {
+                let f = Flags::from_bits(bits);
+                assert_ne!(cc.eval(f), cc.negated().eval(f), "{cc} on {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        for cc in Cond::ALL {
+            assert_eq!(Cond::from_encoding(cc.encoding()), Some(cc));
+        }
+        assert_eq!(Cond::from_encoding(16), None);
+    }
+}

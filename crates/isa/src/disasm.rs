@@ -1,0 +1,118 @@
+//! Textual disassembly of VISA instructions.
+
+use crate::inst::Inst;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Out { src } => write!(f, "out {src}"),
+            Inst::Trap { code } => write!(f, "trap {code:#x}"),
+            Inst::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::MovRI { dst, imm } => write!(f, "mov {dst}, {imm}"),
+            Inst::Ld { dst, base, disp } => write!(f, "ld {dst}, [{base}{disp:+}]"),
+            Inst::St { base, src, disp } => write!(f, "st [{base}{disp:+}], {src}"),
+            Inst::Ld8 { dst, base, disp } => write!(f, "ld8 {dst}, [{base}{disp:+}]"),
+            Inst::St8 { base, src, disp } => write!(f, "st8 [{base}{disp:+}], {src}"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::CMov { cc, dst, src } => write!(f, "cmov{cc} {dst}, {src}"),
+            Inst::Alu { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Inst::AluI { op, dst, imm } => write!(f, "{op} {dst}, {imm}"),
+            Inst::Neg { dst } => write!(f, "neg {dst}"),
+            Inst::Not { dst } => write!(f, "not {dst}"),
+            Inst::Lea { dst, base, disp } => write!(f, "lea {dst}, [{base}{disp:+}]"),
+            Inst::Lea2 { dst, base, index, disp } => {
+                write!(f, "lea {dst}, [{base}+{index}{disp:+}]")
+            }
+            Inst::LeaSub { dst, base, index, disp } => {
+                write!(f, "lea {dst}, [{base}-{index}{disp:+}]")
+            }
+            Inst::Jmp { offset } => write!(f, "jmp {offset:+}"),
+            Inst::Jcc { cc, offset } => write!(f, "j{cc} {offset:+}"),
+            Inst::JRz { src, offset } => write!(f, "jrz {src}, {offset:+}"),
+            Inst::JRnz { src, offset } => write!(f, "jrnz {src}, {offset:+}"),
+            Inst::Call { offset } => write!(f, "call {offset:+}"),
+            Inst::CallR { target } => write!(f, "call {target}"),
+            Inst::JmpR { target } => write!(f, "jmp {target}"),
+            Inst::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+/// Disassembles a code buffer into `addr: bytes  text` lines, resolving
+/// direct branch targets to absolute addresses.
+///
+/// Undecodable slots are rendered as `(bad)` rather than failing, since code
+/// regions may legitimately contain data or corrupted bytes.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_isa::{disassemble, encode_all, Inst};
+/// let code = encode_all(&[Inst::Jmp { offset: -8 }]);
+/// let text = disassemble(&code, 0x1000);
+/// assert!(text.contains("jmp"));
+/// assert!(text.contains("0x1000"));
+/// ```
+pub fn disassemble(code: &[u8], base: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (idx, chunk) in code.chunks(crate::INST_SIZE).enumerate() {
+        let addr = base + (idx * crate::INST_SIZE) as u64;
+        let _ = write!(out, "{addr:#010x}:  ");
+        match chunk.try_into().ok().map(|arr: &[u8; crate::INST_SIZE]| Inst::decode(arr)) {
+            Some(Ok(inst)) => {
+                if let Some(target) = inst.direct_target(addr) {
+                    let _ = writeln!(out, "{inst}  ; -> {target:#x}");
+                } else {
+                    let _ = writeln!(out, "{inst}");
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "(bad)");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_all, AluOp, Cond, Reg};
+
+    #[test]
+    fn display_forms() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::MovRI { dst: Reg::R0, imm: -3 }, "mov r0, -3"),
+            (Inst::Ld { dst: Reg::R1, base: Reg::SP, disp: 8 }, "ld r1, [sp+8]"),
+            (Inst::St { base: Reg::R2, src: Reg::R3, disp: -16 }, "st [r2-16], r3"),
+            (Inst::Alu { op: AluOp::Xor, dst: Reg::R8, src: Reg::R9 }, "xor r8, r9"),
+            (Inst::AluI { op: AluOp::Cmp, dst: Reg::R8, imm: 0 }, "cmp r8, 0"),
+            (Inst::Jcc { cc: Cond::Ne, offset: 16 }, "jne +16"),
+            (Inst::JRnz { src: Reg::R8, offset: 8 }, "jrnz r8, +8"),
+            (
+                Inst::LeaSub { dst: Reg::R8, base: Reg::R8, index: Reg::R9, disp: 4 },
+                "lea r8, [r8-r9+4]",
+            ),
+            (Inst::CMov { cc: Cond::Le, dst: Reg::R10, src: Reg::R11 }, "cmovle r10, r11"),
+        ];
+        for (inst, expected) in cases {
+            assert_eq!(inst.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn disassemble_resolves_targets_and_bad_slots() {
+        let mut code = encode_all(&[Inst::Jmp { offset: 8 }, Inst::Halt]);
+        code.extend_from_slice(&[0xEE; 8]); // garbage slot
+        let text = disassemble(&code, 0x2000);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("-> 0x2010"));
+        assert!(lines[2].contains("(bad)"));
+    }
+}

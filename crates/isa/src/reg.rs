@@ -1,0 +1,218 @@
+//! General-purpose register file description.
+//!
+//! VISA has sixteen 64-bit general purpose registers, `r0`–`r15`. By software
+//! convention `r15` is the stack pointer ([`Reg::SP`]). Mirroring the paper's
+//! IA-32 → EM64T translation (which gains registers in the wider ISA and uses
+//! them for the `PC'` and `RTS` signature registers without spilling), guest
+//! programs produced by `cfed-asm`/`cfed-lang` restrict themselves to
+//! `r0`–`r7` plus `sp`, leaving `r8`–`r14` free for the dynamic binary
+//! translator's instrumentation.
+
+use std::fmt;
+
+/// A general-purpose register identifier (`r0`–`r15`).
+///
+/// # Examples
+///
+/// ```
+/// use cfed_isa::Reg;
+///
+/// let r = Reg::R3;
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// assert_eq!(Reg::SP.to_string(), "sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    /// The stack pointer (`r15`) by software convention.
+    pub const SP: Reg = Reg(15);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_isa::Reg;
+    /// assert_eq!(Reg::new(5), Reg::R5);
+    /// ```
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_isa::Reg;
+    /// assert_eq!(Reg::try_new(15), Some(Reg::SP));
+    /// assert_eq!(Reg::try_new(16), None);
+    /// ```
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 16).then_some(Reg(index))
+    }
+
+    /// The register's index in the register file (0–15).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register's 4-bit encoding.
+    pub fn encoding(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the registers that guest programs use by
+    /// convention (`r0`–`r7` and `sp`); the remaining registers are reserved
+    /// for DBT instrumentation such as the `PC'` and `RTS` signature
+    /// registers.
+    pub fn is_guest_conventional(self) -> bool {
+        self.0 < 8 || self == Reg::SP
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 16);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Reg::SP {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Error parsing a register name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError;
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid register name")
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl std::str::FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `r0`–`r15` (case insensitive) or `sp`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfed_isa::Reg;
+    /// assert_eq!("r9".parse::<Reg>(), Ok(Reg::R9));
+    /// assert_eq!("SP".parse::<Reg>(), Ok(Reg::SP));
+    /// assert!("r16".parse::<Reg>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        if s.eq_ignore_ascii_case("sp") {
+            return Ok(Reg::SP);
+        }
+        s.strip_prefix('r')
+            .or_else(|| s.strip_prefix('R'))
+            .and_then(|rest| rest.parse::<u8>().ok())
+            .and_then(Reg::try_new)
+            .ok_or(ParseRegError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..16 {
+            assert_eq!(Reg::new(i).encoding(), i);
+        }
+    }
+
+    #[test]
+    fn sp_is_r15() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::SP.to_string(), "sp");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(0), Some(Reg::R0));
+        assert_eq!(Reg::try_new(15), Some(Reg::R15));
+        assert_eq!(Reg::try_new(200), None);
+    }
+
+    #[test]
+    fn guest_conventional_partition() {
+        let conventional: Vec<_> = Reg::all().filter(|r| r.is_guest_conventional()).collect();
+        assert_eq!(conventional.len(), 9); // r0..r7 plus sp
+        assert!(!Reg::R8.is_guest_conventional());
+        assert!(!Reg::R14.is_guest_conventional());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R14.to_string(), "r14");
+    }
+
+    #[test]
+    fn from_str_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(r.to_string().parse::<Reg>(), Ok(r));
+        }
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x3".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+    }
+}

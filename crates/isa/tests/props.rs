@@ -1,0 +1,138 @@
+//! Property-based tests for the VISA encoder/decoder and classification
+//! helpers.
+
+use cfed_isa::{encode_all, AluOp, Cond, Inst, Reg, INST_SIZE};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(|b| Cond::from_encoding(b).unwrap())
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0u8..12).prop_map(|b| AluOp::from_encoding(b).unwrap())
+}
+
+prop_compose! {
+    fn arb_inst()(
+        pick in 0usize..28,
+        a in arb_reg(),
+        b in arb_reg(),
+        c in arb_reg(),
+        cc in arb_cond(),
+        op in arb_alu(),
+        imm in any::<i32>(),
+    ) -> Inst {
+        match pick {
+            0 => Inst::Nop,
+            1 => Inst::Halt,
+            2 => Inst::Out { src: a },
+            3 => Inst::Trap { code: imm as u32 },
+            4 => Inst::MovRR { dst: a, src: b },
+            5 => Inst::MovRI { dst: a, imm },
+            6 => Inst::Ld { dst: a, base: b, disp: imm },
+            7 => Inst::St { base: a, src: b, disp: imm },
+            8 => Inst::Ld8 { dst: a, base: b, disp: imm },
+            9 => Inst::St8 { base: a, src: b, disp: imm },
+            10 => Inst::Push { src: a },
+            11 => Inst::Pop { dst: a },
+            12 => Inst::CMov { cc, dst: a, src: b },
+            13 => Inst::Alu { op, dst: a, src: b },
+            14 => Inst::AluI { op, dst: a, imm },
+            15 => Inst::Neg { dst: a },
+            16 => Inst::Not { dst: a },
+            17 => Inst::Lea { dst: a, base: b, disp: imm },
+            18 => Inst::Lea2 { dst: a, base: b, index: c, disp: imm },
+            19 => Inst::LeaSub { dst: a, base: b, index: c, disp: imm },
+            20 => Inst::Jmp { offset: imm },
+            21 => Inst::Jcc { cc, offset: imm },
+            22 => Inst::JRz { src: a, offset: imm },
+            23 => Inst::JRnz { src: a, offset: imm },
+            24 => Inst::Call { offset: imm },
+            25 => Inst::CallR { target: a },
+            26 => Inst::JmpR { target: a },
+            _ => Inst::Ret,
+        }
+    }
+}
+
+proptest! {
+    /// Every instruction survives an encode/decode round trip.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let bytes = inst.encode();
+        prop_assert_eq!(Inst::decode(&bytes), Ok(inst));
+    }
+
+    /// Decoding never panics on arbitrary bytes, and anything that decodes
+    /// re-encodes to the identical byte pattern (encodings are canonical).
+    #[test]
+    fn decode_total_and_canonical(bytes in prop::array::uniform8(any::<u8>())) {
+        if let Ok(inst) = Inst::decode(&bytes) {
+            prop_assert_eq!(inst.encode(), bytes);
+        }
+    }
+
+    /// Replacing a branch offset changes only the offset.
+    #[test]
+    fn with_branch_offset_is_local(inst in arb_inst(), new_off in any::<i32>()) {
+        if inst.branch_offset().is_some() {
+            let replaced = inst.with_branch_offset(new_off);
+            prop_assert_eq!(replaced.branch_offset(), Some(new_off));
+            prop_assert_eq!(replaced.with_branch_offset(inst.branch_offset().unwrap()), inst);
+            prop_assert_eq!(replaced.mnemonic(), inst.mnemonic());
+        }
+    }
+
+    /// `direct_target` is consistent with offset arithmetic and only defined
+    /// for direct branches.
+    #[test]
+    fn direct_target_consistency(inst in arb_inst(), addr in 0u64..u32::MAX as u64) {
+        match inst.branch_offset() {
+            Some(off) => {
+                let t = inst.direct_target(addr).unwrap();
+                prop_assert_eq!(
+                    t,
+                    addr.wrapping_add(INST_SIZE as u64).wrapping_add(off as i64 as u64)
+                );
+            }
+            None => prop_assert!(inst.direct_target(addr).is_none()),
+        }
+    }
+
+    /// Offset bit flips in the encoded form decode to the same instruction
+    /// with a single-bit-different offset (the fault injector relies on this).
+    #[test]
+    fn offset_bit_flip_stays_decodable(inst in arb_inst(), bit in 0u32..32) {
+        if let Some(off) = inst.branch_offset() {
+            let mut bytes = inst.encode();
+            let byte = 4 + (bit / 8) as usize;
+            bytes[byte] ^= 1 << (bit % 8);
+            let flipped = Inst::decode(&bytes).expect("offset flips stay valid");
+            prop_assert_eq!(flipped.branch_offset(), Some(off ^ (1i32 << bit)));
+            prop_assert_eq!(flipped, inst.with_branch_offset(off ^ (1i32 << bit)));
+        }
+    }
+
+    /// encode_all produces INST_SIZE bytes per instruction in order.
+    #[test]
+    fn encode_all_layout(insts in prop::collection::vec(arb_inst(), 0..32)) {
+        let bytes = encode_all(&insts);
+        prop_assert_eq!(bytes.len(), insts.len() * INST_SIZE);
+        for (i, inst) in insts.iter().enumerate() {
+            let chunk: &[u8; INST_SIZE] =
+                &bytes[i * INST_SIZE..(i + 1) * INST_SIZE].try_into().unwrap();
+            prop_assert_eq!(Inst::decode(chunk), Ok(*inst));
+        }
+    }
+
+    /// Condition negation agrees with eval on every flags value.
+    #[test]
+    fn cond_negation(cc in arb_cond(), bits in 0u8..64) {
+        let f = cfed_isa::Flags::from_bits(bits);
+        prop_assert_ne!(cc.eval(f), cc.negated().eval(f));
+    }
+}

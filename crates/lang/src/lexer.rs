@@ -1,0 +1,357 @@
+//! Lexer for MiniC.
+
+use crate::ast::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals / identifiers.
+    Int(i64),
+    Ident(String),
+    // Keywords.
+    Fn,
+    Let,
+    If,
+    Else,
+    While,
+    Return,
+    Global,
+    Out,
+    Assert,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AmpAmp,
+    PipePipe,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Fn => write!(f, "`fn`"),
+            Tok::Let => write!(f, "`let`"),
+            Tok::If => write!(f, "`if`"),
+            Tok::Else => write!(f, "`else`"),
+            Tok::While => write!(f, "`while`"),
+            Tok::Return => write!(f, "`return`"),
+            Tok::Global => write!(f, "`global`"),
+            Tok::Out => write!(f, "`out`"),
+            Tok::Assert => write!(f, "`assert`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Tilde => write!(f, "`~`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::AmpAmp => write!(f, "`&&`"),
+            Tok::PipePipe => write!(f, "`||`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Tokenizes MiniC source text.
+///
+/// Supports `//` line comments, decimal and `0x` hexadecimal integer
+/// literals, and the operator set of the language. Always ends with a
+/// [`Tok::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unknown characters and malformed literals.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_lang::lexer::{lex, Tok};
+/// let toks = lex("let x = 0x10; // comment").unwrap();
+/// assert_eq!(toks[0].tok, Tok::Let);
+/// assert_eq!(toks[2].tok, Tok::Assign);
+/// assert_eq!(toks[3].tok, Tok::Int(16));
+/// assert_eq!(toks.last().unwrap().tok, Tok::Eof);
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let hex = c == b'0' && bytes.get(i + 1).is_some_and(|b| *b == b'x' || *b == b'X');
+                if hex {
+                    bump!();
+                    bump!();
+                    let hstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        bump!();
+                    }
+                    if i == hstart {
+                        return Err(LexError { message: "empty hex literal".into(), pos });
+                    }
+                    let text = &src[hstart..i];
+                    let value = u64::from_str_radix(text, 16).map_err(|_| LexError {
+                        message: format!("hex literal `{text}` out of range"),
+                        pos,
+                    })?;
+                    out.push(Token { tok: Tok::Int(value as i64), pos });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                    let text = &src[start..i];
+                    let value: i64 = text.parse().map_err(|_| LexError {
+                        message: format!("integer literal `{text}` out of range"),
+                        pos,
+                    })?;
+                    out.push(Token { tok: Tok::Int(value), pos });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "global" => Tok::Global,
+                    "out" => Tok::Out,
+                    "assert" => Tok::Assert,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, pos });
+            }
+            _ => {
+                // Multi-character operators first (src.get avoids slicing
+                // through a multi-byte character).
+                let two = src.get(i..i + 2).unwrap_or("");
+                let tok2 = match two {
+                    "<<" => Some(Tok::Shl),
+                    ">>" => Some(Tok::Shr),
+                    "==" => Some(Tok::EqEq),
+                    "!=" => Some(Tok::NotEq),
+                    "<=" => Some(Tok::Le),
+                    ">=" => Some(Tok::Ge),
+                    "&&" => Some(Tok::AmpAmp),
+                    "||" => Some(Tok::PipePipe),
+                    _ => None,
+                };
+                if let Some(tok) = tok2 {
+                    bump!();
+                    bump!();
+                    out.push(Token { tok, pos });
+                    continue;
+                }
+                let tok1 = match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b',' => Tok::Comma,
+                    b';' => Tok::Semi,
+                    b'=' => Tok::Assign,
+                    b'+' => Tok::Plus,
+                    b'-' => Tok::Minus,
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    b'%' => Tok::Percent,
+                    b'&' => Tok::Amp,
+                    b'|' => Tok::Pipe,
+                    b'^' => Tok::Caret,
+                    b'~' => Tok::Tilde,
+                    b'!' => Tok::Bang,
+                    b'<' => Tok::Lt,
+                    b'>' => Tok::Gt,
+                    _ => {
+                        let ch = src[i..].chars().next().unwrap_or('\u{FFFD}');
+                        return Err(LexError {
+                            message: format!("unexpected character `{ch}`"),
+                            pos,
+                        });
+                    }
+                };
+                bump!();
+                out.push(Token { tok: tok1, pos });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo let iffy"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Let,
+                Tok::Ident("iffy".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0 42 0xFF"), vec![Tok::Int(0), Tok::Int(42), Tok::Int(255), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("< << <= = == & &&"),
+            vec![Tok::Lt, Tok::Shl, Tok::Le, Tok::Assign, Tok::EqEq, Tok::Amp, Tok::AmpAmp, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("1 // two three\n4"), vec![Tok::Int(1), Tok::Int(4), Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let err = lex("let $x").unwrap_err();
+        assert!(err.message.contains('$'));
+        assert_eq!(err.pos.col, 5);
+    }
+
+    #[test]
+    fn empty_hex_reported() {
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn huge_decimal_reported() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,354 @@
+//! AST-level optimizations for MiniC: constant folding, algebraic
+//! identities, and dead-branch elimination.
+//!
+//! The pass is *semantics-preserving* with respect to the VISA evaluation
+//! rules: wrapping 64-bit arithmetic, unsigned `/` and `%` (division by a
+//! constant zero is never folded — the runtime trap must survive), signed
+//! comparisons producing 0/1, and short-circuit logicals (a side-effecting
+//! right operand is never duplicated or dropped unless the left operand
+//! makes it unreachable).
+//!
+//! Opt-in: [`crate::compile`] does not run it (the experiment figures are
+//! recorded against unoptimized code); use [`optimize`] +
+//! [`crate::codegen::generate`] or [`crate::compile_optimized`].
+
+use crate::ast::*;
+
+/// Optimizes a program: folds constants, simplifies identities, and removes
+/// statically dead branches/loops.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_lang::{optimize, parse};
+///
+/// let prog = parse("fn main() { out(2 * 3 + 4); }")?;
+/// let opt = optimize(&prog);
+/// // 2 * 3 + 4 folded to 10.
+/// let text = cfed_lang::pretty::pretty(&opt);
+/// assert!(text.contains("out(10);"));
+/// # Ok::<(), cfed_lang::ParseError>(())
+/// ```
+pub fn optimize(prog: &Program) -> Program {
+    Program {
+        globals: prog.globals.clone(),
+        functions: prog
+            .functions
+            .iter()
+            .map(|f| Function {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: opt_block(&f.body),
+                pos: f.pos,
+            })
+            .collect(),
+    }
+}
+
+fn opt_block(b: &Block) -> Block {
+    let mut stmts = Vec::with_capacity(b.stmts.len());
+    for s in &b.stmts {
+        match opt_stmt(s) {
+            Some(new) => stmts.push(new),
+            None => {} // statically dead
+        }
+    }
+    Block { stmts }
+}
+
+fn opt_stmt(s: &Stmt) -> Option<Stmt> {
+    Some(match s {
+        Stmt::Let { name, value, pos } => {
+            Stmt::Let { name: name.clone(), value: opt_expr(value), pos: *pos }
+        }
+        Stmt::Assign { name, value, pos } => {
+            Stmt::Assign { name: name.clone(), value: opt_expr(value), pos: *pos }
+        }
+        Stmt::Store { name, index, value, pos } => Stmt::Store {
+            name: name.clone(),
+            index: opt_expr(index),
+            value: opt_expr(value),
+            pos: *pos,
+        },
+        Stmt::If { cond, then_blk, else_blk, pos } => {
+            let cond = opt_expr(cond);
+            if let Some(v) = const_of(&cond) {
+                // Statically decided branch: inline the live arm. (Wrap in
+                // `if (1)` to keep this a single statement.)
+                let live = if v != 0 {
+                    Some(opt_block(then_blk))
+                } else {
+                    else_blk.as_ref().map(|e| opt_block(e))
+                };
+                match live {
+                    Some(blk) if !blk.stmts.is_empty() => Stmt::If {
+                        cond: Expr::Int { value: 1, pos: *pos },
+                        then_blk: blk,
+                        else_blk: None,
+                        pos: *pos,
+                    },
+                    _ => return None,
+                }
+            } else {
+                Stmt::If {
+                    cond,
+                    then_blk: opt_block(then_blk),
+                    else_blk: else_blk.as_ref().map(|e| opt_block(e)),
+                    pos: *pos,
+                }
+            }
+        }
+        Stmt::While { cond, body, pos } => {
+            let cond = opt_expr(cond);
+            if const_of(&cond) == Some(0) {
+                return None; // loop never entered
+            }
+            Stmt::While { cond, body: opt_block(body), pos: *pos }
+        }
+        Stmt::Return { value, pos } => {
+            Stmt::Return { value: value.as_ref().map(opt_expr_ref), pos: *pos }
+        }
+        Stmt::Out { value, pos } => Stmt::Out { value: opt_expr(value), pos: *pos },
+        Stmt::Assert { value, pos } => {
+            let value = opt_expr(value);
+            if matches!(const_of(&value), Some(v) if v != 0) {
+                return None; // statically true assertion
+            }
+            Stmt::Assert { value, pos: *pos }
+        }
+        Stmt::Expr { value, pos } => {
+            let value = opt_expr(value);
+            if is_pure(&value) {
+                return None; // pure expression statement: no effect
+            }
+            Stmt::Expr { value, pos: *pos }
+        }
+    })
+}
+
+fn opt_expr_ref(e: &Expr) -> Expr {
+    opt_expr(e)
+}
+
+/// The constant value of an already-optimized expression, if it is one.
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int { value, .. } => Some(*value),
+        _ => None,
+    }
+}
+
+/// Whether evaluating `e` has no side effects (calls may write globals or
+/// `out`; everything else is pure — loads included, since MiniC has no
+/// volatile memory).
+fn is_pure(e: &Expr) -> bool {
+    match e {
+        Expr::Int { .. } | Expr::Var { .. } => true,
+        Expr::Index { index, .. } => is_pure(index),
+        Expr::Call { .. } => false,
+        Expr::Binary { lhs, rhs, .. } => is_pure(lhs) && is_pure(rhs),
+        Expr::Unary { expr, .. } => is_pure(expr),
+    }
+}
+
+fn int(value: i64, pos: Pos) -> Expr {
+    Expr::Int { value, pos }
+}
+
+fn opt_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Int { .. } | Expr::Var { .. } => e.clone(),
+        Expr::Index { name, index, pos } => {
+            Expr::Index { name: name.clone(), index: Box::new(opt_expr(index)), pos: *pos }
+        }
+        Expr::Call { name, args, pos } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(opt_expr_ref).collect(),
+            pos: *pos,
+        },
+        Expr::Unary { op, expr, pos } => {
+            let inner = opt_expr(expr);
+            match (op, const_of(&inner)) {
+                (UnOp::Neg, Some(v)) => int(v.wrapping_neg(), *pos),
+                (UnOp::Not, Some(v)) => int((v == 0) as i64, *pos),
+                (UnOp::BitNot, Some(v)) => int(!v, *pos),
+                _ => Expr::Unary { op: *op, expr: Box::new(inner), pos: *pos },
+            }
+        }
+        Expr::Binary { op, lhs, rhs, pos } => {
+            let l = opt_expr(lhs);
+            let r = opt_expr(rhs);
+            fold_binary(*op, l, r, *pos)
+        }
+    }
+}
+
+/// Evaluates `a op b` exactly as the generated code would.
+fn eval_const(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // Unsigned division; never fold the trapping case away.
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+        BinOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::LogAnd => ((a != 0) && (b != 0)) as i64,
+        BinOp::LogOr => ((a != 0) || (b != 0)) as i64,
+    })
+}
+
+fn as_bool_expr(e: Expr, pos: Pos) -> Expr {
+    // Normalize a truthy expression to 0/1 (`e != 0`).
+    Expr::Binary {
+        op: BinOp::Ne,
+        lhs: Box::new(e),
+        rhs: Box::new(int(0, pos)),
+        pos,
+    }
+}
+
+fn fold_binary(op: BinOp, l: Expr, r: Expr, pos: Pos) -> Expr {
+    let lc = const_of(&l);
+    let rc = const_of(&r);
+
+    // Full constant folding.
+    if let (Some(a), Some(b)) = (lc, rc) {
+        if let Some(v) = eval_const(op, a, b) {
+            return int(v, pos);
+        }
+    }
+
+    // Short-circuit logicals with a constant left operand.
+    match (op, lc) {
+        (BinOp::LogAnd, Some(0)) => return int(0, pos),
+        (BinOp::LogAnd, Some(_)) => return as_bool_expr(r, pos),
+        (BinOp::LogOr, Some(0)) => return as_bool_expr(r, pos),
+        (BinOp::LogOr, Some(_)) => return int(1, pos),
+        _ => {}
+    }
+
+    // Algebraic identities (only drop an operand when it is pure).
+    match (op, rc) {
+        (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, Some(0)) => {
+            return l
+        }
+        (BinOp::Mul | BinOp::Div, Some(1)) => return l,
+        (BinOp::Mul, Some(0)) if is_pure(&l) => return int(0, pos),
+        (BinOp::And, Some(0)) if is_pure(&l) => return int(0, pos),
+        _ => {}
+    }
+    match (op, lc) {
+        (BinOp::Add | BinOp::Or | BinOp::Xor, Some(0)) => return r,
+        (BinOp::Mul, Some(1)) => return r,
+        (BinOp::Mul, Some(0)) if is_pure(&r) => return int(0, pos),
+        _ => {}
+    }
+
+    Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r), pos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::pretty::pretty;
+
+    fn opt_text(src: &str) -> String {
+        pretty(&optimize(&parse(src).unwrap()))
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let t = opt_text("fn main() { out(2 * 3 + 4 - 1); out(1 << 10); out((7 > 3) + 1); }");
+        assert!(t.contains("out(9);"), "{t}");
+        assert!(t.contains("out(1024);"), "{t}");
+        assert!(t.contains("out(2);"), "{t}");
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        let t = opt_text("fn main() { out(5 / 0); }");
+        assert!(t.contains("5 / 0"), "the trap must survive: {t}");
+    }
+
+    #[test]
+    fn identities() {
+        let t = opt_text("fn f(x) { return x + 0; } fn g(x) { return x * 1; } fn main() { }");
+        assert!(t.contains("return x;"), "{t}");
+        assert!(!t.contains("x + 0"));
+        assert!(!t.contains("x * 1"));
+    }
+
+    #[test]
+    fn mul_zero_keeps_side_effects() {
+        let t = opt_text("fn f() { out(1); return 2; } fn main() { out(f() * 0); }");
+        assert!(t.contains("f() * 0"), "calls must not be dropped: {t}");
+        let t = opt_text("fn main() { let x = 5; out(x * 0); }");
+        assert!(t.contains("out(0);"), "{t}");
+    }
+
+    #[test]
+    fn dead_branches_removed() {
+        let t = opt_text("fn main() { if (0) { out(1); } out(2); if (1) { out(3); } }");
+        assert!(!t.contains("out(1)"), "{t}");
+        assert!(t.contains("out(3)"), "{t}");
+        let t = opt_text("fn main() { if (0) { out(1); } else { out(4); } }");
+        assert!(t.contains("out(4)") && !t.contains("out(1)"), "{t}");
+    }
+
+    #[test]
+    fn dead_loops_removed() {
+        let t = opt_text("fn main() { while (0) { out(9); } out(1); }");
+        assert!(!t.contains("out(9)"), "{t}");
+    }
+
+    #[test]
+    fn short_circuit_folding_keeps_semantics() {
+        // `0 && f()` drops the call (it would not run anyway).
+        let t = opt_text("fn f() { out(7); return 1; } fn main() { out(0 && f()); }");
+        assert!(t.contains("out(0);"), "{t}");
+        // `1 && f()` must keep the call, normalized to 0/1.
+        let t = opt_text("fn f() { out(7); return 5; } fn main() { out(1 && f()); }");
+        assert!(t.contains("f() != 0"), "{t}");
+        // `1 || f()` drops the call (short-circuited away).
+        let t = opt_text("fn f() { out(7); return 1; } fn main() { out(1 || f()); }");
+        assert!(t.contains("out(1);"), "{t}");
+    }
+
+    #[test]
+    fn pure_statement_dropped_impure_kept() {
+        let t = opt_text("global a[2]; fn main() { a[0]; a[1] + 1; main2(); } fn main2() { }");
+        assert!(!t.contains("a[1] + 1"), "{t}");
+        assert!(!t.contains("a[0];"), "{t}");
+        assert!(t.contains("main2();"), "{t}");
+    }
+
+    #[test]
+    fn statically_true_asserts_removed() {
+        let t = opt_text("fn main() { assert(2 > 1); assert(1 + 1); out(5); }");
+        assert!(!t.contains("assert"), "{t}");
+        let t = opt_text("fn f(x) { assert(x > 0); return x; } fn main() { out(f(3)); }");
+        assert!(t.contains("assert"), "dynamic asserts stay: {t}");
+    }
+}

@@ -1,0 +1,589 @@
+//! Recursive-descent parser for MiniC with precedence-climbing expressions.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::error::Error;
+use std::fmt;
+
+/// A syntax error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+/// Parses MiniC source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_lang::parse;
+///
+/// let prog = parse("fn main() { out(1 + 2 * 3); }")?;
+/// assert_eq!(prog.functions.len(), 1);
+/// # Ok::<(), cfed_lang::parser::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    Parser { tokens, idx: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.idx].clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn check(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, ParseError> {
+        if &self.peek().tok == &tok {
+            Ok(self.advance())
+        } else {
+            Err(self.err(format!("expected {}, found {}", tok, self.peek().tok)))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, pos: self.pos() }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<i64, ParseError> {
+        // Allow a leading minus in constant contexts (global initializers).
+        let neg = self.check(&Tok::Minus);
+        match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.advance();
+                Ok(if neg { v.wrapping_neg() } else { v })
+            }
+            other => Err(self.err(format!("expected integer literal, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            match &self.peek().tok {
+                Tok::Eof => break,
+                Tok::Global => prog.globals.push(self.global()?),
+                Tok::Fn => prog.functions.push(self.function()?),
+                other => {
+                    return Err(self.err(format!("expected `fn` or `global`, found {other}")))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self) -> Result<Global, ParseError> {
+        let pos = self.pos();
+        self.expect(Tok::Global)?;
+        let name = self.ident()?;
+        let mut is_array = false;
+        let mut len = 1u64;
+        let mut explicit_len = false;
+        if self.check(&Tok::LBracket) {
+            is_array = true;
+            if !self.check(&Tok::RBracket) {
+                let n = self.int_literal()?;
+                if n <= 0 {
+                    return Err(self.err(format!("array length must be positive, got {n}")));
+                }
+                len = n as u64;
+                explicit_len = true;
+                self.expect(Tok::RBracket)?;
+            }
+        }
+        let mut init = Vec::new();
+        if self.check(&Tok::Assign) {
+            if is_array {
+                self.expect(Tok::LBracket)?;
+                if !self.check(&Tok::RBracket) {
+                    loop {
+                        init.push(self.int_literal()?);
+                        if !self.check(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBracket)?;
+                }
+                if !explicit_len {
+                    len = init.len() as u64;
+                } else if init.len() as u64 > len {
+                    return Err(
+                        self.err(format!("{} initializers for array of length {len}", init.len()))
+                    );
+                }
+            } else {
+                init.push(self.int_literal()?);
+            }
+        } else if is_array && !explicit_len {
+            return Err(self.err("array global needs a length or an initializer".into()));
+        }
+        self.expect(Tok::Semi)?;
+        Ok(Global { name, len, init, is_array, pos })
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let pos = self.pos();
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.check(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.check(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body, pos })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&Tok::RBrace) {
+            if matches!(self.peek().tok, Tok::Eof) {
+                return Err(self.err("unexpected end of input inside block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek().tok.clone() {
+            Tok::Let => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let { name, value, pos })
+            }
+            Tok::If => {
+                self.advance();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.check(&Tok::Else) {
+                    if matches!(self.peek().tok, Tok::If) {
+                        // `else if` sugar: wrap in a single-statement block.
+                        let inner = self.stmt()?;
+                        Some(Block { stmts: vec![inner] })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_blk, else_blk, pos })
+            }
+            Tok::While => {
+                self.advance();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Tok::Return => {
+                self.advance();
+                let value =
+                    if matches!(self.peek().tok, Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            Tok::Out => {
+                self.advance();
+                self.expect(Tok::LParen)?;
+                let value = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Out { value, pos })
+            }
+            Tok::Assert => {
+                self.advance();
+                self.expect(Tok::LParen)?;
+                let value = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assert { value, pos })
+            }
+            Tok::Ident(name) => {
+                // Could be assignment, array store, or expression statement.
+                match self.tokens.get(self.idx + 1).map(|t| &t.tok) {
+                    Some(Tok::Assign) => {
+                        self.advance();
+                        self.advance();
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign { name, value, pos })
+                    }
+                    Some(Tok::LBracket) => {
+                        // Look ahead: `a[e] = v;` is a store; `a[e]` in an
+                        // expression statement is rare but must still parse —
+                        // we try store first by scanning for `]` `=` is
+                        // ambiguous, so parse the index then decide.
+                        self.advance();
+                        self.advance();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        if self.check(&Tok::Assign) {
+                            let value = self.expr()?;
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::Store { name, index, value, pos })
+                        } else {
+                            // Expression statement of an index read.
+                            let value =
+                                Expr::Index { name, index: Box::new(index), pos };
+                            let value = self.continue_expr(value)?;
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::Expr { value, pos })
+                        }
+                    }
+                    _ => {
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Expr { value, pos })
+                    }
+                }
+            }
+            Tok::LBrace => {
+                // Anonymous block: inline as an if(1) for simplicity.
+                let blk = self.block()?;
+                Ok(Stmt::If {
+                    cond: Expr::Int { value: 1, pos },
+                    then_blk: blk,
+                    else_blk: None,
+                    pos,
+                })
+            }
+            other => Err(self.err(format!("expected statement, found {other}"))),
+        }
+    }
+
+    /// Continue parsing binary operators after an already-parsed primary.
+    fn continue_expr(&mut self, lhs: Expr) -> Result<Expr, ParseError> {
+        self.binary_rhs(lhs, 0)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.unary()?;
+        self.binary_rhs(lhs, 0)
+    }
+
+    fn binary_rhs(&mut self, mut lhs: Expr, min_prec: u8) -> Result<Expr, ParseError> {
+        loop {
+            let (op, prec) = match self.peek().tok {
+                Tok::PipePipe => (BinOp::LogOr, 1),
+                Tok::AmpAmp => (BinOp::LogAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::EqEq => (BinOp::Eq, 6),
+                Tok::NotEq => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.advance();
+            let mut rhs = self.unary()?;
+            // Left associative: bind tighter operators to the right operand.
+            loop {
+                let next_prec = match self.peek().tok {
+                    Tok::PipePipe => 1,
+                    Tok::AmpAmp => 2,
+                    Tok::Pipe => 3,
+                    Tok::Caret => 4,
+                    Tok::Amp => 5,
+                    Tok::EqEq | Tok::NotEq => 6,
+                    Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => 7,
+                    Tok::Shl | Tok::Shr => 8,
+                    Tok::Plus | Tok::Minus => 9,
+                    Tok::Star | Tok::Slash | Tok::Percent => 10,
+                    _ => 0,
+                };
+                if next_prec > prec {
+                    rhs = self.binary_rhs(rhs, prec + 1)?;
+                } else {
+                    break;
+                }
+            }
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        if self.check(&Tok::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e), pos });
+        }
+        if self.check(&Tok::Bang) {
+            let e = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e), pos });
+        }
+        if self.check(&Tok::Tilde) {
+            let e = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(e), pos });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().tok.clone() {
+            Tok::Int(value) => {
+                self.advance();
+                Ok(Expr::Int { value, pos })
+            }
+            Tok::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.advance();
+                if self.check(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.check(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.check(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    Ok(Expr::Call { name, args, pos })
+                } else if self.check(&Tok::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::Index { name, index: Box::new(index), pos })
+                } else {
+                    Ok(Expr::Var { name, pos })
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_expr(src: &str) -> Expr {
+        let prog = parse(&format!("fn main() {{ out({src}); }}")).unwrap();
+        match &prog.functions[0].body.stmts[0] {
+            Stmt::Out { value, .. } => value.clone(),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    fn op_of(e: &Expr) -> BinOp {
+        match e {
+            Expr::Binary { op, .. } => *op,
+            other => panic!("not binary: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3");
+        assert_eq!(op_of(&e), BinOp::Add);
+        if let Expr::Binary { rhs, .. } = e {
+            assert_eq!(op_of(&rhs), BinOp::Mul);
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        // (10 - 3) - 2
+        let e = parse_expr("10 - 3 - 2");
+        if let Expr::Binary { op, lhs, rhs, .. } = e {
+            assert_eq!(op, BinOp::Sub);
+            assert_eq!(op_of(&lhs), BinOp::Sub);
+            assert!(matches!(*rhs, Expr::Int { value: 2, .. }));
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn comparison_below_logical() {
+        let e = parse_expr("a < b && c > d");
+        assert_eq!(op_of(&e), BinOp::LogAnd);
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = parse_expr("(1 + 2) * 3");
+        assert_eq!(op_of(&e), BinOp::Mul);
+    }
+
+    #[test]
+    fn unary_chain() {
+        let e = parse_expr("-~!x");
+        assert!(matches!(e, Expr::Unary { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn calls_and_indexing() {
+        let e = parse_expr("f(1, g(2), a[i + 1])");
+        if let Expr::Call { name, args, .. } = e {
+            assert_eq!(name, "f");
+            assert_eq!(args.len(), 3);
+            assert!(matches!(&args[2], Expr::Index { .. }));
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn statements_parse() {
+        let src = r#"
+            global counter;
+            global table[4] = [1, 2, 3, 4];
+            fn helper(x) { return x + 1; }
+            fn main() {
+                let i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { counter = counter + helper(i); }
+                    else { table[i % 4] = i; }
+                    i = i + 1;
+                }
+                assert(counter > 0);
+                out(counter);
+                return 0;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.globals.len(), 2);
+        assert_eq!(prog.globals[1].len, 4);
+        assert_eq!(prog.functions.len(), 2);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "fn main() { if (1) { out(1); } else if (2) { out(2); } else { out(3); } }";
+        let prog = parse(src).unwrap();
+        if let Stmt::If { else_blk, .. } = &prog.functions[0].body.stmts[0] {
+            let inner = &else_blk.as_ref().unwrap().stmts[0];
+            assert!(matches!(inner, Stmt::If { .. }));
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn negative_global_initializer() {
+        let prog = parse("global g = -5; fn main() { }").unwrap();
+        assert_eq!(prog.globals[0].init, vec![-5]);
+    }
+
+    #[test]
+    fn array_without_length_infers_from_init() {
+        let prog = parse("global a[] = [7, 8]; fn main() { }").unwrap();
+        assert_eq!(prog.globals[0].len, 2);
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let err = parse("fn main() { let = 3; }").unwrap_err();
+        assert!(err.message.contains("identifier"));
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn unterminated_block_reported() {
+        assert!(parse("fn main() { out(1);").is_err());
+    }
+
+    #[test]
+    fn index_read_statement() {
+        // `a[i];` as a bare statement must parse (continue_expr path).
+        let prog = parse("global a[2]; fn main() { a[0]; a[0] + 1; }").unwrap();
+        assert_eq!(prog.functions[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn too_many_initializers_rejected() {
+        assert!(parse("global a[1] = [1, 2]; fn main() { }").is_err());
+    }
+}

@@ -1,0 +1,388 @@
+//! Semantic analysis: name resolution, arity checking and slot assignment.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A semantic error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for SemaError {}
+
+/// Where a name resolves inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The `i`-th parameter.
+    Param(usize),
+    /// The `i`-th local (declaration order).
+    Local(usize),
+}
+
+/// Resolution results for one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnInfo {
+    /// Number of parameters.
+    pub arity: usize,
+    /// Number of `let` locals.
+    pub locals: usize,
+    /// Name → slot map.
+    pub slots: HashMap<String, Slot>,
+}
+
+/// Resolution results for a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct SemaInfo {
+    /// Per-function resolution info.
+    pub functions: HashMap<String, FnInfo>,
+    /// Global name → (element count, is_array).
+    pub globals: HashMap<String, (u64, bool)>,
+}
+
+/// Checks a parsed program and computes slot assignments.
+///
+/// Enforced rules:
+/// * globals and functions have unique names; globals and functions do not
+///   shadow one another;
+/// * `main` exists and takes no parameters;
+/// * every variable reference resolves to a parameter, a `let` local
+///   declared earlier in the function, or a global scalar;
+/// * indexing applies only to global arrays; assignment targets must be
+///   locals/params or global scalars; stores target global arrays;
+/// * calls reference defined functions with matching arity;
+/// * `let` does not redeclare a name within the same function.
+///
+/// # Errors
+///
+/// The first violated rule is reported with its source position.
+pub fn check(prog: &Program) -> Result<SemaInfo, SemaError> {
+    let mut info = SemaInfo::default();
+
+    for g in &prog.globals {
+        if info.globals.insert(g.name.clone(), (g.len, g.is_array)).is_some() {
+            return Err(SemaError {
+                message: format!("duplicate global `{}`", g.name),
+                pos: g.pos,
+            });
+        }
+        if g.init.len() as u64 > g.len {
+            return Err(SemaError {
+                message: format!("too many initializers for `{}`", g.name),
+                pos: g.pos,
+            });
+        }
+    }
+
+    // Collect function signatures first so calls can be forward references.
+    for f in &prog.functions {
+        if info.functions.contains_key(&f.name) || info.globals.contains_key(&f.name) {
+            return Err(SemaError {
+                message: format!("duplicate definition of `{}`", f.name),
+                pos: f.pos,
+            });
+        }
+        let mut fi = FnInfo { arity: f.params.len(), ..FnInfo::default() };
+        for (i, p) in f.params.iter().enumerate() {
+            if fi.slots.insert(p.clone(), Slot::Param(i)).is_some() {
+                return Err(SemaError {
+                    message: format!("duplicate parameter `{p}` in `{}`", f.name),
+                    pos: f.pos,
+                });
+            }
+        }
+        info.functions.insert(f.name.clone(), fi);
+    }
+
+    match info.functions.get("main") {
+        None => {
+            return Err(SemaError {
+                message: "program must define `fn main()`".into(),
+                pos: Pos::default(),
+            })
+        }
+        Some(fi) if fi.arity != 0 => {
+            let pos = prog.functions.iter().find(|f| f.name == "main").map(|f| f.pos);
+            return Err(SemaError {
+                message: "`main` must take no parameters".into(),
+                pos: pos.unwrap_or_default(),
+            });
+        }
+        Some(_) => {}
+    }
+
+    // Resolve bodies.
+    for f in &prog.functions {
+        let mut ck = Checker {
+            info: &info,
+            fname: &f.name,
+            slots: info.functions[&f.name].slots.clone(),
+            locals: 0,
+        };
+        ck.block(&f.body)?;
+        let (locals, slots) = (ck.locals, ck.slots);
+        let fi = info.functions.get_mut(&f.name).expect("collected above");
+        fi.locals = locals;
+        fi.slots = slots;
+    }
+
+    Ok(info)
+}
+
+struct Checker<'a> {
+    info: &'a SemaInfo,
+    fname: &'a str,
+    slots: HashMap<String, Slot>,
+    locals: usize,
+}
+
+impl Checker<'_> {
+    fn err(&self, message: String, pos: Pos) -> SemaError {
+        SemaError { message, pos }
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), SemaError> {
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), SemaError> {
+        match s {
+            Stmt::Let { name, value, pos } => {
+                self.expr(value)?;
+                if self.slots.contains_key(name) {
+                    return Err(self.err(
+                        format!("`{name}` is already declared in `{}`", self.fname),
+                        *pos,
+                    ));
+                }
+                if self.info.globals.contains_key(name) {
+                    return Err(
+                        self.err(format!("`{name}` shadows a global of the same name"), *pos)
+                    );
+                }
+                self.slots.insert(name.clone(), Slot::Local(self.locals));
+                self.locals += 1;
+                Ok(())
+            }
+            Stmt::Assign { name, value, pos } => {
+                self.expr(value)?;
+                if self.slots.contains_key(name) {
+                    return Ok(());
+                }
+                match self.info.globals.get(name) {
+                    Some((_, false)) => Ok(()),
+                    Some((_, true)) => {
+                        Err(self.err(format!("global array `{name}` needs an index"), *pos))
+                    }
+                    None => Err(self.err(format!("assignment to undeclared `{name}`"), *pos)),
+                }
+            }
+            Stmt::Store { name, index, value, pos } => {
+                self.expr(index)?;
+                self.expr(value)?;
+                match self.info.globals.get(name) {
+                    Some((_, true)) => Ok(()),
+                    Some((_, false)) => {
+                        Err(self.err(format!("`{name}` is a scalar, not an array"), *pos))
+                    }
+                    None => Err(self.err(format!("store to undeclared array `{name}`"), *pos)),
+                }
+            }
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                self.expr(cond)?;
+                self.block(then_blk)?;
+                if let Some(e) = else_blk {
+                    self.block(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond)?;
+                self.block(body)
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v)?;
+                }
+                Ok(())
+            }
+            Stmt::Out { value, .. } | Stmt::Assert { value, .. } | Stmt::Expr { value, .. } => {
+                self.expr(value)
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), SemaError> {
+        match e {
+            Expr::Int { .. } => Ok(()),
+            Expr::Var { name, pos } => {
+                if self.slots.contains_key(name) {
+                    return Ok(());
+                }
+                match self.info.globals.get(name) {
+                    Some((_, false)) => Ok(()),
+                    Some((_, true)) => {
+                        Err(self.err(format!("global array `{name}` needs an index"), *pos))
+                    }
+                    None => Err(self.err(format!("use of undeclared `{name}`"), *pos)),
+                }
+            }
+            Expr::Index { name, index, pos } => {
+                self.expr(index)?;
+                match self.info.globals.get(name) {
+                    Some((_, true)) => Ok(()),
+                    Some((_, false)) => {
+                        Err(self.err(format!("`{name}` is a scalar, not an array"), *pos))
+                    }
+                    None => Err(self.err(format!("use of undeclared array `{name}`"), *pos)),
+                }
+            }
+            Expr::Call { name, args, pos } => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                match self.info.functions.get(name) {
+                    Some(fi) if fi.arity == args.len() => Ok(()),
+                    Some(fi) => Err(self.err(
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            fi.arity,
+                            args.len()
+                        ),
+                        *pos,
+                    )),
+                    None => Err(self.err(format!("call to undefined function `{name}`"), *pos)),
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs)?;
+                self.expr(rhs)
+            }
+            Expr::Unary { expr, .. } => self.expr(expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sema(src: &str) -> Result<SemaInfo, SemaError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn valid_program_resolves() {
+        let info = sema(
+            "global g; global a[3];
+             fn add(x, y) { let s = x + y; return s; }
+             fn main() { g = add(1, 2); a[0] = g; out(a[0]); }",
+        )
+        .unwrap();
+        let add = &info.functions["add"];
+        assert_eq!(add.arity, 2);
+        assert_eq!(add.locals, 1);
+        assert_eq!(add.slots["x"], Slot::Param(0));
+        assert_eq!(add.slots["s"], Slot::Local(0));
+        assert_eq!(info.globals["a"], (3, true));
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = sema("fn helper() { }").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        assert!(sema("fn main(x) { }").is_err());
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let e = sema("fn main() { out(x); }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn use_before_declaration_rejected() {
+        assert!(sema("fn main() { out(x); let x = 1; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_let_rejected() {
+        assert!(sema("fn main() { let x = 1; let x = 2; }").is_err());
+    }
+
+    #[test]
+    fn local_shadowing_global_rejected() {
+        assert!(sema("global x; fn main() { let x = 1; }").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let e = sema("fn f(a) { } fn main() { f(1, 2); }").unwrap_err();
+        assert!(e.message.contains("expects 1"));
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        assert!(sema("fn main() { nope(); }").is_err());
+    }
+
+    #[test]
+    fn scalar_indexing_rejected() {
+        assert!(sema("global g; fn main() { out(g[0]); }").is_err());
+        assert!(sema("global g; fn main() { g[0] = 1; }").is_err());
+    }
+
+    #[test]
+    fn array_without_index_rejected() {
+        assert!(sema("global a[2]; fn main() { out(a); }").is_err());
+        assert!(sema("global a[2]; fn main() { a = 2; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_global_rejected() {
+        assert!(sema("global g; global g; fn main() { }").is_err());
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        assert!(sema("fn f() { } fn f() { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn function_global_name_clash_rejected() {
+        assert!(sema("global f; fn f() { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn duplicate_parameter_rejected() {
+        assert!(sema("fn f(a, a) { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn recursion_allowed() {
+        assert!(sema(
+            "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+             fn main() { out(fib(10)); }"
+        )
+        .is_ok());
+    }
+}

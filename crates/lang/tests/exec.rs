@@ -1,0 +1,254 @@
+//! End-to-end tests: compile MiniC, run on the simulator, check observable
+//! output and exit codes.
+
+use cfed_lang::compile;
+use cfed_sim::{ExitReason, Machine, Trap};
+
+fn run(src: &str) -> (ExitReason, Vec<u64>) {
+    let image = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let exit = m.run(50_000_000);
+    (exit, m.cpu.output().to_vec())
+}
+
+fn outputs(src: &str) -> Vec<u64> {
+    let (exit, out) = run(src);
+    assert_eq!(exit, ExitReason::Halted { code: 0 }, "program did not halt cleanly");
+    out
+}
+
+#[test]
+fn arithmetic_precedence() {
+    assert_eq!(outputs("fn main() { out(1 + 2 * 3 - 4); }"), vec![3]);
+    assert_eq!(outputs("fn main() { out((1 + 2) * (3 + 4)); }"), vec![21]);
+    assert_eq!(outputs("fn main() { out(100 / 7); out(100 % 7); }"), vec![14, 2]);
+    assert_eq!(outputs("fn main() { out(1 << 10); out(1024 >> 3); }"), vec![1024, 128]);
+    assert_eq!(outputs("fn main() { out(12 & 10); out(12 | 10); out(12 ^ 10); }"), vec![8, 14, 6]);
+}
+
+#[test]
+fn unary_operators() {
+    let (exit, out) = run("fn main() { out(-5 + 6); out(!0); out(!7); out(~0 & 0xFF); }");
+    assert_eq!(exit, ExitReason::Halted { code: 0 });
+    assert_eq!(out, vec![1, 1, 0, 0xFF]);
+}
+
+#[test]
+fn signed_comparisons() {
+    assert_eq!(
+        outputs("fn main() { out(-1 < 1); out(2 <= 2); out(-3 > -4); out(5 >= 6); }"),
+        vec![1, 1, 1, 0]
+    );
+    assert_eq!(outputs("fn main() { out(3 == 3); out(3 != 3); }"), vec![1, 0]);
+}
+
+#[test]
+fn short_circuit_evaluation() {
+    // Division by zero on the right side must not execute.
+    assert_eq!(outputs("fn main() { out(0 && 1 / 0); out(1 || 1 / 0); }"), vec![0, 1]);
+    assert_eq!(outputs("fn main() { out(1 && 2); out(0 || 0); }"), vec![1, 0]);
+}
+
+#[test]
+fn while_loop_sum() {
+    let src = r#"
+        fn main() {
+            let sum = 0;
+            let i = 1;
+            while (i <= 100) { sum = sum + i; i = i + 1; }
+            out(sum);
+        }
+    "#;
+    assert_eq!(outputs(src), vec![5050]);
+}
+
+#[test]
+fn nested_loops() {
+    let src = r#"
+        fn main() {
+            let total = 0;
+            let i = 0;
+            while (i < 10) {
+                let j = 0;
+                while (j < 10) { total = total + i * j; j = j + 1; }
+                i = i + 1;
+            }
+            out(total);
+        }
+    "#;
+    assert_eq!(outputs(src), vec![2025]);
+}
+
+#[test]
+fn if_else_chains() {
+    let src = r#"
+        fn classify(x) {
+            if (x < 0) { return 0; }
+            else if (x == 0) { return 1; }
+            else if (x < 10) { return 2; }
+            else { return 3; }
+        }
+        fn main() {
+            out(classify(-5)); out(classify(0)); out(classify(7)); out(classify(99));
+        }
+    "#;
+    assert_eq!(outputs(src), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn functions_and_recursion() {
+    let src = r#"
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { out(fib(15)); }
+    "#;
+    assert_eq!(outputs(src), vec![610]);
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = r#"
+        fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        fn main() { out(is_even(10)); out(is_odd(10)); }
+    "#;
+    assert_eq!(outputs(src), vec![1, 0]);
+}
+
+#[test]
+fn many_parameters() {
+    let src = r#"
+        fn weigh(a, b, c, d, e) { return a + 2*b + 3*c + 4*d + 5*e; }
+        fn main() { out(weigh(1, 2, 3, 4, 5)); }
+    "#;
+    assert_eq!(outputs(src), vec![1 + 4 + 9 + 16 + 25]);
+}
+
+#[test]
+fn globals_and_arrays() {
+    let src = r#"
+        global counter = 10;
+        global table[5] = [2, 4, 6, 8, 10];
+        fn main() {
+            counter = counter + table[2];
+            table[0] = counter;
+            out(table[0]);
+            let i = 0;
+            let sum = 0;
+            while (i < 5) { sum = sum + table[i]; i = i + 1; }
+            out(sum);
+        }
+    "#;
+    assert_eq!(outputs(src), vec![16, 16 + 4 + 6 + 8 + 10]);
+}
+
+#[test]
+fn exit_code_from_main() {
+    let (exit, _) = run("fn main() { return 42; }");
+    assert_eq!(exit, ExitReason::Halted { code: 42 });
+}
+
+#[test]
+fn assert_pass_and_fail() {
+    let (exit, _) = run("fn main() { assert(1 == 1); }");
+    assert_eq!(exit, ExitReason::Halted { code: 0 });
+    let (exit, _) = run("fn main() { assert(2 < 1); }");
+    match exit {
+        ExitReason::Trapped(Trap::Software { code, .. }) => {
+            assert_eq!(code, cfed_sim::trap_codes::GUEST_ASSERT);
+        }
+        other => panic!("expected assert trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let (exit, _) = run("fn main() { let x = 0; out(5 / x); }");
+    assert!(matches!(exit, ExitReason::Trapped(Trap::DivByZero { .. })));
+}
+
+#[test]
+fn large_literals_via_constant_pool() {
+    let src = "fn main() { out(0x123456789A); out(1 << 40); }";
+    assert_eq!(outputs(src), vec![0x123456789A, 1 << 40]);
+}
+
+#[test]
+fn lcg_prng_in_minic() {
+    // A linear congruential generator — the idiom workloads use for
+    // reproducible pseudo-random data.
+    let src = r#"
+        global seed = 12345;
+        fn rand() {
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }
+        fn main() {
+            let i = 0;
+            let acc = 0;
+            while (i < 100) { acc = acc ^ rand(); i = i + 1; }
+            out(acc != 0);
+        }
+    "#;
+    assert_eq!(outputs(src), vec![1]);
+}
+
+#[test]
+fn deep_recursion_within_stack() {
+    let src = r#"
+        fn depth(n) { if (n == 0) { return 0; } return 1 + depth(n - 1); }
+        fn main() { out(depth(1000)); }
+    "#;
+    assert_eq!(outputs(src), vec![1000]);
+}
+
+#[test]
+fn guest_code_never_touches_dbt_registers() {
+    // Instrumentation registers r8..r14 must stay untouched by generated
+    // code (paper §5.1: the DBT needs them for PC'/RTS without spilling).
+    let image = compile(
+        r#"
+        global a[8];
+        fn f(x, y) { let t = x * y; a[x % 8] = t; return t; }
+        fn main() { let i = 0; while (i < 5) { out(f(i, i + 1)); i = i + 1; } }
+        "#,
+    )
+    .unwrap();
+    for inst in image.insts() {
+        let text = inst.to_string();
+        for r in 8..=14 {
+            assert!(
+                !text.contains(&format!("r{r}")),
+                "generated code uses reserved register r{r}: {text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn output_matches_reference_model() {
+    // Cross-check a small program against the same computation in Rust.
+    let mut expected = Vec::new();
+    let mut seed = 7u64;
+    for _ in 0..50 {
+        seed = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            >> 33;
+        expected.push(seed % 1000);
+        seed += 1;
+    }
+    // The MiniC mirror uses smaller constants to stay in i32 literals where
+    // possible; use the pool for the big ones.
+    let src = r#"
+        global seed = 7;
+        fn step() {
+            seed = (seed * 6364136223846793005 + 1442695040888963407) >> 33;
+            let r = seed % 1000;
+            seed = seed + 1;
+            return r;
+        }
+        fn main() { let i = 0; while (i < 50) { out(step()); i = i + 1; } }
+    "#;
+    assert_eq!(outputs(src), expected);
+}

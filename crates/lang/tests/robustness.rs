@@ -1,0 +1,51 @@
+//! Robustness: the MiniC front end must never panic — any input produces
+//! either a program or a positioned error.
+
+use cfed_lang::{compile, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: lex/parse return an error or a program, never panic.
+    #[test]
+    fn parser_total_on_arbitrary_strings(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Token-soup built from MiniC's own vocabulary (much likelier to reach
+    /// deep parser states than raw bytes).
+    #[test]
+    fn parser_total_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("fn"), Just("let"), Just("if"), Just("else"), Just("while"),
+                Just("return"), Just("global"), Just("out"), Just("assert"),
+                Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
+                Just(","), Just(";"), Just("="), Just("+"), Just("-"), Just("*"),
+                Just("/"), Just("%"), Just("<"), Just(">"), Just("<="), Just("=="),
+                Just("&&"), Just("||"), Just("!"), Just("~"), Just("x"), Just("y"),
+                Just("main"), Just("0"), Just("1"), Just("42"), Just("0xFF"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        // compile() additionally exercises sema + codegen when parsing
+        // happens to succeed.
+        let _ = compile(&src);
+    }
+
+    /// Deeply nested expressions neither overflow the stack nor panic.
+    #[test]
+    fn deep_nesting_handled(depth in 1usize..120) {
+        let src = format!(
+            "fn main() {{ out({}1{}); }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        prop_assert!(parse(&src).is_ok());
+        let src = format!("fn main() {{ out({}1); }}", "-".repeat(depth));
+        prop_assert!(parse(&src).is_ok());
+    }
+}

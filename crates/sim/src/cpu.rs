@@ -1,0 +1,672 @@
+//! The VISA CPU interpreter.
+//!
+//! A straightforward fetch–decode–execute interpreter with deterministic
+//! cycle accounting. Traps abort the faulting instruction *before* any state
+//! commits, so a supervisor (the DBT runtime, or a fault-injection harness)
+//! can inspect and repair state and resume execution.
+
+use crate::{Memory, Trap};
+use cfed_isa::{flags, AluOp, Cond, CostModel, Flags, Inst, Reg, INST_SIZE_U64};
+
+/// Execution statistics accumulated by a [`Cpu`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub insts: u64,
+    /// Cycles accumulated under the CPU's [`CostModel`].
+    pub cycles: u64,
+    /// Control-transfer instructions retired.
+    pub branches: u64,
+    /// Of those, how many redirected control (taken conditionals plus all
+    /// unconditional transfers).
+    pub branches_taken: u64,
+}
+
+/// Result of a single successful [`Cpu::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The instruction retired; execution continues.
+    Continue,
+    /// A `halt` retired; the machine is stopped.
+    Halt,
+}
+
+/// Reason a [`Cpu::run`] loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program executed `halt`; the code is taken from `r0`.
+    Halted { code: u64 },
+    /// A trap was raised and no supervisor consumed it.
+    Trapped(Trap),
+    /// The step budget was exhausted (used to bound faulty runs that enter
+    /// infinite loops).
+    StepLimit,
+}
+
+/// The simulated processor.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_isa::{encode_all, Inst, Reg};
+/// use cfed_sim::{Cpu, ExitReason, Memory, Perms};
+///
+/// let code = encode_all(&[Inst::MovRI { dst: Reg::R0, imm: 7 }, Inst::Halt]);
+/// let mut mem = Memory::new(1 << 16);
+/// mem.map(0..0x1000, Perms::RX);
+/// mem.install(0, &code);
+/// let mut cpu = Cpu::new();
+/// cpu.set_ip(0);
+/// assert_eq!(cpu.run(&mut mem, 100), ExitReason::Halted { code: 7 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u64; Reg::COUNT],
+    flags: Flags,
+    ip: u64,
+    halted: bool,
+    cost: CostModel,
+    stats: ExecStats,
+    output: Vec<u64>,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed registers and the default cost model.
+    pub fn new() -> Cpu {
+        Cpu::with_cost_model(CostModel::default())
+    }
+
+    /// Creates a CPU using a custom cycle-cost model.
+    pub fn with_cost_model(cost: CostModel) -> Cpu {
+        Cpu {
+            regs: [0; Reg::COUNT],
+            flags: Flags::empty(),
+            ip: 0,
+            halted: false,
+            cost,
+            stats: ExecStats::default(),
+            output: Vec::new(),
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// The condition flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Overwrites the condition flags (used by flag-fault injection).
+    pub fn set_flags(&mut self, f: Flags) {
+        self.flags = f;
+    }
+
+    /// The instruction pointer.
+    pub fn ip(&self) -> u64 {
+        self.ip
+    }
+
+    /// Sets the instruction pointer (supervisor-level redirect).
+    pub fn set_ip(&mut self, ip: u64) {
+        self.ip = ip;
+    }
+
+    /// Whether a `halt` has retired.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Clears the halted latch so execution can be resumed (supervisor use).
+    pub fn clear_halted(&mut self) {
+        self.halted = false;
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+    }
+
+    /// Charges extra cycles to the running total — used by supervisors to
+    /// model costs that happen outside simulated code (e.g. the DBT's
+    /// indirect-branch dispatcher).
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// The values emitted by `out` so far — the observable program output
+    /// compared against a golden run to detect silent data corruption.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Takes ownership of the output stream, leaving it empty.
+    pub fn take_output(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// The program's exit code (`r0` at `halt`), if halted.
+    pub fn exit_code(&self) -> Option<u64> {
+        self.halted.then(|| self.reg(Reg::R0))
+    }
+
+    fn push(&mut self, mem: &mut Memory, value: u64) -> Result<(), Trap> {
+        let sp = self.reg(Reg::SP).wrapping_sub(8);
+        mem.write_u64(sp, value)?;
+        self.set_reg(Reg::SP, sp);
+        Ok(())
+    }
+
+    fn pop(&mut self, mem: &Memory) -> Result<u64, Trap> {
+        let sp = self.reg(Reg::SP);
+        let value = mem.read_u64(sp)?;
+        self.set_reg(Reg::SP, sp.wrapping_add(8));
+        Ok(value)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] without committing any architectural state (the
+    /// instruction pointer still addresses the faulting instruction).
+    pub fn step(&mut self, mem: &mut Memory) -> Result<Step, Trap> {
+        debug_assert!(!self.halted, "stepping a halted cpu");
+        let addr = self.ip;
+        let bytes = mem.fetch(addr)?;
+        let inst = Inst::decode(&bytes).map_err(|cause| Trap::InvalidInst { addr, cause })?;
+        let next = addr.wrapping_add(INST_SIZE_U64);
+
+        // `taken` is meaningful only for conditional branches.
+        let mut taken = false;
+        match inst {
+            Inst::Nop => self.ip = next,
+            Inst::Halt => {
+                self.halted = true;
+                self.ip = next;
+            }
+            Inst::Out { src } => {
+                self.output.push(self.reg(src));
+                self.ip = next;
+            }
+            Inst::Trap { code } => return Err(Trap::Software { addr, code }),
+
+            Inst::MovRR { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                self.ip = next;
+            }
+            Inst::MovRI { dst, imm } => {
+                self.set_reg(dst, imm as i64 as u64);
+                self.ip = next;
+            }
+            Inst::Ld { dst, base, disp } => {
+                let a = self.reg(base).wrapping_add(disp as i64 as u64);
+                let v = mem.read_u64(a)?;
+                self.set_reg(dst, v);
+                self.ip = next;
+            }
+            Inst::St { base, src, disp } => {
+                let a = self.reg(base).wrapping_add(disp as i64 as u64);
+                mem.write_u64(a, self.reg(src))?;
+                self.ip = next;
+            }
+            Inst::Ld8 { dst, base, disp } => {
+                let a = self.reg(base).wrapping_add(disp as i64 as u64);
+                let v = mem.read_u8(a)?;
+                self.set_reg(dst, v as u64);
+                self.ip = next;
+            }
+            Inst::St8 { base, src, disp } => {
+                let a = self.reg(base).wrapping_add(disp as i64 as u64);
+                mem.write_u8(a, self.reg(src) as u8)?;
+                self.ip = next;
+            }
+            Inst::Push { src } => {
+                let v = self.reg(src);
+                self.push(mem, v)?;
+                self.ip = next;
+            }
+            Inst::Pop { dst } => {
+                let v = self.pop(mem)?;
+                self.set_reg(dst, v);
+                self.ip = next;
+            }
+            Inst::CMov { cc, dst, src } => {
+                if cc.eval(self.flags) {
+                    let v = self.reg(src);
+                    self.set_reg(dst, v);
+                }
+                self.ip = next;
+            }
+
+            Inst::Alu { op, dst, src } => {
+                self.exec_alu(op, dst, self.reg(src), addr)?;
+                self.ip = next;
+            }
+            Inst::AluI { op, dst, imm } => {
+                self.exec_alu(op, dst, imm as i64 as u64, addr)?;
+                self.ip = next;
+            }
+            Inst::Neg { dst } => {
+                let (r, f) = flags::sub_with_flags(0, self.reg(dst));
+                self.set_reg(dst, r);
+                self.flags = f;
+                self.ip = next;
+            }
+            Inst::Not { dst } => {
+                let r = !self.reg(dst);
+                self.set_reg(dst, r);
+                self.flags = flags::logic_flags(r);
+                self.ip = next;
+            }
+
+            Inst::Lea { dst, base, disp } => {
+                let v = self.reg(base).wrapping_add(disp as i64 as u64);
+                self.set_reg(dst, v);
+                self.ip = next;
+            }
+            Inst::Lea2 { dst, base, index, disp } => {
+                let v = self
+                    .reg(base)
+                    .wrapping_add(self.reg(index))
+                    .wrapping_add(disp as i64 as u64);
+                self.set_reg(dst, v);
+                self.ip = next;
+            }
+            Inst::LeaSub { dst, base, index, disp } => {
+                let v = self
+                    .reg(base)
+                    .wrapping_sub(self.reg(index))
+                    .wrapping_add(disp as i64 as u64);
+                self.set_reg(dst, v);
+                self.ip = next;
+            }
+
+            Inst::Jmp { .. } => {
+                self.ip = inst.direct_target(addr).expect("direct");
+            }
+            Inst::Jcc { cc, .. } => {
+                taken = cc.eval(self.flags);
+                self.ip = if taken { inst.direct_target(addr).expect("direct") } else { next };
+            }
+            Inst::JRz { src, .. } => {
+                taken = self.reg(src) == 0;
+                self.ip = if taken { inst.direct_target(addr).expect("direct") } else { next };
+            }
+            Inst::JRnz { src, .. } => {
+                taken = self.reg(src) != 0;
+                self.ip = if taken { inst.direct_target(addr).expect("direct") } else { next };
+            }
+            Inst::Call { .. } => {
+                self.push(mem, next)?;
+                self.ip = inst.direct_target(addr).expect("direct");
+            }
+            Inst::CallR { target } => {
+                let t = self.reg(target);
+                self.push(mem, next)?;
+                self.ip = t;
+            }
+            Inst::JmpR { target } => {
+                self.ip = self.reg(target);
+            }
+            Inst::Ret => {
+                self.ip = self.pop(mem)?;
+            }
+        }
+
+        self.stats.insts += 1;
+        self.stats.cycles += self.cost.cost(&inst, taken);
+        if inst.is_branch() {
+            self.stats.branches += 1;
+            let redirected = taken || !inst.is_cond_branch();
+            if redirected {
+                self.stats.branches_taken += 1;
+            }
+        }
+        Ok(if self.halted { Step::Halt } else { Step::Continue })
+    }
+
+    fn exec_alu(&mut self, op: AluOp, dst: Reg, rhs: u64, addr: u64) -> Result<(), Trap> {
+        let lhs = self.reg(dst);
+        let (result, f) = match op {
+            AluOp::Add => flags::add_with_flags(lhs, rhs),
+            AluOp::Sub | AluOp::Cmp => flags::sub_with_flags(lhs, rhs),
+            AluOp::And | AluOp::Test => {
+                let r = lhs & rhs;
+                (r, flags::logic_flags(r))
+            }
+            AluOp::Or => {
+                let r = lhs | rhs;
+                (r, flags::logic_flags(r))
+            }
+            AluOp::Xor => {
+                let r = lhs ^ rhs;
+                (r, flags::logic_flags(r))
+            }
+            AluOp::Shl => flags::shl_with_flags(lhs, rhs),
+            AluOp::Shr => flags::shr_with_flags(lhs, rhs),
+            AluOp::Sar => flags::sar_with_flags(lhs, rhs),
+            AluOp::Mul => flags::mul_with_flags(lhs, rhs),
+            AluOp::Div => {
+                if rhs == 0 {
+                    return Err(Trap::DivByZero { addr });
+                }
+                let r = lhs / rhs;
+                (r, flags::logic_flags(r))
+            }
+        };
+        if !op.is_compare() {
+            self.set_reg(dst, result);
+        }
+        self.flags = f;
+        Ok(())
+    }
+
+    /// Runs until halt, trap, or `max_steps` retired instructions.
+    pub fn run(&mut self, mem: &mut Memory, max_steps: u64) -> ExitReason {
+        for _ in 0..max_steps {
+            match self.step(mem) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Halt) => {
+                    return ExitReason::Halted { code: self.reg(Reg::R0) };
+                }
+                Err(trap) => return ExitReason::Trapped(trap),
+            }
+        }
+        ExitReason::StepLimit
+    }
+
+    /// Decodes (without executing) the instruction at the current `ip`.
+    /// Observation helper for analyzers that need to inspect upcoming
+    /// branches; does not affect statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as a fetch during [`Cpu::step`].
+    pub fn peek_inst(&self, mem: &Memory) -> Result<Inst, Trap> {
+        let bytes = mem.fetch(self.ip)?;
+        Inst::decode(&bytes).map_err(|cause| Trap::InvalidInst { addr: self.ip, cause })
+    }
+
+    /// Evaluates whether the conditional branch `inst` would be taken in the
+    /// current machine state.
+    pub fn would_take(&self, inst: &Inst) -> bool {
+        match *inst {
+            Inst::Jcc { cc, .. } => cc.eval(self.flags),
+            Inst::JRz { src, .. } => self.reg(src) == 0,
+            Inst::JRnz { src, .. } => self.reg(src) != 0,
+            _ => !inst.is_cond_branch() && inst.is_branch(),
+        }
+    }
+
+    /// Evaluates whether `inst` would be taken under a hypothetical flags
+    /// value — the flag-fault side of the error model (§2).
+    pub fn would_take_with_flags(&self, inst: &Inst, f: Flags) -> bool {
+        match *inst {
+            Inst::Jcc { cc, .. } => cc.eval(f),
+            _ => self.would_take(inst),
+        }
+    }
+
+    /// The dynamic target of the branch `inst` at the current state (reads
+    /// the stack for `ret`), or `None` for non-branches.
+    pub fn branch_target(&self, inst: &Inst, mem: &Memory) -> Option<u64> {
+        match *inst {
+            Inst::JmpR { target } | Inst::CallR { target } => Some(self.reg(target)),
+            Inst::Ret => mem.read_u64(self.reg(Reg::SP)).ok(),
+            _ => inst.direct_target(self.ip),
+        }
+    }
+}
+
+/// Convenience: evaluate a `Jcc` condition under explicit flags.
+pub fn cond_taken(cc: Cond, f: Flags) -> bool {
+    cc.eval(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Perms;
+    use cfed_isa::encode_all;
+
+    fn machine(insts: &[Inst]) -> (Cpu, Memory) {
+        let mut mem = Memory::new(1 << 20);
+        mem.map(0..0x4000, Perms::RX);
+        mem.map(0x4000..0x10000, Perms::RW); // data + stack
+        mem.install(0, &encode_all(insts));
+        let mut cpu = Cpu::new();
+        cpu.set_ip(0);
+        cpu.set_reg(Reg::SP, 0x10000);
+        (cpu, mem)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R0, imm: 6 },
+            Inst::AluI { op: AluOp::Mul, dst: Reg::R0, imm: 7 },
+            Inst::Halt,
+        ]);
+        assert_eq!(cpu.run(&mut mem, 10), ExitReason::Halted { code: 42 });
+        assert_eq!(cpu.stats().insts, 3);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // r1 = 0; for r0 in 5..0 { r1 += r0 }  => r1 = 15
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R0, imm: 5 },
+            Inst::MovRI { dst: Reg::R1, imm: 0 },
+            Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R0 },
+            Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 },
+            Inst::Jcc { cc: Cond::Ne, offset: -24 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 100);
+        assert_eq!(cpu.reg(Reg::R1), 15);
+        assert_eq!(cpu.stats().branches, 5);
+        assert_eq!(cpu.stats().branches_taken, 4);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::Call { offset: 16 },  // 0: call 0x18
+            Inst::Halt,                 // 8
+            Inst::Nop,                  // 16 (padding)
+            Inst::MovRI { dst: Reg::R0, imm: 9 }, // 24: callee
+            Inst::Ret,                  // 32
+        ]);
+        assert_eq!(cpu.run(&mut mem, 10), ExitReason::Halted { code: 9 });
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R1, imm: 1234 },
+            Inst::Push { src: Reg::R1 },
+            Inst::Pop { dst: Reg::R2 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 10);
+        assert_eq!(cpu.reg(Reg::R2), 1234);
+        assert_eq!(cpu.reg(Reg::SP), 0x10000);
+    }
+
+    #[test]
+    fn memory_ops_and_output() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R1, imm: 0x5000 },
+            Inst::MovRI { dst: Reg::R2, imm: 77 },
+            Inst::St { base: Reg::R1, src: Reg::R2, disp: 8 },
+            Inst::Ld { dst: Reg::R3, base: Reg::R1, disp: 8 },
+            Inst::Out { src: Reg::R3 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 10);
+        assert_eq!(cpu.output(), &[77]);
+    }
+
+    #[test]
+    fn byte_ops_zero_extend() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R1, imm: 0x5000 },
+            Inst::MovRI { dst: Reg::R2, imm: -1 }, // 0xFF..FF
+            Inst::St8 { base: Reg::R1, src: Reg::R2, disp: 0 },
+            Inst::Ld8 { dst: Reg::R3, base: Reg::R1, disp: 0 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 10);
+        assert_eq!(cpu.reg(Reg::R3), 0xFF);
+    }
+
+    #[test]
+    fn cmov_obeys_condition() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R1, imm: 1 },
+            Inst::MovRI { dst: Reg::R2, imm: 2 },
+            Inst::AluI { op: AluOp::Cmp, dst: Reg::R1, imm: 1 }, // ZF=1
+            Inst::CMov { cc: Cond::E, dst: Reg::R3, src: Reg::R2 },
+            Inst::CMov { cc: Cond::Ne, dst: Reg::R4, src: Reg::R2 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 10);
+        assert_eq!(cpu.reg(Reg::R3), 2);
+        assert_eq!(cpu.reg(Reg::R4), 0);
+    }
+
+    #[test]
+    fn lea_preserves_flags() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 0 }, // ZF=1
+            Inst::Lea { dst: Reg::R8, base: Reg::R8, disp: 100 },
+            Inst::LeaSub { dst: Reg::R8, base: Reg::R8, index: Reg::R9, disp: 1 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 10);
+        assert!(cpu.flags().zf(), "lea family must not clobber flags");
+        assert_eq!(cpu.reg(Reg::R8), 101);
+    }
+
+    #[test]
+    fn xor_clobbers_flags() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 0 }, // ZF=1
+            Inst::AluI { op: AluOp::Xor, dst: Reg::R8, imm: 5 },
+            Inst::Halt,
+        ]);
+        cpu.run(&mut mem, 10);
+        assert!(!cpu.flags().zf(), "xor writes flags (the §5.1 problem)");
+    }
+
+    #[test]
+    fn jrz_jrnz_ignore_flags() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R8, imm: 0 },
+            Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 1 }, // ZF=0
+            Inst::JRz { src: Reg::R8, offset: 8 },               // taken: r8 == 0
+            Inst::Halt,                                          // skipped
+            Inst::MovRI { dst: Reg::R0, imm: 1 },
+            Inst::Halt,
+        ]);
+        assert_eq!(cpu.run(&mut mem, 10), ExitReason::Halted { code: 1 });
+        assert!(!cpu.flags().zf(), "jrz must not touch flags");
+    }
+
+    #[test]
+    fn div_by_zero_traps_without_commit() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::MovRI { dst: Reg::R0, imm: 10 },
+            Inst::Alu { op: AluOp::Div, dst: Reg::R0, src: Reg::R1 },
+            Inst::Halt,
+        ]);
+        let r = cpu.run(&mut mem, 10);
+        assert_eq!(r, ExitReason::Trapped(Trap::DivByZero { addr: 8 }));
+        assert_eq!(cpu.ip(), 8, "ip must still address the faulting div");
+        assert_eq!(cpu.reg(Reg::R0), 10, "dst not clobbered");
+    }
+
+    #[test]
+    fn trap_instruction_reports_code() {
+        let (mut cpu, mut mem) = machine(&[Inst::Trap { code: 0xC0DE_0001 }]);
+        assert_eq!(
+            cpu.run(&mut mem, 10),
+            ExitReason::Trapped(Trap::Software { addr: 0, code: 0xC0DE_0001 })
+        );
+    }
+
+    #[test]
+    fn wild_jump_detected_at_fetch() {
+        // Jump into the data region: next fetch raises PermExec (category F).
+        let (mut cpu, mut mem) = machine(&[Inst::Jmp { offset: 0x4ff8 }]);
+        assert_eq!(cpu.run(&mut mem, 10), ExitReason::Trapped(Trap::PermExec { addr: 0x5000 }));
+    }
+
+    #[test]
+    fn misaligned_jump_detected_at_fetch() {
+        let (mut cpu, mut mem) = machine(&[Inst::Jmp { offset: -4 }]);
+        assert_eq!(cpu.run(&mut mem, 10), ExitReason::Trapped(Trap::UnalignedFetch { addr: 4 }));
+    }
+
+    #[test]
+    fn step_limit_bounds_infinite_loops() {
+        let (mut cpu, mut mem) = machine(&[Inst::Jmp { offset: -8 }]);
+        assert_eq!(cpu.run(&mut mem, 50), ExitReason::StepLimit);
+        assert_eq!(cpu.stats().insts, 50);
+    }
+
+    #[test]
+    fn push_to_bad_stack_does_not_commit_sp() {
+        let (mut cpu, mut mem) = machine(&[Inst::Push { src: Reg::R0 }]);
+        cpu.set_reg(Reg::SP, 0x4000); // push writes to 0x3FF8 (code page, RX)
+        let before = cpu.reg(Reg::SP);
+        assert!(matches!(cpu.run(&mut mem, 10), ExitReason::Trapped(Trap::PermWrite { .. })));
+        assert_eq!(cpu.reg(Reg::SP), before);
+    }
+
+    #[test]
+    fn would_take_and_branch_target() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 0 },
+            Inst::Jcc { cc: Cond::E, offset: 16 },
+        ]);
+        cpu.step(&mut mem).unwrap();
+        let inst = cpu.peek_inst(&mem).unwrap();
+        assert!(cpu.would_take(&inst));
+        assert_eq!(cpu.branch_target(&inst, &mem), Some(8 + 8 + 16));
+        // Flipping ZF changes the hypothetical decision.
+        let flipped = cpu.flags().with_bit_flipped(Flags::ZF);
+        assert!(!cpu.would_take_with_flags(&inst, flipped));
+    }
+
+    #[test]
+    fn stats_cycles_monotone() {
+        let (mut cpu, mut mem) = machine(&[
+            Inst::Ld { dst: Reg::R0, base: Reg::SP, disp: -8 },
+            Inst::Halt,
+        ]);
+        cpu.set_reg(Reg::SP, 0x6000);
+        cpu.run(&mut mem, 10);
+        assert!(cpu.stats().cycles > cpu.stats().insts, "loads cost > 1 cycle");
+    }
+}

@@ -1,0 +1,215 @@
+//! A whole guest machine: CPU + memory + a conventional address-space
+//! layout, with a loader for raw program images.
+
+use crate::{Cpu, ExitReason, Memory, Perms};
+use std::ops::Range;
+
+/// Address-space layout conventions shared by the assembler, loader, DBT and
+/// fault-injection tooling.
+///
+/// The defaults give an 8 MiB guest with a guard page at 0, code at 64 KiB,
+/// a data/heap region, a region reserved for the DBT's code cache (mapped by
+/// the DBT itself, with execute permission — the paper places the code cache
+/// in executable pages so category-F errors are still caught, §5), and a
+/// stack below an unmapped guard page at the top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Total guest address-space size in bytes.
+    pub mem_size: u64,
+    /// Base address where program code is loaded.
+    pub code_base: u64,
+    /// Base address of the data/heap region.
+    pub data_base: u64,
+    /// Extent of the data/heap region.
+    pub data_size: u64,
+    /// Region reserved for the DBT code cache (not mapped by the loader).
+    pub cache_region: Range<u64>,
+    /// Mapped stack region; the initial stack pointer is `stack.end`.
+    pub stack: Range<u64>,
+}
+
+impl Default for Layout {
+    fn default() -> Layout {
+        Layout {
+            mem_size: 0x80_0000, // 8 MiB
+            code_base: 0x1_0000,
+            data_base: 0x20_0000,
+            data_size: 0x20_0000, // 2 MiB data + heap
+            cache_region: 0x50_0000..0x78_0000,
+            stack: 0x78_0000..0x7F_F000,
+        }
+    }
+}
+
+impl Layout {
+    /// The initial stack pointer (top of the stack region).
+    pub fn initial_sp(&self) -> u64 {
+        self.stack.end
+    }
+}
+
+/// A loaded guest machine ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_isa::{encode_all, AluOp, Inst, Reg};
+/// use cfed_sim::{ExitReason, Machine};
+///
+/// let code = encode_all(&[
+///     Inst::MovRI { dst: Reg::R0, imm: 21 },
+///     Inst::AluI { op: AluOp::Add, dst: Reg::R0, imm: 21 },
+///     Inst::Halt,
+/// ]);
+/// let mut m = Machine::load(&code, &[], 0);
+/// assert_eq!(m.run(1_000), ExitReason::Halted { code: 42 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The processor.
+    pub cpu: Cpu,
+    /// The address space.
+    pub mem: Memory,
+    layout: Layout,
+    code_len: u64,
+}
+
+impl Machine {
+    /// Builds a machine with the default [`Layout`], installs `code` at
+    /// `code_base` (mapped RWX — guest code is writable so self-modifying
+    /// code works until the DBT protects it) and `data` at `data_base`
+    /// (mapped RW), and points the CPU at `code_base + entry_offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if code or data do not fit their regions.
+    pub fn load(code: &[u8], data: &[u8], entry_offset: u64) -> Machine {
+        Machine::load_with_layout(Layout::default(), code, data, entry_offset)
+    }
+
+    /// As [`Machine::load`] with an explicit layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if code or data do not fit their regions.
+    pub fn load_with_layout(layout: Layout, code: &[u8], data: &[u8], entry_offset: u64) -> Machine {
+        assert!(
+            layout.code_base + code.len() as u64 <= layout.data_base,
+            "code overflows its region ({} bytes)",
+            code.len()
+        );
+        assert!(data.len() as u64 <= layout.data_size, "data overflows its region");
+        let mut mem = Memory::new(layout.mem_size);
+        // Map exactly the pages the code occupies: the executable footprint
+        // defines the "code region" the error model classifies against.
+        let code_end = layout.code_base + (code.len() as u64).max(1);
+        mem.map(layout.code_base..code_end, Perms::RWX);
+        mem.map(layout.data_base..layout.data_base + layout.data_size, Perms::RW);
+        mem.map(layout.stack.clone(), Perms::RW);
+        mem.install(layout.code_base, code);
+        mem.install(layout.data_base, data);
+
+        let mut cpu = Cpu::new();
+        cpu.set_ip(layout.code_base + entry_offset);
+        cpu.set_reg(cfed_isa::Reg::SP, layout.initial_sp());
+        Machine { cpu, mem, layout, code_len: code.len() as u64 }
+    }
+
+    /// The machine's layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The loaded code region `[code_base, code_base + len)`.
+    pub fn code_range(&self) -> Range<u64> {
+        self.layout.code_base..self.layout.code_base + self.code_len
+    }
+
+    /// Runs the CPU until halt, trap or step limit.
+    pub fn run(&mut self, max_steps: u64) -> ExitReason {
+        self.cpu.run(&mut self.mem, max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trap;
+    use cfed_isa::{encode_all, Inst, Reg};
+
+    #[test]
+    fn default_layout_is_consistent() {
+        let l = Layout::default();
+        assert!(l.code_base < l.data_base);
+        assert!(l.data_base + l.data_size <= l.cache_region.start);
+        assert!(l.cache_region.end <= l.stack.start);
+        assert!(l.stack.end < l.mem_size);
+        assert_eq!(l.initial_sp() % 8, 0);
+    }
+
+    #[test]
+    fn load_and_run() {
+        let code = encode_all(&[Inst::MovRI { dst: Reg::R0, imm: 5 }, Inst::Halt]);
+        let mut m = Machine::load(&code, &[], 0);
+        assert_eq!(m.run(10), ExitReason::Halted { code: 5 });
+    }
+
+    #[test]
+    fn data_visible_to_guest() {
+        let l = Layout::default();
+        let code = encode_all(&[
+            Inst::MovRI { dst: Reg::R1, imm: l.data_base as i32 },
+            Inst::Ld { dst: Reg::R0, base: Reg::R1, disp: 0 },
+            Inst::Halt,
+        ]);
+        let mut m = Machine::load(&code, &99u64.to_le_bytes(), 0);
+        assert_eq!(m.run(10), ExitReason::Halted { code: 99 });
+    }
+
+    #[test]
+    fn entry_offset_respected() {
+        let code = encode_all(&[
+            Inst::Halt,                                  // offset 0: not the entry
+            Inst::MovRI { dst: Reg::R0, imm: 3 },        // offset 8: entry
+            Inst::Halt,
+        ]);
+        let mut m = Machine::load(&code, &[], 8);
+        assert_eq!(m.run(10), ExitReason::Halted { code: 3 });
+    }
+
+    #[test]
+    fn guard_page_at_zero_catches_null_deref() {
+        let code = encode_all(&[
+            Inst::MovRI { dst: Reg::R1, imm: 0 },
+            Inst::Ld { dst: Reg::R0, base: Reg::R1, disp: 0 },
+        ]);
+        let mut m = Machine::load(&code, &[], 0);
+        assert_eq!(m.run(10), ExitReason::Trapped(Trap::PermRead { addr: 0 }));
+    }
+
+    #[test]
+    fn stack_usable_immediately() {
+        let code = encode_all(&[
+            Inst::Push { src: Reg::R0 },
+            Inst::Pop { dst: Reg::R1 },
+            Inst::Halt,
+        ]);
+        let mut m = Machine::load(&code, &[], 0);
+        assert_eq!(m.run(10), ExitReason::Halted { code: 0 });
+    }
+
+    #[test]
+    fn code_range_matches_image() {
+        let code = encode_all(&[Inst::Halt, Inst::Halt, Inst::Halt]);
+        let m = Machine::load(&code, &[], 0);
+        assert_eq!(m.code_range().end - m.code_range().start, 24);
+        assert!(m.mem.is_code(m.code_range().start));
+    }
+
+    #[test]
+    #[should_panic(expected = "code overflows")]
+    fn oversized_code_rejected() {
+        let huge = vec![0u8; 0x20_0000];
+        let _ = Machine::load(&huge, &[], 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Guest physical memory with per-page access permissions.
+//!
+//! A flat address space starting at 0, divided into 4 KiB pages, each with
+//! independent read/write/execute permissions. Execute permission is the
+//! mechanism behind the paper's category-F detection ("jumps to memory
+//! regions that do not contain code can be detected by the hardware", §2 —
+//! the execute-disable bit); revoking write permission on translated guest
+//! pages is how the DBT learns about self-modifying code (§5).
+
+use crate::Trap;
+use std::fmt;
+use std::ops::Range;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Page access permissions (read / write / execute).
+///
+/// # Examples
+///
+/// ```
+/// use cfed_sim::Perms;
+///
+/// let rx = Perms::R | Perms::X;
+/// assert!(rx.can_exec() && !rx.can_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Readable.
+    pub const R: Perms = Perms(1);
+    /// Writable.
+    pub const W: Perms = Perms(2);
+    /// Executable.
+    pub const X: Perms = Perms(4);
+    /// Read + write (data pages).
+    pub const RW: Perms = Perms(3);
+    /// Read + execute (protected code pages).
+    pub const RX: Perms = Perms(5);
+    /// Read + write + execute (unprotected guest code).
+    pub const RWX: Perms = Perms(7);
+
+    /// Whether reads are allowed.
+    pub fn can_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+    /// Whether writes are allowed.
+    pub fn can_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+    /// Whether instruction fetch is allowed.
+    pub fn can_exec(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Returns these permissions with write access removed (the DBT's
+    /// code-page protection).
+    pub fn without_write(self) -> Perms {
+        Perms(self.0 & !2)
+    }
+
+    /// Returns these permissions with write access added.
+    pub fn with_write(self) -> Perms {
+        Perms(self.0 | 2)
+    }
+}
+
+impl std::ops::BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The guest address space.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_sim::{Memory, Perms};
+///
+/// let mut mem = Memory::new(1 << 20);
+/// mem.map(0x1000..0x3000, Perms::RW);
+/// mem.write_u64(0x1000, 42).unwrap();
+/// assert_eq!(mem.read_u64(0x1000).unwrap(), 42);
+/// assert!(mem.fetch(0x1000).is_err()); // not executable
+/// ```
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    page_perms: Vec<Perms>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .field("pages", &self.page_perms.len())
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates an address space of `size` bytes (rounded up to a whole number
+    /// of pages), with no access permissions anywhere.
+    pub fn new(size: u64) -> Memory {
+        let pages = size.div_ceil(PAGE_SIZE);
+        let size = pages * PAGE_SIZE;
+        Memory {
+            bytes: vec![0; size as usize],
+            page_perms: vec![Perms::NONE; pages as usize],
+        }
+    }
+
+    /// Total size of the address space in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn page_of(&self, addr: u64) -> Option<usize> {
+        let idx = (addr / PAGE_SIZE) as usize;
+        (idx < self.page_perms.len()).then_some(idx)
+    }
+
+    /// Sets the permissions of every page overlapping `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the address space.
+    pub fn map(&mut self, range: Range<u64>, perms: Perms) {
+        assert!(range.end <= self.size(), "map range beyond address space");
+        let first = range.start / PAGE_SIZE;
+        let last = range.end.div_ceil(PAGE_SIZE);
+        for p in first..last {
+            self.page_perms[p as usize] = perms;
+        }
+    }
+
+    /// Permissions of the page containing `addr`, or `NONE` if out of range.
+    pub fn perms_at(&self, addr: u64) -> Perms {
+        self.page_of(addr).map_or(Perms::NONE, |p| self.page_perms[p])
+    }
+
+    /// Returns `true` when `addr` lies in an executable page — the
+    /// classifier's notion of "code region" for category F.
+    pub fn is_code(&self, addr: u64) -> bool {
+        self.perms_at(addr).can_exec()
+    }
+
+    /// Removes write permission from the page containing `addr`, returning
+    /// the old permissions (DBT code-page protection for SMC detection).
+    pub fn protect_page(&mut self, addr: u64) -> Perms {
+        let p = self.page_of(addr).expect("protect_page out of range");
+        let old = self.page_perms[p];
+        self.page_perms[p] = old.without_write();
+        old
+    }
+
+    /// Restores write permission on the page containing `addr`.
+    pub fn unprotect_page(&mut self, addr: u64) {
+        let p = self.page_of(addr).expect("unprotect_page out of range");
+        self.page_perms[p] = self.page_perms[p].with_write();
+    }
+
+    /// The base address of the page containing `addr`.
+    pub fn page_base(addr: u64) -> u64 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    fn check(&self, addr: u64, len: u64, kind: Access) -> Result<(), Trap> {
+        let end = addr.checked_add(len).ok_or(Trap::OutOfRange { addr })?;
+        if end > self.size() {
+            return Err(Trap::OutOfRange { addr });
+        }
+        // Accesses are small (≤ 8 bytes) and never straddle more than two
+        // pages; check each page touched.
+        let mut page_addr = addr;
+        loop {
+            let perms = self.perms_at(page_addr);
+            let ok = match kind {
+                Access::Read => perms.can_read(),
+                Access::Write => perms.can_write(),
+                Access::Exec => perms.can_exec(),
+            };
+            if !ok {
+                return Err(match kind {
+                    Access::Read => Trap::PermRead { addr },
+                    Access::Write => Trap::PermWrite { addr },
+                    Access::Exec => Trap::PermExec { addr },
+                });
+            }
+            let next = Memory::page_base(page_addr) + PAGE_SIZE;
+            if next >= end {
+                return Ok(());
+            }
+            page_addr = next;
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::PermRead`] / [`Trap::OutOfRange`] on access violations.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, Trap> {
+        self.check(addr, 8, Access::Read)?;
+        let a = addr as usize;
+        Ok(u64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("checked")))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::PermWrite`] / [`Trap::OutOfRange`] on access violations.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
+        self.check(addr, 8, Access::Write)?;
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::PermRead`] / [`Trap::OutOfRange`] on access violations.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, Trap> {
+        self.check(addr, 1, Access::Read)?;
+        Ok(self.bytes[addr as usize])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::PermWrite`] / [`Trap::OutOfRange`] on access violations.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), Trap> {
+        self.check(addr, 1, Access::Write)?;
+        self.bytes[addr as usize] = value;
+        Ok(())
+    }
+
+    /// Fetches the 8 instruction bytes at `addr`, enforcing execute
+    /// permission and instruction alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnalignedFetch`] for misaligned addresses (a control-flow
+    /// error landed mid-instruction), [`Trap::PermExec`] for non-code pages
+    /// (category F), [`Trap::OutOfRange`] outside the address space.
+    pub fn fetch(&self, addr: u64) -> Result<[u8; 8], Trap> {
+        if addr % cfed_isa::INST_SIZE_U64 != 0 {
+            return Err(Trap::UnalignedFetch { addr });
+        }
+        self.check(addr, 8, Access::Exec)?;
+        let a = addr as usize;
+        Ok(self.bytes[a..a + 8].try_into().expect("checked"))
+    }
+
+    /// Copies `data` into memory at `addr`, ignoring page permissions
+    /// (loader-level access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is out of bounds.
+    pub fn install(&mut self, addr: u64, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes starting at `addr`, ignoring page permissions
+    /// (debugger-level access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn peek(&self, addr: u64, len: usize) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len]
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Access {
+    Read,
+    Write,
+    Exec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rounds_to_pages() {
+        let mem = Memory::new(PAGE_SIZE + 1);
+        assert_eq!(mem.size(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn unmapped_memory_denies_everything() {
+        let mem = Memory::new(1 << 16);
+        assert_eq!(mem.read_u64(0), Err(Trap::PermRead { addr: 0 }));
+        assert!(matches!(mem.fetch(8), Err(Trap::PermExec { .. })));
+    }
+
+    #[test]
+    fn rw_mapping_allows_data_but_not_fetch() {
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..PAGE_SIZE, Perms::RW);
+        mem.write_u64(16, 0xABCD).unwrap();
+        assert_eq!(mem.read_u64(16).unwrap(), 0xABCD);
+        assert_eq!(mem.fetch(16), Err(Trap::PermExec { addr: 16 }));
+    }
+
+    #[test]
+    fn fetch_requires_alignment() {
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..PAGE_SIZE, Perms::RX);
+        assert_eq!(mem.fetch(4), Err(Trap::UnalignedFetch { addr: 4 }));
+        assert!(mem.fetch(8).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mem = Memory::new(PAGE_SIZE);
+        assert_eq!(mem.read_u64(PAGE_SIZE - 4), Err(Trap::OutOfRange { addr: PAGE_SIZE - 4 }));
+        assert_eq!(mem.read_u64(u64::MAX - 2), Err(Trap::OutOfRange { addr: u64::MAX - 2 }));
+    }
+
+    #[test]
+    fn straddling_access_checks_both_pages() {
+        let mut mem = Memory::new(2 * PAGE_SIZE);
+        mem.map(0..PAGE_SIZE, Perms::RW);
+        // Second page unmapped: an 8-byte access crossing the boundary fails.
+        let addr = PAGE_SIZE - 4;
+        assert!(mem.write_u64(addr, 1).is_err());
+        mem.map(PAGE_SIZE..2 * PAGE_SIZE, Perms::RW);
+        assert!(mem.write_u64(addr, 1).is_ok());
+        assert_eq!(mem.read_u64(addr).unwrap(), 1);
+    }
+
+    #[test]
+    fn protect_unprotect_page() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.map(0..PAGE_SIZE, Perms::RWX);
+        let old = mem.protect_page(100);
+        assert_eq!(old, Perms::RWX);
+        assert_eq!(mem.write_u8(100, 1), Err(Trap::PermWrite { addr: 100 }));
+        assert!(mem.fetch(96).is_ok());
+        mem.unprotect_page(100);
+        assert!(mem.write_u8(100, 1).is_ok());
+    }
+
+    #[test]
+    fn byte_accessors() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.map(0..PAGE_SIZE, Perms::RW);
+        mem.write_u8(5, 0x7F).unwrap();
+        assert_eq!(mem.read_u8(5).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn install_and_peek_bypass_perms() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.install(0, &[1, 2, 3]);
+        assert_eq!(mem.peek(0, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn is_code_tracks_exec_perm() {
+        let mut mem = Memory::new(2 * PAGE_SIZE);
+        mem.map(0..PAGE_SIZE, Perms::RX);
+        assert!(mem.is_code(10));
+        assert!(!mem.is_code(PAGE_SIZE + 10));
+        assert!(!mem.is_code(u64::MAX));
+    }
+
+    #[test]
+    fn page_base_masks_offset() {
+        assert_eq!(Memory::page_base(0x1234), 0x1000);
+        assert_eq!(Memory::page_base(0x1000), 0x1000);
+    }
+}

@@ -1,0 +1,228 @@
+//! Execution tracing: a bounded ring buffer of retired instructions and a
+//! branch history, for debugging guest programs and for fault-injection
+//! forensics (what executed between injection and detection).
+
+use crate::{Cpu, Memory, Step, Trap};
+use cfed_isa::Inst;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One retired instruction in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Address the instruction was fetched from.
+    pub addr: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// For conditional branches, whether it was taken.
+    pub taken: Option<bool>,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: {}", self.addr, self.inst)?;
+        match self.taken {
+            Some(true) => write!(f, "  [taken]"),
+            Some(false) => write!(f, "  [not taken]"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A bounded execution tracer wrapping [`Cpu::step`].
+///
+/// # Examples
+///
+/// ```
+/// use cfed_isa::{encode_all, Inst, Reg};
+/// use cfed_sim::{Cpu, Memory, Perms, Tracer};
+///
+/// let code = encode_all(&[Inst::MovRI { dst: Reg::R0, imm: 1 }, Inst::Halt]);
+/// let mut mem = Memory::new(1 << 16);
+/// mem.map(0..0x1000, Perms::RX);
+/// mem.install(0, &code);
+/// let mut cpu = Cpu::new();
+/// cpu.set_ip(0);
+/// let mut tracer = Tracer::new(16);
+/// while let Ok(step) = tracer.step(&mut cpu, &mut mem) {
+///     if step == cfed_sim::Step::Halt { break; }
+/// }
+/// assert_eq!(tracer.entries().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    capacity: usize,
+    ring: VecDeque<TraceEntry>,
+    branch_ring: VecDeque<TraceEntry>,
+    retired: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer keeping the last `capacity` instructions (and the
+    /// last `capacity` branches, tracked separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            branch_ring: VecDeque::with_capacity(capacity),
+            retired: 0,
+        }
+    }
+
+    /// Steps the CPU once, recording the retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the CPU's trap; the faulting (uncommitted) instruction is
+    /// *not* recorded, matching the architectural state.
+    pub fn step(&mut self, cpu: &mut Cpu, mem: &mut Memory) -> Result<Step, Trap> {
+        let addr = cpu.ip();
+        let inst = cpu.peek_inst(mem)?;
+        let taken = inst.is_cond_branch().then(|| cpu.would_take(&inst));
+        let step = cpu.step(mem)?;
+        let entry = TraceEntry { addr, inst, taken };
+        push_bounded(&mut self.ring, self.capacity, entry);
+        if inst.is_branch() {
+            push_bounded(&mut self.branch_ring, self.capacity, entry);
+        }
+        self.retired += 1;
+        Ok(step)
+    }
+
+    /// The recorded tail of the instruction stream, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring.iter()
+    }
+
+    /// The recorded tail of the branch stream, oldest first.
+    pub fn branches(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.branch_ring.iter()
+    }
+
+    /// Total instructions retired through this tracer (not just retained).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Clears the retained entries (keeps the retired counter).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.branch_ring.clear();
+    }
+
+    /// Renders the retained trace as a listing.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.ring {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+}
+
+fn push_bounded(ring: &mut VecDeque<TraceEntry>, cap: usize, entry: TraceEntry) {
+    if ring.len() == cap {
+        ring.pop_front();
+    }
+    ring.push_back(entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Perms;
+    use cfed_isa::{encode_all, AluOp, Cond, Reg};
+
+    fn setup(insts: &[Inst]) -> (Cpu, Memory) {
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..0x1000, Perms::RX);
+        mem.install(0, &encode_all(insts));
+        let mut cpu = Cpu::new();
+        cpu.set_ip(0);
+        (cpu, mem)
+    }
+
+    fn run(tracer: &mut Tracer, cpu: &mut Cpu, mem: &mut Memory) {
+        loop {
+            match tracer.step(cpu, mem) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Halt) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn records_in_order_with_taken_bits() {
+        let (mut cpu, mut mem) = setup(&[
+            Inst::MovRI { dst: Reg::R0, imm: 2 },
+            Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 }, // loop head
+            Inst::Jcc { cc: Cond::Ne, offset: -16 },
+            Inst::Halt,
+        ]);
+        let mut t = Tracer::new(64);
+        run(&mut t, &mut cpu, &mut mem);
+        let entries: Vec<_> = t.entries().collect();
+        assert_eq!(entries[0].addr, 0);
+        assert_eq!(t.retired(), entries.len() as u64);
+        // The jcc appears twice: taken once, then not taken.
+        let branches: Vec<_> = t.branches().collect();
+        assert_eq!(branches.len(), 2);
+        assert_eq!(branches[0].taken, Some(true));
+        assert_eq!(branches[1].taken, Some(false));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let (mut cpu, mut mem) = setup(&[
+            Inst::MovRI { dst: Reg::R0, imm: 50 },
+            Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 },
+            Inst::Jcc { cc: Cond::Ne, offset: -16 },
+            Inst::Halt,
+        ]);
+        let mut t = Tracer::new(8);
+        run(&mut t, &mut cpu, &mut mem);
+        assert_eq!(t.entries().count(), 8);
+        assert!(t.retired() > 8);
+        // The last retained entry is the halt.
+        assert_eq!(t.entries().last().unwrap().inst, Inst::Halt);
+    }
+
+    #[test]
+    fn faulting_instruction_not_recorded() {
+        let (mut cpu, mut mem) = setup(&[
+            Inst::Nop,
+            // Load from an unmapped page.
+            Inst::Ld { dst: Reg::R0, base: Reg::R1, disp: 0x2000 },
+        ]);
+        let mut t = Tracer::new(8);
+        assert!(matches!(t.step(&mut cpu, &mut mem), Ok(Step::Continue)));
+        assert!(t.step(&mut cpu, &mut mem).is_err());
+        assert_eq!(t.entries().count(), 1, "the trapped load must not appear");
+        assert_eq!(t.retired(), 1);
+    }
+
+    #[test]
+    fn render_and_clear() {
+        let (mut cpu, mut mem) = setup(&[Inst::Nop, Inst::Halt]);
+        let mut t = Tracer::new(4);
+        run(&mut t, &mut cpu, &mut mem);
+        let text = t.render();
+        assert!(text.contains("nop"));
+        assert!(text.contains("halt"));
+        t.clear();
+        assert_eq!(t.entries().count(), 0);
+        assert_eq!(t.retired(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Tracer::new(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Trap (synchronous exception) definitions.
+//!
+//! Traps model the hardware detection mechanisms the paper leans on:
+//! execute-protection faults catch branch-errors of category F ("jump to a
+//! non-code memory region", §2), write-protection faults drive the DBT's
+//! self-modifying-code handling (§5), divide-by-zero is the reporting channel
+//! of the ECCA technique, and [`Trap::Software`] is the channel the
+//! control-flow checking instrumentation uses to report a detected error.
+
+use cfed_isa::DecodeError;
+use std::error::Error;
+use std::fmt;
+
+/// A synchronous exception raised during simulated execution.
+///
+/// The faulting instruction is *not* committed: register state, flags and the
+/// instruction pointer are unchanged, so a handler (e.g. the DBT runtime) can
+/// repair state and resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Access to an address outside the configured address space.
+    OutOfRange { addr: u64 },
+    /// Read from a page without read permission.
+    PermRead { addr: u64 },
+    /// Write to a page without write permission (also the self-modifying-code
+    /// notification used by the DBT).
+    PermWrite { addr: u64 },
+    /// Instruction fetch from a page without execute permission — the
+    /// "execute disable bit" detection of branch-error category F.
+    PermExec { addr: u64 },
+    /// Instruction fetch from an address that is not 8-byte aligned (a
+    /// control-flow error landed mid-instruction).
+    UnalignedFetch { addr: u64 },
+    /// Fetched bytes do not decode to a valid instruction.
+    InvalidInst { addr: u64, cause: DecodeError },
+    /// Unsigned division by zero (ECCA's error-reporting channel).
+    DivByZero { addr: u64 },
+    /// Software trap (`trap` instruction); `code` distinguishes uses — see
+    /// [`trap_codes`].
+    Software { addr: u64, code: u32 },
+}
+
+/// Well-known software trap codes.
+pub mod trap_codes {
+    /// Control-flow checking instrumentation detected a signature mismatch.
+    pub const CFE_DETECTED: u32 = 0xC0DE_0001;
+    /// Guest program assertion failure (used by workloads for self-checks).
+    pub const GUEST_ASSERT: u32 = 0xC0DE_0002;
+    /// Base of the range used by the DBT for exit stubs back to the runtime;
+    /// codes `DBT_EXIT_BASE..` index the DBT's exit descriptor table.
+    pub const DBT_EXIT_BASE: u32 = 0xD000_0000;
+}
+
+impl Trap {
+    /// The faulting address (instruction address for execution faults, data
+    /// address for memory faults).
+    pub fn addr(&self) -> u64 {
+        match *self {
+            Trap::OutOfRange { addr }
+            | Trap::PermRead { addr }
+            | Trap::PermWrite { addr }
+            | Trap::PermExec { addr }
+            | Trap::UnalignedFetch { addr }
+            | Trap::InvalidInst { addr, .. }
+            | Trap::DivByZero { addr }
+            | Trap::Software { addr, .. } => addr,
+        }
+    }
+
+    /// Returns `true` for traps that hardware memory protection would raise
+    /// on a real machine when a control-flow error escapes the code region
+    /// (the paper's category-F detection plus mid-instruction landings).
+    pub fn is_hardware_cfe_detection(&self) -> bool {
+        matches!(
+            self,
+            Trap::PermExec { .. }
+                | Trap::UnalignedFetch { .. }
+                | Trap::InvalidInst { .. }
+                | Trap::OutOfRange { .. }
+        )
+    }
+
+    /// Returns `true` when this is the instrumentation's explicit
+    /// "control-flow error detected" report.
+    pub fn is_cfe_report(&self) -> bool {
+        matches!(self, Trap::Software { code, .. } if *code == trap_codes::CFE_DETECTED)
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfRange { addr } => write!(f, "access out of address space at {addr:#x}"),
+            Trap::PermRead { addr } => write!(f, "read permission fault at {addr:#x}"),
+            Trap::PermWrite { addr } => write!(f, "write permission fault at {addr:#x}"),
+            Trap::PermExec { addr } => write!(f, "execute permission fault at {addr:#x}"),
+            Trap::UnalignedFetch { addr } => write!(f, "unaligned instruction fetch at {addr:#x}"),
+            Trap::InvalidInst { addr, cause } => {
+                write!(f, "invalid instruction at {addr:#x}: {cause}")
+            }
+            Trap::DivByZero { addr } => write!(f, "division by zero at {addr:#x}"),
+            Trap::Software { addr, code } => {
+                write!(f, "software trap {code:#x} at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_extraction() {
+        assert_eq!(Trap::PermExec { addr: 0x123 }.addr(), 0x123);
+        assert_eq!(Trap::Software { addr: 4, code: 9 }.addr(), 4);
+    }
+
+    #[test]
+    fn hardware_detection_classification() {
+        assert!(Trap::PermExec { addr: 0 }.is_hardware_cfe_detection());
+        assert!(Trap::UnalignedFetch { addr: 1 }.is_hardware_cfe_detection());
+        assert!(!Trap::DivByZero { addr: 0 }.is_hardware_cfe_detection());
+        assert!(!Trap::Software { addr: 0, code: trap_codes::CFE_DETECTED }
+            .is_hardware_cfe_detection());
+    }
+
+    #[test]
+    fn cfe_report_classification() {
+        assert!(Trap::Software { addr: 0, code: trap_codes::CFE_DETECTED }.is_cfe_report());
+        assert!(!Trap::Software { addr: 0, code: 7 }.is_cfe_report());
+        assert!(!Trap::DivByZero { addr: 0 }.is_cfe_report());
+    }
+
+    #[test]
+    fn display_mentions_address() {
+        let t = Trap::PermWrite { addr: 0xABC };
+        assert!(t.to_string().contains("0xabc"));
+    }
+}

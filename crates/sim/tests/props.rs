@@ -1,0 +1,142 @@
+//! Property-based tests for the simulator: memory permission algebra and
+//! CPU determinism/trap-safety invariants.
+
+use cfed_isa::{encode_all, AluOp, Cond, Inst, Reg};
+use cfed_sim::{Cpu, Memory, Perms, Trap, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn arb_perms() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::NONE),
+        Just(Perms::R),
+        Just(Perms::RW),
+        Just(Perms::RX),
+        Just(Perms::RWX),
+        Just(Perms::W),
+        Just(Perms::X),
+    ]
+}
+
+proptest! {
+    /// Reads/writes respect the page permissions exactly.
+    #[test]
+    fn memory_access_respects_perms(
+        perms in arb_perms(),
+        offset in 0u64..(PAGE_SIZE - 8),
+        value in any::<u64>(),
+    ) {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.map(0..PAGE_SIZE, perms);
+        prop_assert_eq!(mem.read_u64(offset).is_ok(), perms.can_read());
+        prop_assert_eq!(mem.write_u64(offset, value).is_ok(), perms.can_write());
+        let aligned = offset & !7;
+        prop_assert_eq!(mem.fetch(aligned).is_ok(), perms.can_exec());
+        if perms.can_write() && perms.can_read() {
+            mem.write_u64(offset, value).unwrap();
+            prop_assert_eq!(mem.read_u64(offset).unwrap(), value);
+        }
+    }
+
+    /// Byte writes and reads round-trip and never touch neighbours.
+    #[test]
+    fn byte_writes_are_isolated(addr in 8u64..(PAGE_SIZE - 16), value in any::<u8>()) {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.map(0..PAGE_SIZE, Perms::RW);
+        let before_lo = mem.read_u8(addr - 1).unwrap();
+        let before_hi = mem.read_u8(addr + 1).unwrap();
+        mem.write_u8(addr, value).unwrap();
+        prop_assert_eq!(mem.read_u8(addr).unwrap(), value);
+        prop_assert_eq!(mem.read_u8(addr - 1).unwrap(), before_lo);
+        prop_assert_eq!(mem.read_u8(addr + 1).unwrap(), before_hi);
+    }
+
+    /// protect/unprotect compose to the identity on permission behaviour.
+    #[test]
+    fn protect_roundtrip(perms in arb_perms(), addr in 0u64..PAGE_SIZE) {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.map(0..PAGE_SIZE, perms);
+        let old = mem.protect_page(addr);
+        prop_assert_eq!(old, perms);
+        prop_assert!(!mem.perms_at(addr).can_write());
+        prop_assert_eq!(mem.perms_at(addr).can_read(), perms.can_read());
+        prop_assert_eq!(mem.perms_at(addr).can_exec(), perms.can_exec());
+        mem.unprotect_page(addr);
+        prop_assert!(mem.perms_at(addr).can_write());
+    }
+
+    /// Execution is deterministic: two CPUs running the same program reach
+    /// identical state.
+    #[test]
+    fn cpu_execution_deterministic(seed in any::<i32>(), iters in 1i32..40) {
+        let prog = encode_all(&[
+            Inst::MovRI { dst: Reg::R0, imm: seed },
+            Inst::MovRI { dst: Reg::R1, imm: iters },
+            // loop: r0 = r0 * 3 + 7 (wrapping); r1 -= 1; jne loop
+            Inst::AluI { op: AluOp::Mul, dst: Reg::R0, imm: 3 },
+            Inst::AluI { op: AluOp::Add, dst: Reg::R0, imm: 7 },
+            Inst::AluI { op: AluOp::Sub, dst: Reg::R1, imm: 1 },
+            Inst::Jcc { cc: Cond::Ne, offset: -32 },
+            Inst::Out { src: Reg::R0 },
+            Inst::Halt,
+        ]);
+        let run = || {
+            let mut mem = Memory::new(1 << 16);
+            mem.map(0..0x1000, Perms::RX);
+            mem.install(0, &prog);
+            let mut cpu = Cpu::new();
+            cpu.set_ip(0);
+            let exit = cpu.run(&mut mem, 10_000);
+            (exit, cpu.reg(Reg::R0), cpu.stats(), cpu.output().to_vec())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A trap never commits state: after any trapping step, ip still points
+    /// at the faulting instruction and registers are unchanged.
+    #[test]
+    fn traps_do_not_commit(disp in any::<i32>()) {
+        // A store to an unmapped page traps.
+        let prog = encode_all(&[
+            Inst::MovRI { dst: Reg::R1, imm: 0x8000 }, // unmapped region
+            Inst::St { base: Reg::R1, src: Reg::R0, disp },
+            Inst::Halt,
+        ]);
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..0x1000, Perms::RX);
+        mem.install(0, &prog);
+        let mut cpu = Cpu::new();
+        cpu.set_ip(0);
+        cpu.step(&mut mem).unwrap();
+        let regs_before: Vec<u64> = Reg::all().map(|r| cpu.reg(r)).collect();
+        match cpu.step(&mut mem) {
+            Err(Trap::PermWrite { .. }) | Err(Trap::OutOfRange { .. }) => {
+                prop_assert_eq!(cpu.ip(), 8, "ip must stay at the faulting store");
+                let regs_after: Vec<u64> = Reg::all().map(|r| cpu.reg(r)).collect();
+                prop_assert_eq!(regs_before, regs_after);
+            }
+            other => prop_assert!(false, "expected a write trap, got {:?}", other),
+        }
+    }
+
+    /// Cycle accounting is strictly increasing per retired instruction.
+    #[test]
+    fn cycles_monotone(n in 1usize..64) {
+        let mut insts = vec![Inst::Nop; n];
+        insts.push(Inst::Halt);
+        let prog = encode_all(&insts);
+        let mut mem = Memory::new(1 << 16);
+        mem.map(0..0x2000, Perms::RX);
+        mem.install(0, &prog);
+        let mut cpu = Cpu::new();
+        cpu.set_ip(0);
+        let mut last = 0;
+        while let Ok(step) = cpu.step(&mut mem) {
+            prop_assert!(cpu.stats().cycles > last);
+            last = cpu.stats().cycles;
+            if step == cfed_sim::Step::Halt {
+                break;
+            }
+        }
+        prop_assert_eq!(cpu.stats().insts as usize, n + 1);
+    }
+}

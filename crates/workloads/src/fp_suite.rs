@@ -1,0 +1,738 @@
+//! SPEC CFP2000 analogs: loop-dominated numeric kernels with large
+//! straight-line basic blocks, in 8-bit fixed point (all values kept
+//! positive so logical shifts behave like arithmetic ones).
+//!
+//! These reproduce the structural property the paper leans on for the
+//! fp/int contrast: "floating-point applications have big basic blocks"
+//! (§2, §6), which lowers per-block instrumentation overhead and raises the
+//! category-C probability relative to D.
+
+/// 168.wupwise analog: repeated dense matrix–vector products with a fully
+/// unrolled 8-wide inner row.
+pub fn wupwise(scale: u64) -> String {
+    let iters = 16 * scale;
+    format!(
+        r#"
+        global a[64];
+        global v[8];
+        global w[8];
+        global seed = 1917;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < 64) {{ a[i] = rand() % 256 + 1; i = i + 1; }}
+            i = 0;
+            while (i < 8) {{ v[i] = rand() % 256 + 1; i = i + 1; }}
+            let it = 0;
+            while (it < {iters}) {{
+                let r = 0;
+                while (r < 8) {{
+                    let base = r * 8;
+                    let acc = a[base] * v[0] + a[base + 1] * v[1]
+                            + a[base + 2] * v[2] + a[base + 3] * v[3]
+                            + a[base + 4] * v[4] + a[base + 5] * v[5]
+                            + a[base + 6] * v[6] + a[base + 7] * v[7];
+                    w[r] = (acc >> 8) + 1;
+                    r = r + 1;
+                }}
+                i = 0;
+                while (i < 8) {{ v[i] = (w[i] & 0xFFFF) + 1; i = i + 1; }}
+                if (it > {iters}) {{ out(it); }}
+                it = it + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < 8) {{ cs = (cs * 31 + v[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 171.swim analog: 2D shallow-water five-point stencil over a flattened
+/// grid, long update expressions per point.
+pub fn swim(scale: u64) -> String {
+    let dim = 16;
+    let steps = 4 * scale;
+    let n = dim * dim;
+    format!(
+        r#"
+        global u[{n}];
+        global unew[{n}];
+        global seed = 1879;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{ u[i] = rand() % 1024 + 256; i = i + 1; }}
+            let t = 0;
+            while (t < {steps}) {{
+                let r = 1;
+                while (r < {dim} - 1) {{
+                    let c = 1;
+                    while (c < {dim} - 1) {{
+                        let idx = r * {dim} + c;
+                        let center = u[idx];
+                        let north = u[idx - {dim}];
+                        let south = u[idx + {dim}];
+                        let east = u[idx + 1];
+                        let west = u[idx - 1];
+                        let lap = north + south + east + west;
+                        let adv = (east * center >> 10) + (south * center >> 10);
+                        unew[idx] = (center * 4 + lap + adv) / 9 + 1;
+                        c = c + 1;
+                    }}
+                    r = r + 1;
+                }}
+                i = 0;
+                while (i < {n}) {{ u[i] = unew[i] + 1; i = i + 1; }}
+                if (t > {steps}) {{ out(t); }}
+                t = t + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{ cs = (cs + u[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 172.mgrid analog: V-cycle-style smoothing at three resolutions of a 1D
+/// grid, with unrolled three-point relaxation.
+pub fn mgrid(scale: u64) -> String {
+    let n = 128;
+    let cycles = 6 * scale;
+    format!(
+        r#"
+        global g[{n}];
+        global seed = 1968;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn smooth(stride, sweeps) {{
+            let s = 0;
+            while (s < sweeps) {{
+                let i = stride;
+                while (i + stride < {n}) {{
+                    let left = g[i - stride];
+                    let right = g[i + stride];
+                    let here = g[i];
+                    g[i] = (left * 3 + here * 10 + right * 3) >> 4;
+                    g[i] = g[i] + ((left ^ right) & 7) + 1;
+                    i = i + stride;
+                }}
+                s = s + 1;
+            }}
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{ g[i] = rand() % 4096 + 64; i = i + 1; }}
+            let c = 0;
+            while (c < {cycles}) {{
+                smooth(1, 2);
+                smooth(2, 2);
+                smooth(4, 2);
+                smooth(2, 1);
+                smooth(1, 1);
+                if (c > {cycles}) {{ out(c); }}
+                c = c + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{ cs = (cs * 5 + g[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 173.applu analog: forward/backward substitution sweeps of an SSOR-style
+/// solver with fused per-row arithmetic.
+pub fn applu(scale: u64) -> String {
+    let n = 96;
+    let iters = 8 * scale;
+    format!(
+        r#"
+        global d[{n}];
+        global lo[{n}];
+        global hi[{n}];
+        global rhs[{n}];
+        global seed = 1999;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{
+                d[i] = rand() % 64 + 64;
+                lo[i] = rand() % 16 + 1;
+                hi[i] = rand() % 16 + 1;
+                rhs[i] = rand() % 1024 + 128;
+                i = i + 1;
+            }}
+            let it = 0;
+            while (it < {iters}) {{
+                // forward sweep
+                i = 1;
+                while (i < {n}) {{
+                    let upd = rhs[i] + (lo[i] * rhs[i - 1] >> 6)
+                            + ((d[i] * rhs[i]) >> 9) + (lo[i] ^ d[i]);
+                    rhs[i] = (upd & 0xFFFF) + 1;
+                    i = i + 1;
+                }}
+                // backward sweep
+                i = {n} - 2;
+                while (i > 0) {{
+                    let upd2 = rhs[i] + (hi[i] * rhs[i + 1] >> 6)
+                            + ((d[i] * rhs[i]) >> 9) + (hi[i] | 3);
+                    rhs[i] = (upd2 & 0xFFFF) + 1;
+                    i = i - 1;
+                }}
+                it = it + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{ cs = (cs + rhs[i] * (i + 1)) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 177.mesa analog: a vertex-transform pipeline — 4×4 fixed-point matrix
+/// times a stream of vertices, fully unrolled (16 multiplies per vertex).
+pub fn mesa(scale: u64) -> String {
+    let verts = 40 * scale;
+    format!(
+        r#"
+        global m[16];
+        global seed = 1992;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < 16) {{ m[i] = rand() % 512 + 1; i = i + 1; }}
+            let v = 0;
+            let cs = 0;
+            while (v < {verts}) {{
+                let x = rand() % 1024 + 1;
+                let y = rand() % 1024 + 1;
+                let z = rand() % 1024 + 1;
+                let w = 256;
+                let tx = (m[0] * x + m[1] * y + m[2] * z + m[3] * w) >> 8;
+                let ty = (m[4] * x + m[5] * y + m[6] * z + m[7] * w) >> 8;
+                let tz = (m[8] * x + m[9] * y + m[10] * z + m[11] * w) >> 8;
+                let tw = (m[12] * x + m[13] * y + m[14] * z + m[15] * w) >> 8;
+                let px = (tx * 256) / (tw + 1);
+                let py = (ty * 256) / (tw + 1);
+                cs = (cs * 31 + px * 7 + py * 3 + tz) & 0xFFFFFF;
+                if (tw > 0x100000) {{ out(tw); }}
+                v = v + 1;
+            }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 178.galgel analog: Gaussian elimination forward pass over a small dense
+/// fixed-point matrix, re-factored repeatedly.
+pub fn galgel(scale: u64) -> String {
+    let dim = 12;
+    let n = dim * dim;
+    let iters = 4 * scale;
+    format!(
+        r#"
+        global a[{n}];
+        global seed = 1996;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn refill() {{
+            let i = 0;
+            while (i < {n}) {{ a[i] = rand() % 900 + 100; i = i + 1; }}
+        }}
+        fn main() {{
+            let it = 0;
+            let cs = 0;
+            while (it < {iters}) {{
+                refill();
+                let k = 0;
+                while (k < {dim} - 1) {{
+                    let r = k + 1;
+                    while (r < {dim}) {{
+                        let factor = (a[r * {dim} + k] * 256) / a[k * {dim} + k];
+                        let c = k;
+                        while (c < {dim}) {{
+                            let sub = (factor * a[k * {dim} + c]) >> 8;
+                            let cell = a[r * {dim} + c] + 2048 - sub;
+                            a[r * {dim} + c] = (cell & 0xFFF) + 1;
+                            c = c + 1;
+                        }}
+                        r = r + 1;
+                    }}
+                    k = k + 1;
+                }}
+                let i = 0;
+                while (i < {dim}) {{ cs = (cs * 13 + a[i * {dim} + i]) & 0xFFFFFF; i = i + 1; }}
+                it = it + 1;
+            }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 179.art analog: an ART-1 style neural recognition layer — unrolled
+/// weighted sums feeding a winner-take-all pass.
+pub fn art(scale: u64) -> String {
+    let inputs = 64;
+    let classes = 8;
+    let presentations = 16 * scale;
+    format!(
+        r#"
+        global w[{}];
+        global x[{inputs}];
+        global act[{classes}];
+        global seed = 2001;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {}) {{ w[i] = rand() % 256 + 1; i = i + 1; }}
+            let p = 0;
+            let cs = 0;
+            while (p < {presentations}) {{
+                i = 0;
+                while (i < {inputs}) {{ x[i] = rand() % 256; i = i + 1; }}
+                let c = 0;
+                while (c < {classes}) {{
+                    let base = c * {inputs};
+                    let acc = 0;
+                    let j = 0;
+                    while (j < {inputs}) {{
+                        acc = acc + w[base + j] * x[j] + (w[base + j] & x[j])
+                            + ((w[base + j] ^ x[j]) >> 2) + (x[j] >> 1)
+                            + ((w[base + j] + x[j]) >> 3) + 1;
+                        j = j + 4;
+                        acc = acc + w[base + j - 3] * x[j - 3]
+                            + w[base + j - 2] * x[j - 2]
+                            + w[base + j - 1] * x[j - 1];
+                    }}
+                    act[c] = acc >> 6;
+                    c = c + 1;
+                }}
+                let best = 0;
+                c = 1;
+                while (c < {classes}) {{
+                    if (act[c] > act[best]) {{ best = c; }}
+                    c = c + 1;
+                }}
+                // resonance: nudge the winner's weights
+                i = 0;
+                while (i < {inputs}) {{
+                    let idx = best * {inputs} + i;
+                    w[idx] = ((w[idx] * 3 + x[i]) >> 2) + 1;
+                    i = i + 1;
+                }}
+                cs = (cs * 7 + best) & 0xFFFFFF;
+                if (best > {classes}) {{ out(best); }}
+                p = p + 1;
+            }}
+            out(cs);
+        }}
+        "#,
+        inputs * classes,
+        inputs * classes,
+    )
+}
+
+/// 183.equake analog: banded sparse matrix–vector products (the sparse
+/// structure is fixed, so the inner body is straight-line).
+pub fn equake(scale: u64) -> String {
+    let n = 128;
+    let iters = 10 * scale;
+    format!(
+        r#"
+        global k0[{n}];
+        global k1[{n}];
+        global k2[{n}];
+        global disp[{n}];
+        global force[{n}];
+        global seed = 1989;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{
+                k0[i] = rand() % 128 + 16;
+                k1[i] = rand() % 64 + 8;
+                k2[i] = rand() % 32 + 4;
+                disp[i] = rand() % 512 + 64;
+                i = i + 1;
+            }}
+            let t = 0;
+            while (t < {iters}) {{
+                i = 2;
+                while (i < {n} - 5) {{
+                    let f0 = k0[i] * disp[i]
+                           + k1[i] * (disp[i - 1] + disp[i + 1])
+                           + k2[i] * (disp[i - 2] + disp[i + 2]);
+                    let f1 = k0[i + 1] * disp[i + 1]
+                           + k1[i + 1] * (disp[i] + disp[i + 2])
+                           + k2[i + 1] * (disp[i - 1] + disp[i + 3]);
+                    let f2 = k0[i + 2] * disp[i + 2]
+                           + k1[i + 2] * (disp[i + 1] + disp[i + 3])
+                           + k2[i + 2] * (disp[i] + disp[i + 4]);
+                    let f3 = k0[i + 3] * disp[i + 3]
+                           + k1[i + 3] * (disp[i + 2] + disp[i + 4])
+                           + k2[i + 3] * (disp[i + 1] + disp[i + 5]);
+                    force[i] = (f0 >> 7) + 1;
+                    force[i + 1] = (f1 >> 7) + 1;
+                    force[i + 2] = (f2 >> 7) + 1;
+                    force[i + 3] = (f3 >> 7) + 1;
+                    i = i + 4;
+                }}
+                i = 2;
+                while (i < {n} - 5) {{
+                    disp[i] = ((disp[i] * 3 + force[i]) >> 2) + 1;
+                    disp[i + 1] = ((disp[i + 1] * 3 + force[i + 1]) >> 2) + 1;
+                    disp[i + 2] = ((disp[i + 2] * 3 + force[i + 2]) >> 2) + 1;
+                    disp[i + 3] = ((disp[i + 3] * 3 + force[i + 3]) >> 2) + 1;
+                    i = i + 4;
+                }}
+                if (t > {iters}) {{ out(t); }}
+                t = t + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{ cs = (cs + disp[i] * (i | 1)) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 187.facerec analog: sliding cross-correlation of a probe signal against a
+/// gallery, inner product unrolled ×4.
+pub fn facerec(scale: u64) -> String {
+    let gallery = 256;
+    let probe = 32;
+    let iters = 4 * scale;
+    format!(
+        r#"
+        global g[{gallery}];
+        global p[{probe}];
+        global seed = 2002;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {gallery}) {{ g[i] = rand() % 256; i = i + 1; }}
+            i = 0;
+            while (i < {probe}) {{ p[i] = rand() % 256; i = i + 1; }}
+            let it = 0;
+            let cs = 0;
+            while (it < {iters}) {{
+                let best = 0;
+                let best_at = 0;
+                let off = 0;
+                while (off + {probe} <= {gallery}) {{
+                    let acc = 0;
+                    let j = 0;
+                    while (j < {probe}) {{
+                        acc = acc + g[off + j] * p[j]
+                            + g[off + j + 1] * p[j + 1]
+                            + g[off + j + 2] * p[j + 2]
+                            + g[off + j + 3] * p[j + 3];
+                        j = j + 4;
+                    }}
+                    if (acc > best) {{ best = acc; best_at = off; }}
+                    off = off + 1;
+                }}
+                cs = (cs * 31 + best_at) & 0xFFFFFF;
+                // perturb the probe so iterations differ
+                i = 0;
+                while (i < {probe}) {{ p[i] = (p[i] + g[(best_at + i) % {gallery}]) % 256; i = i + 1; }}
+                it = it + 1;
+            }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 188.ammp analog: pairwise n-body force accumulation with softened
+/// inverse-square interaction in fixed point.
+pub fn ammp(scale: u64) -> String {
+    let bodies = 24;
+    let steps = 4 * scale;
+    format!(
+        r#"
+        global px[{bodies}];
+        global py[{bodies}];
+        global fx[{bodies}];
+        global fy[{bodies}];
+        global seed = 1994;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {bodies}) {{
+                px[i] = rand() % 2048 + 256;
+                py[i] = rand() % 2048 + 256;
+                i = i + 1;
+            }}
+            let t = 0;
+            while (t < {steps}) {{
+                i = 0;
+                while (i < {bodies}) {{ fx[i] = 0; fy[i] = 0; i = i + 1; }}
+                i = 0;
+                while (i < {bodies}) {{
+                    let j = i + 1;
+                    while (j < {bodies}) {{
+                        let dx = px[i] + 4096 - px[j];
+                        let dy = py[i] + 4096 - py[j];
+                        let r2 = (dx - 4096) * (dx - 4096) + (dy - 4096) * (dy - 4096) + 64;
+                        let inv = 67108864 / r2;
+                        let f = (inv * 37) >> 4;
+                        fx[i] = fx[i] + f * (dx / 512);
+                        fy[i] = fy[i] + f * (dy / 512);
+                        fx[j] = fx[j] + f * ((8192 - dx) / 512);
+                        fy[j] = fy[j] + f * ((8192 - dy) / 512);
+                        j = j + 1;
+                    }}
+                    i = i + 1;
+                }}
+                i = 0;
+                while (i < {bodies}) {{
+                    px[i] = (px[i] + (fx[i] >> 8)) % 4096 + 128;
+                    py[i] = (py[i] + (fy[i] >> 8)) % 4096 + 128;
+                    i = i + 1;
+                }}
+                t = t + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {bodies}) {{ cs = (cs * 17 + px[i] + py[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 189.lucas analog: Lucas–Lehmer-style chained modular squaring, unrolled
+/// ×4 per loop iteration.
+pub fn lucas(scale: u64) -> String {
+    let iters = 120 * scale;
+    format!(
+        r#"
+        fn main() {{
+            let m = 2147483647;
+            let x = 4;
+            let i = 0;
+            while (i < {iters}) {{
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 15) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 16) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 17) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                x = (x * x + 14) % m;
+                i = i + 1;
+            }}
+            out(x);
+        }}
+        "#
+    )
+}
+
+/// 191.fma3d analog: finite-element-style fused multiply–add sweeps over
+/// element arrays, two unrolled passes per step.
+pub fn fma3d(scale: u64) -> String {
+    let n = 128;
+    let steps = 8 * scale;
+    format!(
+        r#"
+        global stress[{n}];
+        global strain[{n}];
+        global veloc[{n}];
+        global seed = 1995;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{
+                stress[i] = rand() % 1024 + 64;
+                strain[i] = rand() % 256 + 16;
+                veloc[i] = rand() % 128 + 8;
+                i = i + 1;
+            }}
+            let t = 0;
+            while (t < {steps}) {{
+                i = 0;
+                while (i < {n}) {{
+                    let e0 = strain[i] + ((veloc[i] * 13) >> 4);
+                    let e1 = strain[i + 1] + ((veloc[i + 1] * 13) >> 4);
+                    let e2 = strain[i + 2] + ((veloc[i + 2] * 13) >> 4);
+                    let e3 = strain[i + 3] + ((veloc[i + 3] * 13) >> 4);
+                    stress[i] = ((stress[i] + ((e0 * 29) >> 5) + ((e0 * e0) >> 11)) & 0x3FFF) + 1;
+                    stress[i + 1] = ((stress[i + 1] + ((e1 * 29) >> 5) + ((e1 * e1) >> 11)) & 0x3FFF) + 1;
+                    stress[i + 2] = ((stress[i + 2] + ((e2 * 29) >> 5) + ((e2 * e2) >> 11)) & 0x3FFF) + 1;
+                    stress[i + 3] = ((stress[i + 3] + ((e3 * 29) >> 5) + ((e3 * e3) >> 11)) & 0x3FFF) + 1;
+                    strain[i] = (e0 & 0xFFF) + 1;
+                    strain[i + 1] = (e1 & 0xFFF) + 1;
+                    strain[i + 2] = (e2 & 0xFFF) + 1;
+                    strain[i + 3] = (e3 & 0xFFF) + 1;
+                    i = i + 4;
+                }}
+                i = 1;
+                while (i < {n} - 4) {{
+                    let acc0 = stress[i - 1] + stress[i] * 2 + stress[i + 1];
+                    let acc1 = stress[i] + stress[i + 1] * 2 + stress[i + 2];
+                    let acc2 = stress[i + 1] + stress[i + 2] * 2 + stress[i + 3];
+                    let acc3 = stress[i + 2] + stress[i + 3] * 2 + stress[i + 4];
+                    veloc[i] = ((veloc[i] * 7 + (acc0 >> 4)) >> 3) + 1;
+                    veloc[i + 1] = ((veloc[i + 1] * 7 + (acc1 >> 4)) >> 3) + 1;
+                    veloc[i + 2] = ((veloc[i + 2] * 7 + (acc2 >> 4)) >> 3) + 1;
+                    veloc[i + 3] = ((veloc[i + 3] * 7 + (acc3 >> 4)) >> 3) + 1;
+                    i = i + 4;
+                }}
+                t = t + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{ cs = (cs + stress[i] ^ veloc[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 200.sixtrack analog: particle tracking through a lattice — phase-space
+/// rotation with fixed-point trig constants plus a sextupole kick.
+pub fn sixtrack(scale: u64) -> String {
+    let particles = 16;
+    let turns = 16 * scale;
+    format!(
+        r#"
+        global x[{particles}];
+        global p[{particles}];
+        global seed = 1984;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {particles}) {{
+                x[i] = rand() % 512 + 256;
+                p[i] = rand() % 512 + 256;
+                i = i + 1;
+            }}
+            // cos/sin of the tune in Q8: 0.921, 0.389
+            let c = 236;
+            let s = 100;
+            let t = 0;
+            while (t < {turns}) {{
+                i = 0;
+                while (i < {particles}) {{
+                    let xi = x[i];
+                    let pi = p[i];
+                    let xr = (c * xi + 65536 + s * pi) >> 8;
+                    let pr = (c * pi + 524288 - s * xi) >> 8;
+                    let kick = (xr * xr) >> 12;
+                    x[i] = (xr & 0x7FF) + 64;
+                    p[i] = ((pr + kick) & 0x7FF) + 64;
+                    let xj = x[i + 1];
+                    let pj = p[i + 1];
+                    let xs = (c * xj + 65536 + s * pj) >> 8;
+                    let ps = (c * pj + 524288 - s * xj) >> 8;
+                    let kick2 = (xs * xs) >> 12;
+                    x[i + 1] = (xs & 0x7FF) + 64;
+                    p[i + 1] = ((ps + kick2) & 0x7FF) + 64;
+                    i = i + 2;
+                }}
+                t = t + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {particles}) {{ cs = (cs * 31 + x[i] * 2 + p[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 301.apsi analog: 1D advection–diffusion of temperature and moisture with
+/// coupled long-expression updates.
+pub fn apsi(scale: u64) -> String {
+    let n = 128;
+    let steps = 8 * scale;
+    format!(
+        r#"
+        global temp[{n}];
+        global moist[{n}];
+        global seed = 1966;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{
+                temp[i] = rand() % 512 + 2048;
+                moist[i] = rand() % 256 + 1024;
+                i = i + 1;
+            }}
+            let t = 0;
+            while (t < {steps}) {{
+                i = 1;
+                while (i < {n} - 1) {{
+                    let adv = (temp[i - 1] * 3 + temp[i] * 10 + temp[i + 1] * 3) >> 4;
+                    let dif = (moist[i - 1] + moist[i + 1]) >> 1;
+                    let coupling = (adv * dif) >> 12;
+                    temp[i] = ((adv + coupling) & 0x1FFF) + 1024;
+                    moist[i] = ((dif + (adv >> 3) + (temp[i] >> 4)) & 0xFFF) + 512;
+                    i = i + 1;
+                }}
+                t = t + 1;
+            }}
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{ cs = (cs + temp[i] * 3 + moist[i]) & 0xFFFFFF; i = i + 1; }}
+            out(cs);
+        }}
+        "#
+    )
+}

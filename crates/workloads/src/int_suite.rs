@@ -1,0 +1,617 @@
+//! SPEC CINT2000 analogs: branchy, call-heavy integer kernels with small
+//! basic blocks — the structural profile that drives the integer side of
+//! the paper's Figures 2, 12 and 15.
+//!
+//! Every generator takes a `scale` parameter controlling the dominant loop
+//! bound so the same program can run as a fast test or a full measurement.
+
+/// 164.gzip analog: run-length compression of LCG-generated, run-structured
+/// data; inner loops with data-dependent exits.
+pub fn gzip(scale: u64) -> String {
+    let n = 64 * scale;
+    format!(
+        r#"
+        global data[{n}];
+        global seed = 11213;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn fill() {{
+            let i = 0;
+            while (i < {n}) {{
+                let run = rand() % 7 + 1;
+                let val = rand() % 4;
+                while (run > 0) {{
+                    if (i < {n}) {{ data[i] = val; i = i + 1; }}
+                    run = run - 1;
+                }}
+            }}
+        }}
+        fn main() {{
+            fill();
+            let i = 0;
+            let tokens = 0;
+            let cs = 0;
+            while (i < {n}) {{
+                let v = data[i];
+                let run = 0;
+                while (i < {n} && data[i] == v) {{ run = run + 1; i = i + 1; }}
+                cs = (cs * 31 + v * 256 + run) & 0xFFFFFF;
+                if (cs > 0xFFFFFF) {{ out(cs); }}
+                if (run > {n}) {{ out(run); }}
+                tokens = tokens + 1;
+            }}
+            out(tokens);
+            out(cs);
+            assert(tokens > 0);
+        }}
+        "#
+    )
+}
+
+/// 175.vpr analog: greedy placement improvement — swap two cells when the
+/// wire-length cost decreases.
+pub fn vpr(scale: u64) -> String {
+    let cells = 48;
+    let iters = 40 * scale;
+    format!(
+        r#"
+        global pos[{cells}];
+        global net[{cells}];
+        global seed = 777;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn dist(a, b) {{
+            if (a < b) {{ return b - a; }}
+            return a - b;
+        }}
+        fn cell_cost(c) {{
+            return dist(pos[c], pos[net[c]]);
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {cells}) {{
+                pos[i] = rand() % 1000;
+                net[i] = rand() % {cells};
+                i = i + 1;
+            }}
+            let accepted = 0;
+            let t = 0;
+            while (t < {iters}) {{
+                let a = rand() % {cells};
+                let b = rand() % {cells};
+                let before = cell_cost(a) + cell_cost(b);
+                let tmp = pos[a];
+                pos[a] = pos[b];
+                pos[b] = tmp;
+                let after = cell_cost(a) + cell_cost(b);
+                if (after > before) {{
+                    tmp = pos[a];
+                    pos[a] = pos[b];
+                    pos[b] = tmp;
+                }} else {{
+                    accepted = accepted + 1;
+                }}
+                if (t > {iters}) {{ out(t); }}
+                t = t + 1;
+            }}
+            let total = 0;
+            i = 0;
+            while (i < {cells}) {{ total = total + cell_cost(i); i = i + 1; }}
+            out(accepted);
+            out(total);
+        }}
+        "#
+    )
+}
+
+/// 176.gcc analog: a bytecode evaluator — decode/dispatch over an op stream
+/// with a long else-if chain (compiler-style unpredictable branches).
+pub fn gcc(scale: u64) -> String {
+    let n = 96 * scale;
+    format!(
+        r#"
+        global ops[{n}];
+        global args[{n}];
+        global seed = 424242;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{
+                ops[i] = rand() % 8;
+                args[i] = rand() % 64 + 1;
+                i = i + 1;
+            }}
+            let acc = 1;
+            let pc = 0;
+            while (pc < {n}) {{
+                let op = ops[pc];
+                let a = args[pc];
+                if (op == 0) {{ acc = acc + a; }}
+                else if (op == 1) {{ acc = acc - a; }}
+                else if (op == 2) {{ acc = acc * (a & 7); }}
+                else if (op == 3) {{ acc = acc / a; }}
+                else if (op == 4) {{ acc = acc ^ a; }}
+                else if (op == 5) {{ acc = acc | (a & 15); }}
+                else if (op == 6) {{ acc = (acc << 1) & 0xFFFFF; }}
+                else {{ acc = acc >> 1; }}
+                if (acc == 0) {{ acc = 7; }}
+                if (pc > {n}) {{ out(pc); }}
+                if (op > 7) {{ out(op); }}
+                pc = pc + 1;
+            }}
+            out(acc);
+        }}
+        "#
+    )
+}
+
+/// 181.mcf analog: Bellman–Ford relaxation over a synthetic sparse network
+/// (pointer-chasing-style index loads, highly branchy inner test).
+pub fn mcf(scale: u64) -> String {
+    let nodes = 40;
+    let rounds = 4 * scale;
+    format!(
+        r#"
+        global dist[{nodes}];
+        global to_a[{nodes}];
+        global to_b[{nodes}];
+        global w_a[{nodes}];
+        global w_b[{nodes}];
+        global seed = 31337;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 1;
+            dist[0] = 0;
+            while (i < {nodes}) {{ dist[i] = 1000000; i = i + 1; }}
+            i = 0;
+            while (i < {nodes}) {{
+                to_a[i] = (i + 1 + rand() % 3) % {nodes};
+                to_b[i] = rand() % {nodes};
+                w_a[i] = rand() % 50 + 1;
+                w_b[i] = rand() % 50 + 1;
+                i = i + 1;
+            }}
+            let round = 0;
+            let relaxations = 0;
+            while (round < {rounds}) {{
+                let u = 0;
+                while (u < {nodes}) {{
+                    let du = dist[u];
+                    if (du < 1000000) {{
+                        let v = to_a[u];
+                        if (du + w_a[u] < dist[v]) {{
+                            dist[v] = du + w_a[u];
+                            relaxations = relaxations + 1;
+                        }}
+                        v = to_b[u];
+                        if (du + w_b[u] < dist[v]) {{
+                            dist[v] = du + w_b[u];
+                            relaxations = relaxations + 1;
+                        }}
+                    }}
+                    if (u > {nodes}) {{ out(u); }}
+                    u = u + 1;
+                }}
+                round = round + 1;
+            }}
+            let sum = 0;
+            i = 0;
+            while (i < {nodes}) {{ sum = sum + dist[i]; i = i + 1; }}
+            out(relaxations);
+            out(sum);
+        }}
+        "#
+    )
+}
+
+/// 186.crafty analog: bitboard manipulation — popcounts, sliding attacks,
+/// parity tricks (shift/mask heavy with short data-dependent branches).
+pub fn crafty(scale: u64) -> String {
+    let iters = 60 * scale;
+    format!(
+        r#"
+        global seed = 90125;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn popcount(x) {{
+            let c = 0;
+            while (x != 0) {{ x = x & (x - 1); c = c + 1; }}
+            return c;
+        }}
+        fn slide(occ, from) {{
+            let attacks = 0;
+            let sq = from + 1;
+            while (sq < 32 && (occ >> sq) % 2 == 0) {{
+                attacks = attacks | (1 << sq);
+                sq = sq + 1;
+            }}
+            if (sq < 32) {{ attacks = attacks | (1 << sq); }}
+            return attacks;
+        }}
+        fn main() {{
+            let i = 0;
+            let score = 0;
+            while (i < {iters}) {{
+                let occ = rand() ^ (rand() << 5);
+                occ = occ & 0xFFFFFFFF;
+                let from = rand() % 24;
+                let att = slide(occ, from);
+                score = score + popcount(att & occ);
+                if (popcount(occ) % 2 == 1) {{ score = score + 3; }} else {{ score = score - 1; }}
+                if (from > 24) {{ out(from); }}
+                i = i + 1;
+            }}
+            out(score);
+        }}
+        "#
+    )
+}
+
+/// 197.parser analog: recursive-descent evaluation of a token stream with
+/// bracket nesting (deep call stacks, data-dependent recursion).
+pub fn parser(scale: u64) -> String {
+    let n = 128 * scale;
+    format!(
+        r#"
+        global toks[{n}];
+        global cursor = 0;
+        global seed = 5417;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        // tokens: 0 '(' 1 ')' 2.. literals
+        fn gen(i, depth) {{
+            while (i < {n}) {{
+                let r = rand() % 10;
+                if (r < 3 && depth < 12) {{
+                    toks[i] = 0;
+                    i = gen(i + 1, depth + 1);
+                }} else if (r < 5 && depth > 0) {{
+                    toks[i] = 1;
+                    return i + 1;
+                }} else {{
+                    toks[i] = r;
+                    i = i + 1;
+                }}
+            }}
+            return i;
+        }}
+        fn parse_expr(depth) {{
+            let total = 0;
+            while (cursor < {n}) {{
+                let t = toks[cursor];
+                cursor = cursor + 1;
+                if (t == 0) {{
+                    total = total + 2 * parse_expr(depth + 1);
+                }} else if (t == 1) {{
+                    return total;
+                }} else {{
+                    total = total + t;
+                }}
+            }}
+            return total;
+        }}
+        fn main() {{
+            let end = gen(0, 0);
+            while (end < {n}) {{ toks[end] = 1; end = end + 1; }}
+            out(parse_expr(0) & 0xFFFFFF);
+        }}
+        "#
+    )
+}
+
+/// 252.eon analog: fixed-point ray stepping through an octree-like grid with
+/// per-axis branch decisions.
+pub fn eon(scale: u64) -> String {
+    let rays = 24 * scale;
+    format!(
+        r#"
+        global seed = 6502;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn trace(x, y, dx, dy) {{
+            let steps = 0;
+            let hits = 0;
+            while (steps < 64) {{
+                x = x + dx;
+                y = y + dy;
+                if (x > 4096) {{ x = x - 4096; dx = 256 - dx % 97; hits = hits + 1; }}
+                if (y > 4096) {{ y = y - 4096; dy = 256 - dy % 83; hits = hits + 1; }}
+                if (x < 0) {{ x = x + 4096; }}
+                if (y < 0) {{ y = y + 4096; }}
+                if ((x / 512 + y / 512) % 2 == 0) {{ hits = hits + 1; }}
+                if (steps > 64) {{ out(steps); }}
+                steps = steps + 1;
+            }}
+            return hits;
+        }}
+        fn main() {{
+            let r = 0;
+            let light = 0;
+            while (r < {rays}) {{
+                light = light + trace(rand() % 4096, rand() % 4096,
+                                      rand() % 300 + 10, rand() % 300 + 10);
+                r = r + 1;
+            }}
+            out(light);
+        }}
+        "#
+    )
+}
+
+/// 253.perlbmk analog: string hashing plus a tiny regex-style state machine
+/// over generated byte strings.
+pub fn perlbmk(scale: u64) -> String {
+    let n = 96 * scale;
+    format!(
+        r#"
+        global text[{n}];
+        global seed = 1965;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {n}) {{ text[i] = rand() % 26; i = i + 1; }}
+            // hash pass
+            let h = 5381;
+            i = 0;
+            while (i < {n}) {{ h = (h * 33 + text[i]) & 0xFFFFFFF; i = i + 1; }}
+            // match pattern a(b|c)+d as a state machine (a=0,b=1,c=2,d=3)
+            let state = 0;
+            let matches = 0;
+            i = 0;
+            while (i < {n}) {{
+                let ch = text[i];
+                if (state == 0) {{
+                    if (ch == 0) {{ state = 1; }}
+                }} else if (state == 1) {{
+                    if (ch == 1 || ch == 2) {{ state = 2; }}
+                    else if (ch == 0) {{ state = 1; }}
+                    else {{ state = 0; }}
+                }} else {{
+                    if (ch == 3) {{ matches = matches + 1; state = 0; }}
+                    else if (ch == 1 || ch == 2) {{ state = 2; }}
+                    else if (ch == 0) {{ state = 1; }}
+                    else {{ state = 0; }}
+                }}
+                if (state > 2) {{ out(state); }}
+                i = i + 1;
+            }}
+            out(h);
+            out(matches);
+        }}
+        "#
+    )
+}
+
+/// 254.gap analog: permutation group arithmetic — compose random
+/// permutations and compute element orders.
+pub fn gap(scale: u64) -> String {
+    let deg = 24;
+    let iters = 12 * scale;
+    format!(
+        r#"
+        global p[{deg}];
+        global q[{deg}];
+        global r[{deg}];
+        global seed = 2718;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn shuffle() {{
+            let i = 0;
+            while (i < {deg}) {{ q[i] = i; i = i + 1; }}
+            i = {deg} - 1;
+            while (i > 0) {{
+                let j = rand() % (i + 1);
+                let t = q[i];
+                q[i] = q[j];
+                q[j] = t;
+                i = i - 1;
+            }}
+        }}
+        fn order_of_point(start) {{
+            let x = r[start];
+            let len = 1;
+            while (x != start) {{ x = r[x]; len = len + 1; }}
+            return len;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {deg}) {{ p[i] = ({deg} - 1) - i; i = i + 1; }}
+            let it = 0;
+            let sig = 0;
+            while (it < {iters}) {{
+                shuffle();
+                i = 0;
+                while (i < {deg}) {{ r[i] = p[q[i]]; i = i + 1; }}
+                i = 0;
+                while (i < {deg}) {{ p[i] = r[i]; i = i + 1; }}
+                sig = (sig * 7 + order_of_point(it % {deg})) & 0xFFFFF;
+                if (sig > 0xFFFFF) {{ out(sig); }}
+                it = it + 1;
+            }}
+            out(sig);
+        }}
+        "#
+    )
+}
+
+/// 255.vortex analog: an in-memory object store — open-addressed hash table
+/// insert/lookup/delete mix.
+pub fn vortex(scale: u64) -> String {
+    let cap = 256;
+    let ops = 80 * scale;
+    format!(
+        r#"
+        global keys[{cap}];
+        global vals[{cap}];
+        global seed = 80501;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn slot_for(k) {{
+            let s = (k * 2654435761) % {cap};
+            let probes = 0;
+            while (probes < {cap}) {{
+                if (keys[s] == 0 || keys[s] == k) {{ return s; }}
+                s = (s + 1) % {cap};
+                probes = probes + 1;
+            }}
+            return {cap};
+        }}
+        fn main() {{
+            let i = 0;
+            let hits = 0;
+            let inserted = 0;
+            while (i < {ops}) {{
+                let k = rand() % 300 + 1;
+                let action = rand() % 3;
+                let s = slot_for(k);
+                if (s < {cap}) {{
+                    if (action == 0) {{
+                        if (keys[s] == 0) {{ inserted = inserted + 1; }}
+                        keys[s] = k;
+                        vals[s] = i;
+                    }} else if (action == 1) {{
+                        if (keys[s] == k) {{ hits = hits + 1; }}
+                    }} else {{
+                        if (keys[s] == k) {{ keys[s] = 0; vals[s] = 0; }}
+                    }}
+                }}
+                if (k > 301) {{ out(k); }}
+                i = i + 1;
+            }}
+            out(inserted);
+            out(hits);
+        }}
+        "#
+    )
+}
+
+/// 256.bzip2 analog: move-to-front transform followed by run-length coding.
+pub fn bzip2(scale: u64) -> String {
+    let n = 96 * scale;
+    format!(
+        r#"
+        global data[{n}];
+        global mtf[16];
+        global seed = 9001;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn mtf_encode(sym) {{
+            let idx = 0;
+            while (mtf[idx] != sym) {{ idx = idx + 1; }}
+            let j = idx;
+            while (j > 0) {{ mtf[j] = mtf[j - 1]; j = j - 1; }}
+            mtf[0] = sym;
+            return idx;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < 16) {{ mtf[i] = i; i = i + 1; }}
+            i = 0;
+            while (i < {n}) {{
+                // skewed distribution: favors small symbols
+                let r = rand() % 16;
+                if (r > 7) {{ r = rand() % 4; }}
+                data[i] = r;
+                i = i + 1;
+            }}
+            let zeros = 0;
+            let cs = 0;
+            i = 0;
+            while (i < {n}) {{
+                let c = mtf_encode(data[i]);
+                if (c == 0) {{ zeros = zeros + 1; }}
+                cs = (cs * 17 + c) & 0xFFFFFF;
+                if (c > 15) {{ out(c); }}
+                i = i + 1;
+            }}
+            out(zeros);
+            out(cs);
+        }}
+        "#
+    )
+}
+
+/// 300.twolf analog: standard-cell grid placement — evaluate pairwise
+/// overlap penalties and accept cost-reducing moves.
+pub fn twolf(scale: u64) -> String {
+    let cells = 32;
+    let moves = 30 * scale;
+    format!(
+        r#"
+        global x[{cells}];
+        global y[{cells}];
+        global seed = 1021;
+        fn rand() {{
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            return seed;
+        }}
+        fn penalty(i) {{
+            let p = 0;
+            let j = 0;
+            while (j < {cells}) {{
+                if (j != i) {{
+                    let dx = x[i] - x[j];
+                    if (dx < 0) {{ dx = 0 - dx; }}
+                    let dy = y[i] - y[j];
+                    if (dy < 0) {{ dy = 0 - dy; }}
+                    if (dx + dy < 4) {{ p = p + (4 - dx - dy); }}
+                }}
+                j = j + 1;
+            }}
+            return p;
+        }}
+        fn main() {{
+            let i = 0;
+            while (i < {cells}) {{
+                x[i] = rand() % 32;
+                y[i] = rand() % 32;
+                i = i + 1;
+            }}
+            let m = 0;
+            let accepted = 0;
+            while (m < {moves}) {{
+                let c = rand() % {cells};
+                let ox = x[c];
+                let oy = y[c];
+                let before = penalty(c);
+                x[c] = rand() % 32;
+                y[c] = rand() % 32;
+                if (penalty(c) > before) {{ x[c] = ox; y[c] = oy; }}
+                else {{ accepted = accepted + 1; }}
+                if (m > {moves}) {{ out(m); }}
+                m = m + 1;
+            }}
+            let total = 0;
+            i = 0;
+            while (i < {cells}) {{ total = total + penalty(i); i = i + 1; }}
+            out(accepted);
+            out(total);
+        }}
+        "#
+    )
+}

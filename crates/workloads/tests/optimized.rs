@@ -1,0 +1,24 @@
+//! The optimizer must preserve every workload's behaviour (the strongest
+//! available differential oracle: 26 real programs with pinned outputs).
+
+use cfed_sim::{ExitReason, Machine};
+use cfed_workloads::{Scale, ALL};
+
+fn run(image: &cfed_asm::Image) -> (ExitReason, Vec<u64>) {
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let exit = m.run(300_000_000);
+    (exit, m.cpu.take_output())
+}
+
+#[test]
+fn optimized_workloads_produce_identical_output() {
+    for w in &ALL {
+        let src = w.source(Scale::Test);
+        let plain = cfed_lang::compile(&src).unwrap();
+        let opt = cfed_lang::compile_optimized(&src).unwrap();
+        let (ea, oa) = run(&plain);
+        let (eb, ob) = run(&opt);
+        assert_eq!(ea, eb, "{}: exit changed under optimization", w.name);
+        assert_eq!(oa, ob, "{}: output changed under optimization", w.name);
+    }
+}

@@ -1,0 +1,76 @@
+//! Execution tests: every workload must run to completion natively, be
+//! deterministic, scale with the scale factor, and exhibit its suite's
+//! structural profile (block sizes, branch density).
+
+use cfed_core::cfg::Cfg;
+use cfed_sim::{ExitReason, Machine};
+use cfed_workloads::{fp_workloads, int_workloads, Scale, ALL};
+
+fn run(image: &cfed_asm::Image) -> (ExitReason, Vec<u64>, u64) {
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let exit = m.run(300_000_000);
+    let insts = m.cpu.stats().insts;
+    (exit, m.cpu.take_output(), insts)
+}
+
+#[test]
+fn every_workload_halts_cleanly_and_outputs() {
+    for w in &ALL {
+        let image = w.image(Scale::Test).unwrap();
+        let (exit, out, insts) = run(&image);
+        assert_eq!(exit, ExitReason::Halted { code: 0 }, "{}: {exit:?}", w.name);
+        assert!(!out.is_empty(), "{} produced no output", w.name);
+        assert!(insts > 5_000, "{} too trivial: {insts} insts", w.name);
+    }
+}
+
+#[test]
+fn workloads_are_deterministic() {
+    for w in &ALL {
+        let image = w.image(Scale::Test).unwrap();
+        let a = run(&image);
+        let b = run(&image);
+        assert_eq!(a.1, b.1, "{} output not deterministic", w.name);
+        assert_eq!(a.2, b.2, "{} instruction count not deterministic", w.name);
+    }
+}
+
+#[test]
+fn scale_increases_work() {
+    for w in ALL.iter().take(4) {
+        let small = run(&w.image(Scale::Custom(1)).unwrap()).2;
+        let big = run(&w.image(Scale::Custom(3)).unwrap()).2;
+        assert!(big > small, "{}: scale 3 ({big}) not larger than scale 1 ({small})", w.name);
+    }
+}
+
+#[test]
+fn fp_suite_has_larger_basic_blocks() {
+    // The structural property behind the paper's int/fp contrast.
+    let mean = |ws: Vec<&cfed_workloads::Workload>| {
+        let vals: Vec<f64> = ws
+            .iter()
+            .map(|w| Cfg::recover(&w.image(Scale::Test).unwrap()).mean_block_len())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let fp = mean(fp_workloads().collect());
+    let int = mean(int_workloads().collect());
+    assert!(
+        fp > int * 1.2,
+        "fp mean block length ({fp:.2}) should clearly exceed int ({int:.2})"
+    );
+}
+
+#[test]
+fn fp_suite_has_lower_dynamic_branch_density() {
+    let density = |w: &cfed_workloads::Workload| {
+        let image = w.image(Scale::Test).unwrap();
+        let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+        m.run(300_000_000);
+        m.cpu.stats().branches as f64 / m.cpu.stats().insts as f64
+    };
+    let fp: f64 = fp_workloads().map(density).sum::<f64>() / fp_workloads().count() as f64;
+    let int: f64 = int_workloads().map(density).sum::<f64>() / int_workloads().count() as f64;
+    assert!(fp < int, "fp branch density {fp:.3} should be below int {int:.3}");
+}

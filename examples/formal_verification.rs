@@ -1,0 +1,52 @@
+//! The paper's §4 made executable: enumerate every bounded single
+//! control-flow error on a CFG and show which technique misses what —
+//! CFCSS and ECCA (which cannot run in the DBT) included.
+//!
+//! Run with: `cargo run --example formal_verification`
+
+use cfed::core::formal::{
+    find_false_positive, find_undetected_single_errors, CfcssScheme, EccaScheme, EcfScheme,
+    EdgCfScheme, FormalCfg, SignatureScheme,
+};
+use cfed::core::Category;
+use std::collections::BTreeMap;
+
+fn report<S: SignatureScheme>(cfg: &FormalCfg, scheme: &S) {
+    let misses = find_undetected_single_errors(cfg, scheme);
+    let fp = find_false_positive(cfg, scheme);
+    let mut by_cat: BTreeMap<Category, usize> = BTreeMap::new();
+    for m in &misses {
+        *by_cat.entry(m.category).or_default() += 1;
+    }
+    println!("\n== {} ==", scheme.name());
+    println!("  false positives: {}", if fp.is_none() { "none (necessary condition holds)" } else { "YES — scheme broken" });
+    if misses.is_empty() {
+        println!("  undetected single errors: none (sufficient condition holds)");
+    } else {
+        println!("  undetected single errors by category:");
+        for (cat, n) in &by_cat {
+            println!("    {cat}: {n}");
+        }
+        for m in misses.iter().take(3) {
+            println!("    e.g. at {} exit: logical {} but physical {} ({})", m.at, m.logical, m.physical, m.category);
+        }
+    }
+}
+
+fn main() {
+    // The paper's Figure 1 shape: a diamond with a loop back edge.
+    //   B0 -> {B1, B2};  B1 -> B3;  B2 -> B3;  B3 -> {B0, B4};  B4 exits.
+    let cfg = FormalCfg::new(vec![vec![1, 2], vec![3], vec![3], vec![0, 4], vec![]]);
+    println!("CFG: 5 blocks (diamond + loop), split into head/tail nodes per §4.1");
+
+    report(&cfg, &CfcssScheme::new(&cfg));
+    report(&cfg, &EccaScheme::new(&cfg));
+    report(&cfg, &EcfScheme);
+    report(&cfg, &EdgCfScheme);
+
+    println!("\nSummary (matches the paper's §3 claims):");
+    println!("  CFCSS  misses A, C and aliased D/E (common-predecessor signature sharing)");
+    println!("  ECCA   misses A and C");
+    println!("  ECF    misses exactly C (assignment-style updates are idempotent)");
+    println!("  EdgCF  detects every single control-flow error (Claim 1)");
+}
