@@ -39,9 +39,15 @@ impl Error for AsmError {}
 enum Slot {
     Fixed(Inst),
     /// A direct branch whose offset is resolved at assembly time.
-    Branch { kind: BranchKind, label: String },
+    Branch {
+        kind: BranchKind,
+        label: String,
+    },
     /// `mov dst, &label` — materialize a label's absolute address.
-    MovLabel { dst: Reg, label: String },
+    MovLabel {
+        dst: Reg,
+        label: String,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -444,7 +450,10 @@ mod tests {
         a.label("func");
         a.ret();
         let img = a.assemble("start").unwrap();
-        assert_eq!(img.insts()[0], Inst::MovRI { dst: Reg::R1, imm: (DEFAULT_CODE_BASE + 16) as i32 });
+        assert_eq!(
+            img.insts()[0],
+            Inst::MovRI { dst: Reg::R1, imm: (DEFAULT_CODE_BASE + 16) as i32 }
+        );
         assert_eq!(img.symbol("func"), Some(DEFAULT_CODE_BASE + 16));
     }
 

@@ -201,10 +201,7 @@ mod tests {
     fn truncation_rejected_everywhere() {
         let bytes = sample().to_object_bytes();
         for cut in [5, 20, 44, bytes.len() - 1] {
-            assert!(
-                Image::from_object_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(Image::from_object_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

@@ -226,8 +226,7 @@ fn parse_inst(a: &mut Asm, code: &str, line: u32) -> Result<(), ParseAsmError> {
         None => (code, ""),
     };
     let mnemonic = mnemonic.to_ascii_lowercase();
-    let ops: Vec<&str> =
-        operands.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let ops: Vec<&str> = operands.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
 
     let need = |n: usize| -> Result<(), ParseAsmError> {
         if ops.len() == n {
@@ -395,7 +394,10 @@ mod tests {
         assert_eq!(parse_one("mov r3, -7"), Inst::MovRI { dst: Reg::R3, imm: -7 });
         assert_eq!(parse_one("mov r3, 0x10"), Inst::MovRI { dst: Reg::R3, imm: 16 });
         assert_eq!(parse_one("mov r3, r4"), Inst::MovRR { dst: Reg::R3, src: Reg::R4 });
-        assert_eq!(parse_one("add r1, r2"), Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R2 });
+        assert_eq!(
+            parse_one("add r1, r2"),
+            Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R2 }
+        );
         assert_eq!(parse_one("cmp r1, 0"), Inst::AluI { op: AluOp::Cmp, dst: Reg::R1, imm: 0 });
         assert_eq!(parse_one("push sp"), Inst::Push { src: Reg::SP });
         assert_eq!(parse_one("out r0"), Inst::Out { src: Reg::R0 });
@@ -405,14 +407,20 @@ mod tests {
     #[test]
     fn memory_operands() {
         assert_eq!(parse_one("ld r1, [sp+8]"), Inst::Ld { dst: Reg::R1, base: Reg::SP, disp: 8 });
-        assert_eq!(parse_one("st [r2-16], r3"), Inst::St { base: Reg::R2, src: Reg::R3, disp: -16 });
+        assert_eq!(
+            parse_one("st [r2-16], r3"),
+            Inst::St { base: Reg::R2, src: Reg::R3, disp: -16 }
+        );
         assert_eq!(parse_one("ld8 r1, [r2+0]"), Inst::Ld8 { dst: Reg::R1, base: Reg::R2, disp: 0 });
         assert_eq!(parse_one("ld r1, [r2]"), Inst::Ld { dst: Reg::R1, base: Reg::R2, disp: 0 });
     }
 
     #[test]
     fn lea_forms() {
-        assert_eq!(parse_one("lea r8, [r8+100]"), Inst::Lea { dst: Reg::R8, base: Reg::R8, disp: 100 });
+        assert_eq!(
+            parse_one("lea r8, [r8+100]"),
+            Inst::Lea { dst: Reg::R8, base: Reg::R8, disp: 100 }
+        );
         assert_eq!(
             parse_one("lea r8, [r9+r10+4]"),
             Inst::Lea2 { dst: Reg::R8, base: Reg::R9, index: Reg::R10, disp: 4 }
@@ -458,10 +466,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines() {
-        let asm = parse_asm(
-            "; full line comment\nstart:  // another\n  nop ; trailing\n\n  halt\n",
-        )
-        .unwrap();
+        let asm =
+            parse_asm("; full line comment\nstart:  // another\n  nop ; trailing\n\n  halt\n")
+                .unwrap();
         assert_eq!(asm.assemble("start").unwrap().len(), 2);
     }
 

@@ -3,10 +3,18 @@
 //! policy), with per-suite and overall geometric means, plus the §6
 //! DBT-over-native baseline statistic.
 //!
-//! Usage: `cargo run --release -p cfed-bench --bin fig12_slowdown [--scale test|full|<n>]`
+//! Usage: `cargo run --release -p cfed-bench --bin fig12_slowdown -- [OPTIONS]`
+
+use cfed_runner::cli::Parser;
 
 fn main() {
-    let scale = cfed_bench::scale_from_args();
+    let args = Parser::new("fig12_slowdown", "Figure 12 per-benchmark technique slowdowns")
+        .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .parse();
+    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+        eprintln!("fig12_slowdown: {e}");
+        std::process::exit(2);
+    });
     let rows = cfed_bench::fig12(scale);
     println!("{}", cfed_bench::render_fig12(&rows));
 }

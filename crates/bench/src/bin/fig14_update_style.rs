@@ -3,10 +3,18 @@
 //! (CMOVcc), for each technique. The Jcc rows of EdgCF/ECF are the paper's
 //! "unsafe" configurations.
 //!
-//! Usage: `cargo run --release -p cfed-bench --bin fig14_update_style [--scale test|full|<n>]`
+//! Usage: `cargo run --release -p cfed-bench --bin fig14_update_style -- [OPTIONS]`
+
+use cfed_runner::cli::Parser;
 
 fn main() {
-    let scale = cfed_bench::scale_from_args();
+    let args = Parser::new("fig14_update_style", "Figure 14 Jcc vs CMOVcc slowdown")
+        .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .parse();
+    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+        eprintln!("fig14_update_style: {e}");
+        std::process::exit(2);
+    });
     let m = cfed_bench::fig14(scale);
     println!("{}", cfed_bench::render_fig14(&m));
 }

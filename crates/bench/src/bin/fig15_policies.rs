@@ -1,10 +1,18 @@
 //! Regenerates the paper's Figure 15: RCF slowdown under the four signature
 //! checking policies (ALLBB, RET-BE, RET, END) per benchmark.
 //!
-//! Usage: `cargo run --release -p cfed-bench --bin fig15_policies [--scale test|full|<n>]`
+//! Usage: `cargo run --release -p cfed-bench --bin fig15_policies -- [OPTIONS]`
+
+use cfed_runner::cli::Parser;
 
 fn main() {
-    let scale = cfed_bench::scale_from_args();
+    let args = Parser::new("fig15_policies", "Figure 15 RCF slowdown by checking policy")
+        .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .parse();
+    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+        eprintln!("fig15_policies: {e}");
+        std::process::exit(2);
+    });
     let rows = cfed_bench::fig15(scale);
     println!("{}", cfed_bench::render_fig15(&rows));
 }

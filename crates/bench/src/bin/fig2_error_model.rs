@@ -2,10 +2,18 @@
 //! the SPEC-Int and SPEC-Fp analog suites) and Figure 3 (probabilities
 //! restricted to the SDC-prone categories A–E).
 //!
-//! Usage: `cargo run --release -p cfed-bench --bin fig2_error_model [--scale test|full|<n>]`
+//! Usage: `cargo run --release -p cfed-bench --bin fig2_error_model -- [OPTIONS]`
+
+use cfed_runner::cli::Parser;
 
 fn main() {
-    let scale = cfed_bench::scale_from_args();
+    let args = Parser::new("fig2_error_model", "Figure 2/3 branch-error probability tables")
+        .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .parse();
+    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+        eprintln!("fig2_error_model: {e}");
+        std::process::exit(2);
+    });
     let fig = cfed_bench::fig2(scale);
     println!("{}", fig.int.render("Figure 2 — SPEC-Int 2000 (analog suite)"));
     println!("{}", fig.fp.render("Figure 2 — SPEC-Fp 2000 (analog suite)"));

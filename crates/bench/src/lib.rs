@@ -14,21 +14,15 @@
 
 use cfed_core::{geomean, run_dbt, run_native, Category, RunConfig, TechniqueKind};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
-use cfed_fault::{analyze_image, Campaign, CategoryStats, ErrorModelTable};
+use cfed_fault::{analyze_image, CampaignReport, CategoryStats, ErrorModelTable};
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
+use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
 use cfed_workloads::{Scale, Suite, Workload, ALL};
 
-/// Parses the `--scale` CLI argument shared by all harness binaries.
-pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("test") => Scale::Test,
-            Some("full") | None => Scale::Full,
-            Some(n) => Scale::Custom(n.parse().expect("--scale expects test|full|<number>")),
-        },
-        None => Scale::Full,
-    }
-}
+/// Default campaign seed of the injection harnesses (the historical
+/// [`cfed_fault::Campaign::new`] default, kept so published tallies stay
+/// reproducible).
+pub const DEFAULT_CAMPAIGN_SEED: u64 = 0xCF_ED_2006;
 
 fn image(w: &Workload, scale: Scale) -> cfed_asm::Image {
     w.image(scale).unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name))
@@ -138,10 +132,8 @@ pub fn fig12_geomean(rows: &[SlowdownRow], suite: Option<Suite>) -> (f64, f64, f
 pub fn render_fig12(rows: &[SlowdownRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Figure 12 — slowdown over uninstrumented DBT (Jcc update, ALLBB policy)"
-    );
+    let _ =
+        writeln!(out, "Figure 12 — slowdown over uninstrumented DBT (Jcc update, ALLBB policy)");
     let _ = writeln!(
         out,
         "{:>14} {:>6} | {:>7} {:>7} {:>7} | {:>10}",
@@ -209,7 +201,11 @@ pub fn render_fig14(m: &[[f64; 3]; 2]) -> String {
     let _ = writeln!(out, "Figure 14 — geomean slowdown by signature-update instruction");
     let _ = writeln!(out, "{:>10} | {:>7} {:>7} {:>7}", "update", "RCF", "EdgCF", "ECF");
     let _ = writeln!(out, "{}", "-".repeat(36));
-    let _ = writeln!(out, "{:>10} | {:>7.3} {:>7.3} {:>7.3}   (EdgCF/ECF unsafe)", "Jcc", m[0][0], m[0][1], m[0][2]);
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>7.3} {:>7.3} {:>7.3}   (EdgCF/ECF unsafe)",
+        "Jcc", m[0][0], m[0][1], m[0][2]
+    );
     let _ = writeln!(out, "{:>10} | {:>7.3} {:>7.3} {:>7.3}", "CMOVcc", m[1][0], m[1][1], m[1][2]);
     out
 }
@@ -313,31 +309,73 @@ pub struct CoverageRow {
 
 /// Workloads used for injection campaigns (kept small — every injection is
 /// a whole program run).
-pub const COVERAGE_WORKLOADS: [&str; 6] =
-    ["164.gzip", "176.gcc", "181.mcf", "171.swim", "183.equake", "191.fma3d"];
+pub const COVERAGE_WORKLOADS: [&str; 6] = cfed_runner::matrix::CAMPAIGN_WORKLOADS;
 
-/// Runs fault-injection campaigns for the baseline and each of the five
+/// The six coverage configurations: uninstrumented baseline plus the five
 /// techniques (the two CFG-dependent prior-work techniques included, via
-/// the hybrid static-CFG path), under the given conditional-update style.
-pub fn coverage(trials_per_workload: u64, style: UpdateStyle) -> Vec<CoverageRow> {
-    let techniques: [Option<TechniqueKind>; 6] = [
+/// the hybrid static-CFG path).
+fn coverage_techniques() -> Vec<Option<TechniqueKind>> {
+    vec![
         None,
         Some(TechniqueKind::Cfcss),
         Some(TechniqueKind::Ecca),
         Some(TechniqueKind::Ecf),
         Some(TechniqueKind::EdgCf),
         Some(TechniqueKind::Rcf),
-    ];
-    techniques
+    ]
+}
+
+/// Runs a matrix through the `cfed-runner` worker pool (ephemeral store)
+/// and hands back the per-cell reports paired with their specs, panicking
+/// with the shard errors if any cell failed — the harnesses run known-good
+/// workloads, so a failure is a bug, not data.
+fn pooled_reports(matrix: &CampaignMatrix, run_id: &str, threads: usize) -> RunSummary {
+    let options = RunnerOptions { threads, ..Default::default() };
+    let summary = run_matrix(matrix, run_id, None, &options).expect("in-memory run cannot fail");
+    for cell in &summary.cells {
+        assert!(
+            cell.report.is_some() && cell.complete(),
+            "campaign cell {} failed: {:?}",
+            cell.key,
+            cell.failures
+        );
+    }
+    summary
+}
+
+/// Runs fault-injection campaigns for the baseline and each of the five
+/// techniques under the given conditional-update style, distributing the
+/// shards over `threads` worker threads (`0` = all cores). Tallies are
+/// bit-identical for any thread count.
+pub fn coverage_with(
+    trials_per_workload: u64,
+    style: UpdateStyle,
+    seed: u64,
+    threads: usize,
+) -> Vec<CoverageRow> {
+    let matrix = CampaignMatrix {
+        workloads: COVERAGE_WORKLOADS
+            .iter()
+            .map(|name| WorkloadSpec::named(name, Scale::Test))
+            .collect(),
+        techniques: coverage_techniques(),
+        styles: vec![style],
+        policies: vec![CheckPolicy::AllBb],
+        trials: trials_per_workload,
+        seed,
+    };
+    let summary = pooled_reports(&matrix, "coverage", threads);
+    let cells = matrix.cells();
+    coverage_techniques()
         .into_iter()
         .map(|technique| {
-            let cfg = RunConfig { technique, style, ..RunConfig::default() };
             let mut totals: Vec<(Category, CategoryStats)> =
                 Category::ALL.iter().map(|&c| (c, CategoryStats::default())).collect();
-            for name in COVERAGE_WORKLOADS {
-                let w = cfed_workloads::by_name(name).expect("known workload");
-                let img = image(w, Scale::Test);
-                let report = Campaign::new(cfg, trials_per_workload).run(&img);
+            for (cell, result) in cells.iter().zip(&summary.cells) {
+                if cell.config.technique != technique {
+                    continue;
+                }
+                let report = result.report.as_ref().expect("checked by pooled_reports");
                 for (c, slot) in &mut totals {
                     let s = report.category(*c);
                     slot.detected_check += s.detected_check;
@@ -351,6 +389,11 @@ pub fn coverage(trials_per_workload: u64, style: UpdateStyle) -> Vec<CoverageRow
             CoverageRow { technique, per_category: totals }
         })
         .collect()
+}
+
+/// [`coverage_with`] at the default seed, using all cores.
+pub fn coverage(trials_per_workload: u64, style: UpdateStyle) -> Vec<CoverageRow> {
+    coverage_with(trials_per_workload, style, DEFAULT_CAMPAIGN_SEED, 0)
 }
 
 /// Renders the coverage matrix.
@@ -409,40 +452,65 @@ pub struct LatencyRow {
 
 /// Measures mean detection latency of the EdgCF technique under each
 /// checking policy — the quantitative version of §6's qualitative
-/// "the less frequently we check, the more delay it can take to report".
-pub fn latency_by_policy(trials_per_workload: u64) -> Vec<LatencyRow> {
+/// "the less frequently we check, the more delay it can take to report" —
+/// with the campaigns distributed over `threads` worker threads.
+pub fn latency_by_policy_with(
+    trials_per_workload: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<LatencyRow> {
+    let matrix = CampaignMatrix {
+        workloads: COVERAGE_WORKLOADS
+            .iter()
+            .map(|name| WorkloadSpec::named(name, Scale::Test))
+            .collect(),
+        techniques: vec![Some(TechniqueKind::EdgCf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: CheckPolicy::ALL.to_vec(),
+        trials: trials_per_workload,
+        seed,
+    };
+    let summary = pooled_reports(&matrix, "latency", threads);
+    let cells = matrix.cells();
     CheckPolicy::ALL
         .into_iter()
         .map(|policy| {
-            let cfg = RunConfig {
-                technique: Some(TechniqueKind::EdgCf),
-                policy,
-                style: UpdateStyle::CMov,
-                ..RunConfig::default()
-            };
-            let mut lat_sum = 0.0;
-            let mut lat_n = 0u64;
-            let mut chk = 0u64;
-            let mut hw = 0u64;
-            for name in COVERAGE_WORKLOADS {
-                let w = cfed_workloads::by_name(name).expect("known workload");
-                let img = image(w, Scale::Test);
-                let report = Campaign::new(cfg, trials_per_workload).run(&img);
-                if let Some(l) = report.mean_detection_latency() {
-                    lat_sum += l;
-                    lat_n += 1;
-                }
-                let t = report.sdc_prone_total();
-                chk += t.detected_check;
-                hw += t.detected_hw + t.other_fault;
-            }
-            LatencyRow {
-                policy,
-                mean_latency: if lat_n > 0 { lat_sum / lat_n as f64 } else { f64::NAN },
-                check_share: if chk + hw > 0 { chk as f64 / (chk + hw) as f64 } else { 0.0 },
-            }
+            let reports: Vec<&CampaignReport> = cells
+                .iter()
+                .zip(&summary.cells)
+                .filter(|(cell, _)| cell.config.policy == policy)
+                .map(|(_, r)| r.report.as_ref().expect("checked by pooled_reports"))
+                .collect();
+            latency_row(policy, &reports)
         })
         .collect()
+}
+
+/// Aggregates one policy's per-workload reports into a [`LatencyRow`].
+fn latency_row(policy: CheckPolicy, reports: &[&CampaignReport]) -> LatencyRow {
+    let mut lat_sum = 0.0;
+    let mut lat_n = 0u64;
+    let mut chk = 0u64;
+    let mut hw = 0u64;
+    for report in reports {
+        if let Some(l) = report.mean_detection_latency() {
+            lat_sum += l;
+            lat_n += 1;
+        }
+        let t = report.sdc_prone_total();
+        chk += t.detected_check;
+        hw += t.detected_hw + t.other_fault;
+    }
+    LatencyRow {
+        policy,
+        mean_latency: if lat_n > 0 { lat_sum / lat_n as f64 } else { f64::NAN },
+        check_share: if chk + hw > 0 { chk as f64 / (chk + hw) as f64 } else { 0.0 },
+    }
+}
+
+/// [`latency_by_policy_with`] at the default seed, using all cores.
+pub fn latency_by_policy(trials_per_workload: u64) -> Vec<LatencyRow> {
+    latency_by_policy_with(trials_per_workload, DEFAULT_CAMPAIGN_SEED, 0)
 }
 
 /// Renders the latency table.

@@ -493,8 +493,8 @@ impl EccaScheme {
     /// Assigns primes to blocks.
     pub fn new(cfg: &FormalCfg) -> EccaScheme {
         const PRIMES: [u64; 24] = [
-            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
-            83, 89,
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89,
         ];
         assert!(cfg.len() <= PRIMES.len(), "formal CFG too large for ECCA prime table");
         EccaScheme { primes: PRIMES[..cfg.len()].to_vec() }
@@ -515,12 +515,9 @@ impl SignatureScheme for EccaScheme {
     fn on_exit(&self, cfg: &FormalCfg, s: &u64, cur: Node, _logical: Node) -> u64 {
         match cur.part {
             Part::Head => *s,
-            Part::Tail => cfg
-                .successors(cur.block)
-                .iter()
-                .map(|&b| self.primes[b])
-                .product::<u64>()
-                .max(1),
+            Part::Tail => {
+                cfg.successors(cur.block).iter().map(|&b| self.primes[b]).product::<u64>().max(1)
+            }
         }
     }
 

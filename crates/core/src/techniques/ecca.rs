@@ -236,8 +236,7 @@ mod tests {
         let base = run_dbt(&img, &RunConfig::baseline()).cycles as f64;
         let instr = EccaInstrumenter::from_image(&img, CheckPolicy::AllBb);
         let ecca = run_dbt_with(&img, Box::new(instr), UpdateStyle::Jcc, 100_000_000).cycles as f64;
-        let edg =
-            run_dbt(&img, &RunConfig::technique(TechniqueKind::EdgCf)).cycles as f64;
+        let edg = run_dbt(&img, &RunConfig::technique(TechniqueKind::EdgCf)).cycles as f64;
         assert!(
             (ecca / base) > 1.5 * (edg / base) - 0.5,
             "ECCA ({:.3}) should dwarf EdgCF ({:.3})",

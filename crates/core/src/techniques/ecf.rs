@@ -45,19 +45,10 @@ impl Instrumenter for EcfInstrumenter {
 
     fn emit_head(&self, a: &mut CacheAsm<'_>, sig: u64, check: bool, err_stub: u64) {
         // PC' += RTS  (Figure 4 instruction 1, `xor` replaced by `lea`).
-        a.emit(Inst::Lea2 {
-            dst: regs::PC_PRIME,
-            base: regs::PC_PRIME,
-            index: regs::RTS,
-            disp: 0,
-        });
+        a.emit(Inst::Lea2 { dst: regs::PC_PRIME, base: regs::PC_PRIME, index: regs::RTS, disp: 0 });
         if check {
             // Figure 4 instructions 2–3: `PC' == L0`, flag-free.
-            a.emit(Inst::Lea {
-                dst: regs::CHK,
-                base: regs::PC_PRIME,
-                disp: simm(-(sig as i64)),
-            });
+            a.emit(Inst::Lea { dst: regs::CHK, base: regs::PC_PRIME, disp: simm(-(sig as i64)) });
             a.jrnz_abs(regs::CHK, err_stub);
         }
     }
@@ -163,9 +154,6 @@ mod tests {
     fn indirect_update_uses_target_register() {
         let t = EcfInstrumenter::new(CheckPolicy::AllBb);
         let insts = emit_with(|a| t.emit_update_indirect(a, 0x2000, regs::ITARGET));
-        assert_eq!(
-            insts,
-            vec![Inst::Lea { dst: regs::RTS, base: regs::ITARGET, disp: -0x2000 }]
-        );
+        assert_eq!(insts, vec![Inst::Lea { dst: regs::RTS, base: regs::ITARGET, disp: -0x2000 }]);
     }
 }

@@ -115,8 +115,9 @@ mod tests {
 
     #[test]
     fn head_without_check_is_single_lea() {
-        let insts =
-            emit_with(|a| EdgCfInstrumenter::new(CheckPolicy::AllBb).emit_head(a, 0x2000, false, 0x1000));
+        let insts = emit_with(|a| {
+            EdgCfInstrumenter::new(CheckPolicy::AllBb).emit_head(a, 0x2000, false, 0x1000)
+        });
         assert_eq!(insts.len(), 1);
         assert_eq!(
             insts[0],
@@ -126,8 +127,9 @@ mod tests {
 
     #[test]
     fn head_with_check_adds_flag_free_branch() {
-        let insts =
-            emit_with(|a| EdgCfInstrumenter::new(CheckPolicy::AllBb).emit_head(a, 0x2000, true, 0x1000));
+        let insts = emit_with(|a| {
+            EdgCfInstrumenter::new(CheckPolicy::AllBb).emit_head(a, 0x2000, true, 0x1000)
+        });
         assert_eq!(insts.len(), 2);
         assert!(matches!(insts[1], Inst::JRnz { src, .. } if src == regs::PC_PRIME));
         assert!(!insts[0].writes_flags() && !insts[1].writes_flags());

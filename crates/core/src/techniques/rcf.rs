@@ -85,7 +85,11 @@ impl Instrumenter for RcfInstrumenter {
     fn emit_pre_selector(&self, a: &mut CacheAsm<'_>, _cur: u64) {
         // R(cur) -> S(cur): the inserted selector branch gets its own
         // region, so its own branch-errors cross a region boundary.
-        a.emit(Inst::Lea { dst: regs::PC_PRIME, base: regs::PC_PRIME, disp: simm(SELECTOR - BODY) });
+        a.emit(Inst::Lea {
+            dst: regs::PC_PRIME,
+            base: regs::PC_PRIME,
+            disp: simm(SELECTOR - BODY),
+        });
     }
 
     fn emit_selector_update(&self, a: &mut CacheAsm<'_>, cur: u64, next: u64) {

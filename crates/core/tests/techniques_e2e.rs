@@ -60,12 +60,8 @@ fn all_techniques_transparent_under_all_policies_and_styles() {
         for kind in TechniqueKind::ALL {
             for policy in CheckPolicy::ALL {
                 for style in [UpdateStyle::Jcc, UpdateStyle::CMov] {
-                    let cfg = RunConfig {
-                        technique: Some(kind),
-                        policy,
-                        style,
-                        max_insts: 200_000_000,
-                    };
+                    let cfg =
+                        RunConfig { technique: Some(kind), policy, style, max_insts: 200_000_000 };
                     let got = run_dbt(&image, &cfg);
                     assert_eq!(
                         got.exit, native.exit,
@@ -131,11 +127,7 @@ fn relaxed_policies_reduce_overhead_monotonically() {
     let base = run_dbt(&image, &RunConfig::baseline()).cycles as f64;
     let mut prev = f64::INFINITY;
     for policy in CheckPolicy::ALL {
-        let cfg = RunConfig {
-            technique: Some(TechniqueKind::Rcf),
-            policy,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig { technique: Some(TechniqueKind::Rcf), policy, ..RunConfig::default() };
         let s = run_dbt(&image, &cfg).cycles as f64 / base;
         assert!(
             s <= prev + 1e-9,

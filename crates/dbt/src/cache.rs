@@ -147,8 +147,7 @@ impl<'m> CacheAsm<'m> {
     pub fn finish(self) -> u64 {
         for (site, label) in &self.fixups {
             let target = self.labels[label.0].expect("unbound label at finish");
-            let bytes: [u8; 8] =
-                self.mem.peek(*site, 8).try_into().expect("instruction slot");
+            let bytes: [u8; 8] = self.mem.peek(*site, 8).try_into().expect("instruction slot");
             let inst = Inst::decode(&bytes).expect("emitted instruction decodes");
             let patched = inst.with_branch_offset(Self::rel(*site, target));
             self.mem.install(*site, &patched.encode());

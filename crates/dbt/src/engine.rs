@@ -278,9 +278,7 @@ impl Dbt {
             }
             match self.step(m) {
                 DbtStep::Continue => {}
-                DbtStep::Halted => {
-                    return DbtExit::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) }
-                }
+                DbtStep::Halted => return DbtExit::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) },
                 DbtStep::Exit(t) => return DbtExit::Trapped(t),
             }
         }
@@ -354,8 +352,7 @@ impl Dbt {
                 abort = Some(Trap::PermExec { addr });
                 break None;
             }
-            let bytes: [u8; 8] =
-                m.mem.peek(addr, 8).try_into().expect("guest code in range");
+            let bytes: [u8; 8] = m.mem.peek(addr, 8).try_into().expect("guest code in range");
             match Inst::decode(&bytes) {
                 Ok(inst @ Inst::Jmp { .. })
                     if self.inline_jumps && insts.len() < MAX_BLOCK_INSTS =>
@@ -401,9 +398,7 @@ impl Dbt {
             ends_with_ret: matches!(terminator, Some((Inst::Ret, _))),
             ends_with_halt: matches!(terminator, Some((Inst::Halt, _))),
             has_back_edge: match terminator {
-                Some((t, taddr)) => {
-                    t.direct_target(taddr).is_some_and(|tgt| tgt <= taddr)
-                }
+                Some((t, taddr)) => t.direct_target(taddr).is_some_and(|tgt| tgt <= taddr),
                 None => false,
             },
         };
@@ -439,9 +434,9 @@ impl Dbt {
                 // "Jcc" configuration, Figure 14).
                 if self.instr.has_updates() {
                     let cmov_done = match (self.style, inst) {
-                        (UpdateStyle::CMov, Inst::Jcc { cc, .. }) => self
-                            .instr
-                            .emit_update_cond_cmov(&mut a, cur, taken, fall, cc),
+                        (UpdateStyle::CMov, Inst::Jcc { cc, .. }) => {
+                            self.instr.emit_update_cond_cmov(&mut a, cur, taken, fall, cc)
+                        }
                         _ => false,
                     };
                     if !cmov_done {

@@ -89,7 +89,9 @@ impl CheckPolicy {
     pub fn wants_check(self, block: &BlockView) -> bool {
         match self {
             CheckPolicy::AllBb => true,
-            CheckPolicy::RetBe => block.ends_with_ret || block.has_back_edge || block.ends_with_halt,
+            CheckPolicy::RetBe => {
+                block.ends_with_ret || block.has_back_edge || block.ends_with_halt
+            }
             CheckPolicy::Ret => block.ends_with_ret || block.ends_with_halt,
             CheckPolicy::End => block.ends_with_halt,
         }

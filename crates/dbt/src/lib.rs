@@ -38,6 +38,4 @@ pub mod instrument;
 
 pub use cache::CacheAsm;
 pub use engine::{Dbt, DbtExit, DbtStats, DbtStep, TransBlock, DEFAULT_DISPATCH_CYCLES};
-pub use instrument::{
-    regs, BlockView, CheckPolicy, Instrumenter, NullInstrumenter, UpdateStyle,
-};
+pub use instrument::{regs, BlockView, CheckPolicy, Instrumenter, NullInstrumenter, UpdateStyle};

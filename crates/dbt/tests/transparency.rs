@@ -152,10 +152,8 @@ fn blocks_translated_on_demand_only() {
 
 #[test]
 fn chaining_eliminates_repeat_exits() {
-    let image = compile(
-        "fn main() { let i = 0; while (i < 1000) { i = i + 1; } out(i); }",
-    )
-    .unwrap();
+    let image =
+        compile("fn main() { let i = 0; while (i < 1000) { i = i + 1; } out(i); }").unwrap();
     let (_, out, _, dbt) = under_dbt(image.code(), image.data(), image.entry_offset());
     assert_eq!(out, vec![1000]);
     let stats = dbt.stats();
@@ -200,7 +198,7 @@ fn self_modifying_code_retranslated() {
     asm.label("start");
     asm.movri(Reg::R0, 1); // r0 = 1
     asm.movri(Reg::R1, 2); // r1 = 2
-    // First execution of `victim`: prints r0 (1).
+                           // First execution of `victim`: prints r0 (1).
     asm.call("victim");
     // Patch victim's first instruction to `out r1`.
     asm.mov_addr(Reg::R2, pool);
@@ -263,12 +261,12 @@ fn step_limit_reported() {
 #[test]
 fn cond_branch_both_arms_eventually_translated() {
     let code = encode_all(&[
-        Inst::MovRI { dst: Reg::R0, imm: 2 },          // 0x10000
+        Inst::MovRI { dst: Reg::R0, imm: 2 },                // 0x10000
         Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 1 }, // 0x10008: loop head
-        Inst::Jcc { cc: Cond::E, offset: 16 },         // 0x10010 -> 0x10028
+        Inst::Jcc { cc: Cond::E, offset: 16 },               // 0x10010 -> 0x10028
         Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 }, // 0x10018
-        Inst::Jmp { offset: -32 },                     // 0x10020 -> 0x10008
-        Inst::Halt,                                    // 0x10028
+        Inst::Jmp { offset: -32 },                           // 0x10020 -> 0x10008
+        Inst::Halt,                                          // 0x10028
     ]);
     let mut m = Machine::load(&code, &[], 0);
     let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);

@@ -1,4 +1,4 @@
-use cfed_core::{RunConfig, TechniqueKind, Category};
+use cfed_core::{Category, RunConfig, TechniqueKind};
 use cfed_fault::{golden_run, inject, FaultSpec, Outcome};
 use cfed_isa::{Flags, OFFSET_BITS};
 use cfed_workloads::{by_name, Scale};

@@ -62,6 +62,14 @@ impl CategoryStats {
     }
 }
 
+/// Trials per shard: the unit of work distributed by `cfed-runner`.
+///
+/// [`Campaign::run`] executes its trials as a sequence of shards of this
+/// size, each with an independently derived RNG seed, so a campaign's
+/// tallies are the associative merge of its shard reports — bit-identical
+/// whether the shards run serially here or spread over a worker pool.
+pub const SHARD_TRIALS: u64 = 64;
+
 /// A randomized injection campaign over one image + DBT configuration.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -79,17 +87,39 @@ impl Campaign {
         Campaign { config, trials, seed: 0xCF_ED_2006 }
     }
 
-    /// Runs the campaign.
+    /// Number of shards this campaign splits into ([`SHARD_TRIALS`] trials
+    /// each, last shard possibly smaller).
+    pub fn num_shards(&self) -> u64 {
+        self.trials.div_ceil(SHARD_TRIALS)
+    }
+
+    /// Trials in shard `shard_index` (all [`SHARD_TRIALS`] except a
+    /// possibly-short final shard).
+    pub fn shard_trials(&self, shard_index: u64) -> u64 {
+        let start = shard_index * SHARD_TRIALS;
+        SHARD_TRIALS.min(self.trials.saturating_sub(start))
+    }
+
+    /// The RNG seed of shard `shard_index`: the `shard_index`-th output of
+    /// a splitmix64 stream seeded with the campaign seed. Depends only on
+    /// `(campaign seed, shard index)` — never on worker count or
+    /// scheduling order — which is what makes sharded execution
+    /// bit-identical to the serial path.
+    pub fn shard_seed(&self, shard_index: u64) -> u64 {
+        let mut state = self.seed.wrapping_add(shard_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rand::splitmix64(&mut state)
+    }
+
+    /// Runs one shard against a precomputed golden reference.
     ///
     /// Each trial picks a uniformly random dynamic branch execution and a
     /// uniformly random bit among the 32 offset bits + 6 flag bits — the
     /// same fault space as the §2 error model, but executed rather than
     /// classified hypothetically.
-    pub fn run(&self, image: &Image) -> CampaignReport {
-        let golden = golden_run(image, &self.config);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+    pub fn run_shard(&self, image: &Image, golden: &Golden, shard_index: u64) -> CampaignReport {
+        let mut rng = StdRng::seed_from_u64(self.shard_seed(shard_index));
         let mut report = CampaignReport::new(golden.clone());
-        for _ in 0..self.trials {
+        for _ in 0..self.shard_trials(shard_index) {
             let nth = rng.gen_range(0..golden.branches.max(1));
             let bit = rng.gen_range(0..OFFSET_BITS + Flags::BITS) as u8;
             let spec = if (bit as u32) < OFFSET_BITS {
@@ -97,13 +127,31 @@ impl Campaign {
             } else {
                 FaultSpec::FlagBit { nth, bit: bit - OFFSET_BITS as u8 }
             };
-            if let Some(r) = inject(image, &self.config, spec, &golden) {
+            if let Some(r) = inject(image, &self.config, spec, golden) {
                 report.record(r.category, r.outcome, r.latency_insts);
             } else {
                 report.skipped += 1;
             }
         }
         report
+    }
+
+    /// Runs the campaign against a caller-supplied golden reference,
+    /// skipping the golden re-run (callers that batch campaigns over one
+    /// image cache the golden once — see `cfed-runner`).
+    pub fn run_with_golden(&self, image: &Image, golden: &Golden) -> CampaignReport {
+        let mut report = CampaignReport::new(golden.clone());
+        for shard in 0..self.num_shards() {
+            report.merge(&self.run_shard(image, golden, shard));
+        }
+        report
+    }
+
+    /// Runs the campaign: the fault-free golden run, then every shard in
+    /// order. Equals the merge of the shard reports in any order.
+    pub fn run(&self, image: &Image) -> CampaignReport {
+        let golden = golden_run(image, &self.config);
+        self.run_with_golden(image, &golden)
     }
 }
 
@@ -129,16 +177,22 @@ impl ExhaustiveSweep {
     /// injections.
     pub fn run(&self, image: &Image) -> CampaignReport {
         let golden = golden_run(image, &self.config);
+        self.run_with_golden(image, &golden)
+    }
+
+    /// Runs the sweep against a caller-supplied golden reference, skipping
+    /// the golden re-run.
+    pub fn run_with_golden(&self, image: &Image, golden: &Golden) -> CampaignReport {
         let mut report = CampaignReport::new(golden.clone());
         for nth in 0..self.branches.min(golden.branches) {
             for bit in 0..OFFSET_BITS as u8 {
-                match inject(image, &self.config, FaultSpec::AddrBit { nth, bit }, &golden) {
+                match inject(image, &self.config, FaultSpec::AddrBit { nth, bit }, golden) {
                     Some(r) => report.record(r.category, r.outcome, r.latency_insts),
                     None => report.skipped += 1,
                 }
             }
             for bit in 0..Flags::BITS as u8 {
-                match inject(image, &self.config, FaultSpec::FlagBit { nth, bit }, &golden) {
+                match inject(image, &self.config, FaultSpec::FlagBit { nth, bit }, golden) {
                     Some(r) => report.record(r.category, r.outcome, r.latency_insts),
                     None => report.skipped += 1,
                 }
@@ -168,7 +222,8 @@ fn cat_idx(c: Category) -> usize {
 }
 
 impl CampaignReport {
-    fn new(golden: Golden) -> CampaignReport {
+    /// An empty report for the given golden reference.
+    pub fn new(golden: Golden) -> CampaignReport {
         CampaignReport {
             golden,
             stats: [CategoryStats::default(); 7],
@@ -178,12 +233,54 @@ impl CampaignReport {
         }
     }
 
-    fn record(&mut self, category: Category, outcome: Outcome, latency: u64) {
+    /// Reconstructs a report from persisted tallies (the JSONL resume path
+    /// of `cfed-runner`). `stats` is in [`Category::ALL`] order.
+    pub fn from_parts(
+        golden: Golden,
+        stats: [CategoryStats; 7],
+        skipped: u64,
+        latency_sum: u64,
+        latency_n: u64,
+    ) -> CampaignReport {
+        CampaignReport { golden, stats, skipped, latency_sum, latency_n }
+    }
+
+    /// Records one injection outcome.
+    pub fn record(&mut self, category: Category, outcome: Outcome, latency: u64) {
         self.stats[cat_idx(category)].record(outcome);
         if outcome == Outcome::DetectedByCheck {
             self.latency_sum += latency;
             self.latency_n += 1;
         }
+    }
+
+    /// Folds another report's tallies into this one. Associative and
+    /// commutative (every field is a sum), so shard reports reduce to the
+    /// serial campaign's exact tallies in any merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports reference different golden runs — merging
+    /// across images or configurations is always a bug.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        assert_eq!(self.golden, other.golden, "CampaignReport::merge across different golden runs");
+        for (into, from) in self.stats.iter_mut().zip(other.stats.iter()) {
+            into.detected_check += from.detected_check;
+            into.detected_hw += from.detected_hw;
+            into.other_fault += from.other_fault;
+            into.benign += from.benign;
+            into.sdc += from.sdc;
+            into.timeout += from.timeout;
+        }
+        self.skipped += other.skipped;
+        self.latency_sum += other.latency_sum;
+        self.latency_n += other.latency_n;
+    }
+
+    /// The raw detection-latency accumulators `(sum, count)` over
+    /// `DetectedByCheck` outcomes — what the JSONL store persists.
+    pub fn latency_totals(&self) -> (u64, u64) {
+        (self.latency_sum, self.latency_n)
     }
 
     /// Tallies for one category.
@@ -334,5 +431,55 @@ mod tests {
         let img = image();
         let r = Campaign::new(RunConfig::baseline(), 20).run(&img);
         assert!(r.render("x").contains("Category"));
+    }
+
+    #[test]
+    fn shard_merge_equals_serial_run() {
+        // The serial path is defined as the in-order shard merge; merging
+        // the same shards in reverse must produce identical tallies.
+        let img = image();
+        let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 150);
+        let serial = c.run(&img);
+        let golden = crate::inject::golden_run(&img, &c.config);
+        let mut merged = CampaignReport::new(golden.clone());
+        for shard in (0..c.num_shards()).rev() {
+            merged.merge(&c.run_shard(&img, &golden, shard));
+        }
+        for cat in Category::ALL {
+            assert_eq!(serial.category(cat), merged.category(cat));
+        }
+        assert_eq!(serial.skipped, merged.skipped);
+        assert_eq!(serial.latency_totals(), merged.latency_totals());
+    }
+
+    #[test]
+    fn shard_trials_partition_the_campaign() {
+        let c = Campaign::new(RunConfig::baseline(), 150);
+        assert_eq!(c.num_shards(), 3);
+        let total: u64 = (0..c.num_shards()).map(|s| c.shard_trials(s)).sum();
+        assert_eq!(total, 150);
+        // Seeds are pairwise distinct and depend only on (seed, index).
+        assert_ne!(c.shard_seed(0), c.shard_seed(1));
+        assert_eq!(c.shard_seed(2), Campaign::new(RunConfig::baseline(), 999).shard_seed(2));
+    }
+
+    #[test]
+    fn run_with_golden_matches_run() {
+        let img = image();
+        let cfg = RunConfig::technique(TechniqueKind::Ecf);
+        let c = Campaign::new(cfg, 70);
+        let golden = crate::inject::golden_run(&img, &cfg);
+        let a = c.run(&img);
+        let b = c.run_with_golden(&img, &golden);
+        for cat in Category::ALL {
+            assert_eq!(a.category(cat), b.category(cat));
+        }
+
+        let sweep = ExhaustiveSweep::new(cfg, 2);
+        let a = sweep.run(&img);
+        let b = sweep.run_with_golden(&img, &golden);
+        for cat in Category::ALL {
+            assert_eq!(a.category(cat), b.category(cat));
+        }
     }
 }

@@ -78,7 +78,9 @@ impl ErrorModelTable {
         [true, false]
             .into_iter()
             .flat_map(|t| {
-                [FaultSide::Addr, FaultSide::Flags].into_iter().map(move |s| self.prob(t, s, category))
+                [FaultSide::Addr, FaultSide::Flags]
+                    .into_iter()
+                    .map(move |s| self.prob(t, s, category))
             })
             .sum()
     }
@@ -209,9 +211,7 @@ fn analyze_branch(cpu: &Cpu, inst: &cfed_isa::Inst, cfg: &Cfg, table: &mut Error
             Category::NoError
         } else {
             let faulty_off = offset ^ (1i32 << bit);
-            let faulty = addr
-                .wrapping_add(INST_SIZE_U64)
-                .wrapping_add(faulty_off as i64 as u64);
+            let faulty = addr.wrapping_add(INST_SIZE_U64).wrapping_add(faulty_off as i64 as u64);
             classify_addr_fault(
                 &BranchFault {
                     branch_block: block.clone(),
@@ -249,10 +249,7 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let r = report("fn main() { let i = 0; while (i < 50) { i = i + 1; } out(i); }");
-        let sum: f64 = Category::ALL
-            .iter()
-            .map(|&c| r.table.prob_total(c))
-            .sum();
+        let sum: f64 = Category::ALL.iter().map(|&c| r.table.prob_total(c)).sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
     }
 

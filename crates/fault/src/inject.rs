@@ -157,7 +157,12 @@ fn build(image: &Image, cfg: &RunConfig) -> (Machine, Dbt) {
 ///
 /// Returns `None` when `spec` names a dynamic branch beyond the program's
 /// execution (use [`golden_run`]'s branch count to stay in range).
-pub fn inject(image: &Image, cfg: &RunConfig, spec: FaultSpec, golden: &Golden) -> Option<InjectionResult> {
+pub fn inject(
+    image: &Image,
+    cfg: &RunConfig,
+    spec: FaultSpec,
+    golden: &Golden,
+) -> Option<InjectionResult> {
     let (mut m, mut dbt) = build(image, cfg);
     let budget = golden.insts * 3 + 100_000;
     let mut seen_branches = 0u64;

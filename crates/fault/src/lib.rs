@@ -29,6 +29,6 @@ pub mod campaign;
 pub mod error_model;
 pub mod inject;
 
-pub use campaign::{Campaign, CampaignReport, CategoryStats, ExhaustiveSweep};
+pub use campaign::{Campaign, CampaignReport, CategoryStats, ExhaustiveSweep, SHARD_TRIALS};
 pub use error_model::{analyze_image, ErrorModelReport, ErrorModelTable, FaultSide};
 pub use inject::{golden_run, inject, FaultSpec, Golden, InjectionResult, Outcome};

@@ -263,18 +263,19 @@ impl Inst {
         }
 
         // Per-opcode field usage masks: (a, b, c, cc, imm).
-        let check = |ua: bool, ub: bool, uc: bool, ucc: bool, uimm: bool| -> Result<(), DecodeError> {
-            if (!ua && a != 0)
-                || (!ub && b != 0)
-                || (!uc && c != 0)
-                || (!ucc && cc_bits != 0)
-                || (!uimm && imm != 0)
-            {
-                Err(err)
-            } else {
-                Ok(())
-            }
-        };
+        let check =
+            |ua: bool, ub: bool, uc: bool, ucc: bool, uimm: bool| -> Result<(), DecodeError> {
+                if (!ua && a != 0)
+                    || (!ub && b != 0)
+                    || (!uc && c != 0)
+                    || (!ucc && cc_bits != 0)
+                    || (!uimm && imm != 0)
+                {
+                    Err(err)
+                } else {
+                    Ok(())
+                }
+            };
 
         let ra = Reg::new(a);
         let rb = Reg::new(b);

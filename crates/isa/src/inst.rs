@@ -294,10 +294,7 @@ impl Inst {
 
     /// Returns `true` if the instruction writes the condition flags.
     pub fn writes_flags(&self) -> bool {
-        matches!(
-            self,
-            Inst::Alu { .. } | Inst::AluI { .. } | Inst::Neg { .. } | Inst::Not { .. }
-        )
+        matches!(self, Inst::Alu { .. } | Inst::AluI { .. } | Inst::Neg { .. } | Inst::Not { .. })
     }
 
     /// Returns `true` if the instruction reads the condition flags.
@@ -385,8 +382,9 @@ mod tests {
     fn flags_read_write_sets() {
         assert!(Inst::Alu { op: AluOp::Add, dst: Reg::R0, src: Reg::R1 }.writes_flags());
         assert!(!Inst::Lea { dst: Reg::R0, base: Reg::R1, disp: 4 }.writes_flags());
-        assert!(!Inst::LeaSub { dst: Reg::R0, base: Reg::R1, index: Reg::R2, disp: 0 }
-            .writes_flags());
+        assert!(
+            !Inst::LeaSub { dst: Reg::R0, base: Reg::R1, index: Reg::R2, disp: 0 }.writes_flags()
+        );
         assert!(Inst::CMov { cc: Cond::Le, dst: Reg::R0, src: Reg::R1 }.reads_flags());
         assert!(!Inst::JRnz { src: Reg::R0, offset: 0 }.reads_flags());
     }

@@ -104,8 +104,7 @@ pub fn generate(prog: &Program, info: &SemaInfo) -> Result<Image, CodegenError> 
 
     for f in &prog.functions {
         let fi = &info.functions[&f.name];
-        let mut cg =
-            FnCodegen { asm: &mut asm, fi, global_addrs: &global_addrs, cold: Vec::new() };
+        let mut cg = FnCodegen { asm: &mut asm, fi, global_addrs: &global_addrs, cold: Vec::new() };
         cg.function(f)?;
     }
 
@@ -456,7 +455,12 @@ impl FnCodegen<'_> {
     /// Emits the condition of `cond_expr` and a branch to `target` taken
     /// when the condition's truth equals `jump_if`. Fuses leaf comparisons
     /// into a `cmp` + `jcc` pair (no 0/1 materialization).
-    fn branch_on(&mut self, cond_expr: &Expr, jump_if: bool, target: String) -> Result<(), CodegenError> {
+    fn branch_on(
+        &mut self,
+        cond_expr: &Expr,
+        jump_if: bool,
+        target: String,
+    ) -> Result<(), CodegenError> {
         if let Expr::Binary { op, lhs, rhs, .. } = cond_expr {
             if op.is_comparison() {
                 if let Some(leaf) = self.leaf(rhs) {

@@ -211,9 +211,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let word = &src[start..i];
@@ -303,13 +301,7 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             kinds("fn foo let iffy"),
-            vec![
-                Tok::Fn,
-                Tok::Ident("foo".into()),
-                Tok::Let,
-                Tok::Ident("iffy".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Fn, Tok::Ident("foo".into()), Tok::Let, Tok::Ident("iffy".into()), Tok::Eof]
         );
     }
 
@@ -322,7 +314,16 @@ mod tests {
     fn operators_longest_match() {
         assert_eq!(
             kinds("< << <= = == & &&"),
-            vec![Tok::Lt, Tok::Shl, Tok::Le, Tok::Assign, Tok::EqEq, Tok::Amp, Tok::AmpAmp, Tok::Eof]
+            vec![
+                Tok::Lt,
+                Tok::Shl,
+                Tok::Le,
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::Amp,
+                Tok::AmpAmp,
+                Tok::Eof
+            ]
         );
     }
 

@@ -220,12 +220,7 @@ fn eval_const(op: BinOp, a: i64, b: i64) -> Option<i64> {
 
 fn as_bool_expr(e: Expr, pos: Pos) -> Expr {
     // Normalize a truthy expression to 0/1 (`e != 0`).
-    Expr::Binary {
-        op: BinOp::Ne,
-        lhs: Box::new(e),
-        rhs: Box::new(int(0, pos)),
-        pos,
-    }
+    Expr::Binary { op: BinOp::Ne, lhs: Box::new(e), rhs: Box::new(int(0, pos)), pos }
 }
 
 fn fold_binary(op: BinOp, l: Expr, r: Expr, pos: Pos) -> Expr {

@@ -120,9 +120,7 @@ impl Parser {
                 Tok::Eof => break,
                 Tok::Global => prog.globals.push(self.global()?),
                 Tok::Fn => prog.functions.push(self.function()?),
-                other => {
-                    return Err(self.err(format!("expected `fn` or `global`, found {other}")))
-                }
+                other => return Err(self.err(format!("expected `fn` or `global`, found {other}"))),
             }
         }
         Ok(prog)
@@ -294,8 +292,7 @@ impl Parser {
                             Ok(Stmt::Store { name, index, value, pos })
                         } else {
                             // Expression statement of an index read.
-                            let value =
-                                Expr::Index { name, index: Box::new(index), pos };
+                            let value = Expr::Index { name, index: Box::new(index), pos };
                             let value = self.continue_expr(value)?;
                             self.expect(Tok::Semi)?;
                             Ok(Stmt::Expr { value, pos })

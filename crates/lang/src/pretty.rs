@@ -201,22 +201,19 @@ pub fn ast_eq(a: &Program, b: &Program) -> bool {
         match (a, b) {
             (Expr::Int { value: x, .. }, Expr::Int { value: y, .. }) => x == y,
             (Expr::Var { name: x, .. }, Expr::Var { name: y, .. }) => x == y,
-            (
-                Expr::Index { name: x, index: i, .. },
-                Expr::Index { name: y, index: j, .. },
-            ) => x == y && expr_eq(i, j),
-            (
-                Expr::Call { name: x, args: xs, .. },
-                Expr::Call { name: y, args: ys, .. },
-            ) => x == y && xs.len() == ys.len() && xs.iter().zip(ys).all(|(p, q)| expr_eq(p, q)),
+            (Expr::Index { name: x, index: i, .. }, Expr::Index { name: y, index: j, .. }) => {
+                x == y && expr_eq(i, j)
+            }
+            (Expr::Call { name: x, args: xs, .. }, Expr::Call { name: y, args: ys, .. }) => {
+                x == y && xs.len() == ys.len() && xs.iter().zip(ys).all(|(p, q)| expr_eq(p, q))
+            }
             (
                 Expr::Binary { op: o1, lhs: l1, rhs: r1, .. },
                 Expr::Binary { op: o2, lhs: l2, rhs: r2, .. },
             ) => o1 == o2 && expr_eq(l1, l2) && expr_eq(r1, r2),
-            (
-                Expr::Unary { op: o1, expr: e1, .. },
-                Expr::Unary { op: o2, expr: e2, .. },
-            ) => o1 == o2 && expr_eq(e1, e2),
+            (Expr::Unary { op: o1, expr: e1, .. }, Expr::Unary { op: o2, expr: e2, .. }) => {
+                o1 == o2 && expr_eq(e1, e2)
+            }
             // `-literal` parses as a negative literal or a unary neg
             // depending on context; treat them as equal.
             (Expr::Unary { op: UnOp::Neg, expr, .. }, Expr::Int { value, .. })
@@ -279,9 +276,10 @@ pub fn ast_eq(a: &Program, b: &Program) -> bool {
             g.name == h.name && g.len == h.len && g.init == h.init && g.is_array == h.is_array
         })
         && a.functions.len() == b.functions.len()
-        && a.functions.iter().zip(&b.functions).all(|(f, g)| {
-            f.name == g.name && f.params == g.params && block_eq(&f.body, &g.body)
-        })
+        && a.functions
+            .iter()
+            .zip(&b.functions)
+            .all(|(f, g)| f.name == g.name && f.params == g.params && block_eq(&f.body, &g.body))
 }
 
 #[cfg(test)]

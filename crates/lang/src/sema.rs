@@ -164,10 +164,9 @@ impl Checker<'_> {
             Stmt::Let { name, value, pos } => {
                 self.expr(value)?;
                 if self.slots.contains_key(name) {
-                    return Err(self.err(
-                        format!("`{name}` is already declared in `{}`", self.fname),
-                        *pos,
-                    ));
+                    return Err(
+                        self.err(format!("`{name}` is already declared in `{}`", self.fname), *pos)
+                    );
                 }
                 if self.info.globals.contains_key(name) {
                     return Err(
@@ -258,11 +257,7 @@ impl Checker<'_> {
                 match self.info.functions.get(name) {
                     Some(fi) if fi.arity == args.len() => Ok(()),
                     Some(fi) => Err(self.err(
-                        format!(
-                            "`{name}` expects {} argument(s), got {}",
-                            fi.arity,
-                            args.len()
-                        ),
+                        format!("`{name}` expects {} argument(s), got {}", fi.arity, args.len()),
                         *pos,
                     )),
                     None => Err(self.err(format!("call to undefined function `{name}`"), *pos)),

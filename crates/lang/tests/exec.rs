@@ -233,8 +233,7 @@ fn output_matches_reference_model() {
     let mut expected = Vec::new();
     let mut seed = 7u64;
     for _ in 0..50 {
-        seed = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
-            >> 33;
+        seed = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) >> 33;
         expected.push(seed % 1000);
         seed += 1;
     }

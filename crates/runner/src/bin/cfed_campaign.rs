@@ -1,0 +1,228 @@
+//! `cfed-campaign` — the full fault-injection study as one resumable run.
+//!
+//! Drives two campaign matrices over the `cfed-runner` worker pool:
+//!
+//! * **coverage** — baseline + five techniques × both update styles over
+//!   the six campaign workloads (ALLBB policy), tallied per branch-error
+//!   category;
+//! * **latency** — EdgCF/CMOVcc under the four checking policies,
+//!   measuring mean instructions from injection to the check report.
+//!
+//! Every finished shard is checkpointed to a JSONL store under `--out`;
+//! re-running with the same `--run-id`, `--seed` and `--trials` resumes
+//! from the checkpoints instead of re-executing. Tallies are bit-identical
+//! for any `--threads` value.
+//!
+//! Usage: `cargo run --release -p cfed-runner --bin cfed-campaign -- [OPTIONS]`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cfed_core::{Category, TechniqueKind};
+use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_fault::CategoryStats;
+use cfed_runner::cli::Parser;
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec, CAMPAIGN_WORKLOADS};
+use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
+use cfed_workloads::Scale;
+
+fn main() {
+    let args = Parser::new("cfed-campaign", "full coverage + latency fault-injection study")
+        .flag("trials", "N", "500", "injections per workload per configuration")
+        .flag("threads", "N", "0", "worker threads (0 = all cores)")
+        .flag("seed", "SEED", "3488423942", "campaign RNG seed")
+        .flag("out", "DIR", "results/campaigns", "directory for the JSONL result stores")
+        .flag(
+            "run-id",
+            "ID",
+            "",
+            "run identifier; re-use to resume (default: derived from seed/trials)",
+        )
+        .switch("progress", "print per-shard progress to stderr")
+        .parse();
+    let die = |message: String| -> ! {
+        eprintln!("cfed-campaign: {message}");
+        std::process::exit(2);
+    };
+    let trials = args.get_u64("trials").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
+    let seed = args.get_u64("seed").unwrap_or_else(|e| die(e));
+    let out = PathBuf::from(args.get("out").expect("has default"));
+    let run_id = match args.get("run-id").filter(|s| !s.is_empty()) {
+        Some(id) => id.to_string(),
+        None => format!("campaign-s{seed}-t{trials}"),
+    };
+    let options = RunnerOptions { threads, max_shards: None, progress: args.has("progress") };
+
+    let workloads: Vec<WorkloadSpec> =
+        CAMPAIGN_WORKLOADS.iter().map(|name| WorkloadSpec::named(name, Scale::Test)).collect();
+
+    // Coverage: baseline + five techniques, both update styles, ALLBB.
+    let mut techniques: Vec<Option<TechniqueKind>> = vec![None];
+    techniques.extend(TechniqueKind::ALL_FIVE.into_iter().map(Some));
+    let coverage = CampaignMatrix {
+        workloads: workloads.clone(),
+        techniques: techniques.clone(),
+        styles: vec![UpdateStyle::CMov, UpdateStyle::Jcc],
+        policies: vec![CheckPolicy::AllBb],
+        trials,
+        seed,
+    };
+    let coverage_store = out.join(format!("{run_id}-coverage.jsonl"));
+    eprintln!(
+        "cfed-campaign: coverage matrix — {} cells, {} shards, store {}",
+        coverage.cells().len(),
+        CampaignMatrix::shards(&coverage.cells()).len(),
+        coverage_store.display()
+    );
+    let coverage_run =
+        run_matrix(&coverage, &run_id, Some(&coverage_store), &options).unwrap_or_else(|e| die(e));
+    report_progress(&coverage_run);
+
+    // Latency: EdgCF under CMOVcc for each checking policy.
+    let latency = CampaignMatrix {
+        workloads,
+        techniques: vec![Some(TechniqueKind::EdgCf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: CheckPolicy::ALL.to_vec(),
+        trials,
+        seed,
+    };
+    let latency_store = out.join(format!("{run_id}-latency.jsonl"));
+    eprintln!(
+        "cfed-campaign: latency matrix — {} cells, {} shards, store {}",
+        latency.cells().len(),
+        CampaignMatrix::shards(&latency.cells()).len(),
+        latency_store.display()
+    );
+    let latency_run =
+        run_matrix(&latency, &run_id, Some(&latency_store), &options).unwrap_or_else(|e| die(e));
+    report_progress(&latency_run);
+
+    for style in [UpdateStyle::CMov, UpdateStyle::Jcc] {
+        println!("=== Coverage, {style} update style ({trials} trials/workload/config) ===");
+        print!("{}", render_coverage(&coverage, &coverage_run, style, &techniques));
+        println!();
+    }
+    println!("=== Detection latency by checking policy (EdgCF, CMOVcc) ===");
+    print!("{}", render_latency(&latency, &latency_run));
+
+    if !coverage_run.complete() || !latency_run.complete() {
+        eprintln!("cfed-campaign: some shards failed; re-run with the same --run-id to retry them");
+        std::process::exit(1);
+    }
+}
+
+fn report_progress(run: &RunSummary) {
+    eprintln!(
+        "cfed-campaign: executed {} shards, resumed {} from checkpoints",
+        run.executed_shards, run.resumed_shards
+    );
+}
+
+/// Sums category tallies across one configuration's workload cells.
+fn technique_totals(
+    matrix: &CampaignMatrix,
+    summary: &RunSummary,
+    technique: Option<TechniqueKind>,
+    style: UpdateStyle,
+) -> (Vec<(Category, CategoryStats)>, u64) {
+    let mut totals: Vec<(Category, CategoryStats)> =
+        Category::ALL.iter().map(|&c| (c, CategoryStats::default())).collect();
+    let mut missing = 0u64;
+    for (cell, result) in matrix.cells().iter().zip(&summary.cells) {
+        if cell.config.technique != technique || cell.config.style != style {
+            continue;
+        }
+        let Some(report) = result.report.as_ref() else {
+            missing += 1;
+            continue;
+        };
+        for (c, slot) in &mut totals {
+            let s = report.category(*c);
+            slot.detected_check += s.detected_check;
+            slot.detected_hw += s.detected_hw;
+            slot.other_fault += s.other_fault;
+            slot.benign += s.benign;
+            slot.sdc += s.sdc;
+            slot.timeout += s.timeout;
+        }
+    }
+    (totals, missing)
+}
+
+fn render_coverage(
+    matrix: &CampaignMatrix,
+    summary: &RunSummary,
+    style: UpdateStyle,
+    techniques: &[Option<TechniqueKind>],
+) -> String {
+    let mut out = String::new();
+    for &technique in techniques {
+        let (totals, missing) = technique_totals(matrix, summary, technique, style);
+        let name = technique.map_or("baseline".to_string(), |k| k.to_string());
+        let _ = writeln!(out, "\n== {name} ==");
+        if missing > 0 {
+            let _ = writeln!(out, "   ({missing} workload cells missing — run incomplete)");
+        }
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>8}",
+            "Category", "chk", "hw", "fault", "benign", "SDC", "timeout", "coverage"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(72));
+        for (c, s) in &totals {
+            if s.total() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>7.1}%",
+                c.to_string(),
+                s.detected_check,
+                s.detected_hw,
+                s.other_fault,
+                s.benign,
+                s.sdc,
+                s.timeout,
+                100.0 * s.coverage()
+            );
+        }
+    }
+    out
+}
+
+fn render_latency(matrix: &CampaignMatrix, summary: &RunSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} | {:>16} | {:>12}", "policy", "mean latency", "check share");
+    let _ = writeln!(out, "{}", "-".repeat(44));
+    for policy in CheckPolicy::ALL {
+        let mut lat_sum = 0.0;
+        let mut lat_n = 0u64;
+        let mut chk = 0u64;
+        let mut hw = 0u64;
+        for (cell, result) in matrix.cells().iter().zip(&summary.cells) {
+            if cell.config.policy != policy {
+                continue;
+            }
+            let Some(report) = result.report.as_ref() else { continue };
+            if let Some(l) = report.mean_detection_latency() {
+                lat_sum += l;
+                lat_n += 1;
+            }
+            let t = report.sdc_prone_total();
+            chk += t.detected_check;
+            hw += t.detected_hw + t.other_fault;
+        }
+        let mean = if lat_n > 0 { lat_sum / lat_n as f64 } else { f64::NAN };
+        let share = if chk + hw > 0 { chk as f64 / (chk + hw) as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:>8} | {:>11.0} insts | {:>11.1}%",
+            policy.to_string(),
+            mean,
+            100.0 * share
+        );
+    }
+    out
+}

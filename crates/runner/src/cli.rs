@@ -1,0 +1,264 @@
+//! Tiny shared command-line parser for the workspace binaries.
+//!
+//! Replaces the ad-hoc `args().position(..).expect(..)` parsing the bench
+//! binaries started with: unknown flags, missing values and malformed
+//! numbers produce a one-line error plus usage (exit code 2) instead of a
+//! panic, and every binary gains `--help`.
+
+use std::fmt::Write as _;
+
+use cfed_workloads::Scale;
+
+/// One `--flag VALUE` option.
+#[derive(Debug, Clone)]
+struct FlagSpec {
+    name: &'static str,
+    value_name: &'static str,
+    default: Option<String>,
+    help: &'static str,
+    is_switch: bool,
+}
+
+/// Declarative parser for a binary's flags.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    bin: &'static str,
+    about: &'static str,
+    flags: Vec<FlagSpec>,
+}
+
+/// Parsed arguments: flag name → value.
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+}
+
+impl Parser {
+    /// A parser for binary `bin` with a one-line description.
+    pub fn new(bin: &'static str, about: &'static str) -> Parser {
+        Parser { bin, about, flags: Vec::new() }
+    }
+
+    /// Adds a `--name VALUE` flag with a default (shown in `--help`).
+    pub fn flag(
+        mut self,
+        name: &'static str,
+        value_name: &'static str,
+        default: &str,
+        help: &'static str,
+    ) -> Parser {
+        self.flags.push(FlagSpec {
+            name,
+            value_name,
+            default: Some(default.to_string()),
+            help,
+            is_switch: false,
+        });
+        self
+    }
+
+    /// Adds a required `--name VALUE` flag (no default).
+    pub fn required_flag(
+        mut self,
+        name: &'static str,
+        value_name: &'static str,
+        help: &'static str,
+    ) -> Parser {
+        self.flags.push(FlagSpec { name, value_name, default: None, help, is_switch: false });
+        self
+    }
+
+    /// Adds a boolean `--name` switch.
+    pub fn switch(mut self, name: &'static str, help: &'static str) -> Parser {
+        self.flags.push(FlagSpec { name, value_name: "", default: None, help, is_switch: true });
+        self
+    }
+
+    /// Renders the `--help` text.
+    pub fn usage(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.bin, self.about);
+        let _ = writeln!(out, "\nUsage: {} [OPTIONS]\n\nOptions:", self.bin);
+        for f in &self.flags {
+            let head = if f.is_switch {
+                format!("--{}", f.name)
+            } else {
+                format!("--{} <{}>", f.name, f.value_name)
+            };
+            let tail = match &f.default {
+                Some(d) => format!("{} [default: {d}]", f.help),
+                None => f.help.to_string(),
+            };
+            let _ = writeln!(out, "  {head:<24} {tail}");
+        }
+        let _ = writeln!(out, "  {:<24} Print this help", "--help");
+        out
+    }
+
+    /// Parses the given argument list (without the binary name).
+    pub fn try_parse(&self, argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            values: self
+                .flags
+                .iter()
+                .filter_map(|f| f.default.as_ref().map(|d| (f.name, d.clone())))
+                .collect(),
+            switches: Vec::new(),
+        };
+        let mut it = argv.iter();
+        while let Some(raw) = it.next() {
+            let name = raw
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {raw:?} (flags start with --)"))?;
+            let (name, inline_value) = match name.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (name, None),
+            };
+            let spec = self
+                .flags
+                .iter()
+                .find(|f| f.name == name)
+                .ok_or_else(|| format!("unknown flag --{name}"))?;
+            if spec.is_switch {
+                if inline_value.is_some() {
+                    return Err(format!("--{name} takes no value"));
+                }
+                args.switches.push(spec.name);
+                continue;
+            }
+            let value = match inline_value {
+                Some(v) => v,
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} requires a <{}> value", spec.value_name))?,
+            };
+            args.values.retain(|(n, _)| *n != spec.name);
+            args.values.push((spec.name, value));
+        }
+        for f in &self.flags {
+            if !f.is_switch && f.default.is_none() && args.get(f.name).is_none() {
+                return Err(format!("missing required flag --{}", f.name));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses `std::env::args()`, handling `--help` (exit 0) and printing a
+    /// friendly error plus usage on bad input (exit 2).
+    pub fn parse(&self) -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", self.usage());
+            std::process::exit(0);
+        }
+        match self.try_parse(&argv) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{}: {e}\n\n{}", self.bin, self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+impl Args {
+    /// Raw string value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// A flag parsed as `u64`.
+    pub fn get_u64(&self, name: &str) -> Result<u64, String> {
+        let raw = self.get(name).ok_or_else(|| format!("missing --{name}"))?;
+        raw.parse::<u64>()
+            .map_err(|_| format!("--{name} expects a non-negative integer, got {raw:?}"))
+    }
+
+    /// A flag parsed as `usize`.
+    pub fn get_usize(&self, name: &str) -> Result<usize, String> {
+        let raw = self.get(name).ok_or_else(|| format!("missing --{name}"))?;
+        raw.parse::<usize>()
+            .map_err(|_| format!("--{name} expects a non-negative integer, got {raw:?}"))
+    }
+
+    /// A flag parsed as a workload [`Scale`].
+    pub fn get_scale(&self, name: &str) -> Result<Scale, String> {
+        parse_scale(self.get(name).ok_or_else(|| format!("missing --{name}"))?)
+    }
+}
+
+/// Parses a scale argument: `test`, `full`, or an iteration count.
+pub fn parse_scale(raw: &str) -> Result<Scale, String> {
+    match raw {
+        "test" => Ok(Scale::Test),
+        "full" => Ok(Scale::Full),
+        n => n
+            .parse::<u64>()
+            .map(Scale::Custom)
+            .map_err(|_| format!("--scale expects test, full, or an iteration count, got {raw:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> Parser {
+        Parser::new("demo", "demo binary")
+            .flag("trials", "N", "500", "injections per cell")
+            .flag("scale", "SCALE", "test", "workload scale")
+            .required_flag("out", "PATH", "output path")
+            .switch("quiet", "suppress progress")
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parser().try_parse(&argv(&["--out", "x.jsonl"])).unwrap();
+        assert_eq!(a.get_u64("trials").unwrap(), 500);
+        assert!(!a.has("quiet"));
+        let a = parser().try_parse(&argv(&["--trials=9", "--out", "x", "--quiet"])).unwrap();
+        assert_eq!(a.get_u64("trials").unwrap(), 9);
+        assert!(a.has("quiet"));
+    }
+
+    #[test]
+    fn friendly_errors() {
+        let p = parser();
+        assert!(p
+            .try_parse(&argv(&["--out", "x", "--nope"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(p.try_parse(&argv(&["--out"])).unwrap_err().contains("requires"));
+        assert!(p.try_parse(&argv(&[])).unwrap_err().contains("missing required flag --out"));
+        assert!(p.try_parse(&argv(&["positional"])).unwrap_err().contains("unexpected argument"));
+        let a = p.try_parse(&argv(&["--out", "x", "--trials", "many"])).unwrap();
+        assert!(a.get_u64("trials").unwrap_err().contains("non-negative integer"));
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale("test").unwrap(), Scale::Test);
+        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
+        assert_eq!(parse_scale("250").unwrap(), Scale::Custom(250));
+        assert!(parse_scale("enormous").is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let text = parser().usage();
+        for flag in ["--trials", "--scale", "--out", "--quiet", "--help"] {
+            assert!(text.contains(flag), "usage missing {flag}");
+        }
+    }
+}

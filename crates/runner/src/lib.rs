@@ -1,0 +1,60 @@
+//! # cfed-runner — sharded parallel campaign engine
+//!
+//! Fault-injection campaigns are embarrassingly parallel — every trial is
+//! an independent whole-program run — but naive parallelism loses the
+//! property the rest of the workspace leans on: campaigns are
+//! deterministic given a seed. This crate keeps both:
+//!
+//! * [`matrix`] — a campaign matrix (workload × technique × update style ×
+//!   policy) exploded into fixed-size shards whose RNG seeds depend only
+//!   on `(campaign seed, shard index)`;
+//! * [`pool`] — a `std::thread` worker pool executing shards with
+//!   per-worker image/golden caches and panic isolation; merged per-cell
+//!   tallies are bit-identical to the serial [`cfed_fault::Campaign::run`]
+//!   path for any thread count or scheduling order;
+//! * [`store`] — a checkpointed JSONL result store: every finished shard
+//!   is appended and flushed, so a killed run resumes by skipping
+//!   persisted shards (half-written trailing lines are detected and
+//!   dropped);
+//! * [`json`] — the hand-rolled JSON subset the store uses (the workspace
+//!   is offline; no serde);
+//! * [`cli`] — the tiny friendly flag parser shared by the workspace
+//!   binaries.
+//!
+//! The `cfed-campaign` binary drives the full coverage + latency study
+//! through this machinery.
+//!
+//! ## Example
+//!
+//! ```
+//! use cfed_core::TechniqueKind;
+//! use cfed_dbt::{CheckPolicy, UpdateStyle};
+//! use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
+//! use cfed_runner::pool::{run_matrix, RunnerOptions};
+//!
+//! let matrix = CampaignMatrix {
+//!     workloads: vec![WorkloadSpec::inline(
+//!         "demo",
+//!         "fn main() { let i = 0; while (i < 20) { i = i + 1; } out(i); }",
+//!     )],
+//!     techniques: vec![Some(TechniqueKind::EdgCf)],
+//!     styles: vec![UpdateStyle::CMov],
+//!     policies: vec![CheckPolicy::AllBb],
+//!     trials: 64,
+//!     seed: 1,
+//! };
+//! let options = RunnerOptions { threads: 2, ..Default::default() };
+//! let summary = run_matrix(&matrix, "demo", None, &options)?;
+//! assert!(summary.complete());
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod cli;
+pub mod json;
+pub mod matrix;
+pub mod pool;
+pub mod store;
+
+pub use matrix::{CampaignMatrix, CellSpec, ShardTask, WorkloadSpec};
+pub use pool::{run_matrix, CellResult, RunSummary, RunnerOptions};
+pub use store::{CampaignStore, ShardTallies, StoreHeader};

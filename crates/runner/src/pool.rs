@@ -1,0 +1,461 @@
+//! The worker pool: executes a campaign matrix's shards on `std::thread`
+//! workers, checkpointing each finished shard to the JSONL store.
+//!
+//! Workers pop [`ShardTask`]s from a shared queue and send results over a
+//! channel to the main thread, which is the store's single writer. Each
+//! worker keeps its own image and golden-run caches keyed on the cell's
+//! identity strings, so a worker draining a cell's shards compiles and
+//! golden-runs it once. Shard panics are caught and recorded as failed
+//! shards (retried on a later resume) instead of taking the pool down.
+//!
+//! Determinism: a shard's tallies depend only on `(cell, shard index)` —
+//! see [`crate::matrix`] — so the merged per-cell reports are bit-identical
+//! to the serial [`cfed_fault::Campaign::run`] path for any thread count.
+
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use cfed_asm::Image;
+use cfed_core::RunConfig;
+use cfed_fault::{golden_run, CampaignReport, Golden};
+
+use crate::matrix::{CampaignMatrix, CellSpec, ShardTask};
+use crate::store::{CampaignStore, ShardTallies, StoreHeader};
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Stop after executing this many shards (in addition to any already
+    /// persisted). Used by tests to simulate a killed run; `None` runs to
+    /// completion.
+    pub max_shards: Option<usize>,
+    /// Print per-shard progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> RunnerOptions {
+        RunnerOptions { threads: 0, max_shards: None, progress: false }
+    }
+}
+
+impl RunnerOptions {
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Result of one cell after the run.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Index into the matrix's cell list.
+    pub cell: usize,
+    /// The cell's identity key.
+    pub key: String,
+    /// Merged report over the cell's completed shards, `None` if the cell's
+    /// golden run failed (e.g. the workload traps under this configuration).
+    pub report: Option<CampaignReport>,
+    /// Completed shards.
+    pub done_shards: u64,
+    /// Total shards in the cell.
+    pub total_shards: u64,
+    /// Error messages of failed shards (panics, golden failures).
+    pub failures: Vec<String>,
+}
+
+impl CellResult {
+    /// Whether every shard of the cell completed.
+    pub fn complete(&self) -> bool {
+        self.done_shards == self.total_shards
+    }
+}
+
+/// Result of a pool run over a matrix.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// One entry per matrix cell, in matrix cell order.
+    pub cells: Vec<CellResult>,
+    /// Shards executed by this invocation.
+    pub executed_shards: u64,
+    /// Shards skipped because the store already held their results.
+    pub resumed_shards: u64,
+}
+
+impl RunSummary {
+    /// Whether every cell completed all shards.
+    pub fn complete(&self) -> bool {
+        self.cells.iter().all(CellResult::complete)
+    }
+
+    /// Looks up a completed cell's report by workload key and configuration.
+    pub fn report_for(&self, cell_key: &str) -> Option<&CampaignReport> {
+        self.cells.iter().find(|c| c.key == cell_key).and_then(|c| c.report.as_ref())
+    }
+}
+
+enum ShardOutcome {
+    Ok(ShardTallies),
+    Failed(String),
+}
+
+struct ShardDone {
+    task: ShardTask,
+    key: String,
+    outcome: ShardOutcome,
+    /// The cell's golden run, sent with the first shard a worker completes
+    /// for a cell so the main thread can build reports without recomputing.
+    golden: Option<Golden>,
+}
+
+/// Per-worker caches: compiled images and golden runs, keyed by the cell's
+/// workload / golden identity strings. Golden failures are cached too, so a
+/// cell whose golden run panics fails each shard fast instead of re-running
+/// the program per shard.
+#[derive(Default)]
+struct WorkerCache {
+    images: HashMap<String, Arc<Image>>,
+    goldens: HashMap<String, Result<Arc<Golden>, String>>,
+}
+
+impl WorkerCache {
+    fn image(&mut self, cell: &CellSpec) -> Result<Arc<Image>, String> {
+        let key = cell.workload.key();
+        if let Some(img) = self.images.get(&key) {
+            return Ok(Arc::clone(img));
+        }
+        let img = Arc::new(cell.workload.image()?);
+        self.images.insert(key, Arc::clone(&img));
+        Ok(img)
+    }
+
+    fn golden(&mut self, cell: &CellSpec) -> Result<(Arc<Image>, Arc<Golden>), String> {
+        let image = self.image(cell)?;
+        let key = cell.golden_key();
+        if let Some(cached) = self.goldens.get(&key) {
+            return cached.clone().map(|g| (image, g));
+        }
+        let result = run_golden(&image, &cell.config);
+        self.goldens.insert(key, result.clone());
+        result.map(|g| (image, g))
+    }
+}
+
+fn run_golden(image: &Image, config: &RunConfig) -> Result<Arc<Golden>, String> {
+    catch_unwind(AssertUnwindSafe(|| golden_run(image, config)))
+        .map(Arc::new)
+        .map_err(|e| format!("golden run failed: {}", panic_message(&e)))
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_shard(
+    cache: &mut WorkerCache,
+    cell: &CellSpec,
+    shard_index: u64,
+) -> (ShardOutcome, Option<Golden>) {
+    let (image, golden) = match cache.golden(cell) {
+        Ok(pair) => pair,
+        Err(e) => return (ShardOutcome::Failed(e), None),
+    };
+    let campaign = cell.campaign();
+    let result =
+        catch_unwind(AssertUnwindSafe(|| campaign.run_shard(&image, &golden, shard_index)));
+    match result {
+        Ok(report) => {
+            (ShardOutcome::Ok(ShardTallies::from_report(&report)), Some((*golden).clone()))
+        }
+        Err(e) => (
+            ShardOutcome::Failed(format!("shard panicked: {}", panic_message(&e))),
+            Some((*golden).clone()),
+        ),
+    }
+}
+
+/// Runs (or resumes) a campaign matrix.
+///
+/// With a `store_path`, every finished shard is checkpointed to the JSONL
+/// file there and persisted shards from a previous invocation are loaded
+/// rather than re-executed; with `None` the run is ephemeral (pool only).
+/// Returns the per-cell merged reports.
+pub fn run_matrix(
+    matrix: &CampaignMatrix,
+    run_id: &str,
+    store_path: Option<&Path>,
+    options: &RunnerOptions,
+) -> Result<RunSummary, String> {
+    let cells = matrix.cells();
+    let all_shards = CampaignMatrix::shards(&cells);
+    let header = StoreHeader {
+        run_id: run_id.to_string(),
+        seed: matrix.seed,
+        trials: matrix.trials,
+        shard_trials: CampaignMatrix::shard_trials(),
+        digest: CampaignMatrix::digest(&cells),
+        total_shards: all_shards.len() as u64,
+    };
+    let mut store = match store_path {
+        Some(path) => CampaignStore::open(path, &header)?,
+        None => CampaignStore::in_memory(),
+    };
+
+    let mut pending: Vec<ShardTask> =
+        all_shards.iter().copied().filter(|t| !store.done.contains_key(&t.key(&cells))).collect();
+    let resumed_shards = (all_shards.len() - pending.len()) as u64;
+    if let Some(max) = options.max_shards {
+        pending.truncate(max);
+    }
+    let to_run = pending.len();
+
+    // Cell goldens observed during this run (from workers) — saves the
+    // main thread recomputing them for report assembly.
+    let mut goldens: BTreeMap<usize, Golden> = BTreeMap::new();
+
+    if to_run > 0 {
+        let queue = Mutex::new(pending.into_iter().collect::<std::collections::VecDeque<_>>());
+        let threads = options.resolved_threads().min(to_run).max(1);
+        let (tx, rx) = mpsc::channel::<ShardDone>();
+        let cells_ref = &cells;
+        let queue_ref = &queue;
+        std::thread::scope(|scope| -> Result<(), String> {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut cache = WorkerCache::default();
+                    loop {
+                        let task = match queue_ref.lock().expect("queue poisoned").pop_front() {
+                            Some(t) => t,
+                            None => break,
+                        };
+                        let cell = &cells_ref[task.cell];
+                        let (outcome, golden) = run_shard(&mut cache, cell, task.shard_index);
+                        let done = ShardDone { task, key: task.key(cells_ref), outcome, golden };
+                        if tx.send(done).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // Main thread: single store writer, checkpointing as results land.
+            let mut received = 0usize;
+            for done in rx {
+                received += 1;
+                if let (Some(g), false) = (done.golden, goldens.contains_key(&done.task.cell)) {
+                    goldens.insert(done.task.cell, g);
+                }
+                match done.outcome {
+                    ShardOutcome::Ok(tallies) => {
+                        store.append_ok(&done.key, tallies)?;
+                        if options.progress {
+                            eprintln!("cfed-runner: [{received}/{to_run}] {}", done.key);
+                        }
+                    }
+                    ShardOutcome::Failed(err) => {
+                        store.append_failed(&done.key, &err)?;
+                        eprintln!("cfed-runner: shard {} FAILED: {err}", done.key);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    let mut cell_results = Vec::with_capacity(cells.len());
+    for (index, cell) in cells.iter().enumerate() {
+        cell_results.push(assemble_cell(index, cell, &store, goldens.get(&index)));
+    }
+    Ok(RunSummary { cells: cell_results, executed_shards: to_run as u64, resumed_shards })
+}
+
+/// Merges a cell's persisted shard tallies into one report, in shard-index
+/// order (any order gives identical tallies; fixed order keeps it obvious).
+fn assemble_cell(
+    index: usize,
+    cell: &CellSpec,
+    store: &CampaignStore,
+    observed_golden: Option<&Golden>,
+) -> CellResult {
+    let total_shards = cell.num_shards();
+    let cell_key = cell.key();
+    let mut failures: Vec<String> = store
+        .failed
+        .iter()
+        .filter(|(k, _)| k.rsplit_once('#').map(|(c, _)| c) == Some(cell_key.as_str()))
+        .map(|(k, e)| format!("{k}: {e}"))
+        .collect();
+
+    let mut done: Vec<(u64, ShardTallies)> = Vec::new();
+    for shard_index in 0..total_shards {
+        let key = format!("{cell_key}#{shard_index}");
+        if let Some(t) = store.done.get(&key) {
+            done.push((shard_index, *t));
+        }
+    }
+    if done.is_empty() {
+        return CellResult {
+            cell: index,
+            key: cell_key,
+            report: None,
+            done_shards: 0,
+            total_shards,
+            failures,
+        };
+    }
+
+    // A fully-resumed cell has tallies but no golden from this run's
+    // workers; recompute it here (cheap relative to a campaign).
+    let golden = match observed_golden.cloned() {
+        Some(g) => Some(g),
+        None => match cell
+            .workload
+            .image()
+            .and_then(|img| run_golden(&img, &cell.config).map(|g| (*g).clone()))
+        {
+            Ok(g) => Some(g),
+            Err(e) => {
+                failures.push(format!("{cell_key}: {e}"));
+                None
+            }
+        },
+    };
+    let report = golden.map(|g| {
+        let mut report = CampaignReport::new(g.clone());
+        for (_, tallies) in &done {
+            report.merge(&tallies.to_report(g.clone()));
+        }
+        report
+    });
+    CellResult {
+        cell: index,
+        key: cell_key,
+        report,
+        done_shards: done.len() as u64,
+        total_shards,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::WorkloadSpec;
+    use cfed_core::TechniqueKind;
+    use cfed_dbt::{CheckPolicy, UpdateStyle};
+
+    const PROGRAM: &str = r#"
+        fn main() {
+            let i = 0;
+            let acc = 3;
+            while (i < 30) {
+                if (i % 3 == 0) { acc = acc * 2 + 1; } else { acc = acc + i; }
+                i = i + 1;
+            }
+            out(acc);
+        }
+    "#;
+
+    fn tiny_matrix(trials: u64, seed: u64) -> CampaignMatrix {
+        CampaignMatrix {
+            workloads: vec![WorkloadSpec::inline("tiny", PROGRAM)],
+            techniques: vec![None, Some(TechniqueKind::EdgCf), Some(TechniqueKind::Rcf)],
+            styles: vec![UpdateStyle::Jcc],
+            policies: vec![CheckPolicy::AllBb],
+            trials,
+            seed,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cfed-pool-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("run.jsonl")
+    }
+
+    #[test]
+    fn parallel_matches_serial_campaign() {
+        use cfed_core::Category;
+        for seed in [0u64, 1, 0xCF_ED_2006] {
+            let matrix = tiny_matrix(150, seed);
+            let path = tmp(&format!("eq-{seed}"));
+            let options = RunnerOptions { threads: 4, ..Default::default() };
+            let summary = run_matrix(&matrix, "eq", Some(&path), &options).unwrap();
+            assert!(summary.complete());
+            for (cell, result) in matrix.cells().iter().zip(&summary.cells) {
+                let image = cell.workload.image().unwrap();
+                let serial = cell.campaign().run(&image);
+                let parallel = result.report.as_ref().expect("cell completed");
+                for c in Category::ALL {
+                    assert_eq!(
+                        serial.category(c),
+                        parallel.category(c),
+                        "seed {seed}, {}",
+                        result.key
+                    );
+                }
+                assert_eq!(serial.skipped, parallel.skipped);
+                assert_eq!(serial.latency_totals(), parallel.latency_totals());
+                assert_eq!(serial.golden, parallel.golden);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_skips_persisted_shards() {
+        let matrix = tiny_matrix(200, 5);
+        let path = tmp("resume");
+        let options = RunnerOptions { threads: 2, max_shards: Some(4), ..Default::default() };
+        let partial = run_matrix(&matrix, "resume", Some(&path), &options).unwrap();
+        assert!(!partial.complete());
+        assert_eq!(partial.executed_shards, 4);
+
+        let finish = RunnerOptions { threads: 2, ..Default::default() };
+        let full = run_matrix(&matrix, "resume", Some(&path), &finish).unwrap();
+        assert!(full.complete());
+        assert_eq!(full.resumed_shards, 4);
+        assert_eq!(full.executed_shards + full.resumed_shards, 200u64.div_ceil(64) * 3);
+    }
+
+    #[test]
+    fn broken_workload_fails_cell_not_pool() {
+        let mut matrix = tiny_matrix(64, 0);
+        matrix.workloads.push(WorkloadSpec::inline("broken", "fn main() { this is not minic"));
+        let path = tmp("broken");
+        let summary = run_matrix(
+            &matrix,
+            "broken",
+            Some(&path),
+            &RunnerOptions { threads: 2, ..Default::default() },
+        )
+        .unwrap();
+        let broken: Vec<_> =
+            summary.cells.iter().filter(|c| c.key.contains("inline:broken")).collect();
+        assert_eq!(broken.len(), 3);
+        for cell in &broken {
+            assert!(cell.report.is_none());
+            assert!(!cell.failures.is_empty());
+        }
+        // The healthy workload still completed.
+        assert!(summary
+            .cells
+            .iter()
+            .filter(|c| c.key.contains("inline:tiny"))
+            .all(|c| c.complete()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration test for the checkpoint/resume path: a campaign killed
+//! midway (and even mid-write) must, after resuming from its JSONL store,
+//! produce tallies bit-identical to an uninterrupted run.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use cfed_core::{Category, TechniqueKind};
+use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
+use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
+
+const PROGRAM: &str = r#"
+    fn main() {
+        let i = 0;
+        let acc = 11;
+        while (i < 40) {
+            if (i % 5 == 2) { acc = acc * 2 - i; } else { acc = acc + 3; }
+            i = i + 1;
+        }
+        out(acc);
+    }
+"#;
+
+fn matrix() -> CampaignMatrix {
+    CampaignMatrix {
+        workloads: vec![WorkloadSpec::inline("kr", PROGRAM)],
+        techniques: vec![None, Some(TechniqueKind::EdgCf), Some(TechniqueKind::Rcf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: vec![CheckPolicy::AllBb],
+        trials: 256,
+        seed: 0xDECAF,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfed-kr-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("run.jsonl")
+}
+
+fn assert_summaries_equal(a: &RunSummary, b: &RunSummary) {
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.key, y.key);
+        let (rx, ry) = (x.report.as_ref().unwrap(), y.report.as_ref().unwrap());
+        for c in Category::ALL {
+            assert_eq!(rx.category(c), ry.category(c), "cell {} category {c}", x.key);
+        }
+        assert_eq!(rx.skipped, ry.skipped, "cell {}", x.key);
+        assert_eq!(rx.latency_totals(), ry.latency_totals(), "cell {}", x.key);
+        assert_eq!(rx.golden, ry.golden, "cell {}", x.key);
+    }
+}
+
+#[test]
+fn killed_then_resumed_matches_uninterrupted() {
+    let m = matrix();
+    // Reference: one uninterrupted run (ephemeral store).
+    let uninterrupted =
+        run_matrix(&m, "kr", None, &RunnerOptions { threads: 4, ..Default::default() }).unwrap();
+    assert!(uninterrupted.complete());
+
+    // "Kill" the run partway through: execute only 5 of the 12 shards.
+    let path = tmp("mid");
+    let killed = run_matrix(
+        &m,
+        "kr",
+        Some(&path),
+        &RunnerOptions { threads: 2, max_shards: Some(5), ..Default::default() },
+    )
+    .unwrap();
+    assert!(!killed.complete());
+    assert_eq!(killed.executed_shards, 5);
+
+    // Simulate dying mid-write on top of that: append half a record.
+    {
+        let mut raw = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(raw, "{{\"shard\":\"inline:kr").unwrap();
+    }
+
+    // Resume: only the remaining shards run; the half-written record is
+    // discarded, persisted shards are loaded, and the merged tallies are
+    // bit-identical to the uninterrupted run.
+    let resumed =
+        run_matrix(&m, "kr", Some(&path), &RunnerOptions { threads: 4, ..Default::default() })
+            .unwrap();
+    assert!(resumed.complete());
+    assert_eq!(resumed.resumed_shards, 5);
+    assert_eq!(resumed.executed_shards + resumed.resumed_shards, 12);
+    assert_summaries_equal(&uninterrupted, &resumed);
+
+    // A third invocation is a pure resume: nothing left to execute.
+    let noop =
+        run_matrix(&m, "kr", Some(&path), &RunnerOptions { threads: 1, ..Default::default() })
+            .unwrap();
+    assert!(noop.complete());
+    assert_eq!(noop.executed_shards, 0);
+    assert_eq!(noop.resumed_shards, 12);
+    assert_summaries_equal(&uninterrupted, &noop);
+}
+
+#[test]
+fn resume_under_different_thread_count_is_identical() {
+    let m = matrix();
+    let path_a = tmp("threads-a");
+    let path_b = tmp("threads-b");
+    let a =
+        run_matrix(&m, "kr", Some(&path_a), &RunnerOptions { threads: 1, ..Default::default() })
+            .unwrap();
+    let b =
+        run_matrix(&m, "kr", Some(&path_b), &RunnerOptions { threads: 8, ..Default::default() })
+            .unwrap();
+    assert_summaries_equal(&a, &b);
+}

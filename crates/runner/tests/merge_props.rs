@@ -1,0 +1,75 @@
+//! Property tests for the algebraic law the runner rests on:
+//! [`CampaignReport::merge`] is associative and commutative, so any
+//! shard → worker → merge schedule reduces to the same campaign tallies.
+
+use cfed_core::Category;
+use cfed_fault::{CampaignReport, CategoryStats, Golden};
+use proptest::prelude::*;
+
+fn golden() -> Golden {
+    Golden { output: vec![42], exit_code: 0, insts: 100, branches: 10 }
+}
+
+/// Builds a report from 45 raw tallies: 7 categories × 6 outcomes, plus
+/// skipped and the two latency accumulators.
+fn report_from(values: &[u64]) -> CampaignReport {
+    assert_eq!(values.len(), 45);
+    let mut stats = [CategoryStats::default(); 7];
+    for (i, slot) in stats.iter_mut().enumerate() {
+        *slot = CategoryStats {
+            detected_check: values[i * 6],
+            detected_hw: values[i * 6 + 1],
+            other_fault: values[i * 6 + 2],
+            benign: values[i * 6 + 3],
+            sdc: values[i * 6 + 4],
+            timeout: values[i * 6 + 5],
+        };
+    }
+    CampaignReport::from_parts(golden(), stats, values[42], values[43], values[44])
+}
+
+fn arb_report() -> impl Strategy<Value = CampaignReport> {
+    proptest::collection::vec(0u64..1_000_000, 45).prop_map(|v| report_from(&v))
+}
+
+fn assert_reports_equal(a: &CampaignReport, b: &CampaignReport) {
+    for c in Category::ALL {
+        assert_eq!(a.category(c), b.category(c), "category {c}");
+    }
+    assert_eq!(a.skipped, b.skipped);
+    assert_eq!(a.latency_totals(), b.latency_totals());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_report(), b in arb_report()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_reports_equal(&ab, &ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_report(), b in arb_report(), c in arb_report()) {
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_reports_equal(&left, &right);
+    }
+
+    #[test]
+    fn empty_report_is_identity(a in arb_report()) {
+        let mut merged = a.clone();
+        merged.merge(&CampaignReport::new(golden()));
+        assert_reports_equal(&merged, &a);
+    }
+}

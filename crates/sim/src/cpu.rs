@@ -285,18 +285,14 @@ impl Cpu {
                 self.ip = next;
             }
             Inst::Lea2 { dst, base, index, disp } => {
-                let v = self
-                    .reg(base)
-                    .wrapping_add(self.reg(index))
-                    .wrapping_add(disp as i64 as u64);
+                let v =
+                    self.reg(base).wrapping_add(self.reg(index)).wrapping_add(disp as i64 as u64);
                 self.set_reg(dst, v);
                 self.ip = next;
             }
             Inst::LeaSub { dst, base, index, disp } => {
-                let v = self
-                    .reg(base)
-                    .wrapping_sub(self.reg(index))
-                    .wrapping_add(disp as i64 as u64);
+                let v =
+                    self.reg(base).wrapping_sub(self.reg(index)).wrapping_add(disp as i64 as u64);
                 self.set_reg(dst, v);
                 self.ip = next;
             }
@@ -491,11 +487,11 @@ mod tests {
     #[test]
     fn call_and_ret() {
         let (mut cpu, mut mem) = machine(&[
-            Inst::Call { offset: 16 },  // 0: call 0x18
-            Inst::Halt,                 // 8
-            Inst::Nop,                  // 16 (padding)
+            Inst::Call { offset: 16 },            // 0: call 0x18
+            Inst::Halt,                           // 8
+            Inst::Nop,                            // 16 (padding)
             Inst::MovRI { dst: Reg::R0, imm: 9 }, // 24: callee
-            Inst::Ret,                  // 32
+            Inst::Ret,                            // 32
         ]);
         assert_eq!(cpu.run(&mut mem, 10), ExitReason::Halted { code: 9 });
     }
@@ -661,10 +657,8 @@ mod tests {
 
     #[test]
     fn stats_cycles_monotone() {
-        let (mut cpu, mut mem) = machine(&[
-            Inst::Ld { dst: Reg::R0, base: Reg::SP, disp: -8 },
-            Inst::Halt,
-        ]);
+        let (mut cpu, mut mem) =
+            machine(&[Inst::Ld { dst: Reg::R0, base: Reg::SP, disp: -8 }, Inst::Halt]);
         cpu.set_reg(Reg::SP, 0x6000);
         cpu.run(&mut mem, 10);
         assert!(cpu.stats().cycles > cpu.stats().insts, "loads cost > 1 cycle");

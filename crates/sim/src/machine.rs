@@ -92,7 +92,12 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if code or data do not fit their regions.
-    pub fn load_with_layout(layout: Layout, code: &[u8], data: &[u8], entry_offset: u64) -> Machine {
+    pub fn load_with_layout(
+        layout: Layout,
+        code: &[u8],
+        data: &[u8],
+        entry_offset: u64,
+    ) -> Machine {
         assert!(
             layout.code_base + code.len() as u64 <= layout.data_base,
             "code overflows its region ({} bytes)",
@@ -169,8 +174,8 @@ mod tests {
     #[test]
     fn entry_offset_respected() {
         let code = encode_all(&[
-            Inst::Halt,                                  // offset 0: not the entry
-            Inst::MovRI { dst: Reg::R0, imm: 3 },        // offset 8: entry
+            Inst::Halt,                           // offset 0: not the entry
+            Inst::MovRI { dst: Reg::R0, imm: 3 }, // offset 8: entry
             Inst::Halt,
         ]);
         let mut m = Machine::load(&code, &[], 8);
@@ -189,11 +194,8 @@ mod tests {
 
     #[test]
     fn stack_usable_immediately() {
-        let code = encode_all(&[
-            Inst::Push { src: Reg::R0 },
-            Inst::Pop { dst: Reg::R1 },
-            Inst::Halt,
-        ]);
+        let code =
+            encode_all(&[Inst::Push { src: Reg::R0 }, Inst::Pop { dst: Reg::R1 }, Inst::Halt]);
         let mut m = Machine::load(&code, &[], 0);
         assert_eq!(m.run(10), ExitReason::Halted { code: 0 });
     }

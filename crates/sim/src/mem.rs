@@ -121,10 +121,7 @@ impl Memory {
     pub fn new(size: u64) -> Memory {
         let pages = size.div_ceil(PAGE_SIZE);
         let size = pages * PAGE_SIZE;
-        Memory {
-            bytes: vec![0; size as usize],
-            page_perms: vec![Perms::NONE; pages as usize],
-        }
+        Memory { bytes: vec![0; size as usize], page_perms: vec![Perms::NONE; pages as usize] }
     }
 
     /// Total size of the address space in bytes.

@@ -123,8 +123,9 @@ mod tests {
         assert!(Trap::PermExec { addr: 0 }.is_hardware_cfe_detection());
         assert!(Trap::UnalignedFetch { addr: 1 }.is_hardware_cfe_detection());
         assert!(!Trap::DivByZero { addr: 0 }.is_hardware_cfe_detection());
-        assert!(!Trap::Software { addr: 0, code: trap_codes::CFE_DETECTED }
-            .is_hardware_cfe_detection());
+        assert!(
+            !Trap::Software { addr: 0, code: trap_codes::CFE_DETECTED }.is_hardware_cfe_detection()
+        );
     }
 
     #[test]

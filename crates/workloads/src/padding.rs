@@ -103,8 +103,7 @@ mod tests {
     fn padding_compiles_with_a_trivial_main() {
         for suite in [Suite::Int, Suite::Fp] {
             let src = format!("{}\nfn main() {{ out(1); }}", cold_code(suite, 5));
-            let image = cfed_lang::compile(&src)
-                .unwrap_or_else(|e| panic!("{suite} padding: {e}"));
+            let image = cfed_lang::compile(&src).unwrap_or_else(|e| panic!("{suite} padding: {e}"));
             assert!(image.len() > 5 * 30, "padding too small: {}", image.len());
         }
     }
@@ -122,8 +121,7 @@ mod tests {
         let count_branches = |src: &str| {
             let image = cfed_lang::compile(src).unwrap();
             let total = image.len() as f64;
-            let branches =
-                image.insts().iter().filter(|i| i.is_branch()).count() as f64;
+            let branches = image.insts().iter().filter(|i| i.is_branch()).count() as f64;
             branches / total
         };
         assert!(count_branches(&fp_src) < count_branches(&int_src));

@@ -75,8 +75,8 @@ fn outputs_match_golden() {
 fn all_workload_sources_roundtrip_through_pretty_printer() {
     for w in &ALL {
         let src = w.source(Scale::Test);
-        let prog = cfed_lang::parse(&src)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", w.name));
+        let prog =
+            cfed_lang::parse(&src).unwrap_or_else(|e| panic!("{} does not parse: {e}", w.name));
         let canon = pretty(&prog);
         let back = cfed_lang::parse(&canon)
             .unwrap_or_else(|e| panic!("{} canonical text does not parse: {e}", w.name));

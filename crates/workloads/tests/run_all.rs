@@ -56,10 +56,7 @@ fn fp_suite_has_larger_basic_blocks() {
     };
     let fp = mean(fp_workloads().collect());
     let int = mean(int_workloads().collect());
-    assert!(
-        fp > int * 1.2,
-        "fp mean block length ({fp:.2}) should clearly exceed int ({int:.2})"
-    );
+    assert!(fp > int * 1.2, "fp mean block length ({fp:.2}) should clearly exceed int ({int:.2})");
 }
 
 #[test]

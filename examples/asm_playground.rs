@@ -50,12 +50,7 @@ fn main() {
     for kind in TechniqueKind::ALL_FIVE {
         let instr = kind.instrumenter_for(&image, CheckPolicy::AllBb);
         let got = run_dbt_with(&image, instr, UpdateStyle::CMov, 10_000_000);
-        println!(
-            "{:>6}: output {:?}, cycles {} ",
-            kind.to_string(),
-            got.output,
-            got.cycles
-        );
+        println!("{:>6}: output {:?}, cycles {} ", kind.to_string(), got.output, got.cycles);
         assert_eq!(got.output, native.output, "{kind} must be transparent");
     }
 
@@ -63,11 +58,7 @@ fn main() {
     // every (branch, bit) pair, for the baseline vs RCF.
     println!("\nexhaustive fault sweep (40 branches x 38 bits = 1520 injections each):");
     for technique in [None, Some(TechniqueKind::Rcf)] {
-        let cfg = RunConfig {
-            technique,
-            style: UpdateStyle::CMov,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig { technique, style: UpdateStyle::CMov, ..RunConfig::default() };
         let report = ExhaustiveSweep::new(cfg, 40).run(&image);
         let name = technique.map_or("baseline".to_string(), |k| k.to_string());
         let s = report.sdc_prone_total();

@@ -19,7 +19,10 @@ fn report<S: SignatureScheme>(cfg: &FormalCfg, scheme: &S) {
         *by_cat.entry(m.category).or_default() += 1;
     }
     println!("\n== {} ==", scheme.name());
-    println!("  false positives: {}", if fp.is_none() { "none (necessary condition holds)" } else { "YES — scheme broken" });
+    println!(
+        "  false positives: {}",
+        if fp.is_none() { "none (necessary condition holds)" } else { "YES — scheme broken" }
+    );
     if misses.is_empty() {
         println!("  undetected single errors: none (sufficient condition holds)");
     } else {
@@ -28,7 +31,10 @@ fn report<S: SignatureScheme>(cfg: &FormalCfg, scheme: &S) {
             println!("    {cat}: {n}");
         }
         for m in misses.iter().take(3) {
-            println!("    e.g. at {} exit: logical {} but physical {} ({})", m.at, m.logical, m.physical, m.category);
+            println!(
+                "    e.g. at {} exit: logical {} but physical {} ({})",
+                m.at, m.logical, m.physical, m.category
+            );
         }
     }
 }

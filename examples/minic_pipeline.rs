@@ -29,11 +29,7 @@ fn main() {
 
     // Front end.
     let ast = parse(source).expect("parses");
-    println!(
-        "parsed: {} global(s), {} function(s)",
-        ast.globals.len(),
-        ast.functions.len()
-    );
+    println!("parsed: {} global(s), {} function(s)", ast.globals.len(), ast.functions.len());
     let info = check(&ast).expect("semantically valid");
     for (name, fi) in &info.functions {
         println!("  fn {name}: {} param(s), {} local slot(s)", fi.arity, fi.locals);
@@ -57,11 +53,8 @@ fn main() {
     // What the DBT emits for the entry block under each technique.
     for kind in TechniqueKind::ALL {
         let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
-        let mut dbt = Dbt::new(
-            kind.instrumenter(cfed::dbt::CheckPolicy::AllBb),
-            UpdateStyle::Jcc,
-            &mut m,
-        );
+        let mut dbt =
+            Dbt::new(kind.instrumenter(cfed::dbt::CheckPolicy::AllBb), UpdateStyle::Jcc, &mut m);
         dbt.attach(&mut m).expect("attach");
         let entry = dbt.lookup(image.entry()).expect("entry translated");
         let len = (entry.cache_end - entry.cache_start) as usize;

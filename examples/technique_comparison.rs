@@ -56,10 +56,7 @@ fn main() {
 
     // Coverage: small deterministic injection campaign per technique.
     println!("\nfault-injection coverage (120 faults each, CMOVcc style):");
-    println!(
-        "{:>9} | {:>9} {:>9} {:>9} {:>9}",
-        "", "detected", "benign", "SDC", "A–E cover"
-    );
+    println!("{:>9} | {:>9} {:>9} {:>9} {:>9}", "", "detected", "benign", "SDC", "A–E cover");
     let mut configs = vec![None];
     configs.extend(TechniqueKind::ALL_FIVE.into_iter().rev().map(Some));
     for technique in configs {

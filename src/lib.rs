@@ -17,7 +17,9 @@
 //!   framework with executable single-error enumeration;
 //! * [`fault`] — the §2 single-bit error model and fault-injection
 //!   campaigns;
-//! * [`workloads`] — 26 SPEC2000-analog guest programs.
+//! * [`workloads`] — 26 SPEC2000-analog guest programs;
+//! * [`runner`] — sharded parallel campaign engine with a checkpointed
+//!   JSONL result store (the `cfed-campaign` binary).
 //!
 //! ## Quickstart
 //!
@@ -37,5 +39,6 @@ pub use cfed_dbt as dbt;
 pub use cfed_fault as fault;
 pub use cfed_isa as isa;
 pub use cfed_lang as lang;
+pub use cfed_runner as runner;
 pub use cfed_sim as sim;
 pub use cfed_workloads as workloads;

@@ -39,8 +39,7 @@ fn policies_trade_checking_for_speed_on_a_real_workload() {
     let image = by_name("176.gcc").unwrap().image(Scale::Test).unwrap();
     let mut last = u64::MAX;
     for policy in CheckPolicy::ALL {
-        let cfg =
-            RunConfig { technique: Some(TechniqueKind::Rcf), policy, ..RunConfig::default() };
+        let cfg = RunConfig { technique: Some(TechniqueKind::Rcf), policy, ..RunConfig::default() };
         let out = run_dbt(&image, &cfg);
         assert!(matches!(out.exit, DbtExit::Halted { .. }));
         assert!(out.cycles <= last, "{policy} should not cost more than its stricter neighbour");
@@ -97,7 +96,10 @@ fn rcf_jcc_beats_edgcf_jcc_on_inserted_branch_errors() {
     }
     let edg_sdc: u64 = Category::SDC_PRONE.iter().map(|&c| edg.category(c).sdc).sum();
     let rcf_sdc: u64 = Category::SDC_PRONE.iter().map(|&c| rcf.category(c).sdc).sum();
-    assert!(rcf_sdc <= edg_sdc, "RCF-Jcc ({rcf_sdc}) must not leak more than EdgCF-Jcc ({edg_sdc})");
+    assert!(
+        rcf_sdc <= edg_sdc,
+        "RCF-Jcc ({rcf_sdc}) must not leak more than EdgCF-Jcc ({edg_sdc})"
+    );
 }
 
 #[test]
@@ -111,10 +113,7 @@ fn detection_latency_grows_with_relaxed_policies() {
     };
     let allbb = latency(CheckPolicy::AllBb).expect("ALLBB detects something");
     let end = latency(CheckPolicy::End).expect("END still detects at program end");
-    assert!(
-        end > allbb * 3.0,
-        "END latency ({end:.0}) should far exceed ALLBB ({allbb:.0})"
-    );
+    assert!(end > allbb * 3.0, "END latency ({end:.0}) should far exceed ALLBB ({allbb:.0})");
 }
 
 #[test]

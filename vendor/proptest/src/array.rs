@@ -1,0 +1,29 @@
+//! Fixed-size array strategies (`prop::array::uniform8`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; N]` with every element from the same strategy.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+/// An 8-element array of values from `element`.
+pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+    UniformArray(element)
+}
+
+/// A 4-element array of values from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray(element)
+}
+
+/// A 16-element array of values from `element`.
+pub fn uniform16<S: Strategy>(element: S) -> UniformArray<S, 16> {
+    UniformArray(element)
+}

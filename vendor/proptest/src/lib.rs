@@ -1,0 +1,119 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing engine implementing the API subset
+//! its test suites use: the [`proptest!`], [`prop_compose!`] and
+//! [`prop_oneof!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `boxed`, [`arbitrary::any`], integer
+//! ranges and string patterns as strategies, and the `prop::collection` /
+//! `prop::array` helpers.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message of the assertion that failed) but is not minimized.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **Deterministic seeding.** Cases derive from a fixed per-test seed,
+//!   so runs are reproducible — a failure seen once recurs every run.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the test suites import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test (stand-in: panics like
+/// `assert!`, failing the whole test immediately — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Builds a [`strategy::Union`] choosing uniformly among the given
+/// strategies (all must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name()(binding in strategy, ...) -> Output { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident()
+        ($($arg:ident in $strategy:expr),+ $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strategy,)+),
+                |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| $body,
+                );
+            }
+        )*
+    };
+}

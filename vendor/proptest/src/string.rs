@@ -1,0 +1,49 @@
+//! String-pattern strategies: a `&str` acts as a strategy generating
+//! strings, as in upstream proptest.
+//!
+//! Stand-in scope: upstream interprets the string as a full regex. This
+//! implementation recognizes the shape the workspace uses — a character
+//! atom followed by a `{m,n}` repetition (e.g. `"\\PC{0,200}"`, "up to 200
+//! printable characters") — and otherwise falls back to the literal with
+//! no repetition. Generated characters are mostly printable ASCII with a
+//! sprinkling of non-ASCII scalars, which is what grammar-robustness
+//! fuzzing wants.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+fn rep_range(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || close <= open {
+        return None;
+    }
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    if rng.rng.gen_bool(0.95) {
+        rng.rng.gen_range(0x20u32..0x7F) as u8 as char
+    } else {
+        // Occasional non-ASCII printable scalars to stress the lexer.
+        const EXOTIC: [char; 8] = ['é', 'Ω', '中', '🦀', '÷', '«', '\u{2028}', 'ß'];
+        EXOTIC[rng.rng.gen_range(0..EXOTIC.len())]
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match rep_range(self) {
+            Some((lo, hi)) => {
+                let len = rng.rng.gen_range(lo..hi + 1);
+                (0..len).map(|_| random_char(rng)).collect()
+            }
+            // No recognized repetition: treat the pattern as a literal.
+            None => (*self).to_string(),
+        }
+    }
+}

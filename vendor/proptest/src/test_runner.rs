@@ -1,0 +1,68 @@
+//! Case runner and configuration.
+
+use crate::strategy::Strategy;
+use rand::{SeedableRng as _, StdRng};
+
+/// Property-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// RNG handed to strategies. Wraps the workspace [`StdRng`] so strategies
+/// can use the full `rand` sampling API.
+pub struct TestRng {
+    /// Underlying generator.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for one test case.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` over `config.cases` generated inputs. Seeding is deterministic
+/// per (test name, case index), so failures reproduce on every run. A
+/// panicking case fails the test; the case index is reported so the input
+/// can be regenerated.
+pub fn run_cases<S, F>(name: &str, config: &Config, strategy: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        let value = strategy.generate(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+        if let Err(payload) = result {
+            eprintln!("proptest stand-in: {name} failed at case {case}/{}", config.cases);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
