@@ -3,18 +3,39 @@
 //! policy), with per-suite and overall geometric means, plus the §6
 //! DBT-over-native baseline statistic.
 //!
+//! With `--events PATH`, every DBT run additionally emits a `dbt_stats`
+//! telemetry event (translation-time histogram, block/chain counters) to a
+//! JSONL sink at PATH.
+//!
 //! Usage: `cargo run --release -p cfed-bench --bin fig12_slowdown -- [OPTIONS]`
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use cfed_runner::cli::Parser;
+use cfed_telemetry::{JsonlSink, Telemetry};
 
 fn main() {
     let args = Parser::new("fig12_slowdown", "Figure 12 per-benchmark technique slowdowns")
         .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .flag("events", "PATH", "", "write dbt_stats telemetry events (JSONL) to PATH")
         .parse();
-    let scale = args.get_scale("scale").unwrap_or_else(|e| {
-        eprintln!("fig12_slowdown: {e}");
+    let die = |message: String| -> ! {
+        eprintln!("fig12_slowdown: {message}");
         std::process::exit(2);
-    });
-    let rows = cfed_bench::fig12(scale);
+    };
+    let scale = args.get_scale("scale").unwrap_or_else(|e| die(e));
+    let telemetry = match args.get("events").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| die(format!("creating {}: {e}", dir.display())));
+            }
+            Telemetry::to(Arc::new(JsonlSink::create(&path).unwrap_or_else(|e| die(e))))
+        }
+        None => Telemetry::off(),
+    };
+    let rows = cfed_bench::fig12_telemetry(scale, &telemetry);
     println!("{}", cfed_bench::render_fig12(&rows));
 }

@@ -12,11 +12,14 @@
 //! | Figure 15 (checking policies) | [`fig15`] | `fig15_policies` |
 //! | §3/§4 coverage claims | [`coverage`] | `coverage_matrix` |
 
-use cfed_core::{geomean, run_dbt, run_native, Category, RunConfig, TechniqueKind};
+use cfed_core::{
+    geomean, run_dbt, run_dbt_telemetry, run_native, Category, RunConfig, TechniqueKind,
+};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
 use cfed_fault::{analyze_image, CampaignReport, CategoryStats, ErrorModelTable};
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
 use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
+use cfed_telemetry::Telemetry;
 use cfed_workloads::{Scale, Suite, Workload, ALL};
 
 /// Default campaign seed of the injection harnesses (the historical
@@ -99,12 +102,23 @@ pub struct SlowdownRow {
 
 /// Figure 12 data: per-benchmark technique slowdowns (Jcc update, ALLBB).
 pub fn fig12(scale: Scale) -> Vec<SlowdownRow> {
+    fig12_telemetry(scale, &Telemetry::off())
+}
+
+/// As [`fig12`], with each DBT run attached to a telemetry handle: every
+/// run end emits a `dbt_stats` event (translation-time histogram, block
+/// and chain counters) to the handle's sink. The disabled handle costs
+/// one untaken branch per emit site, which is what the `< 3%` telemetry
+/// overhead bound on this figure is measured against.
+pub fn fig12_telemetry(scale: Scale, telemetry: &Telemetry) -> Vec<SlowdownRow> {
     ALL.iter()
         .map(|w| {
             let img = image(w, scale);
             let native = run_native(&img, u64::MAX);
-            let base = run_dbt(&img, &RunConfig::baseline());
-            let cycles = |kind| run_dbt(&img, &RunConfig::technique(kind)).cycles as f64;
+            let base = run_dbt_telemetry(&img, &RunConfig::baseline(), telemetry);
+            let cycles = |kind| {
+                run_dbt_telemetry(&img, &RunConfig::technique(kind), telemetry).cycles as f64
+            };
             SlowdownRow {
                 name: w.name,
                 suite: w.suite,

@@ -44,7 +44,8 @@ pub use classify::{
     classify_addr_fault, classify_flag_fault, BlockLayout, BranchFault, CacheLayout,
 };
 pub use run::{
-    geomean, run_dbt, run_dbt_with, run_native, slowdown, RunConfig, RunOutcome, DEFAULT_MAX_INSTS,
+    geomean, run_dbt, run_dbt_telemetry, run_dbt_with, run_dbt_with_telemetry, run_native,
+    slowdown, RunConfig, RunOutcome, DEFAULT_MAX_INSTS,
 };
 pub use techniques::{
     CfcssInstrumenter, EccaInstrumenter, EcfInstrumenter, EdgCfInstrumenter, RcfInstrumenter,

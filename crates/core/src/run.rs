@@ -6,6 +6,7 @@ use crate::techniques::TechniqueKind;
 use cfed_asm::Image;
 use cfed_dbt::{CheckPolicy, Dbt, DbtExit, DbtStats, NullInstrumenter, UpdateStyle};
 use cfed_sim::{ExitReason, Machine};
+use cfed_telemetry::Telemetry;
 
 /// Default instruction budget for experiment runs.
 pub const DEFAULT_MAX_INSTS: u64 = 200_000_000;
@@ -77,11 +78,19 @@ pub struct RunOutcome {
 /// # Ok::<(), cfed_lang::CompileError>(())
 /// ```
 pub fn run_dbt(image: &Image, cfg: &RunConfig) -> RunOutcome {
+    run_dbt_telemetry(image, cfg, &Telemetry::off())
+}
+
+/// As [`run_dbt`], with a telemetry handle attached to the translator: the
+/// run end emits a `dbt_stats` event (block/chain/eviction counters and
+/// the translation-time histogram) to the handle's sink. With the disabled
+/// handle this is exactly [`run_dbt`].
+pub fn run_dbt_telemetry(image: &Image, cfg: &RunConfig, telemetry: &Telemetry) -> RunOutcome {
     let instr: Box<dyn cfed_dbt::Instrumenter> = match cfg.technique {
         Some(kind) => kind.instrumenter_for(image, cfg.policy),
         None => Box::new(NullInstrumenter),
     };
-    run_dbt_with(image, instr, cfg.style, cfg.max_insts)
+    run_dbt_with_telemetry(image, instr, cfg.style, cfg.max_insts, telemetry)
 }
 
 /// Runs `image` under the DBT with an explicit instrumenter (for custom or
@@ -92,8 +101,20 @@ pub fn run_dbt_with(
     style: UpdateStyle,
     max_insts: u64,
 ) -> RunOutcome {
+    run_dbt_with_telemetry(image, instr, style, max_insts, &Telemetry::off())
+}
+
+/// The fully-general harness: explicit instrumenter plus telemetry handle.
+pub fn run_dbt_with_telemetry(
+    image: &Image,
+    instr: Box<dyn cfed_dbt::Instrumenter>,
+    style: UpdateStyle,
+    max_insts: u64,
+    telemetry: &Telemetry,
+) -> RunOutcome {
     let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
     let mut dbt = Dbt::new(instr, style, &mut m);
+    dbt.set_telemetry(telemetry.clone());
     let exit = dbt.run(&mut m, max_insts);
     RunOutcome {
         exit,

@@ -16,6 +16,7 @@ use crate::cache::{patch_inst, CacheAsm};
 use crate::instrument::{regs, BlockView, Instrumenter, UpdateStyle};
 use cfed_isa::{Inst, INST_SIZE_U64};
 use cfed_sim::{trap_codes, Machine, Memory, Perms, Trap, PAGE_SIZE};
+use cfed_telemetry::{Event, Histogram, Telemetry, Timer};
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 
@@ -25,6 +26,11 @@ pub const DEFAULT_DISPATCH_CYCLES: u64 = 12;
 
 /// Maximum guest instructions per translated block.
 const MAX_BLOCK_INSTS: usize = 512;
+
+/// Headroom the cache keeps free for the next translation: when the cursor
+/// gets within this of the usable end, the whole cache is evicted first (a
+/// single translation is bounded well below this by [`MAX_BLOCK_INSTS`]).
+const EVICT_RESERVE: u64 = 64 * 1024;
 
 /// Result of one supervised execution step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +72,11 @@ pub struct DbtStats {
     pub smc_flushes: u64,
     /// Unconditional jumps elided by trace formation (jump inlining).
     pub inlined_jumps: u64,
+    /// Full code-cache evictions (cache pressure flushed every block).
+    pub cache_evictions: u64,
+    /// Blocks translated again after their translation was discarded by an
+    /// eviction or an SMC flush.
+    pub retranslations: u64,
 }
 
 /// A translated block's metadata.
@@ -134,6 +145,18 @@ pub struct Dbt {
     inline_jumps: bool,
     stats: DbtStats,
     attached: bool,
+    /// Usable cache end; `set_cache_limit` lowers it to force eviction.
+    cache_limit: u64,
+    /// Cursor value right after the shared stubs — the reset point for a
+    /// full eviction.
+    base_cursor: u64,
+    /// Bumped by every full eviction; exit indices and patch sites from an
+    /// older generation are invalid.
+    flush_gen: u64,
+    /// Guest block starts ever translated, to count retranslations.
+    seen_starts: HashSet<u64>,
+    trans_us: Histogram,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Dbt {
@@ -156,6 +179,7 @@ impl Dbt {
         // The `.report_error` target of every signature check.
         let err_stub = a.emit(Inst::Trap { code: trap_codes::CFE_DETECTED });
         let cursor = a.finish();
+        let cache_limit = cache.end;
         Dbt {
             instr,
             style,
@@ -172,6 +196,12 @@ impl Dbt {
             inline_jumps: false,
             stats: DbtStats::default(),
             attached: false,
+            cache_limit,
+            base_cursor: cursor,
+            flush_gen: 0,
+            seen_starts: HashSet::new(),
+            trans_us: Histogram::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -186,6 +216,46 @@ impl Dbt {
     /// Overrides the per-dispatch cycle charge (cost-model ablation).
     pub fn set_dispatch_cycles(&mut self, cycles: u64) {
         self.dispatch_cycles = cycles;
+    }
+
+    /// Lowers the usable cache end to force eviction under test-sized
+    /// workloads (clamped to leave room for the shared stubs plus one
+    /// translation's reserve).
+    pub fn set_cache_limit(&mut self, limit_end: u64) {
+        self.cache_limit = limit_end.clamp(self.base_cursor + EVICT_RESERVE, self.cache.end);
+    }
+
+    /// Attaches a telemetry handle; [`Dbt::emit_stats`] and run-end
+    /// reporting go through it. Disabled handles cost one branch per emit
+    /// site, never per executed instruction.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Per-block translation times in microseconds.
+    pub fn translation_hist(&self) -> &Histogram {
+        &self.trans_us
+    }
+
+    /// Emits a `dbt_stats` event carrying every counter and the
+    /// translation-time histogram. Called automatically when [`Dbt::run`]
+    /// finishes; call it directly when driving [`Dbt::step`] by hand.
+    pub fn emit_stats(&self) {
+        let s = self.stats;
+        self.telemetry.emit_with(|| {
+            Event::new("dbt_stats")
+                .str("technique", self.instr.name())
+                .u64("blocks", s.blocks)
+                .u64("guest_insts", s.guest_insts)
+                .u64("cache_insts", s.cache_insts)
+                .u64("chains", s.chains)
+                .u64("dispatches", s.dispatches)
+                .u64("smc_flushes", s.smc_flushes)
+                .u64("inlined_jumps", s.inlined_jumps)
+                .u64("cache_evictions", s.cache_evictions)
+                .u64("retranslations", s.retranslations)
+                .json("translate_us", self.trans_us.to_json())
+        });
     }
 
     /// The technique driving instrumentation.
@@ -248,7 +318,7 @@ impl Dbt {
                 return DbtStep::Exit(t);
             }
         }
-        match m.cpu.step(&mut m.mem) {
+        match m.step_cpu() {
             Ok(cfed_sim::Step::Continue) => DbtStep::Continue,
             Ok(cfed_sim::Step::Halt) => DbtStep::Halted,
             Err(Trap::Software { code, .. })
@@ -274,12 +344,19 @@ impl Dbt {
         let start = m.cpu.stats().insts;
         loop {
             if m.cpu.stats().insts - start >= max_insts {
+                self.emit_stats();
                 return DbtExit::StepLimit;
             }
             match self.step(m) {
                 DbtStep::Continue => {}
-                DbtStep::Halted => return DbtExit::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) },
-                DbtStep::Exit(t) => return DbtExit::Trapped(t),
+                DbtStep::Halted => {
+                    self.emit_stats();
+                    return DbtExit::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) };
+                }
+                DbtStep::Exit(t) => {
+                    self.emit_stats();
+                    return DbtExit::Trapped(t);
+                }
             }
         }
     }
@@ -287,10 +364,18 @@ impl Dbt {
     fn service_exit(&mut self, m: &mut Machine, idx: usize) -> DbtStep {
         match self.exits[idx].kind {
             ExitKind::Direct { guest_target, site } => {
+                let gen = self.flush_gen;
                 let cache_target = match self.translate(m, guest_target) {
                     Ok(c) => c,
                     Err(t) => return DbtStep::Exit(t),
                 };
+                if self.flush_gen != gen {
+                    // Translating evicted the cache; the exit site (and its
+                    // descriptor index) died with the old generation. Enter
+                    // the fresh translation directly instead of patching.
+                    m.cpu.set_ip(cache_target);
+                    return DbtStep::Continue;
+                }
                 patch_inst(
                     &mut m.mem,
                     site,
@@ -337,6 +422,13 @@ impl Dbt {
         if !self.guest_code.contains(&guest_addr) {
             return Err(Trap::PermExec { addr: guest_addr });
         }
+        if self.cursor + EVICT_RESERVE > self.cache_limit {
+            self.evict_all(m);
+        }
+        if !self.seen_starts.insert(guest_addr) {
+            self.stats.retranslations += 1;
+        }
+        let timer = Timer::start();
 
         // ---- decode the guest block (optionally extended into a trace) ----
         let mut insts = Vec::new();
@@ -568,8 +660,28 @@ impl Dbt {
         }
 
         self.cursor = cache_end;
-        assert!(self.cursor <= self.cache.end, "code cache exhausted");
+        assert!(self.cursor <= self.cache_limit, "code cache exhausted");
+        timer.observe_into(&mut self.trans_us);
         Ok(cache_start)
+    }
+
+    /// Discards every translation: clears the block index, exit
+    /// descriptors, chain records and page protections, and resets the
+    /// cursor to just past the shared stubs. Bumps the flush generation so
+    /// in-flight exit servicing knows its descriptor index is stale. The
+    /// old cache bytes stay in memory but become unreachable — nothing
+    /// chains into them and the dispatcher only enters fresh translations.
+    fn evict_all(&mut self, m: &mut Machine) {
+        for page in self.protected_pages.drain() {
+            m.mem.unprotect_page(page);
+        }
+        self.blocks.clear();
+        self.exits.clear();
+        self.patched_by_target.clear();
+        self.blocks_by_page.clear();
+        self.cursor = self.base_cursor;
+        self.flush_gen += 1;
+        self.stats.cache_evictions += 1;
     }
 
     /// Emits the transfer to a guest target: a direct chain jump when the

@@ -1,13 +1,23 @@
 //! Fault-injection campaigns: many randomized single-bit faults, aggregated
 //! into a per-category coverage matrix.
 
-use crate::inject::{golden_run, inject, FaultSpec, Golden, Outcome};
+use crate::inject::{golden_run, inject, FaultSpec, Golden, InjectionResult, Outcome};
 use cfed_asm::Image;
 use cfed_core::{Category, RunConfig};
 use cfed_isa::{Flags, OFFSET_BITS};
+use cfed_telemetry::Histogram;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Latency histograms per category × outcome, in [`Category::ALL`] ×
+/// [`Outcome::ALL`] order — the exact-merge replacement for the old lossy
+/// global `latency_sum/latency_n` pair.
+pub type LatencyGrid = [[Histogram; 6]; 7];
+
+fn empty_grid() -> LatencyGrid {
+    std::array::from_fn(|_| std::array::from_fn(|_| Histogram::new()))
+}
 
 /// Outcome tallies for one branch-error category.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -117,6 +127,21 @@ impl Campaign {
     /// same fault space as the §2 error model, but executed rather than
     /// classified hypothetically.
     pub fn run_shard(&self, image: &Image, golden: &Golden, shard_index: u64) -> CampaignReport {
+        self.run_shard_with(image, golden, shard_index, |_, _| {})
+    }
+
+    /// As [`Campaign::run_shard`], invoking `observer` with every placed
+    /// trial's spec and result. Observers are for side channels —
+    /// telemetry events, forensics capture of interesting outcomes — and
+    /// must not influence the tallies; the report is identical to the
+    /// observer-free path.
+    pub fn run_shard_with(
+        &self,
+        image: &Image,
+        golden: &Golden,
+        shard_index: u64,
+        mut observer: impl FnMut(FaultSpec, &InjectionResult),
+    ) -> CampaignReport {
         let mut rng = StdRng::seed_from_u64(self.shard_seed(shard_index));
         let mut report = CampaignReport::new(golden.clone());
         for _ in 0..self.shard_trials(shard_index) {
@@ -128,6 +153,7 @@ impl Campaign {
                 FaultSpec::FlagBit { nth, bit: bit - OFFSET_BITS as u8 }
             };
             if let Some(r) = inject(image, &self.config, spec, golden) {
+                observer(spec, &r);
                 report.record(r.category, r.outcome, r.latency_insts);
             } else {
                 report.skipped += 1;
@@ -211,10 +237,9 @@ pub struct CampaignReport {
     stats: [CategoryStats; 7],
     /// Injections that could not be placed (program ended first).
     pub skipped: u64,
-    /// Sum/count of detection latencies (instructions from injection to
-    /// check report), over `DetectedByCheck` outcomes.
-    latency_sum: u64,
-    latency_n: u64,
+    /// Detection-latency histograms (instructions from injection to end of
+    /// run) per category × outcome.
+    lat: LatencyGrid,
 }
 
 fn cat_idx(c: Category) -> usize {
@@ -228,30 +253,26 @@ impl CampaignReport {
             golden,
             stats: [CategoryStats::default(); 7],
             skipped: 0,
-            latency_sum: 0,
-            latency_n: 0,
+            lat: empty_grid(),
         }
     }
 
     /// Reconstructs a report from persisted tallies (the JSONL resume path
-    /// of `cfed-runner`). `stats` is in [`Category::ALL`] order.
+    /// of `cfed-runner`). `stats` is in [`Category::ALL`] order, `lat` in
+    /// [`Category::ALL`] × [`Outcome::ALL`] order.
     pub fn from_parts(
         golden: Golden,
         stats: [CategoryStats; 7],
         skipped: u64,
-        latency_sum: u64,
-        latency_n: u64,
+        lat: LatencyGrid,
     ) -> CampaignReport {
-        CampaignReport { golden, stats, skipped, latency_sum, latency_n }
+        CampaignReport { golden, stats, skipped, lat }
     }
 
     /// Records one injection outcome.
     pub fn record(&mut self, category: Category, outcome: Outcome, latency: u64) {
         self.stats[cat_idx(category)].record(outcome);
-        if outcome == Outcome::DetectedByCheck {
-            self.latency_sum += latency;
-            self.latency_n += 1;
-        }
+        self.lat[cat_idx(category)][outcome.idx()].record(latency);
     }
 
     /// Folds another report's tallies into this one. Associative and
@@ -273,14 +294,38 @@ impl CampaignReport {
             into.timeout += from.timeout;
         }
         self.skipped += other.skipped;
-        self.latency_sum += other.latency_sum;
-        self.latency_n += other.latency_n;
+        for (into_row, from_row) in self.lat.iter_mut().zip(other.lat.iter()) {
+            for (into, from) in into_row.iter_mut().zip(from_row.iter()) {
+                into.merge(from);
+            }
+        }
     }
 
-    /// The raw detection-latency accumulators `(sum, count)` over
-    /// `DetectedByCheck` outcomes — what the JSONL store persists.
+    /// The latency histogram of one category × outcome cell.
+    pub fn latency_hist(&self, c: Category, o: Outcome) -> &Histogram {
+        &self.lat[cat_idx(c)][o.idx()]
+    }
+
+    /// The full latency grid, for persistence.
+    pub fn latency_grid(&self) -> &LatencyGrid {
+        &self.lat
+    }
+
+    /// Detection latencies over `DetectedByCheck` outcomes, merged across
+    /// categories (the paper's Fig. 15 quantity).
+    pub fn detection_latency_hist(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for row in &self.lat {
+            h.merge(&row[Outcome::DetectedByCheck.idx()]);
+        }
+        h
+    }
+
+    /// The detection-latency accumulators `(sum, count)` over
+    /// `DetectedByCheck` outcomes — exact, derived from the histograms.
     pub fn latency_totals(&self) -> (u64, u64) {
-        (self.latency_sum, self.latency_n)
+        let h = self.detection_latency_hist();
+        (h.sum(), h.count())
     }
 
     /// Tallies for one category.
@@ -305,7 +350,7 @@ impl CampaignReport {
 
     /// Mean instructions between injection and a check-based detection.
     pub fn mean_detection_latency(&self) -> Option<f64> {
-        (self.latency_n > 0).then(|| self.latency_sum as f64 / self.latency_n as f64)
+        self.detection_latency_hist().mean()
     }
 
     /// Renders a per-category outcome table.
@@ -450,6 +495,53 @@ mod tests {
         }
         assert_eq!(serial.skipped, merged.skipped);
         assert_eq!(serial.latency_totals(), merged.latency_totals());
+        // Exact mergeability extends to every latency histogram cell.
+        for cat in Category::ALL {
+            for o in Outcome::ALL {
+                assert_eq!(serial.latency_hist(cat, o), merged.latency_hist(cat, o));
+            }
+        }
+    }
+
+    #[test]
+    fn observer_does_not_change_tallies() {
+        let img = image();
+        let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 30);
+        let golden = crate::inject::golden_run(&img, &c.config);
+        let plain = c.run_shard(&img, &golden, 0);
+        let mut observed = 0u64;
+        let with = c.run_shard_with(&img, &golden, 0, |_, _| observed += 1);
+        for cat in Category::ALL {
+            assert_eq!(plain.category(cat), with.category(cat));
+        }
+        assert_eq!(plain.latency_totals(), with.latency_totals());
+        let placed: u64 = Category::ALL.iter().map(|&c| with.category(c).total()).sum();
+        assert_eq!(observed, placed);
+    }
+
+    #[test]
+    fn latency_recorded_for_every_outcome() {
+        let img = image();
+        let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 120);
+        let r = c.run(&img);
+        for cat in Category::ALL {
+            let s = r.category(cat);
+            let per_outcome = [
+                (s.detected_check, Outcome::DetectedByCheck),
+                (s.detected_hw, Outcome::DetectedByHw),
+                (s.other_fault, Outcome::OtherFault),
+                (s.benign, Outcome::Benign),
+                (s.sdc, Outcome::Sdc),
+                (s.timeout, Outcome::Timeout),
+            ];
+            for (tally, o) in per_outcome {
+                assert_eq!(
+                    r.latency_hist(cat, o).count(),
+                    tally,
+                    "histogram count must match tally for {cat} / {o}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Forensics bundles: what executed around a fault that ended badly.
+//!
+//! When a campaign trial produces silent data corruption, a timeout, or a
+//! misdetection (a fault classified as harmless that was not benign), the
+//! runner re-injects the *same* deterministic fault with an execution
+//! tracer attached and packages the evidence: the faulted instruction
+//! address, the flipped bit, the classification, and the tracer's last-N
+//! instruction window and branch history ending at the detection point.
+
+use crate::inject::{inject_traced, FaultSpec, Golden, InjectionResult, Outcome};
+use cfed_asm::Image;
+use cfed_core::{Category, RunConfig};
+use cfed_telemetry::json::{obj, Json};
+
+/// Default instruction-window length retained by forensics captures.
+pub const DEFAULT_TRACE_WINDOW: usize = 64;
+
+/// Evidence package for one interesting trial.
+#[derive(Debug, Clone)]
+pub struct ForensicsBundle {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// The (re-produced) result.
+    pub result: InjectionResult,
+    /// The tracer export: `{"retired":…,"window":[…],"branches":[…]}`,
+    /// oldest first, ending at the detection point.
+    pub trace: Json,
+}
+
+impl ForensicsBundle {
+    /// Whether a trial's result warrants a forensics capture: SDC, a
+    /// timeout, or a misdetection (classified [`Category::NoError`] — the
+    /// flipped bit supposedly could not change control flow — yet the run
+    /// was not benign).
+    pub fn wanted(result: &InjectionResult) -> bool {
+        matches!(result.outcome, Outcome::Sdc | Outcome::Timeout)
+            || (result.category == Category::NoError && result.outcome != Outcome::Benign)
+    }
+
+    /// Re-injects `spec` with a tracer of `window` instructions attached
+    /// and bundles the evidence. Injection is deterministic, so the result
+    /// matches the plain trial's. Returns `None` if the fault cannot be
+    /// placed (which a previously-placed trial never hits).
+    pub fn capture(
+        image: &Image,
+        cfg: &RunConfig,
+        spec: FaultSpec,
+        golden: &Golden,
+        window: usize,
+    ) -> Option<ForensicsBundle> {
+        let (result, tracer) = inject_traced(image, cfg, spec, golden, window)?;
+        Some(ForensicsBundle { spec, result, trace: tracer.export() })
+    }
+
+    /// Serializes the bundle for the JSONL event sink.
+    pub fn to_json(&self) -> Json {
+        let (kind, nth, bit) = match self.spec {
+            FaultSpec::AddrBit { nth, bit } => ("addr_bit", nth, bit),
+            FaultSpec::FlagBit { nth, bit } => ("flag_bit", nth, bit),
+        };
+        obj(vec![
+            ("fault", Json::Str(kind.to_string())),
+            ("nth_branch", Json::UInt(nth)),
+            ("flipped_bit", Json::UInt(bit as u64)),
+            ("site", Json::UInt(self.result.site)),
+            ("category", Json::Str(self.result.category.to_string())),
+            ("outcome", Json::Str(self.result.outcome.to_string())),
+            ("latency_insts", Json::UInt(self.result.latency_insts)),
+            ("trace", self.trace.clone()),
+        ])
+    }
+}

@@ -59,6 +59,28 @@ pub enum Outcome {
 }
 
 impl Outcome {
+    /// All outcomes, in the order campaign reports index them.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::DetectedByCheck,
+        Outcome::DetectedByHw,
+        Outcome::OtherFault,
+        Outcome::Benign,
+        Outcome::Sdc,
+        Outcome::Timeout,
+    ];
+
+    /// This outcome's position in [`Outcome::ALL`].
+    pub fn idx(self) -> usize {
+        match self {
+            Outcome::DetectedByCheck => 0,
+            Outcome::DetectedByHw => 1,
+            Outcome::OtherFault => 2,
+            Outcome::Benign => 3,
+            Outcome::Sdc => 4,
+            Outcome::Timeout => 5,
+        }
+    }
+
     /// Whether the error was detected (by software or hardware) before
     /// producing silent data corruption.
     pub fn is_detected(self) -> bool {
@@ -163,7 +185,37 @@ pub fn inject(
     spec: FaultSpec,
     golden: &Golden,
 ) -> Option<InjectionResult> {
+    inject_inner(image, cfg, spec, golden, None).map(|(r, _)| r)
+}
+
+/// As [`inject`], but with an execution tracer of `capacity` instructions
+/// attached, returning the result alongside the tracer at its final state
+/// — the last-N window ends at the detection point (the trapping
+/// instruction itself never commits, hence never appears). Injection is
+/// deterministic, so re-running a plain [`inject`] trial through here
+/// reproduces the identical outcome with forensics attached.
+pub fn inject_traced(
+    image: &Image,
+    cfg: &RunConfig,
+    spec: FaultSpec,
+    golden: &Golden,
+    capacity: usize,
+) -> Option<(InjectionResult, cfed_sim::Tracer)> {
+    inject_inner(image, cfg, spec, golden, Some(capacity))
+        .map(|(r, t)| (r, t.expect("tracer attached")))
+}
+
+fn inject_inner(
+    image: &Image,
+    cfg: &RunConfig,
+    spec: FaultSpec,
+    golden: &Golden,
+    trace_capacity: Option<usize>,
+) -> Option<(InjectionResult, Option<cfed_sim::Tracer>)> {
     let (mut m, mut dbt) = build(image, cfg);
+    if let Some(capacity) = trace_capacity {
+        m.attach_tracer(capacity);
+    }
     let budget = golden.insts * 3 + 100_000;
     let mut seen_branches = 0u64;
 
@@ -211,12 +263,13 @@ pub fn inject(
         }
     };
 
-    Some(InjectionResult {
+    let result = InjectionResult {
         outcome,
         category,
         site,
         latency_insts: m.cpu.stats().insts - insts_at_injection,
-    })
+    };
+    Some((result, m.tracer.take()))
 }
 
 /// Scans straight-line code from `from` for the next flag-reading branch

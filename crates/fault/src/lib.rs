@@ -27,8 +27,12 @@
 
 pub mod campaign;
 pub mod error_model;
+pub mod forensics;
 pub mod inject;
 
-pub use campaign::{Campaign, CampaignReport, CategoryStats, ExhaustiveSweep, SHARD_TRIALS};
+pub use campaign::{
+    Campaign, CampaignReport, CategoryStats, ExhaustiveSweep, LatencyGrid, SHARD_TRIALS,
+};
 pub use error_model::{analyze_image, ErrorModelReport, ErrorModelTable, FaultSide};
-pub use inject::{golden_run, inject, FaultSpec, Golden, InjectionResult, Outcome};
+pub use forensics::{ForensicsBundle, DEFAULT_TRACE_WINDOW};
+pub use inject::{golden_run, inject, inject_traced, FaultSpec, Golden, InjectionResult, Outcome};

@@ -14,9 +14,13 @@
 //! for any `--threads` value.
 //!
 //! Usage: `cargo run --release -p cfed-runner --bin cfed-campaign -- [OPTIONS]`
+//!
+//! The `report` subcommand renders a finished (or partial) store:
+//! `cfed-campaign report --store results/campaigns/<run>-coverage.jsonl`.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use cfed_core::{Category, TechniqueKind};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
@@ -24,9 +28,33 @@ use cfed_fault::CategoryStats;
 use cfed_runner::cli::Parser;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec, CAMPAIGN_WORKLOADS};
 use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
+use cfed_runner::report::render_report;
+use cfed_telemetry::{JsonlSink, Telemetry};
 use cfed_workloads::Scale;
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        run_report(&argv[1..]);
+        return;
+    }
+    run_campaign(&argv);
+}
+
+fn run_report(argv: &[String]) {
+    let args = Parser::new("cfed-campaign report", "render a campaign result store")
+        .required_flag("store", "PATH", "JSONL result store to render")
+        .parse_from(argv);
+    match render_report(Path::new(args.get("store").expect("required"))) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("cfed-campaign: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_campaign(argv: &[String]) {
     let args = Parser::new("cfed-campaign", "full coverage + latency fault-injection study")
         .flag("trials", "N", "500", "injections per workload per configuration")
         .flag("threads", "N", "0", "worker threads (0 = all cores)")
@@ -38,8 +66,14 @@ fn main() {
             "",
             "run identifier; re-use to resume (default: derived from seed/trials)",
         )
+        .flag("events", "PATH", "", "write structured telemetry events (JSONL) to PATH")
         .switch("progress", "print per-shard progress to stderr")
-        .parse();
+        .switch("quiet", "suppress stderr progress output")
+        .switch(
+            "forensics",
+            "re-inject SDC/timeout/misdetection trials and emit forensics events (use with --events)",
+        )
+        .parse_from(argv);
     let die = |message: String| -> ! {
         eprintln!("cfed-campaign: {message}");
         std::process::exit(2);
@@ -52,7 +86,26 @@ fn main() {
         Some(id) => id.to_string(),
         None => format!("campaign-s{seed}-t{trials}"),
     };
-    let options = RunnerOptions { threads, max_shards: None, progress: args.has("progress") };
+    let quiet = args.has("quiet");
+    let telemetry = match args.get("events").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| die(format!("creating {}: {e}", dir.display())));
+            }
+            Telemetry::to(Arc::new(JsonlSink::create(&path).unwrap_or_else(|e| die(e))))
+        }
+        None => Telemetry::off(),
+    };
+    let options = RunnerOptions {
+        threads,
+        max_shards: None,
+        progress: args.has("progress"),
+        quiet,
+        telemetry,
+        forensics: args.has("forensics"),
+    };
 
     let workloads: Vec<WorkloadSpec> =
         CAMPAIGN_WORKLOADS.iter().map(|name| WorkloadSpec::named(name, Scale::Test)).collect();
@@ -69,15 +122,19 @@ fn main() {
         seed,
     };
     let coverage_store = out.join(format!("{run_id}-coverage.jsonl"));
-    eprintln!(
-        "cfed-campaign: coverage matrix — {} cells, {} shards, store {}",
-        coverage.cells().len(),
-        CampaignMatrix::shards(&coverage.cells()).len(),
-        coverage_store.display()
-    );
+    if !quiet {
+        eprintln!(
+            "cfed-campaign: coverage matrix — {} cells, {} shards, store {}",
+            coverage.cells().len(),
+            CampaignMatrix::shards(&coverage.cells()).len(),
+            coverage_store.display()
+        );
+    }
     let coverage_run =
         run_matrix(&coverage, &run_id, Some(&coverage_store), &options).unwrap_or_else(|e| die(e));
-    report_progress(&coverage_run);
+    if !quiet {
+        report_progress(&coverage_run);
+    }
 
     // Latency: EdgCF under CMOVcc for each checking policy.
     let latency = CampaignMatrix {
@@ -89,15 +146,19 @@ fn main() {
         seed,
     };
     let latency_store = out.join(format!("{run_id}-latency.jsonl"));
-    eprintln!(
-        "cfed-campaign: latency matrix — {} cells, {} shards, store {}",
-        latency.cells().len(),
-        CampaignMatrix::shards(&latency.cells()).len(),
-        latency_store.display()
-    );
+    if !quiet {
+        eprintln!(
+            "cfed-campaign: latency matrix — {} cells, {} shards, store {}",
+            latency.cells().len(),
+            CampaignMatrix::shards(&latency.cells()).len(),
+            latency_store.display()
+        );
+    }
     let latency_run =
         run_matrix(&latency, &run_id, Some(&latency_store), &options).unwrap_or_else(|e| die(e));
-    report_progress(&latency_run);
+    if !quiet {
+        report_progress(&latency_run);
+    }
 
     for style in [UpdateStyle::CMov, UpdateStyle::Jcc] {
         println!("=== Coverage, {style} update style ({trials} trials/workload/config) ===");
@@ -106,6 +167,13 @@ fn main() {
     }
     println!("=== Detection latency by checking policy (EdgCF, CMOVcc) ===");
     print!("{}", render_latency(&latency, &latency_run));
+
+    if !quiet {
+        eprintln!(
+            "cfed-campaign: full per-cell tables: cfed-campaign report --store {}",
+            coverage_store.display()
+        );
+    }
 
     if !coverage_run.complete() || !latency_run.complete() {
         eprintln!("cfed-campaign: some shards failed; re-run with the same --run-id to retry them");

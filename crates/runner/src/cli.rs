@@ -149,11 +149,18 @@ impl Parser {
     /// friendly error plus usage on bad input (exit 2).
     pub fn parse(&self) -> Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
+        self.parse_from(&argv)
+    }
+
+    /// As [`Parser::parse`], over an explicit argument list — used by
+    /// binaries with subcommands, which peel the subcommand word off
+    /// before parsing the rest.
+    pub fn parse_from(&self, argv: &[String]) -> Args {
         if argv.iter().any(|a| a == "--help" || a == "-h") {
             print!("{}", self.usage());
             std::process::exit(0);
         }
-        match self.try_parse(&argv) {
+        match self.try_parse(argv) {
             Ok(args) => args,
             Err(e) => {
                 eprintln!("{}: {e}\n\n{}", self.bin, self.usage());

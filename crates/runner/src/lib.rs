@@ -16,8 +16,12 @@
 //!   is appended and flushed, so a killed run resumes by skipping
 //!   persisted shards (half-written trailing lines are detected and
 //!   dropped);
-//! * [`json`] — the hand-rolled JSON subset the store uses (the workspace
-//!   is offline; no serde);
+//! * [`json`] — re-export of the hand-rolled JSON subset, which now lives
+//!   in `cfed-telemetry` so event sinks and the store share one writer
+//!   and one corruption-detecting parser;
+//! * [`report`] — offline renderer for a finished (or resumed) store:
+//!   per-category coverage tables and detection-latency percentiles,
+//!   byte-identical regardless of interruption or thread count;
 //! * [`cli`] — the tiny friendly flag parser shared by the workspace
 //!   binaries.
 //!
@@ -50,10 +54,12 @@
 //! ```
 
 pub mod cli;
-pub mod json;
 pub mod matrix;
 pub mod pool;
+pub mod report;
 pub mod store;
+
+pub use cfed_telemetry::json;
 
 pub use matrix::{CampaignMatrix, CellSpec, ShardTask, WorkloadSpec};
 pub use pool::{run_matrix, CellResult, RunSummary, RunnerOptions};

@@ -13,15 +13,21 @@
 //! to the serial [`cfed_fault::Campaign::run`] path for any thread count.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io::IsTerminal as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use cfed_asm::Image;
 use cfed_core::RunConfig;
-use cfed_fault::{golden_run, CampaignReport, Golden};
+use cfed_fault::{
+    golden_run, CampaignReport, FaultSpec, ForensicsBundle, Golden, DEFAULT_TRACE_WINDOW,
+};
+use cfed_telemetry::{Event, Telemetry};
 
+use crate::json::Json;
 use crate::matrix::{CampaignMatrix, CellSpec, ShardTask};
 use crate::store::{CampaignStore, ShardTallies, StoreHeader};
 
@@ -36,11 +42,94 @@ pub struct RunnerOptions {
     pub max_shards: Option<usize>,
     /// Print per-shard progress to stderr.
     pub progress: bool,
+    /// Suppress all stderr progress output (per-shard lines and the live
+    /// status line; failures are still reported).
+    pub quiet: bool,
+    /// Structured-event handle. Disabled by default; when a sink is
+    /// attached the pool emits `shard_done` / `shard_failed` / `run_done`
+    /// events and any forensics bundles.
+    pub telemetry: Telemetry,
+    /// Re-inject SDC / timeout / misdetection trials with a tracer
+    /// attached and emit the forensics bundles as telemetry events.
+    pub forensics: bool,
 }
 
 impl Default for RunnerOptions {
     fn default() -> RunnerOptions {
-        RunnerOptions { threads: 0, max_shards: None, progress: false }
+        RunnerOptions {
+            threads: 0,
+            max_shards: None,
+            progress: false,
+            quiet: false,
+            telemetry: Telemetry::off(),
+            forensics: false,
+        }
+    }
+}
+
+/// The live stderr status line (`done/total | shards/s | ETA`).
+///
+/// Shown only when stderr is a terminal — redirected runs get the plain
+/// per-shard lines behind `RunnerOptions::progress` instead — and colored
+/// only when `NO_COLOR` is unset (per the no-color convention, any
+/// non-empty value disables color). Progress writes exclusively to stderr;
+/// the result store has its own dedicated file writer, so progress output
+/// can never interleave with store records.
+struct ProgressLine {
+    live: bool,
+    color: bool,
+    start: Instant,
+    open: bool,
+}
+
+impl ProgressLine {
+    fn new(quiet: bool) -> ProgressLine {
+        let live = !quiet && std::io::stderr().is_terminal();
+        let color = live && std::env::var_os("NO_COLOR").map_or(true, |v| v.is_empty());
+        ProgressLine { live, color, start: Instant::now(), open: false }
+    }
+
+    fn update(&mut self, done: usize, failed: usize, total: usize) {
+        if !self.live {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let eta = if rate > 0.0 {
+            format!("{}s", ((total.saturating_sub(done)) as f64 / rate).round() as u64)
+        } else {
+            "?".to_string()
+        };
+        let failures = if failed > 0 { format!(", {failed} failed") } else { String::new() };
+        let body = format!(
+            "cfed-runner: {done}/{total} shards{failures} | {rate:.1} shards/s | ETA {eta}"
+        );
+        if self.color {
+            eprint!("\r\x1b[2K\x1b[36m{body}\x1b[0m");
+        } else {
+            eprint!("\r{body:<78}");
+        }
+        self.open = true;
+    }
+
+    /// Clears the live line so a regular stderr message starts on a clean
+    /// column.
+    fn clear(&mut self) {
+        if self.open {
+            if self.color {
+                eprint!("\r\x1b[2K");
+            } else {
+                eprint!("\r{:<78}\r", "");
+            }
+            self.open = false;
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.open {
+            eprintln!();
+            self.open = false;
+        }
     }
 }
 
@@ -113,6 +202,11 @@ struct ShardDone {
     /// The cell's golden run, sent with the first shard a worker completes
     /// for a cell so the main thread can build reports without recomputing.
     golden: Option<Golden>,
+    /// Serialized forensics bundles captured for this shard.
+    forensics: Vec<Json>,
+    /// Trials that warranted a bundle (may exceed `forensics.len()` when
+    /// the per-shard cap truncated the captures).
+    forensics_wanted: u64,
 }
 
 /// Per-worker caches: compiled images and golden runs, keyed by the cell's
@@ -164,26 +258,75 @@ fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Forensics bundles captured per shard are capped: a configuration with
+/// rampant SDC (e.g. the uninstrumented baseline) would otherwise
+/// re-inject hundreds of traced runs per shard. The wanted total rides
+/// along in each bundle's event, so truncation is visible.
+const MAX_FORENSICS_PER_SHARD: usize = 8;
+
+struct ShardRun {
+    outcome: ShardOutcome,
+    golden: Option<Golden>,
+    forensics: Vec<Json>,
+    forensics_wanted: u64,
+}
+
 fn run_shard(
     cache: &mut WorkerCache,
     cell: &CellSpec,
     shard_index: u64,
-) -> (ShardOutcome, Option<Golden>) {
+    forensics: bool,
+) -> ShardRun {
     let (image, golden) = match cache.golden(cell) {
         Ok(pair) => pair,
-        Err(e) => return (ShardOutcome::Failed(e), None),
+        Err(e) => {
+            return ShardRun {
+                outcome: ShardOutcome::Failed(e),
+                golden: None,
+                forensics: Vec::new(),
+                forensics_wanted: 0,
+            }
+        }
     };
     let campaign = cell.campaign();
-    let result =
-        catch_unwind(AssertUnwindSafe(|| campaign.run_shard(&image, &golden, shard_index)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut wanted: Vec<FaultSpec> = Vec::new();
+        let report = campaign.run_shard_with(&image, &golden, shard_index, |spec, r| {
+            if forensics && ForensicsBundle::wanted(r) {
+                wanted.push(spec);
+            }
+        });
+        (report, wanted)
+    }));
     match result {
-        Ok(report) => {
-            (ShardOutcome::Ok(ShardTallies::from_report(&report)), Some((*golden).clone()))
+        Ok((report, wanted)) => {
+            let bundles = wanted
+                .iter()
+                .take(MAX_FORENSICS_PER_SHARD)
+                .filter_map(|&spec| {
+                    ForensicsBundle::capture(
+                        &image,
+                        &cell.config,
+                        spec,
+                        &golden,
+                        DEFAULT_TRACE_WINDOW,
+                    )
+                })
+                .map(|b| b.to_json())
+                .collect();
+            ShardRun {
+                outcome: ShardOutcome::Ok(ShardTallies::from_report(&report)),
+                golden: Some((*golden).clone()),
+                forensics: bundles,
+                forensics_wanted: wanted.len() as u64,
+            }
         }
-        Err(e) => (
-            ShardOutcome::Failed(format!("shard panicked: {}", panic_message(&e))),
-            Some((*golden).clone()),
-        ),
+        Err(e) => ShardRun {
+            outcome: ShardOutcome::Failed(format!("shard panicked: {}", panic_message(&e))),
+            golden: Some((*golden).clone()),
+            forensics: Vec::new(),
+            forensics_wanted: 0,
+        },
     }
 }
 
@@ -199,6 +342,7 @@ pub fn run_matrix(
     store_path: Option<&Path>,
     options: &RunnerOptions,
 ) -> Result<RunSummary, String> {
+    let run_timer = Instant::now();
     let cells = matrix.cells();
     let all_shards = CampaignMatrix::shards(&cells);
     let header = StoreHeader {
@@ -226,12 +370,13 @@ pub fn run_matrix(
     // main thread recomputing them for report assembly.
     let mut goldens: BTreeMap<usize, Golden> = BTreeMap::new();
 
+    let threads = options.resolved_threads().min(to_run.max(1)).max(1);
     if to_run > 0 {
         let queue = Mutex::new(pending.into_iter().collect::<std::collections::VecDeque<_>>());
-        let threads = options.resolved_threads().min(to_run).max(1);
         let (tx, rx) = mpsc::channel::<ShardDone>();
         let cells_ref = &cells;
         let queue_ref = &queue;
+        let forensics_on = options.forensics;
         std::thread::scope(|scope| -> Result<(), String> {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -243,8 +388,15 @@ pub fn run_matrix(
                             None => break,
                         };
                         let cell = &cells_ref[task.cell];
-                        let (outcome, golden) = run_shard(&mut cache, cell, task.shard_index);
-                        let done = ShardDone { task, key: task.key(cells_ref), outcome, golden };
+                        let run = run_shard(&mut cache, cell, task.shard_index, forensics_on);
+                        let done = ShardDone {
+                            task,
+                            key: task.key(cells_ref),
+                            outcome: run.outcome,
+                            golden: run.golden,
+                            forensics: run.forensics,
+                            forensics_wanted: run.forensics_wanted,
+                        };
                         if tx.send(done).is_err() {
                             break;
                         }
@@ -254,28 +406,73 @@ pub fn run_matrix(
             drop(tx);
 
             // Main thread: single store writer, checkpointing as results land.
+            let mut progress = ProgressLine::new(options.quiet);
             let mut received = 0usize;
+            let mut failed = 0usize;
             for done in rx {
                 received += 1;
-                if let (Some(g), false) = (done.golden, goldens.contains_key(&done.task.cell)) {
-                    goldens.insert(done.task.cell, g);
+                let ShardDone { task, key, outcome, golden, forensics, forensics_wanted } = done;
+                if let (Some(g), false) = (golden, goldens.contains_key(&task.cell)) {
+                    goldens.insert(task.cell, g);
                 }
-                match done.outcome {
+                match outcome {
                     ShardOutcome::Ok(tallies) => {
-                        store.append_ok(&done.key, tallies)?;
-                        if options.progress {
-                            eprintln!("cfed-runner: [{received}/{to_run}] {}", done.key);
+                        store.append_ok(&key, tallies)?;
+                        options.telemetry.emit_with(|| {
+                            Event::new("shard_done")
+                                .str("shard", &key)
+                                .u64("done", received as u64)
+                                .u64("of", to_run as u64)
+                        });
+                        if options.progress && !options.quiet {
+                            progress.clear();
+                            eprintln!("cfed-runner: [{received}/{to_run}] {key}");
                         }
                     }
                     ShardOutcome::Failed(err) => {
-                        store.append_failed(&done.key, &err)?;
-                        eprintln!("cfed-runner: shard {} FAILED: {err}", done.key);
+                        failed += 1;
+                        store.append_failed(&key, &err)?;
+                        options.telemetry.emit_with(|| {
+                            Event::new("shard_failed").str("shard", &key).str("error", &err)
+                        });
+                        progress.clear();
+                        eprintln!("cfed-runner: shard {key} FAILED: {err}");
                     }
                 }
+                for bundle in forensics {
+                    options.telemetry.emit_with(|| {
+                        Event::new("forensics")
+                            .str("shard", &key)
+                            .u64("wanted", forensics_wanted)
+                            .json("bundle", bundle)
+                    });
+                }
+                progress.update(received, failed, to_run);
             }
+            progress.finish();
             Ok(())
         })?;
     }
+
+    let wall_ms = u64::try_from(run_timer.elapsed().as_millis()).unwrap_or(u64::MAX);
+    store.append_meta(
+        "run",
+        vec![
+            ("run_id", Json::Str(run_id.to_string())),
+            ("executed", Json::UInt(to_run as u64)),
+            ("resumed", Json::UInt(resumed_shards)),
+            ("threads", Json::UInt(threads as u64)),
+            ("wall_ms", Json::UInt(wall_ms)),
+        ],
+    )?;
+    options.telemetry.emit_with(|| {
+        Event::new("run_done")
+            .str("run_id", run_id)
+            .u64("executed", to_run as u64)
+            .u64("resumed", resumed_shards)
+            .u64("threads", threads as u64)
+            .u64("wall_ms", wall_ms)
+    });
 
     let mut cell_results = Vec::with_capacity(cells.len());
     for (index, cell) in cells.iter().enumerate() {
@@ -305,7 +502,7 @@ fn assemble_cell(
     for shard_index in 0..total_shards {
         let key = format!("{cell_key}#{shard_index}");
         if let Some(t) = store.done.get(&key) {
-            done.push((shard_index, *t));
+            done.push((shard_index, t.clone()));
         }
     }
     if done.is_empty() {

@@ -1,0 +1,257 @@
+//! `cfed-campaign report` — renders a persisted campaign store.
+//!
+//! Reads a v2 JSONL store, merges each cell's shard tallies with the same
+//! associative algebra the pool uses, and renders the per-category outcome
+//! table plus detection-latency histograms and p50/p90/p99 percentiles for
+//! every cell. Everything derives from the shard records alone — meta
+//! records (wall-clock, thread count) are ignored — and percentiles are
+//! integer bucket bounds, so a killed-and-resumed store renders
+//! byte-identically to an uninterrupted one.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use cfed_core::Category;
+use cfed_fault::Outcome;
+use cfed_telemetry::{bucket_high, Histogram};
+
+use crate::store::{read_store, ShardTallies, StoreHeader};
+
+/// Width of the widest histogram bar, in characters.
+const BAR_WIDTH: u64 = 40;
+
+/// A cell's merged view over its completed shards.
+#[derive(Debug)]
+pub struct CellSummary {
+    /// The cell key (shard key minus the trailing `#<index>`).
+    pub key: String,
+    /// Shards merged into `tallies`.
+    pub shards_done: u64,
+    /// Merged tallies.
+    pub tallies: ShardTallies,
+}
+
+impl CellSummary {
+    /// The merged detection-latency histogram (`DetectedByCheck` across
+    /// all categories).
+    pub fn detection_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for row in self.tallies.lat.iter() {
+            h.merge(&row[Outcome::DetectedByCheck.idx()]);
+        }
+        h
+    }
+}
+
+/// Groups a store's shard records by cell key (the part before the final
+/// `#`) and merges each group. `BTreeMap` input and output keep the order
+/// deterministic.
+pub fn summarize(done: &BTreeMap<String, ShardTallies>) -> Vec<CellSummary> {
+    let mut cells: BTreeMap<String, CellSummary> = BTreeMap::new();
+    for (shard_key, tallies) in done {
+        let cell_key = shard_key.rsplit_once('#').map_or(shard_key.as_str(), |(c, _)| c);
+        let entry = cells.entry(cell_key.to_string()).or_insert_with(|| CellSummary {
+            key: cell_key.to_string(),
+            shards_done: 0,
+            tallies: ShardTallies::default(),
+        });
+        entry.shards_done += 1;
+        entry.tallies.absorb(tallies);
+    }
+    cells.into_values().collect()
+}
+
+/// Renders the report for the store at `path`.
+///
+/// # Errors
+///
+/// Returns a message when the store cannot be read or fails to parse.
+pub fn render_report(path: &Path) -> Result<String, String> {
+    let (header, done, failed) = read_store(path)?;
+    Ok(render(&header, &summarize(&done), &failed))
+}
+
+fn render(
+    header: &StoreHeader,
+    cells: &[CellSummary],
+    failed: &BTreeMap<String, String>,
+) -> String {
+    let mut out = String::new();
+    let done: u64 = cells.iter().map(|c| c.shards_done).sum();
+    let _ = writeln!(
+        out,
+        "run {} | seed {} | {} trials/cell | shards {done}/{}",
+        header.run_id, header.seed, header.trials, header.total_shards
+    );
+    if !failed.is_empty() {
+        let _ = writeln!(out, "failed shards: {}", failed.len());
+        for (key, err) in failed {
+            let _ = writeln!(out, "  {key}: {err}");
+        }
+    }
+    if cells.is_empty() {
+        let _ = writeln!(out, "no completed shards");
+        return out;
+    }
+    for cell in cells {
+        render_cell(&mut out, cell);
+    }
+    out
+}
+
+fn render_cell(out: &mut String, cell: &CellSummary) {
+    let _ = writeln!(out, "\n== {} ==", cell.key);
+    let _ = writeln!(out, "shards merged: {}", cell.shards_done);
+    if cell.tallies.skipped > 0 {
+        let _ = writeln!(out, "skipped injections: {}", cell.tallies.skipped);
+    }
+
+    let _ = writeln!(
+        out,
+        "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>8}",
+        "category", "chk", "hw", "fault", "benign", "SDC", "timeout", "coverage"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for (c, s) in Category::ALL.iter().zip(&cell.tallies.stats) {
+        if s.total() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>7} | {:>7.1}%",
+            c.to_string(),
+            s.detected_check,
+            s.detected_hw,
+            s.other_fault,
+            s.benign,
+            s.sdc,
+            s.timeout,
+            100.0 * s.coverage()
+        );
+    }
+
+    let all = cell.detection_latency();
+    if all.is_empty() {
+        let _ = writeln!(out, "no check-detected faults");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "detection latency (instructions): n={} sum={} min={} max={} p50<={} p90<={} p99<={}",
+        all.count(),
+        all.sum(),
+        all.min().unwrap_or(0),
+        all.max().unwrap_or(0),
+        all.percentile(0.50).unwrap_or(0),
+        all.percentile(0.90).unwrap_or(0),
+        all.percentile(0.99).unwrap_or(0),
+    );
+    render_bars(out, &all);
+
+    // Per-category percentile rows (check-detected faults only).
+    let _ = writeln!(
+        out,
+        "{:>9} | {:>6} | {:>8} {:>8} {:>8} | {:>8}",
+        "category", "n", "p50<=", "p90<=", "p99<=", "max"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(60));
+    for (c, row) in Category::ALL.iter().zip(cell.tallies.lat.iter()) {
+        let h = &row[Outcome::DetectedByCheck.idx()];
+        if h.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:>9} | {:>6} | {:>8} {:>8} {:>8} | {:>8}",
+            c.to_string(),
+            h.count(),
+            h.percentile(0.50).unwrap_or(0),
+            h.percentile(0.90).unwrap_or(0),
+            h.percentile(0.99).unwrap_or(0),
+            h.max().unwrap_or(0),
+        );
+    }
+}
+
+/// One bar per non-empty bucket, scaled to the fullest bucket.
+fn render_bars(out: &mut String, h: &Histogram) {
+    let peak = h.nonzero_buckets().map(|(_, c)| c).max().unwrap_or(1);
+    for (i, count) in h.nonzero_buckets() {
+        let low = if i == 0 { 0 } else { bucket_high(i - 1) + 1 };
+        let width = ((count * BAR_WIDTH) / peak).max(1) as usize;
+        let _ = writeln!(
+            out,
+            "  [{:>8}..{:>8}] {:>6} |{}",
+            low,
+            bucket_high(i),
+            count,
+            "#".repeat(width)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_fault::{CampaignReport, Golden};
+
+    fn golden() -> Golden {
+        Golden { output: vec![7], exit_code: 0, insts: 100, branches: 9 }
+    }
+
+    fn shard(latencies: &[(Category, Outcome, u64)]) -> ShardTallies {
+        let mut report = CampaignReport::new(golden());
+        for &(c, o, l) in latencies {
+            report.record(c, o, l);
+        }
+        ShardTallies::from_report(&report)
+    }
+
+    #[test]
+    fn summarize_groups_and_merges_by_cell() {
+        let mut done = BTreeMap::new();
+        done.insert("cellA#0".to_string(), shard(&[(Category::A, Outcome::DetectedByCheck, 10)]));
+        done.insert("cellA#1".to_string(), shard(&[(Category::A, Outcome::DetectedByCheck, 20)]));
+        done.insert("cellB#0".to_string(), shard(&[(Category::B, Outcome::Sdc, 0)]));
+        let cells = summarize(&done);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key, "cellA");
+        assert_eq!(cells[0].shards_done, 2);
+        let lat = cells[0].detection_latency();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.sum(), 30);
+        assert_eq!(cells[1].key, "cellB");
+        assert_eq!(cells[1].tallies.stats[1].sdc, 1);
+    }
+
+    #[test]
+    fn render_is_deterministic_over_merge_order() {
+        let header = StoreHeader {
+            run_id: "r".into(),
+            seed: 1,
+            trials: 128,
+            shard_trials: 64,
+            digest: 9,
+            total_shards: 2,
+        };
+        let a =
+            shard(&[(Category::A, Outcome::DetectedByCheck, 5), (Category::F, Outcome::Sdc, 0)]);
+        let b = shard(&[(Category::A, Outcome::DetectedByCheck, 90)]);
+        let mut forward = BTreeMap::new();
+        forward.insert("c#0".to_string(), a.clone());
+        forward.insert("c#1".to_string(), b.clone());
+        // Same shards, merged from a different insertion order.
+        let mut backward = BTreeMap::new();
+        backward.insert("c#1".to_string(), b);
+        backward.insert("c#0".to_string(), a);
+        let empty = BTreeMap::new();
+        assert_eq!(
+            render(&header, &summarize(&forward), &empty),
+            render(&header, &summarize(&backward), &empty)
+        );
+        let text = render(&header, &summarize(&forward), &empty);
+        assert!(text.contains("== c =="), "{text}");
+        assert!(text.contains("p50<="), "{text}");
+    }
+}

@@ -10,16 +10,23 @@
 //! Record shapes (all numbers are `u64`):
 //!
 //! ```text
-//! {"cfed_campaign":1,"run_id":"…","seed":S,"trials":T,"shard_trials":64,
+//! {"cfed_campaign":2,"run_id":"…","seed":S,"trials":T,"shard_trials":64,
 //!  "digest":D,"total_shards":N}
 //! {"shard":"<cell key>#<shard index>",
 //!  "cats":[[chk,hw,fault,benign,sdc,timeout] × 7 in Category::ALL order],
-//!  "skipped":K,"lat_sum":L,"lat_n":M}
+//!  "skipped":K,
+//!  "lat":[[hist|null × 6 in Outcome::ALL order] × 7 in Category::ALL order]}
 //! {"shard":"<cell key>#<shard index>","error":"…"}
+//! {"meta":"run", …}
 //! ```
 //!
-//! Error records mark shards whose worker panicked; they are *not* treated
-//! as done, so a resume retries them.
+//! Histograms use the sparse `cfed_telemetry::Histogram` form
+//! (`{"n":…,"sum":…,"min":…,"max":…,"b":[[bucket,count],…]}`, `null` when
+//! empty). Error records mark shards whose worker panicked; they are *not*
+//! treated as done, so a resume retries them. Meta records carry run-level
+//! telemetry (wall-clock, thread count); they are ignored when loading, so
+//! reports derive exclusively from shard tallies and stay byte-identical
+//! across kill/resume.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -27,7 +34,8 @@ use std::io::{BufWriter, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 use cfed_core::Category;
-use cfed_fault::{CampaignReport, CategoryStats, Golden};
+use cfed_fault::{CampaignReport, CategoryStats, Golden, LatencyGrid};
+use cfed_telemetry::Histogram;
 
 use crate::json::{obj, parse, Json};
 
@@ -53,7 +61,7 @@ pub struct StoreHeader {
 impl StoreHeader {
     fn to_json(&self) -> Json {
         obj(vec![
-            ("cfed_campaign", Json::UInt(1)),
+            ("cfed_campaign", Json::UInt(2)),
             ("run_id", Json::Str(self.run_id.clone())),
             ("seed", Json::UInt(self.seed)),
             ("trials", Json::UInt(self.trials)),
@@ -65,7 +73,7 @@ impl StoreHeader {
 
     fn from_json(v: &Json) -> Result<StoreHeader, String> {
         let field = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("header missing {k}"));
-        if field("cfed_campaign")? != 1 {
+        if field("cfed_campaign")? != 2 {
             return Err("unsupported store version".into());
         }
         Ok(StoreHeader {
@@ -85,16 +93,14 @@ impl StoreHeader {
 
 /// Raw tallies of one shard, as persisted (a [`CampaignReport`] minus the
 /// golden reference, which is recomputed on resume rather than stored).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardTallies {
     /// Per-category outcome tallies in [`Category::ALL`] order.
     pub stats: [CategoryStats; 7],
     /// Injections that could not be placed.
     pub skipped: u64,
-    /// Detection-latency sum over check-detected faults.
-    pub latency_sum: u64,
-    /// Detection-latency sample count.
-    pub latency_n: u64,
+    /// Latency histograms per category × outcome.
+    pub lat: LatencyGrid,
 }
 
 impl ShardTallies {
@@ -104,19 +110,33 @@ impl ShardTallies {
         for (slot, c) in stats.iter_mut().zip(Category::ALL) {
             *slot = *report.category(c);
         }
-        let (latency_sum, latency_n) = report.latency_totals();
-        ShardTallies { stats, skipped: report.skipped, latency_sum, latency_n }
+        ShardTallies { stats, skipped: report.skipped, lat: report.latency_grid().clone() }
     }
 
     /// Rebuilds a mergeable report around a (recomputed) golden reference.
     pub fn to_report(&self, golden: Golden) -> CampaignReport {
-        CampaignReport::from_parts(
-            golden,
-            self.stats,
-            self.skipped,
-            self.latency_sum,
-            self.latency_n,
-        )
+        CampaignReport::from_parts(golden, self.stats, self.skipped, self.lat.clone())
+    }
+
+    /// Folds another shard's tallies into this one — the same associative,
+    /// commutative algebra as [`CampaignReport::merge`], minus the golden
+    /// reference. Lets the report path merge persisted shards without
+    /// recompiling workloads.
+    pub fn absorb(&mut self, other: &ShardTallies) {
+        for (into, from) in self.stats.iter_mut().zip(&other.stats) {
+            into.detected_check += from.detected_check;
+            into.detected_hw += from.detected_hw;
+            into.other_fault += from.other_fault;
+            into.benign += from.benign;
+            into.sdc += from.sdc;
+            into.timeout += from.timeout;
+        }
+        self.skipped += other.skipped;
+        for (into_row, from_row) in self.lat.iter_mut().zip(&other.lat) {
+            for (into, from) in into_row.iter_mut().zip(from_row) {
+                into.merge(from);
+            }
+        }
     }
 
     fn to_json(&self, shard_key: &str) -> Json {
@@ -134,12 +154,16 @@ impl ShardTallies {
                 ])
             })
             .collect();
+        let lat = self
+            .lat
+            .iter()
+            .map(|row| Json::Arr(row.iter().map(Histogram::to_json).collect()))
+            .collect();
         obj(vec![
             ("shard", Json::Str(shard_key.to_string())),
             ("cats", Json::Arr(cats)),
             ("skipped", Json::UInt(self.skipped)),
-            ("lat_sum", Json::UInt(self.latency_sum)),
-            ("lat_n", Json::UInt(self.latency_n)),
+            ("lat", Json::Arr(lat)),
         ])
     }
 
@@ -165,12 +189,22 @@ impl ShardTallies {
             };
         }
         let field = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("record missing {k}"));
-        Ok(ShardTallies {
-            stats,
-            skipped: field("skipped")?,
-            latency_sum: field("lat_sum")?,
-            latency_n: field("lat_n")?,
-        })
+        let rows = v.get("lat").and_then(Json::as_arr).ok_or("record missing lat")?;
+        if rows.len() != 7 {
+            return Err(format!("expected 7 latency rows, got {}", rows.len()));
+        }
+        let mut tallies =
+            ShardTallies { stats, skipped: field("skipped")?, lat: LatencyGrid::default() };
+        for (slot_row, row) in tallies.lat.iter_mut().zip(rows) {
+            let cells = row.as_arr().ok_or("latency row must be an array")?;
+            if cells.len() != 6 {
+                return Err(format!("expected 6 latency cells, got {}", cells.len()));
+            }
+            for (slot, cell) in slot_row.iter_mut().zip(cells) {
+                *slot = Histogram::from_json(cell)?;
+            }
+        }
+        Ok(tallies)
     }
 }
 
@@ -232,7 +266,23 @@ impl CampaignStore {
         File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let (done, failed, valid_bytes) = Self::load(&text, header, path)?;
+        let (found, done, failed, valid_bytes) = Self::load(&text, path)?;
+        if found != *header {
+            return Err(format!(
+                "store {} belongs to a different campaign \
+                 (found run_id={:?} seed={} trials={} digest={:#x}, \
+                 expected run_id={:?} seed={} trials={} digest={:#x})",
+                path.display(),
+                found.run_id,
+                found.seed,
+                found.trials,
+                found.digest,
+                header.run_id,
+                header.seed,
+                header.trials,
+                header.digest,
+            ));
+        }
 
         let mut file = OpenOptions::new()
             .write(true)
@@ -252,20 +302,22 @@ impl CampaignStore {
         })
     }
 
-    /// Parses an existing store body: header validation, record loading,
-    /// and the byte length of the valid prefix (everything up to a possible
-    /// truncated final line).
+    /// Parses an existing store body: the header, the shard records, and
+    /// the byte length of the valid prefix (everything up to a possible
+    /// truncated final line). Meta records are skipped.
     #[allow(clippy::type_complexity)]
     fn load(
         text: &str,
-        header: &StoreHeader,
         path: &Path,
-    ) -> Result<(BTreeMap<String, ShardTallies>, BTreeMap<String, String>, usize), String> {
+    ) -> Result<
+        (StoreHeader, BTreeMap<String, ShardTallies>, BTreeMap<String, String>, usize),
+        String,
+    > {
+        let mut header = None;
         let mut done = BTreeMap::new();
         let mut failed: BTreeMap<String, String> = BTreeMap::new();
         let mut valid_bytes = 0usize;
         let mut offset = 0usize;
-        let mut first = true;
         while offset < text.len() {
             let rest = &text[offset..];
             let (line, consumed, complete) = match rest.find('\n') {
@@ -294,25 +346,10 @@ impl CampaignStore {
                 Err(e) => return Err(format!("corrupt store {}: {e}", path.display())),
             };
             if line_ok {
-                if first {
-                    let found = StoreHeader::from_json(&value)?;
-                    if found != *header {
-                        return Err(format!(
-                            "store {} belongs to a different campaign \
-                             (found run_id={:?} seed={} trials={} digest={:#x}, \
-                             expected run_id={:?} seed={} trials={} digest={:#x})",
-                            path.display(),
-                            found.run_id,
-                            found.seed,
-                            found.trials,
-                            found.digest,
-                            header.run_id,
-                            header.seed,
-                            header.trials,
-                            header.digest,
-                        ));
-                    }
-                    first = false;
+                if header.is_none() {
+                    header = Some(StoreHeader::from_json(&value)?);
+                } else if value.get("meta").is_some() {
+                    // Run-level telemetry: never part of the tallies.
                 } else {
                     let key = value
                         .get("shard")
@@ -330,10 +367,10 @@ impl CampaignStore {
             }
             offset += consumed;
         }
-        if first {
+        let Some(header) = header else {
             return Err(format!("store {} has no header line", path.display()));
-        }
-        Ok((done, failed, valid_bytes))
+        };
+        Ok((header, done, failed, valid_bytes))
     }
 
     fn append_line(&mut self, line: &str) -> Result<(), String> {
@@ -367,10 +404,38 @@ impl CampaignStore {
         Ok(())
     }
 
+    /// Persists a run-level meta record (`{"meta":kind, …}`). Meta records
+    /// are ignored when loading, so wall-clock timings and other
+    /// environment-dependent measurements never leak into resumed tallies.
+    pub fn append_meta(
+        &mut self,
+        kind: &str,
+        fields: Vec<(&'static str, Json)>,
+    ) -> Result<(), String> {
+        let mut all = vec![("meta", Json::Str(kind.to_string()))];
+        all.extend(fields);
+        self.append_line(&obj(all).render())
+    }
+
     /// The store file path (`None` for an in-memory store).
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
     }
+}
+
+/// Reads a store file without an expected header: the report path. Returns
+/// the header, the completed shards, and the failed shards. A truncated
+/// final line is tolerated (and ignored), matching resume semantics.
+#[allow(clippy::type_complexity)]
+pub fn read_store(
+    path: &Path,
+) -> Result<(StoreHeader, BTreeMap<String, ShardTallies>, BTreeMap<String, String>), String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let (header, done, failed, _valid_bytes) = CampaignStore::load(&text, path)?;
+    Ok((header, done, failed))
 }
 
 #[cfg(test)]
@@ -390,10 +455,13 @@ mod tests {
     }
 
     fn tallies(n: u64) -> ShardTallies {
-        let mut t =
-            ShardTallies { skipped: n, latency_sum: 10 * n, latency_n: n, ..Default::default() };
+        let mut t = ShardTallies { skipped: n, ..Default::default() };
         t.stats[0].detected_check = n + 1;
         t.stats[3].sdc = 2 * n;
+        for i in 0..n {
+            t.lat[0][0].record(10 + i);
+            t.lat[3][4].record(0);
+        }
         t
     }
 
@@ -470,6 +538,26 @@ mod tests {
         writeln!(raw, "{}", tallies(1).to_json("cell#0").render()).unwrap();
         drop(raw);
         assert!(CampaignStore::open(&path, &header()).is_err());
+    }
+
+    #[test]
+    fn meta_records_are_ignored_on_load() {
+        let path = tmp("meta");
+        let mut store = CampaignStore::open(&path, &header()).unwrap();
+        store.append_ok("cell#0", tallies(2)).unwrap();
+        store
+            .append_meta("run", vec![("wall_ms", Json::UInt(1234)), ("threads", Json::UInt(8))])
+            .unwrap();
+        drop(store);
+
+        let store = CampaignStore::open(&path, &header()).unwrap();
+        assert_eq!(store.done.len(), 1);
+        assert_eq!(store.done["cell#0"], tallies(2));
+
+        let (found, done, failed) = read_store(&path).unwrap();
+        assert_eq!(found, header());
+        assert_eq!(done["cell#0"], tallies(2));
+        assert!(failed.is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::path::PathBuf;
 
 use cfed_core::{Category, TechniqueKind};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_fault::Outcome;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
 use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
 
@@ -46,6 +47,14 @@ fn assert_summaries_equal(a: &RunSummary, b: &RunSummary) {
         let (rx, ry) = (x.report.as_ref().unwrap(), y.report.as_ref().unwrap());
         for c in Category::ALL {
             assert_eq!(rx.category(c), ry.category(c), "cell {} category {c}", x.key);
+            for o in Outcome::ALL {
+                assert_eq!(
+                    rx.latency_hist(c, o),
+                    ry.latency_hist(c, o),
+                    "cell {} hist {c}/{o:?}",
+                    x.key
+                );
+            }
         }
         assert_eq!(rx.skipped, ry.skipped, "cell {}", x.key);
         assert_eq!(rx.latency_totals(), ry.latency_totals(), "cell {}", x.key);

@@ -3,17 +3,18 @@
 //! shard → worker → merge schedule reduces to the same campaign tallies.
 
 use cfed_core::Category;
-use cfed_fault::{CampaignReport, CategoryStats, Golden};
+use cfed_fault::{CampaignReport, CategoryStats, Golden, LatencyGrid, Outcome};
 use proptest::prelude::*;
 
 fn golden() -> Golden {
     Golden { output: vec![42], exit_code: 0, insts: 100, branches: 10 }
 }
 
-/// Builds a report from 45 raw tallies: 7 categories × 6 outcomes, plus
-/// skipped and the two latency accumulators.
-fn report_from(values: &[u64]) -> CampaignReport {
-    assert_eq!(values.len(), 45);
+/// Builds a report from 43 raw tallies (7 categories × 6 outcomes, plus
+/// skipped) and a latency-sample list of `(category, outcome, latency)`
+/// triples recorded into the per-cell histograms.
+fn report_from(values: &[u64], samples: &[(usize, usize, u64)]) -> CampaignReport {
+    assert_eq!(values.len(), 43);
     let mut stats = [CategoryStats::default(); 7];
     for (i, slot) in stats.iter_mut().enumerate() {
         *slot = CategoryStats {
@@ -25,16 +26,27 @@ fn report_from(values: &[u64]) -> CampaignReport {
             timeout: values[i * 6 + 5],
         };
     }
-    CampaignReport::from_parts(golden(), stats, values[42], values[43], values[44])
+    let mut lat = LatencyGrid::default();
+    for &(c, o, l) in samples {
+        lat[c][o].record(l);
+    }
+    CampaignReport::from_parts(golden(), stats, values[42], lat)
 }
 
 fn arb_report() -> impl Strategy<Value = CampaignReport> {
-    proptest::collection::vec(0u64..1_000_000, 45).prop_map(|v| report_from(&v))
+    (
+        proptest::collection::vec(0u64..1_000_000, 43),
+        proptest::collection::vec((0usize..7, 0usize..6, 0u64..1_000_000), 0..32),
+    )
+        .prop_map(|(v, samples)| report_from(&v, &samples))
 }
 
 fn assert_reports_equal(a: &CampaignReport, b: &CampaignReport) {
     for c in Category::ALL {
         assert_eq!(a.category(c), b.category(c), "category {c}");
+        for o in Outcome::ALL {
+            assert_eq!(a.latency_hist(c, o), b.latency_hist(c, o), "hist {c}/{o:?}");
+        }
     }
     assert_eq!(a.skipped, b.skipped);
     assert_eq!(a.latency_totals(), b.latency_totals());

@@ -1,0 +1,86 @@
+//! Acceptance check for the `report` path: rendering the store of a
+//! campaign killed midway (even mid-write) and resumed must be
+//! byte-identical to rendering the store of an uninterrupted run. The
+//! report derives exclusively from shard tallies — meta records carrying
+//! wall-clock and thread counts are ignored — and percentiles are integer
+//! bucket bounds, so no float formatting or environment noise leaks in.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use cfed_core::TechniqueKind;
+use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
+use cfed_runner::pool::{run_matrix, RunnerOptions};
+use cfed_runner::report::render_report;
+
+const PROGRAM: &str = r#"
+    fn main() {
+        let i = 0;
+        let acc = 5;
+        while (i < 35) {
+            if (i % 4 == 1) { acc = acc * 2 - i; } else { acc = acc + 7; }
+            i = i + 1;
+        }
+        out(acc);
+    }
+"#;
+
+fn matrix() -> CampaignMatrix {
+    CampaignMatrix {
+        workloads: vec![WorkloadSpec::inline("rep", PROGRAM)],
+        techniques: vec![None, Some(TechniqueKind::EdgCf), Some(TechniqueKind::Rcf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: vec![CheckPolicy::AllBb],
+        trials: 256,
+        seed: 0xBEE,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfed-report-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("run.jsonl")
+}
+
+#[test]
+fn report_on_resumed_store_is_byte_identical() {
+    let m = matrix();
+
+    // Uninterrupted reference run.
+    let clean = tmp("clean");
+    let full =
+        run_matrix(&m, "rep", Some(&clean), &RunnerOptions { threads: 4, ..Default::default() })
+            .unwrap();
+    assert!(full.complete());
+
+    // Killed midway: 5 of the 12 shards, then a record cut mid-write.
+    let broken = tmp("resumed");
+    let killed = run_matrix(
+        &m,
+        "rep",
+        Some(&broken),
+        &RunnerOptions { threads: 2, max_shards: Some(5), ..Default::default() },
+    )
+    .unwrap();
+    assert!(!killed.complete());
+    {
+        let mut raw = std::fs::OpenOptions::new().append(true).open(&broken).unwrap();
+        write!(raw, "{{\"shard\":\"inline:rep").unwrap();
+    }
+    let resumed =
+        run_matrix(&m, "rep", Some(&broken), &RunnerOptions { threads: 4, ..Default::default() })
+            .unwrap();
+    assert!(resumed.complete());
+    assert_eq!(resumed.resumed_shards, 5);
+
+    let a = render_report(&clean).unwrap();
+    let b = render_report(&broken).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "resumed-store report must match the uninterrupted one byte for byte");
+
+    // Sanity on the rendered content itself.
+    assert!(a.contains("run rep | seed 3054"), "{a}");
+    assert!(a.contains("detection latency (instructions):"), "{a}");
+    assert!(a.contains("p99<="), "{a}");
+}

@@ -20,6 +20,10 @@ pub struct ExecStats {
     /// Of those, how many redirected control (taken conditionals plus all
     /// unconditional transfers).
     pub branches_taken: u64,
+    /// Traps raised. The faulting instruction never commits, so a trap that
+    /// a supervisor services and resumes (e.g. a DBT exit stub) counts here
+    /// but not in `insts`.
+    pub traps: u64,
 }
 
 /// Result of a single successful [`Cpu::step`].
@@ -187,8 +191,17 @@ impl Cpu {
     /// # Errors
     ///
     /// Returns a [`Trap`] without committing any architectural state (the
-    /// instruction pointer still addresses the faulting instruction).
+    /// instruction pointer still addresses the faulting instruction); only
+    /// the `traps` statistic advances.
     pub fn step(&mut self, mem: &mut Memory) -> Result<Step, Trap> {
+        let result = self.step_inner(mem);
+        if result.is_err() {
+            self.stats.traps += 1;
+        }
+        result
+    }
+
+    fn step_inner(&mut self, mem: &mut Memory) -> Result<Step, Trap> {
         debug_assert!(!self.halted, "stepping a halted cpu");
         let addr = self.ip;
         let bytes = mem.fetch(addr)?;

@@ -1,7 +1,7 @@
 //! A whole guest machine: CPU + memory + a conventional address-space
 //! layout, with a loader for raw program images.
 
-use crate::{Cpu, ExitReason, Memory, Perms};
+use crate::{Cpu, ExitReason, Memory, Perms, Step, Tracer, Trap};
 use std::ops::Range;
 
 /// Address-space layout conventions shared by the assembler, loader, DBT and
@@ -70,6 +70,10 @@ pub struct Machine {
     pub cpu: Cpu,
     /// The address space.
     pub mem: Memory,
+    /// Optional execution tracer; when attached, every step through
+    /// [`Machine::step_cpu`] is recorded (used by fault-injection
+    /// forensics to capture the window before a detection).
+    pub tracer: Option<Tracer>,
     layout: Layout,
     code_len: u64,
 }
@@ -117,7 +121,28 @@ impl Machine {
         let mut cpu = Cpu::new();
         cpu.set_ip(layout.code_base + entry_offset);
         cpu.set_reg(cfed_isa::Reg::SP, layout.initial_sp());
-        Machine { cpu, mem, layout, code_len: code.len() as u64 }
+        Machine { cpu, mem, tracer: None, layout, code_len: code.len() as u64 }
+    }
+
+    /// Attaches a fresh [`Tracer`] keeping the last `capacity` instructions
+    /// (replacing any previous tracer). Supervisors that step the machine
+    /// through [`Machine::step_cpu`] feed it automatically.
+    pub fn attach_tracer(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// Steps the CPU once, through the attached tracer if any. Supervisors
+    /// (the DBT runtime, fault harnesses) should prefer this over calling
+    /// `cpu.step` directly so tracing stays transparent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the CPU's trap without committing state.
+    pub fn step_cpu(&mut self) -> Result<Step, Trap> {
+        match &mut self.tracer {
+            Some(tracer) => tracer.step(&mut self.cpu, &mut self.mem),
+            None => self.cpu.step(&mut self.mem),
+        }
     }
 
     /// The machine's layout.

@@ -4,6 +4,7 @@
 
 use crate::{Cpu, Memory, Step, Trap};
 use cfed_isa::Inst;
+use cfed_telemetry::json::{obj, Json};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -115,6 +116,25 @@ impl Tracer {
         self.branch_ring.clear();
     }
 
+    /// Exports the ring buffers as a JSON object for telemetry events and
+    /// forensics bundles: `{"retired":…,"window":[…],"branches":[…]}`, each
+    /// entry `{"addr":…,"inst":"…"[,"taken":…]}` oldest first.
+    pub fn export(&self) -> Json {
+        let entry_json = |e: &TraceEntry| {
+            let mut pairs =
+                vec![("addr", Json::UInt(e.addr)), ("inst", Json::Str(e.inst.to_string()))];
+            if let Some(taken) = e.taken {
+                pairs.push(("taken", Json::Bool(taken)));
+            }
+            obj(pairs)
+        };
+        obj(vec![
+            ("retired", Json::UInt(self.retired)),
+            ("window", Json::Arr(self.ring.iter().map(entry_json).collect())),
+            ("branches", Json::Arr(self.branch_ring.iter().map(entry_json).collect())),
+        ])
+    }
+
     /// Renders the retained trace as a listing.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -218,6 +238,28 @@ mod tests {
         t.clear();
         assert_eq!(t.entries().count(), 0);
         assert_eq!(t.retired(), 2);
+    }
+
+    #[test]
+    fn export_matches_rings() {
+        let (mut cpu, mut mem) = setup(&[
+            Inst::MovRI { dst: Reg::R0, imm: 1 },
+            Inst::Jcc { cc: Cond::Ne, offset: 8 },
+            Inst::Halt,
+        ]);
+        let mut t = Tracer::new(8);
+        run(&mut t, &mut cpu, &mut mem);
+        let v = t.export();
+        assert_eq!(v.get("retired").and_then(Json::as_u64), Some(t.retired()));
+        let window = v.get("window").and_then(Json::as_arr).unwrap();
+        assert_eq!(window.len(), t.entries().count());
+        assert_eq!(window[0].get("addr").and_then(Json::as_u64), Some(0));
+        let branches = v.get("branches").and_then(Json::as_arr).unwrap();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].get("taken"), Some(&Json::Bool(true)));
+        // The export renders and reparses in the store's JSON subset.
+        let text = v.render();
+        assert_eq!(cfed_telemetry::json::parse(&text).unwrap(), v);
     }
 
     #[test]

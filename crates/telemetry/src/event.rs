@@ -1,0 +1,277 @@
+//! Structured events, sinks, and the cheap-when-disabled [`Telemetry`]
+//! handle.
+//!
+//! An [`Event`] is a kind tag plus ordered `(key, value)` fields in the
+//! workspace JSON subset. Sinks receive fully-built events; the
+//! [`Telemetry`] handle defers event *construction* behind a closure so
+//! that instrumented hot paths pay a single branch when no sink is
+//! attached — the property the `< 3%` overhead acceptance bound on
+//! `fig12_slowdown` rests on.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::json::{obj, Json};
+
+/// One structured event: a kind tag plus ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    kind: &'static str,
+    fields: Vec<(&'static str, Json)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &'static str) -> Event {
+        Event { kind, fields: Vec::new() }
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Event {
+        self.fields.push((key, Json::UInt(value)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &'static str, value: &str) -> Event {
+        self.fields.push((key, Json::Str(value.to_string())));
+        self
+    }
+
+    /// Adds an arbitrary JSON field.
+    pub fn json(mut self, key: &'static str, value: Json) -> Event {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// The kind tag.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes as `{"ev":kind, …fields}`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = Vec::with_capacity(self.fields.len() + 1);
+        pairs.push(("ev", Json::Str(self.kind.to_string())));
+        pairs.extend(self.fields.iter().map(|(k, v)| (*k, v.clone())));
+        obj(pairs)
+    }
+}
+
+/// Receives built events. Implementations must be cheap to call from
+/// worker threads (the JSONL sink serializes under a mutex).
+pub trait EventSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+}
+
+/// Discards everything (useful as an explicit placeholder in tests).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Appends each event as one JSON line to a file, flushing per event so a
+/// killed process leaves at most one truncated line (the same durability
+/// contract as the campaign result store).
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    emitted: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `std::io` error message if the file cannot be created.
+    pub fn create(path: &Path) -> Result<JsonlSink, String> {
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create event sink {}: {e}", path.display()))?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)), emitted: AtomicU64::new(0) })
+    }
+
+    /// Events written so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json().render();
+        let mut writer = self.writer.lock().expect("event sink poisoned");
+        let _ = writeln!(writer, "{line}");
+        let _ = writer.flush();
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Collects events in memory for assertions in tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Snapshot of events of one kind.
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        self.events().into_iter().filter(|e| e.kind() == kind).collect()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+}
+
+/// A cheaply-cloneable handle instrumented code holds. Disabled (the
+/// default) it is a `None` and every emit site costs one branch; enabled
+/// it forwards to a shared [`EventSink`].
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Telemetry {
+    /// The disabled handle: every `emit_with` is a single branch.
+    pub fn off() -> Telemetry {
+        Telemetry { sink: None }
+    }
+
+    /// A handle forwarding to `sink`.
+    pub fn to(sink: Arc<dyn EventSink>) -> Telemetry {
+        Telemetry { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits the event built by `build` — the closure runs only when a
+    /// sink is attached, so field formatting never burdens disabled runs.
+    pub fn emit_with(&self, build: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&build());
+        }
+    }
+}
+
+/// A span-style timer: start it, then observe the elapsed microseconds
+/// into a histogram or an event field.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Timer {
+        Timer { start: Instant::now() }
+    }
+
+    /// Microseconds elapsed since `start`, saturating at `u64::MAX`.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed microseconds into `hist` and returns them.
+    pub fn observe_into(&self, hist: &mut Histogram) -> u64 {
+        let us = self.elapsed_us();
+        hist.record(us);
+        us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn event_serializes_with_kind_first() {
+        let e = Event::new("shard_done").str("shard", "cell#3").u64("trials", 64);
+        assert_eq!(e.to_json().render(), r#"{"ev":"shard_done","shard":"cell#3","trials":64}"#);
+        assert_eq!(e.get("trials").and_then(Json::as_u64), Some(64));
+    }
+
+    #[test]
+    fn disabled_telemetry_never_builds_events() {
+        let t = Telemetry::off();
+        assert!(!t.enabled());
+        t.emit_with(|| panic!("must not build when disabled"));
+    }
+
+    #[test]
+    fn memory_sink_collects_by_kind() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::to(sink.clone());
+        assert!(t.enabled());
+        t.emit_with(|| Event::new("a").u64("x", 1));
+        t.emit_with(|| Event::new("b"));
+        t.emit_with(|| Event::new("a").u64("x", 2));
+        assert_eq!(sink.events().len(), 3);
+        let a = sink.of_kind("a");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[1].get("x").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("cfed-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let t = Telemetry::to(sink.clone());
+        t.emit_with(|| Event::new("run_meta").u64("trials", 30));
+        t.emit_with(|| Event::new("shard_done").str("shard", "k#0"));
+        assert_eq!(sink.emitted(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = parse(line).unwrap();
+            assert!(v.get("ev").and_then(Json::as_str).is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timer_observes_into_histogram() {
+        let timer = Timer::start();
+        let mut h = Histogram::new();
+        let us = timer.observe_into(&mut h);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), us);
+    }
+}

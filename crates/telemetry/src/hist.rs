@@ -1,0 +1,307 @@
+//! Log2-bucketed histograms with exact mergeability.
+//!
+//! A [`Histogram`] records `u64` samples into 65 power-of-two buckets
+//! (bucket 0 holds the value 0; bucket `i ≥ 1` holds values whose bit
+//! length is `i`, i.e. `[2^(i-1), 2^i)`), alongside exact `count`, `sum`,
+//! `min` and `max` accumulators. Every field merges with a commutative,
+//! associative operation (sums add, min/max take min/max), so a histogram
+//! built by merging shard histograms in any order is bit-identical to one
+//! built by recording the same samples serially — the same algebra
+//! `CampaignReport::merge` guarantees for its outcome tallies, extended to
+//! latency distributions.
+//!
+//! Percentiles are computed from the merged buckets deterministically
+//! (bucket upper bound, clamped to the observed min/max), so a resumed
+//! campaign renders byte-identical percentile tables to an uninterrupted
+//! one.
+
+use crate::json::{obj, Json};
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples with exact merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    /// Saturating sum of all samples (latencies are far below overflow in
+    /// practice; saturation keeps merge total and associative regardless).
+    sum: u64,
+    /// `u64::MAX` while empty, so `min` merges with `min()`.
+    min: u64,
+    /// `0` while empty, so `max` merges with `max()`.
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, otherwise its bit length (1–64).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Largest value a bucket can hold (the percentile representative).
+pub fn bucket_high(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Associative and commutative:
+    /// any merge order over any partition of the samples yields identical
+    /// fields.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (into, from) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, `None` while empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` while empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, `None` while empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Whether any sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the bucket
+    /// containing the rank-`ceil(q·count)` sample, clamped to the observed
+    /// `[min, max]`. Deterministic over merged buckets, so resumed and
+    /// uninterrupted campaigns print identical percentile tables.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(bucket_high(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Serializes to the sparse JSON form (`null` when empty, otherwise
+    /// `{"n":…,"sum":…,"min":…,"max":…,"b":[[index,count],…]}`).
+    pub fn to_json(&self) -> Json {
+        if self.count == 0 {
+            return Json::Null;
+        }
+        let buckets = self
+            .nonzero_buckets()
+            .map(|(i, c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+            .collect();
+        obj(vec![
+            ("n", Json::UInt(self.count)),
+            ("sum", Json::UInt(self.sum)),
+            ("min", Json::UInt(self.min)),
+            ("max", Json::UInt(self.max)),
+            ("b", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Deserializes the sparse JSON form (`null` parses as empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is not a valid histogram record
+    /// (missing fields, bucket index out of range, count mismatch).
+    pub fn from_json(v: &Json) -> Result<Histogram, String> {
+        if *v == Json::Null {
+            return Ok(Histogram::default());
+        }
+        let field = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("hist missing {k}"));
+        let mut h = Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: field("n")?,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+        };
+        let pairs = v.get("b").and_then(Json::as_arr).ok_or("hist missing b")?;
+        let mut total = 0u64;
+        for pair in pairs {
+            let pair = pair.as_arr().ok_or("hist bucket must be [index,count]")?;
+            let (i, c) = match pair {
+                [i, c] => (
+                    i.as_u64().ok_or("bucket index must be a number")?,
+                    c.as_u64().ok_or("bucket count must be a number")?,
+                ),
+                _ => return Err("hist bucket must be [index,count]".into()),
+            };
+            if i as usize >= HIST_BUCKETS {
+                return Err(format!("bucket index {i} out of range"));
+            }
+            h.buckets[i as usize] += c;
+            total += c;
+        }
+        if total != h.count {
+            return Err(format!("hist count {} != bucket total {total}", h.count));
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_high(i)), i, "high of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), None);
+        for v in [3u64, 9, 0, 100, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 121);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.mean(), Some(24.2));
+    }
+
+    #[test]
+    fn percentiles_are_bucket_bounds_clamped() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 lands in bucket 6 ([32,64)); upper bound 63.
+        assert_eq!(h.percentile(0.5), Some(63));
+        // p99+ clamps at the observed max.
+        assert_eq!(h.percentile(0.99), Some(100));
+        assert_eq!(h.percentile(1.0), Some(100));
+        // A single-sample histogram reports the sample for every quantile.
+        let mut one = Histogram::new();
+        one.record(42);
+        assert_eq!(one.percentile(0.5), Some(42));
+        assert_eq!(one.percentile(0.99), Some(42));
+    }
+
+    #[test]
+    fn merge_matches_serial_recording() {
+        let samples: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E3779B9) >> 40).collect();
+        let mut serial = Histogram::new();
+        for &s in &samples {
+            serial.record(s);
+        }
+        // Partition into 7 shards, merge in reverse order.
+        let mut shards: Vec<Histogram> = (0..7).map(|_| Histogram::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            shards[i % 7].record(s);
+        }
+        let mut merged = Histogram::new();
+        for shard in shards.iter().rev() {
+            merged.merge(shard);
+        }
+        assert_eq!(serial, merged);
+    }
+
+    #[test]
+    fn empty_is_merge_identity() {
+        let mut h = Histogram::new();
+        h.record(17);
+        h.record(3);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let text = h.to_json().render();
+        let back = Histogram::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(h, back);
+
+        let empty = Histogram::new();
+        assert_eq!(empty.to_json(), Json::Null);
+        assert_eq!(Histogram::from_json(&Json::Null).unwrap(), empty);
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_counts() {
+        let text = r#"{"n":3,"sum":1,"min":0,"max":1,"b":[[0,1]]}"#;
+        assert!(Histogram::from_json(&parse(text).unwrap()).is_err());
+        let oob = r#"{"n":1,"sum":1,"min":1,"max":1,"b":[[99,1]]}"#;
+        assert!(Histogram::from_json(&parse(oob).unwrap()).is_err());
+    }
+}

@@ -1,11 +1,12 @@
-//! Hand-rolled minimal JSON, for the checkpointed JSONL result store.
+//! Hand-rolled minimal JSON, shared by the telemetry event sinks and the
+//! checkpointed JSONL result store in `cfed-runner`.
 //!
 //! The workspace has no serde (offline build, std-only policy), and the
-//! store only needs objects, arrays, strings, unsigned integers, and
-//! booleans — every number the store writes is a `u64` tally. The writer
-//! emits exactly that subset; the parser accepts exactly that subset and
-//! rejects everything else, which doubles as corruption detection for
-//! half-written lines after a killed run.
+//! consumers only need objects, arrays, strings, unsigned integers, and
+//! booleans — every number the store and the event sinks write is a `u64`
+//! tally. The writer emits exactly that subset; the parser accepts exactly
+//! that subset and rejects everything else, which doubles as corruption
+//! detection for half-written lines after a killed run.
 
 use std::fmt::Write as _;
 

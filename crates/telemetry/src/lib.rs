@@ -1,0 +1,27 @@
+//! # cfed-telemetry — unified tracing, metrics, and forensics layer
+//!
+//! Every layer of the workspace (sim → dbt → fault → runner) reports
+//! through this crate:
+//!
+//! * [`metrics`] — lock-free relaxed counters for hot-path tallies;
+//! * [`hist`] — log2-bucketed histograms whose merge is associative and
+//!   commutative with *exact* count/sum/min/max, the same algebra
+//!   `CampaignReport::merge` guarantees, so sharded campaigns aggregate
+//!   latency distributions without loss;
+//! * [`event`] — structured events, JSONL / in-memory sinks, and the
+//!   [`Telemetry`] handle whose disabled path costs one branch (events are
+//!   built inside a closure that never runs without a sink);
+//! * [`json`] — the hand-rolled offline JSON subset shared with the
+//!   `cfed-runner` result store.
+//!
+//! The crate deliberately depends on nothing, so any layer can use it
+//! without cycles.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+
+pub use event::{Event, EventSink, JsonlSink, MemorySink, NullSink, Telemetry, Timer};
+pub use hist::{bucket_high, bucket_index, Histogram, HIST_BUCKETS};
+pub use metrics::Counter;

@@ -1,0 +1,57 @@
+//! Lock-free counters for hot-path tallies shared across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed atomic counter: increments from any thread without
+/// synchronization beyond the atomic itself. Reads are monotonic
+/// snapshots; exact totals are only meaningful after the writers quiesce
+/// (e.g. at run end), which is when the runner samples them.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                    c.add(10);
+                });
+            }
+        });
+        assert_eq!(c.get(), 4 * 1010);
+    }
+}

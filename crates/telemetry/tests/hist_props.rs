@@ -1,0 +1,67 @@
+//! Property tests for the histogram merge algebra: merging any partition
+//! of samples in any order must equal serial recording, field for field.
+
+use cfed_telemetry::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in proptest::collection::vec(0u64..u64::MAX, 0..64),
+                            b in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(0u64..u64::MAX, 0..48),
+                            b in proptest::collection::vec(0u64..u64::MAX, 0..48),
+                            c in proptest::collection::vec(0u64..u64::MAX, 0..48)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merged_shards_equal_serial(samples in proptest::collection::vec(0u64..u64::MAX, 0..128),
+                                  shards in 1usize..8) {
+        let serial = hist_of(&samples);
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(s);
+        }
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(serial, merged);
+    }
+
+    #[test]
+    fn json_roundtrips(samples in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let h = hist_of(&samples);
+        let text = h.to_json().render();
+        let parsed = cfed_telemetry::json::parse(&text).expect("rendered histogram parses");
+        let back = Histogram::from_json(&parsed).expect("valid histogram json");
+        prop_assert_eq!(h, back);
+    }
+}
