@@ -150,7 +150,7 @@ impl Asm {
     /// address of the first one.
     pub fn data_u64(&mut self, words: &[u64]) -> u64 {
         // Keep words aligned.
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u64;
@@ -171,7 +171,7 @@ impl Asm {
     /// Reserves `len` zeroed bytes in the data section, returning their
     /// absolute address (8-byte aligned).
     pub fn data_zeroed(&mut self, len: u64) -> u64 {
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u64;

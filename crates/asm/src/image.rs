@@ -122,7 +122,7 @@ impl Image {
     /// The instruction at an absolute address, if it lies in the image and is
     /// instruction-aligned.
     pub fn inst_at(&self, addr: u64) -> Option<Inst> {
-        if addr < self.base || (addr - self.base) % INST_SIZE_U64 != 0 {
+        if addr < self.base || !(addr - self.base).is_multiple_of(INST_SIZE_U64) {
             return None;
         }
         self.insts.get(((addr - self.base) / INST_SIZE_U64) as usize).copied()

@@ -25,7 +25,7 @@ use cfed_workloads::{Scale, Suite, Workload, ALL};
 /// Default campaign seed of the injection harnesses (the historical
 /// [`cfed_fault::Campaign::new`] default, kept so published tallies stay
 /// reproducible).
-pub const DEFAULT_CAMPAIGN_SEED: u64 = 0xCF_ED_2006;
+pub const DEFAULT_CAMPAIGN_SEED: u64 = 0xCFED_2006;
 
 fn image(w: &Workload, scale: Scale) -> cfed_asm::Image {
     w.image(scale).unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name))
@@ -416,8 +416,7 @@ pub fn render_coverage(rows: &[CoverageRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Coverage matrix — fault injection into translated code ({} trials/workload/technique)",
-        "per config"
+        "Coverage matrix — fault injection into translated code (per config trials/workload/technique)"
     );
     for row in rows {
         let name = row.technique.map_or("baseline".to_string(), |k| k.to_string());

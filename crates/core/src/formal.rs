@@ -522,7 +522,7 @@ impl SignatureScheme for EccaScheme {
     }
 
     fn check(&self, _cfg: &FormalCfg, s: &u64, at: Node) -> Option<bool> {
-        (at.part == Part::Head).then(|| s % self.primes[at.block] == 0)
+        (at.part == Part::Head).then(|| s.is_multiple_of(self.primes[at.block]))
     }
 }
 

@@ -12,7 +12,7 @@ use cfed_telemetry::Telemetry;
 pub const DEFAULT_MAX_INSTS: u64 = 200_000_000;
 
 /// Configuration for one DBT run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// The technique, or `None` for the uninstrumented DBT baseline.
     pub technique: Option<TechniqueKind>,

@@ -97,10 +97,10 @@ impl CfcssInstrumenter {
 
         let mut sigs = HashMap::new();
         let mut class_sig = vec![0i32; n];
-        for b in 0..n {
+        for (b, slot) in class_sig.iter_mut().enumerate() {
             let class = find(&mut parent, b);
-            class_sig[b] = (class as i32 + 1) << 4;
-            sigs.insert(cfg.blocks()[b].start, class_sig[b]);
+            *slot = (class as i32 + 1) << 4;
+            sigs.insert(cfg.blocks()[b].start, *slot);
         }
 
         // Interprocedural reseed points: call targets and return sites.

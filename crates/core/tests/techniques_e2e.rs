@@ -167,5 +167,5 @@ fn baseline_dbt_overhead_near_paper() {
         ratios.push(dbt.cycles as f64 / native.cycles as f64);
     }
     let g = geomean(&ratios);
-    assert!(g >= 1.0 && g < 1.5, "baseline DBT overhead {g:.3} out of band");
+    assert!((1.0..1.5).contains(&g), "baseline DBT overhead {g:.3} out of band");
 }

@@ -19,6 +19,7 @@ use cfed_sim::{trap_codes, Machine, Memory, Perms, Trap, PAGE_SIZE};
 use cfed_telemetry::{Event, Histogram, Telemetry, Timer};
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Cycles charged per indirect-branch dispatch, modeling the inline hash
 /// lookup a production DBT performs (our runtime does the lookup natively).
@@ -129,8 +130,21 @@ struct ExitDesc {
 /// let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
 /// assert_eq!(dbt.run(&mut m, 1_000), DbtExit::Halted { code: 9 });
 /// ```
+///
+/// # Cloning
+///
+/// `Dbt` is `Clone`: the clone duplicates all translation bookkeeping
+/// (block table, exit descriptors, chain patches, protected-page set,
+/// statistics) and shares the instrumenter, which is stateless — every
+/// [`Instrumenter`] hook takes `&self`; signature state lives in guest
+/// registers, never in the instrumenter. A clone is only meaningful paired
+/// with a `Machine` whose memory holds the matching code-cache contents
+/// (e.g. a [`cfed_sim::MachineSnapshot`] captured at the same moment):
+/// the bookkeeping describes translations physically present in that
+/// memory, and restoring either half alone desynchronizes cursor, block
+/// table and cache bytes.
 pub struct Dbt {
-    instr: Box<dyn Instrumenter>,
+    instr: Arc<dyn Instrumenter>,
     style: UpdateStyle,
     cache: Range<u64>,
     cursor: u64,
@@ -159,6 +173,34 @@ pub struct Dbt {
     telemetry: Telemetry,
 }
 
+impl Clone for Dbt {
+    fn clone(&self) -> Dbt {
+        Dbt {
+            instr: Arc::clone(&self.instr),
+            style: self.style,
+            cache: self.cache.clone(),
+            cursor: self.cursor,
+            err_stub: self.err_stub,
+            guest_code: self.guest_code.clone(),
+            blocks: self.blocks.clone(),
+            exits: self.exits.clone(),
+            patched_by_target: self.patched_by_target.clone(),
+            blocks_by_page: self.blocks_by_page.clone(),
+            protected_pages: self.protected_pages.clone(),
+            dispatch_cycles: self.dispatch_cycles,
+            inline_jumps: self.inline_jumps,
+            stats: self.stats,
+            attached: self.attached,
+            cache_limit: self.cache_limit,
+            base_cursor: self.base_cursor,
+            flush_gen: self.flush_gen,
+            seen_starts: self.seen_starts.clone(),
+            trans_us: self.trans_us.clone(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+}
+
 impl std::fmt::Debug for Dbt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dbt")
@@ -181,7 +223,7 @@ impl Dbt {
         let cursor = a.finish();
         let cache_limit = cache.end;
         Dbt {
-            instr,
+            instr: Arc::from(instr),
             style,
             cache,
             cursor,
@@ -416,7 +458,7 @@ impl Dbt {
         if let Some(b) = self.blocks.get(&guest_addr) {
             return Ok(b.cache_start);
         }
-        if guest_addr % INST_SIZE_U64 != 0 {
+        if !guest_addr.is_multiple_of(INST_SIZE_U64) {
             return Err(Trap::UnalignedFetch { addr: guest_addr });
         }
         if !self.guest_code.contains(&guest_addr) {

@@ -128,7 +128,12 @@ pub struct BlockView {
 ///
 /// Implementations live in `cfed-core` (ECF, EdgCF, RCF); the
 /// [`NullInstrumenter`] here is the uninstrumented baseline.
-pub trait Instrumenter {
+///
+/// `Send + Sync` is a supertrait: instrumenters are stateless (running
+/// signatures live in guest registers), and [`crate::Dbt`] clones inside
+/// fault-injection snapshot sets share one instrumenter across worker
+/// threads.
+pub trait Instrumenter: Send + Sync {
     /// Short technique name for reports.
     fn name(&self) -> &'static str;
 

@@ -9,8 +9,8 @@ fn main() {
     for name in ["164.gzip", "176.gcc", "181.mcf", "171.swim", "183.equake", "191.fma3d"] {
         let img = by_name(name).unwrap().image(Scale::Test).unwrap();
         let cfg = RunConfig::technique(TechniqueKind::Rcf);
-        let g = golden_run(&img, &cfg);
-        let mut rng = StdRng::seed_from_u64(0xCF_ED_2006);
+        let g = golden_run(&img, &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xCFED_2006);
         for _ in 0..40 {
             let nth = rng.gen_range(0..g.branches.max(1));
             let bit = rng.gen_range(0..OFFSET_BITS + Flags::BITS) as u8;
@@ -19,7 +19,7 @@ fn main() {
             } else {
                 FaultSpec::FlagBit { nth, bit: bit - OFFSET_BITS as u8 }
             };
-            if let Some(r) = inject(&img, &cfg, spec, &g) {
+            if let Some(r) = inject(&img, &cfg, spec, &g).unwrap() {
                 if r.outcome == Outcome::Timeout {
                     println!("{name}: TIMEOUT nth={nth} spec={spec:?} cat={:?} site={:#x} golden_insts={}", r.category, r.site, g.insts);
                 }

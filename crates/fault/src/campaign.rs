@@ -1,7 +1,8 @@
 //! Fault-injection campaigns: many randomized single-bit faults, aggregated
 //! into a per-category coverage matrix.
 
-use crate::inject::{golden_run, inject, FaultSpec, Golden, InjectionResult, Outcome};
+use crate::inject::{inject_with, FaultSpec, Golden, InjectionResult, Outcome, WorkloadError};
+use crate::snapshot::SnapshotSet;
 use cfed_asm::Image;
 use cfed_core::{Category, RunConfig};
 use cfed_isa::{Flags, OFFSET_BITS};
@@ -94,7 +95,7 @@ pub struct Campaign {
 impl Campaign {
     /// A campaign with the given trial count and a fixed default seed.
     pub fn new(config: RunConfig, trials: u64) -> Campaign {
-        Campaign { config, trials, seed: 0xCF_ED_2006 }
+        Campaign { config, trials, seed: 0xCFED_2006 }
     }
 
     /// Number of shards this campaign splits into ([`SHARD_TRIALS`] trials
@@ -120,28 +121,46 @@ impl Campaign {
         rand::splitmix64(&mut state)
     }
 
-    /// Runs one shard against a precomputed golden reference.
+    /// Runs one shard against a precomputed golden reference, replaying
+    /// every trial's prefix from scratch.
     ///
     /// Each trial picks a uniformly random dynamic branch execution and a
     /// uniformly random bit among the 32 offset bits + 6 flag bits — the
     /// same fault space as the §2 error model, but executed rather than
     /// classified hypothetically.
-    pub fn run_shard(&self, image: &Image, golden: &Golden, shard_index: u64) -> CampaignReport {
-        self.run_shard_with(image, golden, shard_index, |_, _| {})
-    }
-
-    /// As [`Campaign::run_shard`], invoking `observer` with every placed
-    /// trial's spec and result. Observers are for side channels —
-    /// telemetry events, forensics capture of interesting outcomes — and
-    /// must not influence the tallies; the report is identical to the
-    /// observer-free path.
-    pub fn run_shard_with(
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] when a trial's fault-free prefix misbehaves —
+    /// the workload is unsound under this configuration, so the shard
+    /// (not the process) fails.
+    pub fn run_shard(
         &self,
         image: &Image,
         golden: &Golden,
         shard_index: u64,
+    ) -> Result<CampaignReport, WorkloadError> {
+        self.run_shard_with(image, golden, None, shard_index, |_, _| {})
+    }
+
+    /// As [`Campaign::run_shard`], fast-forwarding through `snapshots`
+    /// when provided (see [`inject_with`]) and invoking `observer` with
+    /// every placed trial's spec and result. Observers are for side
+    /// channels — telemetry events, forensics capture of interesting
+    /// outcomes — and must not influence the tallies; the report is
+    /// identical to the observer-free, snapshot-free path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_shard`].
+    pub fn run_shard_with(
+        &self,
+        image: &Image,
+        golden: &Golden,
+        snapshots: Option<&SnapshotSet>,
+        shard_index: u64,
         mut observer: impl FnMut(FaultSpec, &InjectionResult),
-    ) -> CampaignReport {
+    ) -> Result<CampaignReport, WorkloadError> {
         let mut rng = StdRng::seed_from_u64(self.shard_seed(shard_index));
         let mut report = CampaignReport::new(golden.clone());
         for _ in 0..self.shard_trials(shard_index) {
@@ -152,32 +171,47 @@ impl Campaign {
             } else {
                 FaultSpec::FlagBit { nth, bit: bit - OFFSET_BITS as u8 }
             };
-            if let Some(r) = inject(image, &self.config, spec, golden) {
+            if let Some(r) = inject_with(image, &self.config, spec, golden, snapshots)? {
                 observer(spec, &r);
                 report.record(r.category, r.outcome, r.latency_insts);
             } else {
                 report.skipped += 1;
             }
         }
-        report
+        Ok(report)
     }
 
     /// Runs the campaign against a caller-supplied golden reference,
     /// skipping the golden re-run (callers that batch campaigns over one
-    /// image cache the golden once — see `cfed-runner`).
-    pub fn run_with_golden(&self, image: &Image, golden: &Golden) -> CampaignReport {
+    /// image cache the golden once — see `cfed-runner`), optionally
+    /// fast-forwarding through `snapshots`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_shard`].
+    pub fn run_with_golden(
+        &self,
+        image: &Image,
+        golden: &Golden,
+        snapshots: Option<&SnapshotSet>,
+    ) -> Result<CampaignReport, WorkloadError> {
         let mut report = CampaignReport::new(golden.clone());
         for shard in 0..self.num_shards() {
-            report.merge(&self.run_shard(image, golden, shard));
+            report.merge(&self.run_shard_with(image, golden, snapshots, shard, |_, _| {})?);
         }
-        report
+        Ok(report)
     }
 
-    /// Runs the campaign: the fault-free golden run, then every shard in
-    /// order. Equals the merge of the shard reports in any order.
-    pub fn run(&self, image: &Image) -> CampaignReport {
-        let golden = golden_run(image, &self.config);
-        self.run_with_golden(image, &golden)
+    /// Runs the campaign: the fault-free golden run (capturing
+    /// fast-forward checkpoints), then every shard in order. Equals the
+    /// merge of the shard reports in any order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_shard`], plus golden-run failures.
+    pub fn run(&self, image: &Image) -> Result<CampaignReport, WorkloadError> {
+        let (golden, snapshots) = SnapshotSet::capture(image, &self.config)?;
+        self.run_with_golden(image, &golden, Some(&snapshots))
     }
 }
 
@@ -200,31 +234,47 @@ impl ExhaustiveSweep {
     }
 
     /// Runs the sweep: `branches × (32 offset bits + 6 flag bits)`
-    /// injections.
-    pub fn run(&self, image: &Image) -> CampaignReport {
-        let golden = golden_run(image, &self.config);
-        self.run_with_golden(image, &golden)
+    /// injections, fast-forwarding through checkpoints captured during
+    /// the golden run.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] when the fault-free run misbehaves.
+    pub fn run(&self, image: &Image) -> Result<CampaignReport, WorkloadError> {
+        let (golden, snapshots) = SnapshotSet::capture(image, &self.config)?;
+        self.run_with_golden(image, &golden, Some(&snapshots))
     }
 
     /// Runs the sweep against a caller-supplied golden reference, skipping
-    /// the golden re-run.
-    pub fn run_with_golden(&self, image: &Image, golden: &Golden) -> CampaignReport {
+    /// the golden re-run, optionally fast-forwarding through `snapshots`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] when a trial's fault-free prefix misbehaves.
+    pub fn run_with_golden(
+        &self,
+        image: &Image,
+        golden: &Golden,
+        snapshots: Option<&SnapshotSet>,
+    ) -> Result<CampaignReport, WorkloadError> {
         let mut report = CampaignReport::new(golden.clone());
         for nth in 0..self.branches.min(golden.branches) {
             for bit in 0..OFFSET_BITS as u8 {
-                match inject(image, &self.config, FaultSpec::AddrBit { nth, bit }, golden) {
+                let spec = FaultSpec::AddrBit { nth, bit };
+                match inject_with(image, &self.config, spec, golden, snapshots)? {
                     Some(r) => report.record(r.category, r.outcome, r.latency_insts),
                     None => report.skipped += 1,
                 }
             }
             for bit in 0..Flags::BITS as u8 {
-                match inject(image, &self.config, FaultSpec::FlagBit { nth, bit }, golden) {
+                let spec = FaultSpec::FlagBit { nth, bit };
+                match inject_with(image, &self.config, spec, golden, snapshots)? {
                     Some(r) => report.record(r.category, r.outcome, r.latency_insts),
                     None => report.skipped += 1,
                 }
             }
         }
-        report
+        Ok(report)
     }
 }
 
@@ -413,8 +463,8 @@ mod tests {
     fn campaign_is_deterministic() {
         let img = image();
         let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 30);
-        let a = c.run(&img);
-        let b = c.run(&img);
+        let a = c.run(&img).unwrap();
+        let b = c.run(&img).unwrap();
         for cat in Category::ALL {
             assert_eq!(a.category(cat), b.category(cat));
         }
@@ -424,7 +474,7 @@ mod tests {
     fn trials_accounted_for() {
         let img = image();
         let c = Campaign::new(RunConfig::technique(TechniqueKind::Rcf), 40);
-        let r = c.run(&img);
+        let r = c.run(&img).unwrap();
         let total: u64 = Category::ALL.iter().map(|&cat| r.category(cat).total()).sum();
         assert_eq!(total + r.skipped, 40);
     }
@@ -438,7 +488,7 @@ mod tests {
             style: cfed_dbt::UpdateStyle::CMov,
             ..RunConfig::default()
         };
-        let r = Campaign::new(cfg, 60).run(&img);
+        let r = Campaign::new(cfg, 60).run(&img).unwrap();
         let s = r.sdc_prone_total();
         assert_eq!(s.sdc, 0, "RCF/CMOVcc must prevent SDC: {:?}", s);
     }
@@ -450,7 +500,7 @@ mod tests {
         // flag-producing instruction — outside any signature scheme's
         // reach). Those classify as category A; B–E stay SDC-free.
         let img = image();
-        let r = Campaign::new(RunConfig::technique(TechniqueKind::Rcf), 60).run(&img);
+        let r = Campaign::new(RunConfig::technique(TechniqueKind::Rcf), 60).run(&img).unwrap();
         for c in [Category::B, Category::C, Category::D, Category::E] {
             assert_eq!(r.category(c).sdc, 0, "RCF/Jcc leaked category {c}");
         }
@@ -461,11 +511,11 @@ mod tests {
         let img = image();
         let cfg = RunConfig::technique(TechniqueKind::EdgCf);
         let sweep = ExhaustiveSweep::new(cfg, 3);
-        let r = sweep.run(&img);
+        let r = sweep.run(&img).unwrap();
         let total: u64 = Category::ALL.iter().map(|&c| r.category(c).total()).sum();
         assert_eq!(total + r.skipped, 3 * 38, "3 branches x 38 bits");
         // Deterministic: same result twice.
-        let r2 = sweep.run(&img);
+        let r2 = sweep.run(&img).unwrap();
         for c in Category::ALL {
             assert_eq!(r.category(c), r2.category(c));
         }
@@ -474,7 +524,7 @@ mod tests {
     #[test]
     fn render_is_nonempty() {
         let img = image();
-        let r = Campaign::new(RunConfig::baseline(), 20).run(&img);
+        let r = Campaign::new(RunConfig::baseline(), 20).run(&img).unwrap();
         assert!(r.render("x").contains("Category"));
     }
 
@@ -484,11 +534,11 @@ mod tests {
         // the same shards in reverse must produce identical tallies.
         let img = image();
         let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 150);
-        let serial = c.run(&img);
-        let golden = crate::inject::golden_run(&img, &c.config);
+        let serial = c.run(&img).unwrap();
+        let golden = crate::inject::golden_run(&img, &c.config).unwrap();
         let mut merged = CampaignReport::new(golden.clone());
         for shard in (0..c.num_shards()).rev() {
-            merged.merge(&c.run_shard(&img, &golden, shard));
+            merged.merge(&c.run_shard(&img, &golden, shard).unwrap());
         }
         for cat in Category::ALL {
             assert_eq!(serial.category(cat), merged.category(cat));
@@ -507,10 +557,10 @@ mod tests {
     fn observer_does_not_change_tallies() {
         let img = image();
         let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 30);
-        let golden = crate::inject::golden_run(&img, &c.config);
-        let plain = c.run_shard(&img, &golden, 0);
+        let golden = crate::inject::golden_run(&img, &c.config).unwrap();
+        let plain = c.run_shard(&img, &golden, 0).unwrap();
         let mut observed = 0u64;
-        let with = c.run_shard_with(&img, &golden, 0, |_, _| observed += 1);
+        let with = c.run_shard_with(&img, &golden, None, 0, |_, _| observed += 1).unwrap();
         for cat in Category::ALL {
             assert_eq!(plain.category(cat), with.category(cat));
         }
@@ -523,7 +573,7 @@ mod tests {
     fn latency_recorded_for_every_outcome() {
         let img = image();
         let c = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 120);
-        let r = c.run(&img);
+        let r = c.run(&img).unwrap();
         for cat in Category::ALL {
             let s = r.category(cat);
             let per_outcome = [
@@ -545,6 +595,30 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_shard_matches_scratch_shard() {
+        let img = image();
+        let cfg = RunConfig::technique(TechniqueKind::EdgCf);
+        let c = Campaign::new(cfg, 128);
+        let (golden, snaps) = crate::snapshot::SnapshotSet::capture(&img, &cfg).unwrap();
+        for shard in 0..c.num_shards() {
+            let scratch = c.run_shard(&img, &golden, shard).unwrap();
+            let fast = c.run_shard_with(&img, &golden, Some(&snaps), shard, |_, _| {}).unwrap();
+            for cat in Category::ALL {
+                assert_eq!(scratch.category(cat), fast.category(cat), "shard {shard}");
+            }
+            assert_eq!(scratch.skipped, fast.skipped);
+            for cat in Category::ALL {
+                for o in Outcome::ALL {
+                    assert_eq!(scratch.latency_hist(cat, o), fast.latency_hist(cat, o));
+                }
+            }
+        }
+        let stats = snaps.stats();
+        assert!(stats.restores > 0, "fast path must actually restore checkpoints");
+        assert!(stats.branches_fast_forwarded > stats.branches_stepped);
+    }
+
+    #[test]
     fn shard_trials_partition_the_campaign() {
         let c = Campaign::new(RunConfig::baseline(), 150);
         assert_eq!(c.num_shards(), 3);
@@ -560,16 +634,16 @@ mod tests {
         let img = image();
         let cfg = RunConfig::technique(TechniqueKind::Ecf);
         let c = Campaign::new(cfg, 70);
-        let golden = crate::inject::golden_run(&img, &cfg);
-        let a = c.run(&img);
-        let b = c.run_with_golden(&img, &golden);
+        let golden = crate::inject::golden_run(&img, &cfg).unwrap();
+        let a = c.run(&img).unwrap();
+        let b = c.run_with_golden(&img, &golden, None).unwrap();
         for cat in Category::ALL {
             assert_eq!(a.category(cat), b.category(cat));
         }
 
         let sweep = ExhaustiveSweep::new(cfg, 2);
-        let a = sweep.run(&img);
-        let b = sweep.run_with_golden(&img, &golden);
+        let a = sweep.run(&img).unwrap();
+        let b = sweep.run_with_golden(&img, &golden, None).unwrap();
         for cat in Category::ALL {
             assert_eq!(a.category(cat), b.category(cat));
         }

@@ -7,7 +7,8 @@
 //! address, the flipped bit, the classification, and the tracer's last-N
 //! instruction window and branch history ending at the detection point.
 
-use crate::inject::{inject_traced, FaultSpec, Golden, InjectionResult, Outcome};
+use crate::inject::{inject_traced_with, FaultSpec, Golden, InjectionResult, Outcome};
+use crate::snapshot::SnapshotSet;
 use cfed_asm::Image;
 use cfed_core::{Category, RunConfig};
 use cfed_telemetry::json::{obj, Json};
@@ -40,7 +41,8 @@ impl ForensicsBundle {
     /// Re-injects `spec` with a tracer of `window` instructions attached
     /// and bundles the evidence. Injection is deterministic, so the result
     /// matches the plain trial's. Returns `None` if the fault cannot be
-    /// placed (which a previously-placed trial never hits).
+    /// placed (which a previously-placed trial never hits) or if the
+    /// fault-free prefix misbehaves (ditto — the golden run succeeded).
     pub fn capture(
         image: &Image,
         cfg: &RunConfig,
@@ -48,7 +50,23 @@ impl ForensicsBundle {
         golden: &Golden,
         window: usize,
     ) -> Option<ForensicsBundle> {
-        let (result, tracer) = inject_traced(image, cfg, spec, golden, window)?;
+        ForensicsBundle::capture_with(image, cfg, spec, golden, window, None)
+    }
+
+    /// As [`ForensicsBundle::capture`], fast-forwarding through
+    /// `snapshots` when provided. The bundle — result *and* trace — is
+    /// bit-identical to the from-scratch capture (see
+    /// [`inject_traced_with`]).
+    pub fn capture_with(
+        image: &Image,
+        cfg: &RunConfig,
+        spec: FaultSpec,
+        golden: &Golden,
+        window: usize,
+        snapshots: Option<&SnapshotSet>,
+    ) -> Option<ForensicsBundle> {
+        let (result, tracer) =
+            inject_traced_with(image, cfg, spec, golden, window, snapshots).ok()??;
         Some(ForensicsBundle { spec, result, trace: tracer.export() })
     }
 

@@ -8,6 +8,7 @@
 //! *translated* code, so the instrumentation's own inserted branches are
 //! fault sites too — exactly the surface RCF exists to protect (§3.2).
 
+use crate::snapshot::{SnapshotBuilder, SnapshotSet};
 use cfed_asm::Image;
 use cfed_core::{
     classify_addr_fault, classify_flag_fault, BlockLayout, BranchFault, CacheLayout, Category,
@@ -16,6 +17,35 @@ use cfed_core::{
 use cfed_dbt::{Dbt, DbtStep, NullInstrumenter};
 use cfed_isa::{Flags, INST_SIZE_U64};
 use cfed_sim::{Machine, Trap};
+
+/// The *fault-free* execution misbehaved: the workload itself is unsound
+/// under the given configuration. Distinct from an unplaceable fault
+/// (`Ok(None)` from [`inject`]) — an error here means every trial against
+/// this `(image, config)` is meaningless, so campaign runners fail the
+/// owning shard/cell rather than the whole process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The fault-free program did not halt within the instruction budget.
+    BudgetExhausted {
+        /// Instructions retired when the budget cut the run off.
+        insts: u64,
+    },
+    /// The fault-free program trapped.
+    Trapped(Trap),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BudgetExhausted { insts } => {
+                write!(f, "fault-free run exceeded instruction budget ({insts} insts)")
+            }
+            WorkloadError::Trapped(t) => write!(f, "fault-free run trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// A single-bit fault to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,31 +162,52 @@ pub struct Golden {
 /// Runs `image` under the DBT configuration without faults, collecting the
 /// golden output and the number of dynamic branch fault sites.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the fault-free program does not halt within the budget (the
-/// workload itself must be sound).
-pub fn golden_run(image: &Image, cfg: &RunConfig) -> Golden {
+/// [`WorkloadError`] when the fault-free program traps or does not halt
+/// within the budget — the workload itself is unsound under this
+/// configuration.
+pub fn golden_run(image: &Image, cfg: &RunConfig) -> Result<Golden, WorkloadError> {
+    golden_inner(image, cfg, None)
+}
+
+/// The golden-run loop, optionally capturing fast-forward checkpoints.
+/// Capture observes the machine without perturbing it, so the returned
+/// golden is identical with or without a builder.
+pub(crate) fn golden_inner(
+    image: &Image,
+    cfg: &RunConfig,
+    mut snapshots: Option<&mut SnapshotBuilder>,
+) -> Result<Golden, WorkloadError> {
     let (mut m, mut dbt) = build(image, cfg);
     let mut branches = 0u64;
     loop {
         if m.cpu.stats().insts >= cfg.max_insts {
-            panic!("golden run exceeded instruction budget");
+            return Err(WorkloadError::BudgetExhausted { insts: m.cpu.stats().insts });
         }
         if let Ok(inst) = m.cpu.peek_inst(&m.mem) {
-            branches += inst.is_branch() as u64;
+            if inst.is_branch() {
+                // About to execute dynamic branch `branches`: the same
+                // instant inject_inner's prefix loop identifies as
+                // `seen_branches == branches`, which is what makes a
+                // restored checkpoint equivalent to stepping here.
+                if let Some(b) = snapshots.as_deref_mut() {
+                    b.observe_branch(branches, &mut m, &dbt);
+                }
+                branches += 1;
+            }
         }
         match dbt.step(&mut m) {
             DbtStep::Continue => {}
             DbtStep::Halted => {
-                return Golden {
+                return Ok(Golden {
                     output: m.cpu.take_output(),
                     exit_code: m.cpu.reg(cfed_isa::Reg::R0),
                     insts: m.cpu.stats().insts,
                     branches,
-                }
+                })
             }
-            DbtStep::Exit(t) => panic!("golden run trapped: {t}"),
+            DbtStep::Exit(t) => return Err(WorkloadError::Trapped(t)),
         }
     }
 }
@@ -175,17 +226,45 @@ fn build(image: &Image, cfg: &RunConfig) -> (Machine, Dbt) {
     (m, dbt)
 }
 
-/// Injects one fault and runs to an outcome.
+/// Injects one fault and runs to an outcome, replaying the fault-free
+/// prefix from scratch.
 ///
-/// Returns `None` when `spec` names a dynamic branch beyond the program's
-/// execution (use [`golden_run`]'s branch count to stay in range).
+/// Returns `Ok(None)` when `spec` names a dynamic branch beyond the
+/// program's execution (use [`golden_run`]'s branch count to stay in
+/// range).
+///
+/// # Errors
+///
+/// [`WorkloadError`] when the fault-free prefix itself misbehaves — only
+/// possible when `golden` does not actually describe this
+/// `(image, config)`.
 pub fn inject(
     image: &Image,
     cfg: &RunConfig,
     spec: FaultSpec,
     golden: &Golden,
-) -> Option<InjectionResult> {
-    inject_inner(image, cfg, spec, golden, None).map(|(r, _)| r)
+) -> Result<Option<InjectionResult>, WorkloadError> {
+    inject_with(image, cfg, spec, golden, None)
+}
+
+/// As [`inject`], fast-forwarding through `snapshots` when provided: the
+/// nearest checkpoint at-or-below the target branch is restored and only
+/// the residual prefix is stepped, reusing the checkpoint's translated
+/// code cache. Falls back to from-scratch when the set was captured under
+/// a different configuration or holds no usable checkpoint. The outcome is
+/// bit-identical to the from-scratch path either way.
+///
+/// # Errors
+///
+/// As [`inject`].
+pub fn inject_with(
+    image: &Image,
+    cfg: &RunConfig,
+    spec: FaultSpec,
+    golden: &Golden,
+    snapshots: Option<&SnapshotSet>,
+) -> Result<Option<InjectionResult>, WorkloadError> {
+    Ok(inject_inner(image, cfg, spec, golden, None, snapshots)?.map(|(r, _)| r))
 }
 
 /// As [`inject`], but with an execution tracer of `capacity` instructions
@@ -194,15 +273,42 @@ pub fn inject(
 /// instruction itself never commits, hence never appears). Injection is
 /// deterministic, so re-running a plain [`inject`] trial through here
 /// reproduces the identical outcome with forensics attached.
+///
+/// # Errors
+///
+/// As [`inject`].
 pub fn inject_traced(
     image: &Image,
     cfg: &RunConfig,
     spec: FaultSpec,
     golden: &Golden,
     capacity: usize,
-) -> Option<(InjectionResult, cfed_sim::Tracer)> {
-    inject_inner(image, cfg, spec, golden, Some(capacity))
-        .map(|(r, t)| (r, t.expect("tracer attached")))
+) -> Result<Option<(InjectionResult, cfed_sim::Tracer)>, WorkloadError> {
+    inject_traced_with(image, cfg, spec, golden, capacity, None)
+}
+
+/// As [`inject_traced`] with fast-forward (see [`inject_with`]). The trace
+/// stays bit-identical to the from-scratch path: only checkpoints at least
+/// `capacity` branches before the injection point are used (every branch
+/// is an instruction, so at least `capacity` instructions and `capacity`
+/// branches retire between restore and injection, filling both tracer
+/// rings with exactly the entries the from-scratch run would hold), and
+/// the tracer's retired counter resumes from the checkpoint's instruction
+/// count.
+///
+/// # Errors
+///
+/// As [`inject`].
+pub fn inject_traced_with(
+    image: &Image,
+    cfg: &RunConfig,
+    spec: FaultSpec,
+    golden: &Golden,
+    capacity: usize,
+    snapshots: Option<&SnapshotSet>,
+) -> Result<Option<(InjectionResult, cfed_sim::Tracer)>, WorkloadError> {
+    Ok(inject_inner(image, cfg, spec, golden, Some(capacity), snapshots)?
+        .map(|(r, t)| (r, t.expect("tracer attached"))))
 }
 
 fn inject_inner(
@@ -211,18 +317,43 @@ fn inject_inner(
     spec: FaultSpec,
     golden: &Golden,
     trace_capacity: Option<usize>,
-) -> Option<(InjectionResult, Option<cfed_sim::Tracer>)> {
-    let (mut m, mut dbt) = build(image, cfg);
+    snapshots: Option<&SnapshotSet>,
+) -> Result<Option<(InjectionResult, Option<cfed_sim::Tracer>)>, WorkloadError> {
+    // Fast-forward: restore the nearest checkpoint at-or-below the target
+    // branch instead of replaying the prefix. Traced runs additionally
+    // require `capacity` branches of margin before the injection point so
+    // the last-N windows fill identically to the from-scratch stream.
+    let usable = snapshots.filter(|s| s.matches(cfg));
+    let target = match trace_capacity {
+        None => Some(spec.nth()),
+        Some(cap) => spec.nth().checked_sub(cap as u64),
+    };
+    let restored = usable.and_then(|s| target.and_then(|t| s.nearest(t)));
+    if let Some(s) = usable {
+        match restored {
+            Some(snap) => s.note_restore(snap.branch_index, spec.nth() - snap.branch_index),
+            None => s.note_miss(spec.nth()),
+        }
+    }
+    let (mut m, mut dbt, mut seen_branches) = match restored {
+        Some(snap) => (snap.machine.restore(), snap.dbt.clone(), snap.branch_index),
+        None => {
+            let (m, dbt) = build(image, cfg);
+            (m, dbt, 0)
+        }
+    };
     if let Some(capacity) = trace_capacity {
-        m.attach_tracer(capacity);
+        // From scratch this is a plain fresh tracer (zero retired); from a
+        // checkpoint it resumes the count at the instructions already
+        // executed before the restore point.
+        m.attach_tracer_resumed(capacity, m.cpu.stats().insts);
     }
     let budget = golden.insts * 3 + 100_000;
-    let mut seen_branches = 0u64;
 
     // Phase 1: run to the injection point.
     let injected = loop {
         if m.cpu.stats().insts >= budget {
-            return None;
+            return Ok(None);
         }
         let at_branch = m.cpu.peek_inst(&m.mem).map(|i| i.is_branch()).unwrap_or(false);
         if at_branch {
@@ -234,22 +365,57 @@ fn inject_inner(
         match dbt.step(&mut m) {
             DbtStep::Continue => {}
             // Program ended before the nth branch.
-            DbtStep::Halted => return None,
-            DbtStep::Exit(t) => panic!("fault-free prefix trapped: {t}"),
+            DbtStep::Halted => return Ok(None),
+            DbtStep::Exit(t) => return Err(WorkloadError::Trapped(t)),
         }
     };
-    let (category, site, faulted_step) = injected?;
+    let Some((category, site, faulted_step)) = injected else {
+        return Ok(None);
+    };
     let insts_at_injection = m.cpu.stats().insts;
 
     // Phase 2: run to an outcome (the faulted step itself may already have
-    // produced one).
+    // produced one). With snapshots available and no tracer attached, the
+    // loop additionally performs convergence pruning: whenever the trial is
+    // about to execute a dynamic branch for which the golden run holds a
+    // checkpoint, and the trial's architectural state is bit-identical to
+    // that checkpoint (CPU including counters and the output stream, every
+    // written page — the code cache among them — and page permissions),
+    // the deterministic remainder *is* the golden remainder. The outcome is
+    // then provably Benign with exactly the latency the full run would
+    // report, so the suffix is skipped. Traced runs never prune: the
+    // tracer window must hold the genuinely executed final instructions.
+    let prune = match trace_capacity {
+        None => usable,
+        Some(_) => None,
+    };
+    let mut boundaries = prune.map(|s| s.after(spec.nth()).iter()).into_iter().flatten().peekable();
+    // The faulted step consumed dynamic branch `nth`; later trial branch
+    // indices only stay aligned with golden's while the paths coincide —
+    // exactly the situation state equality certifies, and misaligned
+    // comparisons simply fail (the CPU's retired counters differ).
+    let mut trial_branch = spec.nth();
     let mut pending = Some(faulted_step);
-    let outcome = loop {
+    let (outcome, pruned_latency) = loop {
         if m.cpu.stats().insts >= budget {
-            break Outcome::Timeout;
+            break (Outcome::Timeout, None);
         }
         let step = match pending.take() {
-            Some(DbtStep::Continue) | None => dbt.step(&mut m),
+            Some(DbtStep::Continue) | None => {
+                if boundaries.peek().is_some()
+                    && m.cpu.peek_inst(&m.mem).map(|i| i.is_branch()).unwrap_or(false)
+                {
+                    trial_branch += 1;
+                    while boundaries.next_if(|s| s.branch_index < trial_branch).is_some() {}
+                    if let Some(snap) = boundaries.next_if(|s| s.branch_index == trial_branch) {
+                        if snap.machine.matches(&m) {
+                            prune.expect("pruning implies a snapshot set").note_pruned();
+                            break (Outcome::Benign, Some(golden.insts - insts_at_injection));
+                        }
+                    }
+                }
+                dbt.step(&mut m)
+            }
             Some(other) => other,
         };
         match step {
@@ -257,9 +423,9 @@ fn inject_inner(
             DbtStep::Halted => {
                 let ok = m.cpu.output() == golden.output.as_slice()
                     && m.cpu.reg(cfed_isa::Reg::R0) == golden.exit_code;
-                break if ok { Outcome::Benign } else { Outcome::Sdc };
+                break (if ok { Outcome::Benign } else { Outcome::Sdc }, None);
             }
-            DbtStep::Exit(t) => break outcome_of_trap(t),
+            DbtStep::Exit(t) => break (outcome_of_trap(t), None),
         }
     };
 
@@ -267,9 +433,9 @@ fn inject_inner(
         outcome,
         category,
         site,
-        latency_insts: m.cpu.stats().insts - insts_at_injection,
+        latency_insts: pruned_latency.unwrap_or(m.cpu.stats().insts - insts_at_injection),
     };
-    Some((result, m.tracer.take()))
+    Ok(Some((result, m.tracer.take())))
 }
 
 /// Scans straight-line code from `from` for the next flag-reading branch
@@ -401,17 +567,28 @@ mod tests {
     #[test]
     fn golden_run_counts_branches() {
         let img = image();
-        let g = golden_run(&img, &RunConfig::technique(TechniqueKind::EdgCf));
+        let g = golden_run(&img, &RunConfig::technique(TechniqueKind::EdgCf)).unwrap();
         assert!(g.branches > 100);
         assert_eq!(g.output.len(), 1);
+    }
+
+    #[test]
+    fn golden_run_budget_exhaustion_is_typed() {
+        let img = compile("fn main() { let i = 0; while (i < 10) { i = i * 1; } }").unwrap();
+        let cfg = RunConfig { max_insts: 5_000, ..RunConfig::baseline() };
+        match golden_run(&img, &cfg) {
+            Err(WorkloadError::BudgetExhausted { insts }) => assert!(insts >= 5_000),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 
     #[test]
     fn out_of_range_nth_returns_none() {
         let img = image();
         let cfg = RunConfig::technique(TechniqueKind::EdgCf);
-        let g = golden_run(&img, &cfg);
-        let r = inject(&img, &cfg, FaultSpec::AddrBit { nth: g.branches + 100, bit: 3 }, &g);
+        let g = golden_run(&img, &cfg).unwrap();
+        let r =
+            inject(&img, &cfg, FaultSpec::AddrBit { nth: g.branches + 100, bit: 3 }, &g).unwrap();
         assert!(r.is_none());
     }
 
@@ -419,12 +596,12 @@ mod tests {
     fn flag_fault_without_direction_change_is_benign() {
         let img = image();
         let cfg = RunConfig::technique(TechniqueKind::EdgCf);
-        let g = golden_run(&img, &cfg);
+        let g = golden_run(&img, &cfg).unwrap();
         // Find an injection whose classification is NoError; it must end
         // benign (single-fault model, no other corruption).
         let mut found = false;
         for nth in 0..40 {
-            let r = inject(&img, &cfg, FaultSpec::FlagBit { nth, bit: 1 }, &g);
+            let r = inject(&img, &cfg, FaultSpec::FlagBit { nth, bit: 1 }, &g).unwrap();
             if let Some(r) = r {
                 if r.category == Category::NoError {
                     assert_eq!(r.outcome, Outcome::Benign, "NoError fault at {nth} not benign");
@@ -442,11 +619,11 @@ mod tests {
         // hardware (category F path) must catch it under any technique.
         let img = image();
         let cfg = RunConfig::baseline();
-        let g = golden_run(&img, &cfg);
+        let g = golden_run(&img, &cfg).unwrap();
         let mut hw = 0;
         let mut tried = 0;
         for nth in (0..g.branches.min(60)).step_by(7) {
-            if let Some(r) = inject(&img, &cfg, FaultSpec::AddrBit { nth, bit: 30 }, &g) {
+            if let Some(r) = inject(&img, &cfg, FaultSpec::AddrBit { nth, bit: 30 }, &g).unwrap() {
                 tried += 1;
                 if r.category == Category::F {
                     assert!(
@@ -469,8 +646,8 @@ mod tests {
         let img = image();
         let base_cfg = RunConfig::baseline();
         let rcf_cfg = RunConfig::technique(TechniqueKind::Rcf);
-        let g_base = golden_run(&img, &base_cfg);
-        let g_rcf = golden_run(&img, &rcf_cfg);
+        let g_base = golden_run(&img, &base_cfg).unwrap();
+        let g_rcf = golden_run(&img, &rcf_cfg).unwrap();
 
         let mut baseline_undetected = 0;
         let mut rcf_detected = 0;
@@ -478,12 +655,12 @@ mod tests {
         for nth in 0..60 {
             for bit in [3u8, 4, 5] {
                 let spec_b = FaultSpec::AddrBit { nth, bit };
-                if let Some(r) = inject(&img, &base_cfg, spec_b, &g_base) {
+                if let Some(r) = inject(&img, &base_cfg, spec_b, &g_base).unwrap() {
                     if r.category != Category::NoError && !r.outcome.is_detected() {
                         baseline_undetected += 1;
                     }
                 }
-                if let Some(r) = inject(&img, &rcf_cfg, spec_b, &g_rcf) {
+                if let Some(r) = inject(&img, &rcf_cfg, spec_b, &g_rcf).unwrap() {
                     if r.category != Category::NoError {
                         match r.outcome {
                             Outcome::DetectedByCheck => rcf_detected += 1,

@@ -29,10 +29,15 @@ pub mod campaign;
 pub mod error_model;
 pub mod forensics;
 pub mod inject;
+pub mod snapshot;
 
 pub use campaign::{
     Campaign, CampaignReport, CategoryStats, ExhaustiveSweep, LatencyGrid, SHARD_TRIALS,
 };
 pub use error_model::{analyze_image, ErrorModelReport, ErrorModelTable, FaultSide};
 pub use forensics::{ForensicsBundle, DEFAULT_TRACE_WINDOW};
-pub use inject::{golden_run, inject, inject_traced, FaultSpec, Golden, InjectionResult, Outcome};
+pub use inject::{
+    golden_run, inject, inject_traced, inject_traced_with, inject_with, FaultSpec, Golden,
+    InjectionResult, Outcome, WorkloadError,
+};
+pub use snapshot::{SnapshotSet, SnapshotStats};

@@ -28,7 +28,7 @@ fn image() -> cfed_asm::Image {
 fn bundle_names_fault_site_bit_and_trace_window() {
     let img = image();
     let cfg = RunConfig::technique(TechniqueKind::Rcf);
-    let g = golden_run(&img, &cfg);
+    let g = golden_run(&img, &cfg).unwrap();
 
     // Scan the low offset bits for a check-detected fault: a known
     // single-bit branch-offset flip with a real detection point.
@@ -36,7 +36,7 @@ fn bundle_names_fault_site_bit_and_trace_window() {
     'scan: for nth in 0..g.branches.min(80) {
         for bit in [3u8, 4, 5] {
             let spec = FaultSpec::AddrBit { nth, bit };
-            if let Some(r) = inject(&img, &cfg, spec, &g) {
+            if let Some(r) = inject(&img, &cfg, spec, &g).unwrap() {
                 if r.outcome == Outcome::DetectedByCheck {
                     found = Some((spec, r));
                     break 'scan;

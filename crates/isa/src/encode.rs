@@ -438,7 +438,7 @@ pub fn encode_all(insts: &[Inst]) -> Vec<u8> {
 /// Fails on a trailing partial instruction or any decode error, reporting the
 /// byte offset of the failure.
 pub fn decode_all(bytes: &[u8]) -> Result<Vec<Inst>, (usize, DecodeError)> {
-    if bytes.len() % INST_SIZE != 0 {
+    if !bytes.len().is_multiple_of(INST_SIZE) {
         return Err((bytes.len() / INST_SIZE * INST_SIZE, DecodeError::InvalidOpcode(0xFF)));
     }
     bytes

@@ -191,7 +191,7 @@ impl fmt::Display for Flags {
 }
 
 fn parity_even(byte: u8) -> bool {
-    byte.count_ones() % 2 == 0
+    byte.count_ones().is_multiple_of(2)
 }
 
 /// Flags common to most result-producing operations: `ZF`, `SF` and `PF`

@@ -48,9 +48,9 @@ pub fn optimize(prog: &Program) -> Program {
 fn opt_block(b: &Block) -> Block {
     let mut stmts = Vec::with_capacity(b.stmts.len());
     for s in &b.stmts {
-        match opt_stmt(s) {
-            Some(new) => stmts.push(new),
-            None => {} // statically dead
+        // `None` means the statement is statically dead.
+        if let Some(new) = opt_stmt(s) {
+            stmts.push(new);
         }
     }
     Block { stmts }
@@ -78,7 +78,7 @@ fn opt_stmt(s: &Stmt) -> Option<Stmt> {
                 let live = if v != 0 {
                     Some(opt_block(then_blk))
                 } else {
-                    else_blk.as_ref().map(|e| opt_block(e))
+                    else_blk.as_ref().map(opt_block)
                 };
                 match live {
                     Some(blk) if !blk.stmts.is_empty() => Stmt::If {
@@ -93,7 +93,7 @@ fn opt_stmt(s: &Stmt) -> Option<Stmt> {
                 Stmt::If {
                     cond,
                     then_blk: opt_block(then_blk),
-                    else_blk: else_blk.as_ref().map(|e| opt_block(e)),
+                    else_blk: else_blk.as_ref().map(opt_block),
                     pos: *pos,
                 }
             }

@@ -80,7 +80,7 @@ impl Parser {
     }
 
     fn expect(&mut self, tok: Tok) -> Result<Token, ParseError> {
-        if &self.peek().tok == &tok {
+        if self.peek().tok == tok {
             Ok(self.advance())
         } else {
             Err(self.err(format!("expected {}, found {}", tok, self.peek().tok)))

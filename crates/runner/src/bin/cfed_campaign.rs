@@ -17,6 +17,14 @@
 //!
 //! The `report` subcommand renders a finished (or partial) store:
 //! `cfed-campaign report --store results/campaigns/<run>-coverage.jsonl`.
+//!
+//! The `bench` subcommand runs a fixed-seed smoke campaign twice — fast-
+//! forward snapshots on and off — checks the tallies match bit for bit,
+//! and writes a `BENCH_campaign.json` record (throughput, snapshot stats,
+//! host fingerprint). `--baseline PATH` compares the snapshots-over-
+//! scratch speedup against a committed record and exits nonzero when more
+//! than 25% below it — the CI perf gate (the ratio self-normalizes away
+//! host speed, so a committed baseline is portable across runners).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -27,8 +35,9 @@ use cfed_dbt::{CheckPolicy, UpdateStyle};
 use cfed_fault::CategoryStats;
 use cfed_runner::cli::Parser;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec, CAMPAIGN_WORKLOADS};
-use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
+use cfed_runner::pool::{run_matrix, RunPerf, RunSummary, RunnerOptions};
 use cfed_runner::report::render_report;
+use cfed_telemetry::json::{obj, Json};
 use cfed_telemetry::{JsonlSink, Telemetry};
 use cfed_workloads::Scale;
 
@@ -36,6 +45,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("report") {
         run_report(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        run_bench(&argv[1..]);
         return;
     }
     run_campaign(&argv);
@@ -73,6 +86,10 @@ fn run_campaign(argv: &[String]) {
             "forensics",
             "re-inject SDC/timeout/misdetection trials and emit forensics events (use with --events)",
         )
+        .switch(
+            "no-snapshots",
+            "disable fast-forward snapshots; every trial replays its fault-free prefix from scratch",
+        )
         .parse_from(argv);
     let die = |message: String| -> ! {
         eprintln!("cfed-campaign: {message}");
@@ -105,6 +122,7 @@ fn run_campaign(argv: &[String]) {
         quiet,
         telemetry,
         forensics: args.has("forensics"),
+        snapshots: !args.has("no-snapshots"),
     };
 
     let workloads: Vec<WorkloadSpec> =
@@ -178,6 +196,186 @@ fn run_campaign(argv: &[String]) {
     if !coverage_run.complete() || !latency_run.complete() {
         eprintln!("cfed-campaign: some shards failed; re-run with the same --run-id to retry them");
         std::process::exit(1);
+    }
+}
+
+/// Tolerated slowdown against the committed baseline before the perf gate
+/// fails: the current snapshots-over-scratch speedup must stay above 75%
+/// of the baseline's. The gate compares *speedups*, not absolute
+/// trials/sec — both passes run on the same host in the same invocation,
+/// so the ratio self-normalizes away host speed, turbo state and CI-runner
+/// contention that absolute rates would false-positive on.
+const BASELINE_TOLERANCE_PCT: u64 = 25;
+
+/// The fixed-seed smoke matrix the perf gate times: two workloads under
+/// the uninstrumented baseline and EdgCF. Small enough for CI, large
+/// enough that prefix replay dominates the from-scratch path.
+fn bench_matrix(trials: u64, seed: u64) -> CampaignMatrix {
+    CampaignMatrix {
+        workloads: vec![
+            WorkloadSpec::named("164.gzip", Scale::Test),
+            WorkloadSpec::named("181.mcf", Scale::Test),
+        ],
+        techniques: vec![None, Some(TechniqueKind::EdgCf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: vec![CheckPolicy::AllBb],
+        trials,
+        seed,
+    }
+}
+
+fn perf_record(perf: &RunPerf) -> Json {
+    obj(vec![
+        ("wall_ms", Json::UInt(perf.wall_ms)),
+        ("executed_trials", Json::UInt(perf.executed_trials)),
+        ("trials_per_sec_milli", Json::UInt((perf.trials_per_sec * 1000.0).round() as u64)),
+        ("snapshot_sets", Json::UInt(perf.snapshots.snapshot_sets)),
+        ("snapshots_held", Json::UInt(perf.snapshots.snapshots)),
+        ("snapshot_bytes", Json::UInt(perf.snapshots.bytes)),
+        ("restores", Json::UInt(perf.snapshots.restores)),
+        ("misses", Json::UInt(perf.snapshots.misses)),
+        ("branches_fast_forwarded", Json::UInt(perf.snapshots.branches_fast_forwarded)),
+        ("branches_stepped", Json::UInt(perf.snapshots.branches_stepped)),
+        ("benign_pruned", Json::UInt(perf.snapshots.benign_pruned)),
+    ])
+}
+
+fn run_bench(argv: &[String]) {
+    let args = Parser::new(
+        "cfed-campaign bench",
+        "fixed-seed smoke campaign timing the fast-forward engine (the CI perf gate)",
+    )
+    .flag("trials", "N", "192", "injections per workload per configuration")
+    .flag("threads", "N", "0", "worker threads (0 = all cores)")
+    .flag("seed", "SEED", "3488423942", "campaign RNG seed")
+    .flag("out", "PATH", "BENCH_campaign.json", "write the benchmark record here")
+    .flag(
+        "baseline",
+        "PATH",
+        "",
+        "committed benchmark record to gate against; exit 1 when >25% slower",
+    )
+    .switch("quiet", "suppress stderr progress output")
+    .parse_from(argv);
+    let die = |message: String| -> ! {
+        eprintln!("cfed-campaign bench: {message}");
+        std::process::exit(2);
+    };
+    let trials = args.get_u64("trials").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
+    let seed = args.get_u64("seed").unwrap_or_else(|e| die(e));
+    let quiet = args.has("quiet");
+    let out = PathBuf::from(args.get("out").expect("has default"));
+
+    let matrix = bench_matrix(trials, seed);
+    let cells = matrix.cells();
+    let shards = CampaignMatrix::shards(&cells).len();
+    if !quiet {
+        eprintln!(
+            "cfed-campaign bench: {} cells, {shards} shards, {} trials/cell, seed {seed}",
+            cells.len(),
+            trials
+        );
+    }
+
+    let run_pass = |label: &str, snapshots: bool| -> RunSummary {
+        let options = RunnerOptions { threads, quiet: true, snapshots, ..Default::default() };
+        let summary = run_matrix(&matrix, label, None, &options).unwrap_or_else(|e| die(e));
+        if !summary.complete() {
+            let failures: Vec<&String> = summary.cells.iter().flat_map(|c| &c.failures).collect();
+            die(format!("{label} pass had failed shards: {failures:?}"));
+        }
+        if !quiet {
+            eprintln!(
+                "cfed-campaign bench: {label:<9} {:>7.1} trials/s ({} trials in {} ms)",
+                summary.perf.trials_per_sec, summary.perf.executed_trials, summary.perf.wall_ms
+            );
+        }
+        summary
+    };
+    let scratch = run_pass("scratch", false);
+    let snap = run_pass("snapshots", true);
+
+    // The fast path must be an optimization, not a different experiment:
+    // identical tallies, trial for trial.
+    for (a, b) in snap.cells.iter().zip(&scratch.cells) {
+        let (ra, rb) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+        for c in Category::ALL {
+            if ra.category(c) != rb.category(c) {
+                die(format!("outcome divergence in cell {} category {c}", a.key));
+            }
+        }
+        if ra.skipped != rb.skipped || ra.latency_totals() != rb.latency_totals() {
+            die(format!("outcome divergence in cell {}", a.key));
+        }
+    }
+
+    let speedup = if scratch.perf.trials_per_sec > 0.0 {
+        snap.perf.trials_per_sec / scratch.perf.trials_per_sec
+    } else {
+        0.0
+    };
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let record = obj(vec![
+        ("schema", Json::Str("cfed-bench-campaign-v1".to_string())),
+        (
+            "host",
+            obj(vec![
+                ("os", Json::Str(std::env::consts::OS.to_string())),
+                ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+                ("cpus", Json::UInt(cpus as u64)),
+                ("threads", Json::UInt(threads as u64)),
+            ]),
+        ),
+        (
+            "matrix",
+            obj(vec![
+                ("workloads", Json::UInt(matrix.workloads.len() as u64)),
+                ("cells", Json::UInt(cells.len() as u64)),
+                ("shards", Json::UInt(shards as u64)),
+                ("trials_per_cell", Json::UInt(trials)),
+                ("seed", Json::UInt(seed)),
+            ]),
+        ),
+        ("snapshots", perf_record(&snap.perf)),
+        ("scratch", perf_record(&scratch.perf)),
+        ("speedup_milli", Json::UInt((speedup * 1000.0).round() as u64)),
+    ]);
+    std::fs::write(&out, record.render() + "\n")
+        .unwrap_or_else(|e| die(format!("writing {}: {e}", out.display())));
+    println!(
+        "bench: snapshots {:.1} trials/s, scratch {:.1} trials/s, speedup {speedup:.2}x -> {}",
+        snap.perf.trials_per_sec,
+        scratch.perf.trials_per_sec,
+        out.display()
+    );
+
+    if let Some(baseline_path) = args.get("baseline").filter(|s| !s.is_empty()) {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| die(format!("reading baseline {baseline_path}: {e}")));
+        let baseline = cfed_telemetry::json::parse(&text)
+            .unwrap_or_else(|e| die(format!("parsing baseline {baseline_path}: {e}")));
+        let base_speedup = baseline
+            .get("speedup_milli")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| die(format!("baseline {baseline_path} has no speedup_milli")));
+        let current = (speedup * 1000.0).round() as u64;
+        let floor = base_speedup * (100 - BASELINE_TOLERANCE_PCT) / 100;
+        if current < floor {
+            eprintln!(
+                "cfed-campaign bench: PERF REGRESSION — speedup {:.2}x is more than {}% below \
+                 the baseline {:.2}x",
+                current as f64 / 1000.0,
+                BASELINE_TOLERANCE_PCT,
+                base_speedup as f64 / 1000.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench: within budget of baseline speedup {:.2}x (floor {:.2}x)",
+            base_speedup as f64 / 1000.0,
+            floor as f64 / 1000.0
+        );
     }
 }
 

@@ -3,10 +3,13 @@
 //!
 //! Workers pop [`ShardTask`]s from a shared queue and send results over a
 //! channel to the main thread, which is the store's single writer. Each
-//! worker keeps its own image and golden-run caches keyed on the cell's
-//! identity strings, so a worker draining a cell's shards compiles and
-//! golden-runs it once. Shard panics are caught and recorded as failed
-//! shards (retried on a later resume) instead of taking the pool down.
+//! worker keeps its own compiled-image cache, while golden runs — and the
+//! fast-forward [`SnapshotSet`]s captured alongside them — live in one
+//! pool-wide cache keyed on the cell's golden identity, so every worker
+//! shares a single translated code cache per `(image, config)` instead of
+//! re-golden-running per thread. Shard panics and fault-free-run failures
+//! are caught and recorded as failed shards (retried on a later resume)
+//! instead of taking the pool down.
 //!
 //! Determinism: a shard's tallies depend only on `(cell, shard index)` —
 //! see [`crate::matrix`] — so the merged per-cell reports are bit-identical
@@ -23,7 +26,8 @@ use std::time::Instant;
 use cfed_asm::Image;
 use cfed_core::RunConfig;
 use cfed_fault::{
-    golden_run, CampaignReport, FaultSpec, ForensicsBundle, Golden, DEFAULT_TRACE_WINDOW,
+    golden_run, CampaignReport, FaultSpec, ForensicsBundle, Golden, SnapshotSet, SnapshotStats,
+    WorkloadError, DEFAULT_TRACE_WINDOW,
 };
 use cfed_telemetry::{Event, Telemetry};
 
@@ -52,6 +56,10 @@ pub struct RunnerOptions {
     /// Re-inject SDC / timeout / misdetection trials with a tracer
     /// attached and emit the forensics bundles as telemetry events.
     pub forensics: bool,
+    /// Capture golden-run snapshots and fast-forward injections through
+    /// them (the default). Disable to force every trial to replay its
+    /// fault-free prefix from scratch — outcomes are identical either way.
+    pub snapshots: bool,
 }
 
 impl Default for RunnerOptions {
@@ -63,6 +71,7 @@ impl Default for RunnerOptions {
             quiet: false,
             telemetry: Telemetry::off(),
             forensics: false,
+            snapshots: true,
         }
     }
 }
@@ -85,7 +94,7 @@ struct ProgressLine {
 impl ProgressLine {
     fn new(quiet: bool) -> ProgressLine {
         let live = !quiet && std::io::stderr().is_terminal();
-        let color = live && std::env::var_os("NO_COLOR").map_or(true, |v| v.is_empty());
+        let color = live && std::env::var_os("NO_COLOR").is_none_or(|v| v.is_empty());
         ProgressLine { live, color, start: Instant::now(), open: false }
     }
 
@@ -167,6 +176,21 @@ impl CellResult {
     }
 }
 
+/// Throughput and fast-forward statistics for one pool invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPerf {
+    /// Wall-clock time of the invocation.
+    pub wall_ms: u64,
+    /// Injection trials executed (excludes resumed shards).
+    pub executed_trials: u64,
+    /// `executed_trials` per wall-clock second.
+    pub trials_per_sec: f64,
+    /// Whether fast-forward snapshots were enabled.
+    pub snapshots_enabled: bool,
+    /// Aggregated snapshot shape / usage counters across the run's cells.
+    pub snapshots: SnapshotStats,
+}
+
 /// Result of a pool run over a matrix.
 #[derive(Debug)]
 pub struct RunSummary {
@@ -176,6 +200,8 @@ pub struct RunSummary {
     pub executed_shards: u64,
     /// Shards skipped because the store already held their results.
     pub resumed_shards: u64,
+    /// Throughput and snapshot statistics for this invocation.
+    pub perf: RunPerf,
 }
 
 impl RunSummary {
@@ -191,7 +217,7 @@ impl RunSummary {
 }
 
 enum ShardOutcome {
-    Ok(ShardTallies),
+    Ok(Box<ShardTallies>),
     Failed(String),
 }
 
@@ -209,14 +235,12 @@ struct ShardDone {
     forensics_wanted: u64,
 }
 
-/// Per-worker caches: compiled images and golden runs, keyed by the cell's
-/// workload / golden identity strings. Golden failures are cached too, so a
-/// cell whose golden run panics fails each shard fast instead of re-running
-/// the program per shard.
+/// Per-worker cache of compiled images, keyed by the workload identity
+/// string (compilation is cheap; sharing it across threads isn't worth a
+/// lock on the hot path).
 #[derive(Default)]
 struct WorkerCache {
     images: HashMap<String, Arc<Image>>,
-    goldens: HashMap<String, Result<Arc<Golden>, String>>,
 }
 
 impl WorkerCache {
@@ -229,23 +253,78 @@ impl WorkerCache {
         self.images.insert(key, Arc::clone(&img));
         Ok(img)
     }
+}
 
-    fn golden(&mut self, cell: &CellSpec) -> Result<(Arc<Image>, Arc<Golden>), String> {
-        let image = self.image(cell)?;
+/// A cell's golden run plus the snapshot set captured alongside it
+/// (`None` when snapshots are disabled). Shared read-only by every worker
+/// draining that cell's shards.
+#[derive(Clone)]
+struct PreparedGolden {
+    golden: Arc<Golden>,
+    snapshots: Option<Arc<SnapshotSet>>,
+}
+
+/// Pool-wide golden cache, keyed by [`CellSpec::golden_key`]. One golden
+/// run (and one translated code cache, inside the snapshot set) serves
+/// every worker and every shard of a cell. Failures are cached too, so a
+/// cell whose fault-free run traps fails each shard fast instead of
+/// re-running the program per shard.
+struct GoldenCache {
+    snapshots_enabled: bool,
+    prepared: Mutex<HashMap<String, Result<PreparedGolden, String>>>,
+}
+
+impl GoldenCache {
+    fn new(snapshots_enabled: bool) -> GoldenCache {
+        GoldenCache { snapshots_enabled, prepared: Mutex::new(HashMap::new()) }
+    }
+
+    fn get(&self, cell: &CellSpec, image: &Image) -> Result<PreparedGolden, String> {
         let key = cell.golden_key();
-        if let Some(cached) = self.goldens.get(&key) {
-            return cached.clone().map(|g| (image, g));
+        if let Some(hit) = self.prepared.lock().expect("golden cache poisoned").get(&key) {
+            return hit.clone();
         }
-        let result = run_golden(&image, &cell.config);
-        self.goldens.insert(key, result.clone());
-        result.map(|g| (image, g))
+        // Computed outside the lock: two workers may race on a fresh key,
+        // but the first insert wins and both use the same prepared golden.
+        let computed = prepare_golden(image, &cell.config, self.snapshots_enabled);
+        let mut map = self.prepared.lock().expect("golden cache poisoned");
+        map.entry(key).or_insert(computed).clone()
+    }
+
+    /// Aggregated stats over every successfully prepared snapshot set.
+    fn snapshot_stats(&self) -> SnapshotStats {
+        let map = self.prepared.lock().expect("golden cache poisoned");
+        let mut stats = SnapshotStats::default();
+        for prepared in map.values().filter_map(|r| r.as_ref().ok()) {
+            if let Some(set) = &prepared.snapshots {
+                stats.absorb(&set.stats());
+            }
+        }
+        stats
     }
 }
 
-fn run_golden(image: &Image, config: &RunConfig) -> Result<Arc<Golden>, String> {
-    catch_unwind(AssertUnwindSafe(|| golden_run(image, config)))
-        .map(Arc::new)
-        .map_err(|e| format!("golden run failed: {}", panic_message(&e)))
+fn prepare_golden(
+    image: &Image,
+    config: &RunConfig,
+    snapshots: bool,
+) -> Result<PreparedGolden, String> {
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if snapshots {
+            SnapshotSet::capture(image, config).map(|(golden, set)| PreparedGolden {
+                golden: Arc::new(golden),
+                snapshots: Some(Arc::new(set)),
+            })
+        } else {
+            golden_run(image, config)
+                .map(|golden| PreparedGolden { golden: Arc::new(golden), snapshots: None })
+        }
+    }));
+    match run {
+        Ok(Ok(prepared)) => Ok(prepared),
+        Ok(Err(e)) => Err(format!("golden run failed: {e}")),
+        Err(e) => Err(format!("golden run panicked: {}", panic_message(&e))),
+    }
 }
 
 fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
@@ -273,60 +352,63 @@ struct ShardRun {
 
 fn run_shard(
     cache: &mut WorkerCache,
+    goldens: &GoldenCache,
     cell: &CellSpec,
     shard_index: u64,
     forensics: bool,
 ) -> ShardRun {
-    let (image, golden) = match cache.golden(cell) {
-        Ok(pair) => pair,
-        Err(e) => {
-            return ShardRun {
-                outcome: ShardOutcome::Failed(e),
-                golden: None,
-                forensics: Vec::new(),
-                forensics_wanted: 0,
-            }
-        }
+    let failed = |message: String, golden: Option<Golden>| ShardRun {
+        outcome: ShardOutcome::Failed(message),
+        golden,
+        forensics: Vec::new(),
+        forensics_wanted: 0,
     };
+    let image = match cache.image(cell) {
+        Ok(img) => img,
+        Err(e) => return failed(e, None),
+    };
+    let prepared = match goldens.get(cell, &image) {
+        Ok(p) => p,
+        Err(e) => return failed(e, None),
+    };
+    let PreparedGolden { golden, snapshots } = prepared;
+    let snaps = snapshots.as_deref();
     let campaign = cell.campaign();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut wanted: Vec<FaultSpec> = Vec::new();
-        let report = campaign.run_shard_with(&image, &golden, shard_index, |spec, r| {
+        let report = campaign.run_shard_with(&image, &golden, snaps, shard_index, |spec, r| {
             if forensics && ForensicsBundle::wanted(r) {
                 wanted.push(spec);
             }
-        });
-        (report, wanted)
+        })?;
+        Ok::<_, WorkloadError>((report, wanted))
     }));
     match result {
-        Ok((report, wanted)) => {
+        Ok(Ok((report, wanted))) => {
             let bundles = wanted
                 .iter()
                 .take(MAX_FORENSICS_PER_SHARD)
                 .filter_map(|&spec| {
-                    ForensicsBundle::capture(
+                    ForensicsBundle::capture_with(
                         &image,
                         &cell.config,
                         spec,
                         &golden,
                         DEFAULT_TRACE_WINDOW,
+                        snaps,
                     )
                 })
                 .map(|b| b.to_json())
                 .collect();
             ShardRun {
-                outcome: ShardOutcome::Ok(ShardTallies::from_report(&report)),
+                outcome: ShardOutcome::Ok(Box::new(ShardTallies::from_report(&report))),
                 golden: Some((*golden).clone()),
                 forensics: bundles,
                 forensics_wanted: wanted.len() as u64,
             }
         }
-        Err(e) => ShardRun {
-            outcome: ShardOutcome::Failed(format!("shard panicked: {}", panic_message(&e))),
-            golden: Some((*golden).clone()),
-            forensics: Vec::new(),
-            forensics_wanted: 0,
-        },
+        Ok(Err(e)) => failed(format!("shard failed: {e}"), Some((*golden).clone())),
+        Err(e) => failed(format!("shard panicked: {}", panic_message(&e)), Some((*golden).clone())),
     }
 }
 
@@ -365,10 +447,13 @@ pub fn run_matrix(
         pending.truncate(max);
     }
     let to_run = pending.len();
+    let executed_trials: u64 =
+        pending.iter().map(|t| cells[t.cell].campaign().shard_trials(t.shard_index)).sum();
 
     // Cell goldens observed during this run (from workers) — saves the
     // main thread recomputing them for report assembly.
     let mut goldens: BTreeMap<usize, Golden> = BTreeMap::new();
+    let golden_cache = GoldenCache::new(options.snapshots);
 
     let threads = options.resolved_threads().min(to_run.max(1)).max(1);
     if to_run > 0 {
@@ -376,6 +461,7 @@ pub fn run_matrix(
         let (tx, rx) = mpsc::channel::<ShardDone>();
         let cells_ref = &cells;
         let queue_ref = &queue;
+        let golden_cache_ref = &golden_cache;
         let forensics_on = options.forensics;
         std::thread::scope(|scope| -> Result<(), String> {
             for _ in 0..threads {
@@ -388,7 +474,13 @@ pub fn run_matrix(
                             None => break,
                         };
                         let cell = &cells_ref[task.cell];
-                        let run = run_shard(&mut cache, cell, task.shard_index, forensics_on);
+                        let run = run_shard(
+                            &mut cache,
+                            golden_cache_ref,
+                            cell,
+                            task.shard_index,
+                            forensics_on,
+                        );
                         let done = ShardDone {
                             task,
                             key: task.key(cells_ref),
@@ -417,7 +509,7 @@ pub fn run_matrix(
                 }
                 match outcome {
                     ShardOutcome::Ok(tallies) => {
-                        store.append_ok(&key, tallies)?;
+                        store.append_ok(&key, *tallies)?;
                         options.telemetry.emit_with(|| {
                             Event::new("shard_done")
                                 .str("shard", &key)
@@ -454,7 +546,16 @@ pub fn run_matrix(
         })?;
     }
 
+    let wall_s = run_timer.elapsed().as_secs_f64();
     let wall_ms = u64::try_from(run_timer.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let trials_per_sec = if wall_s > 0.0 { executed_trials as f64 / wall_s } else { 0.0 };
+    let perf = RunPerf {
+        wall_ms,
+        executed_trials,
+        trials_per_sec,
+        snapshots_enabled: options.snapshots,
+        snapshots: golden_cache.snapshot_stats(),
+    };
     store.append_meta(
         "run",
         vec![
@@ -473,12 +574,30 @@ pub fn run_matrix(
             .u64("threads", threads as u64)
             .u64("wall_ms", wall_ms)
     });
+    options.telemetry.emit_with(|| {
+        // No float type in the event subset: the rate rides as millitrials
+        // per second (trials_per_sec × 1000).
+        Event::new("campaign_perf")
+            .str("run_id", run_id)
+            .u64("wall_ms", perf.wall_ms)
+            .u64("executed_trials", perf.executed_trials)
+            .u64("trials_per_sec_milli", (perf.trials_per_sec * 1000.0).round() as u64)
+            .u64("snapshots_enabled", u64::from(perf.snapshots_enabled))
+            .u64("snapshot_sets", perf.snapshots.snapshot_sets)
+            .u64("snapshots_held", perf.snapshots.snapshots)
+            .u64("snapshot_bytes", perf.snapshots.bytes)
+            .u64("restores", perf.snapshots.restores)
+            .u64("misses", perf.snapshots.misses)
+            .u64("branches_fast_forwarded", perf.snapshots.branches_fast_forwarded)
+            .u64("branches_stepped", perf.snapshots.branches_stepped)
+            .u64("benign_pruned", perf.snapshots.benign_pruned)
+    });
 
     let mut cell_results = Vec::with_capacity(cells.len());
     for (index, cell) in cells.iter().enumerate() {
         cell_results.push(assemble_cell(index, cell, &store, goldens.get(&index)));
     }
-    Ok(RunSummary { cells: cell_results, executed_shards: to_run as u64, resumed_shards })
+    Ok(RunSummary { cells: cell_results, executed_shards: to_run as u64, resumed_shards, perf })
 }
 
 /// Merges a cell's persisted shard tallies into one report, in shard-index
@@ -517,13 +636,15 @@ fn assemble_cell(
     }
 
     // A fully-resumed cell has tallies but no golden from this run's
-    // workers; recompute it here (cheap relative to a campaign).
+    // workers; recompute it here (cheap relative to a campaign — report
+    // assembly needs only the golden, not snapshots).
     let golden = match observed_golden.cloned() {
         Some(g) => Some(g),
         None => match cell
             .workload
             .image()
-            .and_then(|img| run_golden(&img, &cell.config).map(|g| (*g).clone()))
+            .and_then(|img| prepare_golden(&img, &cell.config, false))
+            .map(|p| (*p.golden).clone())
         {
             Ok(g) => Some(g),
             Err(e) => {
@@ -588,7 +709,7 @@ mod tests {
     #[test]
     fn parallel_matches_serial_campaign() {
         use cfed_core::Category;
-        for seed in [0u64, 1, 0xCF_ED_2006] {
+        for seed in [0u64, 1, 0xCFED_2006] {
             let matrix = tiny_matrix(150, seed);
             let path = tmp(&format!("eq-{seed}"));
             let options = RunnerOptions { threads: 4, ..Default::default() };
@@ -596,7 +717,7 @@ mod tests {
             assert!(summary.complete());
             for (cell, result) in matrix.cells().iter().zip(&summary.cells) {
                 let image = cell.workload.image().unwrap();
-                let serial = cell.campaign().run(&image);
+                let serial = cell.campaign().run(&image).unwrap();
                 let parallel = result.report.as_ref().expect("cell completed");
                 for c in Category::ALL {
                     assert_eq!(

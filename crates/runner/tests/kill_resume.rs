@@ -109,6 +109,43 @@ fn killed_then_resumed_matches_uninterrupted() {
     assert_summaries_equal(&uninterrupted, &noop);
 }
 
+/// Fast-forward snapshots (the default) are purely an optimization: a
+/// full run with them disabled — and a killed-then-resumed run with them
+/// enabled — produce byte-identical reports.
+#[test]
+fn snapshot_fast_forward_preserves_kill_resume_identity() {
+    let m = matrix();
+    let scratch = run_matrix(
+        &m,
+        "kr",
+        None,
+        &RunnerOptions { threads: 4, snapshots: false, ..Default::default() },
+    )
+    .unwrap();
+    assert!(scratch.complete());
+    assert!(!scratch.perf.snapshots_enabled);
+    assert_eq!(scratch.perf.snapshots.restores, 0);
+
+    // Kill a snapshots-enabled run midway, then resume it.
+    let path = tmp("ff");
+    let killed = run_matrix(
+        &m,
+        "kr",
+        Some(&path),
+        &RunnerOptions { threads: 2, max_shards: Some(7), ..Default::default() },
+    )
+    .unwrap();
+    assert!(!killed.complete());
+    let resumed =
+        run_matrix(&m, "kr", Some(&path), &RunnerOptions { threads: 4, ..Default::default() })
+            .unwrap();
+    assert!(resumed.complete());
+    assert_eq!(resumed.resumed_shards, 7);
+    assert!(resumed.perf.snapshots_enabled);
+    assert!(resumed.perf.snapshots.restores > 0, "fast-forward path actually exercised");
+    assert_summaries_equal(&scratch, &resumed);
+}
+
 #[test]
 fn resume_under_different_thread_count_is_identical() {
     let m = matrix();

@@ -63,7 +63,7 @@ pub enum ExitReason {
 /// cpu.set_ip(0);
 /// assert_eq!(cpu.run(&mut mem, 100), ExitReason::Halted { code: 7 });
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cpu {
     regs: [u64; Reg::COUNT],
     flags: Flags,

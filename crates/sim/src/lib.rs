@@ -36,7 +36,7 @@ pub mod tracer;
 pub mod trap;
 
 pub use cpu::{Cpu, ExecStats, ExitReason, Step};
-pub use machine::{Layout, Machine};
+pub use machine::{Layout, Machine, MachineSnapshot, SnapshotTracker};
 pub use mem::{Memory, Perms, PAGE_SIZE};
 pub use tracer::{TraceEntry, Tracer};
 pub use trap::{trap_codes, Trap};

@@ -2,7 +2,9 @@
 //! layout, with a loader for raw program images.
 
 use crate::{Cpu, ExitReason, Memory, Perms, Step, Tracer, Trap};
+use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Address-space layout conventions shared by the assembler, loader, DBT and
 /// fault-injection tooling.
@@ -131,6 +133,14 @@ impl Machine {
         self.tracer = Some(Tracer::new(capacity));
     }
 
+    /// As [`Machine::attach_tracer`], but with the retired-instruction
+    /// counter pre-set to `retired` — for supervisors resuming execution
+    /// from a mid-run snapshot, so the tracer's counter keeps matching the
+    /// CPU's total instruction count rather than restarting from zero.
+    pub fn attach_tracer_resumed(&mut self, capacity: usize, retired: u64) {
+        self.tracer = Some(Tracer::resumed(capacity, retired));
+    }
+
     /// Steps the CPU once, through the attached tracer if any. Supervisors
     /// (the DBT runtime, fault harnesses) should prefer this over calling
     /// `cpu.step` directly so tracing stays transparent.
@@ -158,6 +168,142 @@ impl Machine {
     /// Runs the CPU until halt, trap or step limit.
     pub fn run(&mut self, max_steps: u64) -> ExitReason {
         self.cpu.run(&mut self.mem, max_steps)
+    }
+}
+
+/// A compact, restorable copy of a [`Machine`]'s architectural state.
+///
+/// A full `Machine` clone duplicates the whole address space (8 MiB under
+/// the default [`Layout`]); a snapshot keeps only the pages holding nonzero
+/// bytes plus the per-page permission table, which for the workloads in
+/// this repository is a few dozen KiB. A fresh address space is all-zero,
+/// so [`MachineSnapshot::restore`] rebuilds a bit-identical machine by
+/// re-installing just those pages. The attached [`Tracer`] (if any) is
+/// *not* captured — supervisors attach their own after restoring.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    cpu: Cpu,
+    layout: Layout,
+    code_len: u64,
+    mem_size: u64,
+    /// Page contents behind `Arc`: snapshots taken in sequence (see
+    /// [`SnapshotTracker`]) share the pages that did not change between
+    /// them.
+    pages: Vec<(u64, Arc<[u8]>)>,
+    perms: Vec<Perms>,
+}
+
+impl MachineSnapshot {
+    /// Captures the machine's CPU, memory contents and page permissions.
+    pub fn capture(m: &Machine) -> MachineSnapshot {
+        MachineSnapshot {
+            cpu: m.cpu.clone(),
+            layout: m.layout.clone(),
+            code_len: m.code_len,
+            mem_size: m.mem.size(),
+            pages: m.mem.nonzero_pages().map(|(base, bytes)| (base, Arc::from(bytes))).collect(),
+            perms: m.mem.perms_table().to_vec(),
+        }
+    }
+
+    /// Reconstructs a machine bit-identical to the captured one (with no
+    /// tracer attached).
+    pub fn restore(&self) -> Machine {
+        let mut mem = Memory::new(self.mem_size);
+        for (base, bytes) in &self.pages {
+            mem.install(*base, bytes);
+        }
+        mem.set_perms_table(&self.perms);
+        Machine {
+            cpu: self.cpu.clone(),
+            mem,
+            tracer: None,
+            layout: self.layout.clone(),
+            code_len: self.code_len,
+        }
+    }
+
+    /// Instructions the captured CPU had retired.
+    pub fn insts(&self) -> u64 {
+        self.cpu.stats().insts
+    }
+
+    /// Whether `m`'s architectural state (CPU including counters, memory
+    /// contents, page permissions) is bit-identical to the captured one.
+    /// Since execution is deterministic, a match means `m`'s future is
+    /// exactly the captured machine's future — the basis for convergence
+    /// pruning in fault injection. Cheap when states differ: the CPU
+    /// compare rejects first, and the page walk covers only pages that
+    /// were ever written on either side (everything else is zero-zero).
+    pub fn matches(&self, m: &Machine) -> bool {
+        use crate::mem::PAGE_SIZE;
+        if self.cpu != m.cpu || self.mem_size != m.mem.size() || self.perms != m.mem.perms_table() {
+            return false;
+        }
+        const ZERO: &[u8] = &[0u8; PAGE_SIZE as usize];
+        let mut bases = m.mem.dirty_pages();
+        bases.extend(self.pages.iter().map(|&(b, _)| b));
+        bases.sort_unstable();
+        bases.dedup();
+        bases.into_iter().all(|base| {
+            let captured = self
+                .pages
+                .binary_search_by_key(&base, |&(b, _)| b)
+                .map(|i| &*self.pages[i].1)
+                .unwrap_or(ZERO);
+            m.mem.peek(base, PAGE_SIZE as usize) == captured
+        })
+    }
+
+    /// Approximate heap bytes this snapshot retains (page contents plus the
+    /// permission table). Pages shared with other snapshots via
+    /// [`SnapshotTracker`] are counted in full by each holder.
+    pub fn bytes(&self) -> u64 {
+        self.pages.iter().map(|(_, b)| b.len() as u64).sum::<u64>() + self.perms.len() as u64
+    }
+}
+
+/// Incremental snapshot capture over a machine's dirty-page log.
+///
+/// [`MachineSnapshot::capture`] scans the whole address space for nonzero
+/// pages — fine once, wasteful for the periodic checkpoints a fault-
+/// injection golden run takes. A tracker instead keeps a running map of
+/// every page the machine has written (fed by [`Memory::drain_dirty`]) and
+/// copies only the pages dirtied since the previous capture; untouched
+/// pages are shared between consecutive snapshots via `Arc`.
+///
+/// The tracker must observe the machine from its creation (before the
+/// first guest store) and drains the dirty log at every capture, so one
+/// machine supports one tracker at a time.
+#[derive(Debug, Default)]
+pub struct SnapshotTracker {
+    pages: BTreeMap<u64, Arc<[u8]>>,
+}
+
+impl SnapshotTracker {
+    /// Creates an empty tracker. Attach it to a machine by simply passing
+    /// that machine to every [`SnapshotTracker::capture`] call.
+    pub fn new() -> SnapshotTracker {
+        SnapshotTracker::default()
+    }
+
+    /// Captures a snapshot, copying only the pages written since the last
+    /// capture. Equivalent to [`MachineSnapshot::capture`] (restores are
+    /// bit-identical) when the tracker has seen the machine since its
+    /// creation.
+    pub fn capture(&mut self, m: &mut Machine) -> MachineSnapshot {
+        use crate::mem::PAGE_SIZE;
+        for base in m.mem.drain_dirty() {
+            self.pages.insert(base, Arc::from(m.mem.peek(base, PAGE_SIZE as usize)));
+        }
+        MachineSnapshot {
+            cpu: m.cpu.clone(),
+            layout: m.layout.clone(),
+            code_len: m.code_len,
+            mem_size: m.mem.size(),
+            pages: self.pages.iter().map(|(&base, data)| (base, Arc::clone(data))).collect(),
+            perms: m.mem.perms_table().to_vec(),
+        }
     }
 }
 
@@ -238,5 +384,72 @@ mod tests {
     fn oversized_code_rejected() {
         let huge = vec![0u8; 0x20_0000];
         let _ = Machine::load(&huge, &[], 0);
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_state() {
+        let code = encode_all(&[
+            Inst::MovRI { dst: Reg::R0, imm: 11 },
+            Inst::Push { src: Reg::R0 },
+            Inst::MovRI { dst: Reg::R0, imm: 0 },
+            Inst::Pop { dst: Reg::R1 },
+            Inst::Halt,
+        ]);
+        let mut m = Machine::load(&code, &7u64.to_le_bytes(), 0);
+        // Run partway so registers, stack memory and stats are non-trivial.
+        assert_eq!(m.step_cpu(), Ok(Step::Continue));
+        assert_eq!(m.step_cpu(), Ok(Step::Continue));
+        let snap = MachineSnapshot::capture(&m);
+        assert_eq!(snap.insts(), 2);
+        assert!(snap.bytes() < m.mem.size(), "snapshot must be sparse");
+        let mut r = snap.restore();
+        assert_eq!(r.cpu, m.cpu);
+        assert_eq!(r.code_range(), m.code_range());
+        for (a, b) in r.mem.nonzero_pages().zip(m.mem.nonzero_pages()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(r.mem.perms_table(), m.mem.perms_table());
+        // Both machines finish identically.
+        assert_eq!(m.run(10), ExitReason::Halted { code: 0 });
+        assert_eq!(r.run(10), ExitReason::Halted { code: 0 });
+        assert_eq!(r.cpu.reg(Reg::R1), 11);
+    }
+
+    #[test]
+    fn tracker_capture_matches_full_scan() {
+        let code = encode_all(&[
+            Inst::MovRI { dst: Reg::R0, imm: 3 },
+            Inst::Push { src: Reg::R0 },
+            Inst::MovRI { dst: Reg::R0, imm: 9 },
+            Inst::Push { src: Reg::R0 },
+            Inst::Pop { dst: Reg::R1 },
+            Inst::Pop { dst: Reg::R2 },
+            Inst::Halt,
+        ]);
+        let mut m = Machine::load(&code, &5u64.to_le_bytes(), 0);
+        let mut tracker = SnapshotTracker::new();
+        // Capture after every step; each must restore to the same machine
+        // a full-scan capture rebuilds.
+        while m.step_cpu() == Ok(Step::Continue) {
+            let incremental = tracker.capture(&mut m).restore();
+            let full = MachineSnapshot::capture(&m).restore();
+            assert_eq!(incremental.cpu, full.cpu);
+            assert_eq!(incremental.cpu, m.cpu);
+            for (a, b) in incremental.mem.nonzero_pages().zip(full.mem.nonzero_pages()) {
+                assert_eq!(a, b);
+            }
+            assert_eq!(incremental.mem.perms_table(), full.mem.perms_table());
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_page_protection() {
+        let code = encode_all(&[Inst::Halt]);
+        let mut m = Machine::load(&code, &[], 0);
+        let base = m.layout().code_base;
+        m.mem.protect_page(base);
+        let r = MachineSnapshot::capture(&m).restore();
+        assert!(!r.mem.perms_at(base).can_write());
+        assert!(r.mem.perms_at(base).can_exec());
     }
 }

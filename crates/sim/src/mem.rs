@@ -8,11 +8,23 @@
 //! pages is how the DBT learns about self-modifying code (§5).
 
 use crate::Trap;
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::Range;
 
 /// Page size in bytes.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Per-thread recycling pool for address-space buffers. Allocating (and
+/// zeroing) a fresh multi-MiB `Vec` per [`Memory::new`] dominates the cost
+/// of restoring a machine snapshot, so dropped address spaces whose dirty
+/// log is still complete (never drained) scrub just their written pages
+/// and park the buffer here for the next `Memory::new` of the same size.
+const BUFFER_POOL_CAP: usize = 4;
+
+thread_local! {
+    static BUFFER_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Page access permissions (read / write / execute).
 ///
@@ -104,6 +116,41 @@ impl fmt::Display for Perms {
 pub struct Memory {
     bytes: Vec<u8>,
     page_perms: Vec<Perms>,
+    /// One bit per page, set on every byte store since the last
+    /// [`Memory::drain_dirty`]. Bookkeeping only — never affects execution.
+    dirty: Vec<u64>,
+    /// Whether [`Memory::drain_dirty`] has ever run: a drained dirty log no
+    /// longer covers every written page, so the buffer cannot be scrubbed
+    /// page-wise and returned to the pool on drop.
+    drained: bool,
+}
+
+impl Drop for Memory {
+    fn drop(&mut self) {
+        // Recycle the buffer: an all-zero address space is semantically
+        // identical to a fresh allocation, and scrubbing just the written
+        // pages is far cheaper than zeroing (or re-allocating) the whole
+        // space. Only possible while the dirty log is complete — once
+        // drained, written pages are unknown and the buffer is discarded.
+        if self.drained || self.bytes.is_empty() {
+            return;
+        }
+        let dirty = self.dirty_pages();
+        let bytes = std::mem::take(&mut self.bytes);
+        // `try_with`: never panic if the thread-local was already torn down.
+        let _ = BUFFER_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() >= BUFFER_POOL_CAP {
+                return;
+            }
+            let mut bytes = bytes;
+            for base in &dirty {
+                let a = *base as usize;
+                bytes[a..a + PAGE_SIZE as usize].fill(0);
+            }
+            pool.push(bytes);
+        });
+    }
 }
 
 impl fmt::Debug for Memory {
@@ -121,7 +168,27 @@ impl Memory {
     pub fn new(size: u64) -> Memory {
         let pages = size.div_ceil(PAGE_SIZE);
         let size = pages * PAGE_SIZE;
-        Memory { bytes: vec![0; size as usize], page_perms: vec![Perms::NONE; pages as usize] }
+        let bytes = BUFFER_POOL
+            .with(|p| {
+                let mut pool = p.borrow_mut();
+                let i = pool.iter().position(|b| b.len() == size as usize)?;
+                Some(pool.swap_remove(i))
+            })
+            .unwrap_or_else(|| vec![0; size as usize]);
+        Memory {
+            bytes,
+            page_perms: vec![Perms::NONE; pages as usize],
+            dirty: vec![0; (pages as usize).div_ceil(64)],
+            drained: false,
+        }
+    }
+
+    fn mark_dirty(&mut self, addr: u64, len: u64) {
+        let first = (addr / PAGE_SIZE) as usize;
+        let last = ((addr + len - 1) / PAGE_SIZE) as usize;
+        for p in first..=last {
+            self.dirty[p / 64] |= 1 << (p % 64);
+        }
     }
 
     /// Total size of the address space in bytes.
@@ -227,6 +294,7 @@ impl Memory {
     /// [`Trap::PermWrite`] / [`Trap::OutOfRange`] on access violations.
     pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
         self.check(addr, 8, Access::Write)?;
+        self.mark_dirty(addr, 8);
         let a = addr as usize;
         self.bytes[a..a + 8].copy_from_slice(&value.to_le_bytes());
         Ok(())
@@ -249,6 +317,7 @@ impl Memory {
     /// [`Trap::PermWrite`] / [`Trap::OutOfRange`] on access violations.
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), Trap> {
         self.check(addr, 1, Access::Write)?;
+        self.mark_dirty(addr, 1);
         self.bytes[addr as usize] = value;
         Ok(())
     }
@@ -262,7 +331,7 @@ impl Memory {
     /// error landed mid-instruction), [`Trap::PermExec`] for non-code pages
     /// (category F), [`Trap::OutOfRange`] outside the address space.
     pub fn fetch(&self, addr: u64) -> Result<[u8; 8], Trap> {
-        if addr % cfed_isa::INST_SIZE_U64 != 0 {
+        if !addr.is_multiple_of(cfed_isa::INST_SIZE_U64) {
             return Err(Trap::UnalignedFetch { addr });
         }
         self.check(addr, 8, Access::Exec)?;
@@ -277,6 +346,9 @@ impl Memory {
     ///
     /// Panics if the destination range is out of bounds.
     pub fn install(&mut self, addr: u64, data: &[u8]) {
+        if !data.is_empty() {
+            self.mark_dirty(addr, data.len() as u64);
+        }
         let a = addr as usize;
         self.bytes[a..a + data.len()].copy_from_slice(data);
     }
@@ -289,6 +361,69 @@ impl Memory {
     /// Panics if the range is out of bounds.
     pub fn peek(&self, addr: u64, len: usize) -> &[u8] {
         &self.bytes[addr as usize..addr as usize + len]
+    }
+
+    /// Pages whose contents are not all zero, as `(page base, contents)`
+    /// pairs in ascending address order. A fresh address space is
+    /// all-zero, so this is the complete delta needed to reconstruct the
+    /// byte contents — the basis of compact machine snapshots.
+    pub fn nonzero_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.bytes
+            .chunks_exact(PAGE_SIZE as usize)
+            .enumerate()
+            .filter(|(_, page)| page.iter().any(|&b| b != 0))
+            .map(|(i, page)| (i as u64 * PAGE_SIZE, page))
+    }
+
+    /// Base addresses of the pages written since the last drain (every
+    /// page is considered written at creation-to-first-drain only if a
+    /// store touched it — a fresh address space starts all-clean as well
+    /// as all-zero). Clears the dirty set.
+    pub fn drain_dirty(&mut self) -> Vec<u64> {
+        self.drained = true;
+        let mut out = Vec::new();
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(((w * 64 + b) as u64) * PAGE_SIZE);
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        out
+    }
+
+    /// As [`Memory::drain_dirty`], but without clearing the dirty set —
+    /// for observers that need "every page written so far" while a
+    /// supervisor keeps its own drain cadence (or none at all). Does not
+    /// disqualify the buffer from pooling.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (w, word) in self.dirty.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(((w * 64 + b) as u64) * PAGE_SIZE);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// The per-page permission table (one entry per page, ascending).
+    pub fn perms_table(&self) -> &[Perms] {
+        &self.page_perms
+    }
+
+    /// Restores a permission table captured via [`Memory::perms_table`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perms` does not have one entry per page.
+    pub fn set_perms_table(&mut self, perms: &[Perms]) {
+        assert_eq!(perms.len(), self.page_perms.len(), "perms table size mismatch");
+        self.page_perms.copy_from_slice(perms);
     }
 }
 
@@ -392,5 +527,33 @@ mod tests {
     fn page_base_masks_offset() {
         assert_eq!(Memory::page_base(0x1234), 0x1000);
         assert_eq!(Memory::page_base(0x1000), 0x1000);
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_all_zero() {
+        // Use a size no other test allocates so the pooled buffer this
+        // test gets back is necessarily its own.
+        const SIZE: u64 = 13 * PAGE_SIZE;
+        let mut mem = Memory::new(SIZE);
+        mem.map(0..SIZE, Perms::RW);
+        mem.write_u64(3 * PAGE_SIZE + 8, u64::MAX).unwrap();
+        mem.install(7 * PAGE_SIZE, &[0xAB; 100]);
+        drop(mem);
+        // The next same-size Memory reuses the scrubbed buffer and must be
+        // indistinguishable from a fresh allocation.
+        let mem = Memory::new(SIZE);
+        assert_eq!(mem.nonzero_pages().count(), 0);
+        assert!(mem.dirty_pages().is_empty());
+
+        // A drained memory is not recyclable: its dirty log no longer
+        // covers every written page, so its buffer must not resurface.
+        let mut mem = Memory::new(SIZE);
+        mem.map(0..SIZE, Perms::RW);
+        mem.write_u8(PAGE_SIZE, 9).unwrap();
+        mem.drain_dirty();
+        mem.write_u8(2 * PAGE_SIZE, 9).unwrap();
+        drop(mem);
+        let mem = Memory::new(SIZE);
+        assert_eq!(mem.nonzero_pages().count(), 0);
     }
 }

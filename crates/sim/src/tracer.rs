@@ -75,6 +75,20 @@ impl Tracer {
         }
     }
 
+    /// As [`Tracer::new`], with the retired counter starting at `retired`
+    /// instead of zero — for execution resumed from a snapshot, where the
+    /// instructions before the snapshot retired without this tracer
+    /// watching but must still be reflected in [`Tracer::retired`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn resumed(capacity: usize, retired: u64) -> Tracer {
+        let mut t = Tracer::new(capacity);
+        t.retired = retired;
+        t
+    }
+
     /// Steps the CPU once, recording the retired instruction.
     ///
     /// # Errors
@@ -169,12 +183,7 @@ mod tests {
     }
 
     fn run(tracer: &mut Tracer, cpu: &mut Cpu, mem: &mut Memory) {
-        loop {
-            match tracer.step(cpu, mem) {
-                Ok(Step::Continue) => {}
-                Ok(Step::Halt) | Err(_) => break,
-            }
-        }
+        while let Ok(Step::Continue) = tracer.step(cpu, mem) {}
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn cold_fns(suite: Suite, start: usize, end: usize) -> String {
         match suite {
             Suite::Int => {
                 // Branchy: chains of small conditional updates.
-                let _ = writeln!(
+                writeln!(
                     out,
                     r#"
                     fn __cold_{k}(x, y) {{
@@ -68,7 +68,7 @@ pub fn cold_fns(suite: Suite, start: usize, end: usize) -> String {
             }
             Suite::Fp => {
                 // Straight-line: one long arithmetic block.
-                let _ = writeln!(
+                writeln!(
                     out,
                     r#"
                     fn __cold_{k}(x, y) {{

@@ -59,7 +59,7 @@ fn main() {
     println!("\nexhaustive fault sweep (40 branches x 38 bits = 1520 injections each):");
     for technique in [None, Some(TechniqueKind::Rcf)] {
         let cfg = RunConfig { technique, style: UpdateStyle::CMov, ..RunConfig::default() };
-        let report = ExhaustiveSweep::new(cfg, 40).run(&image);
+        let report = ExhaustiveSweep::new(cfg, 40).run(&image).expect("workload is well-behaved");
         let name = technique.map_or("baseline".to_string(), |k| k.to_string());
         let s = report.sdc_prone_total();
         println!(

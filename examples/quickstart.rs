@@ -53,13 +53,15 @@ fn main() {
 
     // 3. Inject a single-bit fault into a branch offset of the translated
     //    code and watch the signature check report it.
-    let golden = golden_run(&image, &cfg);
+    let golden = golden_run(&image, &cfg).expect("fault-free run succeeds");
     println!("\ninjecting single-bit faults ({} dynamic branch sites)...", golden.branches);
     let mut detected = 0;
     let mut shown = 0;
     for nth in (0..golden.branches).step_by((golden.branches / 40).max(1) as usize) {
         let spec = FaultSpec::AddrBit { nth, bit: 4 }; // flip ±128 bytes
-        if let Some(result) = inject(&image, &cfg, spec, &golden) {
+        if let Some(result) =
+            inject(&image, &cfg, spec, &golden).expect("fault-free prefix succeeds")
+        {
             if result.outcome == Outcome::DetectedByCheck {
                 detected += 1;
                 if shown < 3 {

@@ -61,7 +61,7 @@ fn main() {
     configs.extend(TechniqueKind::ALL_FIVE.into_iter().rev().map(Some));
     for technique in configs {
         let cfg = RunConfig { technique, style: UpdateStyle::CMov, ..RunConfig::default() };
-        let report = Campaign::new(cfg, 120).run(&image);
+        let report = Campaign::new(cfg, 120).run(&image).expect("workload is well-behaved");
         let s = report.sdc_prone_total();
         let detected = s.detected_check + s.detected_hw + s.other_fault;
         println!(

@@ -56,7 +56,7 @@ fn injected_coverage_matches_paper_claims_cmov() {
     let image = by_name("181.mcf").unwrap().image(Scale::Test).unwrap();
     let campaign = |technique| {
         let cfg = RunConfig { technique, style: UpdateStyle::CMov, ..RunConfig::default() };
-        Campaign::new(cfg, 120).run(&image)
+        Campaign::new(cfg, 120).run(&image).expect("workload is well-behaved")
     };
 
     let base = campaign(None);
@@ -87,7 +87,7 @@ fn rcf_jcc_beats_edgcf_jcc_on_inserted_branch_errors() {
     let run = |kind| {
         let cfg =
             RunConfig { technique: Some(kind), style: UpdateStyle::Jcc, ..RunConfig::default() };
-        Campaign::new(cfg, 250).run(&image)
+        Campaign::new(cfg, 250).run(&image).expect("workload is well-behaved")
     };
     let edg = run(TechniqueKind::EdgCf);
     let rcf = run(TechniqueKind::Rcf);
@@ -109,7 +109,10 @@ fn detection_latency_grows_with_relaxed_policies() {
     let latency = |policy| {
         let cfg =
             RunConfig { technique: Some(TechniqueKind::EdgCf), policy, ..RunConfig::default() };
-        Campaign::new(cfg, 200).run(&image).mean_detection_latency()
+        Campaign::new(cfg, 200)
+            .run(&image)
+            .expect("workload is well-behaved")
+            .mean_detection_latency()
     };
     let allbb = latency(CheckPolicy::AllBb).expect("ALLBB detects something");
     let end = latency(CheckPolicy::End).expect("END still detects at program end");
@@ -131,7 +134,9 @@ fn error_model_aggregates_are_probabilities() {
 #[test]
 fn campaign_outcomes_partition_cleanly() {
     let image = by_name("191.fma3d").unwrap().image(Scale::Test).unwrap();
-    let rep = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 80).run(&image);
+    let rep = Campaign::new(RunConfig::technique(TechniqueKind::EdgCf), 80)
+        .run(&image)
+        .expect("workload is well-behaved");
     let mut total = rep.skipped;
     for c in Category::ALL {
         total += rep.category(c).total();
