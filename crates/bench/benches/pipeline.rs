@@ -4,6 +4,8 @@
 //!
 //! * `codec` — VISA binary encode/decode throughput;
 //! * `interpreter` — simulated instructions per second;
+//! * `dispatch` — decode-once engine ablation: raw vs pre-decoded
+//!   interpreter dispatch, and DBT per-step vs block-fused execution;
 //! * `translate` — DBT block-translation cost per technique (ablation:
 //!   instrumentation emission overhead);
 //! * `run_technique` — end-to-end workload execution per technique
@@ -73,6 +75,53 @@ fn bench_interpreter(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let image = by_name("189.lucas").unwrap().image(Scale::Test).unwrap();
+    let mut g = c.benchmark_group("dispatch");
+    let load = || Machine::load(image.code(), image.data(), image.entry_offset());
+    let mut m = load();
+    m.run(u64::MAX);
+    g.throughput(Throughput::Elements(m.cpu.stats().insts));
+    for (name, cached) in [("interp_raw", false), ("interp_decoded", true)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = load();
+                    m.set_decode_cache(cached);
+                    m
+                },
+                |mut m| {
+                    black_box(m.run(u64::MAX));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // The DBT retires extra instrumentation/stub instructions; recount so
+    // both DBT rows use the same per-element denominator.
+    let mut m = load();
+    let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+    dbt.run(&mut m, u64::MAX);
+    g.throughput(Throughput::Elements(m.cpu.stats().insts));
+    for (name, fused) in [("dbt_per_step", false), ("dbt_block_fused", true)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = load();
+                    m.set_decode_cache(fused);
+                    let dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+                    (m, dbt)
+                },
+                |(mut m, mut dbt)| {
+                    black_box(dbt.run(&mut m, u64::MAX));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -147,7 +196,7 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_codec, bench_interpreter, bench_translation,
+    targets = bench_codec, bench_interpreter, bench_dispatch, bench_translation,
               bench_techniques_end_to_end, bench_error_model, bench_compile
 }
 criterion_main!(benches);

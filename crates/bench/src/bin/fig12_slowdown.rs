@@ -19,12 +19,14 @@ fn main() {
     let args = Parser::new("fig12_slowdown", "Figure 12 per-benchmark technique slowdowns")
         .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
         .flag("events", "PATH", "", "write dbt_stats telemetry events (JSONL) to PATH")
+        .flag("threads", "N", "0", "worker threads for per-workload analyses (0 = all cores)")
         .parse();
     let die = |message: String| -> ! {
         eprintln!("fig12_slowdown: {message}");
         std::process::exit(2);
     };
     let scale = args.get_scale("scale").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
     let telemetry = match args.get("events").filter(|s| !s.is_empty()) {
         Some(path) => {
             let path = PathBuf::from(path);
@@ -36,6 +38,6 @@ fn main() {
         }
         None => Telemetry::off(),
     };
-    let rows = cfed_bench::fig12_telemetry(scale, &telemetry);
+    let rows = cfed_bench::fig12_telemetry_with(scale, &telemetry, threads);
     println!("{}", cfed_bench::render_fig12(&rows));
 }

@@ -10,11 +10,14 @@ use cfed_runner::cli::Parser;
 fn main() {
     let args = Parser::new("fig14_update_style", "Figure 14 Jcc vs CMOVcc slowdown")
         .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .flag("threads", "N", "0", "worker threads for per-workload analyses (0 = all cores)")
         .parse();
-    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+    let die = |e: String| -> ! {
         eprintln!("fig14_update_style: {e}");
         std::process::exit(2);
-    });
-    let m = cfed_bench::fig14(scale);
+    };
+    let scale = args.get_scale("scale").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
+    let m = cfed_bench::fig14_with(scale, threads);
     println!("{}", cfed_bench::render_fig14(&m));
 }

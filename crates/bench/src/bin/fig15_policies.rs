@@ -8,11 +8,14 @@ use cfed_runner::cli::Parser;
 fn main() {
     let args = Parser::new("fig15_policies", "Figure 15 RCF slowdown by checking policy")
         .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .flag("threads", "N", "0", "worker threads for per-workload analyses (0 = all cores)")
         .parse();
-    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+    let die = |e: String| -> ! {
         eprintln!("fig15_policies: {e}");
         std::process::exit(2);
-    });
-    let rows = cfed_bench::fig15(scale);
+    };
+    let scale = args.get_scale("scale").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
+    let rows = cfed_bench::fig15_with(scale, threads);
     println!("{}", cfed_bench::render_fig15(&rows));
 }

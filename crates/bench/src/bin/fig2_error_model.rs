@@ -9,12 +9,15 @@ use cfed_runner::cli::Parser;
 fn main() {
     let args = Parser::new("fig2_error_model", "Figure 2/3 branch-error probability tables")
         .flag("scale", "SCALE", "full", "workload scale: test, full, or an iteration count")
+        .flag("threads", "N", "0", "worker threads for per-workload analyses (0 = all cores)")
         .parse();
-    let scale = args.get_scale("scale").unwrap_or_else(|e| {
+    let die = |e: String| -> ! {
         eprintln!("fig2_error_model: {e}");
         std::process::exit(2);
-    });
-    let fig = cfed_bench::fig2(scale);
+    };
+    let scale = args.get_scale("scale").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
+    let fig = cfed_bench::fig2_with(scale, threads);
     println!("{}", fig.int.render("Figure 2 — SPEC-Int 2000 (analog suite)"));
     println!("{}", fig.fp.render("Figure 2 — SPEC-Fp 2000 (analog suite)"));
     println!("{}", cfed_bench::render_fig3(&fig));

@@ -18,7 +18,7 @@ use cfed_core::{
 use cfed_dbt::{CheckPolicy, UpdateStyle};
 use cfed_fault::{analyze_image, CampaignReport, CategoryStats, ErrorModelTable};
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
-use cfed_runner::pool::{run_matrix, RunSummary, RunnerOptions};
+use cfed_runner::pool::{parallel_map, run_matrix, RunSummary, RunnerOptions};
 use cfed_telemetry::Telemetry;
 use cfed_workloads::{Scale, Suite, Workload, ALL};
 
@@ -44,18 +44,29 @@ pub struct Fig2 {
     pub fp: ErrorModelTable,
 }
 
-/// Runs the §2 single-bit error model over both suites (Figures 2 and 3).
-pub fn fig2(scale: Scale) -> Fig2 {
+/// Runs the §2 single-bit error model over both suites (Figures 2 and 3),
+/// one workload per pool task over `threads` worker threads (`0` = all
+/// cores). Per-workload tables are merged in workload order, so the result
+/// — integer tallies throughout — is bit-identical to a serial run.
+pub fn fig2_with(scale: Scale, threads: usize) -> Fig2 {
+    let tables = parallel_map(ALL.len(), threads, |i| {
+        let w = &ALL[i];
+        (w.suite, analyze_image(&image(w, scale), 500_000_000).table)
+    });
     let mut int = ErrorModelTable::default();
     let mut fp = ErrorModelTable::default();
-    for w in &ALL {
-        let report = analyze_image(&image(w, scale), 500_000_000);
-        match w.suite {
-            Suite::Int => int.merge(&report.table),
-            Suite::Fp => fp.merge(&report.table),
+    for (suite, table) in &tables {
+        match suite {
+            Suite::Int => int.merge(table),
+            Suite::Fp => fp.merge(table),
         }
     }
     Fig2 { int, fp }
+}
+
+/// [`fig2_with`] on all cores.
+pub fn fig2(scale: Scale) -> Fig2 {
+    fig2_with(scale, 0)
 }
 
 /// Renders the Figure 3 view (probabilities over categories A–E only).
@@ -111,24 +122,34 @@ pub fn fig12(scale: Scale) -> Vec<SlowdownRow> {
 /// one untaken branch per emit site, which is what the `< 3%` telemetry
 /// overhead bound on this figure is measured against.
 pub fn fig12_telemetry(scale: Scale, telemetry: &Telemetry) -> Vec<SlowdownRow> {
-    ALL.iter()
-        .map(|w| {
-            let img = image(w, scale);
-            let native = run_native(&img, u64::MAX);
-            let base = run_dbt_telemetry(&img, &RunConfig::baseline(), telemetry);
-            let cycles = |kind| {
-                run_dbt_telemetry(&img, &RunConfig::technique(kind), telemetry).cycles as f64
-            };
-            SlowdownRow {
-                name: w.name,
-                suite: w.suite,
-                rcf: cycles(TechniqueKind::Rcf) / base.cycles as f64,
-                edgcf: cycles(TechniqueKind::EdgCf) / base.cycles as f64,
-                ecf: cycles(TechniqueKind::Ecf) / base.cycles as f64,
-                dbt_over_native: base.cycles as f64 / native.cycles as f64,
-            }
-        })
-        .collect()
+    fig12_telemetry_with(scale, telemetry, 0)
+}
+
+/// As [`fig12_telemetry`], one workload per pool task over `threads`
+/// worker threads. Every row is computed from that workload's runs alone
+/// and rows come back in workload order, so the figure is byte-identical
+/// to a serial run (telemetry events may interleave across workloads).
+pub fn fig12_telemetry_with(
+    scale: Scale,
+    telemetry: &Telemetry,
+    threads: usize,
+) -> Vec<SlowdownRow> {
+    parallel_map(ALL.len(), threads, |i| {
+        let w = &ALL[i];
+        let img = image(w, scale);
+        let native = run_native(&img, u64::MAX);
+        let base = run_dbt_telemetry(&img, &RunConfig::baseline(), telemetry);
+        let cycles =
+            |kind| run_dbt_telemetry(&img, &RunConfig::technique(kind), telemetry).cycles as f64;
+        SlowdownRow {
+            name: w.name,
+            suite: w.suite,
+            rcf: cycles(TechniqueKind::Rcf) / base.cycles as f64,
+            edgcf: cycles(TechniqueKind::EdgCf) / base.cycles as f64,
+            ecf: cycles(TechniqueKind::Ecf) / base.cycles as f64,
+            dbt_over_native: base.cycles as f64 / native.cycles as f64,
+        }
+    })
 }
 
 /// Geometric means over a suite filter (`None` = all benchmarks).
@@ -186,16 +207,34 @@ pub fn render_fig12(rows: &[SlowdownRow]) -> String {
 
 /// Figure 14 data: geomean slowdown for update style × technique.
 pub fn fig14(scale: Scale) -> [[f64; 3]; 2] {
+    fig14_with(scale, 0)
+}
+
+/// As [`fig14`], one workload per pool task over `threads` worker threads.
+/// Each task computes its workload's six style×technique ratios; the main
+/// thread then accumulates them in workload order before taking geomeans,
+/// so every float operation happens in the same sequence as a serial run
+/// and the figure is byte-identical.
+pub fn fig14_with(scale: Scale, threads: usize) -> [[f64; 3]; 2] {
     let kinds = [TechniqueKind::Rcf, TechniqueKind::EdgCf, TechniqueKind::Ecf];
     let styles = [UpdateStyle::Jcc, UpdateStyle::CMov];
-    let mut acc = [[Vec::new(), Vec::new(), Vec::new()], [Vec::new(), Vec::new(), Vec::new()]];
-    for w in &ALL {
-        let img = image(w, scale);
+    let ratios = parallel_map(ALL.len(), threads, |i| {
+        let img = image(&ALL[i], scale);
         let base = run_dbt(&img, &RunConfig::baseline()).cycles as f64;
+        let mut r = [[0.0f64; 3]; 2];
         for (si, &style) in styles.iter().enumerate() {
             for (ki, &kind) in kinds.iter().enumerate() {
                 let cfg = RunConfig { technique: Some(kind), style, ..RunConfig::default() };
-                acc[si][ki].push(run_dbt(&img, &cfg).cycles as f64 / base);
+                r[si][ki] = run_dbt(&img, &cfg).cycles as f64 / base;
+            }
+        }
+        r
+    });
+    let mut acc = [[Vec::new(), Vec::new(), Vec::new()], [Vec::new(), Vec::new(), Vec::new()]];
+    for r in &ratios {
+        for s in 0..2 {
+            for k in 0..3 {
+                acc[s][k].push(r[s][k]);
             }
         }
     }
@@ -241,22 +280,24 @@ pub struct PolicyRow {
 
 /// Figure 15 data: RCF slowdown under each checking policy.
 pub fn fig15(scale: Scale) -> Vec<PolicyRow> {
-    ALL.iter()
-        .map(|w| {
-            let img = image(w, scale);
-            let base = run_dbt(&img, &RunConfig::baseline()).cycles as f64;
-            let mut slowdowns = [0.0; 4];
-            for (i, policy) in CheckPolicy::ALL.into_iter().enumerate() {
-                let cfg = RunConfig {
-                    technique: Some(TechniqueKind::Rcf),
-                    policy,
-                    ..RunConfig::default()
-                };
-                slowdowns[i] = run_dbt(&img, &cfg).cycles as f64 / base;
-            }
-            PolicyRow { name: w.name, suite: w.suite, slowdowns }
-        })
-        .collect()
+    fig15_with(scale, 0)
+}
+
+/// As [`fig15`], one workload per pool task over `threads` worker threads;
+/// rows come back in workload order, byte-identical to a serial run.
+pub fn fig15_with(scale: Scale, threads: usize) -> Vec<PolicyRow> {
+    parallel_map(ALL.len(), threads, |i| {
+        let w = &ALL[i];
+        let img = image(w, scale);
+        let base = run_dbt(&img, &RunConfig::baseline()).cycles as f64;
+        let mut slowdowns = [0.0; 4];
+        for (pi, policy) in CheckPolicy::ALL.into_iter().enumerate() {
+            let cfg =
+                RunConfig { technique: Some(TechniqueKind::Rcf), policy, ..RunConfig::default() };
+            slowdowns[pi] = run_dbt(&img, &cfg).cycles as f64 / base;
+        }
+        PolicyRow { name: w.name, suite: w.suite, slowdowns }
+    })
 }
 
 /// Geomean of a policy column over a suite filter.

@@ -33,6 +33,10 @@ const MAX_BLOCK_INSTS: usize = 512;
 /// single translation is bounded well below this by [`MAX_BLOCK_INSTS`]).
 const EVICT_RESERVE: u64 = 64 * 1024;
 
+/// Entries in the indirect-branch dispatcher's inline cache (direct-mapped
+/// on the guest target address).
+const DISPATCH_IC_SIZE: usize = 16;
+
 /// Result of one supervised execution step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DbtStep {
@@ -78,6 +82,9 @@ pub struct DbtStats {
     /// Blocks translated again after their translation was discarded by an
     /// eviction or an SMC flush.
     pub retranslations: u64,
+    /// Indirect dispatches answered by the dispatcher's inline cache
+    /// (subset of `dispatches`; these skip the block-table lookup).
+    pub dispatch_ic_hits: u64,
 }
 
 /// A translated block's metadata.
@@ -169,6 +176,10 @@ pub struct Dbt {
     flush_gen: u64,
     /// Guest block starts ever translated, to count retranslations.
     seen_starts: HashSet<u64>,
+    /// Direct-mapped inline cache for the indirect-branch dispatcher:
+    /// `(guest target, cache entry)` pairs, cleared wholesale whenever any
+    /// translation dies (full eviction or SMC flush).
+    dispatch_ic: [Option<(u64, u64)>; DISPATCH_IC_SIZE],
     trans_us: Histogram,
     telemetry: Telemetry,
 }
@@ -195,6 +206,7 @@ impl Clone for Dbt {
             base_cursor: self.base_cursor,
             flush_gen: self.flush_gen,
             seen_starts: self.seen_starts.clone(),
+            dispatch_ic: self.dispatch_ic,
             trans_us: self.trans_us.clone(),
             telemetry: self.telemetry.clone(),
         }
@@ -242,6 +254,7 @@ impl Dbt {
             base_cursor: cursor,
             flush_gen: 0,
             seen_starts: HashSet::new(),
+            dispatch_ic: [None; DISPATCH_IC_SIZE],
             trans_us: Histogram::new(),
             telemetry: Telemetry::off(),
         }
@@ -296,6 +309,7 @@ impl Dbt {
                 .u64("inlined_jumps", s.inlined_jumps)
                 .u64("cache_evictions", s.cache_evictions)
                 .u64("retranslations", s.retranslations)
+                .u64("dispatch_ic_hits", s.dispatch_ic_hits)
                 .json("translate_us", self.trans_us.to_json())
         });
     }
@@ -363,33 +377,65 @@ impl Dbt {
         match m.step_cpu() {
             Ok(cfed_sim::Step::Continue) => DbtStep::Continue,
             Ok(cfed_sim::Step::Halt) => DbtStep::Halted,
-            Err(Trap::Software { code, .. })
+            Err(trap) => self.handle_trap(m, trap),
+        }
+    }
+
+    /// Services a trap raised while executing translated code: runtime-exit
+    /// software traps dispatch through [`Dbt::service_exit`], write faults on
+    /// pages this engine protected trigger an SMC flush, and anything else
+    /// surfaces to the caller.
+    fn handle_trap(&mut self, m: &mut Machine, trap: Trap) -> DbtStep {
+        match trap {
+            Trap::Software { code, .. }
                 if code >= trap_codes::DBT_EXIT_BASE
                     && ((code - trap_codes::DBT_EXIT_BASE) as usize) < self.exits.len() =>
             {
                 let idx = (code - trap_codes::DBT_EXIT_BASE) as usize;
                 self.service_exit(m, idx)
             }
-            Err(Trap::PermWrite { addr })
-                if self.protected_pages.contains(&Memory::page_base(addr)) =>
-            {
+            Trap::PermWrite { addr } if self.protected_pages.contains(&Memory::page_base(addr)) => {
                 self.smc_flush(m, Memory::page_base(addr));
                 DbtStep::Continue
             }
-            Err(other) => DbtStep::Exit(other),
+            other => DbtStep::Exit(other),
         }
     }
 
     /// Runs under supervision until halt, surfaced trap, or `max_insts`
     /// retired guest+instrumentation instructions.
+    ///
+    /// When the machine has a decode cache and no tracer attached, execution
+    /// proceeds in block-fused bursts ([`Machine::run_burst`]): translated
+    /// code re-validates its decoded page once on block entry and then runs
+    /// straight-line without per-instruction cache lookups, falling back to
+    /// this engine only at traps (runtime exits, SMC faults). Architectural
+    /// results are bit-identical to the per-step path.
     pub fn run(&mut self, m: &mut Machine, max_insts: u64) -> DbtExit {
         let start = m.cpu.stats().insts;
+        let fused = m.tracer.is_none() && m.has_decode_cache();
         loop {
-            if m.cpu.stats().insts - start >= max_insts {
+            let used = m.cpu.stats().insts - start;
+            if used >= max_insts {
                 self.emit_stats();
                 return DbtExit::StepLimit;
             }
-            match self.step(m) {
+            let step = if fused {
+                if !self.attached {
+                    if let Err(t) = self.attach(m) {
+                        self.emit_stats();
+                        return DbtExit::Trapped(t);
+                    }
+                }
+                match m.run_burst(max_insts - used) {
+                    Ok(cfed_sim::Step::Continue) => DbtStep::Continue,
+                    Ok(cfed_sim::Step::Halt) => DbtStep::Halted,
+                    Err(trap) => self.handle_trap(m, trap),
+                }
+            } else {
+                self.step(m)
+            };
+            match step {
                 DbtStep::Continue => {}
                 DbtStep::Halted => {
                     self.emit_stats();
@@ -434,8 +480,17 @@ impl Dbt {
                 let guest_target = m.cpu.reg(regs::ITARGET);
                 m.cpu.add_cycles(self.dispatch_cycles);
                 self.stats.dispatches += 1;
+                let slot = (guest_target / INST_SIZE_U64) as usize % DISPATCH_IC_SIZE;
+                if let Some((tag, cached)) = self.dispatch_ic[slot] {
+                    if tag == guest_target {
+                        self.stats.dispatch_ic_hits += 1;
+                        m.cpu.set_ip(cached);
+                        return DbtStep::Continue;
+                    }
+                }
                 match self.translate(m, guest_target) {
                     Ok(c) => {
+                        self.dispatch_ic[slot] = Some((guest_target, c));
                         m.cpu.set_ip(c);
                         DbtStep::Continue
                     }
@@ -721,6 +776,7 @@ impl Dbt {
         self.exits.clear();
         self.patched_by_target.clear();
         self.blocks_by_page.clear();
+        self.dispatch_ic = [None; DISPATCH_IC_SIZE];
         self.cursor = self.base_cursor;
         self.flush_gen += 1;
         self.stats.cache_evictions += 1;
@@ -765,6 +821,9 @@ impl Dbt {
                 }
             }
         }
+        // The dispatcher's inline cache may hold entries into the flushed
+        // translations; drop it wholesale rather than tracking provenance.
+        self.dispatch_ic = [None; DISPATCH_IC_SIZE];
         self.protected_pages.remove(&page);
         m.mem.unprotect_page(page);
         self.stats.smc_flushes += 1;

@@ -295,3 +295,60 @@ fn guest_sees_guest_return_addresses() {
     assert!(matches!(dexit, DbtExit::Halted { .. }));
     assert_eq!(dout, vec![after], "return address on stack must be the guest address");
 }
+
+#[test]
+fn fused_run_matches_per_step() {
+    // The block-fused dispatch loop (decode cache attached, default) and the
+    // per-instruction path (cache disabled) must agree bit-for-bit: exit,
+    // output, cycle count, retired instructions and engine statistics.
+    let image = compile(
+        r#"
+        fn leaf(x) { if (x % 2 == 0) { return x * 3; } return x + 7; }
+        fn main() {
+            let i = 0;
+            let acc = 0;
+            while (i < 300) { acc = acc + leaf(i); i = i + 1; }
+            out(acc);
+        }
+        "#,
+    )
+    .unwrap();
+    let run = |fused: bool| {
+        let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+        m.set_decode_cache(fused);
+        let mut dbt = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+        let exit = dbt.run(&mut m, 20_000_000);
+        (exit, m.cpu.take_output(), m.cpu.stats().cycles, m.cpu.stats().insts, dbt.stats())
+    };
+    let (fexit, fout, fcycles, finsts, fstats) = run(true);
+    let (sexit, sout, scycles, sinsts, sstats) = run(false);
+    assert_eq!(fexit, sexit);
+    assert_eq!(fout, sout);
+    assert_eq!(fcycles, scycles);
+    assert_eq!(finsts, sinsts);
+    assert_eq!(fstats.blocks, sstats.blocks);
+    assert_eq!(fstats.chains, sstats.chains);
+    assert_eq!(fstats.dispatches, sstats.dispatches);
+    assert_eq!(fstats.smc_flushes, sstats.smc_flushes);
+    // Both paths dispatch the same; the inline cache serves repeat targets.
+    assert!(fstats.dispatch_ic_hits > 0, "repeat rets must hit the dispatch IC");
+    assert_eq!(fstats.dispatch_ic_hits, sstats.dispatch_ic_hits);
+}
+
+#[test]
+fn fused_run_handles_smc_and_budget() {
+    // Budget exactness under fusion: run the same spin loop twice, once
+    // fused and once per-step, to the same instruction budget.
+    let code = encode_all(&[Inst::Jmp { offset: -8 }]);
+    for budget in [0u64, 1, 7, 100] {
+        let mut fused = Machine::load(&code, &[], 0);
+        let mut dbt_f = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut fused);
+        assert_eq!(dbt_f.run(&mut fused, budget), DbtExit::StepLimit);
+        let mut stepped = Machine::load(&code, &[], 0);
+        stepped.set_decode_cache(false);
+        let mut dbt_s = Dbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut stepped);
+        assert_eq!(dbt_s.run(&mut stepped, budget), DbtExit::StepLimit);
+        assert_eq!(fused.cpu.stats().insts, stepped.cpu.stats().insts, "budget {budget}");
+        assert_eq!(fused.cpu.stats().cycles, stepped.cpu.stats().cycles, "budget {budget}");
+    }
+}

@@ -16,6 +16,7 @@ use cfed_core::cfg::Cfg;
 use cfed_core::{classify_addr_fault, classify_flag_fault, BranchFault, Category};
 use cfed_isa::{Flags, INST_SIZE_U64, OFFSET_BITS};
 use cfed_sim::{Cpu, ExitReason, Machine, Step};
+use std::collections::HashMap;
 
 /// Which half of the fault surface a bit belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +57,19 @@ impl ErrorModelTable {
         let s = matches!(side, FaultSide::Flags) as usize;
         self.counts[t][s][cat_idx(category)] += 1;
         self.total_bits += 1;
+    }
+
+    /// Records a whole bit-classification row at once: `row[c]` faults of
+    /// category index `c` (the [`cat_idx`] order). Exactly equivalent to
+    /// that many [`ErrorModelTable::record`] calls — counts are integers, so
+    /// bulk addition is associative and the table stays bit-identical.
+    pub fn record_bulk(&mut self, taken: bool, side: FaultSide, row: &[u64; 7]) {
+        let t = taken as usize;
+        let s = matches!(side, FaultSide::Flags) as usize;
+        for (c, add) in row.iter().enumerate() {
+            self.counts[t][s][c] += add;
+            self.total_bits += add;
+        }
     }
 
     /// Total number of (branch execution, bit) samples.
@@ -167,6 +181,7 @@ pub fn analyze_image(image: &Image, max_insts: u64) -> ErrorModelReport {
     let cfg = Cfg::recover(image);
     let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
     let mut table = ErrorModelTable::default();
+    let mut memo = SiteMemo::default();
     let mut branches = 0u64;
     let mut indirect = 0u64;
 
@@ -174,17 +189,17 @@ pub fn analyze_image(image: &Image, max_insts: u64) -> ErrorModelReport {
         if m.cpu.stats().insts >= max_insts {
             break ExitReason::StepLimit;
         }
-        if let Ok(inst) = m.cpu.peek_inst(&m.mem) {
+        if let Ok(inst) = m.peek_inst() {
             if inst.is_branch() {
                 if inst.is_indirect_branch() {
                     indirect += 1;
                 } else {
                     branches += 1;
-                    analyze_branch(&m.cpu, &inst, &cfg, &mut table);
+                    analyze_branch(&m.cpu, &inst, &cfg, &mut table, &mut memo);
                 }
             }
         }
-        match m.cpu.step(&mut m.mem) {
+        match m.step_cpu() {
             Ok(Step::Continue) => {}
             Ok(Step::Halt) => break ExitReason::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) },
             Err(t) => break ExitReason::Trapped(t),
@@ -194,47 +209,99 @@ pub fn analyze_image(image: &Image, max_insts: u64) -> ErrorModelReport {
     ErrorModelReport { table, exit, branches_analyzed: branches, indirect_skipped: indirect }
 }
 
-fn analyze_branch(cpu: &Cpu, inst: &cfed_isa::Inst, cfg: &Cfg, table: &mut ErrorModelTable) {
+/// Per-bit classification totals for one (branch execution, fault side), in
+/// [`cat_idx`] order.
+type BitRow = [u64; 7];
+
+/// A taken branch whose offset faults never redirect: the 32 address bits of
+/// a not-taken branch all classify as No&nbsp;Error.
+const NOT_TAKEN_ADDR_ROW: BitRow = [0, 0, 0, 0, 0, 0, OFFSET_BITS as u64];
+
+/// The 6 flag bits of an instruction that never reads the flags for its
+/// direction all classify as No&nbsp;Error.
+const FLAGS_NO_ERROR_ROW: BitRow = [0, 0, 0, 0, 0, 0, Flags::BITS as u64];
+
+/// Memoized per-site bit classifications.
+///
+/// Both halves of the fault surface are pure functions of static program
+/// facts plus a tiny dynamic key, so classification cost is O(static sites),
+/// not O(dynamic branches):
+///
+/// - address-offset faults of a *taken* branch depend only on the site (its
+///   offset and the CFG) — one row per site, computed on first taken
+///   execution;
+/// - flag faults depend only on the site and the 6-bit flags value — at most
+///   64 rows per `jcc` site, computed on first sight of each flags value.
+#[derive(Default)]
+struct SiteMemo {
+    addr_taken: HashMap<u64, BitRow>,
+    flag_rows: HashMap<(u64, u8), BitRow>,
+}
+
+fn compute_addr_row(cpu: &Cpu, inst: &cfed_isa::Inst, cfg: &Cfg) -> BitRow {
     let addr = cpu.ip();
-    let taken = cpu.would_take(inst);
     let offset = inst.branch_offset().expect("direct branch");
     let fall = addr + INST_SIZE_U64;
-    let correct = if taken { inst.direct_target(addr).expect("direct") } else { fall };
+    let correct = inst.direct_target(addr).expect("direct");
     let block = cfg
         .block_containing(addr)
         .map(|id| cfg.blocks()[id].range())
         .unwrap_or(addr..addr + INST_SIZE_U64);
+    let mut row = [0u64; 7];
+    for bit in 0..OFFSET_BITS {
+        let faulty_off = offset ^ (1i32 << bit);
+        let faulty = addr.wrapping_add(INST_SIZE_U64).wrapping_add(faulty_off as i64 as u64);
+        let category = classify_addr_fault(
+            &BranchFault {
+                branch_block: block.clone(),
+                fall_through: fall,
+                correct_target: correct,
+                faulty_target: faulty,
+            },
+            cfg,
+        );
+        row[cat_idx(category)] += 1;
+    }
+    row
+}
+
+fn compute_flag_row(cpu: &Cpu, inst: &cfed_isa::Inst, taken: bool) -> BitRow {
+    let mut row = [0u64; 7];
+    for bit in 0..Flags::BITS as u8 {
+        let flipped = cpu.flags().with_bit_flipped(bit);
+        let category = classify_flag_fault(cpu.would_take_with_flags(inst, flipped) != taken);
+        row[cat_idx(category)] += 1;
+    }
+    row
+}
+
+fn analyze_branch(
+    cpu: &Cpu,
+    inst: &cfed_isa::Inst,
+    cfg: &Cfg,
+    table: &mut ErrorModelTable,
+    memo: &mut SiteMemo,
+) {
+    let addr = cpu.ip();
+    let taken = cpu.would_take(inst);
 
     // Address-offset bits: only matter when the branch redirects control.
-    for bit in 0..OFFSET_BITS {
-        let category = if !taken {
-            Category::NoError
-        } else {
-            let faulty_off = offset ^ (1i32 << bit);
-            let faulty = addr.wrapping_add(INST_SIZE_U64).wrapping_add(faulty_off as i64 as u64);
-            classify_addr_fault(
-                &BranchFault {
-                    branch_block: block.clone(),
-                    fall_through: fall,
-                    correct_target: correct,
-                    faulty_target: faulty,
-                },
-                cfg,
-            )
-        };
-        table.record(taken, FaultSide::Addr, category);
-    }
+    let addr_row: &BitRow = if !taken {
+        &NOT_TAKEN_ADDR_ROW
+    } else {
+        memo.addr_taken.entry(addr).or_insert_with(|| compute_addr_row(cpu, inst, cfg))
+    };
+    table.record_bulk(taken, FaultSide::Addr, addr_row);
 
     // Flag bits: only `jcc` reads the flags for its direction.
-    for bit in 0..Flags::BITS as u8 {
-        let category = if inst.reads_flags_for_direction() {
-            let flipped = cpu.flags().with_bit_flipped(bit);
-            classify_flag_fault(cpu.would_take_with_flags(inst, flipped) != taken)
-        } else {
-            Category::NoError
-        };
-        table.record(taken, FaultSide::Flags, category);
-    }
+    let flag_row: &BitRow = if inst.reads_flags_for_direction() {
+        memo.flag_rows
+            .entry((addr, cpu.flags().bits()))
+            .or_insert_with(|| compute_flag_row(cpu, inst, taken))
+    } else {
+        &FLAGS_NO_ERROR_ROW
+    };
+    table.record_bulk(taken, FaultSide::Flags, flag_row);
 }
 
 #[cfg(test)]
@@ -324,6 +391,81 @@ mod tests {
         assert_eq!(merged.samples(), a.table.samples() + b.table.samples());
         let sum: f64 = Category::ALL.iter().map(|&c| merged.prob_total(c)).sum();
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Reference implementation: classify and record every one of the 38
+    /// bits at every dynamic branch, no memoization. The production path
+    /// must produce an identical table.
+    fn naive_report(src: &str, max_insts: u64) -> ErrorModelReport {
+        let image = compile(src).unwrap();
+        let cfg = Cfg::recover(&image);
+        let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+        let mut table = ErrorModelTable::default();
+        let mut branches = 0u64;
+        let mut indirect = 0u64;
+        let exit = loop {
+            if m.cpu.stats().insts >= max_insts {
+                break ExitReason::StepLimit;
+            }
+            if let Ok(inst) = m.cpu.peek_inst(&m.mem) {
+                if inst.is_branch() {
+                    if inst.is_indirect_branch() {
+                        indirect += 1;
+                    } else {
+                        branches += 1;
+                        let taken = m.cpu.would_take(&inst);
+                        if taken {
+                            let row = compute_addr_row(&m.cpu, &inst, &cfg);
+                            for (c, &n) in row.iter().enumerate() {
+                                for _ in 0..n {
+                                    table.record(taken, FaultSide::Addr, Category::ALL[c]);
+                                }
+                            }
+                        } else {
+                            for _ in 0..OFFSET_BITS {
+                                table.record(taken, FaultSide::Addr, Category::NoError);
+                            }
+                        }
+                        for bit in 0..Flags::BITS as u8 {
+                            let category = if inst.reads_flags_for_direction() {
+                                let flipped = m.cpu.flags().with_bit_flipped(bit);
+                                classify_flag_fault(
+                                    m.cpu.would_take_with_flags(&inst, flipped) != taken,
+                                )
+                            } else {
+                                Category::NoError
+                            };
+                            table.record(taken, FaultSide::Flags, category);
+                        }
+                    }
+                }
+            }
+            match m.cpu.step(&mut m.mem) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Halt) => break ExitReason::Halted { code: m.cpu.reg(cfed_isa::Reg::R0) },
+                Err(t) => break ExitReason::Trapped(t),
+            }
+        };
+        ErrorModelReport { table, exit, branches_analyzed: branches, indirect_skipped: indirect }
+    }
+
+    #[test]
+    fn memoized_table_identical_to_naive_per_bit() {
+        let src = r#"
+            fn work(x) { if (x % 3 == 0) { return x * 2; } return x + 1; }
+            fn main() {
+                let i = 0;
+                let acc = 0;
+                while (i < 150) { acc = acc + work(i); i = i + 1; }
+                out(acc);
+            }
+        "#;
+        let fast = analyze_image(&compile(src).unwrap(), 5_000_000);
+        let slow = naive_report(src, 5_000_000);
+        assert_eq!(fast.table, slow.table, "memoized table must be bit-identical");
+        assert_eq!(fast.branches_analyzed, slow.branches_analyzed);
+        assert_eq!(fast.indirect_skipped, slow.indirect_skipped);
+        assert_eq!(fast.exit, slow.exit);
     }
 
     #[test]

@@ -185,7 +185,7 @@ pub(crate) fn golden_inner(
         if m.cpu.stats().insts >= cfg.max_insts {
             return Err(WorkloadError::BudgetExhausted { insts: m.cpu.stats().insts });
         }
-        if let Ok(inst) = m.cpu.peek_inst(&m.mem) {
+        if let Ok(inst) = m.peek_inst() {
             if inst.is_branch() {
                 // About to execute dynamic branch `branches`: the same
                 // instant inject_inner's prefix loop identifies as
@@ -355,7 +355,7 @@ fn inject_inner(
         if m.cpu.stats().insts >= budget {
             return Ok(None);
         }
-        let at_branch = m.cpu.peek_inst(&m.mem).map(|i| i.is_branch()).unwrap_or(false);
+        let at_branch = m.peek_inst().map(|i| i.is_branch()).unwrap_or(false);
         if at_branch {
             if seen_branches == spec.nth() {
                 break inject_now(&mut m, &mut dbt, image, spec);
@@ -403,7 +403,7 @@ fn inject_inner(
         let step = match pending.take() {
             Some(DbtStep::Continue) | None => {
                 if boundaries.peek().is_some()
-                    && m.cpu.peek_inst(&m.mem).map(|i| i.is_branch()).unwrap_or(false)
+                    && m.peek_inst().map(|i| i.is_branch()).unwrap_or(false)
                 {
                     trial_branch += 1;
                     while boundaries.next_if(|s| s.branch_index < trial_branch).is_some() {}
@@ -480,7 +480,7 @@ fn inject_now(
     spec: FaultSpec,
 ) -> Option<(Category, u64, DbtStep)> {
     let site = m.cpu.ip();
-    let inst = m.cpu.peek_inst(&m.mem).expect("branch decodes");
+    let inst = m.peek_inst().expect("branch decodes");
     debug_assert!(inst.is_branch());
     let layout = CacheLayout::snapshot(dbt, image.base()..image.base() + image.code().len() as u64);
     let taken = m.cpu.would_take(&inst);

@@ -75,6 +75,7 @@ impl Cond {
     ];
 
     /// Evaluates the condition against a flags value.
+    #[inline]
     pub fn eval(self, f: Flags) -> bool {
         match self {
             Cond::E => f.zf(),

@@ -81,6 +81,7 @@ impl Default for CostModel {
 impl CostModel {
     /// Cycle cost of executing `inst`; `taken` reports whether a conditional
     /// branch was taken (ignored for other instructions).
+    #[inline]
     pub fn cost(&self, inst: &Inst, taken: bool) -> u64 {
         match inst {
             Inst::Nop | Inst::Halt | Inst::Trap { .. } => 1,

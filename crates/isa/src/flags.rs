@@ -212,6 +212,7 @@ fn result_flags(result: u64, flags: &mut Flags) {
 /// assert_eq!(r, 0);
 /// assert!(f.cf() && f.zf());
 /// ```
+#[inline]
 pub fn add_with_flags(a: u64, b: u64) -> (u64, Flags) {
     let (result, carry) = a.overflowing_add(b);
     let overflow = (a as i64).overflowing_add(b as i64).1;
@@ -234,6 +235,7 @@ pub fn add_with_flags(a: u64, b: u64) -> (u64, Flags) {
 /// assert_eq!(r as i64, -1);
 /// assert!(f.cf() && f.sf() && !f.zf());
 /// ```
+#[inline]
 pub fn sub_with_flags(a: u64, b: u64) -> (u64, Flags) {
     let (result, borrow) = a.overflowing_sub(b);
     let overflow = (a as i64).overflowing_sub(b as i64).1;
@@ -247,6 +249,7 @@ pub fn sub_with_flags(a: u64, b: u64) -> (u64, Flags) {
 
 /// Flags for a bitwise-logic result (`and`, `or`, `xor`, `not` result):
 /// `CF = OF = 0`, `ZF`/`SF`/`PF` from the result, `AF` cleared.
+#[inline]
 pub fn logic_flags(result: u64) -> Flags {
     let mut f = Flags::empty();
     result_flags(result, &mut f);
@@ -255,6 +258,7 @@ pub fn logic_flags(result: u64) -> Flags {
 
 /// Computes `a << sh` (shift amount masked to 0–63) with IA-32-style flags:
 /// `CF` holds the last bit shifted out.
+#[inline]
 pub fn shl_with_flags(a: u64, sh: u64) -> (u64, Flags) {
     let sh = (sh & 63) as u32;
     let result = if sh == 0 { a } else { a << sh };
@@ -267,6 +271,7 @@ pub fn shl_with_flags(a: u64, sh: u64) -> (u64, Flags) {
 }
 
 /// Computes logical `a >> sh` with `CF` holding the last bit shifted out.
+#[inline]
 pub fn shr_with_flags(a: u64, sh: u64) -> (u64, Flags) {
     let sh = (sh & 63) as u32;
     let result = if sh == 0 { a } else { a >> sh };
@@ -279,6 +284,7 @@ pub fn shr_with_flags(a: u64, sh: u64) -> (u64, Flags) {
 }
 
 /// Computes arithmetic `a >> sh` with `CF` holding the last bit shifted out.
+#[inline]
 pub fn sar_with_flags(a: u64, sh: u64) -> (u64, Flags) {
     let sh = (sh & 63) as u32;
     let result = if sh == 0 { a } else { ((a as i64) >> sh) as u64 };
@@ -293,6 +299,7 @@ pub fn sar_with_flags(a: u64, sh: u64) -> (u64, Flags) {
 /// Computes the low 64 bits of `a * b`; `CF`/`OF` are set when the signed
 /// product does not fit in 64 bits (IA-32 `imul` convention), and
 /// `ZF`/`SF`/`PF` follow the result for determinism.
+#[inline]
 pub fn mul_with_flags(a: u64, b: u64) -> (u64, Flags) {
     let (result, overflow) = (a as i64).overflowing_mul(b as i64);
     let result = result as u64;

@@ -193,6 +193,7 @@ impl Inst {
     /// Returns `true` for every control-transfer instruction (direct and
     /// indirect jumps, conditional branches, calls and returns) — the
     /// instructions subject to the paper's *branch-error* model.
+    #[inline]
     pub fn is_branch(&self) -> bool {
         matches!(
             self,
@@ -209,6 +210,7 @@ impl Inst {
 
     /// Returns `true` for branches whose direction depends on machine state
     /// (condition flags or a tested register).
+    #[inline]
     pub fn is_cond_branch(&self) -> bool {
         matches!(self, Inst::Jcc { .. } | Inst::JRz { .. } | Inst::JRnz { .. })
     }
@@ -216,6 +218,7 @@ impl Inst {
     /// Returns `true` for branches whose direction depends on the condition
     /// *flags* — the flag-side fault targets of the error model. `JRz`/`JRnz`
     /// test a register, not the flags, so they are excluded.
+    #[inline]
     pub fn reads_flags_for_direction(&self) -> bool {
         matches!(self, Inst::Jcc { .. })
     }
@@ -277,6 +280,7 @@ impl Inst {
     /// let j = Inst::Jmp { offset: 16 };
     /// assert_eq!(j.direct_target(0x1000), Some(0x1018));
     /// ```
+    #[inline]
     pub fn direct_target(&self, addr: u64) -> Option<u64> {
         self.branch_offset()
             .map(|off| addr.wrapping_add(INST_SIZE_U64).wrapping_add(off as i64 as u64))

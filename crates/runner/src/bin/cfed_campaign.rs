@@ -21,10 +21,14 @@
 //! The `bench` subcommand runs a fixed-seed smoke campaign twice — fast-
 //! forward snapshots on and off — checks the tallies match bit for bit,
 //! and writes a `BENCH_campaign.json` record (throughput, snapshot stats,
-//! host fingerprint). `--baseline PATH` compares the snapshots-over-
-//! scratch speedup against a committed record and exits nonzero when more
-//! than 25% below it — the CI perf gate (the ratio self-normalizes away
-//! host speed, so a committed baseline is portable across runners).
+//! host fingerprint). It also times the interpreter on the same workloads
+//! with and without the pre-decoded instruction cache (guest MIPS each
+//! way, plus the cache's hit/miss/invalidation counters). `--baseline
+//! PATH` compares the snapshots-over-scratch speedup and the
+//! decoded-over-raw interpreter speedup against a committed record and
+//! exits nonzero when either is more than 25% below it — the CI perf gate
+//! (both are ratios of two passes on the same host, so a committed
+//! baseline is portable across runners).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -37,6 +41,7 @@ use cfed_runner::cli::Parser;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec, CAMPAIGN_WORKLOADS};
 use cfed_runner::pool::{run_matrix, RunPerf, RunSummary, RunnerOptions};
 use cfed_runner::report::render_report;
+use cfed_sim::Machine;
 use cfed_telemetry::json::{obj, Json};
 use cfed_telemetry::{JsonlSink, Telemetry};
 use cfed_workloads::Scale;
@@ -224,6 +229,96 @@ fn bench_matrix(trials: u64, seed: u64) -> CampaignMatrix {
     }
 }
 
+/// Interpreter-throughput measurement over the bench workloads: guest MIPS
+/// with the raw fetch–decode–execute loop versus the pre-decoded engine.
+struct InterpPerf {
+    raw_mips: f64,
+    decoded_mips: f64,
+    /// Decoded-over-raw throughput ratio.
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Times the native interpreter on the bench workloads with the decode
+/// cache off (per-instruction fetch+decode) and on (decode-once lines,
+/// fused bursts), checking both paths retire bit-identical runs.
+///
+/// Each configuration is timed `REPS` times after a warm-up run and the
+/// best time kept: the timed regions are sub-millisecond, so any scheduler
+/// preemption on a shared host would otherwise dominate the measurement.
+fn bench_interp() -> Result<InterpPerf, String> {
+    const WARMUP: usize = 1;
+    const REPS: usize = 7;
+    let specs =
+        [WorkloadSpec::named("164.gzip", Scale::Test), WorkloadSpec::named("181.mcf", Scale::Test)];
+    let mut raw = (0u64, 0.0f64); // (guest insts, best-case seconds)
+    let mut decoded = (0u64, 0.0f64);
+    let (mut hits, mut misses, mut invalidations) = (0u64, 0u64, 0u64);
+    for spec in &specs {
+        let image = spec.image()?;
+        let mut reference = None;
+        for use_cache in [false, true] {
+            let mut best = f64::INFINITY;
+            let mut insts = 0;
+            for rep in 0..WARMUP + REPS {
+                let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+                m.set_decode_cache(use_cache);
+                let timer = std::time::Instant::now();
+                let exit = m.run(u64::MAX);
+                let secs = timer.elapsed().as_secs_f64();
+                let stats = m.cpu.stats();
+                let observed = (exit, m.cpu.take_output(), stats.insts, stats.cycles);
+                match &reference {
+                    None => reference = Some(observed),
+                    Some(r) if *r != observed => {
+                        return Err(format!("interpreter divergence on {}", spec.key()))
+                    }
+                    Some(_) => {}
+                }
+                insts = stats.insts;
+                if rep >= WARMUP {
+                    best = best.min(secs);
+                }
+                if use_cache && rep == WARMUP + REPS - 1 {
+                    let s = m.decode_cache_stats().expect("cache enabled");
+                    hits += s.hits;
+                    misses += s.misses;
+                    invalidations += s.invalidations;
+                }
+            }
+            let acc = if use_cache { &mut decoded } else { &mut raw };
+            acc.0 += insts;
+            acc.1 += best;
+            if std::env::var_os("CFED_BENCH_VERBOSE").is_some() {
+                eprintln!(
+                    "cfed-campaign bench: interp     {} {} {:.1} MIPS",
+                    spec.key(),
+                    if use_cache { "decoded" } else { "raw" },
+                    insts as f64 / best / 1e6
+                );
+            }
+        }
+    }
+    let mips = |(insts, secs): (u64, f64)| {
+        if secs > 0.0 {
+            insts as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    };
+    let (raw_mips, decoded_mips) = (mips(raw), mips(decoded));
+    Ok(InterpPerf {
+        raw_mips,
+        decoded_mips,
+        speedup: if raw_mips > 0.0 { decoded_mips / raw_mips } else { 0.0 },
+        hits,
+        misses,
+        invalidations,
+    })
+}
+
 fn perf_record(perf: &RunPerf) -> Json {
     obj(vec![
         ("wall_ms", Json::UInt(perf.wall_ms)),
@@ -310,21 +405,31 @@ fn run_bench(argv: &[String]) {
         }
     }
 
+    let interp = bench_interp().unwrap_or_else(|e| die(e));
+    if !quiet {
+        eprintln!(
+            "cfed-campaign bench: interp     raw {:.1} MIPS, decoded {:.1} MIPS ({:.2}x)",
+            interp.raw_mips, interp.decoded_mips, interp.speedup
+        );
+    }
+
     let speedup = if scratch.perf.trials_per_sec > 0.0 {
         snap.perf.trials_per_sec / scratch.perf.trials_per_sec
     } else {
         0.0
     };
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let resolved = RunnerOptions { threads, ..Default::default() }.resolved_threads();
     let record = obj(vec![
-        ("schema", Json::Str("cfed-bench-campaign-v1".to_string())),
+        ("schema", Json::Str("cfed-bench-campaign-v2".to_string())),
         (
             "host",
             obj(vec![
                 ("os", Json::Str(std::env::consts::OS.to_string())),
                 ("arch", Json::Str(std::env::consts::ARCH.to_string())),
                 ("cpus", Json::UInt(cpus as u64)),
-                ("threads", Json::UInt(threads as u64)),
+                ("threads_requested", Json::UInt(threads as u64)),
+                ("threads_resolved", Json::UInt(resolved as u64)),
             ]),
         ),
         (
@@ -340,6 +445,17 @@ fn run_bench(argv: &[String]) {
         ("snapshots", perf_record(&snap.perf)),
         ("scratch", perf_record(&scratch.perf)),
         ("speedup_milli", Json::UInt((speedup * 1000.0).round() as u64)),
+        (
+            "interp",
+            obj(vec![
+                ("raw_mips_milli", Json::UInt((interp.raw_mips * 1000.0).round() as u64)),
+                ("decoded_mips_milli", Json::UInt((interp.decoded_mips * 1000.0).round() as u64)),
+                ("decode_hits", Json::UInt(interp.hits)),
+                ("decode_misses", Json::UInt(interp.misses)),
+                ("decode_invalidations", Json::UInt(interp.invalidations)),
+            ]),
+        ),
+        ("interp_speedup_milli", Json::UInt((interp.speedup * 1000.0).round() as u64)),
     ]);
     std::fs::write(&out, record.render() + "\n")
         .unwrap_or_else(|e| die(format!("writing {}: {e}", out.display())));
@@ -349,33 +465,47 @@ fn run_bench(argv: &[String]) {
         scratch.perf.trials_per_sec,
         out.display()
     );
+    println!(
+        "bench: interpreter raw {:.1} MIPS, decoded {:.1} MIPS, speedup {:.2}x",
+        interp.raw_mips, interp.decoded_mips, interp.speedup
+    );
 
     if let Some(baseline_path) = args.get("baseline").filter(|s| !s.is_empty()) {
         let text = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| die(format!("reading baseline {baseline_path}: {e}")));
         let baseline = cfed_telemetry::json::parse(&text)
             .unwrap_or_else(|e| die(format!("parsing baseline {baseline_path}: {e}")));
+        let gate = |name: &str, current_milli: u64, base_milli: u64| {
+            let floor = base_milli * (100 - BASELINE_TOLERANCE_PCT) / 100;
+            if current_milli < floor {
+                eprintln!(
+                    "cfed-campaign bench: PERF REGRESSION — {name} {:.2}x is more than {}% below \
+                     the baseline {:.2}x",
+                    current_milli as f64 / 1000.0,
+                    BASELINE_TOLERANCE_PCT,
+                    base_milli as f64 / 1000.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "bench: {name} within budget of baseline {:.2}x (floor {:.2}x)",
+                base_milli as f64 / 1000.0,
+                floor as f64 / 1000.0
+            );
+        };
         let base_speedup = baseline
             .get("speedup_milli")
             .and_then(Json::as_u64)
             .unwrap_or_else(|| die(format!("baseline {baseline_path} has no speedup_milli")));
-        let current = (speedup * 1000.0).round() as u64;
-        let floor = base_speedup * (100 - BASELINE_TOLERANCE_PCT) / 100;
-        if current < floor {
-            eprintln!(
-                "cfed-campaign bench: PERF REGRESSION — speedup {:.2}x is more than {}% below \
-                 the baseline {:.2}x",
-                current as f64 / 1000.0,
-                BASELINE_TOLERANCE_PCT,
-                base_speedup as f64 / 1000.0
-            );
-            std::process::exit(1);
+        gate("snapshot speedup", (speedup * 1000.0).round() as u64, base_speedup);
+        // Records predating schema v2 have no interpreter section; the gate
+        // engages once a v2 baseline is committed.
+        match baseline.get("interp_speedup_milli").and_then(Json::as_u64) {
+            Some(base_interp) => {
+                gate("interp speedup", (interp.speedup * 1000.0).round() as u64, base_interp)
+            }
+            None => println!("bench: baseline has no interp_speedup_milli; interp gate skipped"),
         }
-        println!(
-            "bench: within budget of baseline speedup {:.2}x (floor {:.2}x)",
-            base_speedup as f64 / 1000.0,
-            floor as f64 / 1000.0
-        );
     }
 }
 

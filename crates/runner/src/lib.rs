@@ -62,5 +62,5 @@ pub mod store;
 pub use cfed_telemetry::json;
 
 pub use matrix::{CampaignMatrix, CellSpec, ShardTask, WorkloadSpec};
-pub use pool::{run_matrix, CellResult, RunSummary, RunnerOptions};
+pub use pool::{parallel_map, run_matrix, CellResult, RunSummary, RunnerOptions};
 pub use store::{CampaignStore, ShardTallies, StoreHeader};

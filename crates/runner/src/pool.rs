@@ -143,12 +143,68 @@ impl ProgressLine {
 }
 
 impl RunnerOptions {
-    fn resolved_threads(&self) -> usize {
+    /// The worker count a pool will actually use: `threads`, or
+    /// `std::thread::available_parallelism()` when `threads` is `0`.
+    pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
         std::thread::available_parallelism().map_or(1, |n| n.get())
     }
+}
+
+/// Maps `0..n` through `f` on a scoped worker pool and returns the results
+/// in index order, exactly as `(0..n).map(f).collect()` would.
+///
+/// `threads == 0` resolves to `std::thread::available_parallelism()`; the
+/// worker count is additionally capped at `n`. With one worker (or `n <= 1`)
+/// the map runs inline on the caller's thread. Workers claim indices from a
+/// shared atomic counter, so scheduling is dynamic, but results are placed
+/// by index — callers observe a deterministic, order-independent `Vec`.
+///
+/// This is the shared harness the `fig*` reproduction binaries use to fan
+/// per-workload analyses out across cores while keeping their printed
+/// figures byte-identical to a serial run.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any index (the panic is propagated).
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = RunnerOptions { threads, ..Default::default() }.resolved_threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        // A missing slot means a worker died before sending; scope join
+        // propagates its panic before we can get here, so every index is
+        // present.
+        out.into_iter().map(|v| v.expect("every index produced")).collect()
+    })
 }
 
 /// Result of one cell after the run.
@@ -704,6 +760,28 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cfed-pool-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir.join("run.jsonl")
+    }
+
+    #[test]
+    fn parallel_map_is_in_order_and_complete() {
+        for threads in [0usize, 1, 2, 7] {
+            for n in [0usize, 1, 2, 5, 64] {
+                let got = parallel_map(n, threads, |i| i * i + 1);
+                let want: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+                assert_eq!(got, want, "threads {threads}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(8, 4, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(r.is_err());
     }
 
     #[test]

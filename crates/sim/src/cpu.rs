@@ -5,6 +5,9 @@
 //! commits, so a supervisor (the DBT runtime, or a fault-injection harness)
 //! can inspect and repair state and resume execution.
 
+use crate::icache::{self, DecodedCache};
+use crate::mem::PAGE_SIZE;
+use crate::LINES_PER_PAGE;
 use crate::{Memory, Trap};
 use cfed_isa::{flags, AluOp, Cond, CostModel, Flags, Inst, Reg, INST_SIZE_U64};
 
@@ -172,6 +175,7 @@ impl Cpu {
         self.halted.then(|| self.reg(Reg::R0))
     }
 
+    #[inline(always)]
     fn push(&mut self, mem: &mut Memory, value: u64) -> Result<(), Trap> {
         let sp = self.reg(Reg::SP).wrapping_sub(8);
         mem.write_u64(sp, value)?;
@@ -179,6 +183,7 @@ impl Cpu {
         Ok(())
     }
 
+    #[inline(always)]
     fn pop(&mut self, mem: &Memory) -> Result<u64, Trap> {
         let sp = self.reg(Reg::SP);
         let value = mem.read_u64(sp)?;
@@ -206,154 +211,203 @@ impl Cpu {
         let addr = self.ip;
         let bytes = mem.fetch(addr)?;
         let inst = Inst::decode(&bytes).map_err(|cause| Trap::InvalidInst { addr, cause })?;
-        let next = addr.wrapping_add(INST_SIZE_U64);
+        self.exec_inst(mem, addr, inst)
+    }
 
-        // `taken` is meaningful only for conditional branches.
+    /// Executes an already-fetched-and-decoded `inst` taken from `addr`.
+    /// The single execute stage shared by the raw and decoded paths, so the
+    /// two are equivalent by construction.
+    fn exec_inst(&mut self, mem: &mut Memory, addr: u64, inst: Inst) -> Result<Step, Trap> {
+        self.exec_inst_impl::<false>(mem, addr, inst, 0).map(|(step, _, _)| step)
+    }
+
+    /// The execute stage proper. Both instantiations share every arm, so
+    /// raw and pre-decoded execution agree by construction:
+    ///
+    /// * `PRE = false` (raw [`Cpu::step`]): direct branch targets are
+    ///   computed here and the statistics epilogue (instruction, cycle and
+    ///   branch counters) runs before returning.
+    /// * `PRE = true` ([`Cpu::run_fused`]): `target` supplies the
+    ///   precomputed absolute taken-target of direct branches (a pure
+    ///   function of the instruction and its fixed address) and the caller
+    ///   takes over the epilogue using the returned `taken` and the line's
+    ///   cached cost class.
+    #[inline(always)]
+    fn exec_inst_impl<const PRE: bool>(
+        &mut self,
+        mem: &mut Memory,
+        addr: u64,
+        inst: Inst,
+        target: u64,
+    ) -> Result<(Step, bool, u64), Trap> {
+        let next = addr.wrapping_add(INST_SIZE_U64);
+        macro_rules! taken_target {
+            () => {
+                if PRE {
+                    target
+                } else {
+                    inst.direct_target(addr).expect("direct")
+                }
+            };
+        }
+
+        // `taken` is meaningful only for conditional branches. `new_ip` is
+        // committed to `self.ip` after the match (for `PRE`, by the caller
+        // at burst exit), which preserves the trap contract: a trapping
+        // instruction leaves `self.ip` untouched.
         let mut taken = false;
+        let new_ip;
         match inst {
-            Inst::Nop => self.ip = next,
+            Inst::Nop => new_ip = next,
             Inst::Halt => {
                 self.halted = true;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Out { src } => {
                 self.output.push(self.reg(src));
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Trap { code } => return Err(Trap::Software { addr, code }),
 
             Inst::MovRR { dst, src } => {
                 let v = self.reg(src);
                 self.set_reg(dst, v);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::MovRI { dst, imm } => {
                 self.set_reg(dst, imm as i64 as u64);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Ld { dst, base, disp } => {
                 let a = self.reg(base).wrapping_add(disp as i64 as u64);
                 let v = mem.read_u64(a)?;
                 self.set_reg(dst, v);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::St { base, src, disp } => {
                 let a = self.reg(base).wrapping_add(disp as i64 as u64);
                 mem.write_u64(a, self.reg(src))?;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Ld8 { dst, base, disp } => {
                 let a = self.reg(base).wrapping_add(disp as i64 as u64);
                 let v = mem.read_u8(a)?;
                 self.set_reg(dst, v as u64);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::St8 { base, src, disp } => {
                 let a = self.reg(base).wrapping_add(disp as i64 as u64);
                 mem.write_u8(a, self.reg(src) as u8)?;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Push { src } => {
                 let v = self.reg(src);
                 self.push(mem, v)?;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Pop { dst } => {
                 let v = self.pop(mem)?;
                 self.set_reg(dst, v);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::CMov { cc, dst, src } => {
                 if cc.eval(self.flags) {
                     let v = self.reg(src);
                     self.set_reg(dst, v);
                 }
-                self.ip = next;
+                new_ip = next;
             }
 
             Inst::Alu { op, dst, src } => {
                 self.exec_alu(op, dst, self.reg(src), addr)?;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::AluI { op, dst, imm } => {
                 self.exec_alu(op, dst, imm as i64 as u64, addr)?;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Neg { dst } => {
                 let (r, f) = flags::sub_with_flags(0, self.reg(dst));
                 self.set_reg(dst, r);
                 self.flags = f;
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Not { dst } => {
                 let r = !self.reg(dst);
                 self.set_reg(dst, r);
                 self.flags = flags::logic_flags(r);
-                self.ip = next;
+                new_ip = next;
             }
 
             Inst::Lea { dst, base, disp } => {
                 let v = self.reg(base).wrapping_add(disp as i64 as u64);
                 self.set_reg(dst, v);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::Lea2 { dst, base, index, disp } => {
                 let v =
                     self.reg(base).wrapping_add(self.reg(index)).wrapping_add(disp as i64 as u64);
                 self.set_reg(dst, v);
-                self.ip = next;
+                new_ip = next;
             }
             Inst::LeaSub { dst, base, index, disp } => {
                 let v =
                     self.reg(base).wrapping_sub(self.reg(index)).wrapping_add(disp as i64 as u64);
                 self.set_reg(dst, v);
-                self.ip = next;
+                new_ip = next;
             }
 
             Inst::Jmp { .. } => {
-                self.ip = inst.direct_target(addr).expect("direct");
+                new_ip = taken_target!();
             }
             Inst::Jcc { cc, .. } => {
                 taken = cc.eval(self.flags);
-                self.ip = if taken { inst.direct_target(addr).expect("direct") } else { next };
+                new_ip = if taken { taken_target!() } else { next };
             }
             Inst::JRz { src, .. } => {
                 taken = self.reg(src) == 0;
-                self.ip = if taken { inst.direct_target(addr).expect("direct") } else { next };
+                new_ip = if taken { taken_target!() } else { next };
             }
             Inst::JRnz { src, .. } => {
                 taken = self.reg(src) != 0;
-                self.ip = if taken { inst.direct_target(addr).expect("direct") } else { next };
+                new_ip = if taken { taken_target!() } else { next };
             }
             Inst::Call { .. } => {
                 self.push(mem, next)?;
-                self.ip = inst.direct_target(addr).expect("direct");
+                new_ip = taken_target!();
             }
             Inst::CallR { target } => {
                 let t = self.reg(target);
                 self.push(mem, next)?;
-                self.ip = t;
+                new_ip = t;
             }
             Inst::JmpR { target } => {
-                self.ip = self.reg(target);
+                new_ip = self.reg(target);
             }
             Inst::Ret => {
-                self.ip = self.pop(mem)?;
+                new_ip = self.pop(mem)?;
             }
         }
 
-        self.stats.insts += 1;
-        self.stats.cycles += self.cost.cost(&inst, taken);
-        if inst.is_branch() {
-            self.stats.branches += 1;
-            let redirected = taken || !inst.is_cond_branch();
-            if redirected {
-                self.stats.branches_taken += 1;
+        if !PRE {
+            self.ip = new_ip;
+            self.stats.insts += 1;
+            self.stats.cycles += self.cost.cost(&inst, taken);
+            if inst.is_branch() {
+                self.stats.branches += 1;
+                let redirected = taken || !inst.is_cond_branch();
+                if redirected {
+                    self.stats.branches_taken += 1;
+                }
             }
         }
-        Ok(if self.halted { Step::Halt } else { Step::Continue })
+        // `PRE` callers keep `self.ip` in a register across the burst and
+        // detect halts from the cached class, so neither field is touched.
+        let step = if !PRE && self.halted { Step::Halt } else { Step::Continue };
+        Ok((step, taken, new_ip))
     }
 
+    #[inline(always)]
     fn exec_alu(&mut self, op: AluOp, dst: Reg, rhs: u64, addr: u64) -> Result<(), Trap> {
         let lhs = self.reg(dst);
         let (result, f) = match op {
@@ -404,6 +458,203 @@ impl Cpu {
         ExitReason::StepLimit
     }
 
+    /// As [`Cpu::step`], but fetching through a pre-decoded instruction
+    /// cache instead of raw fetch+decode. Architecturally equivalent
+    /// (identical results, traps, stats and dirty-log behaviour); only the
+    /// decode work is saved.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions and guarantees as [`Cpu::step`].
+    pub fn step_decoded(
+        &mut self,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+    ) -> Result<Step, Trap> {
+        let result = self.step_decoded_inner(mem, icache);
+        if result.is_err() {
+            self.stats.traps += 1;
+        }
+        result
+    }
+
+    fn step_decoded_inner(
+        &mut self,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+    ) -> Result<Step, Trap> {
+        debug_assert!(!self.halted, "stepping a halted cpu");
+        let addr = self.ip;
+        let inst = icache.fetch(mem, addr)?;
+        self.exec_inst(mem, addr, inst)
+    }
+
+    /// Executes up to `max` instructions from the decoded cache in fused
+    /// bursts: the fetch checks (alignment, range, execute permission) and
+    /// cache-page validation are hoisted to burst entry, and runs within
+    /// the page execute with a single array read per instruction. Control
+    /// transfers that stay on the page (to an aligned slot) keep the burst
+    /// alive — permissions and mapping are host-controlled and cannot
+    /// change mid-run — so tight loops execute whole iterations fused. A
+    /// burst ends — forcing revalidation — when a memory write moves the
+    /// executing page's write generation, at any transfer off the page or
+    /// to an unaligned target, on halt, trap or the budget.
+    ///
+    /// Equivalent to calling [`Cpu::step`] `max` times: same architectural
+    /// state, same statistics, and the same trap at the same instruction
+    /// (with `traps` advanced and nothing committed). Returns
+    /// `Ok(Step::Continue)` when the budget is exhausted, `Ok(Step::Halt)`
+    /// when a `halt` retires.
+    ///
+    /// # Errors
+    ///
+    /// The first trap any of the executed instructions raises.
+    pub fn run_fused(
+        &mut self,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+        max: u64,
+    ) -> Result<Step, Trap> {
+        // Per-class cycle costs under the *current* cost model, so cached
+        // lines never embed stale costs even if the model is exotic.
+        let table = icache::cost_table(&self.cost);
+        let mut retired: u64 = 0;
+        let mut misses: u64 = 0;
+        // One extra fetch was classified (hit or miss) but not retired:
+        // set when an executed instruction traps after a successful fetch.
+        let mut trapped_fetch: u64 = 0;
+        // Retirement statistics accumulate in locals and flush once at the
+        // end, keeping per-instruction bookkeeping in registers.
+        let mut d_cycles: u64 = 0;
+        let mut d_branches: u64 = 0;
+        let mut d_taken: u64 = 0;
+        // The instruction pointer lives in `ip` for the whole call — the
+        // execute stage returns the successor instead of storing it — and
+        // is committed to `self.ip` once at the end. On a trap `ip` is the
+        // trapping instruction's address, exactly where the raw path leaves
+        // `self.ip` (a trapping instruction never commits its successor).
+        let mut ip = self.ip;
+        let result = 'outer: loop {
+            if retired >= max {
+                break Ok(Step::Continue);
+            }
+            debug_assert!(!self.halted, "stepping a halted cpu");
+            // Burst-entry checks, trap-for-trap identical to `Memory::fetch`
+            // (an aligned in-range page fetch can never straddle pages, so
+            // page-level checks cover the full 8 bytes).
+            if !ip.is_multiple_of(INST_SIZE_U64) {
+                self.stats.traps += 1;
+                break Err(Trap::UnalignedFetch { addr: ip });
+            }
+            let pi = (ip / PAGE_SIZE) as usize;
+            if pi >= mem.page_count() {
+                self.stats.traps += 1;
+                break Err(Trap::OutOfRange { addr: ip });
+            }
+            if !mem.perms_at(ip).can_exec() {
+                self.stats.traps += 1;
+                break Err(Trap::PermExec { addr: ip });
+            }
+            let page_base = pi as u64 * PAGE_SIZE;
+            let gen = mem.page_gen(pi);
+            let page = DecodedCache::validate_page(&mut icache.pages, &mut icache.stats, pi, gen);
+            // Fused run within the validated page. The line index is masked
+            // into range so the hot loop carries no bounds checks.
+            let mut li = ((ip & (PAGE_SIZE - 1)) / INST_SIZE_U64) as usize;
+            loop {
+                let mut line = page.lines[li & (LINES_PER_PAGE - 1)];
+                if line.class == icache::CLASS_EMPTY {
+                    let bytes: [u8; 8] = mem.peek(ip, 8).try_into().expect("aligned within page");
+                    match Inst::decode(&bytes) {
+                        Ok(inst) => {
+                            misses += 1;
+                            line = icache::Line::new(inst, ip);
+                            page.lines[li & (LINES_PER_PAGE - 1)] = line;
+                        }
+                        Err(cause) => {
+                            self.stats.traps += 1;
+                            break 'outer Err(Trap::InvalidInst { addr: ip, cause });
+                        }
+                    }
+                }
+                let (_, taken, next) =
+                    match self.exec_inst_impl::<true>(mem, ip, line.inst, line.target) {
+                        Ok(r) => r,
+                        Err(trap) => {
+                            self.stats.traps += 1;
+                            trapped_fetch = 1;
+                            break 'outer Err(trap);
+                        }
+                    };
+                // Statistics epilogue via the cached class — equivalent to
+                // the `PRE = false` epilogue inside `exec_inst_impl`
+                // (pinned by `class_table_matches_cost_model`).
+                d_cycles += table[line.class as usize][taken as usize];
+                if line.class >= icache::C_JMP {
+                    d_branches += 1;
+                    if taken || line.class != icache::C_COND {
+                        d_taken += 1;
+                    }
+                }
+                retired += 1;
+                if line.class == icache::C_HALT {
+                    ip = next;
+                    break 'outer Ok(Step::Halt);
+                }
+                if line.class < icache::C_JMP {
+                    // Fall-through: `next == ip + 8`, so alignment and the
+                    // page lower bound hold by construction; only the page
+                    // end, the budget and a store that moved this page's
+                    // write generation can end the burst.
+                    ip = next;
+                    if retired >= max
+                        || (line.writes_mem && mem.page_gen(pi) != gen)
+                        || next >= page_base + PAGE_SIZE
+                    {
+                        continue 'outer;
+                    }
+                    li += 1;
+                } else {
+                    ip = next;
+                    if retired >= max
+                        || (line.writes_mem && mem.page_gen(pi) != gen)
+                        || !next.is_multiple_of(INST_SIZE_U64)
+                        || next < page_base
+                        || next >= page_base + PAGE_SIZE
+                    {
+                        continue 'outer;
+                    }
+                    li = ((ip & (PAGE_SIZE - 1)) / INST_SIZE_U64) as usize;
+                }
+            }
+        };
+        self.ip = ip;
+        self.stats.insts += retired;
+        self.stats.cycles += d_cycles;
+        self.stats.branches += d_branches;
+        self.stats.branches_taken += d_taken;
+        // Every classified fetch (the retired instructions, plus a final one
+        // whose execution trapped) was either a hit or a decode miss.
+        icache.stats.hits += retired + trapped_fetch - misses;
+        icache.stats.misses += misses;
+        result
+    }
+
+    /// As [`Cpu::run`], but through the decoded cache via [`Cpu::run_fused`]
+    /// — same [`ExitReason`] for the same program, state and budget.
+    pub fn run_decoded(
+        &mut self,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+        max_steps: u64,
+    ) -> ExitReason {
+        match self.run_fused(mem, icache, max_steps) {
+            Ok(Step::Halt) => ExitReason::Halted { code: self.reg(Reg::R0) },
+            Ok(Step::Continue) => ExitReason::StepLimit,
+            Err(trap) => ExitReason::Trapped(trap),
+        }
+    }
+
     /// Decodes (without executing) the instruction at the current `ip`.
     /// Observation helper for analyzers that need to inspect upcoming
     /// branches; does not affect statistics.
@@ -450,6 +701,20 @@ impl Cpu {
 /// Convenience: evaluate a `Jcc` condition under explicit flags.
 pub fn cond_taken(cc: Cond, f: Flags) -> bool {
     cc.eval(f)
+}
+
+/// Whether `inst` can store to guest memory — the only way a retiring
+/// instruction can invalidate decoded lines, so the fused runner must
+/// revalidate its page after one of these.
+pub(crate) fn inst_writes_mem(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::St { .. }
+            | Inst::St8 { .. }
+            | Inst::Push { .. }
+            | Inst::Call { .. }
+            | Inst::CallR { .. }
+    )
 }
 
 #[cfg(test)]

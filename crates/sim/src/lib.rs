@@ -30,12 +30,14 @@
 //! ```
 
 pub mod cpu;
+pub mod icache;
 pub mod machine;
 pub mod mem;
 pub mod tracer;
 pub mod trap;
 
 pub use cpu::{Cpu, ExecStats, ExitReason, Step};
+pub use icache::{DecodeCacheStats, DecodedCache, LINES_PER_PAGE};
 pub use machine::{Layout, Machine, MachineSnapshot, SnapshotTracker};
 pub use mem::{Memory, Perms, PAGE_SIZE};
 pub use tracer::{TraceEntry, Tracer};

@@ -1,7 +1,9 @@
 //! A whole guest machine: CPU + memory + a conventional address-space
 //! layout, with a loader for raw program images.
 
+use crate::icache::{DecodeCacheStats, DecodedCache};
 use crate::{Cpu, ExitReason, Memory, Perms, Step, Tracer, Trap};
+use cfed_isa::Inst;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -76,6 +78,11 @@ pub struct Machine {
     /// [`Machine::step_cpu`] is recorded (used by fault-injection
     /// forensics to capture the window before a detection).
     pub tracer: Option<Tracer>,
+    /// Pre-decoded instruction cache (attached by default). Purely a
+    /// speedup: execution through it is architecturally identical to raw
+    /// fetch+decode; see [`DecodedCache`]. [`Machine::set_decode_cache`]
+    /// disables it for raw-path benchmarking and equivalence testing.
+    pub icache: Option<DecodedCache>,
     layout: Layout,
     code_len: u64,
 }
@@ -123,7 +130,31 @@ impl Machine {
         let mut cpu = Cpu::new();
         cpu.set_ip(layout.code_base + entry_offset);
         cpu.set_reg(cfed_isa::Reg::SP, layout.initial_sp());
-        Machine { cpu, mem, tracer: None, layout, code_len: code.len() as u64 }
+        Machine {
+            cpu,
+            mem,
+            tracer: None,
+            icache: Some(DecodedCache::new()),
+            layout,
+            code_len: code.len() as u64,
+        }
+    }
+
+    /// Enables (with a fresh, empty cache) or disables the pre-decoded
+    /// instruction cache. Never changes what the machine computes — only
+    /// whether execution pays a decode per retired instruction.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.icache = enabled.then(DecodedCache::new);
+    }
+
+    /// Whether a pre-decoded instruction cache is attached.
+    pub fn has_decode_cache(&self) -> bool {
+        self.icache.is_some()
+    }
+
+    /// Decode-cache hit/miss/invalidation counters, if a cache is attached.
+    pub fn decode_cache_stats(&self) -> Option<DecodeCacheStats> {
+        self.icache.as_ref().map(DecodedCache::stats)
     }
 
     /// Attaches a fresh [`Tracer`] keeping the last `capacity` instructions
@@ -149,9 +180,52 @@ impl Machine {
     ///
     /// Propagates the CPU's trap without committing state.
     pub fn step_cpu(&mut self) -> Result<Step, Trap> {
-        match &mut self.tracer {
-            Some(tracer) => tracer.step(&mut self.cpu, &mut self.mem),
-            None => self.cpu.step(&mut self.mem),
+        match (&mut self.tracer, &mut self.icache) {
+            (Some(tracer), Some(ic)) => tracer.step_decoded(&mut self.cpu, &mut self.mem, ic),
+            (Some(tracer), None) => tracer.step(&mut self.cpu, &mut self.mem),
+            (None, Some(ic)) => self.cpu.step_decoded(&mut self.mem, ic),
+            (None, None) => self.cpu.step(&mut self.mem),
+        }
+    }
+
+    /// Decodes (without executing) the instruction at the current `ip`,
+    /// through the decoded cache when one is attached — warming the line
+    /// the next step will execute. Same traps and statistics-neutrality as
+    /// [`Cpu::peek_inst`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as a fetch during [`Cpu::step`].
+    pub fn peek_inst(&mut self) -> Result<Inst, Trap> {
+        match &mut self.icache {
+            Some(ic) => ic.fetch(&self.mem, self.cpu.ip()),
+            None => self.cpu.peek_inst(&self.mem),
+        }
+    }
+
+    /// Runs up to `max_steps` instructions through the fused decoded path
+    /// (falling back to per-instruction stepping when no decode cache is
+    /// attached), returning the raw supervisor-level step result instead of
+    /// an [`ExitReason`] — the DBT's dispatch loop wants the trap itself.
+    /// The attached tracer, if any, is *not* fed (callers that trace must
+    /// use [`Machine::step_cpu`]).
+    ///
+    /// # Errors
+    ///
+    /// The first trap raised, exactly as `max_steps` individual steps.
+    pub fn run_burst(&mut self, max_steps: u64) -> Result<Step, Trap> {
+        match &mut self.icache {
+            Some(ic) => self.cpu.run_fused(&mut self.mem, ic, max_steps),
+            None => {
+                let mut used = 0;
+                while used < max_steps {
+                    match self.cpu.step(&mut self.mem)? {
+                        Step::Halt => return Ok(Step::Halt),
+                        Step::Continue => used += 1,
+                    }
+                }
+                Ok(Step::Continue)
+            }
         }
     }
 
@@ -165,9 +239,13 @@ impl Machine {
         self.layout.code_base..self.layout.code_base + self.code_len
     }
 
-    /// Runs the CPU until halt, trap or step limit.
+    /// Runs the CPU until halt, trap or step limit, through the decoded
+    /// cache when one is attached.
     pub fn run(&mut self, max_steps: u64) -> ExitReason {
-        self.cpu.run(&mut self.mem, max_steps)
+        match &mut self.icache {
+            Some(ic) => self.cpu.run_decoded(&mut self.mem, ic, max_steps),
+            None => self.cpu.run(&mut self.mem, max_steps),
+        }
     }
 }
 
@@ -218,6 +296,9 @@ impl MachineSnapshot {
             cpu: self.cpu.clone(),
             mem,
             tracer: None,
+            // A fresh (empty) decode cache: caches are derived state, so
+            // restoring one is never needed for bit-identical behaviour.
+            icache: Some(DecodedCache::new()),
             layout: self.layout.clone(),
             code_len: self.code_len,
         }

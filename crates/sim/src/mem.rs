@@ -123,6 +123,14 @@ pub struct Memory {
     /// longer covers every written page, so the buffer cannot be scrubbed
     /// page-wise and returned to the pool on drop.
     drained: bool,
+    /// Per-page write-generation counters, bumped on every store (including
+    /// loader-level [`Memory::install`]). Consumers that cache derived views
+    /// of page contents — the decoded instruction cache — revalidate by
+    /// comparing a remembered generation against the current one, so a page
+    /// write cheaply invalidates only that page's cached lines. Unlike the
+    /// dirty bitmap this is never drained, so any number of observers can
+    /// watch it independently.
+    page_gens: Vec<u64>,
 }
 
 impl Drop for Memory {
@@ -180,6 +188,7 @@ impl Memory {
             page_perms: vec![Perms::NONE; pages as usize],
             dirty: vec![0; (pages as usize).div_ceil(64)],
             drained: false,
+            page_gens: vec![0; pages as usize],
         }
     }
 
@@ -188,7 +197,20 @@ impl Memory {
         let last = ((addr + len - 1) / PAGE_SIZE) as usize;
         for p in first..=last {
             self.dirty[p / 64] |= 1 << (p % 64);
+            self.page_gens[p] += 1;
         }
+    }
+
+    /// Number of pages in the address space.
+    pub fn page_count(&self) -> usize {
+        self.page_perms.len()
+    }
+
+    /// Write-generation counter of page `page` (zero for out-of-range
+    /// indices). Increases monotonically on every store touching the page;
+    /// see the field docs on `page_gens`.
+    pub fn page_gen(&self, page: usize) -> u64 {
+        self.page_gens.get(page).copied().unwrap_or(0)
     }
 
     /// Total size of the address space in bytes.
@@ -276,13 +298,30 @@ impl Memory {
         }
     }
 
+    /// Page index of an access that provably stays within one in-range
+    /// page, or `None` when the general (slow) checks must run. A `Some`
+    /// index also proves `addr + len <= self.size()`, since the byte array
+    /// is exactly `page_count * PAGE_SIZE` long.
+    #[inline]
+    fn in_page(&self, addr: u64, len: u64) -> Option<usize> {
+        let pi = (addr / PAGE_SIZE) as usize;
+        ((addr & (PAGE_SIZE - 1)) + len <= PAGE_SIZE && pi < self.page_perms.len()).then_some(pi)
+    }
+
     /// Reads a little-endian `u64`.
     ///
     /// # Errors
     ///
     /// [`Trap::PermRead`] / [`Trap::OutOfRange`] on access violations.
+    #[inline(always)]
     pub fn read_u64(&self, addr: u64) -> Result<u64, Trap> {
-        self.check(addr, 8, Access::Read)?;
+        if let Some(pi) = self.in_page(addr, 8) {
+            if !self.page_perms[pi].can_read() {
+                return Err(Trap::PermRead { addr });
+            }
+        } else {
+            self.check(addr, 8, Access::Read)?;
+        }
         let a = addr as usize;
         Ok(u64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("checked")))
     }
@@ -292,9 +331,18 @@ impl Memory {
     /// # Errors
     ///
     /// [`Trap::PermWrite`] / [`Trap::OutOfRange`] on access violations.
+    #[inline(always)]
     pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
-        self.check(addr, 8, Access::Write)?;
-        self.mark_dirty(addr, 8);
+        if let Some(pi) = self.in_page(addr, 8) {
+            if !self.page_perms[pi].can_write() {
+                return Err(Trap::PermWrite { addr });
+            }
+            self.dirty[pi / 64] |= 1 << (pi % 64);
+            self.page_gens[pi] += 1;
+        } else {
+            self.check(addr, 8, Access::Write)?;
+            self.mark_dirty(addr, 8);
+        }
         let a = addr as usize;
         self.bytes[a..a + 8].copy_from_slice(&value.to_le_bytes());
         Ok(())
@@ -305,8 +353,15 @@ impl Memory {
     /// # Errors
     ///
     /// [`Trap::PermRead`] / [`Trap::OutOfRange`] on access violations.
+    #[inline(always)]
     pub fn read_u8(&self, addr: u64) -> Result<u8, Trap> {
-        self.check(addr, 1, Access::Read)?;
+        if let Some(pi) = self.in_page(addr, 1) {
+            if !self.page_perms[pi].can_read() {
+                return Err(Trap::PermRead { addr });
+            }
+        } else {
+            self.check(addr, 1, Access::Read)?;
+        }
         Ok(self.bytes[addr as usize])
     }
 
@@ -315,9 +370,18 @@ impl Memory {
     /// # Errors
     ///
     /// [`Trap::PermWrite`] / [`Trap::OutOfRange`] on access violations.
+    #[inline(always)]
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), Trap> {
-        self.check(addr, 1, Access::Write)?;
-        self.mark_dirty(addr, 1);
+        if let Some(pi) = self.in_page(addr, 1) {
+            if !self.page_perms[pi].can_write() {
+                return Err(Trap::PermWrite { addr });
+            }
+            self.dirty[pi / 64] |= 1 << (pi % 64);
+            self.page_gens[pi] += 1;
+        } else {
+            self.check(addr, 1, Access::Write)?;
+            self.mark_dirty(addr, 1);
+        }
         self.bytes[addr as usize] = value;
         Ok(())
     }

@@ -2,6 +2,7 @@
 //! branch history, for debugging guest programs and for fault-injection
 //! forensics (what executed between injection and detection).
 
+use crate::icache::DecodedCache;
 use crate::{Cpu, Memory, Step, Trap};
 use cfed_isa::Inst;
 use cfed_telemetry::json::{obj, Json};
@@ -100,6 +101,34 @@ impl Tracer {
         let inst = cpu.peek_inst(mem)?;
         let taken = inst.is_cond_branch().then(|| cpu.would_take(&inst));
         let step = cpu.step(mem)?;
+        let entry = TraceEntry { addr, inst, taken };
+        push_bounded(&mut self.ring, self.capacity, entry);
+        if inst.is_branch() {
+            push_bounded(&mut self.branch_ring, self.capacity, entry);
+        }
+        self.retired += 1;
+        Ok(step)
+    }
+
+    /// As [`Tracer::step`], but fetching through a pre-decoded instruction
+    /// cache: the peek warms the line the step then executes, so a traced
+    /// instruction decodes (at most) once instead of twice. Records exactly
+    /// what [`Tracer::step`] would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the CPU's trap; the faulting (uncommitted) instruction is
+    /// *not* recorded, matching the architectural state.
+    pub fn step_decoded(
+        &mut self,
+        cpu: &mut Cpu,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+    ) -> Result<Step, Trap> {
+        let addr = cpu.ip();
+        let inst = icache.fetch(mem, addr)?;
+        let taken = inst.is_cond_branch().then(|| cpu.would_take(&inst));
+        let step = cpu.step_decoded(mem, icache)?;
         let entry = TraceEntry { addr, inst, taken };
         push_bounded(&mut self.ring, self.capacity, entry);
         if inst.is_branch() {
