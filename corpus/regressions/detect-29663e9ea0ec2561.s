@@ -1,0 +1,70 @@
+# cfed-fuzz regression v1
+# mode: detect
+# seed: 0x29663e9ea0ec2561
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: technique EdgCF/CMOVcc category E spec AddrBit { nth: 1, bit: 6 } (242 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+jmp +0
+nop
+mov r2, -168
+nop
+nop
+jae +168
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+out r2
+halt
+halt
+nop
+halt
+halt

@@ -1,0 +1,49 @@
+# cfed-fuzz regression v1
+# mode: detect
+# seed: 0x65ace2685a072c6d
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: technique EdgCF/Jcc category E spec AddrBit { nth: 1, bit: 6 } (83 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+jmp +0
+nop
+nop
+nop
+nop
+out r0
+halt
+halt
+halt
+halt
+halt
+halt
+halt

@@ -1,0 +1,67 @@
+# cfed-fuzz regression v1
+# mode: detect
+# seed: 0x6d885ab0cc9e4967
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: technique EdgCF/CMOVcc category E spec AddrBit { nth: 2, bit: 6 } (303 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+cmp r3, -17
+jbe +280
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+halt
+nop
+nop
+nop
+nop
+out r0
+halt

@@ -1,0 +1,55 @@
+# cfed-fuzz regression v1
+# mode: detect
+# seed: 0xc7c9572ddea951a8
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: technique EdgCF/CMOVcc category E spec AddrBit { nth: 2, bit: 7 } (47 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+jl +0
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+out r0
+halt

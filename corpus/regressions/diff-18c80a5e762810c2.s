@@ -1,0 +1,70 @@
+# cfed-fuzz regression v1
+# mode: diff
+# seed: 0x18c80a5e762810c2
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: pair interp-raw|dbt-fused field output: streams differ at index 40 (lengths 43 vs 43): Some(52) vs Some(0) (65 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop

@@ -1,0 +1,50 @@
+# cfed-fuzz regression v1
+# mode: diff
+# seed: 0x1dc28fc7eb573ea9
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: pair interp-raw|dbt-fused field output: streams differ at index 1 (lengths 4 vs 4): Some(184) vs Some(18446744073709535040) (45 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop

@@ -1,0 +1,53 @@
+# cfed-fuzz regression v1
+# mode: diff
+# seed: 0x21b71d1f381ab62e
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: pair interp-raw|dbt-fused field output: streams differ at index 1 (lengths 4 vs 4): Some(18446744073709551326) vs Some(18446744073709551546) (48 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop

@@ -1,0 +1,57 @@
+# cfed-fuzz regression v1
+# mode: diff
+# seed: 0x3781b4a074d6fcc6
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: pair interp-raw|dbt-fused field output: streams differ at index 0 (lengths 3 vs 3): Some(775) vs Some(18446744073709551544) (52 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop

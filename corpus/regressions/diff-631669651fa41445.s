@@ -1,0 +1,60 @@
+# cfed-fuzz regression v1
+# mode: diff
+# seed: 0x631669651fa41445
+# tier: visa
+# entry: 0
+# datalen: 312
+# note: pair interp-raw|dbt-fused field output: streams differ at index 0 (lengths 3 vs 3): Some(1) vs Some(0) (55 shrink edits)
+entry:
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop
+nop

@@ -9,6 +9,7 @@
 //! loop:
 //!     sub   r0, 1
 //!     jne   loop          ; conditional branch to label
+//!     jmp   +16           ; or a raw relative byte offset, as disassembled
 //!     ld    r1, [sp+8]
 //!     st    [r2-8], r1
 //!     lea   r8, [r8+r9+4]
@@ -19,6 +20,12 @@
 //! done:
 //!     halt
 //! ```
+//!
+//! Branch targets may be labels or signed numeric byte offsets (`+16`,
+//! `-8`), so [`cfed_isa::disasm::disassemble`] output re-assembles verbatim — the
+//! round-trip the regression corpus and the exhaustive ISA tests rely on.
+//! A numeric operand is always an offset: labels consisting only of digits
+//! are not supported as branch targets.
 
 use crate::asm::Asm;
 use cfed_isa::{AluOp, Cond, Inst, Reg};
@@ -126,6 +133,18 @@ fn parse_mem(tok: &str, line: u32) -> Result<MemOp, ParseAsmError> {
     let base = base.ok_or_else(|| err(line, "memory operand needs a base register"))?;
     let disp = i32::try_from(disp).map_err(|_| err(line, "displacement overflows 32 bits"))?;
     Ok(MemOp { base, index, disp })
+}
+
+/// Parses a branch target operand that is a raw relative offset rather
+/// than a label: an optional `+`/`-` sign followed by a (possibly hex)
+/// integer, exactly as the disassembler renders `{offset:+}`.
+fn parse_branch_offset(tok: &str) -> Option<i32> {
+    let t = tok.strip_prefix('+').unwrap_or(tok);
+    // Reject bare labels early: offsets start with a sign or a digit.
+    if !tok.starts_with(['+', '-']) && !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    parse_imm(t).and_then(|v| i32::try_from(v).ok())
 }
 
 fn cond_from_suffix(s: &str) -> Option<Cond> {
@@ -328,27 +347,39 @@ fn parse_inst(a: &mut Asm, code: &str, line: u32) -> Result<(), ParseAsmError> {
         }
         "jmp" => {
             need(1)?;
-            match parse_reg(ops[0]) {
-                Some(r) => a.jmpr(r),
-                None => a.jmp(ops[0]),
+            if let Some(r) = parse_reg(ops[0]) {
+                a.jmpr(r);
+            } else if let Some(offset) = parse_branch_offset(ops[0]) {
+                a.raw(Inst::Jmp { offset });
+            } else {
+                a.jmp(ops[0]);
             }
         }
         "call" => {
             need(1)?;
-            match parse_reg(ops[0]) {
-                Some(r) => a.callr(r),
-                None => a.call(ops[0]),
+            if let Some(r) = parse_reg(ops[0]) {
+                a.callr(r);
+            } else if let Some(offset) = parse_branch_offset(ops[0]) {
+                a.raw(Inst::Call { offset });
+            } else {
+                a.call(ops[0]);
             }
         }
         "jrz" => {
             need(2)?;
             let r = reg(ops[0])?;
-            a.jrz(r, ops[1]);
+            match parse_branch_offset(ops[1]) {
+                Some(offset) => a.raw(Inst::JRz { src: r, offset }),
+                None => a.jrz(r, ops[1]),
+            }
         }
         "jrnz" => {
             need(2)?;
             let r = reg(ops[0])?;
-            a.jrnz(r, ops[1]);
+            match parse_branch_offset(ops[1]) {
+                Some(offset) => a.raw(Inst::JRnz { src: r, offset }),
+                None => a.jrnz(r, ops[1]),
+            }
         }
         m => {
             // j<cc> label / cmov<cc> dst, src / ALU ops.
@@ -359,7 +390,10 @@ fn parse_inst(a: &mut Asm, code: &str, line: u32) -> Result<(), ParseAsmError> {
                 a.cmov(cc, dst, src);
             } else if let Some(cc) = m.strip_prefix('j').and_then(cond_from_suffix) {
                 need(1)?;
-                a.jcc(cc, ops[0]);
+                match parse_branch_offset(ops[0]) {
+                    Some(offset) => a.raw(Inst::Jcc { cc, offset }),
+                    None => a.jcc(cc, ops[0]),
+                }
             } else if let Some(op) = alu_from_mnemonic(m) {
                 need(2)?;
                 let dst = reg(ops[0])?;
@@ -485,18 +519,32 @@ mod tests {
 
     #[test]
     fn roundtrip_through_disassembler_mnemonics() {
-        // Parse a program, disassemble it, re-parse the disassembly of the
-        // register/immediate instructions (branch offsets print as relative
-        // numbers, so only non-branch lines round-trip textually).
-        let src = "start:\n mov r1, 10\n add r1, r2\n lea r8, [r8+r9+1]\n st [sp-8], r1\n halt\n";
+        // Parse a program, disassemble it, re-parse the disassembly: every
+        // line round-trips, branches included (their offsets print as
+        // signed relative numbers, which the parser accepts back).
+        let src = "start:\n mov r1, 10\n add r1, r2\n lea r8, [r8+r9+1]\n st [sp-8], r1\n \
+                   jne start\n jrz r1, start\n call start\n jmp start\n halt\n";
         let image = parse_asm(src).unwrap().assemble("start").unwrap();
         for inst in image.insts() {
-            if inst.is_branch() {
-                continue;
-            }
             let text = inst.to_string();
             let reparsed = parse_one(&text);
             assert_eq!(reparsed, *inst, "`{text}` did not round-trip");
         }
+    }
+
+    #[test]
+    fn numeric_branch_offsets() {
+        assert_eq!(parse_one("jmp +16"), Inst::Jmp { offset: 16 });
+        assert_eq!(parse_one("jmp -8"), Inst::Jmp { offset: -8 });
+        assert_eq!(parse_one("call +0"), Inst::Call { offset: 0 });
+        assert_eq!(parse_one("jne -24"), Inst::Jcc { cc: Cond::Ne, offset: -24 });
+        assert_eq!(parse_one("jrz r3, +8"), Inst::JRz { src: Reg::R3, offset: 8 });
+        assert_eq!(
+            parse_one("jrnz r3, -2147483648"),
+            Inst::JRnz { src: Reg::R3, offset: i32::MIN }
+        );
+        // Labels still win when the operand is not numeric.
+        let asm = parse_asm("start: jmp start\n halt\n").unwrap();
+        assert_eq!(asm.assemble("start").unwrap().insts()[0], Inst::Jmp { offset: -8 });
     }
 }

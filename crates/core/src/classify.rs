@@ -40,23 +40,47 @@ impl BlockLayout for Cfg {
 /// error stub or an orphaned translation) classifies as E rather than F.
 #[derive(Debug, Clone)]
 pub struct CacheLayout {
-    by_start: BTreeMap<u64, u64>, // cache_start -> cache_end
+    by_start: BTreeMap<u64, CacheBlock>,
     code: Vec<Range<u64>>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheBlock {
+    cache_end: u64,
+    /// Extent of the 1:1-copied guest body; `None` for jump-inlined traces,
+    /// whose bodies are discontiguous.
+    body: Option<Range<u64>>,
 }
 
 impl CacheLayout {
     /// Snapshots the translated blocks of `dbt`; `guest_code` is the guest
     /// image's executable region.
     pub fn snapshot(dbt: &Dbt, guest_code: Range<u64>) -> CacheLayout {
-        let by_start = dbt.blocks().map(|b| (b.cache_start, b.cache_end)).collect();
+        let by_start = dbt
+            .blocks()
+            .map(|b| {
+                let body = (b.body_len > 0).then(|| b.body_start..b.body_start + b.body_len);
+                (b.cache_start, CacheBlock { cache_end: b.cache_end, body })
+            })
+            .collect();
         CacheLayout { by_start, code: vec![guest_code, dbt.cache_region()] }
+    }
+
+    /// Whether `addr` falls on a translated block's *instrumentation* — the
+    /// head check sequence or the terminator glue — rather than on a
+    /// 1:1-copied guest instruction. Conservatively `false` when the body
+    /// layout is unknown (jump-inlined traces) or `addr` is outside every
+    /// block.
+    pub fn is_instrumentation(&self, addr: u64) -> bool {
+        let Some((_, b)) = self.by_start.range(..=addr).next_back() else { return false };
+        addr < b.cache_end && b.body.as_ref().is_some_and(|body| !body.contains(&addr))
     }
 }
 
 impl BlockLayout for CacheLayout {
     fn block_of(&self, addr: u64) -> Option<Range<u64>> {
-        let (&start, &end) = self.by_start.range(..=addr).next_back()?;
-        (addr < end).then_some(start..end)
+        let (&start, b) = self.by_start.range(..=addr).next_back()?;
+        (addr < b.cache_end).then_some(start..b.cache_end)
     }
 
     fn is_code(&self, addr: u64) -> bool {

@@ -98,6 +98,12 @@ pub struct TransBlock {
     pub cache_start: u64,
     /// One past the last cache address.
     pub cache_end: u64,
+    /// Cache address where the 1:1 copy of the guest body begins (right
+    /// after the instrumentation head).
+    pub body_start: u64,
+    /// Bytes of 1:1-copied body (excludes the translated terminator and its
+    /// glue). Zero for jump-inlined traces, whose bodies are discontiguous.
+    pub body_len: u64,
 }
 
 impl TransBlock {
@@ -234,13 +240,19 @@ impl Dbt {
         let err_stub = a.emit(Inst::Trap { code: trap_codes::CFE_DETECTED });
         let cursor = a.finish();
         let cache_limit = cache.end;
+        // Execute permission is enforced at page granularity (the
+        // execute-disable bit), so the padding tail of the last code page is
+        // fetchable and must fault as InvalidInst exactly as it does on the
+        // bare machine — only beyond the page boundary is PermExec correct.
+        let code = m.code_range();
+        let guest_code = code.start..Memory::page_base(code.end + PAGE_SIZE - 1);
         Dbt {
             instr: Arc::from(instr),
             style,
             cache,
             cursor,
             err_stub,
-            guest_code: m.code_range(),
+            guest_code,
             blocks: HashMap::new(),
             exits: Vec::new(),
             patched_by_target: HashMap::new(),
@@ -349,6 +361,15 @@ impl Dbt {
         self.blocks.values().find(|b| b.cache_range().contains(&addr))
     }
 
+    /// Maps a cache address inside a translation's 1:1-copied body back to
+    /// the guest instruction it mirrors. `None` for instrumentation heads,
+    /// translated terminators, exit glue and jump-inlined traces.
+    fn guest_body_ip(&self, cache_ip: u64) -> Option<u64> {
+        let b = self.block_containing(cache_ip)?;
+        let off = cache_ip.checked_sub(b.body_start)?;
+        (off < b.body_len).then(|| b.guest_start + off)
+    }
+
     /// Redirects the CPU from the guest entry point into translated code and
     /// initializes the instrumentation registers.
     ///
@@ -395,8 +416,40 @@ impl Dbt {
                 self.service_exit(m, idx)
             }
             Trap::PermWrite { addr } if self.protected_pages.contains(&Memory::page_base(addr)) => {
+                // A store into a page backing live translations. Flushing
+                // the page is not enough when the faulting store and its
+                // victim share a translation: resuming in cache would run
+                // the stale tail. Hop back to guest space instead — retire
+                // the store by interpretation (the page is unprotected after
+                // the flush), then re-attach at the next guest instruction
+                // so everything downstream is retranslated from the patched
+                // bytes.
+                let resume = self.guest_body_ip(m.cpu.ip());
                 self.smc_flush(m, Memory::page_base(addr));
-                DbtStep::Continue
+                let Some(guest_store) = resume else {
+                    // Store came from glue or a jump-inlined trace: the old
+                    // path — it re-executes in cache against the
+                    // now-unprotected page; only *other* translations could
+                    // have been stale, and those were just flushed.
+                    return DbtStep::Continue;
+                };
+                m.cpu.set_ip(guest_store);
+                match m.step_cpu() {
+                    Ok(cfed_sim::Step::Continue) => {}
+                    Ok(cfed_sim::Step::Halt) => return DbtStep::Halted,
+                    Err(t) => return DbtStep::Exit(t),
+                }
+                let next = m.cpu.ip();
+                for (reg, value) in self.instr.initial_state(next) {
+                    m.cpu.set_reg(reg, value);
+                }
+                match self.translate(m, next) {
+                    Ok(cache_next) => {
+                        m.cpu.set_ip(cache_next);
+                        DbtStep::Continue
+                    }
+                    Err(t) => DbtStep::Exit(t),
+                }
             }
             other => DbtStep::Exit(other),
         }
@@ -601,6 +654,7 @@ impl Dbt {
 
         let mut a = CacheAsm::new(&mut m.mem, cache_start);
         self.instr.emit_head(&mut a, guest_addr, check, self.err_stub);
+        let body_start = a.here();
         for inst in &insts {
             a.emit(*inst);
         }
@@ -741,6 +795,12 @@ impl Dbt {
             guest_len: ranges.iter().map(|r| r.end - r.start).sum(),
             cache_start,
             cache_end,
+            body_start,
+            body_len: if visited_segments.len() == 1 {
+                insts.len() as u64 * INST_SIZE_U64
+            } else {
+                0
+            },
         };
         self.stats.blocks += 1;
         self.stats.cache_insts += (cache_end - cache_start) / INST_SIZE_U64;

@@ -60,7 +60,7 @@ impl ErrorModelTable {
     }
 
     /// Records a whole bit-classification row at once: `row[c]` faults of
-    /// category index `c` (the [`cat_idx`] order). Exactly equivalent to
+    /// category index `c` (the `cat_idx` order). Exactly equivalent to
     /// that many [`ErrorModelTable::record`] calls — counts are integers, so
     /// bulk addition is associative and the table stays bit-identical.
     pub fn record_bulk(&mut self, taken: bool, side: FaultSide, row: &[u64; 7]) {
@@ -210,7 +210,7 @@ pub fn analyze_image(image: &Image, max_insts: u64) -> ErrorModelReport {
 }
 
 /// Per-bit classification totals for one (branch execution, fault side), in
-/// [`cat_idx`] order.
+/// `cat_idx` order.
 type BitRow = [u64; 7];
 
 /// A taken branch whose offset faults never redirect: the 32 address bits of

@@ -144,6 +144,13 @@ pub struct InjectionResult {
     pub site: u64,
     /// Instructions retired between injection and the end of the run.
     pub latency_insts: u64,
+    /// Whether the faulty target landed on a translated block's
+    /// *instrumentation* (head check sequence or terminator glue) rather
+    /// than on a 1:1-copied guest instruction. Such sub-block landings sit
+    /// below the paper's §2 block-granular error model: one past the
+    /// signature updates is indistinguishable from taking the edge
+    /// legitimately. Always `false` for flag faults.
+    pub instrumentation_landing: bool,
 }
 
 /// The golden (fault-free) reference for SDC comparison.
@@ -369,7 +376,7 @@ fn inject_inner(
             DbtStep::Exit(t) => return Err(WorkloadError::Trapped(t)),
         }
     };
-    let Some((category, site, faulted_step)) = injected else {
+    let Some((category, site, instrumentation_landing, faulted_step)) = injected else {
         return Ok(None);
     };
     let insts_at_injection = m.cpu.stats().insts;
@@ -434,6 +441,7 @@ fn inject_inner(
         category,
         site,
         latency_insts: pruned_latency.unwrap_or(m.cpu.stats().insts - insts_at_injection),
+        instrumentation_landing,
     };
     Ok(Some((result, m.tracer.take())))
 }
@@ -472,13 +480,14 @@ fn outcome_of_trap(t: Trap) -> Outcome {
 
 /// Applies the fault at the current instruction (a branch), executes that
 /// one instruction, and restores any transient state. Returns the fault's
-/// category, site, and the step result of the faulted instruction.
+/// category, site, whether the faulty target landed on instrumentation,
+/// and the step result of the faulted instruction.
 fn inject_now(
     m: &mut Machine,
     dbt: &mut Dbt,
     image: &Image,
     spec: FaultSpec,
-) -> Option<(Category, u64, DbtStep)> {
+) -> Option<(Category, u64, bool, DbtStep)> {
     let site = m.cpu.ip();
     let inst = m.peek_inst().expect("branch decodes");
     debug_assert!(inst.is_branch());
@@ -509,13 +518,14 @@ fn inject_now(
                     &layout,
                 )
             };
+            let glue = category != Category::NoError && layout.is_instrumentation(faulty_target);
             // Transient corruption of the fetched encoding.
             let original: [u8; 8] = m.mem.peek(site, 8).try_into().expect("slot");
             let faulted = inst.with_branch_offset(faulty_off).encode();
             m.mem.install(site, &faulted);
             let step = dbt.step(m);
             m.mem.install(site, &original);
-            Some((category, site, step))
+            Some((category, site, glue, step))
         }
         FaultSpec::FlagBit { bit, .. } => {
             let flipped = m.cpu.flags().with_bit_flipped(bit % Flags::BITS as u8);
@@ -536,7 +546,7 @@ fn inject_now(
             let category = classify_flag_fault(direction_changed);
             m.cpu.set_flags(flipped);
             let step = dbt.step(m);
-            Some((category, site, step))
+            Some((category, site, false, step))
         }
     }
 }

@@ -87,7 +87,13 @@ fn bundle_names_fault_site_bit_and_trace_window() {
 fn wanted_selects_bad_endings() {
     use cfed_core::Category;
     use cfed_fault::InjectionResult;
-    let r = |category, outcome| InjectionResult { outcome, category, site: 0, latency_insts: 0 };
+    let r = |category, outcome| InjectionResult {
+        outcome,
+        category,
+        site: 0,
+        latency_insts: 0,
+        instrumentation_landing: false,
+    };
     assert!(ForensicsBundle::wanted(&r(Category::A, Outcome::Sdc)));
     assert!(ForensicsBundle::wanted(&r(Category::B, Outcome::Timeout)));
     // Misdetection: supposedly harmless, yet not benign.

@@ -1,0 +1,231 @@
+//! `cfed-fuzz` — run or replay the differential conformance fuzzer.
+//!
+//! ```text
+//! cfed-fuzz run --seed 42 --iters 200 --mode both --corpus corpus/regressions
+//! cfed-fuzz run --seed 42 --time-budget 30s
+//! cfed-fuzz replay corpus/regressions
+//! ```
+//!
+//! `run` fuzzes; with `--corpus` it writes minimized reproducers and a
+//! `report.txt` there. `replay` re-runs archived reproducers and exits
+//! nonzero if any still fails. A fixed-seed `run` with `--iters` is
+//! byte-reproducible for any `--threads` value.
+
+use cfed_fuzz::{
+    list_regressions, load_regression, run_fuzz, FuzzConfig, Mode, RegressionMode, Tier,
+};
+use cfed_runner::cli::Parser;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn run_parser() -> Parser {
+    Parser::new("cfed-fuzz run", "coverage-guided differential conformance fuzzing")
+        .flag("seed", "N", "0", "campaign master seed")
+        .flag("iters", "N", "64", "number of generated programs")
+        .flag("time-budget", "DUR", "", "optional wall-clock budget (e.g. 30s, 5m)")
+        .flag("threads", "N", "0", "worker threads (0 = all cores)")
+        .flag("mode", "MODE", "both", "diff, detect, or both")
+        .flag("tier", "TIER", "all", "minic, visa, or all")
+        .flag("max-insts", "N", "2000000", "per-backend instruction budget")
+        .flag("detect-branches", "N", "4", "branch sites swept per program in detect mode")
+        .flag("corpus", "DIR", "", "write minimized reproducers and report.txt here")
+        .switch("quiet", "suppress the report body on stdout")
+}
+
+fn parse_duration(raw: &str) -> Result<Duration, String> {
+    let (num, unit) = raw.split_at(raw.find(|c: char| !c.is_ascii_digit()).unwrap_or(raw.len()));
+    let n: u64 = num.parse().map_err(|_| format!("bad duration {raw:?}"))?;
+    match unit {
+        "" | "s" => Ok(Duration::from_secs(n)),
+        "m" => Ok(Duration::from_secs(n * 60)),
+        "ms" => Ok(Duration::from_millis(n)),
+        _ => Err(format!("bad duration unit {unit:?} in {raw:?} (use ms, s or m)")),
+    }
+}
+
+fn parse_seed(raw: &str) -> Result<u64, String> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad seed {raw:?}"))
+    } else {
+        raw.parse().map_err(|_| format!("bad seed {raw:?}"))
+    }
+}
+
+fn cmd_run(argv: &[String]) -> Result<ExitCode, String> {
+    let args = run_parser().parse_from(argv);
+    let tiers = match args.get("tier").unwrap_or("all") {
+        "all" => vec![Tier::MiniC, Tier::Visa],
+        t => vec![Tier::parse(t)
+            .ok_or_else(|| format!("--tier expects minic, visa or all, got {t:?}"))?],
+    };
+    let time_budget = match args.get("time-budget").unwrap_or("") {
+        "" => None,
+        raw => Some(parse_duration(raw)?),
+    };
+    let corpus_dir = match args.get("corpus").unwrap_or("") {
+        "" => None,
+        dir => Some(PathBuf::from(dir)),
+    };
+    let cfg = FuzzConfig {
+        seed: parse_seed(args.get("seed").unwrap_or("0"))?,
+        iters: args.get_u64("iters")?,
+        threads: args.get_usize("threads")?,
+        max_insts: args.get_u64("max-insts")?,
+        mode: Mode::parse(args.get("mode").unwrap_or("both")).ok_or_else(|| {
+            format!("--mode expects diff, detect or both, got {:?}", args.get("mode").unwrap_or(""))
+        })?,
+        tiers,
+        detect_branches: args.get_u64("detect-branches")?,
+        corpus_dir: corpus_dir.clone(),
+        time_budget,
+    };
+    let report = run_fuzz(&cfg);
+    if !args.has("quiet") {
+        print!("{}", report.text);
+    }
+    for path in &report.written {
+        eprintln!("cfed-fuzz: wrote reproducer {}", path.display());
+    }
+    if let Some(dir) = &corpus_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("report.txt"), &report.text).map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "cfed-fuzz: {} cases, {} retained, {} coverage bits, {} divergences, {} SDC violations",
+        report.cases,
+        report.retained,
+        report.coverage_bits,
+        report.divergences,
+        report.sdc_violations
+    );
+    Ok(if report.clean() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn replay_one(path: &Path, max_insts: u64) -> Result<(), String> {
+    let entry = load_regression(path)?;
+    match entry.mode {
+        RegressionMode::Diff => {
+            // Re-run the full oracle: an archived divergence must stay fixed
+            // against every backend pair, not just the one that found it.
+            let prog = cfed_fuzz::GeneratedProgram {
+                tier: entry.tier,
+                seed: entry.seed,
+                source: None,
+                image: entry.image.clone(),
+            };
+            let report = cfed_fuzz::run_oracle(&prog, max_insts);
+            match report.divergence {
+                None => Ok(()),
+                Some(d) => Err(format!(
+                    "{}: still diverges: {}|{} {} — {}",
+                    path.display(),
+                    d.left,
+                    d.right,
+                    d.field,
+                    d.detail
+                )),
+            }
+        }
+        RegressionMode::Detect => {
+            let out = cfed_fuzz::detection_sweep(&entry.image, 8, max_insts);
+            if out.violations.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{}: detection guarantee still violated: {:?}",
+                    path.display(),
+                    out.violations
+                ))
+            }
+        }
+    }
+}
+
+fn cmd_replay(paths: &[String]) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            files.extend(list_regressions(path));
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("cfed-fuzz replay: no regression files found");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut failures = 0usize;
+    for f in &files {
+        match replay_one(f, 2_000_000) {
+            Ok(()) => eprintln!("cfed-fuzz replay: {} ok", f.display()),
+            Err(e) => {
+                failures += 1;
+                eprintln!("cfed-fuzz replay: FAIL {e}");
+            }
+        }
+    }
+    eprintln!("cfed-fuzz replay: {} file(s), {failures} failure(s)", files.len());
+    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn usage() -> String {
+    format!(
+        "cfed-fuzz — coverage-guided differential conformance engine\n\n\
+         Usage:\n  cfed-fuzz run [OPTIONS]\n  cfed-fuzz replay <FILE|DIR>...\n\n{}",
+        run_parser().usage()
+    )
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("run") => cmd_run(&argv[1..]),
+        Some("replay") => {
+            let rest = &argv[1..];
+            if rest.is_empty() || rest.iter().any(|a| a == "--help" || a == "-h") {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            cmd_replay(rest)
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?} (expected run or replay)")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cfed-fuzz: {e}\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+// The CLI plumbing that doesn't exit the process is unit-tested here; the
+// campaign and replay logic live in the library and are tested there.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("30s").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("5m").unwrap(), Duration::from_secs(300));
+        assert_eq!(parse_duration("250ms").unwrap(), Duration::from_millis(250));
+        assert_eq!(parse_duration("7").unwrap(), Duration::from_secs(7));
+        assert!(parse_duration("7h").is_err());
+        assert!(parse_duration("fast").is_err());
+    }
+
+    #[test]
+    fn seeds_parse_decimal_and_hex() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xff").unwrap(), 255);
+        assert!(parse_seed("-1").is_err());
+    }
+}

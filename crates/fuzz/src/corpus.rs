@@ -1,0 +1,249 @@
+//! Regression-corpus serialization.
+//!
+//! A reproducer is archived as a single self-describing text file in
+//! `corpus/regressions/`: `#`-prefixed header lines (mode, replay seed,
+//! tier, entry index, the data segment as hex, free-form provenance) above
+//! a body of one disassembled instruction per line. Because the textual
+//! assembler accepts numeric branch offsets, the disassembly re-assembles
+//! verbatim — the file *is* the program, readable in a diff and replayable
+//! by `cfed-fuzz replay` and by the `regressions` integration test on every
+//! `cargo test`.
+
+use crate::gen::Tier;
+use cfed_asm::{parse_asm, Image};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Why a reproducer was archived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionMode {
+    /// Differential divergence between two backends.
+    Diff,
+    /// Silent data corruption escaping a detection technique.
+    Detect,
+}
+
+impl RegressionMode {
+    /// Stable name used in headers and filenames.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegressionMode::Diff => "diff",
+            RegressionMode::Detect => "detect",
+        }
+    }
+
+    /// Parses [`RegressionMode::name`] back.
+    pub fn parse(s: &str) -> Option<RegressionMode> {
+        match s {
+            "diff" => Some(RegressionMode::Diff),
+            "detect" => Some(RegressionMode::Detect),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed (or to-be-written) regression file.
+#[derive(Debug, Clone)]
+pub struct RegressionFile {
+    /// Why it was archived.
+    pub mode: RegressionMode,
+    /// The generator seed that first produced the failing program.
+    pub seed: u64,
+    /// Which generator tier it came from.
+    pub tier: Tier,
+    /// Free-form provenance lines (divergence detail, fault spec, source).
+    pub notes: Vec<String>,
+    /// The minimized program.
+    pub image: Image,
+}
+
+impl RegressionFile {
+    /// Deterministic filename for this entry.
+    pub fn filename(&self) -> String {
+        format!("{}-{:016x}.s", self.mode.name(), self.seed)
+    }
+
+    /// Serializes to the archive text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# cfed-fuzz regression v1");
+        let _ = writeln!(s, "# mode: {}", self.mode.name());
+        let _ = writeln!(s, "# seed: {:#018x}", self.seed);
+        let _ = writeln!(s, "# tier: {}", self.tier.name());
+        let _ = writeln!(s, "# entry: {}", self.image.entry_offset() / 8);
+        let data = trim_trailing_zeros(self.image.data());
+        let _ = writeln!(s, "# datalen: {}", self.image.data().len());
+        if !data.is_empty() {
+            let _ = writeln!(s, "# data: {}", hex(data));
+        }
+        for note in &self.notes {
+            for line in note.lines() {
+                let _ = writeln!(s, "# note: {line}");
+            }
+        }
+        let entry_index = (self.image.entry_offset() / 8) as usize;
+        for (i, inst) in self.image.insts().iter().enumerate() {
+            if i == entry_index {
+                let _ = writeln!(s, "entry:");
+            }
+            let _ = writeln!(s, "{inst}");
+        }
+        s
+    }
+
+    /// Parses the archive text format back into a replayable image.
+    pub fn from_text(text: &str) -> Result<RegressionFile, String> {
+        let mut mode = None;
+        let mut seed = None;
+        let mut tier = None;
+        let mut entry = 0u64;
+        let mut datalen = 0usize;
+        let mut data_hex = String::new();
+        let mut notes = Vec::new();
+        let mut body = String::new();
+        for line in text.lines() {
+            if let Some(h) = line.strip_prefix('#') {
+                let h = h.trim();
+                if let Some(v) = h.strip_prefix("mode:") {
+                    mode = RegressionMode::parse(v.trim());
+                } else if let Some(v) = h.strip_prefix("seed:") {
+                    let v = v.trim().trim_start_matches("0x");
+                    seed = u64::from_str_radix(v, 16).ok();
+                } else if let Some(v) = h.strip_prefix("tier:") {
+                    tier = Tier::parse(v.trim());
+                } else if let Some(v) = h.strip_prefix("entry:") {
+                    entry = v.trim().parse().map_err(|e| format!("bad entry: {e}"))?;
+                } else if let Some(v) = h.strip_prefix("datalen:") {
+                    datalen = v.trim().parse().map_err(|e| format!("bad datalen: {e}"))?;
+                } else if let Some(v) = h.strip_prefix("data:") {
+                    data_hex = v.trim().to_string();
+                } else if let Some(v) = h.strip_prefix("note:") {
+                    notes.push(v.trim().to_string());
+                }
+            } else {
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+        let mode = mode.ok_or("missing `# mode:` header")?;
+        let seed = seed.ok_or("missing `# seed:` header")?;
+        let tier = tier.ok_or("missing `# tier:` header")?;
+        let mut data = unhex(&data_hex)?;
+        if data.len() > datalen {
+            return Err(format!("data ({}) longer than datalen ({datalen})", data.len()));
+        }
+        data.resize(datalen, 0);
+
+        let mut asm = parse_asm(&body).map_err(|e| e.to_string())?;
+        if !data.is_empty() {
+            asm.data_bytes(&data);
+        }
+        // Re-anchor the entry label in case the body moved it; the header is
+        // authoritative. The body's own `entry:` (written at index 0 by
+        // `to_text`) resolves identically for index-0 entries.
+        let image = asm.assemble("entry").map_err(|e| e.to_string())?;
+        if image.entry_offset() != entry * 8 {
+            return Err(format!(
+                "entry mismatch: header says index {entry}, label resolved to byte {}",
+                image.entry_offset()
+            ));
+        }
+        Ok(RegressionFile { mode, seed, tier, notes, image })
+    }
+}
+
+fn trim_trailing_zeros(data: &[u8]) -> &[u8] {
+    let end = data.iter().rposition(|b| *b != 0).map_or(0, |i| i + 1);
+    &data[..end]
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().fold(String::new(), |mut s, b| {
+        let _ = write!(s, "{b:02x}");
+        s
+    })
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length data hex".into());
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).map_err(|e| format!("bad data hex: {e}"))
+        })
+        .collect()
+}
+
+/// Writes `entry` into `dir` under its deterministic filename, creating
+/// the directory if needed. Returns the path written.
+pub fn write_regression(dir: &Path, entry: &RegressionFile) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(entry.filename());
+    std::fs::write(&path, entry.to_text())?;
+    Ok(path)
+}
+
+/// Loads one regression file from disk.
+pub fn load_regression(path: &Path) -> Result<RegressionFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    RegressionFile::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Lists the regression files in `dir` in deterministic (sorted) order.
+/// A missing directory is an empty corpus.
+pub fn list_regressions(dir: &Path) -> Vec<std::path::PathBuf> {
+    let Ok(rd) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<_> = rd
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "s"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Tier};
+
+    #[test]
+    fn round_trips_generated_programs() {
+        for (seed, tier) in [(9u64, Tier::Visa), (4, Tier::MiniC)] {
+            let prog = generate(seed, tier);
+            let entry = RegressionFile {
+                mode: RegressionMode::Diff,
+                seed,
+                tier,
+                notes: vec!["example".into()],
+                image: prog.image.clone(),
+            };
+            let text = entry.to_text();
+            let parsed = RegressionFile::from_text(&text)
+                .unwrap_or_else(|e| panic!("seed {seed} {tier:?}: {e}\n{text}"));
+            assert_eq!(parsed.image.code(), prog.image.code(), "seed {seed} {tier:?}");
+            assert_eq!(parsed.image.data(), prog.image.data());
+            assert_eq!(parsed.image.entry_offset(), prog.image.entry_offset());
+            assert_eq!(parsed.seed, seed);
+            assert_eq!(parsed.mode, RegressionMode::Diff);
+            assert_eq!(parsed.notes, vec!["example".to_string()]);
+        }
+    }
+
+    #[test]
+    fn hex_round_trip_and_trim() {
+        assert_eq!(trim_trailing_zeros(&[0, 1, 0, 0]), &[0, 1]);
+        assert_eq!(trim_trailing_zeros(&[0, 0]), &[] as &[u8]);
+        assert_eq!(unhex(&hex(&[0xde, 0xad, 0x00, 0x01])).unwrap(), vec![0xde, 0xad, 0x00, 0x01]);
+        assert!(unhex("abc").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(RegressionFile::from_text("entry:\nhalt\n").is_err());
+        let ok =
+            "# mode: diff\n# seed: 0x1\n# tier: visa\n# entry: 0\n# datalen: 0\nentry:\nhalt\n";
+        assert!(RegressionFile::from_text(ok).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Divergence minimizer.
+//!
+//! Reduces a failing program to a locally-minimal reproducer by repeatedly
+//! neutralizing instructions (`nop`, then `halt`) and zeroing data words,
+//! keeping each edit only if the caller's predicate still fails. Edits
+//! never change instruction count, so branch offsets stay valid without
+//! relinking; the result is an image with the same shape and a much
+//! smaller behaviour.
+
+use cfed_asm::{Asm, Image};
+use cfed_isa::Inst;
+
+/// Reassembles an instruction list + data blob into an image with the same
+/// layout conventions as the original (default code/data bases, entry at
+/// instruction index `entry_index`). Returns `None` if assembly fails —
+/// callers treat that as "edit rejected".
+pub fn rebuild_image(insts: &[Inst], data: &[u8], entry_index: usize) -> Option<Image> {
+    let mut a = Asm::new();
+    if !data.is_empty() {
+        a.data_bytes(data);
+    }
+    for (i, inst) in insts.iter().enumerate() {
+        if i == entry_index {
+            a.label("entry");
+        }
+        a.raw(*inst);
+    }
+    if entry_index >= insts.len() {
+        return None;
+    }
+    a.assemble("entry").ok()
+}
+
+/// Number of full passes the shrinker makes before declaring a fixpoint.
+/// Each pass is O(len) predicate evaluations; divergence predicates re-run
+/// two backends, detection predicates re-run a fault sweep, so the cap
+/// bounds worst-case shrink cost on large programs.
+const MAX_PASSES: usize = 8;
+
+/// Minimizes `image` against `still_fails` (which must return `true` for
+/// the original image). Returns the reduced image and the number of edits
+/// that stuck.
+pub fn shrink_image<F: Fn(&Image) -> bool>(image: &Image, still_fails: F) -> (Image, usize) {
+    let entry_index = (image.entry_offset() / 8) as usize;
+    let mut insts: Vec<Inst> = image.insts().to_vec();
+    let mut data: Vec<u8> = image.data().to_vec();
+    let mut kept_edits = 0usize;
+
+    for _pass in 0..MAX_PASSES {
+        let mut changed = false;
+        for i in 0..insts.len() {
+            for replacement in [Inst::Nop, Inst::Halt] {
+                if insts[i] == replacement {
+                    continue;
+                }
+                let old = insts[i];
+                insts[i] = replacement;
+                let keep =
+                    rebuild_image(&insts, &data, entry_index).is_some_and(|img| still_fails(&img));
+                if keep {
+                    kept_edits += 1;
+                    changed = true;
+                    break;
+                }
+                insts[i] = old;
+            }
+        }
+        // Zero data one 8-byte word at a time.
+        for w in 0..data.len() / 8 {
+            let range = w * 8..w * 8 + 8;
+            if data[range.clone()].iter().all(|b| *b == 0) {
+                continue;
+            }
+            let saved: Vec<u8> = data[range.clone()].to_vec();
+            data[range.clone()].fill(0);
+            let keep =
+                rebuild_image(&insts, &data, entry_index).is_some_and(|img| still_fails(&img));
+            if keep {
+                kept_edits += 1;
+                changed = true;
+            } else {
+                data[range].copy_from_slice(&saved);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let reduced = rebuild_image(&insts, &data, entry_index)
+        .expect("shrinker invariant: accepted edits always reassemble");
+    (reduced, kept_edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfed_isa::Reg;
+
+    fn sample() -> Image {
+        let mut a = Asm::new();
+        a.label("entry");
+        a.movri(Reg::R0, 1);
+        a.movri(Reg::R1, 2);
+        a.out(Reg::R1);
+        a.halt();
+        a.assemble("entry").unwrap()
+    }
+
+    #[test]
+    fn rebuild_round_trips() {
+        let img = sample();
+        let rebuilt = rebuild_image(img.insts(), img.data(), 0).unwrap();
+        assert_eq!(rebuilt.code(), img.code());
+        assert_eq!(rebuilt.entry_offset(), img.entry_offset());
+    }
+
+    #[test]
+    fn shrink_neutralizes_irrelevant_instructions() {
+        let img = sample();
+        // Predicate: the program still outputs 2 — r0's mov is irrelevant.
+        let fails = |i: &Image| {
+            let mut m = cfed_sim::Machine::load(i.code(), i.data(), i.entry_offset());
+            m.run(1000);
+            m.cpu.take_output() == vec![2]
+        };
+        assert!(fails(&img));
+        let (reduced, edits) = shrink_image(&img, fails);
+        assert!(edits >= 1, "the r0 mov should have been neutralized");
+        assert!(fails(&reduced));
+        assert_eq!(reduced.insts()[0], Inst::Nop);
+    }
+
+    #[test]
+    fn entry_out_of_range_rejected() {
+        assert!(rebuild_image(&[Inst::Halt], &[], 3).is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Replays every archived reproducer in `corpus/regressions/` on every
+//! `cargo test`. Each file was shrunk from a real divergence or a
+//! detection-guarantee violation; after the underlying fix (or oracle
+//! re-scoping) it must stay clean forever.
+
+use cfed_fuzz::{
+    detection_sweep, list_regressions, load_regression, run_oracle, GeneratedProgram,
+    RegressionMode,
+};
+use std::path::Path;
+
+const MAX_INSTS: u64 = 2_000_000;
+/// Branch sites swept per detect-mode reproducer — matches `cfed-fuzz
+/// replay`.
+const DETECT_BRANCHES: u64 = 8;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus/regressions")
+}
+
+#[test]
+fn archived_reproducers_stay_clean() {
+    let files = list_regressions(&corpus_dir());
+    assert!(
+        !files.is_empty(),
+        "no regression files under {} — the committed corpus is gone",
+        corpus_dir().display()
+    );
+    for path in files {
+        let entry = load_regression(&path).unwrap_or_else(|e| panic!("{e}"));
+        match entry.mode {
+            RegressionMode::Diff => {
+                let prog = GeneratedProgram {
+                    tier: entry.tier,
+                    seed: entry.seed,
+                    source: None,
+                    image: entry.image,
+                };
+                let report = run_oracle(&prog, MAX_INSTS);
+                assert!(
+                    report.divergence.is_none(),
+                    "{}: diverges again: {:?}",
+                    path.display(),
+                    report.divergence
+                );
+            }
+            RegressionMode::Detect => {
+                let out = detection_sweep(&entry.image, DETECT_BRANCHES, MAX_INSTS);
+                assert!(
+                    out.violations.is_empty(),
+                    "{}: detection guarantee violated again: {:?}",
+                    path.display(),
+                    out.violations
+                );
+            }
+        }
+    }
+}

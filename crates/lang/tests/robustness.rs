@@ -14,23 +14,10 @@ proptest! {
     }
 
     /// Token-soup built from MiniC's own vocabulary (much likelier to reach
-    /// deep parser states than raw bytes).
+    /// deep parser states than raw bytes). The strategy is shared with the
+    /// `cfed-fuzz` generator so the vocabulary has one definition.
     #[test]
-    fn parser_total_on_token_soup(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("fn"), Just("let"), Just("if"), Just("else"), Just("while"),
-                Just("return"), Just("global"), Just("out"), Just("assert"),
-                Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
-                Just(","), Just(";"), Just("="), Just("+"), Just("-"), Just("*"),
-                Just("/"), Just("%"), Just("<"), Just(">"), Just("<="), Just("=="),
-                Just("&&"), Just("||"), Just("!"), Just("~"), Just("x"), Just("y"),
-                Just("main"), Just("0"), Just("1"), Just("42"), Just("0xFF"),
-            ],
-            0..60,
-        )
-    ) {
-        let src = toks.join(" ");
+    fn parser_total_on_token_soup(src in cfed_fuzz::gen::strategies::minic_token_soup()) {
         // compile() additionally exercises sema + codegen when parsing
         // happens to succeed.
         let _ = compile(&src);

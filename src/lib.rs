@@ -19,7 +19,10 @@
 //!   campaigns;
 //! * [`workloads`] — 26 SPEC2000-analog guest programs;
 //! * [`runner`] — sharded parallel campaign engine with a checkpointed
-//!   JSONL result store (the `cfed-campaign` binary).
+//!   JSONL result store (the `cfed-campaign` binary);
+//! * [`fuzz`] — coverage-guided differential conformance engine: generated
+//!   programs diffed across every backend × technique combination, plus
+//!   the detection-guarantee sweep (the `cfed-fuzz` binary).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@ pub use cfed_asm as asm;
 pub use cfed_core as core;
 pub use cfed_dbt as dbt;
 pub use cfed_fault as fault;
+pub use cfed_fuzz as fuzz;
 pub use cfed_isa as isa;
 pub use cfed_lang as lang;
 pub use cfed_runner as runner;

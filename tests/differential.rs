@@ -3,84 +3,22 @@
 //! — outputs, exit codes and traps all match. This is the "transparent" in
 //! the paper's title, tested over a program space rather than hand-picked
 //! examples.
+//!
+//! Programs are drawn from `cfed-fuzz`'s tier-one generator (the same
+//! space the `cfed-fuzz` campaign and the regression corpus use), so a
+//! construct added to the generator is picked up by every suite at once.
 
 use cfed::core::{run_dbt, run_native, RunConfig, TechniqueKind};
 use cfed::dbt::UpdateStyle;
+use cfed::fuzz::gen::strategies::minic_source;
 use proptest::prelude::*;
-
-/// A tiny expression generator producing well-formed MiniC expressions over
-/// the variables `a`, `b`, `c` (always declared, never zero-divisors
-/// because we guard division).
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    if depth == 0 {
-        prop_oneof![
-            (0i64..100).prop_map(|n| n.to_string()),
-            Just("a".to_string()),
-            Just("b".to_string()),
-            Just("c".to_string()),
-        ]
-        .boxed()
-    } else {
-        let sub = arb_expr(depth - 1);
-        prop_oneof![
-            arb_expr(0),
-            (sub.clone(), sub.clone(), 0usize..8).prop_map(|(l, r, op)| {
-                let ops = ["+", "-", "*", "&", "|", "^", "<<", ">>"];
-                match ops[op] {
-                    "<<" => format!("(({l}) << (({r}) & 7))"),
-                    ">>" => format!("((({l}) & 0xFFFF) >> (({r}) & 7))"),
-                    o => format!("(({l}) {o} ({r}))"),
-                }
-            }),
-            (sub.clone(), sub.clone()).prop_map(|(l, r)| {
-                // guarded division / modulo
-                format!("(({l}) / ((({r}) & 15) + 1))")
-            }),
-            (sub.clone(), sub).prop_map(|(l, r)| format!("(({l}) < ({r}))")),
-        ]
-        .boxed()
-    }
-}
-
-prop_compose! {
-    fn arb_program()(
-        e1 in arb_expr(3),
-        e2 in arb_expr(3),
-        cond in arb_expr(2),
-        bound in 1u64..20,
-        init_a in 0i64..1000,
-        init_b in 0i64..1000,
-    ) -> String {
-        format!(
-            r#"
-            global acc;
-            fn step(a, b, c) {{
-                if ({cond}) {{ return {e1}; }}
-                return {e2};
-            }}
-            fn main() {{
-                let a = {init_a};
-                let b = {init_b};
-                let c = 0;
-                while (c < {bound}) {{
-                    acc = (acc ^ step(a, b, c)) & 0xFFFFFFFF;
-                    a = (a + 13) & 0xFFFF;
-                    b = (b + 7) & 0xFFFF;
-                    c = c + 1;
-                    out(acc);
-                }}
-            }}
-            "#
-        )
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random programs behave identically under every technique/style.
     #[test]
-    fn dbt_is_transparent_on_random_programs(src in arb_program()) {
+    fn dbt_is_transparent_on_random_programs(src in minic_source()) {
         let image = cfed::lang::compile(&src).expect("generated programs are valid MiniC");
         let native = run_native(&image, 50_000_000);
         for kind in TechniqueKind::ALL {
@@ -96,7 +34,7 @@ proptest! {
     /// The baseline DBT (no instrumentation) is transparent too, and no
     /// slower than the instrumented configurations.
     #[test]
-    fn baseline_transparent_and_cheapest(src in arb_program()) {
+    fn baseline_transparent_and_cheapest(src in minic_source()) {
         let image = cfed::lang::compile(&src).expect("valid");
         let native = run_native(&image, 50_000_000);
         let base = run_dbt(&image, &RunConfig::baseline());
@@ -114,7 +52,7 @@ proptest! {
     /// unoptimized builds of a random program produce identical outputs,
     /// and the optimized build never retires more instructions.
     #[test]
-    fn optimizer_preserves_semantics(src in arb_program()) {
+    fn optimizer_preserves_semantics(src in minic_source()) {
         let plain = cfed::lang::compile(&src).expect("valid");
         let opt = cfed::lang::compile_optimized(&src).expect("valid optimized");
         let a = run_native(&plain, 50_000_000);

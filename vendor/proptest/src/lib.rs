@@ -12,7 +12,11 @@
 //!
 //! * **No shrinking.** A failing case reports its inputs (via the panic
 //!   message of the assertion that failed) but is not minimized.
-//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **Seed-based persistence.** A failing case appends its RNG seed to a
+//!   sibling `<file>.proptest-regressions` (format: `xs <seed-hex> # <test>`)
+//!   and every recorded seed is replayed before novel cases on later runs.
+//!   Upstream persists byte buffers; the stand-in persists seeds, which is
+//!   equivalent here because generation is a pure function of the seed.
 //! * **Deterministic seeding.** Cases derive from a fixed per-test seed,
 //!   so runs are reproducible — a failure seen once recurs every run.
 
@@ -107,8 +111,9 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
                 let strategy = ($($strategy,)+);
-                $crate::test_runner::run_cases(
+                $crate::test_runner::run_cases_persisted(
                     stringify!($name),
+                    file!(),
                     &config,
                     &strategy,
                     |($($arg,)+)| $body,

@@ -1,7 +1,9 @@
-//! Case runner and configuration.
+//! Case runner, configuration, and failure persistence.
 
 use crate::strategy::Strategy;
 use rand::{SeedableRng as _, StdRng};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Property-test configuration (`ProptestConfig` in the prelude).
 #[derive(Debug, Clone)]
@@ -46,23 +48,156 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
+/// Seed for case `case` of the test named `name` — deterministic, so a
+/// failure seen once recurs on every run and a persisted seed replays the
+/// exact generated input.
+fn case_seed(base: u64, case: u32) -> u64 {
+    base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Resolves a `file!()` path (workspace-root relative) against the current
+/// working directory's ancestors. Cargo runs test binaries from the package
+/// root while `file!()` is recorded relative to the workspace root, so the
+/// source usually exists at some ancestor of the cwd.
+fn resolve_source(file: &str) -> Option<PathBuf> {
+    if file.is_empty() {
+        return None;
+    }
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors().map(|a| a.join(file)).find(|p| p.is_file())
+}
+
+/// The regression file for a source file: a sibling named
+/// `<stem>.proptest-regressions`, mirroring upstream's convention.
+fn regression_path(source: &Path) -> PathBuf {
+    source.with_extension("proptest-regressions")
+}
+
+/// Parses persisted seed lines: `xs <hex64>`, comments (`#`) and blank
+/// lines ignored. The test name after `#` on a seed line is informational.
+fn parse_regressions(text: &str, name: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("xs ")?;
+            let (seed_tok, tail) = match rest.split_once('#') {
+                Some((s, t)) => (s.trim(), t.trim()),
+                None => (rest.trim(), ""),
+            };
+            // Seeds recorded for another test in the same file are skipped:
+            // they would replay a different strategy's byte stream.
+            if !tail.is_empty() && !tail.starts_with(name) {
+                return None;
+            }
+            u64::from_str_radix(seed_tok.trim_start_matches("0x"), 16).ok()
+        })
+        .collect()
+}
+
+/// Appends a failing seed to the regression file (creating it with an
+/// explanatory header if missing). Best-effort: IO errors are swallowed —
+/// the failure itself still propagates via the panic.
+fn persist_failure(source: &Path, name: &str, seed: u64) {
+    let path = regression_path(source);
+    let header_needed = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    if header_needed {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases the proptest stand-in generated in the past.\n\
+             # The runner replays every seed listed here before generating novel\n\
+             # cases. Each line is `xs <seed-hex> # <test name>`. See DESIGN.md\n\
+             # \"Conformance & fuzzing\" for the convention."
+        );
+    }
+    let _ = writeln!(f, "xs {seed:016x} # {name}");
+    eprintln!("proptest stand-in: persisted failing seed {seed:#x} to {}", path.display());
+}
+
 /// Runs `f` over `config.cases` generated inputs. Seeding is deterministic
 /// per (test name, case index), so failures reproduce on every run. A
 /// panicking case fails the test; the case index is reported so the input
 /// can be regenerated.
+///
+/// Prefer [`run_cases_persisted`] (what the [`crate::proptest!`] macro
+/// expands to): this entry point neither replays nor records
+/// `.proptest-regressions` seeds.
 pub fn run_cases<S, F>(name: &str, config: &Config, strategy: &S, f: F)
 where
     S: Strategy,
     F: Fn(S::Value),
 {
+    run_cases_persisted(name, "", config, strategy, f)
+}
+
+/// As [`run_cases`], with failure persistence: seeds recorded in the
+/// source file's sibling `<stem>.proptest-regressions` are replayed before
+/// any novel case, and a novel failing case appends its seed there before
+/// the panic propagates. `source_file` is the caller's `file!()`; an empty
+/// string (or an unresolvable path) disables persistence.
+pub fn run_cases_persisted<S, F>(name: &str, source_file: &str, config: &Config, strategy: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let source = resolve_source(source_file);
+    // Replay persisted regressions first: a recorded failure must stay
+    // fixed forever, and replaying before novel cases surfaces it fast.
+    if let Some(src) = &source {
+        if let Ok(text) = std::fs::read_to_string(regression_path(src)) {
+            for seed in parse_regressions(&text, name) {
+                let mut rng = TestRng::new(seed);
+                let value = strategy.generate(&mut rng);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest stand-in: {name} failed replaying persisted seed {seed:#x}"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
     let base = fnv1a(name);
     for case in 0..config.cases {
-        let mut rng = TestRng::new(base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        let seed = case_seed(base, case);
+        let mut rng = TestRng::new(seed);
         let value = strategy.generate(&mut rng);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
         if let Err(payload) = result {
             eprintln!("proptest stand-in: {name} failed at case {case}/{}", config.cases);
+            if let Some(src) = &source {
+                persist_failure(src, name, seed);
+            }
             std::panic::resume_unwind(payload);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_other_tests() {
+        let text = "# header\n\nxs 00000000000000ff # mine case\nxs 0000000000000001 # other\n\
+                    xs 10 \nnot a seed line\n";
+        assert_eq!(parse_regressions(text, "mine"), vec![0xFF, 0x10]);
+        assert_eq!(parse_regressions(text, "other"), vec![0x1, 0x10]);
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let base = fnv1a("some_test");
+        assert_ne!(case_seed(base, 0), case_seed(base, 1));
+        assert_eq!(case_seed(base, 7), case_seed(base, 7));
+    }
+
+    #[test]
+    fn unresolvable_source_disables_persistence() {
+        assert!(resolve_source("").is_none());
+        assert!(resolve_source("no/such/dir/ever/file.rs").is_none());
     }
 }
