@@ -12,6 +12,8 @@
 //!   per-worker image/golden caches and panic isolation; merged per-cell
 //!   tallies are bit-identical to the serial [`cfed_fault::Campaign::run`]
 //!   path for any thread count or scheduling order;
+//! * [`retry`] — the bounded-retry/backoff policy for failed shards,
+//!   shared (type and semantics) with the `cfed-serve` campaign service;
 //! * [`store`] — a checkpointed JSONL result store: every finished shard
 //!   is appended and flushed, so a killed run resumes by skipping
 //!   persisted shards (half-written trailing lines are detected and
@@ -57,10 +59,15 @@ pub mod cli;
 pub mod matrix;
 pub mod pool;
 pub mod report;
+pub mod retry;
 pub mod store;
 
 pub use cfed_telemetry::json;
 
 pub use matrix::{CampaignMatrix, CellSpec, ShardTask, WorkloadSpec};
-pub use pool::{parallel_map, run_matrix, CellResult, RunSummary, RunnerOptions};
+pub use pool::{
+    parallel_map, run_matrix, CellResult, GoldenCache, RunSummary, RunnerOptions, UnitExecutor,
+    UnitRun,
+};
+pub use retry::RetryPolicy;
 pub use store::{CampaignStore, ShardTallies, StoreHeader};

@@ -33,6 +33,7 @@ use cfed_telemetry::{Event, Telemetry};
 
 use crate::json::Json;
 use crate::matrix::{CampaignMatrix, CellSpec, ShardTask};
+use crate::retry::RetryPolicy;
 use crate::store::{CampaignStore, ShardTallies, StoreHeader};
 
 /// Pool configuration.
@@ -60,6 +61,11 @@ pub struct RunnerOptions {
     /// them (the default). Disable to force every trial to replay its
     /// fault-free prefix from scratch — outcomes are identical either way.
     pub snapshots: bool,
+    /// Bounded retry with backoff for failed shards — the same policy (and
+    /// config type) `cfed-serve` applies to expired or failed leases. Each
+    /// failed attempt is reported via `shard_failed` telemetry; only the
+    /// final outcome reaches the store.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunnerOptions {
@@ -72,6 +78,7 @@ impl Default for RunnerOptions {
             telemetry: Telemetry::off(),
             forensics: false,
             snapshots: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -256,6 +263,9 @@ pub struct RunSummary {
     pub executed_shards: u64,
     /// Shards skipped because the store already held their results.
     pub resumed_shards: u64,
+    /// Failed shard attempts that were retried under the retry policy
+    /// (counts attempts, not shards; a shard retried twice counts 2).
+    pub retried_attempts: u64,
     /// Throughput and snapshot statistics for this invocation.
     pub perf: RunPerf,
 }
@@ -281,6 +291,8 @@ struct ShardDone {
     task: ShardTask,
     key: String,
     outcome: ShardOutcome,
+    /// Errors of failed attempts that preceded `outcome` (bounded retry).
+    attempt_errors: Vec<String>,
     /// The cell's golden run, sent with the first shard a worker completes
     /// for a cell so the main thread can build reports without recomputing.
     golden: Option<Golden>,
@@ -325,13 +337,18 @@ struct PreparedGolden {
 /// every worker and every shard of a cell. Failures are cached too, so a
 /// cell whose fault-free run traps fails each shard fast instead of
 /// re-running the program per shard.
-struct GoldenCache {
+///
+/// Public so `cfed-serve` worker processes share one cache across their
+/// executor threads exactly as the in-process pool does.
+pub struct GoldenCache {
     snapshots_enabled: bool,
     prepared: Mutex<HashMap<String, Result<PreparedGolden, String>>>,
 }
 
 impl GoldenCache {
-    fn new(snapshots_enabled: bool) -> GoldenCache {
+    /// An empty cache; `snapshots_enabled` decides whether prepared
+    /// goldens carry fast-forward snapshot sets.
+    pub fn new(snapshots_enabled: bool) -> GoldenCache {
         GoldenCache { snapshots_enabled, prepared: Mutex::new(HashMap::new()) }
     }
 
@@ -348,7 +365,7 @@ impl GoldenCache {
     }
 
     /// Aggregated stats over every successfully prepared snapshot set.
-    fn snapshot_stats(&self) -> SnapshotStats {
+    pub fn snapshot_stats(&self) -> SnapshotStats {
         let map = self.prepared.lock().expect("golden cache poisoned");
         let mut stats = SnapshotStats::default();
         for prepared in map.values().filter_map(|r| r.as_ref().ok()) {
@@ -357,6 +374,81 @@ impl GoldenCache {
             }
         }
         stats
+    }
+}
+
+/// Result of executing one work unit (one shard of one cell).
+pub struct UnitRun {
+    /// The shard's persisted tallies, or the failure message.
+    pub tallies: Result<Box<ShardTallies>, String>,
+    /// The cell's golden run, when it was computable (present even for
+    /// shard-level failures so callers can still assemble partial reports).
+    pub golden: Option<Golden>,
+    /// Serialized forensics bundles captured for this unit.
+    pub forensics: Vec<Json>,
+    /// Trials that warranted a bundle (may exceed `forensics.len()` when
+    /// the per-unit cap truncated the captures).
+    pub forensics_wanted: u64,
+}
+
+/// Executes single work units against a shared [`GoldenCache`] — the unit
+/// extraction the worker pool and the `cfed-serve` worker processes share.
+/// One executor per thread; the image cache inside is thread-local, the
+/// golden/snapshot cache is whatever the caller shares.
+pub struct UnitExecutor {
+    cache: WorkerCache,
+    goldens: Arc<GoldenCache>,
+    forensics: bool,
+}
+
+impl UnitExecutor {
+    /// An executor over `goldens`; `forensics` re-injects interesting
+    /// trials with a tracer and captures bundles.
+    pub fn new(goldens: Arc<GoldenCache>, forensics: bool) -> UnitExecutor {
+        UnitExecutor { cache: WorkerCache::default(), goldens, forensics }
+    }
+
+    /// Runs shard `shard_index` of `cell`. Deterministic in
+    /// `(cell, shard_index)`: any executor on any host produces identical
+    /// tallies. Panics inside the unit are caught and surface as `Err`.
+    pub fn run(&mut self, cell: &CellSpec, shard_index: u64) -> UnitRun {
+        let run = run_shard(&mut self.cache, &self.goldens, cell, shard_index, self.forensics);
+        let tallies = match run.outcome {
+            ShardOutcome::Ok(tallies) => Ok(tallies),
+            ShardOutcome::Failed(e) => Err(e),
+        };
+        UnitRun {
+            tallies,
+            golden: run.golden,
+            forensics: run.forensics,
+            forensics_wanted: run.forensics_wanted,
+        }
+    }
+
+    /// As [`UnitExecutor::run`], retrying failed attempts under `policy`
+    /// (sleeping the policy's backoff between attempts). Returns the final
+    /// outcome plus the errors of every failed attempt that preceded it.
+    pub fn run_with_retry(
+        &mut self,
+        cell: &CellSpec,
+        shard_index: u64,
+        policy: &RetryPolicy,
+    ) -> (UnitRun, Vec<String>) {
+        let mut attempt_errors = Vec::new();
+        loop {
+            let run = self.run(cell, shard_index);
+            match &run.tallies {
+                Ok(_) => return (run, attempt_errors),
+                Err(e) => {
+                    let attempts = attempt_errors.len() as u32 + 1;
+                    if !policy.allows(attempts) {
+                        return (run, attempt_errors);
+                    }
+                    attempt_errors.push(e.clone());
+                    std::thread::sleep(policy.backoff(attempts));
+                }
+            }
+        }
     }
 }
 
@@ -509,7 +601,8 @@ pub fn run_matrix(
     // Cell goldens observed during this run (from workers) — saves the
     // main thread recomputing them for report assembly.
     let mut goldens: BTreeMap<usize, Golden> = BTreeMap::new();
-    let golden_cache = GoldenCache::new(options.snapshots);
+    let golden_cache = Arc::new(GoldenCache::new(options.snapshots));
+    let mut retried_attempts = 0u64;
 
     let threads = options.resolved_threads().min(to_run.max(1)).max(1);
     if to_run > 0 {
@@ -519,28 +612,30 @@ pub fn run_matrix(
         let queue_ref = &queue;
         let golden_cache_ref = &golden_cache;
         let forensics_on = options.forensics;
+        let retry = options.retry;
         std::thread::scope(|scope| -> Result<(), String> {
             for _ in 0..threads {
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    let mut cache = WorkerCache::default();
+                    let mut executor =
+                        UnitExecutor::new(Arc::clone(golden_cache_ref), forensics_on);
                     loop {
                         let task = match queue_ref.lock().expect("queue poisoned").pop_front() {
                             Some(t) => t,
                             None => break,
                         };
                         let cell = &cells_ref[task.cell];
-                        let run = run_shard(
-                            &mut cache,
-                            golden_cache_ref,
-                            cell,
-                            task.shard_index,
-                            forensics_on,
-                        );
+                        let (run, attempt_errors) =
+                            executor.run_with_retry(cell, task.shard_index, &retry);
+                        let outcome = match run.tallies {
+                            Ok(tallies) => ShardOutcome::Ok(tallies),
+                            Err(e) => ShardOutcome::Failed(e),
+                        };
                         let done = ShardDone {
                             task,
                             key: task.key(cells_ref),
-                            outcome: run.outcome,
+                            outcome,
+                            attempt_errors,
                             golden: run.golden,
                             forensics: run.forensics,
                             forensics_wanted: run.forensics_wanted,
@@ -559,9 +654,37 @@ pub fn run_matrix(
             let mut failed = 0usize;
             for done in rx {
                 received += 1;
-                let ShardDone { task, key, outcome, golden, forensics, forensics_wanted } = done;
+                let ShardDone {
+                    task,
+                    key,
+                    outcome,
+                    attempt_errors,
+                    golden,
+                    forensics,
+                    forensics_wanted,
+                } = done;
                 if let (Some(g), false) = (golden, goldens.contains_key(&task.cell)) {
                     goldens.insert(task.cell, g);
+                }
+                let done_attempts = attempt_errors.len() as u64 + 1;
+                // Failed attempts that were retried: visible in telemetry
+                // (one shard_failed per attempt), never in the store.
+                for (attempt, err) in attempt_errors.iter().enumerate() {
+                    retried_attempts += 1;
+                    options.telemetry.emit_with(|| {
+                        Event::new("shard_failed")
+                            .str("shard", &key)
+                            .str("error", err)
+                            .u64("attempt", attempt as u64 + 1)
+                            .u64("retried", 1)
+                    });
+                    if options.progress && !options.quiet {
+                        progress.clear();
+                        eprintln!(
+                            "cfed-runner: shard {key} attempt {} failed, retrying: {err}",
+                            attempt + 1
+                        );
+                    }
                 }
                 match outcome {
                     ShardOutcome::Ok(tallies) => {
@@ -581,10 +704,15 @@ pub fn run_matrix(
                         failed += 1;
                         store.append_failed(&key, &err)?;
                         options.telemetry.emit_with(|| {
-                            Event::new("shard_failed").str("shard", &key).str("error", &err)
+                            Event::new("shard_failed")
+                                .str("shard", &key)
+                                .str("error", &err)
+                                .u64("attempt", done_attempts)
                         });
                         progress.clear();
-                        eprintln!("cfed-runner: shard {key} FAILED: {err}");
+                        eprintln!(
+                            "cfed-runner: shard {key} FAILED after {done_attempts} attempt(s): {err}"
+                        );
                     }
                 }
                 for bundle in forensics {
@@ -627,6 +755,7 @@ pub fn run_matrix(
             .str("run_id", run_id)
             .u64("executed", to_run as u64)
             .u64("resumed", resumed_shards)
+            .u64("retried", retried_attempts)
             .u64("threads", threads as u64)
             .u64("wall_ms", wall_ms)
     });
@@ -653,7 +782,13 @@ pub fn run_matrix(
     for (index, cell) in cells.iter().enumerate() {
         cell_results.push(assemble_cell(index, cell, &store, goldens.get(&index)));
     }
-    Ok(RunSummary { cells: cell_results, executed_shards: to_run as u64, resumed_shards, perf })
+    Ok(RunSummary {
+        cells: cell_results,
+        executed_shards: to_run as u64,
+        resumed_shards,
+        retried_attempts,
+        perf,
+    })
 }
 
 /// Merges a cell's persisted shard tallies into one report, in shard-index

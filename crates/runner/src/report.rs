@@ -69,10 +69,14 @@ pub fn summarize(done: &BTreeMap<String, ShardTallies>) -> Vec<CellSummary> {
 /// Returns a message when the store cannot be read or fails to parse.
 pub fn render_report(path: &Path) -> Result<String, String> {
     let (header, done, failed) = read_store(path)?;
-    Ok(render(&header, &summarize(&done), &failed))
+    Ok(render_parts(&header, &summarize(&done), &failed))
 }
 
-fn render(
+/// Renders a report from already-loaded parts — the entry point the
+/// `cfed-serve` coordinator uses to serve `/report` over HTTP from its
+/// in-memory mirror while a campaign runs. Byte-identical to
+/// [`render_report`] over the persisted store holding the same shards.
+pub fn render_parts(
     header: &StoreHeader,
     cells: &[CellSummary],
     failed: &BTreeMap<String, String>,
@@ -247,10 +251,10 @@ mod tests {
         backward.insert("c#0".to_string(), a);
         let empty = BTreeMap::new();
         assert_eq!(
-            render(&header, &summarize(&forward), &empty),
-            render(&header, &summarize(&backward), &empty)
+            render_parts(&header, &summarize(&forward), &empty),
+            render_parts(&header, &summarize(&backward), &empty)
         );
-        let text = render(&header, &summarize(&forward), &empty);
+        let text = render_parts(&header, &summarize(&forward), &empty);
         assert!(text.contains("== c =="), "{text}");
         assert!(text.contains("p50<="), "{text}");
     }

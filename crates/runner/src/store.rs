@@ -59,7 +59,9 @@ pub struct StoreHeader {
 }
 
 impl StoreHeader {
-    fn to_json(&self) -> Json {
+    /// Serializes the header line (public: the `cfed-serve` protocol ships
+    /// headers over the wire in the same shape the store persists).
+    pub fn to_json(&self) -> Json {
         obj(vec![
             ("cfed_campaign", Json::UInt(2)),
             ("run_id", Json::Str(self.run_id.clone())),
@@ -71,7 +73,12 @@ impl StoreHeader {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<StoreHeader, String> {
+    /// Parses a header produced by [`StoreHeader::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<StoreHeader, String> {
         let field = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("header missing {k}"));
         if field("cfed_campaign")? != 2 {
             return Err("unsupported store version".into());
@@ -139,7 +146,10 @@ impl ShardTallies {
         }
     }
 
-    fn to_json(&self, shard_key: &str) -> Json {
+    /// Serializes the tallies as the store's shard record (public: the
+    /// `cfed-serve` result frames carry exactly this shape, so a
+    /// coordinator appends worker results without re-encoding).
+    pub fn to_json(&self, shard_key: &str) -> Json {
         let cats = self
             .stats
             .iter()
@@ -167,7 +177,12 @@ impl ShardTallies {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<ShardTallies, String> {
+    /// Parses a shard record produced by [`ShardTallies::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(v: &Json) -> Result<ShardTallies, String> {
         let cats = v.get("cats").and_then(Json::as_arr).ok_or("record missing cats")?;
         if cats.len() != 7 {
             return Err(format!("expected 7 categories, got {}", cats.len()));
@@ -436,6 +451,41 @@ pub fn read_store(
         .map_err(|e| format!("reading {}: {e}", path.display()))?;
     let (header, done, failed, _valid_bytes) = CampaignStore::load(&text, path)?;
     Ok((header, done, failed))
+}
+
+/// Reads the `{"meta":kind, …}` records of one kind from a store file, in
+/// append order. Meta records never influence tallies (they are skipped by
+/// [`CampaignStore::open`] / [`read_store`]); this is the side channel the
+/// report path uses to surface run-level telemetry such as the campaign
+/// service's `serve_stats` records.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or a complete line fails
+/// to parse (a truncated final line is tolerated, matching resume
+/// semantics).
+pub fn read_meta(path: &Path, kind: &str) -> Result<Vec<Json>, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            // Half-written trailing line of a killed run: never counted,
+            // same as the resume path.
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = parse(line).map_err(|e| format!("corrupt store {}: {e}", path.display()))?;
+        if parsed.get("meta").and_then(Json::as_str) == Some(kind) {
+            out.push(parsed);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

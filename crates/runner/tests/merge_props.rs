@@ -1,9 +1,18 @@
 //! Property tests for the algebraic law the runner rests on:
 //! [`CampaignReport::merge`] is associative and commutative, so any
-//! shard → worker → merge schedule reduces to the same campaign tallies.
+//! shard → worker → merge schedule reduces to the same campaign tallies —
+//! plus the store-level corollary the `cfed-serve` coordinator leans on:
+//! however a delivery schedule duplicates, reorders, or interleaves
+//! failures with shard records, the persisted store renders the same
+//! report as a clean in-order run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cfed_core::Category;
 use cfed_fault::{CampaignReport, CategoryStats, Golden, LatencyGrid, Outcome};
+use cfed_runner::report::{render_parts, summarize};
+use cfed_runner::store::{read_store, CampaignStore, ShardTallies, StoreHeader};
 use proptest::prelude::*;
 
 fn golden() -> Golden {
@@ -83,5 +92,120 @@ proptest! {
         let mut merged = a.clone();
         merged.merge(&CampaignReport::new(golden()));
         assert_reports_equal(&merged, &a);
+    }
+}
+
+// ---- store-level idempotency (the coordinator's merge contract) --------
+
+static STORE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn store_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cfed-mp-{}-{}.jsonl",
+        std::process::id(),
+        STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn header(total_shards: u64) -> StoreHeader {
+    StoreHeader {
+        run_id: "mp".to_string(),
+        seed: 7,
+        trials: 256,
+        shard_trials: 64,
+        digest: 0xFACE,
+        total_shards,
+    }
+}
+
+fn arb_tallies() -> impl Strategy<Value = ShardTallies> {
+    (
+        proptest::collection::vec(0u64..1_000_000, 43),
+        proptest::collection::vec((0usize..7, 0usize..6, 0u64..1_000_000), 0..16),
+    )
+        .prop_map(|(v, samples)| ShardTallies::from_report(&report_from(&v, &samples)))
+}
+
+/// Distinct shard keys over two cells, so `summarize` exercises grouping.
+fn unit_key(i: usize) -> String {
+    format!("cell{}#{}", i % 2, i)
+}
+
+/// Renders the report exactly as `cfed-campaign report` would.
+fn rendered(path: &Path) -> String {
+    let (h, done, failed) = read_store(path).unwrap();
+    render_parts(&h, &summarize(&done), &failed)
+}
+
+/// The reference: every unit appended exactly once, in key order.
+fn clean_render(units: &[ShardTallies]) -> String {
+    let path = store_path();
+    let mut store = CampaignStore::open(&path, &header(units.len() as u64)).unwrap();
+    for (i, tallies) in units.iter().enumerate() {
+        store.append_ok(&unit_key(i), tallies.clone()).unwrap();
+    }
+    drop(store);
+    let out = rendered(&path);
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Duplicate deliveries and arbitrary completion order — the store a
+    /// coordinator writes under re-leases and worker races — render the
+    /// same report as a clean one-shot run.
+    #[test]
+    fn store_ignores_duplicate_and_out_of_order_delivery(
+        units in proptest::collection::vec(arb_tallies(), 1..6),
+        schedule in proptest::collection::vec(0usize..1024, 0..24),
+    ) {
+        let reference = clean_render(&units);
+        let path = store_path();
+        let mut store = CampaignStore::open(&path, &header(units.len() as u64)).unwrap();
+        // Random subset, random order, with duplicates...
+        let mut seen = vec![false; units.len()];
+        for idx in &schedule {
+            let i = idx % units.len();
+            store.append_ok(&unit_key(i), units[i].clone()).unwrap();
+            seen[i] = true;
+        }
+        // ...then whatever the schedule missed lands late.
+        for i in (0..units.len()).rev() {
+            if !seen[i] {
+                store.append_ok(&unit_key(i), units[i].clone()).unwrap();
+            }
+        }
+        drop(store);
+        assert_eq!(rendered(&path), reference);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A unit that fails (worker death, expired lease) and is later
+    /// re-delivered successfully leaves no trace: the failure record is
+    /// superseded and the report equals a clean run's.
+    #[test]
+    fn store_resolves_interleaved_failures_to_the_final_result(
+        units in proptest::collection::vec(arb_tallies(), 1..6),
+        fails in proptest::collection::vec(any::<bool>(), 5usize),
+    ) {
+        let reference = clean_render(&units);
+        let path = store_path();
+        let mut store = CampaignStore::open(&path, &header(units.len() as u64)).unwrap();
+        for (i, tallies) in units.iter().enumerate() {
+            if fails[i % fails.len()] {
+                store.append_failed(&unit_key(i), "worker died mid-unit").unwrap();
+            }
+            store.append_ok(&unit_key(i), tallies.clone()).unwrap();
+        }
+        prop_assert!(store.failed.is_empty(), "successes supersede failures");
+        drop(store);
+        // The reload path agrees with the in-memory view.
+        let (_, done, failed) = read_store(&path).unwrap();
+        prop_assert!(failed.is_empty());
+        prop_assert_eq!(done.len(), units.len());
+        assert_eq!(rendered(&path), reference);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -13,10 +13,17 @@
 //! from the checkpoints instead of re-executing. Tallies are bit-identical
 //! for any `--threads` value.
 //!
-//! Usage: `cargo run --release -p cfed-runner --bin cfed-campaign -- [OPTIONS]`
+//! Usage: `cargo run --release -p cfed-serve --bin cfed-campaign -- [OPTIONS]`
 //!
 //! The `report` subcommand renders a finished (or partial) store:
-//! `cfed-campaign report --store results/campaigns/<run>-coverage.jsonl`.
+//! `cfed-campaign report --store results/campaigns/<run>-coverage.jsonl`
+//! (`--serve-stats` also renders the campaign-service counters when the
+//! store was written by a coordinator).
+//!
+//! The `serve` subcommands distribute the same study across processes:
+//! `serve coordinate` leases work units over TCP and is the single store
+//! writer; `serve work` connects to a coordinator and executes units.
+//! Stores and reports are byte-identical to the single-process run.
 //!
 //! The `bench` subcommand runs a fixed-seed smoke campaign twice — fast-
 //! forward snapshots on and off — checks the tallies match bit for bit,
@@ -32,15 +39,19 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use cfed_core::{Category, TechniqueKind};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
 use cfed_fault::CategoryStats;
 use cfed_runner::cli::Parser;
-use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec, CAMPAIGN_WORKLOADS};
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
 use cfed_runner::pool::{run_matrix, RunPerf, RunSummary, RunnerOptions};
 use cfed_runner::report::render_report;
+use cfed_runner::retry::RetryPolicy;
+use cfed_runner::store::read_meta;
+use cfed_serve::{campaign_phases, Coordinator, CoordinatorOptions, ServeStats, WorkerOptions};
 use cfed_sim::Machine;
 use cfed_telemetry::json::{obj, Json};
 use cfed_telemetry::{JsonlSink, Telemetry};
@@ -48,27 +59,137 @@ use cfed_workloads::Scale;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("report") {
-        run_report(&argv[1..]);
-        return;
+    match argv.first().map(String::as_str) {
+        Some("report") => run_report(&argv[1..]),
+        Some("bench") => run_bench(&argv[1..]),
+        Some("serve") => match argv.get(1).map(String::as_str) {
+            Some("coordinate") => run_coordinate(&argv[2..]),
+            Some("work") => run_work(&argv[2..]),
+            Some("--help" | "-h") | None => {
+                eprintln!(
+                    "usage: cfed-campaign serve <coordinate|work> [OPTIONS]\n\
+                     \x20 coordinate  lease campaign units to workers over TCP (single store writer)\n\
+                     \x20 work        connect to a coordinator and execute leased units\n\
+                     run `cfed-campaign serve coordinate --help` or `serve work --help` for options"
+                );
+                std::process::exit(if argv.len() > 1 { 0 } else { 2 });
+            }
+            Some(other) => {
+                eprintln!(
+                    "cfed-campaign: unknown serve subcommand {other:?} (expected coordinate or work)"
+                );
+                std::process::exit(2);
+            }
+        },
+        _ => run_campaign(&argv),
     }
-    if argv.first().map(String::as_str) == Some("bench") {
-        run_bench(&argv[1..]);
-        return;
+}
+
+/// The SIGINT-drain flag: set by the signal handler, polled by the
+/// coordinator/worker loops so an interrupted campaign checkpoints its
+/// store and exits cleanly instead of dying mid-write.
+static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(flag) = STOP.get() {
+        flag.store(true, Ordering::Relaxed);
     }
-    run_campaign(&argv);
+}
+
+/// Installs the SIGINT handler and returns the drain flag. Uses the C
+/// `signal()` entry point directly — the only libc surface this needs —
+/// so no FFI crate dependency is pulled in.
+fn install_sigint() -> Arc<AtomicBool> {
+    let flag = STOP.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    flag
 }
 
 fn run_report(argv: &[String]) {
     let args = Parser::new("cfed-campaign report", "render a campaign result store")
         .required_flag("store", "PATH", "JSONL result store to render")
+        .switch("serve-stats", "also render campaign-service counters (coordinator stores)")
         .parse_from(argv);
-    match render_report(Path::new(args.get("store").expect("required"))) {
+    let store = Path::new(args.get("store").expect("required"));
+    match render_report(store) {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("cfed-campaign: {e}");
             std::process::exit(2);
         }
+    }
+    if args.has("serve-stats") {
+        match read_meta(store, "serve_stats") {
+            Ok(records) if records.is_empty() => {
+                println!("\nserve stats: none recorded (single-process store)");
+            }
+            Ok(records) => {
+                let mut total = ServeStats::default();
+                for record in &records {
+                    match ServeStats::from_meta(record) {
+                        Ok(s) => total.absorb(&s),
+                        Err(e) => {
+                            eprintln!("cfed-campaign: malformed serve_stats record: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                println!("\nserve stats ({} coordinator phase(s)):", records.len());
+                print!("{}", total.render());
+            }
+            Err(e) => {
+                eprintln!("cfed-campaign: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// One-line fatal error with the conventional bad-usage exit code.
+fn fatal(prefix: &str, message: String) -> ! {
+    eprintln!("{prefix}: {message}");
+    std::process::exit(2);
+}
+
+/// Builds the telemetry handle for `--events PATH`, validating the
+/// `--forensics`/`--events` pairing.
+fn telemetry_for(args: &cfed_runner::cli::Args, prefix: &str) -> Telemetry {
+    if args.has("forensics") && args.get("events").filter(|s| !s.is_empty()).is_none() {
+        fatal(
+            prefix,
+            "--forensics requires --events PATH (forensics bundles are emitted as events)"
+                .to_string(),
+        );
+    }
+    match args.get("events").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fatal(prefix, format!("creating {}: {e}", dir.display())));
+            }
+            Telemetry::to(Arc::new(JsonlSink::create(&path).unwrap_or_else(|e| fatal(prefix, e))))
+        }
+        None => Telemetry::off(),
+    }
+}
+
+fn retry_policy_for(args: &cfed_runner::cli::Args, prefix: &str) -> RetryPolicy {
+    let max_attempts = args.get_u64("retries").unwrap_or_else(|e| fatal(prefix, e));
+    let backoff_ms = args.get_u64("backoff-ms").unwrap_or_else(|e| fatal(prefix, e));
+    if max_attempts == 0 {
+        fatal(prefix, "--retries must be at least 1 (the first attempt counts)".to_string());
+    }
+    RetryPolicy {
+        max_attempts: u32::try_from(max_attempts).unwrap_or(u32::MAX),
+        backoff_ms,
+        ..RetryPolicy::default()
     }
 }
 
@@ -85,6 +206,8 @@ fn run_campaign(argv: &[String]) {
             "run identifier; re-use to resume (default: derived from seed/trials)",
         )
         .flag("events", "PATH", "", "write structured telemetry events (JSONL) to PATH")
+        .flag("retries", "N", "3", "attempts per failed shard before recording it failed")
+        .flag("backoff-ms", "MS", "25", "base backoff between shard retry attempts")
         .switch("progress", "print per-shard progress to stderr")
         .switch("quiet", "suppress stderr progress output")
         .switch(
@@ -109,17 +232,7 @@ fn run_campaign(argv: &[String]) {
         None => format!("campaign-s{seed}-t{trials}"),
     };
     let quiet = args.has("quiet");
-    let telemetry = match args.get("events").filter(|s| !s.is_empty()) {
-        Some(path) => {
-            let path = PathBuf::from(path);
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                std::fs::create_dir_all(dir)
-                    .unwrap_or_else(|e| die(format!("creating {}: {e}", dir.display())));
-            }
-            Telemetry::to(Arc::new(JsonlSink::create(&path).unwrap_or_else(|e| die(e))))
-        }
-        None => Telemetry::off(),
-    };
+    let telemetry = telemetry_for(&args, "cfed-campaign");
     let options = RunnerOptions {
         threads,
         max_shards: None,
@@ -128,73 +241,50 @@ fn run_campaign(argv: &[String]) {
         telemetry,
         forensics: args.has("forensics"),
         snapshots: !args.has("no-snapshots"),
+        retry: retry_policy_for(&args, "cfed-campaign"),
     };
 
-    let workloads: Vec<WorkloadSpec> =
-        CAMPAIGN_WORKLOADS.iter().map(|name| WorkloadSpec::named(name, Scale::Test)).collect();
+    // The exact phase list `serve coordinate` uses, so stores (and their
+    // reports) are interchangeable between the two execution modes.
+    let phases = campaign_phases(trials, seed, &out, &run_id);
+    let coverage = &phases[0];
+    let latency = &phases[1];
 
-    // Coverage: baseline + five techniques, both update styles, ALLBB.
-    let mut techniques: Vec<Option<TechniqueKind>> = vec![None];
-    techniques.extend(TechniqueKind::ALL_FIVE.into_iter().map(Some));
-    let coverage = CampaignMatrix {
-        workloads: workloads.clone(),
-        techniques: techniques.clone(),
-        styles: vec![UpdateStyle::CMov, UpdateStyle::Jcc],
-        policies: vec![CheckPolicy::AllBb],
-        trials,
-        seed,
-    };
-    let coverage_store = out.join(format!("{run_id}-coverage.jsonl"));
-    if !quiet {
-        eprintln!(
-            "cfed-campaign: coverage matrix — {} cells, {} shards, store {}",
-            coverage.cells().len(),
-            CampaignMatrix::shards(&coverage.cells()).len(),
-            coverage_store.display()
-        );
+    let mut runs = Vec::with_capacity(phases.len());
+    for plan in &phases {
+        if !quiet {
+            eprintln!(
+                "cfed-campaign: {} matrix — {} cells, {} shards, store {}",
+                plan.label,
+                plan.matrix.cells().len(),
+                CampaignMatrix::shards(&plan.matrix.cells()).len(),
+                plan.store.display()
+            );
+        }
+        let run = run_matrix(&plan.matrix, &run_id, Some(&plan.store), &options)
+            .unwrap_or_else(|e| die(e));
+        if !quiet {
+            report_progress(&run);
+        }
+        runs.push(run);
     }
-    let coverage_run =
-        run_matrix(&coverage, &run_id, Some(&coverage_store), &options).unwrap_or_else(|e| die(e));
-    if !quiet {
-        report_progress(&coverage_run);
-    }
-
-    // Latency: EdgCF under CMOVcc for each checking policy.
-    let latency = CampaignMatrix {
-        workloads,
-        techniques: vec![Some(TechniqueKind::EdgCf)],
-        styles: vec![UpdateStyle::CMov],
-        policies: CheckPolicy::ALL.to_vec(),
-        trials,
-        seed,
-    };
-    let latency_store = out.join(format!("{run_id}-latency.jsonl"));
-    if !quiet {
-        eprintln!(
-            "cfed-campaign: latency matrix — {} cells, {} shards, store {}",
-            latency.cells().len(),
-            CampaignMatrix::shards(&latency.cells()).len(),
-            latency_store.display()
-        );
-    }
-    let latency_run =
-        run_matrix(&latency, &run_id, Some(&latency_store), &options).unwrap_or_else(|e| die(e));
-    if !quiet {
-        report_progress(&latency_run);
-    }
+    let (coverage_run, latency_run) = (&runs[0], &runs[1]);
 
     for style in [UpdateStyle::CMov, UpdateStyle::Jcc] {
         println!("=== Coverage, {style} update style ({trials} trials/workload/config) ===");
-        print!("{}", render_coverage(&coverage, &coverage_run, style, &techniques));
+        print!(
+            "{}",
+            render_coverage(&coverage.matrix, coverage_run, style, &coverage.matrix.techniques)
+        );
         println!();
     }
     println!("=== Detection latency by checking policy (EdgCF, CMOVcc) ===");
-    print!("{}", render_latency(&latency, &latency_run));
+    print!("{}", render_latency(&latency.matrix, latency_run));
 
     if !quiet {
         eprintln!(
             "cfed-campaign: full per-cell tables: cfed-campaign report --store {}",
-            coverage_store.display()
+            coverage.store.display()
         );
     }
 
@@ -202,6 +292,146 @@ fn run_campaign(argv: &[String]) {
         eprintln!("cfed-campaign: some shards failed; re-run with the same --run-id to retry them");
         std::process::exit(1);
     }
+}
+
+fn run_coordinate(argv: &[String]) {
+    let args = Parser::new(
+        "cfed-campaign serve coordinate",
+        "lease the campaign to worker processes over TCP (single store writer)",
+    )
+    .flag("trials", "N", "500", "injections per workload per configuration")
+    .flag("seed", "SEED", "3488423942", "campaign RNG seed")
+    .flag("out", "DIR", "results/campaigns", "directory for the JSONL result stores")
+    .flag(
+        "run-id",
+        "ID",
+        "",
+        "run identifier; re-use to resume (default: derived from seed/trials)",
+    )
+    .flag(
+        "listen",
+        "ADDR",
+        "127.0.0.1:7171",
+        "worker listen address (use :0 for an ephemeral port)",
+    )
+    .flag("http", "ADDR", "", "also serve /report /progress /healthz on ADDR")
+    .flag("addr-file", "PATH", "", "write the bound worker (and http) address to PATH")
+    .flag("lease-ms", "MS", "60000", "lease deadline before a unit is re-queued")
+    .flag("max-inflight", "N", "4", "outstanding lease cap per worker")
+    .flag("retries", "N", "3", "attempts per unit before recording it failed")
+    .flag("backoff-ms", "MS", "25", "base backoff between unit retry attempts")
+    .flag("events", "PATH", "", "write structured telemetry events (JSONL) to PATH")
+    .switch("quiet", "suppress stderr progress output")
+    .parse_from(argv);
+    let die = |message: String| -> ! {
+        eprintln!("cfed-campaign serve coordinate: {message}");
+        std::process::exit(2);
+    };
+    let trials = args.get_u64("trials").unwrap_or_else(|e| die(e));
+    let seed = args.get_u64("seed").unwrap_or_else(|e| die(e));
+    let out = PathBuf::from(args.get("out").expect("has default"));
+    let run_id = match args.get("run-id").filter(|s| !s.is_empty()) {
+        Some(id) => id.to_string(),
+        None => format!("campaign-s{seed}-t{trials}"),
+    };
+    let lease_ms = args.get_u64("lease-ms").unwrap_or_else(|e| die(e));
+    let max_inflight = args.get_usize("max-inflight").unwrap_or_else(|e| die(e));
+    if max_inflight == 0 {
+        die("--max-inflight must be at least 1".to_string());
+    }
+    let quiet = args.has("quiet");
+    let options = CoordinatorOptions {
+        listen: args.get("listen").expect("has default").to_string(),
+        http: args.get("http").filter(|s| !s.is_empty()).map(str::to_string),
+        lease_ms,
+        retry: retry_policy_for(&args, "cfed-campaign serve coordinate"),
+        max_inflight,
+        quiet,
+        telemetry: telemetry_for(&args, "cfed-campaign serve coordinate"),
+    };
+
+    let coordinator = Coordinator::bind(options).unwrap_or_else(|e| die(e));
+    if !quiet {
+        eprintln!("cfed-campaign serve coordinate: leasing on {}", coordinator.addr());
+        if let Some(http) = coordinator.http_addr() {
+            eprintln!("cfed-campaign serve coordinate: http on {http}");
+        }
+    }
+    if let Some(path) = args.get("addr-file").filter(|s| !s.is_empty()) {
+        let mut text = format!("{}\n", coordinator.addr());
+        if let Some(http) = coordinator.http_addr() {
+            text.push_str(&format!("{http}\n"));
+        }
+        std::fs::write(path, text).unwrap_or_else(|e| die(format!("writing {path}: {e}")));
+    }
+
+    let stop = install_sigint();
+    let phases = campaign_phases(trials, seed, &out, &run_id);
+    let summary = coordinator.run(&run_id, &phases, Some(stop)).unwrap_or_else(|e| die(e));
+
+    for phase in &summary.phases {
+        println!(
+            "serve: phase {} — {}/{} units done ({} resumed, {} failed)",
+            phase.label,
+            phase.done_units,
+            phase.total_units,
+            phase.resumed_units,
+            phase.failed_units
+        );
+    }
+    print!("{}", summary.stats.render());
+    for plan in &phases {
+        println!("serve: report: cfed-campaign report --store {}", plan.store.display());
+    }
+    if summary.stopped {
+        eprintln!(
+            "cfed-campaign serve coordinate: interrupted — stores checkpointed; re-run with the \
+             same --run-id to resume"
+        );
+        std::process::exit(130);
+    }
+    if !summary.complete() {
+        eprintln!(
+            "cfed-campaign serve coordinate: some units failed; re-run with the same --run-id to \
+             retry them"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_work(argv: &[String]) {
+    let args = Parser::new(
+        "cfed-campaign serve work",
+        "connect to a coordinator and execute leased campaign units",
+    )
+    .required_flag("connect", "ADDR", "coordinator address, e.g. 127.0.0.1:7171")
+    .flag("name", "NAME", "", "advertised worker name (default: host PID tag)")
+    .flag("threads", "N", "0", "executor threads / lease slots (0 = all cores)")
+    .flag("event-queue", "N", "1024", "bounded outbound telemetry queue capacity")
+    .switch(
+        "no-snapshots",
+        "disable fast-forward snapshots; every trial replays its fault-free prefix from scratch",
+    )
+    .switch("quiet", "suppress stderr progress output")
+    .parse_from(argv);
+    let die = |message: String| -> ! {
+        eprintln!("cfed-campaign serve work: {message}");
+        std::process::exit(2);
+    };
+    let name = match args.get("name").filter(|s| !s.is_empty()) {
+        Some(name) => name.to_string(),
+        None => format!("worker-{}", std::process::id()),
+    };
+    let options = WorkerOptions {
+        connect: args.get("connect").expect("required").to_string(),
+        name,
+        threads: args.get_usize("threads").unwrap_or_else(|e| die(e)),
+        snapshots: !args.has("no-snapshots"),
+        event_queue: args.get_usize("event-queue").unwrap_or_else(|e| die(e)),
+        quiet: args.has("quiet"),
+    };
+    let stop = install_sigint();
+    cfed_serve::work(&options, Some(stop)).unwrap_or_else(|e| die(e));
 }
 
 /// Tolerated slowdown against the committed baseline before the perf gate

@@ -1,0 +1,239 @@
+//! Live HTTP endpoints for a running coordinator.
+//!
+//! A deliberately tiny HTTP/1.0 server (one request per connection, plain
+//! text) exposing three read-only views of the in-flight campaign:
+//!
+//! * `/healthz` — liveness probe, always `ok`;
+//! * `/progress` — one JSON object: phase, unit counts, worker count,
+//!   service counters;
+//! * `/report` — the campaign report rendered from the coordinator's
+//!   in-memory mirror of the store, via the same
+//!   [`cfed_runner::report::render_parts`] the offline `report` subcommand
+//!   uses — so the live view is byte-identical to what
+//!   `cfed-campaign report` will print for the shards merged so far.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cfed_runner::report::{render_parts, summarize};
+use cfed_runner::store::{ShardTallies, StoreHeader};
+use cfed_telemetry::json::{obj, Json};
+
+use crate::stats::ServeStats;
+
+/// The coordinator's shared live state, mirrored for the HTTP endpoints.
+/// The scheduler updates it incrementally as results land; readers only
+/// ever take short lock holds to render.
+#[derive(Default)]
+pub struct LiveView {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    run_id: String,
+    phase: String,
+    header: Option<StoreHeader>,
+    done: BTreeMap<String, ShardTallies>,
+    failed: BTreeMap<String, String>,
+    workers: usize,
+    stats: ServeStats,
+    finished: bool,
+}
+
+impl LiveView {
+    /// An empty view (no campaign loaded).
+    pub fn new() -> LiveView {
+        LiveView::default()
+    }
+
+    /// Installs a phase: header plus any shards already persisted (resume).
+    pub(crate) fn begin_phase(
+        &self,
+        run_id: &str,
+        phase: &str,
+        header: StoreHeader,
+        done: BTreeMap<String, ShardTallies>,
+        failed: BTreeMap<String, String>,
+    ) {
+        let mut inner = self.inner.lock().expect("live view poisoned");
+        inner.run_id = run_id.to_string();
+        inner.phase = phase.to_string();
+        inner.header = Some(header);
+        inner.done = done;
+        inner.failed = failed;
+    }
+
+    pub(crate) fn record_done(&self, key: &str, tallies: ShardTallies) {
+        let mut inner = self.inner.lock().expect("live view poisoned");
+        inner.failed.remove(key);
+        inner.done.insert(key.to_string(), tallies);
+    }
+
+    pub(crate) fn record_failed(&self, key: &str, error: &str) {
+        let mut inner = self.inner.lock().expect("live view poisoned");
+        inner.failed.insert(key.to_string(), error.to_string());
+    }
+
+    pub(crate) fn set_workers(&self, workers: usize) {
+        self.inner.lock().expect("live view poisoned").workers = workers;
+    }
+
+    pub(crate) fn set_stats(&self, stats: ServeStats) {
+        self.inner.lock().expect("live view poisoned").stats = stats;
+    }
+
+    pub(crate) fn finish(&self) {
+        self.inner.lock().expect("live view poisoned").finished = true;
+    }
+
+    /// The `/report` body: the campaign report over the shards merged so
+    /// far, byte-identical to `cfed-campaign report` over the same shards.
+    pub fn report(&self) -> String {
+        let inner = self.inner.lock().expect("live view poisoned");
+        match &inner.header {
+            Some(header) => render_parts(header, &summarize(&inner.done), &inner.failed),
+            None => "no campaign loaded yet\n".to_string(),
+        }
+    }
+
+    /// The `/progress` body: one JSON object.
+    pub fn progress(&self) -> String {
+        let inner = self.inner.lock().expect("live view poisoned");
+        let total = inner.header.as_ref().map_or(0, |h| h.total_shards);
+        let mut fields = vec![
+            ("run_id", Json::Str(inner.run_id.clone())),
+            ("phase", Json::Str(inner.phase.clone())),
+            ("total_units", Json::UInt(total)),
+            ("done_units", Json::UInt(inner.done.len() as u64)),
+            ("failed_units", Json::UInt(inner.failed.len() as u64)),
+            ("workers", Json::UInt(inner.workers as u64)),
+            ("finished", Json::Bool(inner.finished)),
+        ];
+        fields.extend(inner.stats.to_meta_fields());
+        obj(fields).render() + "\n"
+    }
+}
+
+/// Serves `live` on `listener` until `shutdown` is set. Returns the server
+/// thread handle; join it after setting the flag.
+pub fn spawn(
+    listener: TcpListener,
+    live: Arc<LiveView>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let _ = listener.set_nonblocking(true);
+    std::thread::spawn(move || loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle(stream, &live);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => break,
+        }
+    })
+}
+
+fn handle(mut stream: TcpStream, live: &LiveView) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut request = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        request.extend_from_slice(&buf[..n]);
+        if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let first_line = request.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let first_line = String::from_utf8_lossy(first_line);
+    let mut parts = first_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "only GET is supported\n".to_string())
+    } else {
+        match path {
+            "/healthz" => ("200 OK", "ok\n".to_string()),
+            "/progress" => ("200 OK", live.progress()),
+            "/report" => ("200 OK", live.report()),
+            _ => ("404 Not Found", format!("no such endpoint {path}\n")),
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: &str, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        (head.split("\r\n").next().unwrap().to_string(), body.to_string())
+    }
+
+    #[test]
+    fn endpoints_serve_live_state() {
+        let live = Arc::new(LiveView::new());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = spawn(listener, Arc::clone(&live), Arc::clone(&shutdown));
+
+        let (status, body) = get(&addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(&addr, "/report");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("no campaign"), "{body}");
+
+        live.begin_phase(
+            "r",
+            "coverage",
+            StoreHeader {
+                run_id: "r".into(),
+                seed: 1,
+                trials: 64,
+                shard_trials: 64,
+                digest: 2,
+                total_shards: 1,
+            },
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        live.record_done("cell#0", ShardTallies::default());
+        let (_, body) = get(&addr, "/report");
+        assert!(body.contains("run r"), "{body}");
+        let (_, body) = get(&addr, "/progress");
+        assert!(body.contains("\"done_units\":1"), "{body}");
+        let (status, _) = get(&addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

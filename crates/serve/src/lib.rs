@@ -1,0 +1,105 @@
+//! # cfed-serve — coordinator/worker campaign service
+//!
+//! Distributes a fault-injection campaign across worker *processes* over
+//! TCP, extending the in-process `cfed-runner` pool to multiple hosts
+//! while preserving its core guarantee: the merged report is **byte-
+//! identical** to a single-process run, whatever the worker count,
+//! schedule, crashes, or retries.
+//!
+//! The pieces:
+//!
+//! * [`proto`] — length-prefixed JSON frames and the matrix wire format;
+//! * [`coordinator`] — splits the campaign matrix into idempotent work
+//!   units (one shard of one cell, keyed exactly like the checkpointed
+//!   JSONL store), leases them with deadlines, retries failures/expiries
+//!   under the shared [`cfed_runner::retry::RetryPolicy`], and is the
+//!   single store writer;
+//! * [`worker`] — runs leased units on the runner pool's
+//!   [`cfed_runner::pool::UnitExecutor`] (golden-run cache + snapshot
+//!   fast-forward) and streams results and telemetry back;
+//! * [`http`] — live `/report`, `/progress`, `/healthz` endpoints reusing
+//!   the offline report renderer;
+//! * [`stats`] — `serve_stats` counters persisted as store meta records
+//!   and emitted as telemetry.
+//!
+//! The `cfed-campaign` binary (this crate) fronts all of it: the classic
+//! single-process study plus `serve coordinate` / `serve work`
+//! subcommands. See DESIGN.md § "Campaign service".
+
+pub mod coordinator;
+pub mod http;
+pub mod proto;
+pub mod stats;
+pub mod worker;
+
+use std::path::Path;
+
+use cfed_core::TechniqueKind;
+use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec, CAMPAIGN_WORKLOADS};
+use cfed_workloads::Scale;
+
+pub use coordinator::{
+    Coordinator, CoordinatorOptions, CoordinatorSummary, PhasePlan, PhaseSummary,
+};
+pub use stats::{ServeStats, WorkerStats};
+pub use worker::{work, WorkerOptions, WorkerSummary};
+
+/// The standard two-phase campaign study — **the** phase list both the
+/// single-process `cfed-campaign` run and `serve coordinate` execute, so
+/// their stores (and therefore reports) are interchangeable:
+///
+/// 1. `coverage` — baseline + five techniques × both update styles over
+///    the six campaign workloads (ALLBB policy), stored at
+///    `{out}/{run_id}-coverage.jsonl`;
+/// 2. `latency` — EdgCF/CMOVcc under the four checking policies, stored
+///    at `{out}/{run_id}-latency.jsonl`.
+pub fn campaign_phases(trials: u64, seed: u64, out: &Path, run_id: &str) -> Vec<PhasePlan> {
+    let workloads: Vec<WorkloadSpec> =
+        CAMPAIGN_WORKLOADS.iter().map(|name| WorkloadSpec::named(name, Scale::Test)).collect();
+    let mut techniques: Vec<Option<TechniqueKind>> = vec![None];
+    techniques.extend(TechniqueKind::ALL_FIVE.into_iter().map(Some));
+    vec![
+        PhasePlan {
+            label: "coverage".to_string(),
+            matrix: CampaignMatrix {
+                workloads: workloads.clone(),
+                techniques,
+                styles: vec![UpdateStyle::CMov, UpdateStyle::Jcc],
+                policies: vec![CheckPolicy::AllBb],
+                trials,
+                seed,
+            },
+            store: out.join(format!("{run_id}-coverage.jsonl")),
+        },
+        PhasePlan {
+            label: "latency".to_string(),
+            matrix: CampaignMatrix {
+                workloads,
+                techniques: vec![Some(TechniqueKind::EdgCf)],
+                styles: vec![UpdateStyle::CMov],
+                policies: CheckPolicy::ALL.to_vec(),
+                trials,
+                seed,
+            },
+            store: out.join(format!("{run_id}-latency.jsonl")),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_phases_match_the_classic_stores() {
+        let phases = campaign_phases(500, 42, Path::new("results/campaigns"), "r1");
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].label, "coverage");
+        assert_eq!(phases[0].matrix.cells().len(), 6 * 6 * 2);
+        assert!(phases[0].store.ends_with("r1-coverage.jsonl"));
+        assert_eq!(phases[1].label, "latency");
+        assert_eq!(phases[1].matrix.cells().len(), 6 * 4);
+        assert!(phases[1].store.ends_with("r1-latency.jsonl"));
+    }
+}

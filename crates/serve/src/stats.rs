@@ -1,0 +1,221 @@
+//! Campaign-service counters: units leased / completed / retried /
+//! expired, event-forwarding drops, and per-worker unit-latency
+//! histograms.
+//!
+//! The coordinator appends one `{"meta":"serve_stats", …}` record per
+//! phase store and emits the same shape as a `serve_stats` telemetry
+//! event. Meta records are invisible to the store loader, so the default
+//! report stays byte-identical between single-process and service runs;
+//! `cfed-campaign report --serve-stats` opts into rendering them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cfed_telemetry::json::{obj, Json};
+use cfed_telemetry::{Event, Histogram};
+
+/// Per-worker unit accounting.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerStats {
+    /// Units this worker completed successfully.
+    pub units: u64,
+    /// Unit wall-clock latency in milliseconds (log2 buckets).
+    pub latency_ms: Histogram,
+}
+
+/// Counters for one coordinator phase (or, summed, a whole run).
+#[derive(Debug, Default, Clone)]
+pub struct ServeStats {
+    /// Leases handed out (counts re-leases of the same unit again).
+    pub leased: u64,
+    /// Units whose results reached the store.
+    pub completed: u64,
+    /// Failed or expired attempts that were re-queued under the retry
+    /// policy.
+    pub retried: u64,
+    /// Leases that passed their deadline without a result.
+    pub expired: u64,
+    /// Units that exhausted the retry budget and were recorded as failed.
+    pub failed: u64,
+    /// Result frames for units already in the store (late or duplicate
+    /// delivery; dropped without a second append).
+    pub duplicates: u64,
+    /// Worker telemetry events re-emitted by the coordinator.
+    pub events_forwarded: u64,
+    /// Events workers dropped at their bounded outbound queue.
+    pub events_dropped: u64,
+    /// Per-worker unit stats, by worker name.
+    pub workers: BTreeMap<String, WorkerStats>,
+}
+
+impl ServeStats {
+    /// Records a completed unit for `worker` that took `ms` wall-clock.
+    pub fn record_unit(&mut self, worker: &str, ms: u64) {
+        self.completed += 1;
+        let w = self.workers.entry(worker.to_string()).or_default();
+        w.units += 1;
+        w.latency_ms.record(ms);
+    }
+
+    /// Folds another phase's stats into this one.
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.leased += other.leased;
+        self.completed += other.completed;
+        self.retried += other.retried;
+        self.expired += other.expired;
+        self.failed += other.failed;
+        self.duplicates += other.duplicates;
+        self.events_forwarded += other.events_forwarded;
+        self.events_dropped += other.events_dropped;
+        for (name, w) in &other.workers {
+            let into = self.workers.entry(name.clone()).or_default();
+            into.units += w.units;
+            into.latency_ms.merge(&w.latency_ms);
+        }
+    }
+
+    /// The store meta-record fields (everything but the `"meta"` tag).
+    pub fn to_meta_fields(&self) -> Vec<(&'static str, Json)> {
+        let workers = self
+            .workers
+            .iter()
+            .map(|(name, w)| {
+                obj(vec![
+                    ("worker", Json::Str(name.clone())),
+                    ("units", Json::UInt(w.units)),
+                    ("lat_ms", w.latency_ms.to_json()),
+                ])
+            })
+            .collect();
+        vec![
+            ("leased", Json::UInt(self.leased)),
+            ("completed", Json::UInt(self.completed)),
+            ("retried", Json::UInt(self.retried)),
+            ("expired", Json::UInt(self.expired)),
+            ("failed", Json::UInt(self.failed)),
+            ("duplicates", Json::UInt(self.duplicates)),
+            ("events_forwarded", Json::UInt(self.events_forwarded)),
+            ("events_dropped", Json::UInt(self.events_dropped)),
+            ("workers", Json::Arr(workers)),
+        ]
+    }
+
+    /// The `serve_stats` telemetry event.
+    pub fn to_event(&self) -> Event {
+        let mut e = Event::new("serve_stats");
+        for (k, v) in self.to_meta_fields() {
+            e = e.json(k, v);
+        }
+        e
+    }
+
+    /// Parses a `{"meta":"serve_stats", …}` record back into counters (the
+    /// `report --serve-stats` path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_meta(v: &Json) -> Result<ServeStats, String> {
+        let num = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let mut workers = BTreeMap::new();
+        if let Some(list) = v.get("workers").and_then(Json::as_arr) {
+            for w in list {
+                let name = w
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .ok_or("worker entry missing name")?
+                    .to_string();
+                let latency_ms = match w.get("lat_ms") {
+                    Some(h) => Histogram::from_json(h)?,
+                    None => Histogram::new(),
+                };
+                workers.insert(
+                    name,
+                    WorkerStats {
+                        units: w.get("units").and_then(Json::as_u64).unwrap_or(0),
+                        latency_ms,
+                    },
+                );
+            }
+        }
+        Ok(ServeStats {
+            leased: num("leased"),
+            completed: num("completed"),
+            retried: num("retried"),
+            expired: num("expired"),
+            failed: num("failed"),
+            duplicates: num("duplicates"),
+            events_forwarded: num("events_forwarded"),
+            events_dropped: num("events_dropped"),
+            workers,
+        })
+    }
+
+    /// Human-readable rendering (the `report --serve-stats` section).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "units: {} leased, {} completed, {} retried, {} expired, {} failed, {} duplicate",
+            self.leased, self.completed, self.retried, self.expired, self.failed, self.duplicates
+        );
+        let _ = writeln!(
+            out,
+            "events: {} forwarded, {} dropped at worker queues",
+            self.events_forwarded, self.events_dropped
+        );
+        for (name, w) in &self.workers {
+            let p = |q: f64| w.latency_ms.percentile(q).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  worker {name}: {} units, unit latency p50<={}ms p99<={}ms max={}ms",
+                w.units,
+                p(0.50),
+                p(0.99),
+                w.latency_ms.max().unwrap_or(0)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_roundtrip_through_meta() {
+        let mut s = ServeStats { leased: 9, retried: 2, events_dropped: 1, ..Default::default() };
+        s.record_unit("w0", 4);
+        s.record_unit("w0", 120);
+        s.record_unit("w1", 7);
+        let mut fields = vec![("meta", Json::Str("serve_stats".to_string()))];
+        fields.extend(s.to_meta_fields());
+        let rendered = obj(fields).render();
+        let parsed = cfed_telemetry::json::parse(&rendered).unwrap();
+        let back = ServeStats::from_meta(&parsed).unwrap();
+        assert_eq!(back.leased, 9);
+        assert_eq!(back.completed, 3);
+        assert_eq!(back.retried, 2);
+        assert_eq!(back.workers.len(), 2);
+        assert_eq!(back.workers["w0"].units, 2);
+        assert_eq!(back.workers["w0"].latency_ms.count(), 2);
+        let text = back.render();
+        assert!(text.contains("worker w0"), "{text}");
+        assert!(text.contains("p99<="), "{text}");
+    }
+
+    #[test]
+    fn absorb_merges_worker_histograms() {
+        let mut a = ServeStats::default();
+        a.record_unit("w0", 10);
+        let mut b = ServeStats { expired: 1, ..Default::default() };
+        b.record_unit("w0", 30);
+        b.record_unit("w1", 5);
+        a.absorb(&b);
+        assert_eq!(a.completed, 3);
+        assert_eq!(a.expired, 1);
+        assert_eq!(a.workers["w0"].latency_ms.count(), 2);
+        assert_eq!(a.workers["w1"].units, 1);
+    }
+}

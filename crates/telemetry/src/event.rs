@@ -119,6 +119,60 @@ impl EventSink for JsonlSink {
     }
 }
 
+/// A bounded in-memory event queue with drop counting — the backpressure
+/// building block the `cfed-serve` worker uses to forward telemetry over
+/// the wire without letting a slow connection stall shard execution.
+/// `emit` never blocks: when the queue is at capacity the event is
+/// dropped and counted instead.
+#[derive(Debug)]
+pub struct ChannelSink {
+    queue: Mutex<std::collections::VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl ChannelSink {
+    /// A sink holding at most `capacity` undrained events (minimum 1).
+    pub fn new(capacity: usize) -> ChannelSink {
+        ChannelSink {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns every queued event, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.queue.lock().expect("channel sink poisoned").drain(..).collect()
+    }
+
+    /// Events discarded because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("channel sink poisoned").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn emit(&self, event: &Event) {
+        let mut queue = self.queue.lock().expect("channel sink poisoned");
+        if queue.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            queue.push_back(event.clone());
+        }
+    }
+}
+
 /// Collects events in memory for assertions in tests.
 #[derive(Debug, Default)]
 pub struct MemorySink {
@@ -264,6 +318,26 @@ mod tests {
             assert!(v.get("ev").and_then(Json::as_str).is_some());
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn channel_sink_bounds_and_counts_drops() {
+        let sink = ChannelSink::new(2);
+        assert!(sink.is_empty());
+        sink.emit(&Event::new("a").u64("x", 0));
+        sink.emit(&Event::new("a").u64("x", 1));
+        sink.emit(&Event::new("a").u64("x", 2)); // over capacity — dropped
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].get("x").and_then(Json::as_u64), Some(0));
+        assert_eq!(drained[1].get("x").and_then(Json::as_u64), Some(1));
+        assert!(sink.is_empty());
+        // Capacity frees up after a drain.
+        sink.emit(&Event::new("a").u64("x", 3));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 
-pub use event::{Event, EventSink, JsonlSink, MemorySink, NullSink, Telemetry, Timer};
+pub use event::{ChannelSink, Event, EventSink, JsonlSink, MemorySink, NullSink, Telemetry, Timer};
 pub use hist::{bucket_high, bucket_index, Histogram, HIST_BUCKETS};
 pub use metrics::Counter;
