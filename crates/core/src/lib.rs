@@ -35,14 +35,16 @@ pub mod category;
 pub mod cfg;
 pub mod classify;
 pub mod formal;
+pub mod profile;
 pub mod run;
 pub mod techniques;
 
 pub use category::Category;
 pub use cfed_dbt::{CheckPolicy, UpdateStyle};
 pub use classify::{
-    classify_addr_fault, classify_flag_fault, BlockLayout, BranchFault, CacheLayout,
+    classify_addr_fault, classify_flag_fault, BlockLayout, BranchFault, CacheLayout, CachePart,
 };
+pub use profile::{profile_dbt, profile_dbt_telemetry};
 pub use run::{
     geomean, run_dbt, run_dbt_telemetry, run_dbt_with, run_dbt_with_telemetry, run_native,
     slowdown, RunConfig, RunOutcome, DEFAULT_MAX_INSTS,

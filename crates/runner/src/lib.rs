@@ -70,4 +70,4 @@ pub use pool::{
     UnitRun,
 };
 pub use retry::RetryPolicy;
-pub use store::{CampaignStore, ShardTallies, StoreHeader};
+pub use store::{read_meta, read_profiles, read_store, CampaignStore, ShardTallies, StoreHeader};

@@ -24,12 +24,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cfed_asm::Image;
-use cfed_core::RunConfig;
+use cfed_core::{profile_dbt, RunConfig};
 use cfed_fault::{
     golden_run, CampaignReport, FaultSpec, ForensicsBundle, Golden, SnapshotSet, SnapshotStats,
     WorkloadError, DEFAULT_TRACE_WINDOW,
 };
-use cfed_telemetry::{Event, Telemetry};
+use cfed_telemetry::{Event, EventSink, FlightRecorder, Profile, Telemetry};
 
 use crate::json::Json;
 use crate::matrix::{CampaignMatrix, CellSpec, ShardTask};
@@ -66,6 +66,12 @@ pub struct RunnerOptions {
     /// failed attempt is reported via `shard_failed` telemetry; only the
     /// final outcome reaches the store.
     pub retry: RetryPolicy,
+    /// Collect a per-cell execution profile (payload vs instrumentation
+    /// cycle attribution, [`cfed_core::profile_dbt`]) alongside each cell's
+    /// golden run and persist it as an idempotent store record. Off by
+    /// default: a profile costs one extra full run of the workload per
+    /// cell.
+    pub profile: bool,
 }
 
 impl Default for RunnerOptions {
@@ -79,6 +85,7 @@ impl Default for RunnerOptions {
             forensics: false,
             snapshots: true,
             retry: RetryPolicy::default(),
+            profile: false,
         }
     }
 }
@@ -296,6 +303,9 @@ struct ShardDone {
     /// The cell's golden run, sent with the first shard a worker completes
     /// for a cell so the main thread can build reports without recomputing.
     golden: Option<Golden>,
+    /// The cell's execution profile (when profiling is enabled); the main
+    /// thread persists it once per cell.
+    profile: Option<Arc<Profile>>,
     /// Serialized forensics bundles captured for this shard.
     forensics: Vec<Json>,
     /// Trials that warranted a bundle (may exceed `forensics.len()` when
@@ -324,12 +334,16 @@ impl WorkerCache {
 }
 
 /// A cell's golden run plus the snapshot set captured alongside it
-/// (`None` when snapshots are disabled). Shared read-only by every worker
-/// draining that cell's shards.
+/// (`None` when snapshots are disabled) and, under `--profile`, the cell's
+/// execution profile. Shared read-only by every worker draining that
+/// cell's shards.
 #[derive(Clone)]
 struct PreparedGolden {
     golden: Arc<Golden>,
     snapshots: Option<Arc<SnapshotSet>>,
+    /// Execution profile of the cell's fault-free run (`None` when
+    /// profiling is disabled). Deterministic in `(workload, config)`.
+    profile: Option<Arc<Profile>>,
 }
 
 /// Pool-wide golden cache, keyed by [`CellSpec::golden_key`]. One golden
@@ -342,14 +356,16 @@ struct PreparedGolden {
 /// executor threads exactly as the in-process pool does.
 pub struct GoldenCache {
     snapshots_enabled: bool,
+    profile_enabled: bool,
     prepared: Mutex<HashMap<String, Result<PreparedGolden, String>>>,
 }
 
 impl GoldenCache {
     /// An empty cache; `snapshots_enabled` decides whether prepared
-    /// goldens carry fast-forward snapshot sets.
-    pub fn new(snapshots_enabled: bool) -> GoldenCache {
-        GoldenCache { snapshots_enabled, prepared: Mutex::new(HashMap::new()) }
+    /// goldens carry fast-forward snapshot sets, `profile_enabled` whether
+    /// they carry execution profiles.
+    pub fn new(snapshots_enabled: bool, profile_enabled: bool) -> GoldenCache {
+        GoldenCache { snapshots_enabled, profile_enabled, prepared: Mutex::new(HashMap::new()) }
     }
 
     fn get(&self, cell: &CellSpec, image: &Image) -> Result<PreparedGolden, String> {
@@ -359,7 +375,8 @@ impl GoldenCache {
         }
         // Computed outside the lock: two workers may race on a fresh key,
         // but the first insert wins and both use the same prepared golden.
-        let computed = prepare_golden(image, &cell.config, self.snapshots_enabled);
+        let computed =
+            prepare_golden(image, &cell.config, self.snapshots_enabled, self.profile_enabled);
         let mut map = self.prepared.lock().expect("golden cache poisoned");
         map.entry(key).or_insert(computed).clone()
     }
@@ -384,6 +401,10 @@ pub struct UnitRun {
     /// The cell's golden run, when it was computable (present even for
     /// shard-level failures so callers can still assemble partial reports).
     pub golden: Option<Golden>,
+    /// The cell's execution profile, when the shared cache collects them
+    /// (every unit of a cell carries the same `Arc`'d profile; the store
+    /// writer persists it once per cell).
+    pub profile: Option<Arc<Profile>>,
     /// Serialized forensics bundles captured for this unit.
     pub forensics: Vec<Json>,
     /// Trials that warranted a bundle (may exceed `forensics.len()` when
@@ -420,6 +441,7 @@ impl UnitExecutor {
         UnitRun {
             tallies,
             golden: run.golden,
+            profile: run.profile,
             forensics: run.forensics,
             forensics_wanted: run.forensics_wanted,
         }
@@ -456,17 +478,29 @@ fn prepare_golden(
     image: &Image,
     config: &RunConfig,
     snapshots: bool,
+    profile: bool,
 ) -> Result<PreparedGolden, String> {
     let run = catch_unwind(AssertUnwindSafe(|| {
-        if snapshots {
+        let mut prepared = if snapshots {
             SnapshotSet::capture(image, config).map(|(golden, set)| PreparedGolden {
                 golden: Arc::new(golden),
                 snapshots: Some(Arc::new(set)),
-            })
+                profile: None,
+            })?
         } else {
-            golden_run(image, config)
-                .map(|golden| PreparedGolden { golden: Arc::new(golden), snapshots: None })
+            golden_run(image, config).map(|golden| PreparedGolden {
+                golden: Arc::new(golden),
+                snapshots: None,
+                profile: None,
+            })?
+        };
+        if profile {
+            // One extra fault-free run with the execution profiler
+            // attached; deterministic, so every worker racing on this key
+            // computes the identical profile.
+            prepared.profile = Some(Arc::new(profile_dbt(image, config).1));
         }
+        Ok::<_, WorkloadError>(prepared)
     }));
     match run {
         Ok(Ok(prepared)) => Ok(prepared),
@@ -491,9 +525,15 @@ fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
 /// along in each bundle's event, so truncation is visible.
 const MAX_FORENSICS_PER_SHARD: usize = 8;
 
+/// Flight-recorder window: the recent events attached to each forensics
+/// bundle event (enough context to see the shards and retries leading up
+/// to an SDC/timeout without unbounded history).
+const FLIGHT_WINDOW: usize = 64;
+
 struct ShardRun {
     outcome: ShardOutcome,
     golden: Option<Golden>,
+    profile: Option<Arc<Profile>>,
     forensics: Vec<Json>,
     forensics_wanted: u64,
 }
@@ -508,6 +548,7 @@ fn run_shard(
     let failed = |message: String, golden: Option<Golden>| ShardRun {
         outcome: ShardOutcome::Failed(message),
         golden,
+        profile: None,
         forensics: Vec::new(),
         forensics_wanted: 0,
     };
@@ -519,7 +560,7 @@ fn run_shard(
         Ok(p) => p,
         Err(e) => return failed(e, None),
     };
-    let PreparedGolden { golden, snapshots } = prepared;
+    let PreparedGolden { golden, snapshots, profile } = prepared;
     let snaps = snapshots.as_deref();
     let campaign = cell.campaign();
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -551,6 +592,7 @@ fn run_shard(
             ShardRun {
                 outcome: ShardOutcome::Ok(Box::new(ShardTallies::from_report(&report))),
                 golden: Some((*golden).clone()),
+                profile,
                 forensics: bundles,
                 forensics_wanted: wanted.len() as u64,
             }
@@ -601,8 +643,17 @@ pub fn run_matrix(
     // Cell goldens observed during this run (from workers) — saves the
     // main thread recomputing them for report assembly.
     let mut goldens: BTreeMap<usize, Golden> = BTreeMap::new();
-    let golden_cache = Arc::new(GoldenCache::new(options.snapshots));
+    let golden_cache = Arc::new(GoldenCache::new(options.snapshots, options.profile));
     let mut retried_attempts = 0u64;
+
+    // The always-on flight recorder tees in front of the configured sink
+    // (or stands alone when telemetry is off), so anomaly paths can attach
+    // the recent-event window without changing what downstream sees.
+    let flight = Arc::new(match options.telemetry.sink() {
+        Some(inner) => FlightRecorder::tee(FLIGHT_WINDOW, inner),
+        None => FlightRecorder::new(FLIGHT_WINDOW),
+    });
+    let telemetry = Telemetry::to(Arc::clone(&flight) as Arc<dyn EventSink>);
 
     let threads = options.resolved_threads().min(to_run.max(1)).max(1);
     if to_run > 0 {
@@ -637,6 +688,7 @@ pub fn run_matrix(
                             outcome,
                             attempt_errors,
                             golden: run.golden,
+                            profile: run.profile,
                             forensics: run.forensics,
                             forensics_wanted: run.forensics_wanted,
                         };
@@ -660,18 +712,35 @@ pub fn run_matrix(
                     outcome,
                     attempt_errors,
                     golden,
+                    profile,
                     forensics,
                     forensics_wanted,
                 } = done;
                 if let (Some(g), false) = (golden, goldens.contains_key(&task.cell)) {
                     goldens.insert(task.cell, g);
                 }
+                if let Some(p) = profile {
+                    // Idempotent: only the first shard of a cell (and only
+                    // on a run that doesn't already hold the record) writes.
+                    let cell_key = cells_ref[task.cell].key();
+                    if store.append_profile(&cell_key, &p)? {
+                        telemetry.emit_with(|| {
+                            let t = p.totals();
+                            Event::new("profile")
+                                .str("cell", &cell_key)
+                                .u64("blocks", p.num_blocks() as u64)
+                                .u64("payload_cycles", t.payload)
+                                .u64("instr_cycles", t.instr())
+                                .u64("other_cycles", t.other)
+                        });
+                    }
+                }
                 let done_attempts = attempt_errors.len() as u64 + 1;
                 // Failed attempts that were retried: visible in telemetry
                 // (one shard_failed per attempt), never in the store.
                 for (attempt, err) in attempt_errors.iter().enumerate() {
                     retried_attempts += 1;
-                    options.telemetry.emit_with(|| {
+                    telemetry.emit_with(|| {
                         Event::new("shard_failed")
                             .str("shard", &key)
                             .str("error", err)
@@ -689,7 +758,7 @@ pub fn run_matrix(
                 match outcome {
                     ShardOutcome::Ok(tallies) => {
                         store.append_ok(&key, *tallies)?;
-                        options.telemetry.emit_with(|| {
+                        telemetry.emit_with(|| {
                             Event::new("shard_done")
                                 .str("shard", &key)
                                 .u64("done", received as u64)
@@ -703,7 +772,7 @@ pub fn run_matrix(
                     ShardOutcome::Failed(err) => {
                         failed += 1;
                         store.append_failed(&key, &err)?;
-                        options.telemetry.emit_with(|| {
+                        telemetry.emit_with(|| {
                             Event::new("shard_failed")
                                 .str("shard", &key)
                                 .str("error", &err)
@@ -716,11 +785,17 @@ pub fn run_matrix(
                     }
                 }
                 for bundle in forensics {
+                    // SDC/timeout forensics carry the flight-recorder
+                    // window: the recent events leading up to the anomaly.
+                    // Emitted past the recorder (straight to the configured
+                    // sink) so windows never nest inside later windows.
                     options.telemetry.emit_with(|| {
                         Event::new("forensics")
                             .str("shard", &key)
                             .u64("wanted", forensics_wanted)
                             .json("bundle", bundle)
+                            .u64("flight_dropped", flight.dropped())
+                            .json("window", flight.recent_json())
                     });
                 }
                 progress.update(received, failed, to_run);
@@ -750,7 +825,7 @@ pub fn run_matrix(
             ("wall_ms", Json::UInt(wall_ms)),
         ],
     )?;
-    options.telemetry.emit_with(|| {
+    telemetry.emit_with(|| {
         Event::new("run_done")
             .str("run_id", run_id)
             .u64("executed", to_run as u64)
@@ -758,8 +833,10 @@ pub fn run_matrix(
             .u64("retried", retried_attempts)
             .u64("threads", threads as u64)
             .u64("wall_ms", wall_ms)
+            .u64("flight_recorded", flight.recorded())
+            .u64("flight_dropped", flight.dropped())
     });
-    options.telemetry.emit_with(|| {
+    telemetry.emit_with(|| {
         // No float type in the event subset: the rate rides as millitrials
         // per second (trials_per_sec × 1000).
         Event::new("campaign_perf")
@@ -834,7 +911,7 @@ fn assemble_cell(
         None => match cell
             .workload
             .image()
-            .and_then(|img| prepare_golden(&img, &cell.config, false))
+            .and_then(|img| prepare_golden(&img, &cell.config, false, false))
             .map(|p| (*p.golden).clone())
         {
             Ok(g) => Some(g),

@@ -18,6 +18,7 @@
 //!  "lat":[[hist|null × 6 in Outcome::ALL order] × 7 in Category::ALL order]}
 //! {"shard":"<cell key>#<shard index>","error":"…"}
 //! {"meta":"run", …}
+//! {"meta":"profile","cell":"<cell key>","profile":{…}}
 //! ```
 //!
 //! Histograms use the sparse `cfed_telemetry::Histogram` form
@@ -26,7 +27,11 @@
 //! treated as done, so a resume retries them. Meta records carry run-level
 //! telemetry (wall-clock, thread count); they are ignored when loading, so
 //! reports derive exclusively from shard tallies and stay byte-identical
-//! across kill/resume.
+//! across kill/resume. The one exception is the `profile` meta kind: a
+//! cell's execution profile is a deterministic function of `(workload,
+//! configuration)`, so it is persisted at most once per cell
+//! ([`CampaignStore::append_profile`] is idempotent across kill/resume)
+//! and its record bytes are identical for any thread count.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -35,7 +40,7 @@ use std::path::{Path, PathBuf};
 
 use cfed_core::Category;
 use cfed_fault::{CampaignReport, CategoryStats, Golden, LatencyGrid};
-use cfed_telemetry::Histogram;
+use cfed_telemetry::{Histogram, Profile};
 
 use crate::json::{obj, parse, Json};
 
@@ -234,8 +239,21 @@ pub struct CampaignStore {
     pub done: BTreeMap<String, ShardTallies>,
     /// Shards whose last persisted record is a failure (retried on resume).
     pub failed: BTreeMap<String, String>,
+    /// Per-cell execution profiles, by cell key (at most one per cell).
+    pub profiles: BTreeMap<String, Profile>,
     /// Whether the store resumed an existing file.
     pub resumed: bool,
+}
+
+/// Everything [`CampaignStore::load`] recovers from an existing store body.
+struct Loaded {
+    header: StoreHeader,
+    done: BTreeMap<String, ShardTallies>,
+    failed: BTreeMap<String, String>,
+    profiles: BTreeMap<String, Profile>,
+    /// Byte length of the valid prefix (everything before a possible
+    /// truncated final line).
+    valid_bytes: usize,
 }
 
 impl CampaignStore {
@@ -248,6 +266,7 @@ impl CampaignStore {
             writer: None,
             done: BTreeMap::new(),
             failed: BTreeMap::new(),
+            profiles: BTreeMap::new(),
             resumed: false,
         }
     }
@@ -273,6 +292,7 @@ impl CampaignStore {
                 writer: Some(writer),
                 done: BTreeMap::new(),
                 failed: BTreeMap::new(),
+                profiles: BTreeMap::new(),
                 resumed: false,
             });
         }
@@ -281,7 +301,8 @@ impl CampaignStore {
         File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let (found, done, failed, valid_bytes) = Self::load(&text, path)?;
+        let Loaded { header: found, done, failed, profiles, valid_bytes } =
+            Self::load(&text, path)?;
         if found != *header {
             return Err(format!(
                 "store {} belongs to a different campaign \
@@ -313,24 +334,20 @@ impl CampaignStore {
             writer: Some(writer),
             done,
             failed,
+            profiles,
             resumed: true,
         })
     }
 
-    /// Parses an existing store body: the header, the shard records, and
-    /// the byte length of the valid prefix (everything up to a possible
-    /// truncated final line). Meta records are skipped.
-    #[allow(clippy::type_complexity)]
-    fn load(
-        text: &str,
-        path: &Path,
-    ) -> Result<
-        (StoreHeader, BTreeMap<String, ShardTallies>, BTreeMap<String, String>, usize),
-        String,
-    > {
+    /// Parses an existing store body: the header, the shard records, the
+    /// per-cell profiles, and the byte length of the valid prefix
+    /// (everything up to a possible truncated final line). Other meta
+    /// records are skipped.
+    fn load(text: &str, path: &Path) -> Result<Loaded, String> {
         let mut header = None;
         let mut done = BTreeMap::new();
         let mut failed: BTreeMap<String, String> = BTreeMap::new();
+        let mut profiles: BTreeMap<String, Profile> = BTreeMap::new();
         let mut valid_bytes = 0usize;
         let mut offset = 0usize;
         while offset < text.len() {
@@ -364,7 +381,20 @@ impl CampaignStore {
                 if header.is_none() {
                     header = Some(StoreHeader::from_json(&value)?);
                 } else if value.get("meta").is_some() {
-                    // Run-level telemetry: never part of the tallies.
+                    // Run-level telemetry: never part of the tallies. The
+                    // profile kind is loaded so resumes stay idempotent.
+                    if value.get("meta").and_then(Json::as_str) == Some("profile") {
+                        let cell = value.get("cell").and_then(Json::as_str).ok_or_else(|| {
+                            format!("profile record missing cell in {}", path.display())
+                        })?;
+                        let profile = value
+                            .get("profile")
+                            .ok_or_else(|| {
+                                format!("profile record missing profile in {}", path.display())
+                            })
+                            .and_then(Profile::from_json)?;
+                        profiles.insert(cell.to_string(), profile);
+                    }
                 } else {
                     let key = value
                         .get("shard")
@@ -385,7 +415,7 @@ impl CampaignStore {
         let Some(header) = header else {
             return Err(format!("store {} has no header line", path.display()));
         };
-        Ok((header, done, failed, valid_bytes))
+        Ok(Loaded { header, done, failed, profiles, valid_bytes })
     }
 
     fn append_line(&mut self, line: &str) -> Result<(), String> {
@@ -419,6 +449,27 @@ impl CampaignStore {
         Ok(())
     }
 
+    /// Persists a cell's execution profile as a `{"meta":"profile",…}`
+    /// record, at most once per cell: a repeat append for a cell the store
+    /// already holds (including from a resumed file) is a no-op, so the
+    /// persisted record set — and its bytes, profiles being deterministic —
+    /// is identical across thread counts and kill/resume. Returns whether
+    /// the record was written.
+    pub fn append_profile(&mut self, cell_key: &str, profile: &Profile) -> Result<bool, String> {
+        if self.profiles.contains_key(cell_key) {
+            return Ok(false);
+        }
+        let line = obj(vec![
+            ("meta", Json::Str("profile".to_string())),
+            ("cell", Json::Str(cell_key.to_string())),
+            ("profile", profile.to_json()),
+        ])
+        .render();
+        self.append_line(&line)?;
+        self.profiles.insert(cell_key.to_string(), profile.clone());
+        Ok(true)
+    }
+
     /// Persists a run-level meta record (`{"meta":kind, …}`). Meta records
     /// are ignored when loading, so wall-clock timings and other
     /// environment-dependent measurements never leak into resumed tallies.
@@ -449,8 +500,24 @@ pub fn read_store(
     File::open(path)
         .and_then(|mut f| f.read_to_string(&mut text))
         .map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let (header, done, failed, _valid_bytes) = CampaignStore::load(&text, path)?;
+    let Loaded { header, done, failed, .. } = CampaignStore::load(&text, path)?;
     Ok((header, done, failed))
+}
+
+/// Reads the per-cell execution profiles (`{"meta":"profile",…}` records)
+/// from a store file — the `cfed-campaign profile` report path. A truncated
+/// final line is tolerated, matching resume semantics.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or a record is malformed.
+pub fn read_profiles(path: &Path) -> Result<BTreeMap<String, Profile>, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let Loaded { profiles, .. } = CampaignStore::load(&text, path)?;
+    Ok(profiles)
 }
 
 /// Reads the `{"meta":kind, …}` records of one kind from a store file, in
@@ -608,6 +675,35 @@ mod tests {
         assert_eq!(found, header());
         assert_eq!(done["cell#0"], tallies(2));
         assert!(failed.is_empty());
+    }
+
+    #[test]
+    fn profile_records_are_idempotent_and_survive_resume() {
+        use cfed_telemetry::BlockProfile;
+        let path = tmp("profile");
+        let mut profile = Profile::new();
+        profile.record_block(
+            0x100,
+            BlockProfile { hits: 3, payload_cycles: 30, head_cycles: 6, tail_cycles: 3 },
+        );
+        profile.record_other(7);
+
+        let mut store = CampaignStore::open(&path, &header()).unwrap();
+        assert!(store.append_profile("cell", &profile).unwrap());
+        assert!(!store.append_profile("cell", &profile).unwrap(), "second append is a no-op");
+        drop(store);
+
+        let mut store = CampaignStore::open(&path, &header()).unwrap();
+        assert_eq!(store.profiles["cell"], profile);
+        assert!(!store.append_profile("cell", &profile).unwrap(), "resume keeps idempotency");
+        drop(store);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"meta\":\"profile\"").count(), 1);
+        assert_eq!(read_profiles(&path).unwrap()["cell"], profile);
+        // Profile records are meta: they never influence tallies.
+        let (_, done, _) = read_store(&path).unwrap();
+        assert!(done.is_empty());
     }
 
     #[test]

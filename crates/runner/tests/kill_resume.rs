@@ -159,3 +159,73 @@ fn resume_under_different_thread_count_is_identical() {
             .unwrap();
     assert_summaries_equal(&a, &b);
 }
+
+/// Renders every persisted profile to its canonical JSON line, cell key
+/// first — the byte-level identity the profiler promises.
+fn profile_bytes(path: &std::path::Path) -> String {
+    cfed_runner::read_profiles(path)
+        .unwrap()
+        .iter()
+        .map(|(cell, p)| format!("{cell} {}\n", p.to_json().render()))
+        .collect()
+}
+
+/// The sampling profiler rides the same determinism contract as the
+/// tallies: per-cell profiles persisted by a single-threaded run, a
+/// many-threaded run, and a killed-then-resumed run are byte-identical.
+#[test]
+fn profiles_are_byte_identical_across_threads_and_kill_resume() {
+    let m = matrix();
+    let opts = |threads, max_shards| RunnerOptions {
+        threads,
+        max_shards,
+        profile: true,
+        ..Default::default()
+    };
+
+    let path_a = tmp("prof-a");
+    let a = run_matrix(&m, "kr", Some(&path_a), &opts(1, None)).unwrap();
+    assert!(a.complete());
+    let reference = profile_bytes(&path_a);
+    // One profile per cell (3 techniques × 1 style × 1 policy), none empty.
+    assert_eq!(reference.lines().count(), m.cells().len());
+    for p in cfed_runner::read_profiles(&path_a).unwrap().values() {
+        assert!(!p.is_empty());
+        assert!(p.totals().total() > 0);
+    }
+
+    let path_b = tmp("prof-b");
+    let b = run_matrix(&m, "kr", Some(&path_b), &opts(8, None)).unwrap();
+    assert!(b.complete());
+    assert_eq!(profile_bytes(&path_b), reference, "threads must not change profile bytes");
+
+    // Kill partway, resume: the resumed run re-appends nothing for cells
+    // whose profile already landed, and the final bytes still match.
+    let path_c = tmp("prof-c");
+    let killed = run_matrix(&m, "kr", Some(&path_c), &opts(2, Some(5))).unwrap();
+    assert!(!killed.complete());
+    let resumed = run_matrix(&m, "kr", Some(&path_c), &opts(4, None)).unwrap();
+    assert!(resumed.complete());
+    assert_eq!(profile_bytes(&path_c), reference, "kill/resume must not change profile bytes");
+}
+
+/// Profiling changes what is *recorded*, never what is *measured*: the
+/// campaign tallies with profiling on are bit-identical to a run with it
+/// off, and a store written without profiling holds no profile records.
+#[test]
+fn profiling_does_not_perturb_tallies() {
+    let m = matrix();
+    let path_off = tmp("prof-off");
+    let off =
+        run_matrix(&m, "kr", Some(&path_off), &RunnerOptions { threads: 4, ..Default::default() })
+            .unwrap();
+    let on = run_matrix(
+        &m,
+        "kr",
+        None,
+        &RunnerOptions { threads: 4, profile: true, ..Default::default() },
+    )
+    .unwrap();
+    assert_summaries_equal(&off, &on);
+    assert!(cfed_runner::read_profiles(&path_off).unwrap().is_empty());
+}

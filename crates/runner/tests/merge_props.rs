@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use cfed_core::Category;
 use cfed_fault::{CampaignReport, CategoryStats, Golden, LatencyGrid, Outcome};
 use cfed_runner::report::{render_parts, summarize};
-use cfed_runner::store::{read_store, CampaignStore, ShardTallies, StoreHeader};
+use cfed_runner::store::{read_profiles, read_store, CampaignStore, ShardTallies, StoreHeader};
+use cfed_telemetry::{BlockProfile, Profile};
 use proptest::prelude::*;
 
 fn golden() -> Golden {
@@ -179,6 +180,127 @@ proptest! {
         }
         drop(store);
         assert_eq!(rendered(&path), reference);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Profile merging obeys the same algebra as report merging: any
+    /// partition of the recordings, folded in any order, accumulates to
+    /// bit-identical counters — and therefore byte-identical JSON.
+    #[test]
+    fn profile_merge_is_order_and_partition_invariant(
+        rows in proptest::collection::vec(
+            (0u64..64, 0u64..100, 0u64..10_000, 0u64..1_000, 0u64..1_000),
+            1..24,
+        ),
+        split in 0usize..24,
+        others in proptest::collection::vec(0u64..10_000, 2usize),
+    ) {
+        let block = |&(addr, hits, payload, head, tail): &(u64, u64, u64, u64, u64)| {
+            (addr, BlockProfile {
+                hits,
+                payload_cycles: payload,
+                head_cycles: head,
+                tail_cycles: tail,
+            })
+        };
+        let mut serial = Profile::new();
+        for r in &rows {
+            let (addr, sample) = block(r);
+            serial.record_block(addr, sample);
+        }
+        serial.record_other(others[0] + others[1]);
+
+        let cut = split % rows.len();
+        let (mut a, mut b) = (Profile::new(), Profile::new());
+        for (i, r) in rows.iter().enumerate() {
+            let (addr, sample) = block(r);
+            if i < cut { a.record_block(addr, sample) } else { b.record_block(addr, sample) }
+        }
+        a.record_other(others[0]);
+        b.record_other(others[1]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &serial);
+        prop_assert_eq!(&ba, &serial);
+        prop_assert_eq!(ab.to_json().render(), serial.to_json().render());
+        prop_assert_eq!(ba.to_json().render(), serial.to_json().render());
+    }
+
+    /// Profile persistence is first-wins idempotent: however a delivery
+    /// schedule repeats and reorders per-cell profile records (worker
+    /// races, re-leases, resumed stores), the persisted set reloads
+    /// byte-identical to a clean one-append-per-cell run.
+    #[test]
+    fn store_profiles_survive_duplicate_and_out_of_order_delivery(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..64, 1u64..100, 0u64..10_000, 0u64..1_000, 0u64..1_000),
+                1..8,
+            ),
+            1..5,
+        ),
+        schedule in proptest::collection::vec(0usize..1024, 0..16),
+    ) {
+        let profiles: Vec<Profile> = cells
+            .iter()
+            .map(|rows| {
+                let mut p = Profile::new();
+                for &(addr, hits, payload, head, tail) in rows {
+                    p.record_block(addr, BlockProfile {
+                        hits,
+                        payload_cycles: payload,
+                        head_cycles: head,
+                        tail_cycles: tail,
+                    });
+                }
+                p
+            })
+            .collect();
+        let cell_key = |i: usize| format!("cell{i}");
+
+        // Reference: each cell's profile appended exactly once, in order.
+        let clean = store_path();
+        let mut store = CampaignStore::open(&clean, &header(4)).unwrap();
+        for (i, p) in profiles.iter().enumerate() {
+            prop_assert!(store.append_profile(&cell_key(i), p).unwrap());
+        }
+        drop(store);
+        let reference = read_profiles(&clean).unwrap();
+        let _ = std::fs::remove_file(&clean);
+
+        // Scrambled: duplicates and arbitrary order, stragglers last. A
+        // repeat append must report "not written".
+        let path = store_path();
+        let mut store = CampaignStore::open(&path, &header(4)).unwrap();
+        let mut seen = vec![false; profiles.len()];
+        for idx in &schedule {
+            let i = idx % profiles.len();
+            let written = store.append_profile(&cell_key(i), &profiles[i]).unwrap();
+            prop_assert_eq!(written, !seen[i]);
+            seen[i] = true;
+        }
+        for i in (0..profiles.len()).rev() {
+            if !seen[i] {
+                prop_assert!(store.append_profile(&cell_key(i), &profiles[i]).unwrap());
+            }
+        }
+        drop(store);
+        let reloaded = read_profiles(&path).unwrap();
+        prop_assert_eq!(reloaded.len(), reference.len());
+        for (key, p) in &reference {
+            prop_assert_eq!(
+                reloaded[key].to_json().render(),
+                p.to_json().render(),
+                "cell {}", key
+            );
+        }
+        // Reloading must not perturb the tallies path either.
+        let (_, done, failed) = read_store(&path).unwrap();
+        prop_assert!(done.is_empty());
+        prop_assert!(failed.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 

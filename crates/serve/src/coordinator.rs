@@ -45,7 +45,7 @@ use cfed_runner::matrix::{CampaignMatrix, CellSpec};
 use cfed_runner::retry::RetryPolicy;
 use cfed_runner::store::{CampaignStore, ShardTallies, StoreHeader};
 use cfed_telemetry::json::{obj, Json};
-use cfed_telemetry::{Event, Telemetry};
+use cfed_telemetry::{Event, EventSink, FlightRecorder, Profile, Telemetry};
 
 use crate::http::LiveView;
 use crate::proto::{matrix_to_json, read_frame, tag, write_frame};
@@ -54,6 +54,12 @@ use crate::stats::ServeStats;
 /// Expired leases a worker may accumulate before the coordinator stops
 /// leasing to it (its connection stays open for late results).
 pub const MAX_STRIKES: u32 = 2;
+
+/// Flight-recorder window: the scheduler's telemetry is teed through a
+/// bounded ring of this many recent events, dumped (as a `flight_dump`
+/// event straight to the configured sink, bypassing the ring so windows
+/// never nest) on SIGINT drain, worker loss mid-unit, and quarantine.
+const FLIGHT_WINDOW: usize = 64;
 
 /// One phase of a campaign: a matrix persisted to its own store file.
 #[derive(Debug, Clone)]
@@ -275,6 +281,13 @@ impl Coordinator {
             Arc::clone(&self.shutdown),
         );
 
+        // Always-on flight recorder: tee in front of the configured sink
+        // (or stand alone when telemetry is off) so anomaly paths can dump
+        // the recent-event window without changing what downstream sees.
+        let flight = Arc::new(match self.options.telemetry.sink() {
+            Some(inner) => FlightRecorder::tee(FLIGHT_WINDOW, inner),
+            None => FlightRecorder::new(FLIGHT_WINDOW),
+        });
         let mut state = SchedulerState {
             workers: HashMap::new(),
             run_id: run_id.to_string(),
@@ -282,6 +295,8 @@ impl Coordinator {
             live: Arc::clone(&self.live),
             stats_total: ServeStats::default(),
             stopped: false,
+            telemetry: Telemetry::to(Arc::clone(&flight) as Arc<dyn EventSink>),
+            flight,
         };
         let stop_flag = stop.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
 
@@ -369,6 +384,9 @@ struct SchedulerState {
     live: Arc<LiveView>,
     stats_total: ServeStats,
     stopped: bool,
+    /// Scheduler events routed through the flight-recorder tee.
+    telemetry: Telemetry,
+    flight: Arc<FlightRecorder>,
 }
 
 /// Everything one phase needs while its scheduler loop runs.
@@ -467,6 +485,9 @@ impl SchedulerState {
         while phase.remaining > 0 {
             if stop.load(Ordering::Relaxed) && !self.stopped {
                 self.stopped = true;
+                // Straight to the configured sink (not through the ring):
+                // the window must never contain earlier windows.
+                self.options.telemetry.emit_with(|| self.flight.dump_event("sigint"));
                 if !self.options.quiet {
                     eprintln!(
                         "cfed-serve: stop requested — draining {} in-flight unit(s)",
@@ -486,13 +507,20 @@ impl SchedulerState {
                 Err(RecvTimeoutError::Disconnected) => break,
             }
             self.expire(&mut phase)?;
+            // Keep `/progress` and `/metrics` current mid-phase: publish
+            // run-so-far counters (prior phases + this one) and the
+            // per-worker in-flight lease counts every loop tick.
+            let mut live_stats = self.stats_total.clone();
+            live_stats.absorb(&phase.stats);
+            self.live.set_stats(live_stats);
+            self.publish_inflight();
         }
 
         // Phase accounting: persist the service counters as a meta record
         // (invisible to the report) and emit the serve_stats event.
         let stats = phase.stats.clone();
         phase.store.append_meta("serve_stats", stats.to_meta_fields())?;
-        self.options.telemetry.emit_with(|| stats.to_event());
+        self.telemetry.emit_with(|| stats.to_event());
         self.stats_total.absorb(&stats);
         self.live.set_stats(self.stats_total.clone());
         let done_units = phase.store.done.len() as u64;
@@ -640,10 +668,45 @@ impl SchedulerState {
                 phase.stats.events_forwarded += 1;
                 let worker = self.workers.get(&conn).map_or("?", |w| w.name.as_str()).to_string();
                 let payload = frame.get("ev").cloned().unwrap_or(Json::Null);
-                self.options.telemetry.emit_with(|| {
+                self.live.record_event(&worker, payload.clone());
+                self.telemetry.emit_with(|| {
                     Event::new("worker_event").str("worker", &worker).json("event", payload)
                 });
                 Ok(())
+            }
+            "profile" => {
+                // First worker to finish a unit of a cell ships the cell's
+                // execution profile; the store append is idempotent, so
+                // duplicates from other workers (profiles are deterministic
+                // functions of the cell) change nothing.
+                let cell = frame.get("cell").and_then(Json::as_str).unwrap_or("").to_string();
+                if !phase.cells.iter().any(|c| c.key() == cell) {
+                    return Ok(()); // unknown cell: stale or corrupt frame
+                }
+                let Some(payload) = frame.get("profile") else { return Ok(()) };
+                match Profile::from_json(payload) {
+                    Ok(profile) => {
+                        if phase.store.append_profile(&cell, &profile)? {
+                            self.live.record_profile(&profile.totals());
+                            self.telemetry.emit_with(|| {
+                                let t = profile.totals();
+                                Event::new("profile")
+                                    .str("cell", &cell)
+                                    .u64("blocks", profile.num_blocks() as u64)
+                                    .u64("payload_cycles", t.payload)
+                                    .u64("instr_cycles", t.instr())
+                                    .u64("other_cycles", t.other)
+                            });
+                        }
+                        Ok(())
+                    }
+                    Err(e) => {
+                        if !self.options.quiet {
+                            eprintln!("cfed-serve: bad profile frame for {cell}: {e}");
+                        }
+                        Ok(())
+                    }
+                }
             }
             "bye" => {
                 if let Some(worker) = self.workers.get_mut(&conn) {
@@ -708,7 +771,7 @@ impl SchedulerState {
         self.live.record_done(&key, tallies);
         let done = phase.store.done.len() as u64;
         let total = phase.total;
-        self.options.telemetry.emit_with(|| {
+        self.telemetry.emit_with(|| {
             Event::new("shard_done").str("shard", &key).u64("done", done).u64("of", total)
         });
         Ok(())
@@ -731,7 +794,7 @@ impl SchedulerState {
         };
         if self.options.retry.allows(attempts) {
             phase.stats.retried += 1;
-            self.options.telemetry.emit_with(|| {
+            self.telemetry.emit_with(|| {
                 Event::new("shard_failed")
                     .str("shard", key)
                     .str("error", error)
@@ -752,7 +815,7 @@ impl SchedulerState {
             phase.store.append_failed(key, error)?;
             phase.remaining -= 1;
             self.live.record_failed(key, error);
-            self.options.telemetry.emit_with(|| {
+            self.telemetry.emit_with(|| {
                 Event::new("shard_failed")
                     .str("shard", key)
                     .str("error", error)
@@ -767,8 +830,20 @@ impl SchedulerState {
     fn worker_gone(&mut self, conn: usize, phase: &mut PhaseRun) -> Result<(), String> {
         let Some(worker) = self.workers.get_mut(&conn) else { return Ok(()) };
         worker.alive = false;
+        let name = worker.name.clone();
         let lost: Vec<String> = std::mem::take(&mut worker.inflight);
         self.publish_worker_count();
+        if !lost.is_empty() {
+            // A worker died mid-unit (killed, crashed, or cut off): dump
+            // the recent-event window past the recorder so the forensics
+            // trail survives even though the worker itself cannot report.
+            self.options.telemetry.emit_with(|| {
+                self.flight
+                    .dump_event("worker_lost")
+                    .str("worker", &name)
+                    .u64("lost_leases", lost.len() as u64)
+            });
+        }
         for key in lost {
             if phase.leases.remove(&key).is_some() {
                 phase.stats.expired += 1;
@@ -794,11 +869,17 @@ impl SchedulerState {
             if let Some(worker) = self.workers.get_mut(&lease.conn) {
                 worker.inflight.retain(|k| k != &key);
                 worker.strikes += 1;
-                if worker.strikes == MAX_STRIKES && !self.options.quiet {
-                    eprintln!(
-                        "cfed-serve: worker {} quarantined after {} expired leases",
-                        worker.name, worker.strikes
-                    );
+                if worker.strikes == MAX_STRIKES {
+                    phase.stats.quarantined += 1;
+                    self.options.telemetry.emit_with(|| {
+                        self.flight.dump_event("quarantine").str("worker", &worker.name)
+                    });
+                    if !self.options.quiet {
+                        eprintln!(
+                            "cfed-serve: worker {} quarantined after {} expired leases",
+                            worker.name, worker.strikes
+                        );
+                    }
                 }
             }
             self.retry_or_fail(phase, &key, "lease expired")?;
@@ -808,6 +889,18 @@ impl SchedulerState {
 
     fn publish_worker_count(&self) {
         self.live.set_workers(self.workers.values().filter(|w| w.hello && w.alive).count());
+    }
+
+    /// Mirrors per-worker outstanding-lease counts into the live view
+    /// (`/progress` and the `cfed_worker_inflight` gauge).
+    fn publish_inflight(&self) {
+        let inflight = self
+            .workers
+            .values()
+            .filter(|w| w.hello && w.alive)
+            .map(|w| (w.name.clone(), w.inflight.len() as u64))
+            .collect();
+        self.live.set_inflight(inflight);
     }
 }
 

@@ -40,6 +40,9 @@ pub struct ServeStats {
     /// Result frames for units already in the store (late or duplicate
     /// delivery; dropped without a second append).
     pub duplicates: u64,
+    /// Workers quarantined after accumulating the strike limit of expired
+    /// leases.
+    pub quarantined: u64,
     /// Worker telemetry events re-emitted by the coordinator.
     pub events_forwarded: u64,
     /// Events workers dropped at their bounded outbound queue.
@@ -65,6 +68,7 @@ impl ServeStats {
         self.expired += other.expired;
         self.failed += other.failed;
         self.duplicates += other.duplicates;
+        self.quarantined += other.quarantined;
         self.events_forwarded += other.events_forwarded;
         self.events_dropped += other.events_dropped;
         for (name, w) in &other.workers {
@@ -94,6 +98,7 @@ impl ServeStats {
             ("expired", Json::UInt(self.expired)),
             ("failed", Json::UInt(self.failed)),
             ("duplicates", Json::UInt(self.duplicates)),
+            ("quarantined", Json::UInt(self.quarantined)),
             ("events_forwarded", Json::UInt(self.events_forwarded)),
             ("events_dropped", Json::UInt(self.events_dropped)),
             ("workers", Json::Arr(workers)),
@@ -145,6 +150,7 @@ impl ServeStats {
             expired: num("expired"),
             failed: num("failed"),
             duplicates: num("duplicates"),
+            quarantined: num("quarantined"),
             events_forwarded: num("events_forwarded"),
             events_dropped: num("events_dropped"),
             workers,
@@ -165,14 +171,23 @@ impl ServeStats {
             self.events_forwarded, self.events_dropped
         );
         for (name, w) in &self.workers {
-            let p = |q: f64| w.latency_ms.percentile(q).unwrap_or(0);
+            // A worker with zero recorded units has no latency data: render
+            // "–" rather than a fabricated 0ms percentile.
+            let p = |q: f64| match w.latency_ms.percentile(q) {
+                Some(v) => format!("{v}ms"),
+                None => "–".to_string(),
+            };
+            let max = match w.latency_ms.max() {
+                Some(v) => format!("{v}ms"),
+                None => "–".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "  worker {name}: {} units, unit latency p50<={}ms p99<={}ms max={}ms",
+                "  worker {name}: {} units, unit latency p50<={} p99<={} max={}",
                 w.units,
                 p(0.50),
                 p(0.99),
-                w.latency_ms.max().unwrap_or(0)
+                max
             );
         }
         out
@@ -203,6 +218,19 @@ mod tests {
         let text = back.render();
         assert!(text.contains("worker w0"), "{text}");
         assert!(text.contains("p99<="), "{text}");
+    }
+
+    #[test]
+    fn zero_unit_worker_renders_dashes_not_zeros() {
+        let mut s = ServeStats::default();
+        // A worker that joined but completed nothing: percentile(q) has no
+        // samples, so the report must show "–", never a fabricated 0ms.
+        s.workers.insert("idle".to_string(), WorkerStats::default());
+        s.record_unit("busy", 12);
+        let text = s.render();
+        assert!(text.contains("worker idle: 0 units, unit latency p50<=– p99<=– max=–"), "{text}");
+        assert!(text.contains("worker busy: 1 units"), "{text}");
+        assert!(!text.contains("p50<=0ms"), "{text}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! [`ChannelSink`]: a slow coordinator link drops events (counted,
 //! reported on every result frame) rather than stalling execution.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::TcpStream;
 use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use cfed_runner::matrix::{CellSpec, ShardTask};
 use cfed_runner::pool::{GoldenCache, UnitExecutor};
 use cfed_telemetry::json::{obj, Json};
-use cfed_telemetry::{ChannelSink, Event, EventSink};
+use cfed_telemetry::{ChannelSink, Event, EventSink, Profile};
 
 use crate::proto::{matrix_from_json, read_frame, tag, write_frame};
 
@@ -39,6 +39,11 @@ pub struct WorkerOptions {
     pub threads: usize,
     /// Whether golden runs carry snapshot fast-forward sets.
     pub snapshots: bool,
+    /// Whether golden preparation also runs the sampling profiler, shipping
+    /// one per-cell execution profile back to the coordinator (first worker
+    /// to finish a unit of the cell wins; profiles are deterministic, so
+    /// which worker sends it cannot change the stored bytes).
+    pub profile: bool,
     /// Capacity of the bounded outbound telemetry queue; overflow is
     /// dropped and counted, never blocking unit execution.
     pub event_queue: usize,
@@ -53,6 +58,7 @@ impl Default for WorkerOptions {
             name: String::new(),
             threads: 0,
             snapshots: true,
+            profile: true,
             event_queue: 1024,
             quiet: false,
         }
@@ -95,8 +101,17 @@ enum WorkerMsg {
     Frame(Json),
     /// The coordinator connection closed or failed.
     Disconnected(String),
-    /// An executor thread finished a unit.
-    Done { phase: u64, key: String, ms: u64, outcome: Result<Json, String> },
+    /// An executor thread finished a unit. `profile` carries the cell's
+    /// execution profile when profiling is on; the main loop forwards it
+    /// at most once per `(phase, cell)`.
+    Done {
+        phase: u64,
+        cell: usize,
+        key: String,
+        ms: u64,
+        outcome: Result<Json, String>,
+        profile: Option<Arc<Profile>>,
+    },
 }
 
 /// Connects to the coordinator and serves until it says `bye`, the
@@ -182,7 +197,14 @@ fn serve_connection(
                 let run = executor.run(&task.ctx.cells[task.cell], task.shard);
                 let ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
                 let outcome = run.tallies.map(|t| t.to_json(&task.key));
-                let done = WorkerMsg::Done { phase: task.phase, key: task.key, ms, outcome };
+                let done = WorkerMsg::Done {
+                    phase: task.phase,
+                    cell: task.cell,
+                    key: task.key,
+                    ms,
+                    outcome,
+                    profile: run.profile,
+                };
                 if tx.send(done).is_err() {
                     break;
                 }
@@ -194,6 +216,7 @@ fn serve_connection(
     let mut write_half = stream;
     let mut summary = WorkerSummary::default();
     let mut phases: HashMap<u64, Arc<PhaseCtx>> = HashMap::new();
+    let mut profiles_sent: HashSet<(u64, usize)> = HashSet::new();
     let mut inflight: u64 = 0;
     let mut leaving = false; // bye sent or stop requested: no new leases
 
@@ -229,12 +252,33 @@ fn serve_connection(
                 }
                 break;
             }
-            WorkerMsg::Done { phase, key, ms, outcome } => {
+            WorkerMsg::Done { phase, cell, key, ms, outcome, profile } => {
                 inflight -= 1;
                 match outcome {
                     Ok(record) => {
                         summary.units_done += 1;
                         sink.emit(&Event::new("unit_done").str("unit", &key).u64("ms", ms));
+                        // Ship the cell's profile before the result frame:
+                        // if this result completes the phase, the
+                        // coordinator must still hold the phase store open
+                        // when the profile arrives.
+                        if let Some(p) = profile {
+                            if profiles_sent.insert((phase, cell)) {
+                                let cell_key = phases
+                                    .get(&phase)
+                                    .map(|ctx| ctx.cells[cell].key())
+                                    .unwrap_or_default();
+                                let frame = obj(vec![
+                                    ("t", Json::Str("profile".to_string())),
+                                    ("phase", Json::UInt(phase)),
+                                    ("cell", Json::Str(cell_key)),
+                                    ("profile", p.to_json()),
+                                ]);
+                                if write_frame(&mut write_half, &frame).is_err() {
+                                    break;
+                                }
+                            }
+                        }
                         let frame = obj(vec![
                             ("t", Json::Str("result".to_string())),
                             ("phase", Json::UInt(phase)),
@@ -281,7 +325,7 @@ fn serve_connection(
                             }
                         }
                     }
-                    "phase" => match parse_phase(&frame, options.snapshots) {
+                    "phase" => match parse_phase(&frame, options.snapshots, options.profile) {
                         Ok((index, ctx)) => {
                             phases.insert(index, Arc::new(ctx));
                         }
@@ -348,11 +392,11 @@ fn serve_connection(
 }
 
 /// Parses a `phase` frame into the worker's execution context.
-fn parse_phase(frame: &Json, snapshots: bool) -> Result<(u64, PhaseCtx), String> {
+fn parse_phase(frame: &Json, snapshots: bool, profile: bool) -> Result<(u64, PhaseCtx), String> {
     let index = frame.get("phase").and_then(Json::as_u64).ok_or("phase frame missing index")?;
     let matrix = matrix_from_json(frame.get("matrix").ok_or("phase frame missing matrix")?)?;
     let cells = matrix.cells();
-    Ok((index, PhaseCtx { cells, goldens: Arc::new(GoldenCache::new(snapshots)) }))
+    Ok((index, PhaseCtx { cells, goldens: Arc::new(GoldenCache::new(snapshots, profile)) }))
 }
 
 /// Validates a lease against the worker's own matrix reconstruction and

@@ -27,6 +27,7 @@ use cfed_runner::store::read_meta;
 use cfed_serve::proto::{read_frame, tag, write_frame};
 use cfed_serve::{work, Coordinator, CoordinatorOptions, PhasePlan, ServeStats, WorkerOptions};
 use cfed_telemetry::json::{obj, Json};
+use cfed_telemetry::{MemorySink, Telemetry};
 
 const PROGRAM: &str = r#"
     fn main() {
@@ -195,7 +196,7 @@ fn duplicate_result_delivery_is_idempotent() {
         let cell = lease.get("cell").and_then(Json::as_u64).unwrap() as usize;
         let shard = lease.get("shard").and_then(Json::as_u64).unwrap();
         let key = lease.get("key").and_then(Json::as_str).unwrap().to_string();
-        let mut executor = UnitExecutor::new(Arc::new(GoldenCache::new(true)), false);
+        let mut executor = UnitExecutor::new(Arc::new(GoldenCache::new(true, false)), false);
         let tallies = executor.run(&cells[cell], shard).tallies.unwrap();
         let result = obj(vec![
             ("t", Json::Str("result".to_string())),
@@ -287,6 +288,99 @@ fn silent_worker_is_struck_out_and_units_recover() {
     drop(silent);
 }
 
+/// Canonical byte rendering of every profile record in a store.
+fn profile_bytes(path: &std::path::Path) -> String {
+    cfed_runner::read_profiles(path)
+        .unwrap()
+        .iter()
+        .map(|(cell, p)| format!("{cell} {}\n", p.to_json().render()))
+        .collect()
+}
+
+/// Execution profiles persisted by the service — first worker to finish a
+/// unit of a cell wins the send, the coordinator appends first-delivery-
+/// wins — are byte-identical to a profiled single-process run's, because
+/// profiles are deterministic in `(workload, configuration)`.
+#[test]
+fn service_profiles_match_single_process_byte_for_byte() {
+    let dir = tmp_dir("profiles");
+    let single = dir.join("single-prof.jsonl");
+    let summary = run_matrix(
+        &matrix(),
+        "svc",
+        Some(&single),
+        &RunnerOptions { threads: 4, quiet: true, profile: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(summary.complete());
+    let reference = profile_bytes(&single);
+    assert_eq!(reference.lines().count(), matrix().cells().len(), "one profile per cell");
+
+    let store = dir.join("served.jsonl");
+    let (coord, addr) = quiet_coordinator(CoordinatorOptions::default());
+    let plans =
+        vec![PhasePlan { label: "coverage".to_string(), matrix: matrix(), store: store.clone() }];
+    let coord_thread = thread::spawn(move || coord.run("svc", &plans, None));
+    let w1 = spawn_worker(&addr, "alpha");
+    let w2 = spawn_worker(&addr, "beta");
+    w1.join().unwrap().unwrap();
+    w2.join().unwrap().unwrap();
+    let summary = coord_thread.join().unwrap().unwrap();
+    assert!(summary.complete(), "{summary:?}");
+
+    assert_eq!(profile_bytes(&store), reference, "service profiles must match single-process");
+    // Profile records are meta records: the rendered report is untouched.
+    assert_eq!(render_report(&store).unwrap(), single_process_report(&dir));
+}
+
+/// A worker that dies holding leases cannot dump its own window, so the
+/// coordinator dumps *its* flight recorder: the telemetry stream gains a
+/// `flight_dump` event naming the lost worker, with the recent-event
+/// window attached.
+#[test]
+fn lost_worker_triggers_a_coordinator_flight_dump() {
+    let dir = tmp_dir("flight");
+    let store = dir.join("served.jsonl");
+    let sink = Arc::new(MemorySink::new());
+    let (coord, addr) = quiet_coordinator(CoordinatorOptions {
+        telemetry: Telemetry::to(sink.clone()),
+        ..Default::default()
+    });
+    let plans =
+        vec![PhasePlan { label: "coverage".to_string(), matrix: matrix(), store: store.clone() }];
+    let coord_thread = thread::spawn(move || coord.run("svc", &plans, None));
+
+    // Takes a lease and vanishes mid-unit.
+    {
+        let mut doomed = TcpStream::connect(&addr).unwrap();
+        send_hello(&mut doomed, "doomed", 1);
+        recv_tagged(&mut doomed, "lease");
+        let _ = doomed.shutdown(std::net::Shutdown::Both);
+    }
+    let real = spawn_worker(&addr, "survivor");
+    real.join().unwrap().unwrap();
+    let summary = coord_thread.join().unwrap().unwrap();
+    assert!(summary.complete(), "{summary:?}");
+
+    let events = sink.events();
+    let dump = events
+        .iter()
+        .find(|e| {
+            e.kind() == "flight_dump"
+                && e.get("reason").and_then(Json::as_str) == Some("worker_lost")
+        })
+        .unwrap_or_else(|| panic!("no worker_lost flight dump in {events:?}"));
+    assert_eq!(dump.get("worker").and_then(Json::as_str), Some("doomed"));
+    assert!(dump.get("lost_leases").and_then(Json::as_u64).unwrap_or(0) >= 1, "{dump:?}");
+    assert!(
+        dump.get("window").and_then(Json::as_arr).is_some(),
+        "dump must carry the recent-event window: {dump:?}"
+    );
+    // The profiled cells also emit `profile` events through the same
+    // stream (workers profile by default).
+    assert!(events.iter().any(|e| e.kind() == "profile"), "{events:?}");
+}
+
 fn http_get(addr: &str, path: &str) -> (String, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
     write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
@@ -333,8 +427,63 @@ fn http_endpoints_serve_the_live_campaign() {
     assert!(status.contains("200"), "{status}");
     assert!(report.starts_with("run svc | seed 12648430"), "{report}");
 
+    // /metrics renders Prometheus text format: every series is preceded
+    // by its HELP/TYPE header, and no family is declared twice.
+    let (status, metrics) = http_get(&http, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert_prometheus_text_format(&metrics);
+    assert!(metrics.contains("cfed_workers 0"), "{metrics}");
+    assert!(metrics.contains("cfed_units_completed_total 0"), "{metrics}");
+    assert!(metrics.contains("cfed_metrics_scrapes_total 1"), "{metrics}");
+
+    // The scrape itself lands in the queryable event store.
+    let (status, events) = http_get(&http, "/events?kind=metrics_scrape");
+    assert!(status.contains("200"), "{status}");
+    assert!(events.contains("\"kind\":\"metrics_scrape\""), "{events}");
+    assert!(events.contains("\"worker\":\"http\""), "{events}");
+    let (_, none) = http_get(&http, "/events?kind=metrics_scrape&worker=nobody");
+    assert!(none.contains("\"events\":[]"), "{none}");
+
     let worker = spawn_worker(&addr, "probe");
     worker.join().unwrap().unwrap();
     let summary = coord_thread.join().unwrap().unwrap();
     assert!(summary.complete(), "{summary:?}");
+}
+
+/// Structural Prometheus text-format validation: `# HELP` then `# TYPE`
+/// for every family, samples only under a declared family, each family
+/// declared at most once.
+fn assert_prometheus_text_format(body: &str) {
+    let mut declared: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap().to_string();
+            assert!(!declared.contains(&name), "family {name} declared twice:\n{body}");
+            pending_help = Some(name);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap();
+            assert_eq!(pending_help.take().as_deref(), Some(name.as_str()), "TYPE without HELP");
+            assert!(["counter", "gauge", "summary"].contains(&kind), "unknown metric type {kind}");
+            declared.push(name);
+        } else {
+            assert!(!line.starts_with('#'), "unexpected comment {line}");
+            let series = line.split([' ', '{']).next().unwrap();
+            let family = declared.iter().any(|f| {
+                series == *f
+                    || series
+                        .strip_prefix(f.as_str())
+                        .is_some_and(|s| ["_sum", "_count"].contains(&s) || s.is_empty())
+            });
+            assert!(family, "sample {series} has no declared family:\n{body}");
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "non-numeric sample value in {line:?}");
+        }
+    }
+    assert!(!declared.is_empty(), "no metric families rendered:\n{body}");
 }

@@ -7,6 +7,7 @@
 
 use crate::icache::{self, DecodedCache};
 use crate::mem::PAGE_SIZE;
+use crate::profiler::ExecProfiler;
 use crate::LINES_PER_PAGE;
 use crate::{Memory, Trap};
 use cfed_isa::{flags, AluOp, Cond, CostModel, Flags, Inst, Reg, INST_SIZE_U64};
@@ -515,6 +516,38 @@ impl Cpu {
         icache: &mut DecodedCache,
         max: u64,
     ) -> Result<Step, Trap> {
+        // The scratch profiler is never touched: the `PROF = false`
+        // instantiation contains no profiling code, so this path is the
+        // exact pre-profiler loop.
+        self.run_fused_impl::<false>(mem, icache, max, &mut ExecProfiler::new())
+    }
+
+    /// As [`Cpu::run_fused`], recording every retirement's address and
+    /// cycle cost into `prof`. Architecturally identical to the unprofiled
+    /// path (the profiler observes, never influences); the per-instruction
+    /// cost is two array adds, with the counter page resolved once per
+    /// burst entry alongside the decoded page.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::run_fused`].
+    pub fn run_fused_profiled(
+        &mut self,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+        max: u64,
+        prof: &mut ExecProfiler,
+    ) -> Result<Step, Trap> {
+        self.run_fused_impl::<true>(mem, icache, max, prof)
+    }
+
+    fn run_fused_impl<const PROF: bool>(
+        &mut self,
+        mem: &mut Memory,
+        icache: &mut DecodedCache,
+        max: u64,
+        prof: &mut ExecProfiler,
+    ) -> Result<Step, Trap> {
         // Per-class cycle costs under the *current* cost model, so cached
         // lines never embed stale costs even if the model is exotic.
         let table = icache::cost_table(&self.cost);
@@ -558,6 +591,9 @@ impl Cpu {
             let page_base = pi as u64 * PAGE_SIZE;
             let gen = mem.page_gen(pi);
             let page = DecodedCache::validate_page(&mut icache.pages, &mut icache.stats, pi, gen);
+            // Profiling counter page, resolved once per burst like the
+            // decoded page. `None` (and dead code below) when `!PROF`.
+            let mut pp = PROF.then(|| prof.page_mut(pi));
             // Fused run within the validated page. The line index is masked
             // into range so the hot loop carries no bounds checks.
             let mut li = ((ip & (PAGE_SIZE - 1)) / INST_SIZE_U64) as usize;
@@ -589,7 +625,13 @@ impl Cpu {
                 // Statistics epilogue via the cached class — equivalent to
                 // the `PRE = false` epilogue inside `exec_inst_impl`
                 // (pinned by `class_table_matches_cost_model`).
-                d_cycles += table[line.class as usize][taken as usize];
+                let cost = table[line.class as usize][taken as usize];
+                d_cycles += cost;
+                if PROF {
+                    let pp = pp.as_mut().expect("PROF implies a counter page");
+                    pp.hits[li & (LINES_PER_PAGE - 1)] += 1;
+                    pp.cycles[li & (LINES_PER_PAGE - 1)] += cost;
+                }
                 if line.class >= icache::C_JMP {
                     d_branches += 1;
                     if taken || line.class != icache::C_COND {

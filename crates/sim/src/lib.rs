@@ -33,6 +33,7 @@ pub mod cpu;
 pub mod icache;
 pub mod machine;
 pub mod mem;
+pub mod profiler;
 pub mod tracer;
 pub mod trap;
 
@@ -40,5 +41,6 @@ pub use cpu::{Cpu, ExecStats, ExitReason, Step};
 pub use icache::{DecodeCacheStats, DecodedCache, LINES_PER_PAGE};
 pub use machine::{Layout, Machine, MachineSnapshot, SnapshotTracker};
 pub use mem::{Memory, Perms, PAGE_SIZE};
+pub use profiler::ExecProfiler;
 pub use tracer::{TraceEntry, Tracer};
 pub use trap::{trap_codes, Trap};

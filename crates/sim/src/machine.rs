@@ -2,6 +2,7 @@
 //! layout, with a loader for raw program images.
 
 use crate::icache::{DecodeCacheStats, DecodedCache};
+use crate::profiler::ExecProfiler;
 use crate::{Cpu, ExitReason, Memory, Perms, Step, Tracer, Trap};
 use cfed_isa::Inst;
 use std::collections::BTreeMap;
@@ -83,6 +84,11 @@ pub struct Machine {
     /// fetch+decode; see [`DecodedCache`]. [`Machine::set_decode_cache`]
     /// disables it for raw-path benchmarking and equivalence testing.
     pub icache: Option<DecodedCache>,
+    /// Optional execution profiler. When attached (and a decode cache is
+    /// present), fused runs tally per-address retirements and cycles;
+    /// detached (the default), the fused loop is the unprofiled
+    /// monomorphization and pays nothing.
+    pub profiler: Option<Box<ExecProfiler>>,
     layout: Layout,
     code_len: u64,
 }
@@ -135,9 +141,23 @@ impl Machine {
             mem,
             tracer: None,
             icache: Some(DecodedCache::new()),
+            profiler: None,
             layout,
             code_len: code.len() as u64,
         }
+    }
+
+    /// Attaches a fresh [`ExecProfiler`]; subsequent fused runs tally
+    /// per-address retirements and cycles. Never changes what the machine
+    /// computes.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Box::new(ExecProfiler::new()));
+    }
+
+    /// Detaches and returns the profiler (with everything it recorded),
+    /// reverting fused runs to the unprofiled path.
+    pub fn take_profiler(&mut self) -> Option<Box<ExecProfiler>> {
+        self.profiler.take()
     }
 
     /// Enables (with a fresh, empty cache) or disables the pre-decoded
@@ -214,9 +234,10 @@ impl Machine {
     ///
     /// The first trap raised, exactly as `max_steps` individual steps.
     pub fn run_burst(&mut self, max_steps: u64) -> Result<Step, Trap> {
-        match &mut self.icache {
-            Some(ic) => self.cpu.run_fused(&mut self.mem, ic, max_steps),
-            None => {
+        match (&mut self.icache, &mut self.profiler) {
+            (Some(ic), Some(p)) => self.cpu.run_fused_profiled(&mut self.mem, ic, max_steps, p),
+            (Some(ic), None) => self.cpu.run_fused(&mut self.mem, ic, max_steps),
+            (None, _) => {
                 let mut used = 0;
                 while used < max_steps {
                     match self.cpu.step(&mut self.mem)? {
@@ -242,9 +263,16 @@ impl Machine {
     /// Runs the CPU until halt, trap or step limit, through the decoded
     /// cache when one is attached.
     pub fn run(&mut self, max_steps: u64) -> ExitReason {
-        match &mut self.icache {
-            Some(ic) => self.cpu.run_decoded(&mut self.mem, ic, max_steps),
-            None => self.cpu.run(&mut self.mem, max_steps),
+        match (&mut self.icache, &mut self.profiler) {
+            (Some(ic), Some(p)) => {
+                match self.cpu.run_fused_profiled(&mut self.mem, ic, max_steps, p) {
+                    Ok(Step::Halt) => ExitReason::Halted { code: self.cpu.reg(cfed_isa::Reg::R0) },
+                    Ok(Step::Continue) => ExitReason::StepLimit,
+                    Err(trap) => ExitReason::Trapped(trap),
+                }
+            }
+            (Some(ic), None) => self.cpu.run_decoded(&mut self.mem, ic, max_steps),
+            (None, _) => self.cpu.run(&mut self.mem, max_steps),
         }
     }
 }
@@ -299,6 +327,7 @@ impl MachineSnapshot {
             // A fresh (empty) decode cache: caches are derived state, so
             // restoring one is never needed for bit-identical behaviour.
             icache: Some(DecodedCache::new()),
+            profiler: None,
             layout: self.layout.clone(),
             code_len: self.code_len,
         }
@@ -521,6 +550,37 @@ mod tests {
             }
             assert_eq!(incremental.mem.perms_table(), full.mem.perms_table());
         }
+    }
+
+    #[test]
+    fn profiled_run_is_architecturally_identical_and_accounts_every_cycle() {
+        use cfed_isa::AluOp;
+        let code = encode_all(&[
+            Inst::MovRI { dst: Reg::R0, imm: 5 },
+            Inst::MovRI { dst: Reg::R1, imm: 0 },
+            Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R0 },
+            Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 },
+            Inst::Jcc { cc: cfed_isa::Cond::Ne, offset: -24 },
+            Inst::Out { src: Reg::R1 },
+            Inst::Halt,
+        ]);
+        let mut plain = Machine::load(&code, &[], 0);
+        let plain_exit = plain.run(1_000);
+
+        let mut prof = Machine::load(&code, &[], 0);
+        prof.enable_profiler();
+        let prof_exit = prof.run(1_000);
+        assert_eq!(prof_exit, plain_exit);
+        assert_eq!(prof.cpu, plain.cpu, "profiling must not change architectural state");
+
+        let p = prof.take_profiler().expect("profiler attached");
+        assert_eq!(p.attributed_cycles(), prof.cpu.stats().cycles);
+        let insts: u64 = p.samples().map(|(_, hits, _)| hits).sum();
+        assert_eq!(insts, prof.cpu.stats().insts);
+        // The loop body addresses are the hottest samples.
+        let add_addr = prof.layout().code_base + 16;
+        let (_, hits, _) = p.samples().find(|&(a, _, _)| a == add_addr).expect("loop body sampled");
+        assert_eq!(hits, 5);
     }
 
     #[test]

@@ -232,6 +232,13 @@ impl Telemetry {
         self.sink.is_some()
     }
 
+    /// The attached sink, if any — lets a harness interpose (e.g. tee a
+    /// [`crate::FlightRecorder`] in front of the configured sink) without
+    /// the handle growing mutation APIs.
+    pub fn sink(&self) -> Option<Arc<dyn EventSink>> {
+        self.sink.clone()
+    }
+
     /// Emits the event built by `build` — the closure runs only when a
     /// sink is attached, so field formatting never burdens disabled runs.
     pub fn emit_with(&self, build: impl FnOnce() -> Event) {

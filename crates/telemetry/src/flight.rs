@@ -1,0 +1,217 @@
+//! An always-on bounded flight recorder: the last `capacity` telemetry
+//! events, kept as rendered JSON lines in a fixed ring, so that crash and
+//! anomaly paths (SDC/timeout forensics, coordinator SIGINT, quarantines)
+//! can dump the recent-event window without any of the cost or loss modes
+//! of an unbounded log.
+//!
+//! The hot path never blocks: each slot is guarded by its own tiny lock
+//! that writers `try_lock` — a contended slot (two writers landing on the
+//! same ring index simultaneously) drops the event and counts it instead
+//! of waiting. Ring-buffer overwrites of old events are counted separately
+//! so a dump can say how much history scrolled away.
+//!
+//! A recorder can *tee*: it records the window and forwards every event to
+//! an inner sink (e.g. the JSONL file sink), so wiring it in never changes
+//! what downstream observers see.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventSink};
+use crate::json::{parse, Json};
+
+struct Slot {
+    /// 1-based sequence number of the event held; 0 while never written.
+    seq: AtomicU64,
+    line: Mutex<String>,
+}
+
+/// Bounded ring of the most recent events, with drop/overwrite counting.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Total events accepted (ring indices are `seq % capacity`).
+    head: AtomicU64,
+    /// Events lost to slot contention (writer would have blocked).
+    contended: AtomicU64,
+    /// Accepted events whose slot has since been overwritten.
+    overwritten: AtomicU64,
+    inner: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder::build(capacity, None)
+    }
+
+    /// A recorder that also forwards every event to `inner`.
+    pub fn tee(capacity: usize, inner: Arc<dyn EventSink>) -> FlightRecorder {
+        FlightRecorder::build(capacity, Some(inner))
+    }
+
+    fn build(capacity: usize, inner: Option<Arc<dyn EventSink>>) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity)
+            .map(|_| Slot { seq: AtomicU64::new(0), line: Mutex::new(String::new()) })
+            .collect();
+        FlightRecorder {
+            slots,
+            head: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
+            inner,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events accepted into the ring.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost: overwritten by newer ones plus slot-contention drops.
+    pub fn dropped(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed) + self.contended.load(Ordering::Relaxed)
+    }
+
+    /// The recent-event window as rendered JSON lines, oldest first.
+    ///
+    /// Taken while writers may still be running the window is a best-effort
+    /// snapshot (slots mid-write are skipped); quiesced, it is exact.
+    pub fn recent(&self) -> Vec<String> {
+        let mut entries: Vec<(u64, String)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let Ok(line) = slot.line.try_lock() else { continue };
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq > 0 {
+                entries.push((seq, line.clone()));
+            }
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// The recent-event window re-parsed into a JSON array (for embedding
+    /// in forensics bundles and `flight_dump` events).
+    pub fn recent_json(&self) -> Json {
+        Json::Arr(
+            self.recent()
+                .iter()
+                .map(|line| parse(line).unwrap_or_else(|_| Json::Str(line.clone())))
+                .collect(),
+        )
+    }
+
+    /// The `flight_dump` event: why the window was dumped, the window
+    /// itself, and the recorder's loss counters.
+    pub fn dump_event(&self, reason: &str) -> Event {
+        Event::new("flight_dump")
+            .str("reason", reason)
+            .u64("recorded", self.recorded())
+            .u64("dropped", self.dropped())
+            .json("window", self.recent_json())
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json().render();
+        let seq = self.head.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.slots[(seq - 1) as usize % self.slots.len()];
+        match slot.line.try_lock() {
+            Ok(mut held) => {
+                if slot.seq.load(Ordering::Relaxed) > 0 {
+                    self.overwritten.fetch_add(1, Ordering::Relaxed);
+                }
+                *held = line;
+                slot.seq.store(seq, Ordering::Release);
+            }
+            Err(_) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(inner) = &self.inner {
+            inner.emit(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemorySink;
+    use crate::Telemetry;
+
+    #[test]
+    fn keeps_the_last_capacity_events_in_order() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.emit(&Event::new("tick").u64("i", i));
+        }
+        let window = rec.recent();
+        assert_eq!(window.len(), 4);
+        for (w, i) in window.iter().zip(6u64..10) {
+            assert!(w.contains(&format!("\"i\":{i}")), "{w}");
+        }
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 6, "six events scrolled out of the ring");
+    }
+
+    #[test]
+    fn partial_ring_reports_only_written_slots() {
+        let rec = FlightRecorder::new(8);
+        rec.emit(&Event::new("a"));
+        rec.emit(&Event::new("b"));
+        assert_eq!(rec.recent().len(), 2);
+        assert_eq!(rec.dropped(), 0);
+        let dump = rec.dump_event("test");
+        assert_eq!(dump.kind(), "flight_dump");
+        let window = dump.get("window").and_then(Json::as_arr).unwrap();
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].get("ev").and_then(Json::as_str), Some("a"));
+    }
+
+    #[test]
+    fn tee_forwards_to_the_inner_sink() {
+        let inner = Arc::new(MemorySink::new());
+        let rec = Arc::new(FlightRecorder::tee(2, inner.clone()));
+        let t = Telemetry::to(rec.clone());
+        t.emit_with(|| Event::new("x").u64("n", 1));
+        t.emit_with(|| Event::new("y"));
+        assert_eq!(inner.events().len(), 2);
+        assert_eq!(rec.recent().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_never_block_and_account_for_everything() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        rec.emit(&Event::new("w").u64("v", t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.recorded(), 2000);
+        let window = rec.recent();
+        assert!(window.len() <= 16);
+        // Every accepted event is either in the ring or counted as lost.
+        assert_eq!(rec.dropped() + window.len() as u64, 2000);
+    }
+}

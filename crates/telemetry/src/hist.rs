@@ -298,6 +298,60 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_empty_and_saturated_buckets() {
+        // A histogram whose top bucket is saturated with u64::MAX samples
+        // merges with an empty one without disturbing any field.
+        let mut saturated = Histogram::new();
+        for _ in 0..3 {
+            saturated.record(u64::MAX);
+        }
+        assert_eq!(saturated.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let before = saturated.clone();
+        saturated.merge(&Histogram::new());
+        assert_eq!(saturated, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        // Merging two saturated histograms keeps the saturating-sum
+        // invariant and doubles the top-bucket count.
+        let mut both = before.clone();
+        both.merge(&before);
+        assert_eq!(both.sum(), u64::MAX);
+        assert_eq!(both.count(), 6);
+        assert_eq!(both.nonzero_buckets().collect::<Vec<_>>(), vec![(64, 6)]);
+    }
+
+    #[test]
+    fn u64_max_sample_lands_in_the_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.nonzero_buckets().collect::<Vec<_>>(), vec![(64, 1)]);
+        assert_eq!(h.min(), Some(u64::MAX));
+        assert_eq!(h.max(), Some(u64::MAX));
+        // Every quantile of a single-sample histogram is that sample, even
+        // though bucket_high(64) == u64::MAX needs no clamping here.
+        assert_eq!(h.percentile(0.01), Some(u64::MAX));
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        // Round-trips exactly.
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 31, 32, 1000, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let ps: Vec<u64> = qs.iter().map(|&q| h.percentile(q).unwrap()).collect();
+        for pair in ps.windows(2) {
+            assert!(pair[0] <= pair[1], "percentiles must be monotone: {ps:?}");
+        }
+        assert!(ps[0] >= h.min().unwrap() && ps[7] == h.max().unwrap());
+    }
+
+    #[test]
     fn json_rejects_inconsistent_counts() {
         let text = r#"{"n":3,"sum":1,"min":0,"max":1,"b":[[0,1]]}"#;
         assert!(Histogram::from_json(&parse(text).unwrap()).is_err());

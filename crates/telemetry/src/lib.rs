@@ -3,7 +3,8 @@
 //! Every layer of the workspace (sim → dbt → fault → runner) reports
 //! through this crate:
 //!
-//! * [`metrics`] — lock-free relaxed counters for hot-path tallies;
+//! * [`metrics`] — lock-free relaxed counters for hot-path tallies, plus
+//!   the scrape-time registry behind the Prometheus `/metrics` endpoint;
 //! * [`hist`] — log2-bucketed histograms whose merge is associative and
 //!   commutative with *exact* count/sum/min/max, the same algebra
 //!   `CampaignReport::merge` guarantees, so sharded campaigns aggregate
@@ -11,6 +12,11 @@
 //! * [`event`] — structured events, JSONL / in-memory sinks, and the
 //!   [`Telemetry`] handle whose disabled path costs one branch (events are
 //!   built inside a closure that never runs without a sink);
+//! * [`flight`] — the always-on bounded flight recorder whose recent-event
+//!   window is dumped into forensics bundles and `flight_dump` events;
+//! * [`profile`] — mergeable per-static-block execution profiles (payload
+//!   vs instrumentation cycle attribution) for the `cfed-profile`
+//!   sampling profiler;
 //! * [`json`] — the hand-rolled offline JSON subset shared with the
 //!   `cfed-runner` result store.
 //!
@@ -18,10 +24,14 @@
 //! without cycles.
 
 pub mod event;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use event::{ChannelSink, Event, EventSink, JsonlSink, MemorySink, NullSink, Telemetry, Timer};
+pub use flight::FlightRecorder;
 pub use hist::{bucket_high, bucket_index, Histogram, HIST_BUCKETS};
-pub use metrics::Counter;
+pub use metrics::{Counter, MetricKind, Registry};
+pub use profile::{BlockProfile, Profile, ProfileTotals};

@@ -1,6 +1,19 @@
-//! Lock-free counters for hot-path tallies shared across threads.
+//! Lock-free counters for hot-path tallies, plus the metrics registry
+//! behind the campaign service's Prometheus text-format `/metrics`
+//! endpoint.
+//!
+//! The registry is scrape-oriented: the HTTP handler builds one from the
+//! authoritative service state on every scrape (families and samples are
+//! declared in render order), and [`Registry::render`] emits the
+//! Prometheus text exposition format — one `# HELP`/`# TYPE` pair per
+//! family, samples sorted by label set, duplicate families and duplicate
+//! series rejected at insertion so a malformed page can never be emitted.
 
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::Histogram;
 
 /// A relaxed atomic counter: increments from any thread without
 /// synchronization beyond the atomic itself. Reads are monotonic
@@ -33,6 +46,145 @@ impl Counter {
     }
 }
 
+/// Prometheus metric kinds the registry can expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter (`# TYPE … counter`).
+    Counter,
+    /// Point-in-time value (`# TYPE … gauge`).
+    Gauge,
+    /// Quantile summary with `_sum`/`_count` (`# TYPE … summary`).
+    Summary,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+struct Sample {
+    /// Rendered label pairs, e.g. `worker="w0",quantile="0.5"`.
+    labels: String,
+    value: u64,
+    /// Suffix appended to the family name (`_sum`, `_count`, or empty).
+    suffix: &'static str,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Vec<Sample>,
+}
+
+/// A scrape-time metrics registry rendering the Prometheus text format.
+#[derive(Default)]
+pub struct Registry {
+    families: Vec<Family>,
+    seen_families: BTreeSet<String>,
+    seen_series: BTreeSet<String>,
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect::<Vec<_>>().join(",")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Declares a metric family. Families render in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the family name is re-declared — duplicate `# TYPE`
+    /// lines are a format violation the caller must not be able to cause.
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Registry {
+        assert!(self.seen_families.insert(name.to_string()), "duplicate metric family {name}");
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds one sample to the most recently declared family.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a preceding [`Registry::family`] call, or when the
+    /// `(name, labels)` series was already sampled.
+    pub fn sample(&mut self, labels: &[(&str, &str)], value: u64) -> &mut Registry {
+        self.push_sample(labels, value, "")
+    }
+
+    fn push_sample(
+        &mut self,
+        labels: &[(&str, &str)],
+        value: u64,
+        suffix: &'static str,
+    ) -> &mut Registry {
+        let family = self.families.last_mut().expect("sample before any family");
+        let labels = render_labels(labels);
+        let series = format!("{}{suffix}{{{labels}}}", family.name);
+        assert!(self.seen_series.insert(series.clone()), "duplicate series {series}");
+        family.samples.push(Sample { labels, value, suffix });
+        self
+    }
+
+    /// Adds a summary's samples from a histogram: one `quantile` series per
+    /// requested quantile plus `_sum` and `_count`. An empty histogram
+    /// contributes only `_sum 0` / `_count 0` (no quantile series), which
+    /// is how "no data yet" renders without inventing a value.
+    pub fn summary_from_hist(
+        &mut self,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+        quantiles: &[(f64, &str)],
+    ) -> &mut Registry {
+        for &(q, q_label) in quantiles {
+            if let Some(v) = hist.percentile(q) {
+                let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+                with_q.push(("quantile", q_label));
+                self.push_sample(&with_q, v, "");
+            }
+        }
+        self.push_sample(labels, hist.sum(), "_sum");
+        self.push_sample(labels, hist.count(), "_count")
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for s in &family.samples {
+                if s.labels.is_empty() {
+                    let _ = writeln!(out, "{}{} {}", family.name, s.suffix, s.value);
+                } else {
+                    let _ =
+                        writeln!(out, "{}{}{{{}}} {}", family.name, s.suffix, s.labels, s.value);
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +205,67 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 4 * 1010);
+    }
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let mut r = Registry::new();
+        r.family("cfed_units_leased_total", "Units leased to workers", MetricKind::Counter)
+            .sample(&[], 9);
+        r.family("cfed_workers", "Connected workers", MetricKind::Gauge)
+            .sample(&[("state", "alive")], 2);
+        let text = r.render();
+        assert!(text.contains("# HELP cfed_units_leased_total Units leased to workers"), "{text}");
+        assert!(text.contains("# TYPE cfed_units_leased_total counter"), "{text}");
+        assert!(text.contains("cfed_units_leased_total 9"), "{text}");
+        assert!(text.contains("# TYPE cfed_workers gauge"), "{text}");
+        assert!(text.contains("cfed_workers{state=\"alive\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn summary_from_histogram_has_quantiles_sum_count() {
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(120);
+        let mut r = Registry::new();
+        r.family("cfed_unit_latency_ms", "Unit latency", MetricKind::Summary).summary_from_hist(
+            &[("worker", "w0")],
+            &h,
+            &[(0.5, "0.5"), (0.99, "0.99")],
+        );
+        let text = r.render();
+        assert!(text.contains("cfed_unit_latency_ms{worker=\"w0\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("cfed_unit_latency_ms_sum{worker=\"w0\"} 124"), "{text}");
+        assert!(text.contains("cfed_unit_latency_ms_count{worker=\"w0\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_summary_has_no_quantile_series() {
+        let mut r = Registry::new();
+        r.family("cfed_unit_latency_ms", "Unit latency", MetricKind::Summary).summary_from_hist(
+            &[("worker", "idle")],
+            &Histogram::new(),
+            &[(0.5, "0.5")],
+        );
+        let text = r.render();
+        assert!(!text.contains("quantile"), "{text}");
+        assert!(text.contains("cfed_unit_latency_ms_count{worker=\"idle\"} 0"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric family")]
+    fn duplicate_family_panics() {
+        let mut r = Registry::new();
+        r.family("x_total", "x", MetricKind::Counter);
+        r.family("x_total", "x again", MetricKind::Counter);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate series")]
+    fn duplicate_series_panics() {
+        let mut r = Registry::new();
+        r.family("x_total", "x", MetricKind::Counter)
+            .sample(&[("a", "1")], 1)
+            .sample(&[("a", "1")], 2);
     }
 }

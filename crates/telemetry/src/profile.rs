@@ -1,0 +1,276 @@
+//! Mergeable per-static-block execution profiles — the data model of the
+//! `cfed-profile` sampling profiler.
+//!
+//! The engines attribute retired cycles to *static* program locations
+//! (guest block start addresses) split into four deterministic buckets:
+//!
+//! * `payload` — cycles retired inside a translated block's 1:1 body copy
+//!   (the original program's work);
+//! * `head` — cycles in the instrumentation prologue emitted before the
+//!   body (signature update + check under the ALLBB-style policies);
+//! * `tail` — cycles in the terminator glue after the body (edge-specific
+//!   selector updates, end checks, exit stubs);
+//! * `other` — cycles retired outside any translated block (pre-translation
+//!   interpretation, dispatch, untranslated code).
+//!
+//! Every counter is an exact `u64` tally of a deterministic execution, so
+//! profiles obey the same merge algebra as the campaign stores: merging any
+//! partition in any order is bit-identical to serial accumulation, which is
+//! what keeps merged profiles byte-identical across `--threads`,
+//! kill/resume, and service-mode runs.
+
+use std::collections::BTreeMap;
+
+use crate::json::{obj, Json};
+
+/// Cycle attribution for one static block.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// Times execution entered this block's head or body.
+    pub hits: u64,
+    /// Cycles retired in the 1:1 body copy (original program work).
+    pub payload_cycles: u64,
+    /// Cycles in the head instrumentation (signature update + check).
+    pub head_cycles: u64,
+    /// Cycles in the terminator glue (selector updates, end checks, exits).
+    pub tail_cycles: u64,
+}
+
+impl BlockProfile {
+    /// All cycles attributed to this block.
+    pub fn total_cycles(&self) -> u64 {
+        self.payload_cycles + self.head_cycles + self.tail_cycles
+    }
+
+    /// Instrumentation cycles (head + tail).
+    pub fn instr_cycles(&self) -> u64 {
+        self.head_cycles + self.tail_cycles
+    }
+}
+
+/// A whole-run profile: per-block attribution plus the unattributed rest.
+///
+/// Keyed by guest block start address (a `BTreeMap`, so iteration — and
+/// therefore JSON serialization — is address-ordered and deterministic).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Profile {
+    blocks: BTreeMap<u64, BlockProfile>,
+    /// Cycles retired outside any translated block.
+    pub other_cycles: u64,
+}
+
+/// Whole-profile totals, one field per attribution bucket.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileTotals {
+    /// Sum of per-block payload cycles.
+    pub payload: u64,
+    /// Sum of per-block head-instrumentation cycles.
+    pub head: u64,
+    /// Sum of per-block tail-glue cycles.
+    pub tail: u64,
+    /// Cycles outside any translated block.
+    pub other: u64,
+}
+
+impl ProfileTotals {
+    /// Every cycle the profile accounts for.
+    pub fn total(&self) -> u64 {
+        self.payload + self.head + self.tail + self.other
+    }
+
+    /// Instrumentation cycles (head + tail).
+    pub fn instr(&self) -> u64 {
+        self.head + self.tail
+    }
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Adds attribution for one block (summing into any existing entry).
+    pub fn record_block(&mut self, guest_start: u64, sample: BlockProfile) {
+        let slot = self.blocks.entry(guest_start).or_default();
+        slot.hits += sample.hits;
+        slot.payload_cycles += sample.payload_cycles;
+        slot.head_cycles += sample.head_cycles;
+        slot.tail_cycles += sample.tail_cycles;
+    }
+
+    /// Adds unattributed cycles.
+    pub fn record_other(&mut self, cycles: u64) {
+        self.other_cycles += cycles;
+    }
+
+    /// Folds another profile into this one. Associative and commutative:
+    /// any merge order over any partition yields identical counters.
+    pub fn merge(&mut self, other: &Profile) {
+        for (&start, sample) in &other.blocks {
+            self.record_block(start, *sample);
+        }
+        self.other_cycles += other.other_cycles;
+    }
+
+    /// Number of distinct blocks with attribution.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.other_cycles == 0
+    }
+
+    /// Per-block entries, address-ascending.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, &BlockProfile)> + '_ {
+        self.blocks.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Attribution for one block, if present.
+    pub fn block(&self, guest_start: u64) -> Option<&BlockProfile> {
+        self.blocks.get(&guest_start)
+    }
+
+    /// Totals over every bucket.
+    pub fn totals(&self) -> ProfileTotals {
+        let mut t = ProfileTotals { other: self.other_cycles, ..Default::default() };
+        for sample in self.blocks.values() {
+            t.payload += sample.payload_cycles;
+            t.head += sample.head_cycles;
+            t.tail += sample.tail_cycles;
+        }
+        t
+    }
+
+    /// The `n` hottest blocks by total attributed cycles (ties broken by
+    /// address, so the ranking is deterministic).
+    pub fn top_blocks(&self, n: usize) -> Vec<(u64, BlockProfile)> {
+        let mut all: Vec<(u64, BlockProfile)> = self.blocks().map(|(k, v)| (k, *v)).collect();
+        all.sort_by(|a, b| b.1.total_cycles().cmp(&a.1.total_cycles()).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Serializes to the compact JSON form:
+    /// `{"other":N,"blocks":[[start,hits,payload,head,tail],…]}` with
+    /// blocks address-ascending — byte-deterministic for equal profiles.
+    pub fn to_json(&self) -> Json {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|(&start, s)| {
+                Json::Arr(vec![
+                    Json::UInt(start),
+                    Json::UInt(s.hits),
+                    Json::UInt(s.payload_cycles),
+                    Json::UInt(s.head_cycles),
+                    Json::UInt(s.tail_cycles),
+                ])
+            })
+            .collect();
+        obj(vec![("other", Json::UInt(self.other_cycles)), ("blocks", Json::Arr(blocks))])
+    }
+
+    /// Deserializes [`Profile::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Profile, String> {
+        let other_cycles = v.get("other").and_then(Json::as_u64).ok_or("profile missing other")?;
+        let mut profile = Profile { blocks: BTreeMap::new(), other_cycles };
+        let rows = v.get("blocks").and_then(Json::as_arr).ok_or("profile missing blocks")?;
+        for row in rows {
+            let row = row.as_arr().ok_or("profile block row must be an array")?;
+            let [start, hits, payload, head, tail] = row else {
+                return Err("profile block row must be [start,hits,payload,head,tail]".into());
+            };
+            let num = |v: &Json| v.as_u64().ok_or("profile block field must be a number");
+            profile.record_block(
+                num(start)?,
+                BlockProfile {
+                    hits: num(hits)?,
+                    payload_cycles: num(payload)?,
+                    head_cycles: num(head)?,
+                    tail_cycles: num(tail)?,
+                },
+            );
+        }
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample(hits: u64, payload: u64, head: u64, tail: u64) -> BlockProfile {
+        BlockProfile { hits, payload_cycles: payload, head_cycles: head, tail_cycles: tail }
+    }
+
+    #[test]
+    fn merge_matches_serial_accumulation() {
+        let mut serial = Profile::new();
+        serial.record_block(0x10, sample(2, 20, 4, 2));
+        serial.record_block(0x40, sample(1, 9, 3, 1));
+        serial.record_block(0x10, sample(1, 10, 2, 1));
+        serial.record_other(7);
+
+        let mut a = Profile::new();
+        a.record_block(0x10, sample(2, 20, 4, 2));
+        let mut b = Profile::new();
+        b.record_block(0x40, sample(1, 9, 3, 1));
+        b.record_block(0x10, sample(1, 10, 2, 1));
+        b.record_other(7);
+        let mut merged = b.clone();
+        merged.merge(&a);
+        assert_eq!(merged, serial);
+        let mut merged2 = a;
+        merged2.merge(&b);
+        assert_eq!(merged2, serial);
+
+        let t = serial.totals();
+        assert_eq!(t.payload, 39);
+        assert_eq!(t.head, 9);
+        assert_eq!(t.tail, 4);
+        assert_eq!(t.other, 7);
+        assert_eq!(t.total(), 59);
+        assert_eq!(t.instr(), 13);
+    }
+
+    #[test]
+    fn json_roundtrip_is_byte_deterministic() {
+        let mut p = Profile::new();
+        p.record_block(0x200, sample(5, 50, 10, 5));
+        p.record_block(0x100, sample(3, 30, 6, 3));
+        p.record_other(11);
+        let text = p.to_json().render();
+        // Address-ascending regardless of insertion order.
+        assert!(text.find("256").unwrap() < text.find("512").unwrap(), "{text}");
+        let back = Profile::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn top_blocks_rank_deterministically() {
+        let mut p = Profile::new();
+        p.record_block(0x30, sample(1, 10, 0, 0));
+        p.record_block(0x10, sample(1, 10, 0, 0)); // tie with 0x30 — lower addr wins
+        p.record_block(0x20, sample(1, 99, 0, 0));
+        let top = p.top_blocks(2);
+        assert_eq!(top[0].0, 0x20);
+        assert_eq!(top[1].0, 0x10);
+        assert_eq!(p.top_blocks(10).len(), 3);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Profile::from_json(&parse("{}").unwrap()).is_err());
+        let bad = r#"{"other":0,"blocks":[[1,2,3]]}"#;
+        assert!(Profile::from_json(&parse(bad).unwrap()).is_err());
+    }
+}

@@ -57,6 +57,25 @@ proptest! {
     }
 
     #[test]
+    fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..u64::MAX, 1..128),
+                                qs in proptest::collection::vec(1u64..10_001, 2..16)) {
+        let h = hist_of(&samples);
+        let mut qs = qs;
+        qs.sort_unstable();
+        let ps: Vec<u64> = qs
+            .iter()
+            .map(|&q| h.percentile(q as f64 / 10_000.0).expect("non-empty"))
+            .collect();
+        for pair in ps.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "percentiles not monotone: {:?}", ps);
+        }
+        let (min, max) = (h.min().expect("non-empty"), h.max().expect("non-empty"));
+        for &p in &ps {
+            prop_assert!(p >= min && p <= max, "percentile {} outside [{}, {}]", p, min, max);
+        }
+    }
+
+    #[test]
     fn json_roundtrips(samples in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
         let h = hist_of(&samples);
         let text = h.to_json().render();
