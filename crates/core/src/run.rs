@@ -125,6 +125,49 @@ pub fn run_dbt_with_telemetry(
     }
 }
 
+/// Runs `image` under the DBT with the native x86-64 backend when the
+/// platform and environment allow it (see [`cfed_dbt::native_enabled`]:
+/// non-x86-64 hosts and `CFED_NO_NATIVE=1` fall back to the fused
+/// interpreter). Results are bit-identical either way.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_core::{run_dbt, run_dbt_native, RunConfig, TechniqueKind};
+///
+/// let image = cfed_lang::compile("fn main() { out(6 * 7); }")?;
+/// let cfg = RunConfig::technique(TechniqueKind::Cfcss);
+/// let native = run_dbt_native(&image, &cfg);
+/// let interp = run_dbt(&image, &cfg);
+/// assert_eq!(native.exit, interp.exit);
+/// assert_eq!(native.output, interp.output);
+/// assert_eq!(native.cycles, interp.cycles);
+/// assert_eq!(native.dbt, interp.dbt);
+/// # Ok::<(), cfed_lang::CompileError>(())
+/// ```
+pub fn run_dbt_native(image: &Image, cfg: &RunConfig) -> RunOutcome {
+    run_dbt_native_enabled(image, cfg, cfed_dbt::native_enabled())
+}
+
+/// As [`run_dbt_native`] with an explicit native on/off switch, for
+/// harnesses that must not depend on ambient environment variables.
+pub fn run_dbt_native_enabled(image: &Image, cfg: &RunConfig, native: bool) -> RunOutcome {
+    let instr: Box<dyn cfed_dbt::Instrumenter> = match cfg.technique {
+        Some(kind) => kind.instrumenter_for(image, cfg.policy),
+        None => Box::new(NullInstrumenter),
+    };
+    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+    let mut dbt = cfed_dbt::NativeDbt::with_native(instr, cfg.style, &mut m, native);
+    let exit = dbt.run(&mut m, cfg.max_insts);
+    RunOutcome {
+        exit,
+        output: m.cpu.take_output(),
+        cycles: m.cpu.stats().cycles,
+        insts: m.cpu.stats().insts,
+        dbt: dbt.stats(),
+    }
+}
+
 /// Runs `image` directly on the interpreter (no DBT).
 pub fn run_native(image: &Image, max_insts: u64) -> RunOutcome {
     let mut m = Machine::load(image.code(), image.data(), image.entry_offset());

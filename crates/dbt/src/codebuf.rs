@@ -1,0 +1,184 @@
+//! Executable code buffer for the native backend.
+//!
+//! One anonymous `mmap`'d RWX region with bump allocation: shared stubs
+//! and condition tables are laid down first, then translated blocks are
+//! appended per-block. SMC invalidation and cache eviction reset the bump
+//! cursor back to the end of the shared prefix (the nuke-all protocol —
+//! see DESIGN.md "Native backend"), so no free-list is needed. Chaining
+//! patches bytes in place; x86 needs no explicit icache flush for
+//! same-core cross-modifying writes from the thread that executes them.
+//!
+//! On platforms without `mmap`+RWX support (anything but x86-64 Linux
+//! here), [`CodeBuf::new`] returns `None` and the DBT stays on the fused
+//! interpreter.
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const PROT_EXEC: i32 = 4;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// A bump-allocated executable memory region.
+#[derive(Debug)]
+pub struct CodeBuf {
+    base: *mut u8,
+    capacity: usize,
+    cursor: usize,
+}
+
+// The buffer is only ever driven from the thread owning the DBT; the raw
+// pointer does not alias Rust-managed memory.
+unsafe impl Send for CodeBuf {}
+
+impl CodeBuf {
+    /// Maps a fresh RWX region of at least `capacity` bytes, or `None`
+    /// when the platform cannot provide one.
+    pub fn new(capacity: usize) -> Option<CodeBuf> {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let capacity = capacity.max(4096).checked_next_multiple_of(4096)?;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    capacity,
+                    sys::PROT_READ | sys::PROT_WRITE | sys::PROT_EXEC,
+                    sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                    -1,
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return None;
+            }
+            Some(CodeBuf { base: ptr.cast(), capacity, cursor: 0 })
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            let _ = capacity;
+            None
+        }
+    }
+
+    /// Host address of the start of the region.
+    pub fn base(&self) -> u64 {
+        self.base as u64
+    }
+
+    /// Host address the next allocation will land at (16-byte aligned).
+    pub fn cursor_addr(&self) -> u64 {
+        self.base as u64 + self.cursor as u64
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.cursor
+    }
+
+    /// Copies `bytes` into the region and returns their host address, or
+    /// `None` when the region is full (caller evicts and retries).
+    pub fn alloc(&mut self, bytes: &[u8]) -> Option<u64> {
+        if bytes.len() > self.remaining() {
+            return None;
+        }
+        let addr = self.cursor_addr();
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(self.cursor), bytes.len());
+        }
+        self.cursor = (self.cursor + bytes.len()).next_multiple_of(16).min(self.capacity);
+        Some(addr)
+    }
+
+    /// Overwrites already-allocated bytes at `addr` — the chaining patch
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not inside the allocated prefix.
+    pub fn patch(&mut self, addr: u64, bytes: &[u8]) {
+        let off = (addr - self.base as u64) as usize;
+        assert!(off + bytes.len() <= self.cursor, "patch outside allocated code");
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(off), bytes.len());
+        }
+    }
+
+    /// Resets the bump cursor back to `addr` (a value previously returned
+    /// by [`CodeBuf::cursor_addr`]), discarding everything after it.
+    pub fn reset_to(&mut self, addr: u64) {
+        let off = (addr - self.base as u64) as usize;
+        assert!(off <= self.cursor, "reset past cursor");
+        self.cursor = off;
+    }
+}
+
+impl Drop for CodeBuf {
+    fn drop(&mut self) {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        unsafe {
+            sys::munmap(self.base.cast(), self.capacity);
+        }
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64", target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::x86::{self, Asm, RAX};
+
+    #[test]
+    fn bump_alloc_aligns_and_resets() {
+        let mut buf = CodeBuf::new(4096).expect("mmap RWX");
+        let a = buf.alloc(&[0x90; 3]).unwrap();
+        let b = buf.alloc(&[0x90; 17]).unwrap();
+        assert_eq!(a % 16, 0);
+        assert_eq!(b, a + 16);
+        let mark = buf.cursor_addr();
+        assert_eq!(mark, b + 32);
+        buf.alloc(&[0xCC; 64]).unwrap();
+        buf.reset_to(mark);
+        assert_eq!(buf.cursor_addr(), mark);
+        assert!(CodeBuf::new(usize::MAX).is_none(), "absurd mapping must fail cleanly");
+    }
+
+    #[test]
+    fn emitted_code_executes_and_patches() {
+        let mut buf = CodeBuf::new(4096).expect("mmap RWX");
+        // ret-42 stub, then a function that jumps to it.
+        let mut a = Asm::new(0);
+        a.mov_ri32(RAX, 42);
+        a.ret();
+        let stub = buf.alloc(&a.finish()).unwrap();
+
+        let entry_addr = buf.cursor_addr();
+        let mut a = Asm::new(entry_addr);
+        a.mov_ri32(RAX, 7);
+        let site = a.here_abs(); // patchable exit: initially falls through to ret
+        a.jmp_abs(a.here_abs() + 5);
+        a.ret();
+        let entry = buf.alloc(&a.finish()).unwrap();
+        assert_eq!(entry, entry_addr);
+
+        let f: extern "C" fn() -> u64 = unsafe { std::mem::transmute(entry) };
+        assert_eq!(f(), 7);
+        // Chain the exit to the stub and observe the new return value.
+        buf.patch(site, &x86::jmp_rel32_bytes(site, stub));
+        assert_eq!(f(), 42);
+    }
+}

@@ -35,7 +35,7 @@ const EVICT_RESERVE: u64 = 64 * 1024;
 
 /// Entries in the indirect-branch dispatcher's inline cache (direct-mapped
 /// on the guest target address).
-const DISPATCH_IC_SIZE: usize = 16;
+pub(crate) const DISPATCH_IC_SIZE: usize = 16;
 
 /// Result of one supervised execution step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,7 +114,7 @@ impl TransBlock {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum ExitKind {
+pub(crate) enum ExitKind {
     /// Patchable direct transfer to a guest target.
     Direct { guest_target: u64, site: u64 },
     /// Indirect transfer; dynamic guest target in `regs::ITARGET`.
@@ -124,9 +124,9 @@ enum ExitKind {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct ExitDesc {
-    kind: ExitKind,
-    patched: bool,
+pub(crate) struct ExitDesc {
+    pub(crate) kind: ExitKind,
+    pub(crate) patched: bool,
 }
 
 /// The dynamic binary translator.
@@ -164,14 +164,14 @@ pub struct Dbt {
     err_stub: u64,
     guest_code: Range<u64>,
     blocks: HashMap<u64, TransBlock>,
-    exits: Vec<ExitDesc>,
+    pub(crate) exits: Vec<ExitDesc>,
     patched_by_target: HashMap<u64, Vec<usize>>,
     blocks_by_page: HashMap<u64, Vec<u64>>,
     protected_pages: HashSet<u64>,
-    dispatch_cycles: u64,
+    pub(crate) dispatch_cycles: u64,
     inline_jumps: bool,
-    stats: DbtStats,
-    attached: bool,
+    pub(crate) stats: DbtStats,
+    pub(crate) attached: bool,
     /// Usable cache end; `set_cache_limit` lowers it to force eviction.
     cache_limit: u64,
     /// Cursor value right after the shared stubs — the reset point for a
@@ -179,13 +179,13 @@ pub struct Dbt {
     base_cursor: u64,
     /// Bumped by every full eviction; exit indices and patch sites from an
     /// older generation are invalid.
-    flush_gen: u64,
+    pub(crate) flush_gen: u64,
     /// Guest block starts ever translated, to count retranslations.
     seen_starts: HashSet<u64>,
     /// Direct-mapped inline cache for the indirect-branch dispatcher:
     /// `(guest target, cache entry)` pairs, cleared wholesale whenever any
     /// translation dies (full eviction or SMC flush).
-    dispatch_ic: [Option<(u64, u64)>; DISPATCH_IC_SIZE],
+    pub(crate) dispatch_ic: [Option<(u64, u64)>; DISPATCH_IC_SIZE],
     trans_us: Histogram,
     telemetry: Telemetry,
 }
@@ -406,7 +406,7 @@ impl Dbt {
     /// software traps dispatch through [`Dbt::service_exit`], write faults on
     /// pages this engine protected trigger an SMC flush, and anything else
     /// surfaces to the caller.
-    fn handle_trap(&mut self, m: &mut Machine, trap: Trap) -> DbtStep {
+    pub(crate) fn handle_trap(&mut self, m: &mut Machine, trap: Trap) -> DbtStep {
         match trap {
             Trap::Software { code, .. }
                 if code >= trap_codes::DBT_EXIT_BASE

@@ -33,9 +33,13 @@
 //! ```
 
 pub mod cache;
+pub mod codebuf;
 pub mod engine;
 pub mod instrument;
+pub mod native;
+pub mod x86;
 
 pub use cache::CacheAsm;
 pub use engine::{Dbt, DbtExit, DbtStats, DbtStep, TransBlock, DEFAULT_DISPATCH_CYCLES};
 pub use instrument::{regs, BlockView, CheckPolicy, Instrumenter, NullInstrumenter, UpdateStyle};
+pub use native::{native_enabled, NativeDbt};

@@ -1,0 +1,1676 @@
+//! Native x86-64 backend: compiles translated cache blocks to host code.
+//!
+//! The fused interpreter executes cache VISA one instruction at a time; this
+//! backend lifts each already-translated [`TransBlock`] 1:1 into host x86-64
+//! and runs it directly, keeping every architectural contract bit-identical:
+//! same register/flag results, same trap addresses (cache addresses, as the
+//! interpreter surfaces them), same `ExecStats` accounting, and same
+//! [`DbtStats`](crate::DbtStats) (the runtime still services every
+//! chain/dispatch event).
+//! Instrumentation survives untouched because the *cache* program — with its
+//! injected `GEN_SIG`/`CHECK_SIG` sequences — is the compilation source.
+//!
+//! Layout of a session: guest registers live in a `NativeCtx` pinned in
+//! `rbp`; `rbx`/`r15`/`r14`/`r13` carry instruction/cycle/branch/taken
+//! deltas that are folded into [`cfed_sim::Cpu`] stats when the session
+//! exits. Loads, stores and stack ops run an inline fast path over raw
+//! views of guest memory ([`cfed_sim::RawMemParts`]) — the same in-page +
+//! permission check the interpreter's fast path performs, including
+//! dirty-bit and write-generation bookkeeping — and fall back to outlined
+//! `extern "C"` helpers into [`cfed_sim::Memory`] for anything the fast
+//! path cannot prove safe, so permissions (including the SMC
+//! write-protection that category-F coverage depends on) are enforced by
+//! exactly the same code as the interpreter.
+//!
+//! Block exits reuse the translator's exit-site protocol: a direct exit
+//! compiles to a patchable 5-byte jump that initially raises the site's
+//! `DBT_EXIT_BASE` software trap; once [`Dbt`] services the exit and patches
+//! the cache instruction into a `Jmp`, the native slot is patched to a chain
+//! thunk (accounting + direct host jump). Indirect exits get an inline-cache
+//! dispatcher in emitted code, kept strictly in sync with the engine's
+//! `dispatch_ic` table so hit/miss counts agree with the interpreter.
+//! Any cache invalidation (full eviction or SMC flush) nukes all native code
+//! back to the shared-stub watermark — the translations it mirrored died.
+
+use crate::codebuf::CodeBuf;
+use crate::engine::{Dbt, DbtExit, DbtStep, ExitKind, TransBlock, DISPATCH_IC_SIZE};
+use crate::instrument::{regs, Instrumenter, UpdateStyle};
+use crate::x86::{
+    self, cc, Alu, Asm, HostReg, Label, Shift, R12, R13, R14, R15, RAX, RBP, RBX, RCX, RDI, RDX,
+    RSI, RSP,
+};
+use cfed_isa::{AluOp, Cond, CostModel, Flags, Inst, Reg, INST_SIZE_U64};
+use cfed_sim::{trap_codes, Cpu, Machine, Memory, Trap};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// Below this remaining budget the tail is run by the interpreter so the
+/// step limit lands on the exact instruction it would under [`Dbt::run`].
+const NATIVE_MIN_BUDGET: u64 = 4096;
+/// Cache-instruction ceiling per compiled block; also the session budget
+/// margin (a block checks the budget only at entry, so one block body plus
+/// its glue is the worst-case overshoot).
+const MAX_BLOCK_CACHE_INSTS: usize = 2048;
+/// Session budget margin: block body + chain-thunk glue.
+const SESSION_MARGIN: u64 = MAX_BLOCK_CACHE_INSTS as u64 + 64;
+/// RWX region size; the nuke-all protocol makes a fixed size fine.
+const CODEBUF_CAPACITY: usize = 16 << 20;
+/// Inline-cache tag meaning "empty slot" (never a valid guest address here).
+const EMPTY_TAG: u64 = u64::MAX;
+
+// Session exit kinds written to `NativeCtx::exit_kind`.
+const XK_HALT: u64 = 0;
+const XK_TRAP: u64 = 1;
+const XK_BUDGET: u64 = 2;
+const XK_ENTER: u64 = 3;
+
+/// Per-session state shared between Rust and emitted code. `rbp` points at
+/// this for the whole session; all offsets below are baked into the code.
+#[repr(C)]
+struct NativeCtx {
+    /// Guest registers, spilled; emitted code works memory-to-register.
+    regs: [u64; 16],
+    /// Guest flags in *host* byte layout (see [`host_flags_byte`]).
+    flags: u64,
+    exit_kind: u64,
+    /// Cache ip to resume at / report for the exit.
+    exit_ip: u64,
+    /// Encoded trap: 0 = none; see [`encode_trap`].
+    trap_disc: u64,
+    trap_a: u64,
+    trap_b: u64,
+    /// `XK_ENTER`: cache address the runtime should continue at.
+    resume_ip: u64,
+    /// `XK_ENTER`: host address of the 5-byte jump slot to patch once the
+    /// target block is compiled (0 = nothing to patch).
+    slot_addr: u64,
+    d_insts: u64,
+    d_cycles: u64,
+    d_branches: u64,
+    d_taken: u64,
+    d_traps: u64,
+    d_dispatches: u64,
+    d_ic_hits: u64,
+    /// Retired-instruction ceiling for this session (`rbx` compares against
+    /// this at every block entry).
+    session_limit: u64,
+    /// Raw `*mut Memory`, valid only inside the trampoline call.
+    mem: u64,
+    /// Raw `*mut Cpu`, valid only inside the trampoline call.
+    cpu: u64,
+    /// Raw views into guest memory (see [`cfed_sim::RawMemParts`]) for the
+    /// inline load/store fast path; valid only inside the trampoline call.
+    mem_bytes: u64,
+    mem_perms: u64,
+    mem_dirty: u64,
+    mem_gens: u64,
+    mem_pages: u64,
+    /// Indirect-dispatch inline cache: guest-target tags...
+    ic_tags: [u64; DISPATCH_IC_SIZE],
+    /// ...and the matching compiled-entry host addresses.
+    ic_vals: [u64; DISPATCH_IC_SIZE],
+}
+
+macro_rules! ctx_off {
+    ($f:ident) => {
+        std::mem::offset_of!(NativeCtx, $f) as i32
+    };
+}
+
+const O_REGS: i32 = ctx_off!(regs);
+const O_FLAGS: i32 = ctx_off!(flags);
+const O_EXIT_KIND: i32 = ctx_off!(exit_kind);
+const O_EXIT_IP: i32 = ctx_off!(exit_ip);
+const O_TRAP_DISC: i32 = ctx_off!(trap_disc);
+const O_TRAP_A: i32 = ctx_off!(trap_a);
+const O_TRAP_B: i32 = ctx_off!(trap_b);
+const O_RESUME_IP: i32 = ctx_off!(resume_ip);
+const O_SLOT_ADDR: i32 = ctx_off!(slot_addr);
+const O_D_INSTS: i32 = ctx_off!(d_insts);
+const O_D_CYCLES: i32 = ctx_off!(d_cycles);
+const O_D_BRANCHES: i32 = ctx_off!(d_branches);
+const O_D_TAKEN: i32 = ctx_off!(d_taken);
+const O_D_TRAPS: i32 = ctx_off!(d_traps);
+const O_D_DISPATCHES: i32 = ctx_off!(d_dispatches);
+const O_D_IC_HITS: i32 = ctx_off!(d_ic_hits);
+const O_SESSION_LIMIT: i32 = ctx_off!(session_limit);
+const O_MEM_BYTES: i32 = ctx_off!(mem_bytes);
+const O_MEM_PERMS: i32 = ctx_off!(mem_perms);
+const O_MEM_DIRTY: i32 = ctx_off!(mem_dirty);
+const O_MEM_GENS: i32 = ctx_off!(mem_gens);
+const O_MEM_PAGES: i32 = ctx_off!(mem_pages);
+const O_IC_TAGS: i32 = ctx_off!(ic_tags);
+const O_IC_VALS: i32 = ctx_off!(ic_vals);
+
+/// `log2(PAGE_SIZE)` for the emitted page-index shift.
+const PAGE_SHIFT: u8 = cfed_sim::PAGE_SIZE.trailing_zeros() as u8;
+/// Largest in-page offset at which an 8-byte access cannot straddle.
+const MAX_U64_OFFSET: i32 = (cfed_sim::PAGE_SIZE - 8) as i32;
+
+impl NativeCtx {
+    fn new() -> NativeCtx {
+        NativeCtx {
+            regs: [0; 16],
+            flags: 0,
+            exit_kind: 0,
+            exit_ip: 0,
+            trap_disc: 0,
+            trap_a: 0,
+            trap_b: 0,
+            resume_ip: 0,
+            slot_addr: 0,
+            d_insts: 0,
+            d_cycles: 0,
+            d_branches: 0,
+            d_taken: 0,
+            d_traps: 0,
+            d_dispatches: 0,
+            d_ic_hits: 0,
+            session_limit: 0,
+            mem: 0,
+            cpu: 0,
+            mem_bytes: 0,
+            mem_perms: 0,
+            mem_dirty: 0,
+            mem_gens: 0,
+            mem_pages: 0,
+            ic_tags: [EMPTY_TAG; DISPATCH_IC_SIZE],
+            ic_vals: [0; DISPATCH_IC_SIZE],
+        }
+    }
+}
+
+/// Guest [`Flags`] → the byte layout `lahf`/`seto` produce: CF bit 0,
+/// PF bit 2, AF bit 4, OF bit 5 (merged in by hand), ZF bit 6, SF bit 7.
+/// Bits 1 and 3 are don't-care (lahf forces bit 1 set; the condition
+/// tables are indexed over all 256 byte values so both encodings match).
+fn host_flags_byte(f: Flags) -> u8 {
+    let b = f.bits();
+    (b & 1)
+        | ((b >> 1) & 1) << 2
+        | ((b >> 2) & 1) << 4
+        | ((b >> 3) & 1) << 6
+        | ((b >> 4) & 1) << 7
+        | ((b >> 5) & 1) << 5
+}
+
+/// Inverse of [`host_flags_byte`], ignoring the don't-care bits.
+fn flags_from_host(h: u8) -> Flags {
+    Flags::from_bits(
+        (h & 1)
+            | ((h >> 2) & 1) << 1
+            | ((h >> 4) & 1) << 2
+            | ((h >> 6) & 1) << 3
+            | ((h >> 7) & 1) << 4
+            | ((h >> 5) & 1) << 5,
+    )
+}
+
+/// Encodes a trap for the ctx `trap_disc`/`trap_a`/`trap_b` slots.
+fn encode_trap(t: &Trap) -> (u64, u64, u64) {
+    match *t {
+        Trap::Software { addr, code } => (1, addr, code as u64),
+        Trap::DivByZero { addr } => (2, addr, 0),
+        Trap::OutOfRange { addr } => (3, addr, 0),
+        Trap::PermRead { addr } => (4, addr, 0),
+        Trap::PermWrite { addr } => (5, addr, 0),
+        Trap::PermExec { addr } => (6, addr, 0),
+        Trap::UnalignedFetch { addr } => (7, addr, 0),
+        // Never produced by the memory helpers (cache instructions decode by
+        // construction); mapped conservatively so the encoding is total.
+        Trap::InvalidInst { addr, .. } => (3, addr, 0),
+    }
+}
+
+/// Decodes what [`encode_trap`] (or an emitted trap stub) stored.
+fn decode_trap(disc: u64, a: u64, b: u64) -> Trap {
+    match disc {
+        1 => Trap::Software { addr: a, code: b as u32 },
+        2 => Trap::DivByZero { addr: a },
+        3 => Trap::OutOfRange { addr: a },
+        4 => Trap::PermRead { addr: a },
+        5 => Trap::PermWrite { addr: a },
+        6 => Trap::PermExec { addr: a },
+        7 => Trap::UnalignedFetch { addr: a },
+        _ => unreachable!("bad native trap discriminant {disc}"),
+    }
+}
+
+fn set_trap(ctx: &mut NativeCtx, t: &Trap, ip: u64) {
+    let (d, a, b) = encode_trap(t);
+    ctx.trap_disc = d;
+    ctx.trap_a = a;
+    ctx.trap_b = b;
+    ctx.exit_ip = ip;
+}
+
+// Memory helpers called from emitted code (SysV: rdi, rsi, rdx, rcx). On a
+// fault they record the trap in the ctx and the emitted trap check routes to
+// the shared trap-exit stub; architectural state is committed only on
+// success, mirroring the interpreter's no-commit-on-trap contract.
+
+unsafe fn ctx_mem<'a>(ctx: *mut NativeCtx) -> &'a mut Memory {
+    unsafe { &mut *((*ctx).mem as *mut Memory) }
+}
+
+extern "C" fn nh_read(ctx: *mut NativeCtx, addr: u64, ip: u64) -> u64 {
+    unsafe {
+        match ctx_mem(ctx).read_u64(addr) {
+            Ok(v) => v,
+            Err(t) => {
+                set_trap(&mut *ctx, &t, ip);
+                0
+            }
+        }
+    }
+}
+
+extern "C" fn nh_read8(ctx: *mut NativeCtx, addr: u64, ip: u64) -> u64 {
+    unsafe {
+        match ctx_mem(ctx).read_u8(addr) {
+            Ok(v) => v as u64,
+            Err(t) => {
+                set_trap(&mut *ctx, &t, ip);
+                0
+            }
+        }
+    }
+}
+
+extern "C" fn nh_write(ctx: *mut NativeCtx, addr: u64, value: u64, ip: u64) {
+    unsafe {
+        if let Err(t) = ctx_mem(ctx).write_u64(addr, value) {
+            set_trap(&mut *ctx, &t, ip);
+        }
+    }
+}
+
+extern "C" fn nh_write8(ctx: *mut NativeCtx, addr: u64, value: u64, ip: u64) {
+    unsafe {
+        if let Err(t) = ctx_mem(ctx).write_u8(addr, value as u8) {
+            set_trap(&mut *ctx, &t, ip);
+        }
+    }
+}
+
+extern "C" fn nh_push(ctx: *mut NativeCtx, value: u64, ip: u64) {
+    unsafe {
+        let sp = (*ctx).regs[Reg::SP.index()].wrapping_sub(8);
+        match ctx_mem(ctx).write_u64(sp, value) {
+            Ok(()) => (*ctx).regs[Reg::SP.index()] = sp,
+            Err(t) => set_trap(&mut *ctx, &t, ip),
+        }
+    }
+}
+
+extern "C" fn nh_pop(ctx: *mut NativeCtx, ip: u64) -> u64 {
+    unsafe {
+        let sp = (*ctx).regs[Reg::SP.index()];
+        match ctx_mem(ctx).read_u64(sp) {
+            Ok(v) => {
+                (*ctx).regs[Reg::SP.index()] = sp.wrapping_add(8);
+                v
+            }
+            Err(t) => {
+                set_trap(&mut *ctx, &t, ip);
+                0
+            }
+        }
+    }
+}
+
+extern "C" fn nh_out(ctx: *mut NativeCtx, value: u64) {
+    unsafe {
+        (*((*ctx).cpu as *mut Cpu)).push_output(value);
+    }
+}
+
+/// Why a block could not be compiled.
+enum CompileBail {
+    /// Contains an instruction form the backend does not emit (never the
+    /// case for translator output; defensive) or is oversized.
+    Unsupported,
+    /// The code buffer is full; nuke and retry.
+    Full,
+}
+
+/// Native patch points for one direct exit site.
+#[derive(Clone, Copy)]
+struct ChainSite {
+    /// 5-byte jump slot inside the block (initially → exit stub).
+    slot: u64,
+    /// Chain thunk: accounting for the patched cache `Jmp`, then...
+    thunk: u64,
+    /// ...this 5-byte jump, patched to the target's host entry.
+    thunk_jmp: u64,
+}
+
+struct Jit {
+    buf: CodeBuf,
+    ctx: Box<NativeCtx>,
+    /// `extern "C" fn(*mut NativeCtx, entry)` — saves host regs, seeds the
+    /// delta registers and jumps to `entry`.
+    trampoline: u64,
+    /// Stores the delta registers back to the ctx and returns.
+    epilogue: u64,
+    /// Sets `exit_kind = XK_TRAP` and falls into the epilogue; every trap
+    /// path (helper fault or emitted stub) jumps here.
+    trap_exit: u64,
+    /// 16 × 32-byte bitmaps: bit `h` of table `cc` = `cc.eval(flags(h))`.
+    cond_tables: u64,
+    /// Bump-reset watermark right after the shared stubs.
+    blocks_base: u64,
+    /// Cache address → host address safe to enter from the runtime loop
+    /// (block starts, IC dispatch sequences, patched chain thunks).
+    entries: HashMap<u64, u64>,
+    /// Block cache_start → host entry (with budget prologue).
+    compiled: HashMap<u64, u64>,
+    /// Direct exit sites by cache address.
+    sites: HashMap<u64, ChainSite>,
+    /// Block starts that failed to compile (cleared on nuke).
+    uncompilable: HashSet<u64>,
+    /// Direct exit sites whose native slot has been chained.
+    chained: HashSet<u64>,
+    /// Mirror of `Dbt::dispatch_ic` as of the last sync.
+    ic_shadow: [Option<(u64, u64)>; DISPATCH_IC_SIZE],
+    /// `(flush_gen, smc_flushes)` snapshot; any change nukes native code.
+    gen: (u64, u64),
+    /// `Dbt::stats.chains` as of the last chain resync.
+    chains_shadow: u64,
+    /// Bumped by every nuke; guards stale patch addresses across a nuke.
+    nukes: u64,
+}
+
+impl Jit {
+    fn new() -> Option<Jit> {
+        let mut buf = CodeBuf::new(CODEBUF_CAPACITY)?;
+
+        // Condition bitmaps, indexed by host flags byte.
+        let mut tables = [0u8; 16 * 32];
+        for cond in Cond::ALL {
+            let base = cond.encoding() as usize * 32;
+            for h in 0..256usize {
+                if cond.eval(flags_from_host(h as u8)) {
+                    tables[base + h / 8] |= 1 << (h % 8);
+                }
+            }
+        }
+        let cond_tables = buf.alloc(&tables)?;
+
+        // Epilogue: spill deltas, restore host regs, return.
+        let mut a = Asm::new(buf.cursor_addr());
+        a.store(RBP, O_D_INSTS, RBX);
+        a.store(RBP, O_D_CYCLES, R15);
+        a.store(RBP, O_D_BRANCHES, R14);
+        a.store(RBP, O_D_TAKEN, R13);
+        a.alu_ri(Alu::Add, RSP, 8);
+        a.pop_r(R15);
+        a.pop_r(R14);
+        a.pop_r(R13);
+        a.pop_r(R12);
+        a.pop_r(RBX);
+        a.pop_r(RBP);
+        a.ret();
+        let epilogue = buf.alloc(&a.finish())?;
+
+        let mut a = Asm::new(buf.cursor_addr());
+        a.store_imm32(RBP, O_EXIT_KIND, XK_TRAP as i32);
+        a.jmp_abs(epilogue);
+        let trap_exit = buf.alloc(&a.finish())?;
+
+        // Trampoline: rdi = ctx, rsi = entry host address.
+        let mut a = Asm::new(buf.cursor_addr());
+        a.push_r(RBP);
+        a.push_r(RBX);
+        a.push_r(R12);
+        a.push_r(R13);
+        a.push_r(R14);
+        a.push_r(R15);
+        a.mov_rr(RBP, RDI);
+        a.load(R12, RBP, O_SESSION_LIMIT);
+        a.xor_r32(RBX);
+        a.xor_r32(R15);
+        a.xor_r32(R14);
+        a.xor_r32(R13);
+        a.alu_ri(Alu::Sub, RSP, 8); // 16-align rsp for helper calls
+        a.jmp_r(RSI);
+        let trampoline = buf.alloc(&a.finish())?;
+
+        let blocks_base = buf.cursor_addr();
+        Some(Jit {
+            buf,
+            ctx: Box::new(NativeCtx::new()),
+            trampoline,
+            epilogue,
+            trap_exit,
+            cond_tables,
+            blocks_base,
+            entries: HashMap::new(),
+            compiled: HashMap::new(),
+            sites: HashMap::new(),
+            uncompilable: HashSet::new(),
+            chained: HashSet::new(),
+            ic_shadow: [None; DISPATCH_IC_SIZE],
+            gen: (0, 0),
+            chains_shadow: 0,
+            nukes: 0,
+        })
+    }
+
+    /// Discards every compiled block (cache invalidation or full buffer).
+    fn nuke(&mut self) {
+        self.buf.reset_to(self.blocks_base);
+        self.entries.clear();
+        self.compiled.clear();
+        self.sites.clear();
+        self.uncompilable.clear();
+        self.chained.clear();
+        self.ctx.ic_tags = [EMPTY_TAG; DISPATCH_IC_SIZE];
+        self.ctx.ic_vals = [0; DISPATCH_IC_SIZE];
+        self.ic_shadow = [None; DISPATCH_IC_SIZE];
+        self.nukes += 1;
+    }
+
+    /// Nukes when the engine invalidated any translation since last checked.
+    fn check_gen(&mut self, dbt: &Dbt) {
+        let gen = (dbt.flush_gen, dbt.stats.smc_flushes);
+        if gen != self.gen {
+            self.nuke();
+            self.gen = gen;
+        }
+    }
+
+    fn ensure_compiled(&mut self, dbt: &Dbt, m: &Machine, tb: &TransBlock) -> Option<u64> {
+        if let Some(&host) = self.compiled.get(&tb.cache_start) {
+            return Some(host);
+        }
+        if self.uncompilable.contains(&tb.cache_start) {
+            return None;
+        }
+        match self.compile_block(dbt, m, tb) {
+            Ok(host) => Some(host),
+            Err(CompileBail::Unsupported) => {
+                self.uncompilable.insert(tb.cache_start);
+                None
+            }
+            Err(CompileBail::Full) => {
+                self.nuke();
+                match self.compile_block(dbt, m, tb) {
+                    Ok(host) => Some(host),
+                    Err(_) => {
+                        self.uncompilable.insert(tb.cache_start);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirrors the engine's dispatcher inline cache into the ctx, compiling
+    /// cached targets so hits can jump straight to host code. Keeping the
+    /// tag sets identical is what makes native `dispatch_ic_hits` equal the
+    /// interpreter's: a native miss that the engine would have hit routes
+    /// through `service_exit`, which counts the hit there instead.
+    fn resync_ic(&mut self, dbt: &Dbt, m: &Machine) {
+        if self.ic_shadow == dbt.dispatch_ic {
+            return;
+        }
+        loop {
+            let nukes = self.nukes;
+            for entry in dbt.dispatch_ic {
+                if let Some((_, cache)) = entry {
+                    if !self.compiled.contains_key(&cache) {
+                        if let Some(tb) = dbt.blocks().find(|b| b.cache_start == cache).copied() {
+                            self.ensure_compiled(dbt, m, &tb);
+                        }
+                    }
+                }
+                if self.nukes != nukes {
+                    break;
+                }
+            }
+            if self.nukes == nukes {
+                break;
+            }
+        }
+        for slot in 0..DISPATCH_IC_SIZE {
+            let (tag, val) = match dbt.dispatch_ic[slot] {
+                Some((tag, cache)) => match self.compiled.get(&cache) {
+                    Some(&host) => (tag, host),
+                    None => (EMPTY_TAG, 0),
+                },
+                None => (EMPTY_TAG, 0),
+            };
+            self.ctx.ic_tags[slot] = tag;
+            self.ctx.ic_vals[slot] = val;
+        }
+        self.ic_shadow = dbt.dispatch_ic;
+    }
+
+    /// Patches the native side of exit `idx` after the engine chained it:
+    /// slot → thunk, thunk → target host entry (or an enter stub when the
+    /// target block itself is not natively compiled).
+    fn try_chain(&mut self, dbt: &Dbt, m: &Machine, idx: usize) {
+        let ExitKind::Direct { guest_target, site } = dbt.exits[idx].kind else {
+            return;
+        };
+        if !dbt.exits[idx].patched || self.chained.contains(&site) {
+            return;
+        }
+        let Some(tb) = dbt.lookup(guest_target).copied() else {
+            return;
+        };
+        let nukes = self.nukes;
+        let target_host = match self.ensure_compiled(dbt, m, &tb) {
+            Some(host) => Some(host),
+            None => {
+                // Target block is uncompilable: chain into an enter stub so
+                // the thunk still retires the cache `Jmp` natively and hands
+                // the target back to the runtime loop.
+                let mut a = Asm::new(self.buf.cursor_addr());
+                if tb.cache_start <= i32::MAX as u64 {
+                    a.store_imm32(RBP, O_RESUME_IP, tb.cache_start as i32);
+                } else {
+                    a.mov_ri64(RAX, tb.cache_start);
+                    a.store(RBP, O_RESUME_IP, RAX);
+                }
+                a.store_imm32(RBP, O_SLOT_ADDR, 0);
+                a.store_imm32(RBP, O_EXIT_KIND, XK_ENTER as i32);
+                a.jmp_abs(self.epilogue);
+                self.buf.alloc(&a.finish())
+            }
+        };
+        if self.nukes != nukes {
+            return; // compile overflowed and nuked; the site died with it
+        }
+        let (Some(target_host), Some(cs)) = (target_host, self.sites.get(&site).copied()) else {
+            return;
+        };
+        self.buf.patch(cs.thunk_jmp, &x86::jmp_rel32_bytes(cs.thunk_jmp, target_host));
+        self.buf.patch(cs.slot, &x86::jmp_rel32_bytes(cs.slot, cs.thunk));
+        self.chained.insert(site);
+        // For a site that is also a block head (single-instruction block),
+        // keep the block entry: it runs the budget check before the thunk.
+        self.entries.entry(site).or_insert(cs.thunk);
+    }
+
+    /// Chains every engine-patched exit that the native code has not picked
+    /// up yet (the engine may patch during interpreted stretches).
+    fn resync_chains(&mut self, dbt: &Dbt, m: &Machine) {
+        if self.chains_shadow == dbt.stats.chains {
+            return;
+        }
+        for idx in 0..dbt.exits.len() {
+            if dbt.exits[idx].patched {
+                self.try_chain(dbt, m, idx);
+            }
+        }
+        self.chains_shadow = dbt.stats.chains;
+    }
+
+    /// Runs one native session starting at host address `entry`; syncs the
+    /// cpu in and out and folds the retired-work deltas into its stats.
+    fn enter(&mut self, m: &mut Machine, entry: u64, remaining: u64) {
+        let ctx = &mut *self.ctx;
+        for r in Reg::all() {
+            ctx.regs[r.index()] = m.cpu.reg(r);
+        }
+        ctx.flags = host_flags_byte(m.cpu.flags()) as u64;
+        ctx.exit_kind = XK_TRAP;
+        ctx.exit_ip = 0;
+        ctx.trap_disc = 0;
+        ctx.trap_a = 0;
+        ctx.trap_b = 0;
+        ctx.resume_ip = 0;
+        ctx.slot_addr = 0;
+        ctx.d_insts = 0;
+        ctx.d_cycles = 0;
+        ctx.d_branches = 0;
+        ctx.d_taken = 0;
+        ctx.d_traps = 0;
+        ctx.d_dispatches = 0;
+        ctx.d_ic_hits = 0;
+        ctx.session_limit = remaining - SESSION_MARGIN;
+        ctx.mem = &mut m.mem as *mut Memory as u64;
+        ctx.cpu = &mut m.cpu as *mut Cpu as u64;
+        let parts = m.mem.raw_parts();
+        ctx.mem_bytes = parts.bytes as u64;
+        ctx.mem_perms = parts.page_perms as u64;
+        ctx.mem_dirty = parts.dirty as u64;
+        ctx.mem_gens = parts.page_gens as u64;
+        ctx.mem_pages = parts.pages;
+        let tramp: extern "C" fn(*mut NativeCtx, u64) =
+            unsafe { std::mem::transmute(self.trampoline as usize) };
+        tramp(ctx as *mut NativeCtx, entry);
+        ctx.mem = 0;
+        ctx.cpu = 0;
+        ctx.mem_bytes = 0;
+        ctx.mem_perms = 0;
+        ctx.mem_dirty = 0;
+        ctx.mem_gens = 0;
+        ctx.mem_pages = 0;
+        for r in Reg::all() {
+            m.cpu.set_reg(r, ctx.regs[r.index()]);
+        }
+        m.cpu.set_flags(flags_from_host(ctx.flags as u8));
+        m.cpu.apply_native_delta(
+            ctx.d_insts,
+            ctx.d_cycles,
+            ctx.d_branches,
+            ctx.d_taken,
+            ctx.d_traps,
+        );
+    }
+
+    fn compile_block(
+        &mut self,
+        dbt: &Dbt,
+        m: &Machine,
+        tb: &TransBlock,
+    ) -> Result<u64, CompileBail> {
+        let mut insts = Vec::new();
+        let mut addr = tb.cache_start;
+        while addr < tb.cache_end {
+            let bytes = m.mem.fetch(addr).map_err(|_| CompileBail::Unsupported)?;
+            let inst = Inst::decode(&bytes).map_err(|_| CompileBail::Unsupported)?;
+            insts.push((addr, inst));
+            addr += INST_SIZE_U64;
+        }
+        if insts.len() > MAX_BLOCK_CACHE_INSTS {
+            return Err(CompileBail::Unsupported);
+        }
+
+        let base = self.buf.cursor_addr();
+        let mut b = BlockAsm {
+            a: Asm::new(base),
+            exits: &dbt.exits,
+            compiled: &self.compiled,
+            cost: m.cpu.cost_model(),
+            cond_tables: self.cond_tables,
+            epilogue: self.epilogue,
+            trap_exit: self.trap_exit,
+            dispatch_cycles: dbt.dispatch_cycles,
+            range: tb.cache_range(),
+            labels: HashMap::new(),
+            pend_insts: 0,
+            pend_cycles: 0,
+            outl: Vec::new(),
+            sites: Vec::new(),
+            ind_entries: Vec::new(),
+        };
+
+        // Intra-block branch targets become local labels.
+        for (addr, inst) in &insts {
+            if matches!(
+                inst,
+                Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::JRz { .. } | Inst::JRnz { .. }
+            ) {
+                if let Some(t) = inst.direct_target(*addr) {
+                    // Misaligned in-range targets deliberately get no label:
+                    // they must surface as UnalignedFetch via the runtime.
+                    if b.range.contains(&t)
+                        && (t - tb.cache_start).is_multiple_of(INST_SIZE_U64)
+                        && !b.labels.contains_key(&t)
+                    {
+                        let l = b.a.new_label();
+                        b.labels.insert(t, l);
+                    }
+                }
+            }
+        }
+
+        // A jump back to the block head must re-check the budget, so its
+        // label binds before the prologue.
+        if let Some(&l) = b.labels.get(&tb.cache_start) {
+            b.a.bind(l);
+        }
+        let l_budget = b.a.new_label();
+        b.a.alu_rr(Alu::Cmp, RBX, R12);
+        b.a.jcc(cc::AE, l_budget);
+        b.outl.push(Outl::Budget { l: l_budget, resume: tb.cache_start });
+
+        for (addr, inst) in &insts {
+            if *addr != tb.cache_start {
+                if let Some(&l) = b.labels.get(addr) {
+                    b.flush();
+                    b.a.bind(l);
+                }
+            }
+            b.emit_inst(*addr, *inst)?;
+        }
+        // Defensive: translator blocks always end in a terminator; if one
+        // ever does not, hand the fall-through back to the runtime.
+        b.flush();
+        b.emit_enter_exit(tb.cache_end, 0);
+        b.drain_outlined();
+
+        let BlockAsm { a, sites, ind_entries, .. } = b;
+        let bytes = a.finish();
+        let host = self.buf.alloc(&bytes).ok_or(CompileBail::Full)?;
+        debug_assert_eq!(host, base);
+        self.compiled.insert(tb.cache_start, host);
+        self.entries.insert(tb.cache_start, host);
+        for (site, chain) in sites {
+            self.sites.insert(site, chain);
+        }
+        for (site, seq) in ind_entries {
+            self.entries.insert(site, seq);
+        }
+        Ok(host)
+    }
+}
+
+/// Which memory helper an outlined slow path calls.
+#[derive(Clone, Copy)]
+enum MemOp {
+    Read,
+    Read8,
+    Write,
+    Write8,
+    Push,
+    Pop,
+}
+
+/// Outlined code emitted after the straight-line block body.
+enum Outl {
+    /// Conditional-branch taken arm: accounting, then transfer.
+    Taken { l: Label, cost: u64, target: u64 },
+    /// Hand control to the runtime at cache address `target`; `slot` is the
+    /// 5-byte jump to patch once `target`'s block is compiled.
+    Enter { l: Label, target: u64, slot: u64 },
+    /// Division-by-zero trap for the `Div` at cache address `ip`.
+    Div0 { l: Label, ip: u64 },
+    /// Session budget exhausted; resume at cache address `resume`.
+    Budget { l: Label, resume: u64 },
+    /// Memory-access slow path: the inline page check failed (straddle,
+    /// out of range, or permission), so call the helper that reproduces
+    /// the interpreter's full semantics. `pend_*` snapshot the accounting
+    /// pending at the access site: the slow path flushes it before the
+    /// call (so a trap exits with prior instructions retired) and undoes
+    /// the flush on success (the main line's own flush still runs later).
+    MemSlow { l: Label, done: Label, op: MemOp, ip: u64, pend_insts: u64, pend_cycles: u64 },
+}
+
+/// Single-block code generator. Accounting is batched: straight-line
+/// instruction/cycle counts accumulate at compile time (`pend_*`) and flush
+/// to the delta registers before anything that can leave the block.
+struct BlockAsm<'a> {
+    a: Asm,
+    exits: &'a [crate::engine::ExitDesc],
+    compiled: &'a HashMap<u64, u64>,
+    cost: &'a CostModel,
+    cond_tables: u64,
+    epilogue: u64,
+    trap_exit: u64,
+    dispatch_cycles: u64,
+    range: Range<u64>,
+    labels: HashMap<u64, Label>,
+    pend_insts: u64,
+    pend_cycles: u64,
+    outl: Vec<Outl>,
+    sites: Vec<(u64, ChainSite)>,
+    ind_entries: Vec<(u64, u64)>,
+}
+
+fn rslot(r: Reg) -> i32 {
+    O_REGS + (r.index() as i32) * 8
+}
+
+impl BlockAsm<'_> {
+    fn pend(&mut self, inst: &Inst, taken: bool) {
+        self.pend_insts += 1;
+        self.pend_cycles += self.cost.cost(inst, taken);
+    }
+
+    fn flush(&mut self) {
+        if self.pend_insts != 0 {
+            self.a.alu_ri(Alu::Add, RBX, self.pend_insts as i32);
+            self.pend_insts = 0;
+        }
+        if self.pend_cycles != 0 {
+            self.a.alu_ri(Alu::Add, R15, self.pend_cycles as i32);
+            self.pend_cycles = 0;
+        }
+    }
+
+    fn mov_imm(&mut self, r: HostReg, v: u64) {
+        if v <= i32::MAX as u64 {
+            self.a.mov_ri32(r, v as i32);
+        } else {
+            self.a.mov_ri64(r, v);
+        }
+    }
+
+    fn store_ctx_imm(&mut self, off: i32, v: u64) {
+        if v <= i32::MAX as u64 {
+            self.a.store_imm32(RBP, off, v as i32);
+        } else {
+            self.a.mov_ri64(RAX, v);
+            self.a.store(RBP, off, RAX);
+        }
+    }
+
+    fn call_helper(&mut self, f: usize) {
+        self.a.mov_ri64(RAX, f as u64);
+        self.a.call_r(RAX);
+    }
+
+    /// After a helper call: route to the trap-exit stub if it faulted.
+    fn trap_check(&mut self) {
+        self.a.cmp_mem_imm8(RBP, O_TRAP_DISC, 0);
+        self.a.jcc_abs(cc::NE, self.trap_exit);
+    }
+
+    /// Inline reproduction of [`Memory::in_page`] + the permission test:
+    /// guest address in `rcx`, page index left in `rax`, branches to
+    /// `l_slow` whenever the interpreter's general (slow) checks must run.
+    /// Clobbers `rax`/`rsi`; preserves `rcx` (address) and `rdx` (value).
+    fn emit_mem_check(&mut self, wide: bool, write: bool, l_slow: Label) {
+        self.a.mov_rr(RAX, RCX);
+        self.a.shift_imm(Shift::Shr, RAX, PAGE_SHIFT);
+        self.a.cmp_r_mem(RAX, RBP, O_MEM_PAGES);
+        self.a.jcc(cc::AE, l_slow);
+        if wide {
+            // An 8-byte access must not straddle the page boundary.
+            self.a.mov_rr(RSI, RCX);
+            self.a.alu_ri(Alu::And, RSI, (cfed_sim::PAGE_SIZE - 1) as i32);
+            self.a.alu_ri(Alu::Cmp, RSI, MAX_U64_OFFSET);
+            self.a.jcc(cc::A, l_slow);
+        }
+        self.a.load(RSI, RBP, O_MEM_PERMS);
+        self.a.test_mem8_imm2(RSI, RAX, if write { 2 } else { 1 });
+        self.a.jcc(cc::E, l_slow);
+    }
+
+    /// The write half of the fast path: dirty-bit and page-generation
+    /// bookkeeping (bit-for-bit what [`Memory::write_u64`] does in-page),
+    /// then the store itself. Page index in `rax`, address in `rcx`,
+    /// value in `rdx`.
+    fn emit_mem_commit_write(&mut self, wide: bool) {
+        self.a.load(RSI, RBP, O_MEM_DIRTY);
+        self.a.bts_mem_r(RSI, RAX);
+        self.a.load(RSI, RBP, O_MEM_GENS);
+        self.a.shift_imm(Shift::Shl, RAX, 3);
+        self.a.inc_mem2(RSI, RAX, 0);
+        self.a.load(RSI, RBP, O_MEM_BYTES);
+        if wide {
+            self.a.store2(RSI, RCX, 0, RDX);
+        } else {
+            self.a.store8_2(RSI, RCX, RDX);
+        }
+    }
+
+    /// The read half of the fast path: address in `rcx`, value to `rax`.
+    fn emit_mem_read(&mut self, wide: bool) {
+        self.a.load(RSI, RBP, O_MEM_BYTES);
+        if wide {
+            self.a.load2(RAX, RSI, RCX, 0);
+        } else {
+            self.a.load8_2(RAX, RSI, RCX);
+        }
+    }
+
+    /// Queues the outlined slow path for a memory access at cache address
+    /// `ip`, snapshotting the accounting pending at this point.
+    fn queue_mem_slow(&mut self, l: Label, done: Label, op: MemOp, ip: u64) {
+        self.outl.push(Outl::MemSlow {
+            l,
+            done,
+            op,
+            ip,
+            pend_insts: self.pend_insts,
+            pend_cycles: self.pend_cycles,
+        });
+    }
+
+    /// Leaves `cc.eval(guest flags)` in the host carry flag.
+    fn cond_to_cf(&mut self, cond: Cond) {
+        self.a.load_flags_al(O_FLAGS);
+        self.a.mov_ri64(RCX, self.cond_tables + 32 * cond.encoding() as u64);
+        self.a.bt_mem_r(RCX, RAX);
+    }
+
+    /// Captures add/sub/cmp/neg-style flags (all six) from the host ALU op
+    /// that just executed. Must run before anything clobbers host flags.
+    fn capture_full(&mut self) {
+        self.a.seto(RAX);
+        self.a.lahf();
+        self.a.shl_al_imm(5);
+        self.a.or_ah_al();
+        self.a.store_ah_rbp(O_FLAGS);
+    }
+
+    /// Captures logic-style flags (ZF/SF/PF of the value, rest zero) from
+    /// the host flags as currently set.
+    fn capture_logic(&mut self) {
+        self.a.lahf();
+        self.a.and_ah_imm(0xC4);
+        self.a.store_ah_rbp(O_FLAGS);
+    }
+
+    /// Branch retirement accounting, written directly (never pending).
+    fn branch_acct(&mut self, cycles: u64, taken: bool) {
+        self.a.alu_ri(Alu::Add, RBX, 1);
+        self.a.alu_ri(Alu::Add, R15, cycles as i32);
+        self.a.alu_ri(Alu::Add, R14, 1);
+        if taken {
+            self.a.alu_ri(Alu::Add, R13, 1);
+        }
+    }
+
+    /// Emits a transfer of control to cache address `target`.
+    fn transfer(&mut self, target: u64) {
+        if let Some(&l) = self.labels.get(&target) {
+            self.a.jmp(l);
+        } else if let Some(&host) = self.compiled.get(&target) {
+            self.a.jmp_abs(host);
+        } else {
+            let slot = self.a.here_abs();
+            let l = self.a.new_label();
+            self.a.jmp(l);
+            self.outl.push(Outl::Enter { l, target, slot });
+        }
+    }
+
+    /// Emits an inline `XK_ENTER` exit (used for the defensive fall-through).
+    fn emit_enter_exit(&mut self, target: u64, slot: u64) {
+        self.store_ctx_imm(O_RESUME_IP, target);
+        self.store_ctx_imm(O_SLOT_ADDR, slot);
+        self.a.store_imm32(RBP, O_EXIT_KIND, XK_ENTER as i32);
+        self.a.jmp_abs(self.epilogue);
+    }
+
+    /// Emits a trap stub: records the trap and exits the session.
+    fn emit_trap_exit(&mut self, disc: u64, a_val: u64, b_val: u64, ip: u64) {
+        self.store_ctx_imm(O_TRAP_A, a_val);
+        if b_val != 0 {
+            self.store_ctx_imm(O_TRAP_B, b_val);
+        }
+        self.store_ctx_imm(O_TRAP_DISC, disc);
+        self.store_ctx_imm(O_EXIT_IP, ip);
+        self.a.jmp_abs(self.trap_exit);
+    }
+
+    fn drain_outlined(&mut self) {
+        while let Some(o) = self.outl.pop() {
+            match o {
+                Outl::Taken { l, cost, target } => {
+                    self.a.bind(l);
+                    self.branch_acct(cost, true);
+                    self.transfer(target);
+                }
+                Outl::Enter { l, target, slot } => {
+                    self.a.bind(l);
+                    self.emit_enter_exit(target, slot);
+                }
+                Outl::Div0 { l, ip } => {
+                    self.a.bind(l);
+                    self.emit_trap_exit(2, ip, 0, ip);
+                }
+                Outl::Budget { l, resume } => {
+                    self.a.bind(l);
+                    self.store_ctx_imm(O_EXIT_IP, resume);
+                    self.a.store_imm32(RBP, O_EXIT_KIND, XK_BUDGET as i32);
+                    self.a.jmp_abs(self.epilogue);
+                }
+                Outl::MemSlow { l, done, op, ip, pend_insts, pend_cycles } => {
+                    self.a.bind(l);
+                    if pend_insts != 0 {
+                        self.a.alu_ri(Alu::Add, RBX, pend_insts as i32);
+                    }
+                    if pend_cycles != 0 {
+                        self.a.alu_ri(Alu::Add, R15, pend_cycles as i32);
+                    }
+                    self.a.mov_rr(RDI, RBP);
+                    match op {
+                        MemOp::Read | MemOp::Read8 => {
+                            self.a.mov_rr(RSI, RCX);
+                            self.mov_imm(RDX, ip);
+                            let f = if matches!(op, MemOp::Read) {
+                                nh_read as *const () as usize
+                            } else {
+                                nh_read8 as *const () as usize
+                            };
+                            self.call_helper(f);
+                        }
+                        MemOp::Write | MemOp::Write8 => {
+                            self.a.mov_rr(RSI, RCX);
+                            self.mov_imm(RCX, ip);
+                            let f = if matches!(op, MemOp::Write) {
+                                nh_write as *const () as usize
+                            } else {
+                                nh_write8 as *const () as usize
+                            };
+                            self.call_helper(f);
+                        }
+                        MemOp::Push => {
+                            self.a.mov_rr(RSI, RDX);
+                            self.mov_imm(RDX, ip);
+                            self.call_helper(nh_push as *const () as usize);
+                        }
+                        MemOp::Pop => {
+                            self.mov_imm(RSI, ip);
+                            self.call_helper(nh_pop as *const () as usize);
+                        }
+                    }
+                    self.trap_check();
+                    if pend_insts != 0 {
+                        self.a.alu_ri(Alu::Sub, RBX, pend_insts as i32);
+                    }
+                    if pend_cycles != 0 {
+                        self.a.alu_ri(Alu::Sub, R15, pend_cycles as i32);
+                    }
+                    self.a.jmp(done);
+                }
+            }
+        }
+    }
+
+    /// Emits the trap/exit-site form of a cache `Trap` instruction.
+    fn emit_trap_site(&mut self, addr: u64, code: u32) {
+        self.flush();
+        let idx = (code >= trap_codes::DBT_EXIT_BASE)
+            .then(|| (code - trap_codes::DBT_EXIT_BASE) as usize)
+            .filter(|&i| i < self.exits.len());
+        match idx.map(|i| (i, self.exits[i].kind)) {
+            Some((_, ExitKind::Direct { .. })) => {
+                // Patchable slot → exit stub; chain thunk parked after it.
+                let slot = self.a.here_abs();
+                let l_stub = self.a.new_label();
+                self.a.jmp(l_stub);
+                let thunk = self.a.here_abs();
+                let jmp_cost = self.cost.cost(&Inst::Jmp { offset: 0 }, true);
+                self.branch_acct(jmp_cost, true);
+                let thunk_jmp = self.a.here_abs();
+                self.a.jmp(l_stub); // patched to the target host entry
+                self.a.bind(l_stub);
+                self.emit_trap_exit(1, addr, code as u64, addr);
+                self.sites.push((addr, ChainSite { slot, thunk, thunk_jmp }));
+            }
+            Some((_, ExitKind::Indirect)) => {
+                // Inline-cache dispatch: tag-match on the guest target.
+                let seq = self.a.here_abs();
+                self.a.load(RAX, RBP, rslot(regs::ITARGET));
+                self.a.mov_rr(RCX, RAX);
+                self.a.shift_imm(Shift::Shr, RCX, 3);
+                self.a.and_ecx_imm8(15);
+                self.a.shift_imm(Shift::Shl, RCX, 3);
+                self.a.cmp_r_mem2(RAX, RBP, RCX, O_IC_TAGS);
+                let l_miss = self.a.new_label();
+                self.a.jcc(cc::NE, l_miss);
+                // Hit: the interpreter's dispatch trap + service accounting.
+                self.a.inc_mem(RBP, O_D_TRAPS);
+                self.a.alu_ri(Alu::Add, R15, self.dispatch_cycles as i32);
+                self.a.inc_mem(RBP, O_D_DISPATCHES);
+                self.a.inc_mem(RBP, O_D_IC_HITS);
+                self.a.jmp_mem2(RBP, RCX, O_IC_VALS);
+                self.a.bind(l_miss);
+                self.emit_trap_exit(1, addr, code as u64, addr);
+                self.ind_entries.push((addr, seq));
+            }
+            // Aborts and plain guest traps surface through the runtime.
+            _ => self.emit_trap_exit(1, addr, code as u64, addr),
+        }
+    }
+
+    fn emit_alu(&mut self, addr: u64, inst: &Inst, op: AluOp, dst: Reg) {
+        match op {
+            AluOp::Add | AluOp::Sub => {
+                let host = if op == AluOp::Add { Alu::Add } else { Alu::Sub };
+                self.a.alu_rr(host, RAX, RCX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.capture_full();
+                self.pend(inst, false);
+            }
+            AluOp::Cmp => {
+                self.a.alu_rr(Alu::Cmp, RAX, RCX);
+                self.capture_full();
+                self.pend(inst, false);
+            }
+            AluOp::And | AluOp::Or | AluOp::Xor => {
+                let host = match op {
+                    AluOp::And => Alu::And,
+                    AluOp::Or => Alu::Or,
+                    _ => Alu::Xor,
+                };
+                self.a.alu_rr(host, RAX, RCX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.capture_logic();
+                self.pend(inst, false);
+            }
+            AluOp::Test => {
+                self.a.test_rr(RAX, RCX);
+                self.capture_logic();
+                self.pend(inst, false);
+            }
+            AluOp::Shl | AluOp::Shr | AluOp::Sar => {
+                let host = match op {
+                    AluOp::Shl => Shift::Shl,
+                    AluOp::Shr => Shift::Shr,
+                    _ => Shift::Sar,
+                };
+                // Count 0 keeps the value and produces logic-style flags of
+                // it (the ISA contract; host shifts leave flags unchanged).
+                self.a.and_ecx_imm8(63);
+                let l_zero = self.a.new_label();
+                let l_done = self.a.new_label();
+                self.a.jcc_short(cc::E, l_zero);
+                self.a.shift_cl(host, RAX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.a.lahf();
+                self.a.and_ah_imm(0xC5); // keep CF too
+                self.a.jmp_short(l_done);
+                self.a.bind(l_zero);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.a.test_rr(RAX, RAX);
+                self.a.lahf();
+                self.a.and_ah_imm(0xC4);
+                self.a.bind(l_done);
+                self.a.store_ah_rbp(O_FLAGS);
+                self.pend(inst, false);
+            }
+            AluOp::Mul => {
+                // imul's CF=OF is exactly the ISA's signed-overflow bit;
+                // ZF/SF/PF are recomputed from the result.
+                self.a.imul_rr(RAX, RCX);
+                self.a.seto(RCX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.a.test_rr(RAX, RAX);
+                self.a.lahf();
+                self.a.and_ah_imm(0xC4);
+                self.a.movzx_ecx_cl();
+                self.a.imul_ecx_imm8(0x21); // CF | OF bit positions
+                self.a.or_ah_cl();
+                self.a.store_ah_rbp(O_FLAGS);
+                self.pend(inst, false);
+            }
+            AluOp::Div => {
+                self.flush();
+                self.a.test_rr(RCX, RCX);
+                let l_zero = self.a.new_label();
+                self.a.jcc(cc::E, l_zero);
+                self.outl.push(Outl::Div0 { l: l_zero, ip: addr });
+                self.a.xor_r32(RDX);
+                self.a.div(RCX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.a.test_rr(RAX, RAX);
+                self.a.lahf();
+                self.a.and_ah_imm(0xC4);
+                self.a.store_ah_rbp(O_FLAGS);
+                self.pend(inst, false);
+            }
+        }
+    }
+
+    fn emit_inst(&mut self, addr: u64, inst: Inst) -> Result<(), CompileBail> {
+        match inst {
+            Inst::Nop => self.pend(&inst, false),
+            Inst::Halt => {
+                self.pend(&inst, false);
+                self.flush();
+                self.store_ctx_imm(O_EXIT_IP, addr + INST_SIZE_U64);
+                self.a.store_imm32(RBP, O_EXIT_KIND, XK_HALT as i32);
+                self.a.jmp_abs(self.epilogue);
+            }
+            Inst::Out { src } => {
+                self.flush();
+                self.a.mov_rr(RDI, RBP);
+                self.a.load(RSI, RBP, rslot(src));
+                self.call_helper(nh_out as *const () as usize);
+                self.pend(&inst, false);
+            }
+            Inst::Trap { code } => self.emit_trap_site(addr, code),
+            Inst::MovRR { dst, src } => {
+                self.a.load(RAX, RBP, rslot(src));
+                self.a.store(RBP, rslot(dst), RAX);
+                self.pend(&inst, false);
+            }
+            Inst::MovRI { dst, imm } => {
+                self.a.mov_ri32(RAX, imm);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.pend(&inst, false);
+            }
+            Inst::Ld { dst, base, disp } | Inst::Ld8 { dst, base, disp } => {
+                let wide = matches!(inst, Inst::Ld { .. });
+                self.a.load(RCX, RBP, rslot(base));
+                if disp != 0 {
+                    self.a.lea(RCX, RCX, disp);
+                }
+                let l_slow = self.a.new_label();
+                let l_done = self.a.new_label();
+                self.emit_mem_check(wide, false, l_slow);
+                self.emit_mem_read(wide);
+                self.a.bind(l_done);
+                self.a.store(RBP, rslot(dst), RAX);
+                let op = if wide { MemOp::Read } else { MemOp::Read8 };
+                self.queue_mem_slow(l_slow, l_done, op, addr);
+                self.pend(&inst, false);
+            }
+            Inst::St { base, src, disp } | Inst::St8 { base, src, disp } => {
+                let wide = matches!(inst, Inst::St { .. });
+                self.a.load(RCX, RBP, rslot(base));
+                if disp != 0 {
+                    self.a.lea(RCX, RCX, disp);
+                }
+                self.a.load(RDX, RBP, rslot(src));
+                let l_slow = self.a.new_label();
+                let l_done = self.a.new_label();
+                self.emit_mem_check(wide, true, l_slow);
+                self.emit_mem_commit_write(wide);
+                self.a.bind(l_done);
+                let op = if wide { MemOp::Write } else { MemOp::Write8 };
+                self.queue_mem_slow(l_slow, l_done, op, addr);
+                self.pend(&inst, false);
+            }
+            Inst::Push { src } => {
+                self.a.load(RCX, RBP, rslot(Reg::SP));
+                self.a.lea(RCX, RCX, -8);
+                self.a.load(RDX, RBP, rslot(src));
+                let l_slow = self.a.new_label();
+                let l_done = self.a.new_label();
+                self.emit_mem_check(true, true, l_slow);
+                self.emit_mem_commit_write(true);
+                self.a.store(RBP, rslot(Reg::SP), RCX);
+                self.a.bind(l_done);
+                self.queue_mem_slow(l_slow, l_done, MemOp::Push, addr);
+                self.pend(&inst, false);
+            }
+            Inst::Pop { dst } => {
+                self.a.load(RCX, RBP, rslot(Reg::SP));
+                let l_slow = self.a.new_label();
+                let l_done = self.a.new_label();
+                self.emit_mem_check(true, false, l_slow);
+                self.emit_mem_read(true);
+                self.a.lea(RCX, RCX, 8);
+                self.a.store(RBP, rslot(Reg::SP), RCX);
+                self.a.bind(l_done);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.queue_mem_slow(l_slow, l_done, MemOp::Pop, addr);
+                self.pend(&inst, false);
+            }
+            Inst::CMov { cc: cond, dst, src } => {
+                self.cond_to_cf(cond);
+                self.a.load(RAX, RBP, rslot(src));
+                self.a.load(RDX, RBP, rslot(dst));
+                self.a.cmovcc(cc::B, RDX, RAX);
+                self.a.store(RBP, rslot(dst), RDX);
+                self.pend(&inst, false);
+            }
+            Inst::Alu { op, dst, src } => {
+                self.a.load(RAX, RBP, rslot(dst));
+                self.a.load(RCX, RBP, rslot(src));
+                self.emit_alu(addr, &inst, op, dst);
+            }
+            Inst::AluI { op, dst, imm } => {
+                self.a.load(RAX, RBP, rslot(dst));
+                self.a.mov_ri32(RCX, imm);
+                self.emit_alu(addr, &inst, op, dst);
+            }
+            Inst::Neg { dst } => {
+                self.a.load(RAX, RBP, rslot(dst));
+                self.a.neg(RAX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.capture_full();
+                self.pend(&inst, false);
+            }
+            Inst::Not { dst } => {
+                self.a.load(RAX, RBP, rslot(dst));
+                self.a.not(RAX);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.a.test_rr(RAX, RAX);
+                self.capture_logic();
+                self.pend(&inst, false);
+            }
+            Inst::Lea { dst, base, disp } => {
+                self.a.load(RAX, RBP, rslot(base));
+                self.a.lea(RAX, RAX, disp);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.pend(&inst, false);
+            }
+            Inst::Lea2 { dst, base, index, disp } => {
+                self.a.load(RAX, RBP, rslot(base));
+                self.a.load(RCX, RBP, rslot(index));
+                self.a.lea2(RAX, RAX, RCX, disp);
+                self.a.store(RBP, rslot(dst), RAX);
+                self.pend(&inst, false);
+            }
+            Inst::LeaSub { dst, base, index, disp } => {
+                // base - index + disp == base + !index + (disp + 1), which
+                // keeps the whole thing flag-free lea arithmetic.
+                self.a.load(RCX, RBP, rslot(index));
+                self.a.not(RCX);
+                self.a.load(RAX, RBP, rslot(base));
+                if disp == i32::MAX {
+                    self.a.lea2(RAX, RAX, RCX, disp);
+                    self.a.lea(RAX, RAX, 1);
+                } else {
+                    self.a.lea2(RAX, RAX, RCX, disp + 1);
+                }
+                self.a.store(RBP, rslot(dst), RAX);
+                self.pend(&inst, false);
+            }
+            Inst::Jmp { .. } => {
+                let target = inst.direct_target(addr).expect("jmp target");
+                self.flush();
+                self.branch_acct(self.cost.cost(&inst, true), true);
+                self.transfer(target);
+            }
+            Inst::Jcc { cc: cond, .. } => {
+                let target = inst.direct_target(addr).expect("jcc target");
+                self.flush();
+                self.cond_to_cf(cond);
+                let l_taken = self.a.new_label();
+                self.a.jcc(cc::B, l_taken);
+                self.branch_acct(self.cost.cost(&inst, false), false);
+                self.outl.push(Outl::Taken {
+                    l: l_taken,
+                    cost: self.cost.cost(&inst, true),
+                    target,
+                });
+            }
+            Inst::JRz { src, .. } | Inst::JRnz { src, .. } => {
+                let target = inst.direct_target(addr).expect("jr target");
+                self.flush();
+                self.a.load(RAX, RBP, rslot(src));
+                self.a.test_rr(RAX, RAX);
+                let l_taken = self.a.new_label();
+                let host_cc = if matches!(inst, Inst::JRz { .. }) { cc::E } else { cc::NE };
+                self.a.jcc(host_cc, l_taken);
+                self.branch_acct(self.cost.cost(&inst, false), false);
+                self.outl.push(Outl::Taken {
+                    l: l_taken,
+                    cost: self.cost.cost(&inst, true),
+                    target,
+                });
+            }
+            // Translator output never contains raw calls/returns (they are
+            // rewritten into glue + exit sites); refuse rather than guess.
+            Inst::Call { .. } | Inst::CallR { .. } | Inst::JmpR { .. } | Inst::Ret => {
+                return Err(CompileBail::Unsupported)
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether this build/host/environment can run the native backend at all
+/// (`x86-64 Linux`, and `CFED_NO_NATIVE` not set to a truthy value).
+pub fn native_enabled() -> bool {
+    let platform = cfg!(all(target_arch = "x86_64", target_os = "linux"));
+    let disabled =
+        std::env::var("CFED_NO_NATIVE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    platform && !disabled
+}
+
+/// A [`Dbt`] with a native x86-64 execution tier.
+///
+/// Translation, chaining decisions, dispatch, SMC handling and all
+/// statistics remain the engine's; this wrapper only swaps the *execution*
+/// of translated cache code from the fused interpreter to compiled host
+/// code. Falls back to [`Dbt::run`] wholesale when the platform lacks RWX
+/// code buffers, `CFED_NO_NATIVE` is set, or a tracer is attached — results
+/// are bit-identical either way.
+///
+/// # Examples
+///
+/// ```
+/// use cfed_dbt::{DbtExit, NativeDbt, NullInstrumenter, UpdateStyle};
+/// use cfed_isa::{encode_all, AluOp, Cond, Inst, Reg};
+/// use cfed_sim::Machine;
+///
+/// let code = encode_all(&[
+///     Inst::MovRI { dst: Reg::R0, imm: 5 },
+///     Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 },
+///     Inst::Jcc { cc: Cond::Ne, offset: -16 },
+///     Inst::Halt,
+/// ]);
+/// let mut m = Machine::load(&code, &[], 0);
+/// let mut dbt = NativeDbt::new(Box::new(NullInstrumenter), UpdateStyle::Jcc, &mut m);
+/// assert_eq!(dbt.run(&mut m, 10_000), DbtExit::Halted { code: 0 });
+/// ```
+pub struct NativeDbt {
+    dbt: Dbt,
+    jit: Option<Jit>,
+}
+
+impl NativeDbt {
+    /// Creates the engine; native execution is enabled when
+    /// [`native_enabled`] says the platform and environment allow it.
+    pub fn new(instr: Box<dyn Instrumenter>, style: UpdateStyle, m: &mut Machine) -> NativeDbt {
+        Self::with_native(instr, style, m, native_enabled())
+    }
+
+    /// As [`NativeDbt::new`] with an explicit native on/off switch (used by
+    /// harnesses that must not depend on ambient environment variables).
+    pub fn with_native(
+        instr: Box<dyn Instrumenter>,
+        style: UpdateStyle,
+        m: &mut Machine,
+        native: bool,
+    ) -> NativeDbt {
+        let dbt = Dbt::new(instr, style, m);
+        let mut jit = if native { Jit::new() } else { None };
+        if let Some(j) = jit.as_mut() {
+            j.gen = (dbt.flush_gen, dbt.stats.smc_flushes);
+        }
+        NativeDbt { dbt, jit }
+    }
+
+    /// `true` when translated blocks actually execute as host code.
+    pub fn is_native(&self) -> bool {
+        self.jit.is_some()
+    }
+
+    /// The underlying engine (stats, block table, cache region...).
+    pub fn dbt(&self) -> &Dbt {
+        &self.dbt
+    }
+
+    /// Mutable access to the underlying engine (tuning knobs).
+    pub fn dbt_mut(&mut self) -> &mut Dbt {
+        &mut self.dbt
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> crate::engine::DbtStats {
+        self.dbt.stats()
+    }
+
+    /// Runs until halt, surfaced trap, or `max_insts` retired instructions,
+    /// bit-identical to [`Dbt::run`] on the same machine.
+    pub fn run(&mut self, m: &mut Machine, max_insts: u64) -> DbtExit {
+        let NativeDbt { dbt, jit } = self;
+        let Some(jit) = jit.as_mut() else {
+            return dbt.run(m, max_insts);
+        };
+        if m.tracer.is_some() {
+            // Tracing wants per-instruction visibility; stay interpreted.
+            return dbt.run(m, max_insts);
+        }
+        jit.check_gen(dbt);
+        let start = m.cpu.stats().insts;
+        loop {
+            let used = m.cpu.stats().insts - start;
+            if used >= max_insts {
+                dbt.emit_stats();
+                return DbtExit::StepLimit;
+            }
+            let remaining = max_insts - used;
+            if remaining < NATIVE_MIN_BUDGET {
+                // Interpreted tail: lands the step limit on the exact
+                // instruction boundary Dbt::run would.
+                return dbt.run(m, remaining);
+            }
+            if !dbt.attached {
+                // Attach strictly after the budget checks, as Dbt::run does.
+                if let Err(t) = dbt.attach(m) {
+                    dbt.emit_stats();
+                    return DbtExit::Trapped(t);
+                }
+                jit.check_gen(dbt);
+            }
+            let ip = m.cpu.ip();
+            let entry = match jit.entries.get(&ip).copied() {
+                Some(e) => Some(e),
+                None => match dbt.blocks().find(|b| b.cache_start == ip).copied() {
+                    Some(tb) => jit.ensure_compiled(dbt, m, &tb),
+                    None => None,
+                },
+            };
+            let Some(entry) = entry else {
+                // Not native-executable here (mid-block resume, err stub,
+                // uncompilable block): interpret one step and re-evaluate.
+                match dbt.step(m) {
+                    DbtStep::Continue => {
+                        jit.check_gen(dbt);
+                        jit.resync_chains(dbt, m);
+                        jit.resync_ic(dbt, m);
+                        continue;
+                    }
+                    DbtStep::Halted => {
+                        dbt.emit_stats();
+                        return DbtExit::Halted { code: m.cpu.reg(Reg::R0) };
+                    }
+                    DbtStep::Exit(t) => {
+                        dbt.emit_stats();
+                        return DbtExit::Trapped(t);
+                    }
+                }
+            };
+            jit.enter(m, entry, remaining);
+            dbt.stats.dispatches += jit.ctx.d_dispatches;
+            dbt.stats.dispatch_ic_hits += jit.ctx.d_ic_hits;
+            match jit.ctx.exit_kind {
+                XK_HALT => {
+                    m.cpu.set_ip(jit.ctx.exit_ip);
+                    m.cpu.set_halted();
+                    dbt.emit_stats();
+                    return DbtExit::Halted { code: m.cpu.reg(Reg::R0) };
+                }
+                XK_BUDGET => {
+                    m.cpu.set_ip(jit.ctx.exit_ip);
+                }
+                XK_ENTER => {
+                    let resume = jit.ctx.resume_ip;
+                    let slot = jit.ctx.slot_addr;
+                    m.cpu.set_ip(resume);
+                    if let Some(tb) = dbt.blocks().find(|b| b.cache_start == resume).copied() {
+                        let nukes = jit.nukes;
+                        if let Some(host) = jit.ensure_compiled(dbt, m, &tb) {
+                            if slot != 0 && jit.nukes == nukes {
+                                jit.buf.patch(slot, &x86::jmp_rel32_bytes(slot, host));
+                            }
+                        }
+                    }
+                }
+                XK_TRAP => {
+                    m.cpu.set_ip(jit.ctx.exit_ip);
+                    // The interpreter counts the trap when raising it.
+                    m.cpu.apply_native_delta(0, 0, 0, 0, 1);
+                    let trap = decode_trap(jit.ctx.trap_disc, jit.ctx.trap_a, jit.ctx.trap_b);
+                    let direct_idx = match trap {
+                        Trap::Software { code, .. }
+                            if code >= trap_codes::DBT_EXIT_BASE
+                                && ((code - trap_codes::DBT_EXIT_BASE) as usize)
+                                    < dbt.exits.len() =>
+                        {
+                            Some((code - trap_codes::DBT_EXIT_BASE) as usize)
+                        }
+                        _ => None,
+                    };
+                    let gen_before = (dbt.flush_gen, dbt.stats.smc_flushes);
+                    match dbt.handle_trap(m, trap) {
+                        DbtStep::Continue => {
+                            jit.check_gen(dbt);
+                            if (dbt.flush_gen, dbt.stats.smc_flushes) == gen_before {
+                                if let Some(idx) = direct_idx {
+                                    jit.try_chain(dbt, m, idx);
+                                }
+                            }
+                            jit.chains_shadow = dbt.stats.chains;
+                            jit.resync_ic(dbt, m);
+                        }
+                        DbtStep::Halted => {
+                            dbt.emit_stats();
+                            return DbtExit::Halted { code: m.cpu.reg(Reg::R0) };
+                        }
+                        DbtStep::Exit(t) => {
+                            dbt.emit_stats();
+                            return DbtExit::Trapped(t);
+                        }
+                    }
+                }
+                kind => unreachable!("bad native exit kind {kind}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for bits in 0..64u8 {
+            let f = Flags::from_bits(bits);
+            assert_eq!(flags_from_host(host_flags_byte(f)), f, "bits {bits:#08b}");
+            // lahf always sets bit 1; the decode must not care.
+            assert_eq!(flags_from_host(host_flags_byte(f) | 0b10), f);
+        }
+    }
+
+    #[test]
+    fn cond_tables_match_eval() {
+        // The emitted `bt` consults a bitmap; verify it against Cond::eval
+        // for every condition and every possible flags byte.
+        let mut tables = [0u8; 16 * 32];
+        for cond in Cond::ALL {
+            let base = cond.encoding() as usize * 32;
+            for h in 0..256usize {
+                if cond.eval(flags_from_host(h as u8)) {
+                    tables[base + h / 8] |= 1 << (h % 8);
+                }
+            }
+        }
+        for cond in Cond::ALL {
+            let base = cond.encoding() as usize * 32;
+            for bits in 0..64u8 {
+                let f = Flags::from_bits(bits);
+                for noise in [0u8, 0b10, 0b1000, 0b1010] {
+                    let h = (host_flags_byte(f) | noise) as usize;
+                    let bit = tables[base + h / 8] >> (h % 8) & 1;
+                    assert_eq!(bit == 1, cond.eval(f), "{cond:?} flags {bits:#08b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trap_encoding_roundtrip() {
+        let traps = [
+            Trap::Software { addr: 0x1234, code: trap_codes::CFE_DETECTED },
+            Trap::Software { addr: 8, code: trap_codes::DBT_EXIT_BASE + 7 },
+            Trap::DivByZero { addr: 0x40 },
+            Trap::OutOfRange { addr: u64::MAX },
+            Trap::PermRead { addr: 0 },
+            Trap::PermWrite { addr: 0x7000 },
+            Trap::PermExec { addr: 0x9000 },
+            Trap::UnalignedFetch { addr: 3 },
+        ];
+        for t in traps {
+            let (d, a, b) = encode_trap(&t);
+            assert_eq!(decode_trap(d, a, b), t);
+        }
+    }
+
+    #[test]
+    fn ctx_layout_is_stable() {
+        // Emitted code bakes these in; a silent reorder would be chaos.
+        assert_eq!(O_REGS, 0);
+        assert_eq!(O_FLAGS, 0x80);
+        assert_eq!(rslot(Reg::SP), 0x78);
+        const { assert!(O_IC_TAGS > O_SESSION_LIMIT) };
+        assert_eq!(O_IC_VALS - O_IC_TAGS, 8 * DISPATCH_IC_SIZE as i32);
+    }
+}

@@ -1,10 +1,10 @@
 //! The N-way differential oracle.
 //!
 //! Runs one image on every execution backend the stack provides — raw
-//! interpreter, fused interpreter, DBT per-step, DBT block-fused — crossed
-//! with every control-flow-checking technique and both conditional-update
-//! styles, then diffs the runs pairwise. The first divergent pair (in a
-//! fixed, deterministic order) is the verdict.
+//! interpreter, fused interpreter, DBT per-step, DBT block-fused, DBT
+//! native x86-64 — crossed with every control-flow-checking technique and
+//! both conditional-update styles, then diffs the runs pairwise. The first
+//! divergent pair (in a fixed, deterministic order) is the verdict.
 //!
 //! Three comparison strengths, matching the invariants the stack pins in
 //! its own test suites:
@@ -12,10 +12,13 @@
 //! * **Interpreter pair** (raw vs fused): the decode cache is pure
 //!   mechanism, so *full architectural state* must match — registers,
 //!   flags, IP, retired-instruction/cycle counts and the output stream.
-//! * **DBT dispatch pair** (per-step vs block-fused, same config): exit,
-//!   output, cycles, retired instructions and the translator counters
-//!   `blocks`/`chains`/`dispatches`/`smc_flushes`/`dispatch_ic_hits` must
-//!   match (block fusion may not change what was translated or executed).
+//! * **DBT dispatch group** (per-step vs block-fused vs native, same
+//!   config): exit, output, cycles, retired instructions and the translator
+//!   counters `blocks`/`chains`/`dispatches`/`smc_flushes`/
+//!   `dispatch_ic_hits` must match (neither block fusion nor native code
+//!   generation may change what was translated or executed). The native
+//!   engine transparently falls back to the fused cache on hosts where the
+//!   backend is unavailable, so this comparison is meaningful everywhere.
 //! * **Cross-engine** (interpreter vs DBT): instrumentation legitimately
 //!   changes cost, so only the observable contract is compared — output
 //!   stream and normalized exit (see [`exits_compatible`]).
@@ -23,7 +26,7 @@
 use crate::gen::{GeneratedProgram, Tier};
 use cfed_asm::Image;
 use cfed_core::TechniqueKind;
-use cfed_dbt::{CheckPolicy, Dbt, DbtExit, DbtStats, NullInstrumenter, UpdateStyle};
+use cfed_dbt::{CheckPolicy, Dbt, DbtExit, DbtStats, NativeDbt, NullInstrumenter, UpdateStyle};
 use cfed_sim::{Cpu, ExitReason, Machine, Trap};
 
 /// Identifies one backend in the oracle matrix.
@@ -38,7 +41,7 @@ pub struct BackendId {
     pub style: UpdateStyle,
 }
 
-/// The four execution paths of the stack.
+/// The five execution paths of the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// Interpreter, decode cache off.
@@ -49,6 +52,9 @@ pub enum Engine {
     DbtStep,
     /// DBT with block-fused cache execution.
     DbtFused,
+    /// DBT with the native x86-64 backend (falls back to block-fused cache
+    /// execution, bit-identically, where the backend is unavailable).
+    DbtNative,
 }
 
 impl BackendId {
@@ -59,6 +65,7 @@ impl BackendId {
             Engine::InterpFused => "interp-fused",
             Engine::DbtStep => "dbt-step",
             Engine::DbtFused => "dbt-fused",
+            Engine::DbtNative => "dbt-native",
         };
         match self.technique {
             None => engine.to_string(),
@@ -149,12 +156,19 @@ fn run_interp(image: &Image, id: BackendId, max_insts: u64) -> BackendRun {
 fn run_dbt_engine(image: &Image, id: BackendId, max_insts: u64) -> BackendRun {
     let mut m = load(image);
     // Per-step vs block-fused is selected by the decode cache's presence at
-    // translator attach time (the DBT fuses only when the machine fuses).
-    m.set_decode_cache(matches!(id.engine, Engine::DbtFused));
+    // translator attach time (the DBT fuses only when the machine fuses);
+    // the native backend requires the fused cache underneath it.
+    m.set_decode_cache(!matches!(id.engine, Engine::DbtStep));
     let instr: Box<dyn cfed_dbt::Instrumenter> = match id.technique {
         Some(kind) => kind.instrumenter_for(image, CheckPolicy::AllBb),
         None => Box::new(NullInstrumenter),
     };
+    if matches!(id.engine, Engine::DbtNative) {
+        let mut dbt = NativeDbt::new(instr, id.style, &mut m);
+        let exit = dbt.run(&mut m, max_insts);
+        let stats = dbt.stats();
+        return finish(id, exit, m, Some(stats));
+    }
     let mut dbt = Dbt::new(instr, id.style, &mut m);
     let exit = dbt.run(&mut m, max_insts);
     finish(id, exit, m, Some(dbt.stats()))
@@ -355,12 +369,19 @@ pub fn run_oracle(prog: &GeneratedProgram, max_insts: u64) -> OracleReport {
             BackendId { engine: Engine::DbtFused, technique, style },
             max_insts,
         );
+        let native_dbt = run_dbt_engine(
+            image,
+            BackendId { engine: Engine::DbtNative, technique, style },
+            max_insts,
+        );
         if divergence.is_none() {
             divergence = diff_dispatch_pair(&step, &fused_dbt)
+                .or_else(|| diff_dispatch_pair(&fused_dbt, &native_dbt))
                 .or_else(|| diff_cross_engine(&runs[0], &fused_dbt, prog.tier));
         }
         runs.push(step);
         runs.push(fused_dbt);
+        runs.push(native_dbt);
     }
 
     OracleReport { runs, divergence }
@@ -374,7 +395,9 @@ pub fn pair_diverges(image: &Image, left: &str, right: &str, tier: Tier, max_ins
     let Some(b) = all.iter().find(|b| b.label() == right) else { return false };
     let run = |id: &BackendId| match id.engine {
         Engine::InterpRaw | Engine::InterpFused => run_interp(image, *id, max_insts),
-        Engine::DbtStep | Engine::DbtFused => run_dbt_engine(image, *id, max_insts),
+        Engine::DbtStep | Engine::DbtFused | Engine::DbtNative => {
+            run_dbt_engine(image, *id, max_insts)
+        }
     };
     let (ra, rb) = (run(a), run(b));
     diff_for_pair(&ra, &rb, tier).is_some()
@@ -389,6 +412,7 @@ pub fn backend_ids() -> Vec<BackendId> {
     for (technique, style) in technique_matrix() {
         ids.push(BackendId { engine: Engine::DbtStep, technique, style });
         ids.push(BackendId { engine: Engine::DbtFused, technique, style });
+        ids.push(BackendId { engine: Engine::DbtNative, technique, style });
     }
     ids
 }
@@ -398,10 +422,11 @@ fn diff_for_pair(a: &BackendRun, b: &BackendRun, tier: Tier) -> Option<Divergenc
     use Engine::*;
     match (a.id.engine, b.id.engine) {
         (InterpRaw, InterpFused) | (InterpFused, InterpRaw) => diff_exact_cpu(a, b),
-        (DbtStep, DbtFused) => diff_dispatch_pair(a, b),
-        (DbtFused, DbtStep) => diff_dispatch_pair(b, a),
-        (InterpRaw | InterpFused, DbtStep | DbtFused) => diff_cross_engine(a, b, tier),
-        (DbtStep | DbtFused, InterpRaw | InterpFused) => diff_cross_engine(b, a, tier),
+        (DbtStep | DbtFused | DbtNative, DbtStep | DbtFused | DbtNative) => {
+            diff_dispatch_pair(a, b)
+        }
+        (InterpRaw | InterpFused, DbtStep | DbtFused | DbtNative) => diff_cross_engine(a, b, tier),
+        (DbtStep | DbtFused | DbtNative, InterpRaw | InterpFused) => diff_cross_engine(b, a, tier),
         _ => diff_exact_cpu(a, b),
     }
 }
@@ -414,8 +439,14 @@ mod tests {
     #[test]
     fn matrix_covers_all_paths_and_techniques() {
         let ids = backend_ids();
-        assert_eq!(ids.len(), 2 + 2 * (1 + 2 * 5));
-        for engine in [Engine::InterpRaw, Engine::InterpFused, Engine::DbtStep, Engine::DbtFused] {
+        assert_eq!(ids.len(), 2 + 3 * (1 + 2 * 5));
+        for engine in [
+            Engine::InterpRaw,
+            Engine::InterpFused,
+            Engine::DbtStep,
+            Engine::DbtFused,
+            Engine::DbtNative,
+        ] {
             assert!(ids.iter().any(|b| b.engine == engine));
         }
         for kind in TechniqueKind::ALL_FIVE {

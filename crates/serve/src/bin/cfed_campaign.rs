@@ -43,14 +43,16 @@
 //! (both are ratios of two passes on the same host, so a committed
 //! baseline is portable across runners). It also times the profiler-capable
 //! dispatch with profiling off against the direct decoded loop and fails
-//! outright (no baseline needed) if the dispatch costs ≥1% throughput.
+//! outright (no baseline needed) if the dispatch costs ≥1% throughput, and
+//! — where the host supports it — the DBT's x86-64 native backend against
+//! the decoded interpreter, failing outright below a 2x floor.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use cfed_core::{Category, TechniqueKind};
+use cfed_core::{run_dbt_native_enabled, Category, RunConfig, TechniqueKind};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
 use cfed_fault::CategoryStats;
 use cfed_runner::cli::Parser;
@@ -723,6 +725,113 @@ fn bench_interp() -> Result<InterpPerf, String> {
     })
 }
 
+/// Hard floor on native-JIT-over-decoded-interpreter guest throughput, in
+/// milli-ratio units (2000 = 2.00x). Like the profiler-off gate this needs
+/// no committed baseline — both laps run in the same invocation on the
+/// same host, so the ratio self-normalizes — and a native backend that
+/// cannot double the decoded interpreter is a regression outright.
+const NATIVE_MIN_RATIO_MILLI: u64 = 2000;
+
+/// Native-backend throughput measurement over the bench workloads.
+struct NativePerf {
+    native_mips: f64,
+    decoded_mips: f64,
+    /// Native-over-decoded-interpreter throughput ratio.
+    over_decoded: f64,
+}
+
+/// Scale factor for the native laps. The @test instances retire ~10–30k
+/// guest instructions, so the JIT's fixed per-run costs (code-buffer
+/// mapping, block compilation) dominate and the measurement says nothing
+/// about emitted-code throughput; at this scale each lap retires a few
+/// million instructions and translation amortizes to noise, which is the
+/// regime the backend exists for.
+const NATIVE_BENCH_SCALE: u64 = 400;
+
+/// Times the DBT's x86-64 native backend against the decoded interpreter
+/// on the bench workloads at [`NATIVE_BENCH_SCALE`] (uninstrumented
+/// baseline configuration; translation included and amortized). Every
+/// native lap must retire bit-identically to a fused-interpreter DBT
+/// reference run, and every interpreter lap must produce the same guest
+/// output. Returns `None` where the native backend is unavailable
+/// (non-x86-64 hosts, `CFED_NO_NATIVE=1`) so the record and gates degrade
+/// gracefully. Laps interleave (alternating order) with the same
+/// best-of-`REPS` discipline as [`bench_profiler_off_once`]; both MIPS
+/// figures use the interpreter's guest instruction count as numerator, so
+/// the ratio is a pure time ratio over identical guest work (the DBT's
+/// own counter includes translation glue and would flatter it).
+fn bench_native() -> Result<Option<NativePerf>, String> {
+    if !cfed_dbt::native_enabled() {
+        return Ok(None);
+    }
+    const WARMUP: usize = 1;
+    const REPS: usize = 5;
+    let scale = Scale::Custom(NATIVE_BENCH_SCALE);
+    let specs = [WorkloadSpec::named("164.gzip", scale), WorkloadSpec::named("181.mcf", scale)];
+    let cfg = RunConfig { max_insts: u64::MAX, ..RunConfig::baseline() };
+    let mut native = (0u64, 0.0f64); // (guest insts, best-case seconds)
+    let mut decoded = (0u64, 0.0f64);
+    for spec in &specs {
+        let image = spec.image()?;
+        let reference = run_dbt_native_enabled(&image, &cfg, false);
+        let mut best = [f64::INFINITY; 2]; // [decoded, native]
+        let mut guest_insts = 0;
+        for rep in 0..WARMUP + REPS {
+            let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
+            for use_native in order {
+                if use_native {
+                    let timer = std::time::Instant::now();
+                    let outcome = run_dbt_native_enabled(&image, &cfg, true);
+                    let secs = timer.elapsed().as_secs_f64();
+                    if outcome != reference {
+                        return Err(format!("native-backend divergence on {}", spec.key()));
+                    }
+                    if rep >= WARMUP {
+                        best[1] = best[1].min(secs);
+                    }
+                } else {
+                    let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+                    let timer = std::time::Instant::now();
+                    let _ = m.run(u64::MAX);
+                    let secs = timer.elapsed().as_secs_f64();
+                    if m.cpu.take_output() != reference.output {
+                        return Err(format!("native-vs-interpreter divergence on {}", spec.key()));
+                    }
+                    guest_insts = m.cpu.stats().insts;
+                    if rep >= WARMUP {
+                        best[0] = best[0].min(secs);
+                    }
+                }
+            }
+        }
+        decoded.0 += guest_insts;
+        decoded.1 += best[0];
+        native.0 += guest_insts;
+        native.1 += best[1];
+        if std::env::var_os("CFED_BENCH_VERBOSE").is_some() {
+            eprintln!(
+                "cfed-campaign bench: native     {} decoded {:.1} MIPS, native {:.1} MIPS",
+                spec.key(),
+                guest_insts as f64 / best[0] / 1e6,
+                guest_insts as f64 / best[1] / 1e6
+            );
+        }
+    }
+    let mips = |(insts, secs): (u64, f64)| {
+        if secs > 0.0 {
+            insts as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    };
+    let (native_mips, decoded_mips) = (mips(native), mips(decoded));
+    Ok(Some(NativePerf {
+        native_mips,
+        decoded_mips,
+        over_decoded: if decoded_mips > 0.0 { native_mips / decoded_mips } else { 0.0 },
+    }))
+}
+
 /// Throughput of the profiler-capable dispatch with no profiler attached,
 /// against the decoded loop invoked directly.
 struct ProfilerOffPerf {
@@ -915,6 +1024,16 @@ fn run_bench(argv: &[String]) {
             interp.raw_mips, interp.decoded_mips, interp.speedup
         );
     }
+    let native = bench_native().unwrap_or_else(|e| die(e));
+    if !quiet {
+        match &native {
+            Some(n) => eprintln!(
+                "cfed-campaign bench: native     {:.1} MIPS vs decoded {:.1} MIPS ({:.2}x)",
+                n.native_mips, n.decoded_mips, n.over_decoded
+            ),
+            None => eprintln!("cfed-campaign bench: native     backend unavailable on this host"),
+        }
+    }
     let prof_off = bench_profiler_off().unwrap_or_else(|e| die(e));
     if !quiet {
         eprintln!(
@@ -972,6 +1091,27 @@ fn run_bench(argv: &[String]) {
             Json::UInt((prof_off.overhead_pct * 1000.0).round() as u64),
         ),
     ]);
+    // The native keys are present only where the backend ran: records from
+    // non-x86-64 hosts stay valid, and readers treat the absent keys as
+    // "not measured" rather than zero.
+    let record = match &native {
+        Some(n) => {
+            let mut with_native = match record {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("record is an object"),
+            };
+            with_native.push((
+                "native_mips_milli".to_string(),
+                Json::UInt((n.native_mips * 1000.0).round() as u64),
+            ));
+            with_native.push((
+                "native_over_decoded_milli".to_string(),
+                Json::UInt((n.over_decoded * 1000.0).round() as u64),
+            ));
+            Json::Obj(with_native)
+        }
+        None => record,
+    };
     std::fs::write(&out, record.render() + "\n")
         .unwrap_or_else(|e| die(format!("writing {}: {e}", out.display())));
     println!(
@@ -999,6 +1139,30 @@ fn run_bench(argv: &[String]) {
         "bench: profiler off costs {:.2}% interpreter throughput (budget <{}%)",
         prof_off.overhead_pct, PROFILER_OFF_BUDGET_PCT
     );
+    // The native floor is likewise self-normalizing (native and decoded
+    // laps share the invocation), so it gates absolutely wherever the
+    // backend runs at all.
+    match &native {
+        Some(n) => {
+            let ratio_milli = (n.over_decoded * 1000.0).round() as u64;
+            if ratio_milli < NATIVE_MIN_RATIO_MILLI {
+                eprintln!(
+                    "cfed-campaign bench: PERF REGRESSION — native backend is only {:.2}x the \
+                     decoded interpreter (floor {:.2}x)",
+                    n.over_decoded,
+                    NATIVE_MIN_RATIO_MILLI as f64 / 1000.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "bench: native backend {:.1} MIPS, {:.2}x over decoded (floor {:.2}x)",
+                n.native_mips,
+                n.over_decoded,
+                NATIVE_MIN_RATIO_MILLI as f64 / 1000.0
+            );
+        }
+        None => println!("bench: native backend unavailable on this host; native gate skipped"),
+    }
 
     if let Some(baseline_path) = args.get("baseline").filter(|s| !s.is_empty()) {
         let text = std::fs::read_to_string(baseline_path)
@@ -1035,6 +1199,19 @@ fn run_bench(argv: &[String]) {
                 gate("interp speedup", (interp.speedup * 1000.0).round() as u64, base_interp)
             }
             None => println!("bench: baseline has no interp_speedup_milli; interp gate skipped"),
+        }
+        // Same pattern for the native ratio: records predating the native
+        // backend (or written on non-x86-64 hosts) simply lack the key.
+        match (baseline.get("native_over_decoded_milli").and_then(Json::as_u64), &native) {
+            (Some(base_native), Some(n)) => {
+                gate("native speedup", (n.over_decoded * 1000.0).round() as u64, base_native)
+            }
+            (Some(_), None) => {
+                println!("bench: native backend unavailable on this host; native gate skipped")
+            }
+            (None, _) => {
+                println!("bench: baseline has no native_over_decoded_milli; native gate skipped")
+            }
         }
     }
 }

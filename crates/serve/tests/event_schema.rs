@@ -1,0 +1,115 @@
+//! Event-kind schema conformance.
+//!
+//! `schemas/event_kinds.txt` at the repository root is the single source of
+//! truth for telemetry event kinds: the CI event-stream validator and this
+//! test both consume it, so a new kind that is emitted but not declared (or
+//! declared but misformatted) fails in exactly one obvious place.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+use cfed_core::TechniqueKind;
+use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
+use cfed_serve::{work, Coordinator, CoordinatorOptions, PhasePlan, WorkerOptions};
+use cfed_telemetry::{MemorySink, Telemetry};
+
+const PROGRAM: &str = r#"
+    fn main() {
+        let i = 0;
+        let acc = 1;
+        while (i < 20) { acc = acc + i * 2; i = i + 1; }
+        out(acc);
+    }
+"#;
+
+fn schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/event_kinds.txt")
+}
+
+/// Parses the checked-in whitelist, ignoring comments and blank lines.
+fn schema_kinds() -> Vec<String> {
+    let text = std::fs::read_to_string(schema_path())
+        .unwrap_or_else(|e| panic!("schemas/event_kinds.txt must exist: {e}"));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn schema_file_is_sorted_unique_snake_case() {
+    let kinds = schema_kinds();
+    assert!(!kinds.is_empty(), "whitelist must not be empty");
+    let mut sorted = kinds.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(kinds, sorted, "kinds must be sorted and unique");
+    for k in &kinds {
+        assert!(
+            k.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+            "kind {k:?} must be lowercase snake_case"
+        );
+    }
+}
+
+/// Runs a small coordinator + worker campaign with a memory sink attached
+/// to the coordinator (worker-side events forward through it) and checks
+/// every emitted event kind against the schema.
+#[test]
+fn campaign_event_stream_stays_inside_the_schema() {
+    let dir = std::env::temp_dir().join(format!("cfed-evschema-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let matrix = CampaignMatrix {
+        workloads: vec![WorkloadSpec::inline("ev", PROGRAM)],
+        techniques: vec![None, Some(TechniqueKind::EdgCf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: vec![CheckPolicy::AllBb],
+        trials: 64,
+        seed: 0xC0FFEE,
+    };
+    let sink = Arc::new(MemorySink::new());
+    let coord = Coordinator::bind(CoordinatorOptions {
+        quiet: true,
+        telemetry: Telemetry::to(sink.clone()),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = coord.addr().to_string();
+    let plans =
+        vec![PhasePlan { label: "coverage".to_string(), matrix, store: dir.join("ev.jsonl") }];
+    let coord_thread = thread::spawn(move || coord.run("ev", &plans, None));
+    let options = WorkerOptions {
+        connect: addr,
+        name: "ev-worker".to_string(),
+        threads: 2,
+        quiet: true,
+        ..Default::default()
+    };
+    let worker = thread::spawn(move || work(&options, None));
+    worker.join().unwrap().unwrap();
+    let summary = coord_thread.join().unwrap().unwrap();
+    assert!(summary.complete(), "{summary:?}");
+
+    let kinds = schema_kinds();
+    let mut seen = Vec::new();
+    for e in sink.events().iter() {
+        assert!(
+            kinds.iter().any(|k| k == e.kind()),
+            "event kind {:?} is not declared in schemas/event_kinds.txt",
+            e.kind()
+        );
+        seen.push(e.kind().to_string());
+    }
+    // The campaign must actually have exercised the stream: core kinds
+    // from both the coordinator side (`shard_done`, `serve_stats`) and the
+    // forwarded worker side (`worker_event`, `profile`) appear.
+    for expect in ["shard_done", "serve_stats", "worker_event", "profile"] {
+        assert!(seen.iter().any(|k| k == expect), "missing {expect:?} in {seen:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -176,6 +176,43 @@ impl Cpu {
         self.halted.then(|| self.reg(Reg::R0))
     }
 
+    /// The cost model this CPU charges cycles under — native code
+    /// generators bake the same per-instruction costs into emitted code
+    /// so cycle counts stay identical across engines.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Folds the statistics deltas accumulated by a burst of natively
+    /// executed guest code into this CPU, as if each instruction had
+    /// retired through [`Cpu::step`].
+    pub fn apply_native_delta(
+        &mut self,
+        insts: u64,
+        cycles: u64,
+        branches: u64,
+        branches_taken: u64,
+        traps: u64,
+    ) {
+        self.stats.insts += insts;
+        self.stats.cycles += cycles;
+        self.stats.branches += branches;
+        self.stats.branches_taken += branches_taken;
+        self.stats.traps += traps;
+    }
+
+    /// Appends one value to the observable output stream — the reporting
+    /// path for natively executed `out` instructions.
+    pub fn push_output(&mut self, value: u64) {
+        self.output.push(value);
+    }
+
+    /// Latches the halted state without retiring an instruction — used by
+    /// supervisors whose emitted code already accounted the `halt`.
+    pub fn set_halted(&mut self) {
+        self.halted = true;
+    }
+
     #[inline(always)]
     fn push(&mut self, mem: &mut Memory, value: u64) -> Result<(), Trap> {
         let sp = self.reg(Reg::SP).wrapping_sub(8);

@@ -99,6 +99,21 @@ impl fmt::Display for Perms {
     }
 }
 
+/// Raw pointers into a [`Memory`]'s backing storage (see
+/// [`Memory::raw_parts`]).
+pub struct RawMemParts {
+    /// The flat byte array, `pages * PAGE_SIZE` long.
+    pub bytes: *mut u8,
+    /// One [`Perms`] byte per page (R = 1, W = 2, X = 4).
+    pub page_perms: *const u8,
+    /// The dirty-page bitmap (bit *i* = page *i*).
+    pub dirty: *mut u64,
+    /// Per-page write-generation counters.
+    pub page_gens: *mut u64,
+    /// Number of pages.
+    pub pages: u64,
+}
+
 /// The guest address space.
 ///
 /// # Examples
@@ -234,6 +249,26 @@ impl Memory {
         let last = range.end.div_ceil(PAGE_SIZE);
         for p in first..last {
             self.page_perms[p as usize] = perms;
+        }
+    }
+
+    /// Raw constituents of the address space, for JIT fast paths that
+    /// reproduce [`Memory::read_u64`]/[`Memory::write_u64`]'s in-page
+    /// check, permission test and dirty/generation bookkeeping in emitted
+    /// code. The pointers stay valid (and stable) for the lifetime of the
+    /// `Memory`: none of the backing vectors ever reallocate after
+    /// construction. `page_perms` points at one byte per page holding the
+    /// [`Perms`] bits (R = 1, W = 2, X = 4); `dirty` is the page bitmap
+    /// (bit *i* = page *i*); `page_gens` is one `u64` counter per page.
+    /// Writes taken through the fast path must set the dirty bit and bump
+    /// the generation exactly as the slow path does.
+    pub fn raw_parts(&mut self) -> RawMemParts {
+        RawMemParts {
+            bytes: self.bytes.as_mut_ptr(),
+            page_perms: self.page_perms.as_ptr() as *const u8,
+            dirty: self.dirty.as_mut_ptr(),
+            page_gens: self.page_gens.as_mut_ptr(),
+            pages: self.page_perms.len() as u64,
         }
     }
 
