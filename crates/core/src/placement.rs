@@ -1,0 +1,245 @@
+//! Mechanical re-verification of tier-2 trace plans against the
+//! `GEN_SIG`/`CHECK_SIG` conditions (paper §4.4/§6).
+//!
+//! The tier-2 pass pipeline in `cfed-dbt` moves and merges signature code:
+//! interior `+S/−S` update pairs cancel, and per-block checks hoist to one
+//! head check (the ALLBB→END policy spectrum of §6 says checks may legally
+//! move as long as the conditions still hold). None of that output is
+//! trusted. Before a trace is installed the engine hands the *final* op
+//! sequence — exactly what the emitter will lower — to a
+//! [`PlacementVerifier`], which replays the signature algebra symbolically
+//! along the followed path and every exit path:
+//!
+//! * entering the trace on a correct edge means `PC' == sig(entry)`
+//!   ([`TraceSig::PcPrimeAdditive`]); the verifier tracks the symbolic
+//!   offset `v` of `PC'` from "correct" under the plan's `SigAdd`s;
+//! * `CHECK_SIG` (a [`TraceOp::Check`]) is only valid where `v == 0`:
+//!   there the check fires **iff** an error occurred, because additive
+//!   updates keep a wrong `PC'` wrong ("once wrong, always wrong");
+//! * every path leaving the trace must re-establish the on-edge invariant
+//!   for its target: `v + adjust == sig(target)` at side exits and the
+//!   final exit, `v + adjust == sig(entry)` at the loop back edge;
+//! * if any merged block's policy wanted a check, the optimized trace must
+//!   retain one, placed before the first guest instruction executes — the
+//!   hoisted head check strengthens every interior placement it replaced;
+//! * [`TraceSig::Untracked`] (the uninstrumented baseline) must carry no
+//!   signature ops at all and only zero adjustments.
+//!
+//! Rejection is not an error condition for the engine — it simply stays on
+//! tier-1, preserving the paper's single-fault detection guarantee over
+//! raw performance.
+
+use cfed_dbt::{TraceOp, TracePlan, TraceSig, TraceVerifier};
+
+/// The cfed-core implementation of [`TraceVerifier`]: symbolic replay of
+/// the signature algebra over a [`TracePlan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlacementVerifier;
+
+impl PlacementVerifier {
+    fn verify_untracked(plan: &TracePlan) -> Result<(), String> {
+        for op in &plan.ops {
+            match op {
+                TraceOp::SigAdd { .. } | TraceOp::Check => {
+                    return Err(format!("untracked trace carries signature op {op:?}"));
+                }
+                TraceOp::SideExit { adjust, .. }
+                | TraceOp::Exit { adjust, .. }
+                | TraceOp::Loop { adjust }
+                    if *adjust != 0 =>
+                {
+                    return Err(format!("untracked trace has nonzero adjustment {op:?}"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_additive(plan: &TracePlan) -> Result<(), String> {
+        // `v` = PC' assuming the trace was entered on a correct edge. The
+        // invariant to re-establish on every outgoing edge is
+        // `PC' == sig(target)`.
+        let mut v: i64 = plan.entry_sig as i64;
+        let mut checked = false;
+        let mut guest_seen = false;
+        for op in &plan.ops {
+            match *op {
+                TraceOp::SigAdd { delta } => {
+                    v = v.checked_add(delta).ok_or("signature arithmetic overflow")?;
+                }
+                TraceOp::Check => {
+                    if v != 0 {
+                        return Err(format!(
+                            "CHECK_SIG where correct-path PC' == {v:#x} (must be 0)"
+                        ));
+                    }
+                    checked = true;
+                }
+                TraceOp::Guest { .. } => {
+                    if plan.any_check_wanted && !checked {
+                        return Err("policy wants a check, but guest code runs first".into());
+                    }
+                    guest_seen = true;
+                }
+                TraceOp::SideExit { target, adjust, .. } => {
+                    let out = v.checked_add(adjust).ok_or("signature arithmetic overflow")?;
+                    if out != target as i64 {
+                        return Err(format!("side exit to {target:#x} leaves PC' == {out:#x}"));
+                    }
+                }
+                TraceOp::Exit { target, adjust } => {
+                    let out = v.checked_add(adjust).ok_or("signature arithmetic overflow")?;
+                    if out != target as i64 {
+                        return Err(format!("exit to {target:#x} leaves PC' == {out:#x}"));
+                    }
+                }
+                TraceOp::Loop { adjust } => {
+                    let out = v.checked_add(adjust).ok_or("signature arithmetic overflow")?;
+                    if out != plan.entry_sig as i64 {
+                        return Err(format!(
+                            "loop edge leaves PC' == {out:#x}, entry needs {:#x}",
+                            plan.entry_sig
+                        ));
+                    }
+                }
+            }
+        }
+        if plan.any_check_wanted && !checked {
+            return Err("policy wants a check, but the trace has none".into());
+        }
+        if !guest_seen {
+            return Err("trace contains no guest instructions".into());
+        }
+        Ok(())
+    }
+}
+
+impl TraceVerifier for PlacementVerifier {
+    fn verify(&self, plan: &TracePlan) -> Result<(), String> {
+        if !matches!(plan.ops.last(), Some(TraceOp::Exit { .. }) | Some(TraceOp::Loop { .. })) {
+            return Err("trace does not end in an exit or loop edge".into());
+        }
+        let terminators = plan
+            .ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Exit { .. } | TraceOp::Loop { .. }))
+            .count();
+        if terminators != 1 {
+            return Err(format!("trace has {terminators} unconditional terminators"));
+        }
+        match plan.sig {
+            TraceSig::Untracked => Self::verify_untracked(plan),
+            TraceSig::PcPrimeAdditive => Self::verify_additive(plan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S0: u64 = 0x1_0000;
+    const S1: u64 = 0x1_0040;
+    const OUT: u64 = 0x2_0000;
+
+    fn nop(addr: u64) -> TraceOp {
+        TraceOp::Guest { guest_addr: addr, inst: cfed_isa::Inst::Nop }
+    }
+
+    fn good_plan() -> TracePlan {
+        // Optimized two-block loop: head adjust + hoisted check, a side
+        // exit to OUT, interior pair cancelled, loop re-adds sig(S0).
+        TracePlan {
+            entry_sig: S0,
+            sig: TraceSig::PcPrimeAdditive,
+            any_check_wanted: true,
+            ops: vec![
+                TraceOp::SigAdd { delta: -(S0 as i64) },
+                TraceOp::Check,
+                nop(S0),
+                TraceOp::SideExit {
+                    branch: cfed_dbt::SideBranch::Cc(cfed_isa::Cond::E),
+                    target: OUT,
+                    adjust: OUT as i64,
+                },
+                nop(S1),
+                TraceOp::Loop { adjust: S0 as i64 },
+            ],
+        }
+    }
+
+    #[test]
+    fn accepts_legal_hoisted_plan() {
+        PlacementVerifier.verify(&good_plan()).expect("legal plan verifies");
+    }
+
+    #[test]
+    fn rejects_tampered_exit_adjustment() {
+        let mut plan = good_plan();
+        plan.ops[3] = TraceOp::SideExit {
+            branch: cfed_dbt::SideBranch::Cc(cfed_isa::Cond::E),
+            target: OUT,
+            adjust: OUT as i64 + 8,
+        };
+        let err = PlacementVerifier.verify(&plan).unwrap_err();
+        assert!(err.contains("side exit"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dropped_check_when_policy_wants_one() {
+        let mut plan = good_plan();
+        plan.ops.remove(1);
+        let err = PlacementVerifier.verify(&plan).unwrap_err();
+        assert!(err.contains("wants a check"), "{err}");
+    }
+
+    #[test]
+    fn rejects_check_at_nonzero_signature_point() {
+        let mut plan = good_plan();
+        // Move the check before the head adjustment: PC' there is sig(S0).
+        plan.ops.swap(0, 1);
+        let err = PlacementVerifier.verify(&plan).unwrap_err();
+        assert!(err.contains("CHECK_SIG"), "{err}");
+    }
+
+    #[test]
+    fn rejects_loop_that_breaks_entry_invariant() {
+        let mut plan = good_plan();
+        let last = plan.ops.len() - 1;
+        plan.ops[last] = TraceOp::Loop { adjust: S0 as i64 - 8 };
+        let err = PlacementVerifier.verify(&plan).unwrap_err();
+        assert!(err.contains("loop edge"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut plan = good_plan();
+        plan.ops.pop();
+        let err = PlacementVerifier.verify(&plan).unwrap_err();
+        assert!(err.contains("does not end"), "{err}");
+    }
+
+    #[test]
+    fn untracked_must_be_signature_free() {
+        let plan = TracePlan {
+            entry_sig: S0,
+            sig: TraceSig::Untracked,
+            any_check_wanted: false,
+            ops: vec![nop(S0), TraceOp::Loop { adjust: 0 }],
+        };
+        PlacementVerifier.verify(&plan).expect("clean untracked plan verifies");
+        let bad = TracePlan {
+            ops: vec![nop(S0), TraceOp::SigAdd { delta: 1 }, TraceOp::Loop { adjust: 0 }],
+            ..plan
+        };
+        assert!(PlacementVerifier.verify(&bad).is_err());
+        let bad_adj = TracePlan {
+            entry_sig: S0,
+            sig: TraceSig::Untracked,
+            any_check_wanted: false,
+            ops: vec![nop(S0), TraceOp::Loop { adjust: 8 }],
+        };
+        assert!(PlacementVerifier.verify(&bad_adj).is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! SSA-lite trace IR for the tier-2 optimizing translator.
+//!
+//! A trace is a straight-line instruction sequence stitched from chained
+//! direct-branch blocks, with *side exits* back to tier-1 translations on the
+//! not-followed branch directions. Before emission the sequence runs through
+//! a small pass pipeline:
+//!
+//! 1. **Signature coalescing** — adjacent shadow-PC adjustments fold into
+//!    one `lea` (interior `+S`/`-S` pairs from merged block boundaries cancel
+//!    to nothing);
+//! 2. **`lea`-chain folding** — adjacent guest `lea` instructions that feed
+//!    the same register fold their displacements at translation time;
+//! 3. **Dead-flag elimination** — a `cmp`/`test` whose flags are overwritten
+//!    before any reader (and before any point where architectural flags can
+//!    escape the trace) is dropped;
+//! 4. **Check hoisting** — redundant signature checks collapse into the one
+//!    at the trace head, mirroring the paper's ALLBB→END policy spectrum
+//!    (§6): checks may legally move as long as the `GEN_SIG`/`CHECK_SIG`
+//!    conditions still hold.
+//!
+//! The optimized sequence is *not trusted*: the engine hands the final
+//! [`TracePlan`] to a [`TraceVerifier`] (implemented in `cfed-core` against
+//! the signature algebra) and installs the trace only on `Ok`.
+
+use cfed_isa::{AluOp, Cond, Inst, Reg};
+
+/// How a technique's signature state composes across a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSig {
+    /// No signature state at all (the uninstrumented baseline): traces must
+    /// carry no signature ops and all exit adjustments are zero.
+    Untracked,
+    /// A single additive shadow register `PC'`: block heads subtract the
+    /// block signature, edges add the successor signature, and a check is
+    /// `PC' != 0 → report`. Once wrong, `PC'` stays wrong through any run of
+    /// additive updates, so dropping interior checks preserves detection.
+    PcPrimeAdditive,
+}
+
+/// One operation of a planned trace, in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A guest instruction copied 1:1 (possibly the result of folding).
+    Guest {
+        /// Guest address the cache copy maps back to (SMC recovery).
+        guest_addr: u64,
+        /// The instruction as emitted.
+        inst: Inst,
+    },
+    /// `PC' += delta` (emitted as a flag-free `lea`).
+    SigAdd {
+        /// Signed adjustment applied to the shadow PC.
+        delta: i64,
+    },
+    /// Signature check: `PC' != 0` branches to the shared report-error stub.
+    Check,
+    /// A conditional exit to a tier-1 block: if `branch` is taken, control
+    /// leaves the trace to guest `target` with `PC' += adjust` applied on
+    /// the exit path.
+    SideExit {
+        /// The branch condition, already inverted so that *taken* exits.
+        branch: SideBranch,
+        /// Guest address execution continues at after the exit.
+        target: u64,
+        /// Shadow-PC adjustment applied on the exit path.
+        adjust: i64,
+    },
+    /// Unconditional trace end: exit to guest `target` with `PC' += adjust`.
+    Exit {
+        /// Guest address execution continues at.
+        target: u64,
+        /// Shadow-PC adjustment applied before leaving.
+        adjust: i64,
+    },
+    /// Back edge to the trace head (`target == trace entry`), with
+    /// `PC' += adjust` restoring the entry invariant.
+    Loop {
+        /// Shadow-PC adjustment applied before looping.
+        adjust: i64,
+    },
+}
+
+/// The branch form of a [`TraceOp::SideExit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideBranch {
+    /// Flag-conditional (`jcc`).
+    Cc(Cond),
+    /// Register-zero (`jrz`).
+    Rz(Reg),
+    /// Register-nonzero (`jrnz`).
+    Rnz(Reg),
+}
+
+/// The complete, post-pass description of a trace, handed to the verifier
+/// before anything is installed. `ops` is exactly the sequence the emitter
+/// will lower — the verifier sees what will run, not what was intended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePlan {
+    /// Guest address of the trace entry block (= its signature).
+    pub entry_sig: u64,
+    /// Signature composition model of the instrumenter.
+    pub sig: TraceSig,
+    /// Whether any merged block's check policy requested a signature check;
+    /// if so the optimized trace must retain at least a head check.
+    pub any_check_wanted: bool,
+    /// The operations, in emission order, ending with `Exit` or `Loop`.
+    pub ops: Vec<TraceOp>,
+}
+
+/// Mechanical re-verification of a [`TracePlan`] against the technique's
+/// `GEN_SIG`/`CHECK_SIG` conditions. Implemented in `cfed-core`
+/// (`PlacementVerifier`); the engine rejects the trace (staying on tier-1)
+/// whenever `verify` errs.
+pub trait TraceVerifier: Send + Sync {
+    /// Returns `Err` with a human-readable reason when the plan violates the
+    /// placement conditions.
+    fn verify(&self, plan: &TracePlan) -> Result<(), String>;
+}
+
+/// Flag-only writers with no other architectural effect.
+fn is_flag_only(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Alu { op: AluOp::Cmp | AluOp::Test, .. }
+            | Inst::AluI { op: AluOp::Cmp | AluOp::Test, .. }
+    )
+}
+
+/// Instructions that can fault mid-trace and surface architectural state
+/// (memory ops, division). Flags must be architecturally correct at any such
+/// point, so they act as barriers for dead-flag elimination.
+fn may_trap(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Ld { .. }
+            | Inst::St { .. }
+            | Inst::Ld8 { .. }
+            | Inst::St8 { .. }
+            | Inst::Push { .. }
+            | Inst::Pop { .. }
+            | Inst::Alu { op: AluOp::Div, .. }
+            | Inst::AluI { op: AluOp::Div, .. }
+            | Inst::Trap { .. }
+    )
+}
+
+/// Pass 1: folds adjacent [`TraceOp::SigAdd`] runs into one and drops
+/// zero-delta adjustments. Interior `+S`/`-S` pairs from merged block
+/// boundaries cancel here, which is the "redundant signature-update
+/// coalescing" of the tier-2 pipeline.
+pub fn coalesce_sig_updates(ops: Vec<TraceOp>) -> Vec<TraceOp> {
+    let mut out: Vec<TraceOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        match (out.last_mut(), op) {
+            (Some(TraceOp::SigAdd { delta: prev }), TraceOp::SigAdd { delta }) => {
+                *prev += delta;
+                if *prev == 0 {
+                    out.pop();
+                }
+            }
+            (_, TraceOp::SigAdd { delta: 0 }) => {}
+            (_, op) => out.push(op),
+        }
+    }
+    out
+}
+
+/// Pass 2: folds adjacent guest `lea` instructions `dst = base + d1;
+/// dst = dst + d2` into `dst = base + (d1 + d2)` when the displacement sum
+/// still fits. `lea` is flag-free, so the fold is architecturally exact; the
+/// folded cache instruction maps back to the *first* guest address (only
+/// stores need the SMC map, and stores are never folded).
+pub fn fold_lea_chains(ops: Vec<TraceOp>) -> Vec<TraceOp> {
+    let mut out: Vec<TraceOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let (
+            Some(TraceOp::Guest { inst: Inst::Lea { dst: d1, base: b1, disp: x }, guest_addr }),
+            TraceOp::Guest { inst: Inst::Lea { dst: d2, base: b2, disp: y }, .. },
+        ) = (out.last().copied(), op)
+        {
+            if d2 == d1 && b2 == d1 {
+                if let Some(disp) = x.checked_add(y) {
+                    *out.last_mut().expect("just inspected") =
+                        TraceOp::Guest { guest_addr, inst: Inst::Lea { dst: d1, base: b1, disp } };
+                    continue;
+                }
+            }
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// Pass 3: removes a flag-only writer (`cmp`/`test`) whose flags are
+/// provably dead — another flag writer follows before any flag reader,
+/// before any instruction that can fault (architectural state escapes at
+/// faults), and before any trace exit (tier-1 code after an exit may read
+/// flags).
+pub fn eliminate_dead_flags(ops: Vec<TraceOp>) -> Vec<TraceOp> {
+    let dead = |rest: &[TraceOp]| -> bool {
+        for op in rest {
+            match op {
+                TraceOp::Guest { inst, .. } => {
+                    if inst.reads_flags() || may_trap(inst) {
+                        return false;
+                    }
+                    if inst.writes_flags() {
+                        return true;
+                    }
+                }
+                TraceOp::SigAdd { .. } | TraceOp::Check => {}
+                TraceOp::SideExit { .. } | TraceOp::Exit { .. } | TraceOp::Loop { .. } => {
+                    return false;
+                }
+            }
+        }
+        false
+    };
+    let mut out = Vec::with_capacity(ops.len());
+    for i in 0..ops.len() {
+        if let TraceOp::Guest { inst, .. } = &ops[i] {
+            if is_flag_only(inst) && dead(&ops[i + 1..]) {
+                continue;
+            }
+        }
+        out.push(ops[i]);
+    }
+    out
+}
+
+/// Pass 4: check hoisting. Under an additive signature, every interior check
+/// verifies the same invariant as the head check ("once wrong, always
+/// wrong"), so all checks collapse into a single one placed immediately
+/// after the head adjustment — the earliest point where the invariant
+/// `PC' == 0` holds. Traces whose blocks wanted no check stay check-free.
+pub fn hoist_checks(ops: Vec<TraceOp>) -> Vec<TraceOp> {
+    if !ops.iter().any(|op| matches!(op, TraceOp::Check)) {
+        return ops;
+    }
+    let mut out: Vec<TraceOp> = Vec::with_capacity(ops.len());
+    let mut placed = false;
+    for op in ops {
+        match op {
+            TraceOp::Check => {}
+            other => {
+                if !placed && !matches!(other, TraceOp::SigAdd { .. }) {
+                    out.push(TraceOp::Check);
+                    placed = true;
+                }
+                out.push(other);
+            }
+        }
+    }
+    if !placed {
+        out.push(TraceOp::Check);
+    }
+    out
+}
+
+/// Runs the full pass pipeline in order.
+pub fn optimize(ops: Vec<TraceOp>) -> Vec<TraceOp> {
+    hoist_checks(eliminate_dead_flags(fold_lea_chains(coalesce_sig_updates(ops))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S0: i64 = 0x1_0000;
+    const S1: i64 = 0x1_0040;
+
+    fn guest(addr: u64, inst: Inst) -> TraceOp {
+        TraceOp::Guest { guest_addr: addr, inst }
+    }
+
+    #[test]
+    fn coalesce_cancels_interior_pairs() {
+        let ops = vec![
+            TraceOp::SigAdd { delta: -S0 },
+            TraceOp::Check,
+            guest(0x1_0000, Inst::Nop),
+            TraceOp::SigAdd { delta: S1 },
+            TraceOp::SigAdd { delta: -S1 },
+            TraceOp::Check,
+            guest(0x1_0040, Inst::Nop),
+            TraceOp::Exit { target: 0x1_0080, adjust: 0x1_0080 },
+        ];
+        let out = coalesce_sig_updates(ops);
+        let adds: Vec<i64> = out
+            .iter()
+            .filter_map(|op| match op {
+                TraceOp::SigAdd { delta } => Some(*delta),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(adds, vec![-S0], "interior +S/-S pair must cancel");
+    }
+
+    #[test]
+    fn coalesce_merges_runs() {
+        let ops = vec![
+            TraceOp::SigAdd { delta: 8 },
+            TraceOp::SigAdd { delta: -3 },
+            TraceOp::SigAdd { delta: 1 },
+            TraceOp::Exit { target: 0, adjust: 0 },
+        ];
+        let out = coalesce_sig_updates(ops);
+        assert_eq!(out, vec![TraceOp::SigAdd { delta: 6 }, TraceOp::Exit { target: 0, adjust: 0 }]);
+    }
+
+    #[test]
+    fn lea_chain_folds_pairwise_and_transitively() {
+        let r = Reg::R1;
+        let b = Reg::R2;
+        let ops = vec![
+            guest(0x1_0000, Inst::Lea { dst: r, base: b, disp: 4 }),
+            guest(0x1_0008, Inst::Lea { dst: r, base: r, disp: 8 }),
+            guest(0x1_0010, Inst::Lea { dst: r, base: r, disp: -2 }),
+            TraceOp::Exit { target: 0, adjust: 0 },
+        ];
+        let out = fold_lea_chains(ops);
+        assert_eq!(
+            out,
+            vec![
+                guest(0x1_0000, Inst::Lea { dst: r, base: b, disp: 10 }),
+                TraceOp::Exit { target: 0, adjust: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lea_fold_requires_feeding_same_register() {
+        let ops = vec![
+            guest(0, Inst::Lea { dst: Reg::R1, base: Reg::R2, disp: 4 }),
+            guest(8, Inst::Lea { dst: Reg::R3, base: Reg::R1, disp: 8 }),
+            TraceOp::Exit { target: 0, adjust: 0 },
+        ];
+        assert_eq!(fold_lea_chains(ops.clone()), ops, "dst mismatch must not fold");
+    }
+
+    #[test]
+    fn lea_fold_rejects_displacement_overflow() {
+        let ops = vec![
+            guest(0, Inst::Lea { dst: Reg::R1, base: Reg::R1, disp: i32::MAX }),
+            guest(8, Inst::Lea { dst: Reg::R1, base: Reg::R1, disp: 1 }),
+            TraceOp::Exit { target: 0, adjust: 0 },
+        ];
+        assert_eq!(fold_lea_chains(ops.clone()), ops);
+    }
+
+    #[test]
+    fn dead_cmp_eliminated_when_overwritten() {
+        let cmp = Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 1 };
+        let add = Inst::AluI { op: AluOp::Add, dst: Reg::R1, imm: 2 };
+        let ops = vec![guest(0, cmp), guest(8, add), TraceOp::Exit { target: 0, adjust: 0 }];
+        let out = eliminate_dead_flags(ops);
+        assert_eq!(out, vec![guest(8, add), TraceOp::Exit { target: 0, adjust: 0 }]);
+    }
+
+    #[test]
+    fn live_cmp_kept_before_flag_reader_or_exit() {
+        let cmp = Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 1 };
+        // Read by a side exit's jcc: must stay.
+        let ops = vec![
+            guest(0, cmp),
+            TraceOp::SideExit { branch: SideBranch::Cc(Cond::E), target: 64, adjust: 64 },
+            guest(8, Inst::AluI { op: AluOp::Add, dst: Reg::R1, imm: 2 }),
+            TraceOp::Exit { target: 0, adjust: 0 },
+        ];
+        assert_eq!(eliminate_dead_flags(ops.clone()), ops);
+        // Flags escape at the trace end even with no reader in between.
+        let tail = vec![guest(0, cmp), TraceOp::Exit { target: 0, adjust: 0 }];
+        assert_eq!(eliminate_dead_flags(tail.clone()), tail);
+    }
+
+    #[test]
+    fn trapping_inst_blocks_flag_elimination() {
+        let cmp = Inst::AluI { op: AluOp::Cmp, dst: Reg::R0, imm: 1 };
+        let ld = Inst::Ld { dst: Reg::R2, base: Reg::R3, disp: 0 };
+        let add = Inst::AluI { op: AluOp::Add, dst: Reg::R1, imm: 2 };
+        let ops = vec![
+            guest(0, cmp),
+            guest(8, ld),
+            guest(16, add),
+            TraceOp::Exit { target: 0, adjust: 0 },
+        ];
+        // The load may fault with post-cmp flags architecturally visible.
+        assert_eq!(eliminate_dead_flags(ops.clone()), ops);
+    }
+
+    #[test]
+    fn checks_hoist_to_single_head_check() {
+        let ops = vec![
+            TraceOp::SigAdd { delta: -S0 },
+            TraceOp::Check,
+            guest(0x1_0000, Inst::Nop),
+            TraceOp::Check,
+            guest(0x1_0040, Inst::Nop),
+            TraceOp::Loop { adjust: S0 },
+        ];
+        let out = hoist_checks(ops);
+        assert_eq!(
+            out,
+            vec![
+                TraceOp::SigAdd { delta: -S0 },
+                TraceOp::Check,
+                guest(0x1_0000, Inst::Nop),
+                guest(0x1_0040, Inst::Nop),
+                TraceOp::Loop { adjust: S0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn checkless_trace_stays_checkless() {
+        let ops = vec![guest(0, Inst::Nop), TraceOp::Exit { target: 8, adjust: 0 }];
+        assert_eq!(hoist_checks(ops.clone()), ops);
+    }
+
+    #[test]
+    fn full_pipeline_on_two_block_loop() {
+        // Naive IR for a two-block loop S0 -> S1 -> S0.
+        let ops = vec![
+            TraceOp::SigAdd { delta: -S0 },
+            TraceOp::Check,
+            guest(0x1_0000, Inst::Lea { dst: Reg::R1, base: Reg::R1, disp: 1 }),
+            guest(0x1_0008, Inst::Lea { dst: Reg::R1, base: Reg::R1, disp: 2 }),
+            TraceOp::SideExit {
+                branch: SideBranch::Cc(Cond::E),
+                target: 0x2_0000,
+                adjust: 0x2_0000,
+            },
+            TraceOp::SigAdd { delta: S1 },
+            TraceOp::SigAdd { delta: -S1 },
+            TraceOp::Check,
+            guest(0x1_0040, Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 }),
+            TraceOp::Loop { adjust: S0 },
+        ];
+        let out = optimize(ops);
+        assert_eq!(
+            out,
+            vec![
+                TraceOp::SigAdd { delta: -S0 },
+                TraceOp::Check,
+                guest(0x1_0000, Inst::Lea { dst: Reg::R1, base: Reg::R1, disp: 3 }),
+                TraceOp::SideExit {
+                    branch: SideBranch::Cc(Cond::E),
+                    target: 0x2_0000,
+                    adjust: 0x2_0000
+                },
+                guest(0x1_0040, Inst::AluI { op: AluOp::Sub, dst: Reg::R0, imm: 1 }),
+                TraceOp::Loop { adjust: S0 },
+            ]
+        );
+    }
+}

@@ -373,8 +373,8 @@ struct Jit {
     chained: HashSet<u64>,
     /// Mirror of `Dbt::dispatch_ic` as of the last sync.
     ic_shadow: [Option<(u64, u64)>; DISPATCH_IC_SIZE],
-    /// `(flush_gen, smc_flushes)` snapshot; any change nukes native code.
-    gen: (u64, u64),
+    /// [`Dbt::gen_key`] snapshot; any change nukes native code.
+    gen: (u64, u64, u64, u64),
     /// `Dbt::stats.chains` as of the last chain resync.
     chains_shadow: u64,
     /// Bumped by every nuke; guards stale patch addresses across a nuke.
@@ -451,7 +451,7 @@ impl Jit {
             uncompilable: HashSet::new(),
             chained: HashSet::new(),
             ic_shadow: [None; DISPATCH_IC_SIZE],
-            gen: (0, 0),
+            gen: (0, 0, 0, 0),
             chains_shadow: 0,
             nukes: 0,
         })
@@ -473,7 +473,7 @@ impl Jit {
 
     /// Nukes when the engine invalidated any translation since last checked.
     fn check_gen(&mut self, dbt: &Dbt) {
-        let gen = (dbt.flush_gen, dbt.stats.smc_flushes);
+        let gen = dbt.gen_key();
         if gen != self.gen {
             self.nuke();
             self.gen = gen;
@@ -1448,10 +1448,28 @@ impl NativeDbt {
         m: &mut Machine,
         native: bool,
     ) -> NativeDbt {
-        let dbt = Dbt::new(instr, style, m);
+        Self::with_options(instr, style, m, native, None)
+    }
+
+    /// As [`NativeDbt::with_native`], optionally constructing a tiered
+    /// engine (see [`Dbt::new_tiered`]) that promotes hot blocks to
+    /// optimized traces. Traces execute natively like any other
+    /// translation: installs bump the generation key, which nukes and
+    /// lazily recompiles host code.
+    pub fn with_options(
+        instr: Box<dyn Instrumenter>,
+        style: UpdateStyle,
+        m: &mut Machine,
+        native: bool,
+        tier: Option<crate::trace::TierConfig>,
+    ) -> NativeDbt {
+        let dbt = match tier {
+            Some(config) => Dbt::new_tiered(instr, style, m, config),
+            None => Dbt::new(instr, style, m),
+        };
         let mut jit = if native { Jit::new() } else { None };
         if let Some(j) = jit.as_mut() {
-            j.gen = (dbt.flush_gen, dbt.stats.smc_flushes);
+            j.gen = dbt.gen_key();
         }
         NativeDbt { dbt, jit }
     }
@@ -1578,11 +1596,11 @@ impl NativeDbt {
                         }
                         _ => None,
                     };
-                    let gen_before = (dbt.flush_gen, dbt.stats.smc_flushes);
+                    let gen_before = dbt.gen_key();
                     match dbt.handle_trap(m, trap) {
                         DbtStep::Continue => {
                             jit.check_gen(dbt);
-                            if (dbt.flush_gen, dbt.stats.smc_flushes) == gen_before {
+                            if dbt.gen_key() == gen_before {
                                 if let Some(idx) = direct_idx {
                                     jit.try_chain(dbt, m, idx);
                                 }

@@ -930,6 +930,47 @@ mod tests {
         assert_eq!(&bytes[17..22], &[0xE9, 0xEA, 0xFF, 0xFF, 0xFF]); // -22
     }
 
+    /// The trace tier's signature coalescing folds chains of `lea` adjusts
+    /// into single instructions whose displacements routinely exceed i8, and
+    /// its side exits are `jcc rel32` jumps out of the trace body. Pin the
+    /// exact encodings across displacement widths and the ModRM escape
+    /// registers (RBP/R13 force a disp byte, R12 forces a SIB byte).
+    #[test]
+    fn trace_emitter_lea_folding_forms() {
+        check(|a| a.lea(RAX, RAX, 0x180), &[0x48, 0x8D, 0x80, 0x80, 0x01, 0x00, 0x00]);
+        check(|a| a.lea(RAX, RAX, -0x1234), &[0x48, 0x8D, 0x80, 0xCC, 0xED, 0xFF, 0xFF]);
+        check(|a| a.lea(HostReg(8), HostReg(8), -8), &[0x4D, 0x8D, 0x40, 0xF8]);
+        check(
+            |a| a.lea(HostReg(11), HostReg(11), 0x100),
+            &[0x4D, 0x8D, 0x9B, 0x00, 0x01, 0x00, 0x00],
+        );
+        check(|a| a.lea(RCX, RBP, 0), &[0x48, 0x8D, 0x4D, 0x00]);
+        check(|a| a.lea(RAX, R12, 8), &[0x49, 0x8D, 0x44, 0x24, 0x08]);
+        check(|a| a.lea(RAX, R13, 0), &[0x49, 0x8D, 0x45, 0x00]);
+        // Register-zero test feeding a side exit (`jrz`/`jrnz` lowering).
+        check(|a| a.test_rr(HostReg(10), HostReg(10)), &[0x4D, 0x85, 0xD2]);
+    }
+
+    #[test]
+    fn trace_side_exit_jcc_rel32_forms() {
+        // Side exits always use the rel32 form (stub distance is unknown at
+        // emission time); every condition code, forward and backward, from a
+        // non-zero builder base as the trace cache uses.
+        for cond in 0..16u8 {
+            let mut a = Asm::new(0x20_0000);
+            a.jcc_abs(cond, 0x20_0000 + 6 + 0x1234);
+            let b = a.finish();
+            assert_eq!(&b[..2], &[0x0F, 0x80 | cond]);
+            assert_eq!(i32::from_le_bytes(b[2..6].try_into().unwrap()), 0x1234);
+
+            let mut a = Asm::new(0x20_0000);
+            a.jcc_abs(cond, 0x1F_FF00);
+            let b = a.finish();
+            assert_eq!(&b[..2], &[0x0F, 0x80 | cond]);
+            assert_eq!(i32::from_le_bytes(b[2..6].try_into().unwrap()), -0x106);
+        }
+    }
+
     #[test]
     fn abs_jumps_use_builder_base() {
         let mut a = Asm::new(0x10_0000);

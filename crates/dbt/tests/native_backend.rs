@@ -284,6 +284,81 @@ fn self_modifying_code_identical() {
 }
 
 #[test]
+fn smc_store_demotes_installed_trace() {
+    // Tier-demotion path: a hot self-loop promotes to a trace, then an SMC
+    // store lands inside the guest range the trace covers. The flush must
+    // demote the trace (tier-1 fallback + retranslation), the re-armed
+    // counter may re-promote the patched loop, and the whole run must stay
+    // guest-identical to a never-tiered interpreter run of the same image.
+    #[derive(Debug)]
+    struct AcceptAll;
+    impl cfed_dbt::TraceVerifier for AcceptAll {
+        fn verify(&self, _plan: &cfed_dbt::TracePlan) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    // Replacement for the patch site: `acc += 2` instead of `acc += i`.
+    let patch = Inst::AluI { op: AluOp::Add, dst: Reg::R5, imm: 2 };
+    let mut asm = cfed_asm::Asm::new();
+    let pool = asm.data_u64(&[u64::from_le_bytes(patch.encode())]);
+    asm.label("start");
+    asm.call("hotfn");
+    asm.mov_addr(Reg::R2, pool);
+    asm.ld(Reg::R3, Reg::R2, 0);
+    asm.mov_label(Reg::R4, "patchsite");
+    asm.st(Reg::R4, Reg::R3, 0); // SMC store into the traced page
+    asm.call("hotfn");
+    asm.halt();
+    asm.label("hotfn");
+    asm.movri(Reg::R0, 0);
+    asm.movri(Reg::R5, 0);
+    asm.label("body");
+    asm.label("patchsite");
+    asm.alu(AluOp::Add, Reg::R5, Reg::R0);
+    asm.alui(AluOp::Add, Reg::R0, 1);
+    asm.cmpi(Reg::R0, 200);
+    asm.jcc(Cond::L, "body");
+    asm.out(Reg::R5);
+    asm.ret();
+    let image = asm.assemble("start").unwrap();
+
+    let run_tiered = |native: bool| {
+        let config = cfed_dbt::TierConfig::new(std::sync::Arc::new(AcceptAll)).with_threshold(16);
+        let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
+        let mut dbt = NativeDbt::with_options(
+            Box::new(NullInstrumenter),
+            UpdateStyle::Jcc,
+            &mut m,
+            native,
+            Some(config),
+        );
+        let exit = dbt.run(&mut m, 1_000_000);
+        (exit, m.cpu.take_output(), m.cpu.stats().insts, m.cpu.stats().cycles, dbt.stats())
+    };
+
+    let fused = run_tiered(false);
+    let (exit, output, _, _, stats) = &fused;
+    // First call sums 0..200 = 19900; patched second call adds 2 per
+    // iteration = 400 — proof the retranslation picked up the new bytes.
+    assert!(matches!(exit, DbtExit::Halted { .. }));
+    assert_eq!(*output, vec![19_900, 400]);
+    assert!(stats.traces >= 1, "hot loop must promote before the patch: {stats:?}");
+    assert!(stats.smc_flushes >= 1, "the patch store must flush: {stats:?}");
+    assert!(stats.trace_demotions >= 1, "the flush must demote the trace: {stats:?}");
+
+    if cfed_dbt::native_enabled() {
+        let native = run_tiered(true);
+        assert_eq!(fused, native, "tiered fused and native must agree through demotion");
+    }
+
+    // Guest-observable equivalence against a never-tiered run.
+    let plain = run_interp(image.code(), image.data(), image.entry_offset(), 1_000_000);
+    assert_eq!(plain.exit, fused.0);
+    assert_eq!(plain.output, fused.1);
+}
+
+#[test]
 fn spin_loop_budget_sweep() {
     let code = encode_all(&[Inst::Jmp { offset: -8 }]);
     for budget in [0u64, 1, 7, 4096, 9999, 50_000] {

@@ -157,13 +157,17 @@ impl ProgressLine {
 }
 
 impl RunnerOptions {
-    /// The worker count a pool will actually use: `threads`, or
-    /// `std::thread::available_parallelism()` when `threads` is `0`.
+    /// The worker count a pool will actually use: `threads` capped at
+    /// `std::thread::available_parallelism()` (oversubscribing a CPU-bound
+    /// pool only adds scheduler churn, and recorded host metadata must
+    /// never claim more resolved workers than the host has CPUs), or
+    /// available parallelism itself when `threads` is `0`.
     pub fn resolved_threads(&self) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if self.threads > 0 {
-            return self.threads;
+            return self.threads.min(cores);
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        cores
     }
 }
 

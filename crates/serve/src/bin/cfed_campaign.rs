@@ -45,14 +45,18 @@
 //! dispatch with profiling off against the direct decoded loop and fails
 //! outright (no baseline needed) if the dispatch costs ≥1% throughput, and
 //! — where the host supports it — the DBT's x86-64 native backend against
-//! the decoded interpreter, failing outright below a 2x floor.
+//! the decoded interpreter, failing outright below a 2x floor, and the
+//! profile-guided trace tier against tier-1 native execution on a hot-loop
+//! workload, failing outright below a 1.2x floor.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use cfed_core::{run_dbt_native_enabled, Category, RunConfig, TechniqueKind};
+use cfed_core::{
+    run_dbt_native_enabled, run_dbt_tiered_enabled, Category, RunConfig, TechniqueKind,
+};
 use cfed_dbt::{CheckPolicy, UpdateStyle};
 use cfed_fault::CategoryStats;
 use cfed_runner::cli::Parser;
@@ -832,6 +836,126 @@ fn bench_native() -> Result<Option<NativePerf>, String> {
     }))
 }
 
+/// Hard floor on trace-tier-over-native-tier-1 guest throughput on the
+/// hot-loop workload, in milli-ratio units (1200 = 1.20x). Self-normalizing
+/// like the native floor: both laps run in the same invocation on the same
+/// host, under the same native backend — the ratio isolates exactly what
+/// the optimizing tier buys (measured ~1.4x; the floor leaves headroom for
+/// runner jitter without ever accepting a tier that does not pay for
+/// itself).
+const TRACE_MIN_RATIO_MILLI: u64 = 1200;
+
+/// Trace-tier throughput measurement.
+struct TracePerf {
+    trace_mips: f64,
+    native_mips: f64,
+    /// Trace-tier-over-native-tier-1 throughput ratio.
+    over_native: f64,
+}
+
+/// The trace-tier bench workload: a hot multi-block loop nest, the regime
+/// profile-guided trace formation exists for. Real campaign workloads
+/// spread time across warm-but-not-hot code and measure the tier at only
+/// ~1.0–1.1x; this loop spends its life inside a few superblocks, so the
+/// measurement (and its regression gate) tracks the quality of the trace
+/// pipeline — check hoisting, signature coalescing, dispatch elision —
+/// rather than workload mix.
+const TRACE_BENCH_SOURCE: &str = r#"
+    fn main() {
+        let outer = 0;
+        let acc = 3;
+        while (outer < 200) {
+            let i = 0;
+            while (i < 5000) {
+                if (i % 4 == 1) { acc = acc * 2 - i; } else { acc = acc + i; }
+                if (acc > 1000000) { acc = acc - 1000000; }
+                i = i + 1;
+            }
+            outer = outer + 1;
+        }
+        out(acc);
+    }
+"#;
+
+/// Times the profile-guided trace tier against tier-1 native execution on
+/// [`TRACE_BENCH_SOURCE`] under EdgCF/CMOVcc (ALLBB policy) — the fully
+/// instrumented configuration, where the tier's verified check hoisting
+/// and signature-update coalescing have instructions to remove. Both laps
+/// run the native backend; they differ only in tier formation. Every
+/// tiered native lap must retire bit-identically to a tiered
+/// fused-interpreter reference, and the tier-1 lap must produce the same
+/// guest output. Returns `None` where the native backend or the tier is
+/// unavailable (`CFED_NO_NATIVE=1`, `CFED_NO_TIER=1`, non-x86-64 hosts) so
+/// the record and gates degrade gracefully. Both MIPS figures use the
+/// tier-1 lap's retired guest instruction count as numerator, so the ratio
+/// is a pure time ratio over identical guest work (the tiered run retires
+/// fewer instructions — that being the point — and crediting it with its
+/// own smaller count would understate the win).
+fn bench_trace() -> Result<Option<TracePerf>, String> {
+    if !cfed_dbt::native_enabled() || !cfed_dbt::tier_enabled() {
+        return Ok(None);
+    }
+    const WARMUP: usize = 1;
+    const REPS: usize = 5;
+    let spec = WorkloadSpec::inline("trace-hot-loop", TRACE_BENCH_SOURCE);
+    let image = spec.image()?;
+    let cfg = RunConfig {
+        style: UpdateStyle::CMov,
+        max_insts: u64::MAX,
+        ..RunConfig::technique(TechniqueKind::EdgCf)
+    };
+    let threshold = cfed_dbt::DEFAULT_COMPILE_THRESHOLD;
+    let reference = run_dbt_tiered_enabled(&image, &cfg, threshold, false, true);
+    if reference.dbt.traces == 0 {
+        return Err("trace bench workload formed no traces".to_string());
+    }
+    let mut best = [f64::INFINITY; 2]; // [tier-1 native, trace tier]
+    let mut guest_insts = 0;
+    for rep in 0..WARMUP + REPS {
+        let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
+        for use_tier in order {
+            let timer = std::time::Instant::now();
+            let outcome = run_dbt_tiered_enabled(&image, &cfg, threshold, true, use_tier);
+            let secs = timer.elapsed().as_secs_f64();
+            if use_tier {
+                if outcome != reference {
+                    return Err("trace-tier native divergence from fused reference".to_string());
+                }
+            } else {
+                if outcome.output != reference.output {
+                    return Err("tier-1 native divergence on trace bench".to_string());
+                }
+                guest_insts = outcome.insts;
+            }
+            if rep >= WARMUP {
+                let slot = usize::from(use_tier);
+                best[slot] = best[slot].min(secs);
+            }
+        }
+    }
+    if std::env::var_os("CFED_BENCH_VERBOSE").is_some() {
+        eprintln!(
+            "cfed-campaign bench: trace      tier-1 {:.1} MIPS, trace {:.1} MIPS ({} traces)",
+            guest_insts as f64 / best[0] / 1e6,
+            guest_insts as f64 / best[1] / 1e6,
+            reference.dbt.traces
+        );
+    }
+    let mips = |secs: f64| {
+        if secs > 0.0 {
+            guest_insts as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    };
+    let (native_mips, trace_mips) = (mips(best[0]), mips(best[1]));
+    Ok(Some(TracePerf {
+        trace_mips,
+        native_mips,
+        over_native: if native_mips > 0.0 { trace_mips / native_mips } else { 0.0 },
+    }))
+}
+
 /// Throughput of the profiler-capable dispatch with no profiler attached,
 /// against the decoded loop invoked directly.
 struct ProfilerOffPerf {
@@ -1034,6 +1158,16 @@ fn run_bench(argv: &[String]) {
             None => eprintln!("cfed-campaign bench: native     backend unavailable on this host"),
         }
     }
+    let trace = bench_trace().unwrap_or_else(|e| die(e));
+    if !quiet {
+        match &trace {
+            Some(t) => eprintln!(
+                "cfed-campaign bench: trace      {:.1} MIPS vs tier-1 native {:.1} MIPS ({:.2}x)",
+                t.trace_mips, t.native_mips, t.over_native
+            ),
+            None => eprintln!("cfed-campaign bench: trace      tier unavailable on this host"),
+        }
+    }
     let prof_off = bench_profiler_off().unwrap_or_else(|e| die(e));
     if !quiet {
         eprintln!(
@@ -1048,7 +1182,10 @@ fn run_bench(argv: &[String]) {
     } else {
         0.0
     };
-    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    // Same source and fallback as `resolved_threads`, so the recorded pair
+    // is always consistent (`threads_resolved <= cpus`); the old record
+    // could claim 2 resolved workers on a 1-CPU host.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let resolved = RunnerOptions { threads, ..Default::default() }.resolved_threads();
     let record = obj(vec![
         ("schema", Json::Str("cfed-bench-campaign-v2".to_string())),
@@ -1112,6 +1249,26 @@ fn run_bench(argv: &[String]) {
         }
         None => record,
     };
+    // Likewise for the trace-tier keys: absent where the tier (or the
+    // native backend underneath it) could not run.
+    let record = match &trace {
+        Some(t) => {
+            let mut with_trace = match record {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("record is an object"),
+            };
+            with_trace.push((
+                "trace_mips_milli".to_string(),
+                Json::UInt((t.trace_mips * 1000.0).round() as u64),
+            ));
+            with_trace.push((
+                "trace_over_native_milli".to_string(),
+                Json::UInt((t.over_native * 1000.0).round() as u64),
+            ));
+            Json::Obj(with_trace)
+        }
+        None => record,
+    };
     std::fs::write(&out, record.render() + "\n")
         .unwrap_or_else(|e| die(format!("writing {}: {e}", out.display())));
     println!(
@@ -1163,6 +1320,30 @@ fn run_bench(argv: &[String]) {
         }
         None => println!("bench: native backend unavailable on this host; native gate skipped"),
     }
+    // The trace-tier floor shares the self-normalizing structure: both laps
+    // run in this invocation under the same native backend, so the ratio
+    // gates absolutely wherever the tier runs at all.
+    match &trace {
+        Some(t) => {
+            let ratio_milli = (t.over_native * 1000.0).round() as u64;
+            if ratio_milli < TRACE_MIN_RATIO_MILLI {
+                eprintln!(
+                    "cfed-campaign bench: PERF REGRESSION — trace tier is only {:.2}x tier-1 \
+                     native on the hot-loop workload (floor {:.2}x)",
+                    t.over_native,
+                    TRACE_MIN_RATIO_MILLI as f64 / 1000.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "bench: trace tier {:.1} MIPS, {:.2}x over tier-1 native (floor {:.2}x)",
+                t.trace_mips,
+                t.over_native,
+                TRACE_MIN_RATIO_MILLI as f64 / 1000.0
+            );
+        }
+        None => println!("bench: trace tier unavailable on this host; trace gate skipped"),
+    }
 
     if let Some(baseline_path) = args.get("baseline").filter(|s| !s.is_empty()) {
         let text = std::fs::read_to_string(baseline_path)
@@ -1211,6 +1392,19 @@ fn run_bench(argv: &[String]) {
             }
             (None, _) => {
                 println!("bench: baseline has no native_over_decoded_milli; native gate skipped")
+            }
+        }
+        // And the trace-tier ratio: absent from records written before the
+        // tier existed or on hosts where it could not run.
+        match (baseline.get("trace_over_native_milli").and_then(Json::as_u64), &trace) {
+            (Some(base_trace), Some(t)) => {
+                gate("trace speedup", (t.over_native * 1000.0).round() as u64, base_trace)
+            }
+            (Some(_), None) => {
+                println!("bench: trace tier unavailable on this host; trace gate skipped")
+            }
+            (None, _) => {
+                println!("bench: baseline has no trace_over_native_milli; trace gate skipped")
             }
         }
     }

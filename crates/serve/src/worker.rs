@@ -133,11 +133,14 @@ pub fn work(
     serve_connection(stream, options, stop)
 }
 
+// Same capping rule as `RunnerOptions::resolved_threads`: an explicit
+// request never resolves above the host's available parallelism.
 fn resolved_threads(options: &WorkerOptions) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if options.threads > 0 {
-        return options.threads;
+        return options.threads.min(cores);
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    cores
 }
 
 fn serve_connection(
