@@ -418,6 +418,7 @@ pub fn coverage_with(
         policies: vec![CheckPolicy::AllBb],
         trials: trials_per_workload,
         seed,
+        attacks: vec![None],
     };
     let summary = pooled_reports(&matrix, "coverage", threads);
     let cells = matrix.cells();
@@ -523,6 +524,7 @@ pub fn latency_by_policy_with(
         policies: CheckPolicy::ALL.to_vec(),
         trials: trials_per_workload,
         seed,
+        attacks: vec![None],
     };
     let summary = pooled_reports(&matrix, "latency", threads);
     let cells = matrix.cells();

@@ -7,10 +7,11 @@
 //! address, the flipped bit, the classification, and the tracer's last-N
 //! instruction window and branch history ending at the detection point.
 
+use crate::attack::{attack_traced_with, AttackProvenance, AttackSpec};
 use crate::inject::{inject_traced_with, FaultSpec, Golden, InjectionResult, Outcome};
 use crate::snapshot::SnapshotSet;
 use cfed_asm::Image;
-use cfed_core::{Category, RunConfig};
+use cfed_core::{CachePart, Category, RunConfig};
 use cfed_telemetry::json::{obj, Json};
 
 /// Default instruction-window length retained by forensics captures.
@@ -81,6 +82,69 @@ impl ForensicsBundle {
             ("nth_branch", Json::UInt(nth)),
             ("flipped_bit", Json::UInt(bit as u64)),
             ("site", Json::UInt(self.result.site)),
+            ("category", Json::Str(self.result.category.to_string())),
+            ("outcome", Json::Str(self.result.outcome.to_string())),
+            ("latency_insts", Json::UInt(self.result.latency_insts)),
+            ("trace", self.trace.clone()),
+        ])
+    }
+}
+
+/// Evidence package for one interesting *attack* trial: the
+/// [`ForensicsBundle`] shape plus gadget provenance — where the seized
+/// control transfer actually went, and which translated-block part it
+/// landed on.
+#[derive(Debug, Clone)]
+pub struct AttackForensics {
+    /// The mounted attack.
+    pub spec: AttackSpec,
+    /// The (re-produced) result.
+    pub result: InjectionResult,
+    /// Where the attack went.
+    pub provenance: AttackProvenance,
+    /// The tracer export, oldest first, ending at the detection point.
+    pub trace: Json,
+}
+
+impl AttackForensics {
+    /// Re-mounts `spec` with a tracer of `window` instructions attached and
+    /// bundles the evidence; deterministic, so the result matches the plain
+    /// trial's. The capture criterion is [`ForensicsBundle::wanted`] —
+    /// attacks and faults share the same notion of "interesting".
+    pub fn capture_with(
+        image: &Image,
+        cfg: &RunConfig,
+        spec: AttackSpec,
+        golden: &Golden,
+        window: usize,
+        snapshots: Option<&SnapshotSet>,
+    ) -> Option<AttackForensics> {
+        let (result, tracer, provenance) =
+            attack_traced_with(image, cfg, spec, golden, window, snapshots).ok()??;
+        Some(AttackForensics { spec, result, provenance, trace: tracer.export() })
+    }
+
+    /// Serializes the bundle for the JSONL event sink.
+    pub fn to_json(&self) -> Json {
+        let part = |p: CachePart| match p {
+            CachePart::Head => "head",
+            CachePart::Payload => "payload",
+            CachePart::Tail => "tail",
+        };
+        let attribution = match self.provenance.attribution {
+            Some((guest_start, p)) => obj(vec![
+                ("guest_block", Json::UInt(guest_start)),
+                ("part", Json::Str(part(p).to_string())),
+            ]),
+            None => Json::Null,
+        };
+        obj(vec![
+            ("attack", Json::Str(self.spec.kind.name().to_string())),
+            ("nth_branch", Json::UInt(self.spec.nth)),
+            ("param", Json::UInt(self.spec.param)),
+            ("site", Json::UInt(self.result.site)),
+            ("target", Json::UInt(self.provenance.target)),
+            ("attribution", attribution),
             ("category", Json::Str(self.result.category.to_string())),
             ("outcome", Json::Str(self.result.outcome.to_string())),
             ("latency_insts", Json::UInt(self.result.latency_insts)),

@@ -219,7 +219,7 @@ pub(crate) fn golden_inner(
     }
 }
 
-fn build(image: &Image, cfg: &RunConfig) -> (Machine, Dbt) {
+pub(crate) fn build(image: &Image, cfg: &RunConfig) -> (Machine, Dbt) {
     let mut m = Machine::load(image.code(), image.data(), image.entry_offset());
     let instr: Box<dyn cfed_dbt::Instrumenter> = match cfg.technique {
         Some(kind) => kind.instrumenter_for(image, cfg.policy),
@@ -326,20 +326,40 @@ fn inject_inner(
     trace_capacity: Option<usize>,
     snapshots: Option<&SnapshotSet>,
 ) -> Result<Option<(InjectionResult, Option<cfed_sim::Tracer>)>, WorkloadError> {
+    run_trial_inner(image, cfg, spec.nth(), golden, trace_capacity, snapshots, |m, dbt, image| {
+        inject_now(m, dbt, image, spec)
+    })
+}
+
+/// The shared trial loop behind both fault injection and attack synthesis:
+/// replay (or fast-forward) the fault-free prefix to the `nth` dynamic
+/// branch, let `apply` corrupt the machine there, then run to an outcome.
+/// `apply` returns the corruption's `(category, site, instrumentation
+/// landing, step result)`, or `None` when it cannot be placed at this
+/// branch.
+pub(crate) fn run_trial_inner(
+    image: &Image,
+    cfg: &RunConfig,
+    nth: u64,
+    golden: &Golden,
+    trace_capacity: Option<usize>,
+    snapshots: Option<&SnapshotSet>,
+    apply: impl FnOnce(&mut Machine, &mut Dbt, &Image) -> Option<(Category, u64, bool, DbtStep)>,
+) -> Result<Option<(InjectionResult, Option<cfed_sim::Tracer>)>, WorkloadError> {
     // Fast-forward: restore the nearest checkpoint at-or-below the target
     // branch instead of replaying the prefix. Traced runs additionally
     // require `capacity` branches of margin before the injection point so
     // the last-N windows fill identically to the from-scratch stream.
     let usable = snapshots.filter(|s| s.matches(cfg));
     let target = match trace_capacity {
-        None => Some(spec.nth()),
-        Some(cap) => spec.nth().checked_sub(cap as u64),
+        None => Some(nth),
+        Some(cap) => nth.checked_sub(cap as u64),
     };
     let restored = usable.and_then(|s| target.and_then(|t| s.nearest(t)));
     if let Some(s) = usable {
         match restored {
-            Some(snap) => s.note_restore(snap.branch_index, spec.nth() - snap.branch_index),
-            None => s.note_miss(spec.nth()),
+            Some(snap) => s.note_restore(snap.branch_index, nth - snap.branch_index),
+            None => s.note_miss(nth),
         }
     }
     let (mut m, mut dbt, mut seen_branches) = match restored {
@@ -364,8 +384,8 @@ fn inject_inner(
         }
         let at_branch = m.peek_inst().map(|i| i.is_branch()).unwrap_or(false);
         if at_branch {
-            if seen_branches == spec.nth() {
-                break inject_now(&mut m, &mut dbt, image, spec);
+            if seen_branches == nth {
+                break apply(&mut m, &mut dbt, image);
             }
             seen_branches += 1;
         }
@@ -396,12 +416,12 @@ fn inject_inner(
         None => usable,
         Some(_) => None,
     };
-    let mut boundaries = prune.map(|s| s.after(spec.nth()).iter()).into_iter().flatten().peekable();
+    let mut boundaries = prune.map(|s| s.after(nth).iter()).into_iter().flatten().peekable();
     // The faulted step consumed dynamic branch `nth`; later trial branch
     // indices only stay aligned with golden's while the paths coincide —
     // exactly the situation state equality certifies, and misaligned
     // comparisons simply fail (the CPU's retired counters differ).
-    let mut trial_branch = spec.nth();
+    let mut trial_branch = nth;
     let mut pending = Some(faulted_step);
     let (outcome, pruned_latency) = loop {
         if m.cpu.stats().insts >= budget {
@@ -468,7 +488,7 @@ fn stale_flags_flip_downstream(m: &Machine, from: u64, flipped: Flags) -> bool {
 }
 
 /// Classifies a surfaced trap as a detection outcome.
-fn outcome_of_trap(t: Trap) -> Outcome {
+pub(crate) fn outcome_of_trap(t: Trap) -> Outcome {
     if t.is_cfe_report() {
         Outcome::DetectedByCheck
     } else if t.is_hardware_cfe_detection() {

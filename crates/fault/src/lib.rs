@@ -1,13 +1,18 @@
-//! # cfed-fault — error model and fault injection
+//! # cfed-fault — error model, fault injection, and attack generation
 //!
-//! Two experiment engines for the CGO'06 reproduction:
+//! Three experiment engines for the CGO'06 reproduction:
 //!
 //! * [`error_model`] — the single-bit-flip branch-error probability model of
 //!   paper §2, regenerating the Figure 2 table and the Figure 3
 //!   SDC-restricted view;
 //! * [`mod@inject`] / [`campaign`] — actual soft-error injection into
 //!   DBT-translated code (the study the paper names as future work),
-//!   measuring per-category detection coverage of each technique.
+//!   measuring per-category detection coverage of each technique;
+//! * [`mod@attack`] — adversarial control-flow corruptions (seven
+//!   archetypes, from branch flips to data-segment pivots), classified
+//!   into the same A–F taxonomy and run as first-class campaigns to
+//!   measure the security detection frontier (DESIGN.md § "Attack
+//!   model").
 //!
 //! ## Example
 //!
@@ -25,17 +30,22 @@
 //! # Ok::<(), cfed_lang::CompileError>(())
 //! ```
 
+pub mod attack;
 pub mod campaign;
 pub mod error_model;
 pub mod forensics;
 pub mod inject;
 pub mod snapshot;
 
+pub use attack::{
+    attack, attack_traced_with, attack_with, pause_attack, pause_attack_interp, AttackCampaign,
+    AttackExit, AttackKind, AttackModel, AttackProvenance, AttackSpec, AttackSurface, PauseAttack,
+};
 pub use campaign::{
     Campaign, CampaignReport, CategoryStats, ExhaustiveSweep, LatencyGrid, SHARD_TRIALS,
 };
 pub use error_model::{analyze_image, ErrorModelReport, ErrorModelTable, FaultSide};
-pub use forensics::{ForensicsBundle, DEFAULT_TRACE_WINDOW};
+pub use forensics::{AttackForensics, ForensicsBundle, DEFAULT_TRACE_WINDOW};
 pub use inject::{
     golden_run, inject, inject_traced, inject_traced_with, inject_with, FaultSpec, Golden,
     InjectionResult, Outcome, WorkloadError,

@@ -29,6 +29,7 @@ fn run_parser() -> Parser {
         .flag("tier", "TIER", "all", "minic, visa, or all")
         .flag("max-insts", "N", "2000000", "per-backend instruction budget")
         .flag("detect-branches", "N", "4", "branch sites swept per program in detect mode")
+        .switch("attacks", "mount the adversarial attack schedule on every case")
         .flag("corpus", "DIR", "", "write minimized reproducers and report.txt here")
         .switch("quiet", "suppress the report body on stdout")
 }
@@ -78,6 +79,7 @@ fn cmd_run(argv: &[String]) -> Result<ExitCode, String> {
         })?,
         tiers,
         detect_branches: args.get_u64("detect-branches")?,
+        attacks: args.has("attacks"),
         corpus_dir: corpus_dir.clone(),
         time_budget,
     };
@@ -93,12 +95,14 @@ fn cmd_run(argv: &[String]) -> Result<ExitCode, String> {
         std::fs::write(dir.join("report.txt"), &report.text).map_err(|e| e.to_string())?;
     }
     eprintln!(
-        "cfed-fuzz: {} cases, {} retained, {} coverage bits, {} divergences, {} SDC violations",
+        "cfed-fuzz: {} cases, {} retained, {} coverage bits, {} divergences, {} SDC violations, \
+         {} attack divergences",
         report.cases,
         report.retained,
         report.coverage_bits,
         report.divergences,
-        report.sdc_violations
+        report.sdc_violations,
+        report.attack_divergences
     );
     Ok(if report.clean() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
@@ -137,6 +141,25 @@ fn replay_one(path: &Path, max_insts: u64) -> Result<(), String> {
                     "{}: detection guarantee still violated: {:?}",
                     path.display(),
                     out.violations
+                ))
+            }
+        }
+        RegressionMode::Attack => {
+            // The schedule is a pure function of the archived seed, so
+            // replaying the sweep replays the exact trial that diverged.
+            let out = cfed_fuzz::attack_sweep(
+                &entry.image,
+                entry.seed,
+                cfed_fuzz::ATTACK_TRIALS,
+                max_insts,
+            );
+            if out.findings.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{}: engines still disagree under attack: {:?}",
+                    path.display(),
+                    out.findings
                 ))
             }
         }

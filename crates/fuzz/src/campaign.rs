@@ -9,6 +9,7 @@
 //! nondeterminism permitted is *how many* batches a `--time-budget` run
 //! completes; `--iters` runs are byte-reproducible.
 
+use crate::attack::{attack_sweep, finding_reproduces, AttackOutcome, ATTACK_TRIALS};
 use crate::corpus::{write_regression, RegressionFile, RegressionMode};
 use crate::coverage::{fingerprint, CoverageMap, Fingerprint};
 use crate::detect::{detection_sweep, violation_reproduces, DetectOutcome};
@@ -32,6 +33,8 @@ pub mod counters {
     pub static DIVERGENCES: Counter = Counter::new();
     /// Detection-guarantee SDC violations observed.
     pub static SDC_VIOLATIONS: Counter = Counter::new();
+    /// Cross-engine disagreements under attack schedules.
+    pub static ATTACK_DIVERGENCES: Counter = Counter::new();
     /// Programs retained by coverage feedback.
     pub static RETAINED: Counter = Counter::new();
 }
@@ -87,6 +90,9 @@ pub struct FuzzConfig {
     /// Branch sites swept per program in detect mode (a cap; the report
     /// records how many sites each capped program actually had).
     pub detect_branches: u64,
+    /// Additionally mount the deterministic adversarial attack schedule on
+    /// every case and diff the engine pairs (`--attacks`).
+    pub attacks: bool,
     /// Where to write minimized reproducers (`None` = don't write).
     pub corpus_dir: Option<PathBuf>,
     /// Optional wall-clock budget checked between batches.
@@ -103,6 +109,7 @@ impl Default for FuzzConfig {
             mode: Mode::Both,
             tiers: vec![Tier::MiniC, Tier::Visa],
             detect_branches: 4,
+            attacks: false,
             corpus_dir: None,
             time_budget: None,
         }
@@ -120,6 +127,8 @@ pub struct FuzzReport {
     pub divergences: u64,
     /// Detection-guarantee SDC violations.
     pub sdc_violations: u64,
+    /// Cross-engine disagreements under attack schedules.
+    pub attack_divergences: u64,
     /// Cases retained by coverage.
     pub retained: u64,
     /// Distinct behaviour bits covered.
@@ -129,9 +138,10 @@ pub struct FuzzReport {
 }
 
 impl FuzzReport {
-    /// `true` when no divergence and no SDC violation was seen.
+    /// `true` when no divergence, no SDC violation and no attack-schedule
+    /// disagreement was seen.
     pub fn clean(&self) -> bool {
-        self.divergences == 0 && self.sdc_violations == 0
+        self.divergences == 0 && self.sdc_violations == 0 && self.attack_divergences == 0
     }
 }
 
@@ -143,6 +153,7 @@ struct CaseResult {
     divergence: Option<Divergence>,
     fp: Fingerprint,
     detect: Option<DetectOutcome>,
+    attack: Option<AttackOutcome>,
 }
 
 fn evaluate_case(cfg: &FuzzConfig, index: u64) -> CaseResult {
@@ -159,13 +170,24 @@ fn evaluate_case(cfg: &FuzzConfig, index: u64) -> CaseResult {
     };
     let detect = matches!(cfg.mode, Mode::Detect | Mode::Both)
         .then(|| detection_sweep(&prog.image, cfg.detect_branches, cfg.max_insts));
+    let attack = cfg.attacks.then(|| attack_sweep(&prog.image, seed, ATTACK_TRIALS, cfg.max_insts));
     if divergence.is_some() {
         counters::DIVERGENCES.inc();
     }
     if let Some(d) = &detect {
         counters::SDC_VIOLATIONS.add(d.violations.len() as u64);
     }
-    CaseResult { seed, tier, prog, divergence, fp, detect }
+    if let Some(a) = &attack {
+        counters::ATTACK_DIVERGENCES.add(a.findings.len() as u64);
+    }
+    CaseResult { seed, tier, prog, divergence, fp, detect, attack }
+}
+
+fn config_label(technique: Option<cfed_core::TechniqueKind>) -> String {
+    match technique {
+        None => "baseline".to_string(),
+        Some(t) => t.to_string(),
+    }
 }
 
 fn note_lines(prog: &GeneratedProgram, extra: String) -> Vec<String> {
@@ -196,6 +218,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     );
     let _ = writeln!(text, "max-insts: {}", cfg.max_insts);
     let _ = writeln!(text, "detect-branches: {}", cfg.detect_branches);
+    if cfg.attacks {
+        let _ = writeln!(text, "attacks: {ATTACK_TRIALS} trials/case");
+    }
 
     let mut coverage = CoverageMap::new();
     let mut report = FuzzReport {
@@ -203,12 +228,14 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         cases: 0,
         divergences: 0,
         sdc_violations: 0,
+        attack_divergences: 0,
         retained: 0,
         coverage_bits: 0,
         written: Vec::new(),
     };
     let mut detect_total = DetectOutcome::default();
     let mut capped_sites = 0u64;
+    let mut attack_total = AttackOutcome::default();
 
     let mut next = 0u64;
     while next < cfg.iters {
@@ -311,6 +338,55 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     }
                 }
             }
+            if let Some(a) = &r.attack {
+                attack_total.trials += a.trials;
+                attack_total.placed += a.placed;
+                for f in &a.findings {
+                    report.attack_divergences += 1;
+                    let (left, right) = f.pair();
+                    let _ = writeln!(
+                        text,
+                        "ATTACK seed={:#018x} tier={} config={}/{} kind={} pause={} \
+                         pair={left}|{right} field={} {}",
+                        r.seed,
+                        r.tier.name(),
+                        config_label(f.technique),
+                        f.style,
+                        f.kind,
+                        f.pause,
+                        f.field,
+                        f.detail
+                    );
+                    if let Some(dir) = &cfg.corpus_dir {
+                        let (find, max) = (f.clone(), cfg.max_insts);
+                        let (reduced, edits) =
+                            shrink_image(&r.prog.image, |img| finding_reproduces(img, &find, max));
+                        let entry = RegressionFile {
+                            mode: RegressionMode::Attack,
+                            seed: r.seed,
+                            tier: r.tier,
+                            notes: note_lines(
+                                &r.prog,
+                                format!(
+                                    "attack {}/{} kind {} param {:#x} pause {} pair \
+                                     {left}|{right} field {}: {} ({edits} shrink edits)",
+                                    config_label(f.technique),
+                                    f.style,
+                                    f.kind,
+                                    f.param,
+                                    f.pause,
+                                    f.field,
+                                    f.detail
+                                ),
+                            ),
+                            image: reduced,
+                        };
+                        if let Ok(path) = write_regression(dir, &entry) {
+                            report.written.push(path);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -334,6 +410,13 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 cfg.detect_branches
             );
         }
+    }
+    if cfg.attacks {
+        let _ = writeln!(
+            text,
+            "attack: trials={} placed={} divergences={}",
+            attack_total.trials, attack_total.placed, report.attack_divergences
+        );
     }
     report.text = text;
     report
@@ -361,6 +444,17 @@ mod tests {
         let many = run_fuzz(&FuzzConfig { threads: 3, ..smoke_cfg() });
         assert_eq!(one.text, many.text);
         assert_eq!(one.cases, 6);
+    }
+
+    #[test]
+    fn attack_schedules_are_reproducible_and_clean() {
+        let cfg = FuzzConfig { attacks: true, iters: 4, ..smoke_cfg() };
+        let one = run_fuzz(&cfg);
+        let many = run_fuzz(&FuzzConfig { threads: 3, ..cfg });
+        assert_eq!(one.text, many.text, "thread count leaked into the attack report");
+        assert!(one.text.contains("attacks: 6 trials/case"), "{}", one.text);
+        assert!(one.text.contains("attack: trials=24 placed="), "{}", one.text);
+        assert!(one.clean(), "attack schedule found an engine disagreement:\n{}", one.text);
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum RegressionMode {
     Diff,
     /// Silent data corruption escaping a detection technique.
     Detect,
+    /// Cross-engine disagreement under an adversarial attack schedule.
+    Attack,
 }
 
 impl RegressionMode {
@@ -29,6 +31,7 @@ impl RegressionMode {
         match self {
             RegressionMode::Diff => "diff",
             RegressionMode::Detect => "detect",
+            RegressionMode::Attack => "attack",
         }
     }
 
@@ -37,6 +40,7 @@ impl RegressionMode {
         match s {
             "diff" => Some(RegressionMode::Diff),
             "detect" => Some(RegressionMode::Detect),
+            "attack" => Some(RegressionMode::Attack),
             _ => None,
         }
     }

@@ -7,6 +7,9 @@
 //! reproducer ([`shrink`]) archived in `corpus/regressions/` ([`corpus`]),
 //! and — in detection-guarantee mode ([`detect`]) — checks that every
 //! single-bit branch-site fault under EdgCF/RCF is Detected-or-Benign.
+//! With `--attacks` it additionally mounts a deterministic adversarial
+//! attack schedule ([`attack`]) on every case and requires the fused,
+//! native and tiered engines to agree bit-for-bit under each attack.
 //!
 //! Everything is a pure function of the campaign seed: the same seed with
 //! any `--threads` value produces byte-identical reports, which is what
@@ -14,6 +17,7 @@
 //!
 //! See DESIGN.md § "Conformance & fuzzing" for the architecture.
 
+pub mod attack;
 pub mod campaign;
 pub mod corpus;
 pub mod coverage;
@@ -22,6 +26,7 @@ pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
+pub use attack::{attack_sweep, finding_reproduces, AttackFinding, AttackOutcome, ATTACK_TRIALS};
 pub use campaign::{run_fuzz, FuzzConfig, FuzzReport, Mode};
 pub use corpus::{
     list_regressions, load_regression, write_regression, RegressionFile, RegressionMode,

@@ -4,8 +4,8 @@
 //! re-scoping) it must stay clean forever.
 
 use cfed_fuzz::{
-    detection_sweep, list_regressions, load_regression, run_oracle, GeneratedProgram,
-    RegressionMode,
+    attack_sweep, detection_sweep, list_regressions, load_regression, run_oracle, GeneratedProgram,
+    RegressionMode, ATTACK_TRIALS,
 };
 use std::path::Path;
 
@@ -51,6 +51,15 @@ fn archived_reproducers_stay_clean() {
                     "{}: detection guarantee violated again: {:?}",
                     path.display(),
                     out.violations
+                );
+            }
+            RegressionMode::Attack => {
+                let out = attack_sweep(&entry.image, entry.seed, ATTACK_TRIALS, MAX_INSTS);
+                assert!(
+                    out.findings.is_empty(),
+                    "{}: engines disagree under attack again: {:?}",
+                    path.display(),
+                    out.findings
                 );
             }
         }

@@ -48,6 +48,7 @@
 //!     policies: vec![CheckPolicy::AllBb],
 //!     trials: 64,
 //!     seed: 1,
+//!     attacks: vec![None],
 //! };
 //! let options = RunnerOptions { threads: 2, ..Default::default() };
 //! let summary = run_matrix(&matrix, "demo", None, &options)?;

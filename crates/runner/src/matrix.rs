@@ -11,7 +11,7 @@ use cfed_asm::Image;
 use cfed_core::RunConfig;
 use cfed_core::TechniqueKind;
 use cfed_dbt::{CheckPolicy, UpdateStyle};
-use cfed_fault::{Campaign, SHARD_TRIALS};
+use cfed_fault::{AttackCampaign, AttackKind, Campaign, SHARD_TRIALS};
 use cfed_workloads::Scale;
 
 /// Workloads used for injection campaigns (kept small — every injection is
@@ -101,12 +101,29 @@ pub struct CellSpec {
     pub trials: u64,
     /// Campaign RNG seed.
     pub seed: u64,
+    /// When set, the cell mounts this attack archetype instead of sampling
+    /// random soft errors — the second cell-space dimension. Attack cells
+    /// share shard geometry, seed derivation and tally shape with fault
+    /// cells, so everything downstream of the report is unchanged.
+    pub attack: Option<AttackKind>,
 }
 
 impl CellSpec {
     /// The equivalent serial campaign.
     pub fn campaign(&self) -> Campaign {
         Campaign { config: self.config, trials: self.trials, seed: self.seed }
+    }
+
+    /// The equivalent attack campaign, for attack cells. Shard counts and
+    /// seeds agree with [`CellSpec::campaign`], which is why the scheduling
+    /// and accounting code never needs to distinguish the two.
+    pub fn attack_campaign(&self) -> Option<AttackCampaign> {
+        self.attack.map(|kind| AttackCampaign {
+            config: self.config,
+            kind,
+            trials: self.trials,
+            seed: self.seed,
+        })
     }
 
     /// The golden-run cache key: workload identity + everything of the
@@ -122,9 +139,16 @@ impl CellSpec {
         )
     }
 
-    /// The cell's identity in the result store.
+    /// The cell's identity in the result store. Attack cells carry an
+    /// `|atk:<archetype>` suffix; fault cells keep the historical 7-part
+    /// key, so existing stores resume unchanged. The golden key is shared
+    /// either way — golden runs are attack-independent.
     pub fn key(&self) -> String {
-        format!("{}|s{}|t{}", self.golden_key(), self.seed, self.trials)
+        let base = format!("{}|s{}|t{}", self.golden_key(), self.seed, self.trials);
+        match self.attack {
+            Some(kind) => format!("{base}|atk:{}", kind.name()),
+            None => base,
+        }
     }
 
     /// Shards in this cell.
@@ -167,6 +191,10 @@ pub struct CampaignMatrix {
     /// so equal seeds give independent fault streams over different golden
     /// runs — and keep cells comparable across techniques).
     pub seed: u64,
+    /// Attack archetypes (`None` = random soft errors). The default
+    /// `[None]` reproduces the historical fault-only cell space — same
+    /// keys, same digest.
+    pub attacks: Vec<Option<AttackKind>>,
 }
 
 impl CampaignMatrix {
@@ -187,24 +215,49 @@ impl CampaignMatrix {
             policies: vec![CheckPolicy::AllBb],
             trials,
             seed,
+            attacks: vec![None],
+        }
+    }
+
+    /// The adversarial matrix: every attack archetype against the paper's
+    /// six coverage configurations (baseline + five techniques), CMOVcc
+    /// style, ALLBB policy — the detection-frontier experiment behind
+    /// `cfed-campaign report --attacks`.
+    pub fn attacks(workloads: Vec<WorkloadSpec>, trials: u64, seed: u64) -> CampaignMatrix {
+        let mut techniques: Vec<Option<TechniqueKind>> = vec![None];
+        techniques.extend(TechniqueKind::ALL_FIVE.into_iter().map(Some));
+        CampaignMatrix {
+            workloads,
+            techniques,
+            styles: vec![UpdateStyle::CMov],
+            policies: vec![CheckPolicy::AllBb],
+            trials,
+            seed,
+            attacks: AttackKind::ALL.into_iter().map(Some).collect(),
         }
     }
 
     /// The exploded cell list, in deterministic iteration order
-    /// (technique-major, then style, policy, workload).
+    /// (attack-major, then technique, style, policy, workload). With the
+    /// default `attacks: [None]` the order and keys are identical to the
+    /// historical fault-only matrix.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
-        for &technique in &self.techniques {
-            for &style in &self.styles {
-                for &policy in &self.policies {
-                    for workload in &self.workloads {
-                        let config = RunConfig { technique, style, policy, ..RunConfig::default() };
-                        out.push(CellSpec {
-                            workload: workload.clone(),
-                            config,
-                            trials: self.trials,
-                            seed: self.seed,
-                        });
+        for &attack in &self.attacks {
+            for &technique in &self.techniques {
+                for &style in &self.styles {
+                    for &policy in &self.policies {
+                        for workload in &self.workloads {
+                            let config =
+                                RunConfig { technique, style, policy, ..RunConfig::default() };
+                            out.push(CellSpec {
+                                workload: workload.clone(),
+                                config,
+                                trials: self.trials,
+                                seed: self.seed,
+                                attack,
+                            });
+                        }
                     }
                 }
             }
@@ -257,6 +310,30 @@ mod tests {
         let keys: std::collections::BTreeSet<String> = cells.iter().map(|c| c.key()).collect();
         assert_eq!(keys.len(), cells.len(), "duplicate cell keys");
         assert_eq!(CampaignMatrix::digest(&cells), CampaignMatrix::digest(&m.cells()));
+    }
+
+    #[test]
+    fn attack_matrix_suffixes_keys_and_keeps_fault_keys_stable() {
+        let workloads = vec![WorkloadSpec::named("164.gzip", Scale::Test)];
+        let faults = CampaignMatrix::coverage(workloads.clone(), UpdateStyle::CMov, 100, 7);
+        for cell in faults.cells() {
+            assert!(!cell.key().contains("|atk:"), "fault cell key grew a suffix");
+            assert!(cell.attack_campaign().is_none());
+        }
+
+        let m = CampaignMatrix::attacks(workloads, 100, 7);
+        let cells = m.cells();
+        // 7 archetypes x (baseline + 5 techniques) x 1 workload.
+        assert_eq!(cells.len(), 42);
+        let keys: std::collections::BTreeSet<String> = cells.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), cells.len(), "duplicate attack cell keys");
+        for cell in &cells {
+            let kind = cell.attack.expect("attack matrix cell without archetype");
+            assert!(cell.key().ends_with(&format!("|atk:{}", kind.name())));
+            assert!(!cell.golden_key().contains("atk:"), "golden key must stay attack-free");
+            let campaign = cell.attack_campaign().expect("attack campaign");
+            assert_eq!(campaign.num_shards(), cell.num_shards());
+        }
     }
 
     #[test]

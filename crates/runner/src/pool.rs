@@ -26,8 +26,8 @@ use std::time::Instant;
 use cfed_asm::Image;
 use cfed_core::{profile_dbt, RunConfig};
 use cfed_fault::{
-    golden_run, CampaignReport, FaultSpec, ForensicsBundle, Golden, SnapshotSet, SnapshotStats,
-    WorkloadError, DEFAULT_TRACE_WINDOW,
+    golden_run, AttackForensics, AttackSpec, CampaignReport, FaultSpec, ForensicsBundle, Golden,
+    SnapshotSet, SnapshotStats, WorkloadError, DEFAULT_TRACE_WINDOW,
 };
 use cfed_telemetry::{Event, EventSink, FlightRecorder, Profile, Telemetry};
 
@@ -542,6 +542,23 @@ struct ShardRun {
     forensics_wanted: u64,
 }
 
+/// Trials of one shard that warranted a forensics capture — fault specs
+/// for classic cells, attack specs for attack cells. Either way the
+/// capture criterion is [`ForensicsBundle::wanted`].
+enum WantedSpecs {
+    Faults(Vec<FaultSpec>),
+    Attacks(Vec<AttackSpec>),
+}
+
+impl WantedSpecs {
+    fn len(&self) -> usize {
+        match self {
+            WantedSpecs::Faults(v) => v.len(),
+            WantedSpecs::Attacks(v) => v.len(),
+        }
+    }
+}
+
 fn run_shard(
     cache: &mut WorkerCache,
     goldens: &GoldenCache,
@@ -566,33 +583,60 @@ fn run_shard(
     };
     let PreparedGolden { golden, snapshots, profile } = prepared;
     let snaps = snapshots.as_deref();
-    let campaign = cell.campaign();
     let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(attack) = cell.attack_campaign() {
+            let mut wanted: Vec<AttackSpec> = Vec::new();
+            let report =
+                attack.run_shard_with(&image, &golden, snaps, shard_index, |spec, r| {
+                    if forensics && ForensicsBundle::wanted(r) {
+                        wanted.push(spec);
+                    }
+                })?;
+            return Ok::<_, WorkloadError>((report, WantedSpecs::Attacks(wanted)));
+        }
         let mut wanted: Vec<FaultSpec> = Vec::new();
-        let report = campaign.run_shard_with(&image, &golden, snaps, shard_index, |spec, r| {
-            if forensics && ForensicsBundle::wanted(r) {
-                wanted.push(spec);
-            }
-        })?;
-        Ok::<_, WorkloadError>((report, wanted))
+        let report =
+            cell.campaign().run_shard_with(&image, &golden, snaps, shard_index, |spec, r| {
+                if forensics && ForensicsBundle::wanted(r) {
+                    wanted.push(spec);
+                }
+            })?;
+        Ok::<_, WorkloadError>((report, WantedSpecs::Faults(wanted)))
     }));
     match result {
         Ok(Ok((report, wanted))) => {
-            let bundles = wanted
-                .iter()
-                .take(MAX_FORENSICS_PER_SHARD)
-                .filter_map(|&spec| {
-                    ForensicsBundle::capture_with(
-                        &image,
-                        &cell.config,
-                        spec,
-                        &golden,
-                        DEFAULT_TRACE_WINDOW,
-                        snaps,
-                    )
-                })
-                .map(|b| b.to_json())
-                .collect();
+            let bundles = match &wanted {
+                WantedSpecs::Faults(specs) => specs
+                    .iter()
+                    .take(MAX_FORENSICS_PER_SHARD)
+                    .filter_map(|&spec| {
+                        ForensicsBundle::capture_with(
+                            &image,
+                            &cell.config,
+                            spec,
+                            &golden,
+                            DEFAULT_TRACE_WINDOW,
+                            snaps,
+                        )
+                    })
+                    .map(|b| b.to_json())
+                    .collect(),
+                WantedSpecs::Attacks(specs) => specs
+                    .iter()
+                    .take(MAX_FORENSICS_PER_SHARD)
+                    .filter_map(|&spec| {
+                        AttackForensics::capture_with(
+                            &image,
+                            &cell.config,
+                            spec,
+                            &golden,
+                            DEFAULT_TRACE_WINDOW,
+                            snaps,
+                        )
+                    })
+                    .map(|b| b.to_json())
+                    .collect(),
+            };
             ShardRun {
                 outcome: ShardOutcome::Ok(Box::new(ShardTallies::from_report(&report))),
                 golden: Some((*golden).clone()),
@@ -761,6 +805,33 @@ pub fn run_matrix(
                 }
                 match outcome {
                     ShardOutcome::Ok(tallies) => {
+                        if let Some(kind) = cells_ref[task.cell].attack {
+                            // Attack cells additionally report per-outcome
+                            // counters: the raw material of the detection
+                            // frontier, queryable live from the event plane.
+                            let mut sums = [0u64; 6];
+                            for s in &tallies.stats {
+                                sums[0] += s.detected_check;
+                                sums[1] += s.detected_hw;
+                                sums[2] += s.other_fault;
+                                sums[3] += s.benign;
+                                sums[4] += s.sdc;
+                                sums[5] += s.timeout;
+                            }
+                            let skipped = tallies.skipped;
+                            telemetry.emit_with(|| {
+                                Event::new("attack_outcomes")
+                                    .str("shard", &key)
+                                    .str("attack", kind.name())
+                                    .u64("detected_check", sums[0])
+                                    .u64("detected_hw", sums[1])
+                                    .u64("other_fault", sums[2])
+                                    .u64("benign", sums[3])
+                                    .u64("sdc", sums[4])
+                                    .u64("timeout", sums[5])
+                                    .u64("unplaced", skipped)
+                            });
+                        }
                         store.append_ok(&key, *tallies)?;
                         telemetry.emit_with(|| {
                             Event::new("shard_done")
@@ -788,13 +859,18 @@ pub fn run_matrix(
                         );
                     }
                 }
+                let bundle_kind = if cells_ref[task.cell].attack.is_some() {
+                    "attack_forensics"
+                } else {
+                    "forensics"
+                };
                 for bundle in forensics {
                     // SDC/timeout forensics carry the flight-recorder
                     // window: the recent events leading up to the anomaly.
                     // Emitted past the recorder (straight to the configured
                     // sink) so windows never nest inside later windows.
                     options.telemetry.emit_with(|| {
-                        Event::new("forensics")
+                        Event::new(bundle_kind)
                             .str("shard", &key)
                             .u64("wanted", forensics_wanted)
                             .json("bundle", bundle)
@@ -969,6 +1045,7 @@ mod tests {
             policies: vec![CheckPolicy::AllBb],
             trials,
             seed,
+            attacks: vec![None],
         }
     }
 

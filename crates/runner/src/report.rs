@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
-use cfed_core::Category;
-use cfed_fault::Outcome;
+use cfed_core::{Category, TechniqueKind};
+use cfed_fault::{AttackKind, Outcome};
 use cfed_telemetry::{bucket_high, Histogram};
 
 use crate::store::{read_store, ShardTallies, StoreHeader};
@@ -178,6 +178,145 @@ fn render_cell(out: &mut String, cell: &CellSummary) {
     }
 }
 
+/// Splits an attack cell's key into its archetype and technique column.
+/// Fault cells (no `|atk:` suffix) return `None` and are left to the
+/// regular report.
+fn attack_cell(key: &str) -> Option<(AttackKind, String)> {
+    let (rest, name) = key.rsplit_once("|atk:")?;
+    let kind = AttackKind::from_name(name)?;
+    let technique = rest.split('|').nth(1)?.to_string();
+    Some((kind, technique))
+}
+
+/// Renders the attack detection frontier for the store at `path`: one row
+/// per attack archetype, one column per technique, aggregated over every
+/// workload in the store. The rendering derives exclusively from shard
+/// tallies, so it is byte-identical across thread counts, kill/resume, and
+/// single-process vs service runs.
+///
+/// # Errors
+///
+/// Returns a message when the store cannot be read, fails to parse, or
+/// holds no attack cells.
+pub fn render_attack_frontier(path: &Path) -> Result<String, String> {
+    let (header, done, failed) = read_store(path)?;
+    render_attack_parts(&header, &summarize(&done), &failed)
+}
+
+/// [`render_attack_frontier`] over already-loaded parts (the in-memory
+/// mirror path, mirroring [`render_parts`]).
+///
+/// # Errors
+///
+/// Returns a message when the store holds no attack cells.
+pub fn render_attack_parts(
+    header: &StoreHeader,
+    cells: &[CellSummary],
+    failed: &BTreeMap<String, String>,
+) -> Result<String, String> {
+    // (archetype, technique) -> (detected check, detected hw, sdc, total, unplaced)
+    type Tally = (u64, u64, u64, u64, u64);
+    let mut grid: BTreeMap<(usize, String), Tally> = BTreeMap::new();
+    let mut workloads: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for cell in cells {
+        let Some((kind, technique)) = attack_cell(&cell.key) else { continue };
+        workloads.insert(cell.key.split('|').next().unwrap_or("").to_string());
+        let slot = grid.entry((kind.idx(), technique)).or_default();
+        for s in &cell.tallies.stats {
+            slot.0 += s.detected_check;
+            slot.1 += s.detected_hw;
+            slot.2 += s.sdc;
+            slot.3 += s.total();
+        }
+        slot.4 += cell.tallies.skipped;
+    }
+    if grid.is_empty() {
+        return Err("store holds no attack cells (run `cfed-campaign attack` first)".to_string());
+    }
+
+    // Canonical column order: baseline, then the paper's five techniques;
+    // only columns present in the store are rendered.
+    let canonical: Vec<String> = std::iter::once("baseline".to_string())
+        .chain(TechniqueKind::ALL_FIVE.iter().map(ToString::to_string))
+        .collect();
+    let columns: Vec<&String> =
+        canonical.iter().filter(|t| grid.keys().any(|(_, tech)| tech == *t)).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run {} | seed {} | {} trials/cell | attack detection frontier over {} workload(s)",
+        header.run_id,
+        header.seed,
+        header.trials,
+        workloads.len()
+    );
+    if !failed.is_empty() {
+        let _ = writeln!(out, "failed shards: {}", failed.len());
+        for (key, err) in failed {
+            let _ = writeln!(out, "  {key}: {err}");
+        }
+    }
+    let _ = writeln!(out, "detected = signature check + hardware trap; SDC in parentheses");
+    let _ = write!(out, "{:>14}", "archetype");
+    for t in &columns {
+        let _ = write!(out, " | {t:>14}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(14 + columns.len() * 17));
+    for kind in AttackKind::ALL {
+        if !grid.keys().any(|(k, _)| *k == kind.idx()) {
+            continue;
+        }
+        let _ = write!(out, "{:>14}", kind.name());
+        for t in &columns {
+            match grid.get(&(kind.idx(), (*t).clone())) {
+                Some(&(chk, hw, sdc, total, _)) if total > 0 => {
+                    let pct = 100.0 * (chk + hw) as f64 / total as f64;
+                    let _ = write!(out, " | {:>8.1}% ({sdc:>3})", pct);
+                }
+                _ => {
+                    let _ = write!(out, " | {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    // Check-only view: the frontier with hardware traps excluded, which is
+    // what separates instrumentation coverage from machine luck.
+    let _ = writeln!(out, "\nsignature-check detection only");
+    let _ = write!(out, "{:>14}", "archetype");
+    for t in &columns {
+        let _ = write!(out, " | {t:>14}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(14 + columns.len() * 17));
+    for kind in AttackKind::ALL {
+        if !grid.keys().any(|(k, _)| *k == kind.idx()) {
+            continue;
+        }
+        let _ = write!(out, "{:>14}", kind.name());
+        for t in &columns {
+            match grid.get(&(kind.idx(), (*t).clone())) {
+                Some(&(chk, _, _, total, _)) if total > 0 => {
+                    let _ = write!(out, " | {:>13.1}%", 100.0 * chk as f64 / total as f64);
+                }
+                _ => {
+                    let _ = write!(out, " | {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    let unplaced: u64 = grid.values().map(|v| v.4).sum();
+    if unplaced > 0 {
+        let _ = writeln!(out, "\nunplaceable attack trials (no viable target): {unplaced}");
+    }
+    Ok(out)
+}
+
 /// One bar per non-empty bucket, scaled to the fullest bucket.
 fn render_bars(out: &mut String, h: &Histogram) {
     let peak = h.nonzero_buckets().map(|(_, c)| c).max().unwrap_or(1);
@@ -227,6 +366,46 @@ mod tests {
         assert_eq!(lat.sum(), 30);
         assert_eq!(cells[1].key, "cellB");
         assert_eq!(cells[1].tallies.stats[1].sdc, 1);
+    }
+
+    #[test]
+    fn attack_frontier_renders_archetype_by_technique() {
+        let header = StoreHeader {
+            run_id: "atk".into(),
+            seed: 3,
+            trials: 64,
+            shard_trials: 64,
+            digest: 1,
+            total_shards: 3,
+        };
+        let mut done = BTreeMap::new();
+        done.insert(
+            "w@test|baseline|CMOVcc|ALLBB|100000|s3|t64|atk:ret-gadget#0".to_string(),
+            shard(&[(Category::D, Outcome::Sdc, 0), (Category::D, Outcome::DetectedByHw, 4)]),
+        );
+        done.insert(
+            "w@test|EdgCF|CMOVcc|ALLBB|100000|s3|t64|atk:ret-gadget#0".to_string(),
+            shard(&[(Category::D, Outcome::DetectedByCheck, 9)]),
+        );
+        // Fault cells in the same store are ignored by the frontier.
+        done.insert(
+            "w@test|EdgCF|CMOVcc|ALLBB|100000|s3|t64#0".to_string(),
+            shard(&[(Category::A, Outcome::Benign, 0)]),
+        );
+        let empty = BTreeMap::new();
+        let text = render_attack_parts(&header, &summarize(&done), &empty).unwrap();
+        assert!(text.contains("ret-gadget"), "{text}");
+        assert!(text.contains("baseline"), "{text}");
+        assert!(text.contains("EdgCF"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+
+        let faults_only: BTreeMap<String, ShardTallies> = done
+            .iter()
+            .filter(|(k, _)| !k.contains("|atk:"))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        assert!(render_attack_parts(&header, &summarize(&faults_only), &empty).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn matrix() -> CampaignMatrix {
         policies: vec![CheckPolicy::AllBb],
         trials: 256,
         seed: 0xDECAF,
+        attacks: vec![None],
     }
 }
 

@@ -34,6 +34,7 @@ fn matrix() -> CampaignMatrix {
         policies: vec![CheckPolicy::AllBb],
         trials: 256,
         seed: 0xBEE,
+        attacks: vec![None],
     }
 }
 

@@ -15,10 +15,16 @@
 //!
 //! Usage: `cargo run --release -p cfed-serve --bin cfed-campaign -- [OPTIONS]`
 //!
+//! The `attack` subcommand runs the adversarial study instead: every
+//! attack archetype against baseline + the five techniques, stored at
+//! `<run-id>-attacks.jsonl` with the same resume/determinism guarantees;
+//! `serve coordinate --attacks` distributes the identical plan.
+//!
 //! The `report` subcommand renders a finished (or partial) store:
 //! `cfed-campaign report --store results/campaigns/<run>-coverage.jsonl`
-//! (`--serve-stats` also renders the campaign-service counters when the
-//! store was written by a coordinator).
+//! (`--attacks` renders the attack detection frontier, `--serve-stats`
+//! also renders the campaign-service counters when the store was written
+//! by a coordinator).
 //!
 //! The `profile` subcommand renders the per-cell execution profiles the
 //! sampling profiler appends alongside results (run without `--no-profile`):
@@ -62,10 +68,12 @@ use cfed_fault::CategoryStats;
 use cfed_runner::cli::Parser;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
 use cfed_runner::pool::{run_matrix, RunPerf, RunSummary, RunnerOptions};
-use cfed_runner::report::render_report;
+use cfed_runner::report::{render_attack_frontier, render_report};
 use cfed_runner::retry::RetryPolicy;
 use cfed_runner::store::read_meta;
-use cfed_serve::{campaign_phases, Coordinator, CoordinatorOptions, ServeStats, WorkerOptions};
+use cfed_serve::{
+    attack_phases, campaign_phases, Coordinator, CoordinatorOptions, ServeStats, WorkerOptions,
+};
 use cfed_sim::Machine;
 use cfed_telemetry::json::{obj, Json};
 use cfed_telemetry::{JsonlSink, Telemetry};
@@ -77,6 +85,7 @@ fn main() {
         Some("report") => run_report(&argv[1..]),
         Some("profile") => run_profile(&argv[1..]),
         Some("bench") => run_bench(&argv[1..]),
+        Some("attack") => run_attacks(&argv[1..]),
         Some("serve") => match argv.get(1).map(String::as_str) {
             Some("coordinate") => run_coordinate(&argv[2..]),
             Some("work") => run_work(&argv[2..]),
@@ -129,10 +138,13 @@ fn install_sigint() -> Arc<AtomicBool> {
 fn run_report(argv: &[String]) {
     let args = Parser::new("cfed-campaign report", "render a campaign result store")
         .required_flag("store", "PATH", "JSONL result store to render")
+        .switch("attacks", "render the attack detection frontier (archetype x technique)")
         .switch("serve-stats", "also render campaign-service counters (coordinator stores)")
         .parse_from(argv);
     let store = Path::new(args.get("store").expect("required"));
-    match render_report(store) {
+    let rendered =
+        if args.has("attacks") { render_attack_frontier(store) } else { render_report(store) };
+    match rendered {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("cfed-campaign: {e}");
@@ -198,10 +210,12 @@ fn run_profile(argv: &[String]) {
 }
 
 /// The labelled fields of a cell key:
-/// `{workload}|{technique}|{style}|{policy}|{max_insts}|s{seed}|t{trials}`.
+/// `{workload}|{technique}|{style}|{policy}|{max_insts}|s{seed}|t{trials}`,
+/// with an optional trailing `atk:{archetype}` part on attack cells.
 fn cell_key_parts(key: &str) -> Option<(String, String, String, String)> {
     let parts: Vec<&str> = key.split('|').collect();
-    if parts.len() != 7 {
+    let plausible = parts.len() == 7 || (parts.len() == 8 && parts[7].starts_with("atk:"));
+    if !plausible {
         return None;
     }
     Some((parts[0].to_string(), parts[1].to_string(), parts[2].to_string(), parts[3].to_string()))
@@ -463,6 +477,107 @@ fn run_campaign(argv: &[String]) {
     }
 }
 
+fn run_attacks(argv: &[String]) {
+    let args = Parser::new(
+        "cfed-campaign attack",
+        "adversarial campaign: every attack archetype vs baseline + five techniques",
+    )
+    .flag("trials", "N", "300", "attacks per workload per archetype per configuration")
+    .flag("threads", "N", "0", "worker threads (0 = all cores)")
+    .flag("seed", "SEED", "3488423942", "campaign RNG seed")
+    .flag("out", "DIR", "results/campaigns", "directory for the JSONL result store")
+    .flag(
+        "run-id",
+        "ID",
+        "",
+        "run identifier; re-use to resume (default: derived from seed/trials)",
+    )
+    .flag(
+        "workloads",
+        "NAMES",
+        "",
+        "comma-separated campaign workload names (default: all six)",
+    )
+    .flag("events", "PATH", "", "write structured telemetry events (JSONL) to PATH")
+    .flag("retries", "N", "3", "attempts per failed shard before recording it failed")
+    .flag("backoff-ms", "MS", "25", "base backoff between shard retry attempts")
+    .switch("progress", "print per-shard progress to stderr")
+    .switch("quiet", "suppress stderr progress output")
+    .switch(
+        "forensics",
+        "re-mount SDC/timeout attacks with a tracer and emit attack_forensics events (use with --events)",
+    )
+    .switch(
+        "no-snapshots",
+        "disable fast-forward snapshots; every trial replays its attack-free prefix from scratch",
+    )
+    .parse_from(argv);
+    let die = |message: String| -> ! {
+        eprintln!("cfed-campaign attack: {message}");
+        std::process::exit(2);
+    };
+    let trials = args.get_u64("trials").unwrap_or_else(|e| die(e));
+    let threads = args.get_usize("threads").unwrap_or_else(|e| die(e));
+    let seed = args.get_u64("seed").unwrap_or_else(|e| die(e));
+    let out = PathBuf::from(args.get("out").expect("has default"));
+    let run_id = match args.get("run-id").filter(|s| !s.is_empty()) {
+        Some(id) => id.to_string(),
+        None => format!("attack-s{seed}-t{trials}"),
+    };
+    let workloads: Vec<String> = args
+        .get("workloads")
+        .filter(|s| !s.is_empty())
+        .map(|s| s.split(',').map(|w| w.trim().to_string()).filter(|w| !w.is_empty()).collect())
+        .unwrap_or_default();
+    let quiet = args.has("quiet");
+    let options = RunnerOptions {
+        threads,
+        max_shards: None,
+        progress: args.has("progress"),
+        quiet,
+        telemetry: telemetry_for(&args, "cfed-campaign attack"),
+        forensics: args.has("forensics"),
+        snapshots: !args.has("no-snapshots"),
+        profile: false,
+        retry: retry_policy_for(&args, "cfed-campaign attack"),
+    };
+
+    // The exact phase `serve coordinate --attacks` uses, so stores (and the
+    // frontier rendered from them) are interchangeable between modes.
+    let phases = attack_phases(&workloads, trials, seed, &out, &run_id);
+    let plan = &phases[0];
+    if !quiet {
+        eprintln!(
+            "cfed-campaign attack: {} cells, {} shards, store {}",
+            plan.matrix.cells().len(),
+            CampaignMatrix::shards(&plan.matrix.cells()).len(),
+            plan.store.display()
+        );
+    }
+    let run =
+        run_matrix(&plan.matrix, &run_id, Some(&plan.store), &options).unwrap_or_else(|e| die(e));
+    if !quiet {
+        report_progress(&run);
+    }
+
+    match render_attack_frontier(&plan.store) {
+        Ok(text) => print!("{text}"),
+        Err(e) => die(e),
+    }
+    if !quiet {
+        eprintln!(
+            "cfed-campaign attack: per-cell tables: cfed-campaign report --store {}",
+            plan.store.display()
+        );
+    }
+    if !run.complete() {
+        eprintln!(
+            "cfed-campaign attack: some shards failed; re-run with the same --run-id to retry them"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_coordinate(argv: &[String]) {
     let args = Parser::new(
         "cfed-campaign serve coordinate",
@@ -490,6 +605,13 @@ fn run_coordinate(argv: &[String]) {
     .flag("retries", "N", "3", "attempts per unit before recording it failed")
     .flag("backoff-ms", "MS", "25", "base backoff between unit retry attempts")
     .flag("events", "PATH", "", "write structured telemetry events (JSONL) to PATH")
+    .flag(
+        "workloads",
+        "NAMES",
+        "",
+        "comma-separated workload names for --attacks (default: all six)",
+    )
+    .switch("attacks", "run the adversarial attack study instead of coverage + latency")
     .switch("quiet", "suppress stderr progress output")
     .parse_from(argv);
     let die = |message: String| -> ! {
@@ -535,7 +657,16 @@ fn run_coordinate(argv: &[String]) {
     }
 
     let stop = install_sigint();
-    let phases = campaign_phases(trials, seed, &out, &run_id);
+    let phases = if args.has("attacks") {
+        let workloads: Vec<String> = args
+            .get("workloads")
+            .filter(|s| !s.is_empty())
+            .map(|s| s.split(',').map(|w| w.trim().to_string()).filter(|w| !w.is_empty()).collect())
+            .unwrap_or_default();
+        attack_phases(&workloads, trials, seed, &out, &run_id)
+    } else {
+        campaign_phases(trials, seed, &out, &run_id)
+    };
     let summary = coordinator.run(&run_id, &phases, Some(stop)).unwrap_or_else(|e| die(e));
 
     for phase in &summary.phases {
@@ -636,6 +767,7 @@ fn bench_matrix(trials: u64, seed: u64) -> CampaignMatrix {
         policies: vec![CheckPolicy::AllBb],
         trials,
         seed,
+        attacks: vec![None],
     }
 }
 

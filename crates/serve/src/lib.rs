@@ -69,6 +69,7 @@ pub fn campaign_phases(trials: u64, seed: u64, out: &Path, run_id: &str) -> Vec<
                 policies: vec![CheckPolicy::AllBb],
                 trials,
                 seed,
+                attacks: vec![None],
             },
             store: out.join(format!("{run_id}-coverage.jsonl")),
         },
@@ -81,15 +82,57 @@ pub fn campaign_phases(trials: u64, seed: u64, out: &Path, run_id: &str) -> Vec<
                 policies: CheckPolicy::ALL.to_vec(),
                 trials,
                 seed,
+                attacks: vec![None],
             },
             store: out.join(format!("{run_id}-latency.jsonl")),
         },
     ]
 }
 
+/// The adversarial campaign study: one phase, every attack archetype
+/// against baseline + the five techniques over `workloads` (defaults to
+/// the six campaign workloads when empty), stored at
+/// `{out}/{run_id}-attacks.jsonl`. Single-process `cfed-campaign attack`
+/// and `serve coordinate --attacks` both execute exactly this plan, so
+/// their stores — and the `report --attacks` frontier — are
+/// interchangeable.
+pub fn attack_phases(
+    workloads: &[String],
+    trials: u64,
+    seed: u64,
+    out: &Path,
+    run_id: &str,
+) -> Vec<PhasePlan> {
+    let names: Vec<&str> = if workloads.is_empty() {
+        CAMPAIGN_WORKLOADS.to_vec()
+    } else {
+        workloads.iter().map(String::as_str).collect()
+    };
+    let specs: Vec<WorkloadSpec> =
+        names.iter().map(|name| WorkloadSpec::named(name, Scale::Test)).collect();
+    vec![PhasePlan {
+        label: "attacks".to_string(),
+        matrix: CampaignMatrix::attacks(specs, trials, seed),
+        store: out.join(format!("{run_id}-attacks.jsonl")),
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn attack_phases_cover_every_archetype_and_technique() {
+        let phases = attack_phases(&[], 128, 7, Path::new("results/campaigns"), "r2");
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].label, "attacks");
+        // 7 archetypes x 6 configurations x 6 workloads.
+        assert_eq!(phases[0].matrix.cells().len(), 7 * 6 * 6);
+        assert!(phases[0].store.ends_with("r2-attacks.jsonl"));
+
+        let narrowed = attack_phases(&["164.gzip".to_string()], 128, 7, Path::new("out"), "r3");
+        assert_eq!(narrowed[0].matrix.cells().len(), 7 * 6);
+    }
 
     #[test]
     fn campaign_phases_match_the_classic_stores() {

@@ -28,6 +28,7 @@ use std::io::{Read, Write};
 
 use cfed_core::TechniqueKind;
 use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_fault::AttackKind;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
 use cfed_telemetry::json::{obj, parse, Json};
 use cfed_workloads::Scale;
@@ -179,9 +180,29 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec, String> {
     Ok(WorkloadSpec::named(name, scale))
 }
 
-/// Serializes a matrix for the `phase` frame.
+/// Renders an attack slot for the wire (`"none"` for fault cells,
+/// otherwise the archetype name also used in store keys).
+pub fn attack_to_str(attack: Option<AttackKind>) -> String {
+    attack.map_or_else(|| "none".to_string(), |k| k.name().to_string())
+}
+
+/// Parses [`attack_to_str`] output.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown archetype.
+pub fn attack_from_str(s: &str) -> Result<Option<AttackKind>, String> {
+    if s == "none" {
+        return Ok(None);
+    }
+    AttackKind::from_name(s).map(Some).ok_or_else(|| format!("unknown attack archetype {s:?}"))
+}
+
+/// Serializes a matrix for the `phase` frame. The `attacks` field is
+/// emitted only when it differs from the fault-only default `[None]`, so
+/// frames for classic fault matrices are byte-identical to older builds.
 pub fn matrix_to_json(m: &CampaignMatrix) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("workloads", Json::Arr(m.workloads.iter().map(workload_to_json).collect())),
         (
             "techniques",
@@ -191,7 +212,14 @@ pub fn matrix_to_json(m: &CampaignMatrix) -> Json {
         ("policies", Json::Arr(m.policies.iter().map(|p| Json::Str(p.to_string())).collect())),
         ("trials", Json::UInt(m.trials)),
         ("seed", Json::UInt(m.seed)),
-    ])
+    ];
+    if m.attacks != vec![None] {
+        fields.push((
+            "attacks",
+            Json::Arr(m.attacks.iter().map(|&a| Json::Str(attack_to_str(a))).collect()),
+        ));
+    }
+    obj(fields)
 }
 
 /// Parses [`matrix_to_json`] output. The worker recomputes cell keys from
@@ -223,6 +251,12 @@ pub fn matrix_from_json(v: &Json) -> Result<CampaignMatrix, String> {
             .collect::<Result<_, _>>()?,
         trials: num("trials")?,
         seed: num("seed")?,
+        attacks: match v.get("attacks").and_then(Json::as_arr) {
+            Some(items) => {
+                items.iter().map(|a| attack_from_str(&str_of(a)?)).collect::<Result<_, _>>()?
+            }
+            None => vec![None],
+        },
     })
 }
 
@@ -286,8 +320,28 @@ mod tests {
             ],
             trials: 500,
             seed: 0xCFED,
+            attacks: vec![None],
         };
-        let back = matrix_from_json(&matrix_to_json(&m)).unwrap();
+        let json = matrix_to_json(&m);
+        assert!(json.get("attacks").is_none(), "default attacks must stay off the wire");
+        let back = matrix_from_json(&json).unwrap();
+        let keys: Vec<String> = m.cells().iter().map(cfed_runner::matrix::CellSpec::key).collect();
+        let back_keys: Vec<String> =
+            back.cells().iter().map(cfed_runner::matrix::CellSpec::key).collect();
+        assert_eq!(keys, back_keys);
+        assert_eq!(CampaignMatrix::digest(&m.cells()), CampaignMatrix::digest(&back.cells()));
+    }
+
+    #[test]
+    fn attack_matrix_roundtrips_with_identical_cell_keys() {
+        let m = CampaignMatrix::attacks(
+            vec![WorkloadSpec::named("164.gzip", Scale::Test)],
+            128,
+            0xCFED,
+        );
+        let json = matrix_to_json(&m);
+        assert!(json.get("attacks").is_some(), "attack matrices must ship their archetypes");
+        let back = matrix_from_json(&json).unwrap();
         let keys: Vec<String> = m.cells().iter().map(cfed_runner::matrix::CellSpec::key).collect();
         let back_keys: Vec<String> =
             back.cells().iter().map(cfed_runner::matrix::CellSpec::key).collect();
@@ -300,5 +354,6 @@ mod tests {
         assert!(technique_from_str("XYZ").is_err());
         assert!(style_from_str("mov").is_err());
         assert!(policy_from_str("NONE").is_err());
+        assert!(attack_from_str("stack-smash").is_err());
     }
 }

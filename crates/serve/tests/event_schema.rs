@@ -11,7 +11,9 @@ use std::thread;
 
 use cfed_core::TechniqueKind;
 use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_fault::AttackKind;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
+use cfed_runner::pool::{run_matrix, RunnerOptions};
 use cfed_serve::{work, Coordinator, CoordinatorOptions, PhasePlan, WorkerOptions};
 use cfed_telemetry::{MemorySink, Telemetry};
 
@@ -71,6 +73,7 @@ fn campaign_event_stream_stays_inside_the_schema() {
         policies: vec![CheckPolicy::AllBb],
         trials: 64,
         seed: 0xC0FFEE,
+        attacks: vec![None],
     };
     let sink = Arc::new(MemorySink::new());
     let coord = Coordinator::bind(CoordinatorOptions {
@@ -112,4 +115,48 @@ fn campaign_event_stream_stays_inside_the_schema() {
         assert!(seen.iter().any(|k| k == expect), "missing {expect:?} in {seen:?}");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Attack cells emit their own event kinds from the in-process pool
+/// (`attack_outcomes` per shard, `attack_forensics` for undetected
+/// trials); both must be declared and must actually flow.
+#[test]
+fn attack_event_stream_stays_inside_the_schema() {
+    let matrix = CampaignMatrix {
+        workloads: vec![WorkloadSpec::inline("ev-atk", PROGRAM)],
+        techniques: vec![None, Some(TechniqueKind::EdgCf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: vec![CheckPolicy::AllBb],
+        trials: 64,
+        seed: 0xC0FFEE,
+        attacks: vec![
+            Some(AttackKind::RetGadget),
+            Some(AttackKind::EdgeSplice),
+            Some(AttackKind::JumpCorrupt),
+        ],
+    };
+    let sink = Arc::new(MemorySink::new());
+    let options = RunnerOptions {
+        threads: 2,
+        quiet: true,
+        forensics: true,
+        telemetry: Telemetry::to(sink.clone()),
+        ..Default::default()
+    };
+    let summary = run_matrix(&matrix, "ev-atk", None, &options).unwrap();
+    assert!(summary.executed_shards > 0, "attack campaign ran no shards");
+
+    let kinds = schema_kinds();
+    let mut seen = Vec::new();
+    for e in sink.events().iter() {
+        assert!(
+            kinds.iter().any(|k| k == e.kind()),
+            "event kind {:?} is not declared in schemas/event_kinds.txt",
+            e.kind()
+        );
+        seen.push(e.kind().to_string());
+    }
+    for expect in ["attack_outcomes", "attack_forensics", "shard_done", "run_done"] {
+        assert!(seen.iter().any(|k| k == expect), "missing {expect:?} in {seen:?}");
+    }
 }

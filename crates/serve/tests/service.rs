@@ -19,9 +19,10 @@ use std::time::{Duration, Instant};
 
 use cfed_core::TechniqueKind;
 use cfed_dbt::{CheckPolicy, UpdateStyle};
+use cfed_fault::AttackKind;
 use cfed_runner::matrix::{CampaignMatrix, WorkloadSpec};
 use cfed_runner::pool::{run_matrix, GoldenCache, RunnerOptions, UnitExecutor};
-use cfed_runner::report::render_report;
+use cfed_runner::report::{render_attack_frontier, render_report};
 use cfed_runner::retry::RetryPolicy;
 use cfed_runner::store::read_meta;
 use cfed_serve::proto::{read_frame, tag, write_frame};
@@ -50,6 +51,7 @@ fn matrix() -> CampaignMatrix {
         policies: vec![CheckPolicy::AllBb],
         trials: 256,
         seed: 0xC0FFEE,
+        attacks: vec![None],
     }
 }
 
@@ -379,6 +381,123 @@ fn lost_worker_triggers_a_coordinator_flight_dump() {
     // The profiled cells also emit `profile` events through the same
     // stream (workers profile by default).
     assert!(events.iter().any(|e| e.kind() == "profile"), "{events:?}");
+}
+
+/// Three attack archetypes × (baseline + EdgCF) = six cells, twelve units.
+/// Same inline workload as [`matrix`], so golden runs are shared.
+fn attack_matrix() -> CampaignMatrix {
+    CampaignMatrix {
+        workloads: vec![WorkloadSpec::inline("svc", PROGRAM)],
+        techniques: vec![None, Some(TechniqueKind::EdgCf)],
+        styles: vec![UpdateStyle::CMov],
+        policies: vec![CheckPolicy::AllBb],
+        trials: 128,
+        seed: 0xC0FFEE,
+        attacks: vec![
+            Some(AttackKind::RetGadget),
+            Some(AttackKind::EdgeSplice),
+            Some(AttackKind::DataPivot),
+        ],
+    }
+}
+
+/// Attack campaigns ride the identical store/merge/serve machinery as
+/// fault campaigns: a two-worker service run must reproduce the
+/// single-process store byte-for-byte at the rendered-report level — both
+/// the classic per-cell report and the `--attacks` detection frontier.
+#[test]
+fn served_attack_campaign_matches_single_process_byte_for_byte() {
+    let dir = tmp_dir("attacks");
+
+    // Reference: uninterrupted single-process run, and a second run on a
+    // different thread count to pin scheduling-independence first.
+    let single = dir.join("single.jsonl");
+    let summary = run_matrix(
+        &attack_matrix(),
+        "svc",
+        Some(&single),
+        &RunnerOptions { threads: 1, quiet: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(summary.complete());
+    let reference = render_report(&single).unwrap();
+    let frontier = render_attack_frontier(&single).unwrap();
+
+    let threaded = dir.join("threaded.jsonl");
+    let summary = run_matrix(
+        &attack_matrix(),
+        "svc",
+        Some(&threaded),
+        &RunnerOptions { threads: 4, quiet: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(summary.complete());
+    assert_eq!(render_report(&threaded).unwrap(), reference, "thread count leaked into tallies");
+    assert_eq!(render_attack_frontier(&threaded).unwrap(), frontier);
+
+    let store = dir.join("served.jsonl");
+    let (coord, addr) = quiet_coordinator(CoordinatorOptions::default());
+    let plans = vec![PhasePlan {
+        label: "attacks".to_string(),
+        matrix: attack_matrix(),
+        store: store.clone(),
+    }];
+    let coord_thread = thread::spawn(move || coord.run("svc", &plans, None));
+    let w1 = spawn_worker(&addr, "alpha");
+    let w2 = spawn_worker(&addr, "beta");
+    w1.join().unwrap().unwrap();
+    w2.join().unwrap().unwrap();
+    let summary = coord_thread.join().unwrap().unwrap();
+
+    assert!(summary.complete(), "{summary:?}");
+    assert_eq!(render_report(&store).unwrap(), reference);
+    assert_eq!(render_attack_frontier(&store).unwrap(), frontier);
+}
+
+/// Kill/resume over an attack store: a single-process run killed mid-
+/// campaign is picked up by the service, and the finished store renders
+/// byte-identically to the uninterrupted reference.
+#[test]
+fn serve_resumes_a_killed_attack_campaign() {
+    let dir = tmp_dir("attacks-resume");
+
+    let single = dir.join("single.jsonl");
+    let summary = run_matrix(
+        &attack_matrix(),
+        "svc",
+        Some(&single),
+        &RunnerOptions { threads: 2, quiet: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(summary.complete());
+    let reference = render_report(&single).unwrap();
+    let frontier = render_attack_frontier(&single).unwrap();
+
+    let store = dir.join("served.jsonl");
+    let killed = run_matrix(
+        &attack_matrix(),
+        "svc",
+        Some(&store),
+        &RunnerOptions { threads: 2, quiet: true, max_shards: Some(5), ..Default::default() },
+    )
+    .unwrap();
+    assert!(!killed.complete());
+
+    let (coord, addr) = quiet_coordinator(CoordinatorOptions::default());
+    let plans = vec![PhasePlan {
+        label: "attacks".to_string(),
+        matrix: attack_matrix(),
+        store: store.clone(),
+    }];
+    let coord_thread = thread::spawn(move || coord.run("svc", &plans, None));
+    let worker = spawn_worker(&addr, "finisher");
+    worker.join().unwrap().unwrap();
+    let summary = coord_thread.join().unwrap().unwrap();
+
+    assert!(summary.complete(), "{summary:?}");
+    assert_eq!(summary.phases[0].resumed_units, 5);
+    assert_eq!(render_report(&store).unwrap(), reference);
+    assert_eq!(render_attack_frontier(&store).unwrap(), frontier);
 }
 
 fn http_get(addr: &str, path: &str) -> (String, String) {
